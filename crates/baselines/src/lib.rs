@@ -1,0 +1,21 @@
+//! # er-baselines — state-of-the-art block-processing baselines
+//!
+//! The methods the paper compares Enhanced Meta-blocking against in §6.4,
+//! beyond those living in `mb-core` (Comparison Propagation, Graph-free
+//! Meta-blocking):
+//!
+//! * [`IterativeBlocking`] — Whang et al., SIGMOD'09: blocks are processed
+//!   sequentially and every identified match is propagated to the blocks
+//!   processed later, saving repeated comparisons between matched profiles
+//!   and transitively detecting more duplicates.
+//! * [`UnionFind`] — the disjoint-set forest Iterative Blocking merges
+//!   profiles with; public because examples and tests use it to inspect the
+//!   resulting equivalence clusters.
+
+#![warn(missing_docs)]
+
+mod iterative;
+mod union_find;
+
+pub use iterative::{IterativeBlocking, IterativeBlockingOutcome};
+pub use union_find::UnionFind;

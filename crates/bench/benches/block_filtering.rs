@@ -1,0 +1,55 @@
+//! §4.1 / §6.3: Block Filtering as pre-processing.
+//!
+//! Two claims: the filtering pass itself is cheap (sorting-dominated,
+//! `O(|B| log |B|)`), and the downstream graph sweep gets ~2× faster because
+//! the filtered graph has roughly half the edges.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use er_bench::clean_workload;
+use mb_core::filter::{block_filtering, block_filtering_with_order, BlockOrder};
+use mb_core::weighting::optimized;
+use mb_core::weights::{EdgeWeigher, WeightingScheme};
+use mb_core::GraphContext;
+use std::hint::black_box;
+
+fn bench_block_filtering(c: &mut Criterion) {
+    let workload = clean_workload();
+    let split = workload.collection.split();
+
+    let mut group = c.benchmark_group("block_filtering");
+    group.sample_size(10);
+
+    // The filtering pass itself, across ratios.
+    for r in [0.25, 0.55, 0.8] {
+        group.bench_function(format!("filter/r={r}"), |b| {
+            b.iter(|| black_box(block_filtering(&workload.blocks, r).unwrap()))
+        });
+    }
+
+    // The importance-order ablation: input order skips the sort.
+    group.bench_function("filter/r=0.8/input-order", |b| {
+        b.iter(|| {
+            black_box(
+                block_filtering_with_order(&workload.blocks, 0.8, BlockOrder::Input).unwrap(),
+            )
+        })
+    });
+
+    // Downstream effect: one full JS edge sweep before vs after filtering.
+    let filtered = block_filtering(&workload.blocks, 0.8).unwrap();
+    for (label, blocks) in [("unfiltered", &workload.blocks), ("filtered", &filtered)] {
+        let ctx = GraphContext::new(blocks, split);
+        let weigher = EdgeWeigher::new(WeightingScheme::Js, &ctx);
+        group.bench_function(format!("edge_sweep/{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                optimized::for_each_edge(&ctx, &weigher, |_, _, w| acc += w);
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_filtering);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Table 1 OTime shape: building the input blocks.
+//!
+//! Blocking itself must be cheap relative to resolution — the paper's
+//! Table 1 shows OTime of seconds against resolution times of minutes to
+//! hours. This bench covers the blocking methods plus Block Purging.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use er_bench::clean_workload;
+use er_blocking::{
+    purging, AttributeClusteringBlocking, BlockingMethod, QGramsBlocking, SortedNeighborhood,
+    StandardBlocking, SuffixArraysBlocking, TokenBlocking,
+};
+use std::hint::black_box;
+
+fn bench_blocking(c: &mut Criterion) {
+    let workload = clean_workload();
+    let collection = &workload.collection;
+
+    let mut group = c.benchmark_group("blocking");
+    group.sample_size(10);
+
+    let methods: Vec<(&str, Box<dyn BlockingMethod>)> = vec![
+        ("token", Box::new(TokenBlocking)),
+        ("qgrams3", Box::new(QGramsBlocking::default())),
+        ("suffix", Box::new(SuffixArraysBlocking::default())),
+        ("attr_clustering", Box::new(AttributeClusteringBlocking::default())),
+        ("standard", Box::new(StandardBlocking)),
+        ("sorted_neighborhood", Box::new(SortedNeighborhood::default())),
+    ];
+    for (name, method) in &methods {
+        group.bench_function(*name, |b| b.iter(|| black_box(method.build(collection))));
+    }
+
+    group.bench_function("purging/size", |b| {
+        b.iter(|| {
+            let mut blocks = workload.blocks.clone();
+            black_box(purging::purge_by_size(&mut blocks, 0.5))
+        })
+    });
+    group.bench_function("purging/comparisons", |b| {
+        b.iter(|| {
+            let mut blocks = workload.blocks.clone();
+            black_box(purging::purge_by_comparisons(&mut blocks))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocking);
+criterion_main!(benches);

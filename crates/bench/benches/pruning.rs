@@ -1,0 +1,36 @@
+//! Tables 3–4 OTime shape: the per-scheme overhead of all eight pruning
+//! schemes on the same Block-Filtered graph.
+//!
+//! Expected ordering (paper §6.3–6.4): edge-centric schemes are cheaper
+//! than node-centric ones (one pass vs two over the neighborhoods); the
+//! redefined/reciprocal pairs cost the same as each other (they differ by
+//! one operator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use er_bench::clean_workload;
+use mb_core::filter::block_filtering;
+use mb_core::{MetaBlocking, PruningScheme, WeightingScheme};
+use std::hint::black_box;
+
+fn bench_pruning(c: &mut Criterion) {
+    let workload = clean_workload();
+    let split = workload.collection.split();
+    let filtered = block_filtering(&workload.blocks, 0.8).unwrap();
+
+    let mut group = c.benchmark_group("pruning");
+    group.sample_size(10);
+    for pruning in PruningScheme::ORIGINAL.into_iter().chain(PruningScheme::ENHANCED) {
+        group.bench_function(pruning.name().replace(' ', "_"), |b| {
+            let pipeline = MetaBlocking::new(WeightingScheme::Js, pruning);
+            b.iter(|| {
+                let mut count = 0u64;
+                pipeline.run(&filtered, split, |_, _| count += 1).unwrap();
+                black_box(count)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Shared machinery for key-based blocking methods.
+//!
+//! Token, Q-grams, Suffix-Arrays, Attribute-Clustering and Standard Blocking
+//! all follow the same skeleton: extract string keys from every profile,
+//! group profiles by key, and keep the groups that entail at least one
+//! comparison. [`KeyBlockBuilder`] implements that skeleton once, with the
+//! task-kind handling (Dirty vs Clean-Clean) and the per-entity key
+//! deduplication that all of them need.
+
+use er_model::tokenize::Interner;
+use er_model::{Block, BlockCollection, EntityCollection, EntityId, ErKind};
+
+/// Accumulates `(key, entity)` assignments and finalizes them into a
+/// [`BlockCollection`].
+///
+/// Keys are interned in first-seen order, so the resulting block order is a
+/// deterministic function of the input iteration order.
+#[derive(Debug)]
+pub struct KeyBlockBuilder {
+    interner: Interner,
+    /// Per key: the E₁ members (all members for Dirty ER).
+    left: Vec<Vec<EntityId>>,
+    /// Per key: the E₂ members (unused for Dirty ER).
+    right: Vec<Vec<EntityId>>,
+    kind: ErKind,
+    split: usize,
+    num_entities: usize,
+}
+
+impl KeyBlockBuilder {
+    /// Creates a builder for the given collection.
+    pub fn new(collection: &EntityCollection) -> Self {
+        KeyBlockBuilder {
+            interner: Interner::new(),
+            left: Vec::new(),
+            right: Vec::new(),
+            kind: collection.kind(),
+            split: collection.split(),
+            num_entities: collection.len(),
+        }
+    }
+
+    /// Assigns `entity` to the block keyed by `key`.
+    ///
+    /// Repeated assignments of the same entity to the same key are ignored
+    /// (a profile mentioning a token twice still joins that token's block
+    /// once). Entities must be fed in ascending id order for this
+    /// deduplication to work — all blocking methods iterate the collection
+    /// in id order, so this holds by construction.
+    pub fn assign(&mut self, key: &str, entity: EntityId) {
+        let key_id = self.interner.intern(key) as usize;
+        if key_id == self.left.len() {
+            self.left.push(Vec::new());
+            self.right.push(Vec::new());
+        }
+        let side = if self.kind == ErKind::CleanClean && entity.idx() >= self.split {
+            &mut self.right[key_id]
+        } else {
+            &mut self.left[key_id]
+        };
+        if side.last() != Some(&entity) {
+            side.push(entity);
+        }
+    }
+
+    /// Number of distinct keys seen so far.
+    pub fn num_keys(&self) -> usize {
+        self.left.len()
+    }
+
+    /// Finalizes into a block collection, keeping only blocks that entail at
+    /// least one comparison: ≥2 members for Dirty ER, ≥1 member from *each*
+    /// collection for Clean-Clean ER.
+    pub fn finish(self) -> BlockCollection {
+        let mut blocks = Vec::new();
+        for (l, r) in self.left.into_iter().zip(self.right) {
+            let block = match self.kind {
+                ErKind::Dirty => {
+                    if l.len() < 2 {
+                        continue;
+                    }
+                    Block::dirty(l)
+                }
+                ErKind::CleanClean => {
+                    if l.is_empty() || r.is_empty() {
+                        continue;
+                    }
+                    Block::clean_clean(l, r)
+                }
+            };
+            blocks.push(block);
+        }
+        BlockCollection::new(self.kind, self.num_entities, blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_model::EntityProfile;
+
+    fn dirty(n: usize) -> EntityCollection {
+        EntityCollection::dirty(vec![EntityProfile::new("x"); n])
+    }
+
+    #[test]
+    fn groups_by_key_and_drops_singletons() {
+        let c = dirty(3);
+        let mut b = KeyBlockBuilder::new(&c);
+        b.assign("shared", EntityId(0));
+        b.assign("shared", EntityId(2));
+        b.assign("lonely", EntityId(1));
+        assert_eq!(b.num_keys(), 2);
+        let blocks = b.finish();
+        assert_eq!(blocks.size(), 1);
+        assert_eq!(blocks.blocks()[0].left(), &[EntityId(0), EntityId(2)]);
+    }
+
+    #[test]
+    fn dedupes_repeated_assignment_of_same_entity() {
+        let c = dirty(2);
+        let mut b = KeyBlockBuilder::new(&c);
+        b.assign("t", EntityId(0));
+        b.assign("t", EntityId(0));
+        b.assign("t", EntityId(1));
+        let blocks = b.finish();
+        assert_eq!(blocks.blocks()[0].size(), 2);
+    }
+
+    #[test]
+    fn clean_clean_requires_both_sides() {
+        let e1 = vec![EntityProfile::new("a"), EntityProfile::new("b")];
+        let e2 = vec![EntityProfile::new("c")];
+        let c = EntityCollection::clean_clean(e1, e2);
+        let mut b = KeyBlockBuilder::new(&c);
+        // Key seen only in E1 -> dropped even with two members.
+        b.assign("only-left", EntityId(0));
+        b.assign("only-left", EntityId(1));
+        // Key crossing the two collections -> kept.
+        b.assign("cross", EntityId(1));
+        b.assign("cross", EntityId(2));
+        let blocks = b.finish();
+        assert_eq!(blocks.size(), 1);
+        assert_eq!(blocks.blocks()[0].left(), &[EntityId(1)]);
+        assert_eq!(blocks.blocks()[0].right(), &[EntityId(2)]);
+    }
+
+    #[test]
+    fn block_order_follows_first_seen_key_order() {
+        let c = dirty(4);
+        let mut b = KeyBlockBuilder::new(&c);
+        b.assign("beta", EntityId(0));
+        b.assign("alpha", EntityId(0));
+        b.assign("beta", EntityId(1));
+        b.assign("alpha", EntityId(2));
+        let blocks = b.finish();
+        // "beta" was seen first, so its block precedes "alpha"'s.
+        assert_eq!(blocks.blocks()[0].left()[1], EntityId(1));
+        assert_eq!(blocks.blocks()[1].left()[1], EntityId(2));
+    }
+}

@@ -1,0 +1,16 @@
+//! The trait all blocking methods implement.
+
+use er_model::{BlockCollection, EntityCollection};
+
+/// A blocking method: maps an entity collection to a block collection.
+///
+/// Implementations must be deterministic — the same input collection yields
+/// the same blocks in the same processing order — because block ids feed the
+/// LeCoBI condition and the Block Filtering order downstream.
+pub trait BlockingMethod {
+    /// Human-readable method name, used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Builds the blocks for `collection`.
+    fn build(&self, collection: &EntityCollection) -> BlockCollection;
+}

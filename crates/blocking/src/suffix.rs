@@ -1,0 +1,97 @@
+//! Suffix-Arrays Blocking (Aizawa & Oyama, WIRI'05).
+
+use crate::builder::KeyBlockBuilder;
+use crate::method::BlockingMethod;
+use er_model::tokenize::suffixes;
+use er_model::{Block, BlockCollection, EntityCollection};
+
+/// Suffix-Arrays Blocking: every token contributes all suffixes of length at
+/// least [`SuffixArraysBlocking::min_suffix_len`]; one block per suffix.
+/// Blocks larger than [`SuffixArraysBlocking::max_block_size`] are discarded
+/// — short suffixes are shared by too many profiles to be discriminative,
+/// and the original method bounds block size for exactly that reason.
+#[derive(Debug, Clone, Copy)]
+pub struct SuffixArraysBlocking {
+    /// Minimum suffix length (original default: 6).
+    pub min_suffix_len: usize,
+    /// Maximum number of profiles a block may contain (original default: 53).
+    pub max_block_size: usize,
+}
+
+impl Default for SuffixArraysBlocking {
+    fn default() -> Self {
+        SuffixArraysBlocking { min_suffix_len: 6, max_block_size: 53 }
+    }
+}
+
+impl BlockingMethod for SuffixArraysBlocking {
+    fn name(&self) -> &'static str {
+        "Suffix Arrays Blocking"
+    }
+
+    fn build(&self, collection: &EntityCollection) -> BlockCollection {
+        let mut builder = KeyBlockBuilder::new(collection);
+        for (id, profile) in collection.iter() {
+            let mut suf: Vec<String> =
+                profile.values().flat_map(|v| suffixes(v, self.min_suffix_len)).collect();
+            suf.sort_unstable();
+            suf.dedup();
+            for s in &suf {
+                builder.assign(s, id);
+            }
+        }
+        let mut blocks = builder.finish();
+        let max = self.max_block_size;
+        blocks.blocks_mut().retain(|b: &Block| b.size() <= max);
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_model::EntityProfile;
+
+    fn profiles(values: &[&str]) -> EntityCollection {
+        EntityCollection::dirty(
+            values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| EntityProfile::new(format!("p{i}")).with("v", *v))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn shared_suffixes_block_together() {
+        // "christen" and "kristen" share the suffixes "risten" and "isten".
+        let e = profiles(&["christen", "kristen"]);
+        let blocks = SuffixArraysBlocking { min_suffix_len: 5, max_block_size: 50 }.build(&e);
+        assert!(!blocks.is_empty());
+        assert!(blocks.blocks().iter().all(|b| b.size() == 2));
+    }
+
+    #[test]
+    fn tokens_shorter_than_min_are_skipped() {
+        let e = profiles(&["car", "car"]);
+        let blocks = SuffixArraysBlocking { min_suffix_len: 4, max_block_size: 50 }.build(&e);
+        assert!(blocks.is_empty());
+    }
+
+    #[test]
+    fn oversized_blocks_are_discarded() {
+        let e = profiles(&["common", "common", "common", "distinctive", "indistinctive"]);
+        let blocks = SuffixArraysBlocking { min_suffix_len: 6, max_block_size: 2 }.build(&e);
+        // The "common" suffix block holds 3 profiles -> purged; the shared
+        // "…distinctive" suffix blocks hold 2 -> kept.
+        assert!(!blocks.is_empty());
+        assert!(blocks.blocks().iter().all(|b| b.size() <= 2));
+    }
+
+    #[test]
+    fn default_parameters_match_the_literature() {
+        let d = SuffixArraysBlocking::default();
+        assert_eq!(d.min_suffix_len, 6);
+        assert_eq!(d.max_block_size, 53);
+    }
+}

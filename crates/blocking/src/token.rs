@@ -1,0 +1,113 @@
+//! Token Blocking (Papadakis et al., TKDE'13; §1–2 of the EDBT'16 paper).
+
+use crate::builder::KeyBlockBuilder;
+use crate::method::BlockingMethod;
+use er_model::tokenize::tokens;
+use er_model::{BlockCollection, EntityCollection};
+
+/// Schema-agnostic Token Blocking: "it splits the attribute values of every
+/// entity profile into tokens based on whitespace; then, it creates a
+/// separate block for every token that appears in at least two profiles."
+///
+/// For Clean-Clean ER a token's block is kept only if the token appears in
+/// profiles of *both* collections.
+///
+/// ```
+/// use er_blocking::{BlockingMethod, TokenBlocking};
+/// use er_model::{EntityCollection, EntityProfile};
+///
+/// let e = EntityCollection::dirty(vec![
+///     EntityProfile::new("p1").with("name", "jack miller"),
+///     EntityProfile::new("p2").with("fullname", "jack lloyd"),
+/// ]);
+/// let blocks = TokenBlocking.build(&e);
+/// assert_eq!(blocks.size(), 1); // only "jack" is shared
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TokenBlocking;
+
+impl BlockingMethod for TokenBlocking {
+    fn name(&self) -> &'static str {
+        "Token Blocking"
+    }
+
+    fn build(&self, collection: &EntityCollection) -> BlockCollection {
+        let mut builder = KeyBlockBuilder::new(collection);
+        for (id, profile) in collection.iter() {
+            // Deduplicate this profile's tokens so `assign`'s adjacency
+            // check sees each (token, entity) pair grouped together.
+            let mut toks: Vec<String> = profile.values().flat_map(tokens).collect();
+            toks.sort_unstable();
+            toks.dedup();
+            for t in &toks {
+                builder.assign(t, id);
+            }
+        }
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_model::{EntityId, EntityProfile, ErKind};
+
+    use crate::fixtures::figure1_profiles;
+
+    #[test]
+    fn reproduces_figure_1b() {
+        let e = EntityCollection::dirty(figure1_profiles());
+        let blocks = TokenBlocking.build(&e);
+        // Figure 1(b): 8 blocks — jack{p1,p3}, miller{p1,p3}, erick{p2,p4},
+        // green{p2,p4}, vendor{p2,p3}, seller{p3,p5}, lloyd{p1,p4},
+        // car{p3,p4,p5,p6} — 13 comparisons in total.
+        assert_eq!(blocks.size(), 8);
+        assert_eq!(blocks.total_comparisons(), 13);
+        let mut sizes: Vec<usize> = blocks.blocks().iter().map(|b| b.size()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2, 2, 2, 2, 2, 2, 4]);
+
+        // The "car" block holds p3..p6 (ids 2..5).
+        let car = blocks
+            .blocks()
+            .iter()
+            .find(|b| b.size() == 4)
+            .expect("car block");
+        assert_eq!(car.left(), &[EntityId(2), EntityId(3), EntityId(4), EntityId(5)]);
+    }
+
+    #[test]
+    fn clean_clean_token_blocking_crosses_collections() {
+        let e1 = vec![EntityProfile::new("a").with("n", "jack miller")];
+        let e2 = vec![
+            EntityProfile::new("b").with("m", "jack lloyd"),
+            EntityProfile::new("c").with("m", "miller car"),
+        ];
+        let e = EntityCollection::clean_clean(e1, e2);
+        let blocks = TokenBlocking.build(&e);
+        assert_eq!(blocks.kind(), ErKind::CleanClean);
+        // "jack" -> {a}×{b}, "miller" -> {a}×{c}; "lloyd"/"car" only in E2.
+        assert_eq!(blocks.size(), 2);
+        assert_eq!(blocks.total_comparisons(), 2);
+    }
+
+    #[test]
+    fn repeated_token_in_one_profile_counts_once() {
+        let e = EntityCollection::dirty(vec![
+            EntityProfile::new("a").with("x", "car car car"),
+            EntityProfile::new("b").with("y", "car"),
+        ]);
+        let blocks = TokenBlocking.build(&e);
+        assert_eq!(blocks.size(), 1);
+        assert_eq!(blocks.blocks()[0].size(), 2);
+    }
+
+    #[test]
+    fn no_shared_tokens_no_blocks() {
+        let e = EntityCollection::dirty(vec![
+            EntityProfile::new("a").with("x", "alpha"),
+            EntityProfile::new("b").with("y", "beta"),
+        ]);
+        assert!(TokenBlocking.build(&e).is_empty());
+    }
+}

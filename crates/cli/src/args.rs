@@ -1,0 +1,139 @@
+//! Minimal command-line argument parsing.
+//!
+//! `--flag value`, `--flag=value` and boolean `--flag` forms; everything
+//! else is a positional argument. Hand-rolled: the grammar is four
+//! subcommands deep and the workspace keeps dependencies minimal.
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments: positionals in order plus `--key value` options.
+#[derive(Debug, Default, PartialEq)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// A `--key` followed by another `--…` token or end of input is treated
+    /// as a boolean flag (`"true"`).
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(key) = token.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty option name `--`".into());
+                }
+                let (key, value) = match key.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => {
+                        let value = match iter.peek() {
+                            Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                            _ => "true".to_string(),
+                        };
+                        (key.to_string(), value)
+                    }
+                };
+                if args.options.insert(key.clone(), value).is_some() {
+                    return Err(format!("option --{key} given twice"));
+                }
+            } else {
+                args.positional.push(token);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional argument `i`.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// Number of positional arguments.
+    pub fn positional_len(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// Raw option value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Required option value.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Option parsed to a type, with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: `{v}`")),
+        }
+    }
+
+    /// Boolean flag presence.
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("yes") | Some("1"))
+    }
+
+    /// Names of options that were provided but are not in `known` — for
+    /// catching typos like `--schema` instead of `--scheme`.
+    pub fn unknown_options(&self, known: &[&str]) -> Vec<String> {
+        self.options.keys().filter(|k| !known.contains(&k.as_str())).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse(&["run", "--scheme", "js", "--filter=0.8", "--dirty"]);
+        assert_eq!(a.positional(0), Some("run"));
+        assert_eq!(a.positional_len(), 1);
+        assert_eq!(a.get("scheme"), Some("js"));
+        assert_eq!(a.get("filter"), Some("0.8"));
+        assert!(a.flag("dirty"));
+        assert!(!a.flag("missing"));
+    }
+
+    #[test]
+    fn parsed_values_with_defaults() {
+        let a = parse(&["--scale", "0.5"]);
+        assert_eq!(a.get_parsed("scale", 1.0).unwrap(), 0.5);
+        assert_eq!(a.get_parsed("seed", 42u64).unwrap(), 42);
+        assert!(a.get_parsed::<f64>("scale", 1.0).is_ok());
+        let bad = parse(&["--scale", "abc"]);
+        assert!(bad.get_parsed::<f64>("scale", 1.0).is_err());
+    }
+
+    #[test]
+    fn duplicate_and_malformed_options_rejected() {
+        assert!(Args::parse(["--x".into(), "1".into(), "--x".into(), "2".into()]).is_err());
+        assert!(Args::parse(["--".into()]).is_err());
+    }
+
+    #[test]
+    fn require_and_unknown() {
+        let a = parse(&["--out", "dir"]);
+        assert_eq!(a.require("out").unwrap(), "dir");
+        assert!(a.require("preset").is_err());
+        assert_eq!(a.unknown_options(&["out"]), Vec::<String>::new());
+        assert_eq!(a.unknown_options(&["other"]), vec!["out".to_string()]);
+    }
+
+    #[test]
+    fn boolean_flag_before_another_option() {
+        let a = parse(&["--dirty", "--out", "x"]);
+        assert!(a.flag("dirty"));
+        assert_eq!(a.get("out"), Some("x"));
+    }
+}

@@ -1,0 +1,317 @@
+//! The four CLI verbs.
+
+use crate::args::Args;
+use er_blocking::{purging, BlockingMethod, TokenBlocking};
+use er_io::bundle::{self, Bundle};
+use er_model::measures::{self, EffectivenessAccumulator};
+use er_model::BlockCollection;
+use mb_core::filter::block_filtering;
+use mb_core::{pipeline, MetaBlocking, PruningScheme, WeightingScheme};
+use std::fmt::Write as _;
+
+fn check_options(args: &Args, known: &[&str]) -> Result<(), String> {
+    let unknown = args.unknown_options(known);
+    if unknown.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unknown option(s): --{}", unknown.join(", --")))
+    }
+}
+
+fn load_bundle(args: &Args) -> Result<Bundle, String> {
+    let dir = args.require("dataset")?;
+    bundle::load(dir).map_err(|e| format!("loading {dir}: {e}"))
+}
+
+fn input_blocks(bundle: &Bundle) -> BlockCollection {
+    let mut blocks = TokenBlocking.build(&bundle.collection);
+    purging::purge_by_size(&mut blocks, 0.5);
+    blocks
+}
+
+/// `er generate`: synthesize a benchmark bundle.
+pub fn generate(args: &Args) -> Result<String, String> {
+    check_options(args, &["preset", "out", "scale", "seed", "dirty"])?;
+    let out = args.require("out")?;
+    let seed = args.get_parsed("seed", 20160315u64)?;
+    let scale: f64 = args.get_parsed("scale", 1.0)?;
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(format!("--scale must lie in (0, 1], got {scale}"));
+    }
+    let mut config = match args.require("preset")? {
+        "tiny" => er_datagen::presets::tiny(seed),
+        "d1c" => er_datagen::presets::d1c(seed),
+        "d2c" => er_datagen::presets::d2c(seed),
+        "d3c" => er_datagen::presets::d3c(seed, 1.0),
+        other => return Err(format!("unknown preset `{other}`")),
+    };
+    if scale < 1.0 {
+        let s = |n: usize| ((n as f64 * scale).round() as usize).max(1);
+        config.matched_pairs = s(config.matched_pairs);
+        config.side1.size = s(config.side1.size).max(config.matched_pairs);
+        config.side2.size = s(config.side2.size).max(config.matched_pairs);
+        config.object.vocab_size = s(config.object.vocab_size).max(100);
+        config.side1.attr_name_pool = s(config.side1.attr_name_pool).max(3);
+        config.side2.attr_name_pool = s(config.side2.attr_name_pool).max(3);
+    }
+    let mut dataset = er_datagen::generate(&config);
+    if args.flag("dirty") {
+        dataset = dataset.into_dirty();
+    }
+    bundle::save(out, &dataset.collection, &dataset.ground_truth)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    Ok(format!(
+        "wrote {out}: {} profiles, {} duplicate pairs ({:?} ER)\n",
+        dataset.collection.len(),
+        dataset.ground_truth.len(),
+        dataset.collection.kind()
+    ))
+}
+
+/// `er stats`: Table-1-style characteristics of the bundle's blocks.
+pub fn stats(args: &Args) -> Result<String, String> {
+    check_options(args, &["dataset"])?;
+    let bundle = load_bundle(args)?;
+    let blocks = input_blocks(&bundle);
+    let detected = measures::detected_duplicates_in(&blocks, &bundle.ground_truth);
+    let mut out = String::new();
+    let _ = writeln!(out, "profiles:           {}", bundle.collection.len());
+    let _ = writeln!(out, "duplicate pairs:    {}", bundle.ground_truth.len());
+    let _ = writeln!(out, "brute-force ||E||:  {}", bundle.collection.brute_force_comparisons());
+    let _ = writeln!(out, "blocks |B|:         {}", blocks.size());
+    let _ = writeln!(out, "comparisons ||B||:  {}", blocks.total_comparisons());
+    let _ = writeln!(out, "BPE:                {:.2}", blocks.blocks_per_entity());
+    let _ = writeln!(
+        out,
+        "PC(B):              {:.4}",
+        measures::pairs_completeness(detected, bundle.ground_truth.len())
+    );
+    let _ = writeln!(
+        out,
+        "PQ(B):              {:.6}",
+        measures::pairs_quality(detected, blocks.total_comparisons())
+    );
+    let _ = writeln!(
+        out,
+        "RR vs brute force:  {:.4}",
+        measures::reduction_ratio(bundle.collection.brute_force_comparisons(), blocks.total_comparisons())
+    );
+    Ok(out)
+}
+
+fn parse_scheme(name: &str) -> Result<WeightingScheme, String> {
+    Ok(match name {
+        "arcs" => WeightingScheme::Arcs,
+        "cbs" => WeightingScheme::Cbs,
+        "ecbs" => WeightingScheme::Ecbs,
+        "js" => WeightingScheme::Js,
+        "ejs" => WeightingScheme::Ejs,
+        other => return Err(format!("unknown weighting scheme `{other}`")),
+    })
+}
+
+fn parse_pruning(name: &str) -> Result<Option<PruningScheme>, String> {
+    Ok(Some(match name {
+        "cep" => PruningScheme::Cep,
+        "cnp" => PruningScheme::Cnp,
+        "wep" => PruningScheme::Wep,
+        "wnp" => PruningScheme::Wnp,
+        "redefined-cnp" => PruningScheme::RedefinedCnp,
+        "redefined-wnp" => PruningScheme::RedefinedWnp,
+        "reciprocal-cnp" => PruningScheme::ReciprocalCnp,
+        "reciprocal-wnp" => PruningScheme::ReciprocalWnp,
+        "graph-free" => return Ok(None),
+        other => return Err(format!("unknown pruning scheme `{other}`")),
+    }))
+}
+
+/// `er run`: one meta-blocking pipeline, measured; optionally writes the
+/// retained comparisons (by URI) to CSV.
+pub fn run(args: &Args) -> Result<String, String> {
+    check_options(args, &["dataset", "scheme", "pruning", "filter", "out"])?;
+    let bundle = load_bundle(args)?;
+    let blocks = input_blocks(&bundle);
+    let scheme = parse_scheme(args.get("scheme").unwrap_or("js"))?;
+    let pruning = parse_pruning(args.get("pruning").unwrap_or("reciprocal-wnp"))?;
+    let filter: Option<f64> = match args.get("filter") {
+        None => None,
+        Some(v) => {
+            Some(v.parse().map_err(|_| format!("invalid value for --filter: `{v}`"))?)
+        }
+    };
+
+    let mut acc = EffectivenessAccumulator::new(&bundle.ground_truth);
+    let mut retained: Vec<(er_model::EntityId, er_model::EntityId)> = Vec::new();
+    let collect_out = args.get("out").is_some();
+    let start = std::time::Instant::now();
+    let split = bundle.collection.split();
+    let mut sink = |a, b| {
+        acc.add(a, b);
+        if collect_out {
+            retained.push((a, b));
+        }
+    };
+    let label = match pruning {
+        Some(p) => {
+            let mut mb = MetaBlocking::new(scheme, p);
+            if let Some(r) = filter {
+                mb = mb.with_block_filtering(r);
+            }
+            mb.run(&blocks, split, &mut sink).map_err(|e| e.to_string())?;
+            format!("{} + {}", scheme.name(), p.name())
+        }
+        None => {
+            let r = filter.unwrap_or(mb_core::graphfree::EFFECTIVENESS_RATIO);
+            pipeline::run_graph_free(&blocks, split, r, &mut sink).map_err(|e| e.to_string())?;
+            format!("Graph-free Meta-blocking (r = {r})")
+        }
+    };
+    let otime = start.elapsed();
+
+    if let Some(path) = args.get("out") {
+        let rows: Vec<Vec<String>> = std::iter::once(vec!["left".to_string(), "right".to_string()])
+            .chain(retained.iter().map(|&(a, b)| {
+                vec![
+                    bundle.collection.profile(a).uri().to_string(),
+                    bundle.collection.profile(b).uri().to_string(),
+                ]
+            }))
+            .collect();
+        std::fs::write(path, er_io::csv::write(&rows)).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "pipeline:        {label}");
+    let _ = writeln!(out, "input blocks:    {} comparisons", blocks.total_comparisons());
+    let _ = writeln!(out, "retained:        {} comparisons", acc.total_comparisons());
+    let _ = writeln!(out, "recall (PC):     {:.4}", acc.pc());
+    let _ = writeln!(out, "precision (PQ):  {:.6}", acc.pq());
+    let _ = writeln!(out, "reduction (RR):  {:.4}", acc.rr(blocks.total_comparisons()));
+    let _ = writeln!(out, "overhead time:   {:.1?}", otime);
+    Ok(out)
+}
+
+/// `er sweep-filter`: the Figure-10 ratio sweep over the bundle.
+pub fn sweep_filter(args: &Args) -> Result<String, String> {
+    check_options(args, &["dataset", "step"])?;
+    let bundle = load_bundle(args)?;
+    let blocks = input_blocks(&bundle);
+    let step: f64 = args.get_parsed("step", 0.05)?;
+    if !(step > 0.0 && step <= 1.0) {
+        return Err(format!("--step must lie in (0, 1], got {step}"));
+    }
+    let mut out = String::from("    r      PC      RR\n----------------------\n");
+    let mut r = step;
+    while r <= 1.0 + 1e-9 {
+        let r_clamped = r.min(1.0);
+        let filtered = block_filtering(&blocks, r_clamped).map_err(|e| e.to_string())?;
+        let detected = measures::detected_duplicates_in(&filtered, &bundle.ground_truth);
+        let _ = writeln!(
+            out,
+            " {:>4.2}  {:>6.3}  {:>6.3}",
+            r_clamped,
+            measures::pairs_completeness(detected, bundle.ground_truth.len()),
+            measures::reduction_ratio(blocks.total_comparisons(), filtered.total_comparisons()),
+        );
+        r += step;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("er_cli_{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn generate_then_stats_then_run() {
+        let dir = temp_dir("pipeline");
+        let dir_s = dir.to_str().unwrap();
+        let msg = generate(&argv(&[
+            "generate", "--preset", "tiny", "--out", dir_s, "--seed", "5",
+        ]))
+        .unwrap();
+        assert!(msg.contains("450 profiles"));
+
+        let s = stats(&argv(&["stats", "--dataset", dir_s])).unwrap();
+        assert!(s.contains("PC(B):"), "{s}");
+
+        let r = run(&argv(&[
+            "run", "--dataset", dir_s, "--scheme", "js", "--pruning", "reciprocal-wnp",
+            "--filter", "0.8",
+        ]))
+        .unwrap();
+        assert!(r.contains("JS + Reciprocal WNP"), "{r}");
+        assert!(r.contains("recall"), "{r}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_writes_comparisons_csv() {
+        let dir = temp_dir("outcsv");
+        let dir_s = dir.to_str().unwrap();
+        generate(&argv(&["generate", "--preset", "tiny", "--out", dir_s, "--scale", "0.3"]))
+            .unwrap();
+        let out_csv = dir.join("pairs.csv");
+        run(&argv(&[
+            "run", "--dataset", dir_s, "--pruning", "cep", "--out", out_csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out_csv).unwrap();
+        assert!(text.starts_with("left,right\n"));
+        assert!(text.lines().count() > 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn graph_free_and_sweep() {
+        let dir = temp_dir("graphfree");
+        let dir_s = dir.to_str().unwrap();
+        generate(&argv(&[
+            "generate", "--preset", "tiny", "--out", dir_s, "--scale", "0.3", "--dirty",
+        ]))
+        .unwrap();
+        let r = run(&argv(&["run", "--dataset", dir_s, "--pruning", "graph-free"])).unwrap();
+        assert!(r.contains("Graph-free"), "{r}");
+        let s = sweep_filter(&argv(&["sweep-filter", "--dataset", dir_s, "--step", "0.25"]))
+            .unwrap();
+        assert_eq!(s.lines().count(), 2 + 4, "{s}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(generate(&argv(&["generate", "--preset", "nope", "--out", "/tmp/x"]))
+            .unwrap_err()
+            .contains("unknown preset"));
+        assert!(generate(&argv(&["generate"])).unwrap_err().contains("--out") ||
+                generate(&argv(&["generate"])).unwrap_err().contains("--preset"));
+        assert!(run(&argv(&["run", "--dataset", "/nonexistent-er-dir"]))
+            .unwrap_err()
+            .contains("loading"));
+        assert!(run(&argv(&["run", "--dataset", "x", "--schema", "js"]))
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(stats(&argv(&["stats", "--dataset", "x", "--bogus", "1"]))
+            .unwrap_err()
+            .contains("bogus"));
+    }
+
+    #[test]
+    fn scale_validation() {
+        assert!(generate(&argv(&[
+            "generate", "--preset", "tiny", "--out", "/tmp/x", "--scale", "1.5"
+        ]))
+        .unwrap_err()
+        .contains("--scale"));
+    }
+}

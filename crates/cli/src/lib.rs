@@ -1,0 +1,47 @@
+//! # er-cli — the `er` command-line tool
+//!
+//! End-to-end entity-resolution pipelines from the shell:
+//!
+//! ```text
+//! er generate --preset tiny --out bench/        # synthesize a benchmark bundle
+//! er stats    --dataset bench/                  # Table-1-style block statistics
+//! er run      --dataset bench/ --scheme js --pruning reciprocal-wnp --filter 0.8
+//! er sweep-filter --dataset bench/              # Figure-10-style ratio sweep
+//! ```
+//!
+//! All verbs work on [`er_io::bundle`] directories, so real corpora drop in
+//! by exporting them as `e1.csv` (+ `e2.csv`) + `gt.csv`.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+er — enhanced meta-blocking pipelines
+
+USAGE:
+  er generate --preset <tiny|d1c|d2c|d3c> --out <dir> [--scale F] [--seed N] [--dirty]
+  er stats --dataset <dir>
+  er run --dataset <dir> [--scheme <arcs|cbs|ecbs|js|ejs>]
+         [--pruning <cep|cnp|wep|wnp|redefined-cnp|redefined-wnp|reciprocal-cnp|reciprocal-wnp|graph-free>]
+         [--filter R] [--out <comparisons.csv>]
+  er sweep-filter --dataset <dir> [--step F]
+";
+
+/// Dispatches a command line (without the program name). Returns the text
+/// to print, or an error message for stderr.
+pub fn dispatch(raw: impl IntoIterator<Item = String>) -> Result<String, String> {
+    let args = Args::parse(raw)?;
+    match args.positional(0) {
+        Some("generate") => commands::generate(&args),
+        Some("stats") => commands::stats(&args),
+        Some("run") => commands::run(&args),
+        Some("sweep-filter") => commands::sweep_filter(&args),
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    }
+}

@@ -1,0 +1,11 @@
+//! The `er` binary: thin shell around [`er_cli::dispatch`].
+
+fn main() {
+    match er_cli::dispatch(std::env::args().skip(1)) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! BLAST-style meta-blocking (Simonini, Bergamaschi & Jagadish, VLDB'16) —
+//! the strongest weight-based follow-on to this paper's schemes, included
+//! as an extension for cross-comparison.
+//!
+//! Two ideas distinguish BLAST from the WNP family:
+//!
+//! * **Chi-square weighting** — instead of counting shared blocks, edge
+//!   weights test the *statistical significance* of the co-occurrence via
+//!   Pearson's χ² over the 2×2 contingency table of block membership
+//!   (entity i in/out of a block × entity j in/out of it). A pair sharing 2
+//!   of its 3 blocks scores far higher than one sharing 2 of 40.
+//! * **Max-ratio pruning** — a node-centric weight threshold derived from
+//!   the neighborhood *maxima* rather than means: edge (i, j) survives iff
+//!   `w ≥ c · (max_i + max_j) / 2`, with `c ∈ (0, 1]` (BLAST's default
+//!   0.35). Unlike the mean, the max is robust to how many weak edges a
+//!   node has.
+//!
+//! Like Redefined/Reciprocal pruning, the output contains no redundant
+//! comparisons: each edge is evaluated once against both endpoints'
+//! thresholds.
+
+use crate::context::GraphContext;
+use crate::scanner::{Accumulate, NeighborhoodScanner, ScanScope};
+use er_model::EntityId;
+
+/// BLAST's default pruning factor.
+pub const DEFAULT_RATIO: f64 = 0.35;
+
+/// Pearson's χ² weight of an edge, from the 2×2 contingency table of block
+/// membership.
+///
+/// With `n11 = |B_ij|`, `n1• = |B_i|`, `n•1 = |B_j|` and `n = |B|`:
+/// the table is `[[n11, |B_i|−n11], [|B_j|−n11, n − |B_i| − |B_j| + n11]]`
+/// and χ² = n·(n11·n22 − n12·n21)² / (n1•·n2•·n•1·n•2).
+///
+/// Degenerate margins (an entity in every block or in none) yield 0.
+pub fn chi_square(common: f64, blocks_i: f64, blocks_j: f64, total_blocks: f64) -> f64 {
+    let n11 = common;
+    let n12 = blocks_i - common;
+    let n21 = blocks_j - common;
+    let n22 = total_blocks - blocks_i - blocks_j + common;
+    let row1 = n11 + n12;
+    let row2 = n21 + n22;
+    let col1 = n11 + n21;
+    let col2 = n12 + n22;
+    let denom = row1 * row2 * col1 * col2;
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    let det = n11 * n22 - n12 * n21;
+    // Only positive association counts: a pair co-occurring significantly
+    // LESS than independence predicts also has a large χ², but it signals a
+    // non-match.
+    if det <= 0.0 {
+        return 0.0;
+    }
+    total_blocks * det * det / denom
+}
+
+/// Runs BLAST pruning over the blocking graph: χ² weights, per-node maxima,
+/// and the `c·(max_i + max_j)/2` retention rule. Emits each retained edge
+/// once.
+///
+/// # Panics
+/// If `c` is outside `(0, 1]`.
+pub fn blast(ctx: &GraphContext<'_>, c: f64, mut sink: impl FnMut(EntityId, EntityId)) {
+    assert!(c > 0.0 && c <= 1.0, "pruning factor c must lie in (0, 1]");
+    let n = ctx.num_entities();
+    let total_blocks = ctx.blocks().size() as f64;
+    let mut scanner = NeighborhoodScanner::new(n);
+
+    // Phase 1: the maximum incident χ² weight per node.
+    let mut max_weight = vec![0.0f64; n];
+    for raw in 0..n as u32 {
+        let pivot = EntityId(raw);
+        let hood = scanner.scan(ctx, pivot, Accumulate::CommonBlocks, ScanScope::All);
+        let bi = ctx.num_blocks_of(pivot) as f64;
+        let mut best = 0.0f64;
+        for (j, score) in hood.iter() {
+            let w = chi_square(score, bi, ctx.num_blocks_of(j) as f64, total_blocks);
+            if w > best {
+                best = w;
+            }
+        }
+        max_weight[pivot.idx()] = best;
+    }
+
+    // Phase 2: edge-centric retention against both endpoints' thresholds.
+    for raw in 0..n as u32 {
+        let pivot = EntityId(raw);
+        if !ctx.is_first(pivot) {
+            continue;
+        }
+        let hood = scanner.scan(ctx, pivot, Accumulate::CommonBlocks, ScanScope::GreaterOnly);
+        let bi = ctx.num_blocks_of(pivot) as f64;
+        for (j, score) in hood.iter() {
+            let w = chi_square(score, bi, ctx.num_blocks_of(j) as f64, total_blocks);
+            let threshold = c * (max_weight[pivot.idx()] + max_weight[j.idx()]) / 2.0;
+            if w >= threshold && w > 0.0 {
+                sink(pivot, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_model::{Block, BlockCollection, ErKind};
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    #[test]
+    fn chi_square_formula() {
+        // Perfect association: i and j appear in exactly the same 2 of 10
+        // blocks -> table [[2,0],[0,8]] -> χ² = 10·(16)²/(2·8·2·8) = 10.
+        assert!((chi_square(2.0, 2.0, 2.0, 10.0) - 10.0).abs() < 1e-12);
+        // Independence: det = 0.
+        // [[1,1],[1,1]] with n = 4: χ² = 0.
+        assert_eq!(chi_square(1.0, 2.0, 2.0, 4.0), 0.0);
+        // Degenerate margins.
+        assert_eq!(chi_square(3.0, 3.0, 3.0, 3.0), 0.0);
+        assert_eq!(chi_square(0.0, 0.0, 0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn chi_square_rewards_significant_co_occurrence() {
+        // Sharing 2 of 3 blocks beats sharing 2 of 5 (out of 40 blocks).
+        let tight = chi_square(2.0, 3.0, 3.0, 40.0);
+        let loose = chi_square(2.0, 5.0, 5.0, 40.0);
+        assert!(tight > loose && loose > 0.0);
+        // Negative association (sharing far less than independence
+        // predicts) is clamped to zero.
+        assert_eq!(chi_square(2.0, 20.0, 20.0, 40.0), 0.0);
+    }
+
+    /// (0,1) share 2 blocks out of few; (2,3) and the rest share 1 noisy
+    /// block each.
+    fn fixture() -> BlockCollection {
+        BlockCollection::new(
+            ErKind::Dirty,
+            6,
+            vec![
+                Block::dirty(ids(&[0, 1])),
+                Block::dirty(ids(&[0, 1])),
+                Block::dirty(ids(&[2, 3])),
+                Block::dirty(ids(&[0, 2, 4, 5])),
+                Block::dirty(ids(&[1, 3, 4, 5])),
+            ],
+        )
+    }
+
+    fn collect(blocks: &BlockCollection, c: f64) -> Vec<(u32, u32)> {
+        let ctx = GraphContext::new_dirty(blocks);
+        let mut out = Vec::new();
+        blast(&ctx, c, |a, b| out.push((a.0, b.0)));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn keeps_the_significant_pairs() {
+        let got = collect(&fixture(), DEFAULT_RATIO);
+        assert!(got.contains(&(0, 1)), "{got:?}");
+        assert!(got.contains(&(2, 3)), "{got:?}");
+        // The big noisy blocks' pairs are pruned relative to the maxima.
+        assert!(got.len() < 10, "{got:?}"); // well below all 13 distinct pairs
+    }
+
+    #[test]
+    fn larger_c_prunes_more() {
+        let loose = collect(&fixture(), 0.1);
+        let strict = collect(&fixture(), 1.0);
+        assert!(strict.len() <= loose.len());
+        for p in &strict {
+            assert!(loose.contains(p));
+        }
+    }
+
+    #[test]
+    fn no_redundant_comparisons() {
+        let got = collect(&fixture(), DEFAULT_RATIO);
+        let mut dedup = got.clone();
+        dedup.dedup();
+        assert_eq!(got, dedup);
+    }
+
+    #[test]
+    #[should_panic(expected = "pruning factor")]
+    fn c_is_validated() {
+        let blocks = fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        blast(&ctx, 0.0, |_, _| {});
+    }
+
+    #[test]
+    fn clean_clean_blast() {
+        let blocks = BlockCollection::new(
+            ErKind::CleanClean,
+            4,
+            vec![
+                Block::clean_clean(ids(&[0]), ids(&[2])),
+                Block::clean_clean(ids(&[0]), ids(&[2])),
+                Block::clean_clean(ids(&[0, 1]), ids(&[2, 3])),
+                Block::clean_clean(ids(&[1]), ids(&[3])),
+                Block::clean_clean(ids(&[1]), ids(&[3])),
+            ],
+        );
+        let ctx = GraphContext::new(&blocks, 2);
+        let mut out = Vec::new();
+        blast(&ctx, DEFAULT_RATIO, |a, b| out.push((a.0, b.0)));
+        assert!(out.contains(&(0, 2)));
+        for (a, b) in out {
+            assert!(a < 2 && b >= 2);
+        }
+    }
+}

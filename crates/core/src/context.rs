@@ -1,0 +1,135 @@
+//! The implicit blocking graph.
+//!
+//! "The blocking graph cannot be materialized in memory in the scale of
+//! million nodes and billion edges. Instead, it is implemented implicitly"
+//! (§4.2): every non-redundant comparison in the block collection *is* an
+//! edge. [`GraphContext`] bundles the state every graph traversal needs —
+//! the entity index, the per-block cardinalities and the task kind — without
+//! ever storing an edge list.
+
+use er_model::{BlockCollection, EntityId, EntityIndex, ErKind};
+
+/// Shared state for implicit blocking-graph traversals.
+#[derive(Debug)]
+pub struct GraphContext<'b> {
+    blocks: &'b BlockCollection,
+    index: EntityIndex,
+    /// `‖b‖` per block, pre-computed because ARCS divides by it for every
+    /// common block of every edge.
+    cardinalities: Vec<f64>,
+    split: usize,
+}
+
+impl<'b> GraphContext<'b> {
+    /// Builds the context (entity index + block cardinalities) for a block
+    /// collection.
+    ///
+    /// `split` is the id boundary between the two collections for
+    /// Clean-Clean ER (see [`er_model::EntityCollection::split`]); pass the
+    /// collection size (or use [`GraphContext::new_dirty`]) for Dirty ER.
+    pub fn new(blocks: &'b BlockCollection, split: usize) -> Self {
+        let index = EntityIndex::build(blocks);
+        let cardinalities = blocks.blocks().iter().map(|b| b.cardinality() as f64).collect();
+        GraphContext { blocks, index, cardinalities, split }
+    }
+
+    /// Context for a Dirty-ER block collection.
+    pub fn new_dirty(blocks: &'b BlockCollection) -> Self {
+        debug_assert_eq!(blocks.kind(), ErKind::Dirty);
+        let n = blocks.num_entities();
+        Self::new(blocks, n)
+    }
+
+    /// The underlying block collection.
+    pub fn blocks(&self) -> &'b BlockCollection {
+        self.blocks
+    }
+
+    /// The entity index over the block collection.
+    pub fn index(&self) -> &EntityIndex {
+        &self.index
+    }
+
+    /// The task kind of the block collection.
+    pub fn kind(&self) -> ErKind {
+        self.blocks.kind()
+    }
+
+    /// `|E|`: number of entities in the input collection.
+    pub fn num_entities(&self) -> usize {
+        self.blocks.num_entities()
+    }
+
+    /// `‖b_k‖` as `f64`, for the ARCS denominator.
+    #[inline]
+    pub fn cardinality_of(&self, block: usize) -> f64 {
+        self.cardinalities[block]
+    }
+
+    /// Whether two profiles may be compared under the task kind: always (if
+    /// distinct) for Dirty ER, only across the two collections for
+    /// Clean-Clean ER.
+    #[inline]
+    pub fn comparable(&self, a: EntityId, b: EntityId) -> bool {
+        a != b && (self.kind() == ErKind::Dirty || (a.idx() < self.split) != (b.idx() < self.split))
+    }
+
+    /// Whether `id` belongs to the first collection (always true for Dirty
+    /// ER).
+    #[inline]
+    pub fn is_first(&self, id: EntityId) -> bool {
+        id.idx() < self.split
+    }
+
+    /// The Clean-Clean id boundary (collection size for Dirty ER).
+    pub fn split(&self) -> usize {
+        self.split
+    }
+
+    /// `|B_i|`: number of blocks containing `id`.
+    #[inline]
+    pub fn num_blocks_of(&self, id: EntityId) -> usize {
+        self.index.num_blocks_of(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_model::Block;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    #[test]
+    fn dirty_context_basics() {
+        let blocks = BlockCollection::new(
+            ErKind::Dirty,
+            4,
+            vec![Block::dirty(ids(&[0, 1, 2])), Block::dirty(ids(&[2, 3]))],
+        );
+        let ctx = GraphContext::new_dirty(&blocks);
+        assert_eq!(ctx.num_entities(), 4);
+        assert_eq!(ctx.cardinality_of(0), 3.0);
+        assert_eq!(ctx.cardinality_of(1), 1.0);
+        assert!(ctx.comparable(EntityId(0), EntityId(3)));
+        assert!(!ctx.comparable(EntityId(1), EntityId(1)));
+        assert_eq!(ctx.num_blocks_of(EntityId(2)), 2);
+    }
+
+    #[test]
+    fn clean_clean_comparability() {
+        let blocks = BlockCollection::new(
+            ErKind::CleanClean,
+            4,
+            vec![Block::clean_clean(ids(&[0, 1]), ids(&[2, 3]))],
+        );
+        let ctx = GraphContext::new(&blocks, 2);
+        assert!(ctx.comparable(EntityId(0), EntityId(2)));
+        assert!(!ctx.comparable(EntityId(0), EntityId(1)));
+        assert!(!ctx.comparable(EntityId(2), EntityId(3)));
+        assert!(ctx.is_first(EntityId(1)));
+        assert!(!ctx.is_first(EntityId(2)));
+    }
+}

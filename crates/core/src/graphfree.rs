@@ -1,0 +1,84 @@
+//! Graph-free Meta-blocking (§4.1, Figure 7b): Block Filtering followed by
+//! Comparison Propagation — no blocking graph, no edge weights.
+
+use crate::context::GraphContext;
+use crate::filter::block_filtering;
+use crate::propagation::comparison_propagation;
+use er_model::{EntityId, Result};
+
+/// The aggressive filtering ratio the paper tunes for efficiency-intensive
+/// applications (recall ≥ 0.80 across all datasets).
+pub const EFFICIENCY_RATIO: f64 = 0.25;
+
+/// The filtering ratio the paper tunes for effectiveness-intensive
+/// applications (recall ≥ 0.95 across all datasets).
+pub const EFFECTIVENESS_RATIO: f64 = 0.55;
+
+/// Runs Graph-free Meta-blocking: filters the blocks with ratio `r`, then
+/// emits each surviving distinct comparison.
+///
+/// "The latter workflow skips the blocking graph, operating on the level of
+/// individual profiles instead of profile pairs. Thus, it is expected to be
+/// significantly faster than all graph-based algorithms" — and §6.4 confirms
+/// it runs within minutes where graph-based schemes need hours, at the cost
+/// of coarser pruning (lower precision than the reciprocal schemes).
+///
+/// `split` is the Clean-Clean id boundary (pass the collection size for
+/// Dirty ER, or use the [`crate::pipeline::MetaBlocking`] builder which
+/// handles this).
+pub fn graph_free_meta_blocking(
+    blocks: &er_model::BlockCollection,
+    split: usize,
+    r: f64,
+    sink: impl FnMut(EntityId, EntityId),
+) -> Result<()> {
+    let filtered = block_filtering(blocks, r)?;
+    let ctx = GraphContext::new(&filtered, split);
+    comparison_propagation(&ctx, sink);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_model::{Block, BlockCollection, ErKind};
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    #[test]
+    fn filters_then_dedupes() {
+        // Entity 0 sits in three blocks of growing size; r=0.34 keeps it in
+        // the smallest only. Pair (1,2) stays distinct despite repeating.
+        let blocks = BlockCollection::new(
+            ErKind::Dirty,
+            5,
+            vec![
+                Block::dirty(ids(&[0, 1])),
+                Block::dirty(ids(&[0, 1, 2])),
+                Block::dirty(ids(&[0, 1, 2, 3, 4])),
+            ],
+        );
+        let mut got: Vec<(u32, u32)> = Vec::new();
+        graph_free_meta_blocking(&blocks, 5, 0.34, |a, b| got.push((a.0, b.0))).unwrap();
+        got.sort_unstable();
+        // 0 kept only in b0; 1 kept in b0,b1 (|B_1|=3 -> limit 1? round(0.34*3)=1)
+        // Actually |B_1| = 3 -> limit max(1, round(1.02)) = 1 -> 1 kept in b0 only.
+        // |B_2| = 2 -> limit 1 -> kept in b1. |B_3|,|B_4| = 1 -> kept in b2.
+        // Surviving blocks: b0={0,1}, b1={2}, b2={3,4} -> b1 dropped.
+        assert_eq!(got, vec![(0, 1), (3, 4)]);
+    }
+
+    #[test]
+    fn invalid_ratio_is_rejected() {
+        let blocks = BlockCollection::new(ErKind::Dirty, 2, vec![]);
+        assert!(graph_free_meta_blocking(&blocks, 2, 0.0, |_, _| {}).is_err());
+    }
+
+    #[test]
+    fn paper_ratios_are_the_tuned_values() {
+        assert_eq!(EFFICIENCY_RATIO, 0.25);
+        assert_eq!(EFFECTIVENESS_RATIO, 0.55);
+    }
+}

@@ -1,0 +1,238 @@
+//! Multi-threaded graph sweeps.
+//!
+//! The paper's algorithms are single-threaded; its related work scales
+//! meta-blocking out with MapReduce (Papadakis et al., WSDM'12). This
+//! module provides the shared-memory equivalent: the node range is
+//! partitioned into contiguous chunks, each thread sweeps its chunk with a
+//! private [`NeighborhoodScanner`], and per-chunk results are combined in
+//! chunk order — so every parallel result is bit-identical to the
+//! sequential one, regardless of thread count or scheduling.
+
+use crate::context::GraphContext;
+use crate::scanner::{NeighborhoodScanner, ScanScope};
+use crate::weights::EdgeWeigher;
+use er_model::EntityId;
+
+/// Splits `0..n` into at most `threads` contiguous chunks of near-equal
+/// size.
+fn chunks(n: u32, threads: usize) -> Vec<std::ops::Range<u32>> {
+    let threads = threads.max(1).min(n.max(1) as usize);
+    let per = n.div_ceil(threads as u32);
+    (0..threads as u32)
+        .map(|t| (t * per).min(n)..((t + 1) * per).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Folds every distinct weighted edge into per-chunk accumulators, in
+/// parallel. Returns the accumulators in chunk order (ascending node
+/// ranges), so any order-insensitive merge — or an order-sensitive
+/// concatenation — is deterministic.
+pub fn fold_edges<T, I, F>(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    threads: usize,
+    init: I,
+    fold: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, EntityId, EntityId, f64) + Sync,
+{
+    let n = ctx.num_entities() as u32;
+    let ranges = chunks(n, threads);
+    let accumulate = weigher.scheme().accumulate();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let init = &init;
+                let fold = &fold;
+                scope.spawn(move || {
+                    let mut acc = init();
+                    let mut scanner = NeighborhoodScanner::new(ctx.num_entities());
+                    for raw in range {
+                        let pivot = EntityId(raw);
+                        if !ctx.is_first(pivot) {
+                            continue;
+                        }
+                        let hood =
+                            scanner.scan(ctx, pivot, accumulate, ScanScope::GreaterOnly);
+                        for &j in hood.ids {
+                            let other = EntityId(j);
+                            fold(&mut acc, pivot, other, weigher.weight(pivot, other, hood.score_of(j)));
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep thread panicked")).collect()
+    })
+}
+
+/// Collects the edges satisfying `predicate`, in the sequential sweep's
+/// order, using `threads` workers.
+pub fn collect_edges_where<P>(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    threads: usize,
+    predicate: P,
+) -> Vec<(EntityId, EntityId)>
+where
+    P: Fn(EntityId, EntityId, f64) -> bool + Sync,
+{
+    let parts = fold_edges(
+        ctx,
+        weigher,
+        threads,
+        Vec::new,
+        |acc: &mut Vec<(EntityId, EntityId)>, a, b, w| {
+            if predicate(a, b, w) {
+                acc.push((a, b));
+            }
+        },
+    );
+    parts.concat()
+}
+
+/// The global mean edge weight, computed with `threads` workers — the WEP
+/// threshold.
+pub fn mean_edge_weight(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    threads: usize,
+) -> Option<f64> {
+    let parts = fold_edges(
+        ctx,
+        weigher,
+        threads,
+        || (0.0f64, 0u64),
+        |acc, _a, _b, w| {
+            acc.0 += w;
+            acc.1 += 1;
+        },
+    );
+    let (sum, count) =
+        parts.into_iter().fold((0.0, 0), |(s, c), (ps, pc)| (s + ps, c + pc));
+    (count > 0).then(|| sum / count as f64)
+}
+
+/// Parallel Weighted Edge Pruning: identical output to
+/// [`crate::prune::wep`], `threads`-way parallel sweeps for both the mean
+/// and the emission pass.
+pub fn wep(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    threads: usize,
+) -> Vec<(EntityId, EntityId)> {
+    match mean_edge_weight(ctx, weigher, threads) {
+        None => Vec::new(),
+        Some(mean) => collect_edges_where(ctx, weigher, threads, |_a, _b, w| {
+            w >= mean - mean * 1e-9
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weighting::optimized;
+    use crate::weights::WeightingScheme;
+    use er_model::{Block, BlockCollection, ErKind};
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    fn fixture() -> BlockCollection {
+        BlockCollection::new(
+            ErKind::Dirty,
+            12,
+            vec![
+                Block::dirty(ids(&[0, 1, 2, 3])),
+                Block::dirty(ids(&[2, 3, 4, 5])),
+                Block::dirty(ids(&[5, 6, 7])),
+                Block::dirty(ids(&[0, 7, 8, 9])),
+                Block::dirty(ids(&[9, 10, 11])),
+                Block::dirty(ids(&[1, 4, 10])),
+            ],
+        )
+    }
+
+    #[test]
+    fn chunking_covers_the_range() {
+        for n in [0u32, 1, 7, 16] {
+            for t in [1usize, 2, 3, 8, 100] {
+                let cs = chunks(n, t);
+                let total: u32 = cs.iter().map(|r| r.end - r.start).sum();
+                assert_eq!(total, n, "n={n} t={t}");
+                for w in cs.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_every_thread_count() {
+        let blocks = fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        for scheme in WeightingScheme::ALL {
+            let weigher = EdgeWeigher::new(scheme, &ctx);
+            let mut sequential = Vec::new();
+            optimized::for_each_edge(&ctx, &weigher, |a, b, _| sequential.push((a, b)));
+            for threads in [1, 2, 3, 4, 7] {
+                let parallel =
+                    collect_edges_where(&ctx, &weigher, threads, |_, _, _| true);
+                assert_eq!(parallel, sequential, "{} x{threads}", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_wep_equals_sequential_wep() {
+        let blocks = fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        for scheme in WeightingScheme::ALL {
+            let weigher = EdgeWeigher::new(scheme, &ctx);
+            let mut sequential = Vec::new();
+            crate::prune::wep(
+                &ctx,
+                &weigher,
+                crate::weighting::WeightingImpl::Optimized,
+                |a, b| sequential.push((a, b)),
+            );
+            for threads in [1, 3, 8] {
+                assert_eq!(wep(&ctx, &weigher, threads), sequential, "{}", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn mean_weight_agrees() {
+        let blocks = fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(WeightingScheme::Js, &ctx);
+        let (mut sum, mut count) = (0.0, 0u64);
+        optimized::for_each_edge(&ctx, &weigher, |_, _, w| {
+            sum += w;
+            count += 1;
+        });
+        let seq_mean = sum / count as f64;
+        for threads in [1, 2, 5] {
+            let par = mean_edge_weight(&ctx, &weigher, threads).unwrap();
+            assert!((par - seq_mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let blocks = BlockCollection::new(ErKind::Dirty, 4, vec![]);
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
+        assert_eq!(mean_edge_weight(&ctx, &weigher, 4), None);
+        assert!(wep(&ctx, &weigher, 4).is_empty());
+    }
+}

@@ -1,0 +1,388 @@
+//! The high-level meta-blocking pipeline.
+//!
+//! Assembles the paper's workflow of Figure 7(a): optional Block Filtering,
+//! then graph-based pruning under a chosen weighting scheme — or the
+//! graph-free workflow of Figure 7(b).
+
+use crate::context::GraphContext;
+use crate::filter::block_filtering;
+use crate::graphfree::graph_free_meta_blocking;
+use crate::prune;
+use crate::weights::{EdgeWeigher, WeightingScheme};
+use er_model::{BlockCollection, EntityId, ErKind, Result};
+
+pub use crate::weighting::WeightingImpl;
+
+/// Every pruning scheme the crate implements, as a selectable configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruningScheme {
+    /// Cardinality Edge Pruning (global top-`K`).
+    Cep,
+    /// Cardinality Node Pruning, original directed semantics.
+    Cnp,
+    /// Weighted Edge Pruning (global mean threshold).
+    Wep,
+    /// Weighted Node Pruning, original directed semantics.
+    Wnp,
+    /// Redefined CNP (Algorithm 4).
+    RedefinedCnp,
+    /// Redefined WNP (Algorithm 5).
+    RedefinedWnp,
+    /// Reciprocal CNP (§5.2).
+    ReciprocalCnp,
+    /// Reciprocal WNP (§5.2).
+    ReciprocalWnp,
+}
+
+impl PruningScheme {
+    /// The four schemes of the prior-art framework (Table 3).
+    pub const ORIGINAL: [PruningScheme; 4] =
+        [PruningScheme::Cep, PruningScheme::Cnp, PruningScheme::Wep, PruningScheme::Wnp];
+
+    /// The four schemes the paper introduces (Table 4).
+    pub const ENHANCED: [PruningScheme; 4] = [
+        PruningScheme::RedefinedCnp,
+        PruningScheme::ReciprocalCnp,
+        PruningScheme::RedefinedWnp,
+        PruningScheme::ReciprocalWnp,
+    ];
+
+    /// The paper's abbreviation.
+    pub fn name(self) -> &'static str {
+        match self {
+            PruningScheme::Cep => "CEP",
+            PruningScheme::Cnp => "CNP",
+            PruningScheme::Wep => "WEP",
+            PruningScheme::Wnp => "WNP",
+            PruningScheme::RedefinedCnp => "Redefined CNP",
+            PruningScheme::RedefinedWnp => "Redefined WNP",
+            PruningScheme::ReciprocalCnp => "Reciprocal CNP",
+            PruningScheme::ReciprocalWnp => "Reciprocal WNP",
+        }
+    }
+
+    /// Whether the scheme prunes per node (vs per edge).
+    pub fn is_node_centric(self) -> bool {
+        !matches!(self, PruningScheme::Cep | PruningScheme::Wep)
+    }
+
+    /// Whether the scheme can emit the same pair twice (original directed
+    /// node-centric semantics).
+    pub fn emits_redundant_comparisons(self) -> bool {
+        matches!(self, PruningScheme::Cnp | PruningScheme::Wnp)
+    }
+}
+
+/// Builder for a full meta-blocking run.
+///
+/// ```
+/// use er_blocking::{fixtures, BlockingMethod, TokenBlocking};
+/// use mb_core::{MetaBlocking, PruningScheme, WeightingScheme};
+///
+/// let collection = fixtures::figure1_collection();
+/// let blocks = TokenBlocking.build(&collection);
+/// let retained = MetaBlocking::new(WeightingScheme::Js, PruningScheme::Wep)
+///     .run_collect(&blocks, collection.split())
+///     .unwrap();
+/// // WEP with the exact mean threshold keeps the 4 strongest edges of
+/// // Figure 2(a), both duplicate pairs among them.
+/// assert_eq!(retained.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MetaBlocking {
+    scheme: WeightingScheme,
+    pruning: PruningScheme,
+    weighting_impl: WeightingImpl,
+    block_filtering: Option<f64>,
+}
+
+impl MetaBlocking {
+    /// A pipeline with the given weighting scheme and pruning scheme, no
+    /// Block Filtering, and Optimized Edge Weighting.
+    pub fn new(scheme: WeightingScheme, pruning: PruningScheme) -> Self {
+        MetaBlocking {
+            scheme,
+            pruning,
+            weighting_impl: WeightingImpl::Optimized,
+            block_filtering: None,
+        }
+    }
+
+    /// Enables Block Filtering with ratio `r` as pre-processing.
+    #[must_use]
+    pub fn with_block_filtering(mut self, r: f64) -> Self {
+        self.block_filtering = Some(r);
+        self
+    }
+
+    /// Selects the edge-weighting implementation (default: Optimized).
+    #[must_use]
+    pub fn with_weighting_impl(mut self, imp: WeightingImpl) -> Self {
+        self.weighting_impl = imp;
+        self
+    }
+
+    /// The configured weighting scheme.
+    pub fn scheme(&self) -> WeightingScheme {
+        self.scheme
+    }
+
+    /// The configured pruning scheme.
+    pub fn pruning(&self) -> PruningScheme {
+        self.pruning
+    }
+
+    /// Runs the pipeline, streaming every retained comparison to `sink`.
+    ///
+    /// `split` is the Clean-Clean id boundary
+    /// ([`er_model::EntityCollection::split`]); for Dirty ER pass the
+    /// collection size — [`er_model::EntityCollection::split`] returns
+    /// exactly that, so `collection.split()` is always correct.
+    pub fn run(
+        &self,
+        blocks: &BlockCollection,
+        split: usize,
+        mut sink: impl FnMut(EntityId, EntityId),
+    ) -> Result<()> {
+        let filtered;
+        let input = match self.block_filtering {
+            Some(r) => {
+                filtered = block_filtering(blocks, r)?;
+                &filtered
+            }
+            None => blocks,
+        };
+        let split = if blocks.kind() == ErKind::Dirty { blocks.num_entities() } else { split };
+        let ctx = GraphContext::new(input, split);
+        let weigher = EdgeWeigher::new(self.scheme, &ctx);
+        let imp = self.weighting_impl;
+        match self.pruning {
+            PruningScheme::Cep => prune::cep(&ctx, &weigher, imp, &mut sink),
+            PruningScheme::Cnp => prune::cnp(&ctx, &weigher, imp, &mut sink),
+            PruningScheme::Wep => prune::wep(&ctx, &weigher, imp, &mut sink),
+            PruningScheme::Wnp => prune::wnp(&ctx, &weigher, imp, &mut sink),
+            PruningScheme::RedefinedCnp => {
+                prune::redefined_cnp(&ctx, &weigher, imp, &mut sink)
+            }
+            PruningScheme::RedefinedWnp => {
+                prune::redefined_wnp(&ctx, &weigher, imp, &mut sink)
+            }
+            PruningScheme::ReciprocalCnp => {
+                prune::reciprocal_cnp(&ctx, &weigher, imp, &mut sink)
+            }
+            PruningScheme::ReciprocalWnp => {
+                prune::reciprocal_wnp(&ctx, &weigher, imp, &mut sink)
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the pipeline and collects the retained comparisons.
+    ///
+    /// For the original node-centric schemes the result may contain the same
+    /// pair twice (their documented redundancy); every other scheme yields
+    /// distinct pairs.
+    pub fn run_collect(
+        &self,
+        blocks: &BlockCollection,
+        split: usize,
+    ) -> Result<Vec<(EntityId, EntityId)>> {
+        let mut out = Vec::new();
+        self.run(blocks, split, |a, b| out.push((a, b)))?;
+        Ok(out)
+    }
+}
+
+/// Convenience wrapper for the graph-free workflow, mirroring
+/// [`MetaBlocking::run`].
+pub fn run_graph_free(
+    blocks: &BlockCollection,
+    split: usize,
+    r: f64,
+    sink: impl FnMut(EntityId, EntityId),
+) -> Result<()> {
+    let split = if blocks.kind() == ErKind::Dirty { blocks.num_entities() } else { split };
+    graph_free_meta_blocking(blocks, split, r, sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_model::{Block, GroundTruth};
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    fn fixture() -> BlockCollection {
+        BlockCollection::new(
+            ErKind::Dirty,
+            4,
+            vec![
+                Block::dirty(ids(&[0, 1])),
+                Block::dirty(ids(&[0, 1, 2])),
+                Block::dirty(ids(&[2, 3])),
+            ],
+        )
+    }
+
+    #[test]
+    fn scheme_metadata() {
+        assert_eq!(PruningScheme::Cep.name(), "CEP");
+        assert!(!PruningScheme::Cep.is_node_centric());
+        assert!(PruningScheme::ReciprocalWnp.is_node_centric());
+        assert!(PruningScheme::Cnp.emits_redundant_comparisons());
+        assert!(!PruningScheme::RedefinedCnp.emits_redundant_comparisons());
+        assert_eq!(PruningScheme::ORIGINAL.len(), 4);
+        assert_eq!(PruningScheme::ENHANCED.len(), 4);
+    }
+
+    #[test]
+    fn every_configuration_runs() {
+        let blocks = fixture();
+        for scheme in WeightingScheme::ALL {
+            for pruning in PruningScheme::ORIGINAL.into_iter().chain(PruningScheme::ENHANCED) {
+                for imp in [WeightingImpl::Original, WeightingImpl::Optimized] {
+                    let out = MetaBlocking::new(scheme, pruning)
+                        .with_weighting_impl(imp)
+                        .run_collect(&blocks, 4)
+                        .unwrap();
+                    assert!(!out.is_empty(), "{} + {}", scheme.name(), pruning.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn original_and_optimized_impls_agree() {
+        let blocks = fixture();
+        for scheme in WeightingScheme::ALL {
+            for pruning in PruningScheme::ORIGINAL.into_iter().chain(PruningScheme::ENHANCED) {
+                let a = MetaBlocking::new(scheme, pruning)
+                    .with_weighting_impl(WeightingImpl::Original)
+                    .run_collect(&blocks, 4)
+                    .unwrap();
+                let b = MetaBlocking::new(scheme, pruning)
+                    .with_weighting_impl(WeightingImpl::Optimized)
+                    .run_collect(&blocks, 4)
+                    .unwrap();
+                let norm = |v: &[(EntityId, EntityId)]| {
+                    let mut v: Vec<(u32, u32)> =
+                        v.iter().map(|&(x, y)| (x.0.min(y.0), x.0.max(y.0))).collect();
+                    v.sort_unstable();
+                    v
+                };
+                assert_eq!(norm(&a), norm(&b), "{} + {}", scheme.name(), pruning.name());
+            }
+        }
+    }
+
+    #[test]
+    fn block_filtering_is_applied_first() {
+        let blocks = fixture();
+        // CEP's K = ⌊Σ|b|/2⌋ shrinks with the filtered assignments, so its
+        // output cannot grow under Block Filtering.
+        let unfiltered = MetaBlocking::new(WeightingScheme::Cbs, PruningScheme::Cep)
+            .run_collect(&blocks, 4)
+            .unwrap();
+        let filtered = MetaBlocking::new(WeightingScheme::Cbs, PruningScheme::Cep)
+            .with_block_filtering(0.5)
+            .run_collect(&blocks, 4)
+            .unwrap();
+        assert!(filtered.len() < unfiltered.len());
+    }
+
+    #[test]
+    fn invalid_filter_ratio_propagates() {
+        let blocks = fixture();
+        let res = MetaBlocking::new(WeightingScheme::Js, PruningScheme::Wep)
+            .with_block_filtering(2.0)
+            .run_collect(&blocks, 4);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn pruning_keeps_the_duplicates() {
+        // The strongest edge is the duplicate pair; every scheme must keep it.
+        let blocks = fixture();
+        let gt = GroundTruth::from_pairs(vec![(EntityId(0), EntityId(1))]);
+        for pruning in PruningScheme::ORIGINAL.into_iter().chain(PruningScheme::ENHANCED) {
+            let out = MetaBlocking::new(WeightingScheme::Js, pruning)
+                .run_collect(&blocks, 4)
+                .unwrap();
+            assert!(
+                out.iter().any(|&(a, b)| gt.are_duplicates(a, b)),
+                "{} lost the duplicate",
+                pruning.name()
+            );
+        }
+    }
+
+    #[test]
+    fn graph_free_runs() {
+        let blocks = fixture();
+        let mut n = 0;
+        run_graph_free(&blocks, 4, 0.5, |_, _| n += 1).unwrap();
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn clean_clean_pipeline_respects_the_split() {
+        // Blocks crossing a split at 3: left {0,1,2}, right {3,4,5}.
+        let blocks = BlockCollection::new(
+            ErKind::CleanClean,
+            6,
+            vec![
+                Block::clean_clean(ids(&[0, 1]), ids(&[3, 4])),
+                Block::clean_clean(ids(&[0]), ids(&[3])),
+                Block::clean_clean(ids(&[2]), ids(&[5])),
+            ],
+        );
+        for scheme in WeightingScheme::ALL {
+            for pruning in PruningScheme::ORIGINAL.into_iter().chain(PruningScheme::ENHANCED) {
+                let out = MetaBlocking::new(scheme, pruning)
+                    .run_collect(&blocks, 3)
+                    .unwrap();
+                assert!(!out.is_empty(), "{} + {}", scheme.name(), pruning.name());
+                for (a, b) in out {
+                    assert!(
+                        (a.idx() < 3) != (b.idx() < 3),
+                        "{} + {}: intra-collection pair {a}-{b}",
+                        scheme.name(),
+                        pruning.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strongest_clean_clean_edge_always_survives() {
+        let blocks = BlockCollection::new(
+            ErKind::CleanClean,
+            6,
+            vec![
+                Block::clean_clean(ids(&[0, 1]), ids(&[3, 4])),
+                Block::clean_clean(ids(&[0]), ids(&[3])),
+                Block::clean_clean(ids(&[0, 2]), ids(&[3, 5])),
+            ],
+        );
+        // (0,3) shares all three blocks: the strongest edge under the
+        // schemes that reward raw co-occurrence. (ECBS/EJS legitimately
+        // discount it to zero — profile 0 sits in every block, so it
+        // carries no discriminating signal under their logarithms.)
+        for scheme in [WeightingScheme::Arcs, WeightingScheme::Cbs, WeightingScheme::Js] {
+            for pruning in PruningScheme::ORIGINAL.into_iter().chain(PruningScheme::ENHANCED) {
+                let out = MetaBlocking::new(scheme, pruning)
+                    .run_collect(&blocks, 3)
+                    .unwrap();
+                assert!(
+                    out.iter().any(|&(a, b)| (a.0, b.0) == (0, 3) || (b.0, a.0) == (0, 3)),
+                    "{} + {} lost the strongest edge",
+                    scheme.name(),
+                    pruning.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Cardinality-based pruning: CEP, CNP and the redefined/reciprocal CNP.
+
+use super::Combine;
+use crate::context::GraphContext;
+use crate::weighting::{self, WeightingImpl};
+use crate::weights::EdgeWeigher;
+use er_model::EntityId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A weighted edge with a total order: by weight, then by ids — which makes
+/// every top-`K` selection deterministic even under weight ties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct WeightedEdge {
+    w: f64,
+    a: u32,
+    b: u32,
+}
+
+impl Eq for WeightedEdge {}
+
+impl Ord for WeightedEdge {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.w
+            .total_cmp(&other.w)
+            .then_with(|| self.a.cmp(&other.a))
+            .then_with(|| self.b.cmp(&other.b))
+    }
+}
+
+impl PartialOrd for WeightedEdge {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The global cardinality threshold of CEP: `K = ⌊Σ_{b∈B} |b| / 2⌋`.
+pub fn cep_threshold(ctx: &GraphContext<'_>) -> usize {
+    (ctx.blocks().total_assignments() / 2) as usize
+}
+
+/// Cardinality Edge Pruning: retains the top-`K` weighted edges of the
+/// entire blocking graph, `K = ⌊Σ|b|/2⌋`.
+///
+/// Deep pruning for efficiency-intensive applications: high precision,
+/// recall bounded by `K`. Retained comparisons are emitted in descending
+/// weight order.
+pub fn cep(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    imp: WeightingImpl,
+    mut sink: impl FnMut(EntityId, EntityId),
+) {
+    let k = cep_threshold(ctx);
+    if k == 0 {
+        return;
+    }
+    // Min-heap of the K best edges seen so far.
+    let mut heap: BinaryHeap<Reverse<WeightedEdge>> = BinaryHeap::with_capacity(k + 1);
+    weighting::for_each_edge(imp, ctx, weigher, |a, b, w| {
+        let edge = WeightedEdge { w, a: a.0, b: b.0 };
+        if heap.len() < k {
+            heap.push(Reverse(edge));
+        } else if heap.peek().is_some_and(|Reverse(min)| *min < edge) {
+            heap.pop();
+            heap.push(Reverse(edge));
+        }
+    });
+    let mut retained: Vec<WeightedEdge> = heap.into_iter().map(|Reverse(e)| e).collect();
+    retained.sort_unstable_by(|x, y| y.cmp(x));
+    for e in retained {
+        sink(EntityId(e.a), EntityId(e.b));
+    }
+}
+
+/// The per-node cardinality threshold of CNP:
+/// `k = max(1, ⌊Σ_{b∈B} |b| / |E|⌋ − 1)` — one less than the average number
+/// of blocks per profile.
+pub fn cnp_threshold(ctx: &GraphContext<'_>) -> usize {
+    let n = ctx.num_entities().max(1) as u64;
+    let bpe = ctx.blocks().total_assignments() / n;
+    (bpe.saturating_sub(1)).max(1) as usize
+}
+
+/// Selects the top-`k` neighbors of one neighborhood, deterministically.
+/// Returns them sorted by neighbor id (for the binary-search membership
+/// tests of the two-phase variants).
+fn top_k_neighbors(pivot: EntityId, ids: &[u32], weights: &[f64], k: usize) -> Vec<u32> {
+    let mut edges: Vec<WeightedEdge> = ids
+        .iter()
+        .zip(weights)
+        .map(|(&j, &w)| WeightedEdge { w, a: pivot.0.min(j), b: pivot.0.max(j) })
+        .collect();
+    edges.sort_unstable_by(|x, y| y.cmp(x));
+    edges.truncate(k);
+    let mut kept: Vec<u32> =
+        edges.iter().map(|e| if e.a == pivot.0 { e.b } else { e.a }).collect();
+    kept.sort_unstable();
+    kept
+}
+
+/// Cardinality Node Pruning, original semantics: for every node, retain the
+/// top-`k` weighted edges of its neighborhood and emit each as a comparison.
+///
+/// An edge retained by both endpoints is emitted twice — the redundancy the
+/// redefined variant eliminates. Robust recall (every node keeps its best
+/// matches) at the cost of roughly double the comparisons of CEP.
+pub fn cnp(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    imp: WeightingImpl,
+    mut sink: impl FnMut(EntityId, EntityId),
+) {
+    let k = cnp_threshold(ctx);
+    weighting::for_each_neighborhood(imp, ctx, weigher, |pivot, ids, weights| {
+        for j in top_k_neighbors(pivot, ids, weights, k) {
+            sink(pivot, EntityId(j));
+        }
+    });
+}
+
+/// Phase 1 shared by [`redefined_cnp`] and [`reciprocal_cnp`]: the sorted
+/// top-`k` neighbor list of every node ("Sorted Stacks" in Algorithm 4).
+fn per_node_top_k(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    imp: WeightingImpl,
+    k: usize,
+) -> Vec<Vec<u32>> {
+    let mut stacks: Vec<Vec<u32>> = vec![Vec::new(); ctx.num_entities()];
+    weighting::for_each_neighborhood(imp, ctx, weigher, |pivot, ids, weights| {
+        stacks[pivot.idx()] = top_k_neighbors(pivot, ids, weights, k);
+    });
+    stacks
+}
+
+fn two_phase_cnp(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    imp: WeightingImpl,
+    combine: Combine,
+    mut sink: impl FnMut(EntityId, EntityId),
+) {
+    let k = cnp_threshold(ctx);
+    let stacks = per_node_top_k(ctx, weigher, imp, k);
+    // Phase 2 (edge-centric): every distinct edge is retained at most once.
+    weighting::for_each_edge(imp, ctx, weigher, |a, b, _w| {
+        let in_a = stacks[a.idx()].binary_search(&b.0).is_ok();
+        let in_b = stacks[b.idx()].binary_search(&a.0).is_ok();
+        let retain = match combine {
+            Combine::Either => in_a || in_b,
+            Combine::Both => in_a && in_b,
+        };
+        if retain {
+            sink(a, b);
+        }
+    });
+}
+
+/// Redefined Cardinality Node Pruning (Algorithm 4): CNP without redundant
+/// comparisons.
+///
+/// Phase 1 computes every node's top-`k` stack; phase 2 iterates the
+/// distinct edges and retains those in the stack of *either* endpoint. Same
+/// recall as [`cnp`], ~18% fewer comparisons on the paper's datasets.
+pub fn redefined_cnp(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    imp: WeightingImpl,
+    sink: impl FnMut(EntityId, EntityId),
+) {
+    two_phase_cnp(ctx, weigher, imp, Combine::Either, sink);
+}
+
+/// Reciprocal Cardinality Node Pruning (§5.2): retains only the edges in the
+/// top-`k` stacks of *both* endpoints — reciprocal links are "strong
+/// indications for profile pairs with high chances of matching".
+///
+/// The paper's best scheme for efficiency-intensive applications: precision
+/// up to an order of magnitude above CNP at a small recall cost.
+pub fn reciprocal_cnp(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    imp: WeightingImpl,
+    sink: impl FnMut(EntityId, EntityId),
+) {
+    two_phase_cnp(ctx, weigher, imp, Combine::Both, sink);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::WeightingScheme;
+    use er_model::{Block, BlockCollection, ErKind};
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    /// Graph: (0,1) share 2 blocks, the rest share 1 each.
+    fn fixture() -> BlockCollection {
+        BlockCollection::new(
+            ErKind::Dirty,
+            4,
+            vec![
+                Block::dirty(ids(&[0, 1])),
+                Block::dirty(ids(&[0, 1, 2])),
+                Block::dirty(ids(&[2, 3])),
+            ],
+        )
+    }
+
+    fn collect(f: impl FnOnce(&mut dyn FnMut(EntityId, EntityId))) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        let mut sink = |a: EntityId, b: EntityId| out.push((a.0, b.0));
+        f(&mut sink);
+        out
+    }
+
+    #[test]
+    fn cep_retains_global_top_k() {
+        let blocks = fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        // Σ|b| = 7 -> K = 3.
+        assert_eq!(cep_threshold(&ctx), 3);
+        let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
+        let got = collect(|s| cep(&ctx, &weigher, WeightingImpl::Optimized, s));
+        assert_eq!(got.len(), 3);
+        // (0,1) has CBS 2, the strongest edge, and comes first.
+        assert_eq!(got[0], (0, 1));
+    }
+
+    #[test]
+    fn cep_emits_nothing_on_empty_graph() {
+        let blocks = BlockCollection::new(ErKind::Dirty, 2, vec![]);
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
+        let got = collect(|s| cep(&ctx, &weigher, WeightingImpl::Optimized, s));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn cnp_emits_directed_duplicates() {
+        let blocks = fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        // Σ|b|/|E| = 7/4 = 1 -> k = max(1, 0) = 1.
+        assert_eq!(cnp_threshold(&ctx), 1);
+        let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
+        let got = collect(|s| cnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+        // Every node keeps its best edge: 0->1, 1->0, 2->3 (CBS ties (2,0)
+        // vs (2,3) broken towards smaller pair ids -> (0,2)), 3->2.
+        assert_eq!(got.len(), 4);
+        // Both directions of the strongest pair are present -> redundancy.
+        assert!(got.contains(&(0, 1)) && got.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn redefined_cnp_same_pairs_no_duplicates() {
+        let blocks = fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
+        let original = collect(|s| cnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+        let redefined = collect(|s| redefined_cnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+        // Canonicalize the original's directed output.
+        let mut orig_pairs: Vec<(u32, u32)> =
+            original.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        orig_pairs.sort_unstable();
+        orig_pairs.dedup();
+        let mut redef = redefined;
+        redef.sort_unstable();
+        assert_eq!(orig_pairs, redef);
+        // No pair occurs twice.
+        let mut dedup = redef.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), redef.len());
+    }
+
+    #[test]
+    fn reciprocal_cnp_is_subset_of_redefined() {
+        let blocks = fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
+        let redefined = collect(|s| redefined_cnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+        let reciprocal = collect(|s| reciprocal_cnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+        assert!(reciprocal.len() <= redefined.len());
+        for p in &reciprocal {
+            assert!(redefined.contains(p));
+        }
+        // (0,1) is in both endpoints' top-1 -> survives reciprocal pruning.
+        assert!(reciprocal.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn top_k_selection_is_deterministic_under_ties() {
+        let ids_ = [5u32, 3, 9];
+        let ws = [1.0, 1.0, 1.0];
+        let a = top_k_neighbors(EntityId(1), &ids_, &ws, 2);
+        let b = top_k_neighbors(EntityId(1), &ids_, &ws, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        // Ties break towards larger pair ids first (total order), so the
+        // selection is stable regardless of input order.
+        let shuffled = top_k_neighbors(EntityId(1), &[9, 5, 3], &[1.0, 1.0, 1.0], 2);
+        assert_eq!(a, shuffled);
+    }
+}

@@ -1,0 +1,40 @@
+//! Pruning algorithms: which edges of the weighted blocking graph survive.
+//!
+//! Terminology (§3): a *pruning scheme* couples an algorithm (edge- or
+//! node-centric) with a criterion (weight or cardinality threshold). The
+//! four original schemes come from the TKDE'14 meta-blocking framework:
+//!
+//! | scheme | algorithm | criterion |
+//! |--------|-----------|-----------|
+//! | [`cep`] | edge-centric | global top-`K`, `K = ⌊Σ|b|/2⌋` |
+//! | [`cnp`] | node-centric | per-node top-`k`, `k = ⌊Σ|b|/|E|⌋ − 1` |
+//! | [`wep`] | edge-centric | global mean weight |
+//! | [`wnp`] | node-centric | per-neighborhood mean weight |
+//!
+//! The original node-centric schemes emit *directed* retained edges — an
+//! edge kept by both endpoints yields two comparisons. The paper's §5
+//! contributions fix exactly that:
+//!
+//! * [`redefined_cnp`] / [`redefined_wnp`] (Algorithms 4/5): retain each
+//!   edge at most once, if it satisfies *either* endpoint's criterion;
+//! * [`reciprocal_cnp`] / [`reciprocal_wnp`]: retain only edges satisfying
+//!   *both* endpoints' criteria (reciprocal links).
+//!
+//! All functions stream retained comparisons to a sink; nothing is
+//! materialized beyond the per-node criteria.
+
+mod cardinality;
+mod weight_based;
+
+pub use cardinality::{cep, cep_threshold, cnp, cnp_threshold, redefined_cnp, reciprocal_cnp};
+pub use weight_based::{redefined_wnp, reciprocal_wnp, wep, wnp};
+
+/// How a two-phase node-centric scheme combines its endpoints' criteria
+/// (Algorithms 4/5 use `Either`; the reciprocal variants use `Both`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Combine {
+    /// Retain if the criterion holds for at least one endpoint (OR).
+    Either,
+    /// Retain only if the criterion holds for both endpoints (AND).
+    Both,
+}

@@ -1,0 +1,257 @@
+//! Weight-based pruning: WEP, WNP and the redefined/reciprocal WNP.
+
+use super::Combine;
+use crate::context::GraphContext;
+use crate::weighting::{self, WeightingImpl};
+use crate::weights::EdgeWeigher;
+use er_model::EntityId;
+
+/// Whether a weight reaches a pruning threshold, with a one-sided relative
+/// tolerance: a graph whose edges all carry the *same* weight must retain
+/// them all, but sequential summation can round the mean one ulp above the
+/// common value and would otherwise prune every edge. Weights are
+/// non-negative for all five schemes, so a relative epsilon is safe.
+#[inline]
+fn reaches(w: f64, threshold: f64) -> bool {
+    w >= threshold - threshold * 1e-9
+}
+
+/// Weighted Edge Pruning: retains every edge whose weight reaches the mean
+/// edge weight of the entire blocking graph.
+///
+/// Shallow pruning for effectiveness-intensive applications: recall stays
+/// above 0.95 on all the paper's datasets. Two edge sweeps: one to compute
+/// the mean, one to emit.
+pub fn wep(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    imp: WeightingImpl,
+    mut sink: impl FnMut(EntityId, EntityId),
+) {
+    let mut sum = 0.0f64;
+    let mut count = 0u64;
+    weighting::for_each_edge(imp, ctx, weigher, |_a, _b, w| {
+        sum += w;
+        count += 1;
+    });
+    if count == 0 {
+        return;
+    }
+    let mean = sum / count as f64;
+    weighting::for_each_edge(imp, ctx, weigher, |a, b, w| {
+        if reaches(w, mean) {
+            sink(a, b);
+        }
+    });
+}
+
+/// The mean weight of one node neighborhood — WNP's local threshold.
+fn neighborhood_mean(weights: &[f64]) -> f64 {
+    weights.iter().sum::<f64>() / weights.len() as f64
+}
+
+/// Weighted Node Pruning, original semantics: for every node, retain the
+/// incident edges whose weight reaches the neighborhood's mean weight, and
+/// emit each retained directed edge as a comparison.
+///
+/// An edge above the mean in both neighborhoods is emitted twice — the
+/// redundancy [`redefined_wnp`] eliminates.
+pub fn wnp(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    imp: WeightingImpl,
+    mut sink: impl FnMut(EntityId, EntityId),
+) {
+    weighting::for_each_neighborhood(imp, ctx, weigher, |pivot, ids, weights| {
+        let mean = neighborhood_mean(weights);
+        for (&j, &w) in ids.iter().zip(weights) {
+            if reaches(w, mean) {
+                sink(pivot, EntityId(j));
+            }
+        }
+    });
+}
+
+/// Phase 1 shared by [`redefined_wnp`] and [`reciprocal_wnp`]: every node's
+/// local weight threshold (Algorithm 5, lines 2–4).
+///
+/// Nodes with no neighborhood get `+∞` so they can never retain an edge —
+/// they have none to retain.
+fn per_node_thresholds(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    imp: WeightingImpl,
+) -> Vec<f64> {
+    let mut thresholds = vec![f64::INFINITY; ctx.num_entities()];
+    weighting::for_each_neighborhood(imp, ctx, weigher, |pivot, _ids, weights| {
+        thresholds[pivot.idx()] = neighborhood_mean(weights);
+    });
+    thresholds
+}
+
+fn two_phase_wnp(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    imp: WeightingImpl,
+    combine: Combine,
+    mut sink: impl FnMut(EntityId, EntityId),
+) {
+    let thresholds = per_node_thresholds(ctx, weigher, imp);
+    weighting::for_each_edge(imp, ctx, weigher, |a, b, w| {
+        let over_a = reaches(w, thresholds[a.idx()]);
+        let over_b = reaches(w, thresholds[b.idx()]);
+        let retain = match combine {
+            Combine::Either => over_a || over_b,
+            Combine::Both => over_a && over_b,
+        };
+        if retain {
+            sink(a, b);
+        }
+    });
+}
+
+/// Redefined Weighted Node Pruning (Algorithm 5): WNP without redundant
+/// comparisons — an edge is retained at most once, if it reaches the local
+/// threshold of *either* endpoint.
+pub fn redefined_wnp(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    imp: WeightingImpl,
+    sink: impl FnMut(EntityId, EntityId),
+) {
+    two_phase_wnp(ctx, weigher, imp, Combine::Either, sink);
+}
+
+/// Reciprocal Weighted Node Pruning (§5.2): retains only the edges that
+/// reach the local thresholds of *both* endpoints.
+///
+/// The paper's best scheme for effectiveness-intensive applications:
+/// precision ~3.9× that of WNP with recall still above 0.95 in most
+/// configurations.
+pub fn reciprocal_wnp(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    imp: WeightingImpl,
+    sink: impl FnMut(EntityId, EntityId),
+) {
+    two_phase_wnp(ctx, weigher, imp, Combine::Both, sink);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::WeightingScheme;
+    use er_model::{Block, BlockCollection, ErKind};
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    /// (0,1) strong (2 shared blocks), (1,2) & (2,3) weak (1 each).
+    fn fixture() -> BlockCollection {
+        BlockCollection::new(
+            ErKind::Dirty,
+            4,
+            vec![
+                Block::dirty(ids(&[0, 1])),
+                Block::dirty(ids(&[0, 1, 2])),
+                Block::dirty(ids(&[2, 3])),
+            ],
+        )
+    }
+
+    fn collect(f: impl FnOnce(&mut dyn FnMut(EntityId, EntityId))) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        let mut sink = |a: EntityId, b: EntityId| out.push((a.0, b.0));
+        f(&mut sink);
+        out
+    }
+
+    #[test]
+    fn wep_retains_edges_at_or_above_mean() {
+        let blocks = fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
+        // Edges: (0,1)=2, (0,2)=1, (1,2)=1, (2,3)=1 -> mean 1.25.
+        let got = collect(|s| wep(&ctx, &weigher, WeightingImpl::Optimized, s));
+        assert_eq!(got, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn wep_on_empty_graph() {
+        let blocks = BlockCollection::new(ErKind::Dirty, 3, vec![]);
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(WeightingScheme::Js, &ctx);
+        assert!(collect(|s| wep(&ctx, &weigher, WeightingImpl::Optimized, s)).is_empty());
+    }
+
+    #[test]
+    fn wep_uniform_weights_keep_everything() {
+        // All weights equal -> every edge reaches the mean.
+        let blocks = BlockCollection::new(
+            ErKind::Dirty,
+            4,
+            vec![Block::dirty(ids(&[0, 1])), Block::dirty(ids(&[2, 3]))],
+        );
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
+        let got = collect(|s| wep(&ctx, &weigher, WeightingImpl::Optimized, s));
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn wnp_emits_directed_edges() {
+        let blocks = fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
+        let got = collect(|s| wnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+        // Node 0: weights {1:2, 2:1}, mean 1.5 -> keeps 1. Node 1: same ->
+        // keeps 0. Node 2: {0:1,1:1,3:1}, mean 1 -> keeps all three. Node 3:
+        // {2:1} -> keeps 2.
+        assert_eq!(got.len(), 2 + 3 + 1);
+        assert!(got.contains(&(0, 1)) && got.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn redefined_wnp_dedupes_and_preserves_pairs() {
+        let blocks = fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
+        let original = collect(|s| wnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+        let redefined = collect(|s| redefined_wnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+        let mut orig: Vec<(u32, u32)> =
+            original.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        orig.sort_unstable();
+        orig.dedup();
+        let mut redef = redefined;
+        redef.sort_unstable();
+        assert_eq!(orig, redef);
+    }
+
+    #[test]
+    fn reciprocal_wnp_requires_both_thresholds() {
+        let blocks = fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
+        let got = collect(|s| reciprocal_wnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+        // (0,1): above both means. (2,3): above 3's mean (1) and equal to
+        // 2's mean (1) -> retained. (0,2)/(1,2): below 0/1's mean 1.5.
+        let mut got = got;
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn reciprocal_subset_of_redefined() {
+        let blocks = fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        for scheme in WeightingScheme::ALL {
+            let weigher = EdgeWeigher::new(scheme, &ctx);
+            let redefined = collect(|s| redefined_wnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+            let reciprocal = collect(|s| reciprocal_wnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+            for p in &reciprocal {
+                assert!(redefined.contains(p), "{}: {p:?}", scheme.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The ScanCount neighborhood scanner — the core of Optimized Edge Weighting
+//! (Algorithm 3).
+//!
+//! For a profile `p_i`, the scanner walks the members of every block in
+//! `B_i` and accumulates, per co-occurring profile `p_j`, either the number
+//! of shared blocks (`commonBlocks[j]` in the paper's pseudo-code) or — for
+//! the ARCS scheme — the sum `Σ 1/‖b‖` over the shared blocks. An epoch
+//! array (`flags` in the paper) avoids clearing the accumulators between
+//! nodes, which would cost `O(|E|)` per node.
+
+use crate::context::GraphContext;
+use er_model::{EntityId, ErKind};
+
+/// What the scanner accumulates per co-occurring profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accumulate {
+    /// `|B_ij|` — the number of shared blocks (CBS/ECBS/JS/EJS).
+    CommonBlocks,
+    /// `Σ_{b ∈ B_ij} 1/‖b‖` — the ARCS numerator.
+    ReciprocalCardinalities,
+}
+
+/// Which co-occurring profiles a scan should report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanScope {
+    /// Every comparable neighbor — used by node-centric traversals.
+    All,
+    /// Only neighbors with a larger entity id — used by edge-centric
+    /// traversals over Dirty ER so each edge is visited exactly once.
+    GreaterOnly,
+}
+
+/// Reusable scan state: `O(|E|)` once, `O(1)` amortized per scanned edge.
+#[derive(Debug)]
+pub struct NeighborhoodScanner {
+    /// Epoch markers: `flags[j] == tick` means `score[j]` is current.
+    flags: Vec<u32>,
+    score: Vec<f64>,
+    neighbors: Vec<u32>,
+    tick: u32,
+}
+
+impl NeighborhoodScanner {
+    /// Creates a scanner for graphs over `num_entities` profiles.
+    pub fn new(num_entities: usize) -> Self {
+        NeighborhoodScanner {
+            flags: vec![0; num_entities],
+            score: vec![0.0; num_entities],
+            neighbors: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    /// Scans the neighborhood of `pivot` and returns the co-occurring
+    /// profiles with their accumulated scores.
+    ///
+    /// The returned slices are valid until the next call. Neighbor order is
+    /// first-co-occurrence order and therefore deterministic.
+    pub fn scan(
+        &mut self,
+        ctx: &GraphContext<'_>,
+        pivot: EntityId,
+        accumulate: Accumulate,
+        scope: ScanScope,
+    ) -> Neighborhood<'_> {
+        self.tick = self.tick.wrapping_add(1);
+        if self.tick == 0 {
+            // Extremely unlikely wrap-around: reset markers to stay sound.
+            self.flags.fill(0);
+            self.tick = 1;
+        }
+        self.neighbors.clear();
+
+        let dirty = ctx.kind() == ErKind::Dirty;
+        let pivot_first = ctx.is_first(pivot);
+        for &k in ctx.index().block_list(pivot) {
+            let block = &ctx.blocks().blocks()[k as usize];
+            let increment = match accumulate {
+                Accumulate::CommonBlocks => 1.0,
+                Accumulate::ReciprocalCardinalities => 1.0 / ctx.cardinality_of(k as usize),
+            };
+            // For Clean-Clean ER only the opposite side co-occurs; for Dirty
+            // ER all block members do (blocks store them in `left`).
+            let members = if dirty || !pivot_first { block.left() } else { block.right() };
+            for &j in members {
+                if j == pivot {
+                    continue;
+                }
+                if scope == ScanScope::GreaterOnly && j < pivot {
+                    continue;
+                }
+                let idx = j.idx();
+                if self.flags[idx] != self.tick {
+                    self.flags[idx] = self.tick;
+                    self.score[idx] = 0.0;
+                    self.neighbors.push(j.0);
+                }
+                self.score[idx] += increment;
+            }
+        }
+        Neighborhood { ids: &self.neighbors, score: &self.score }
+    }
+}
+
+/// The result of one scan: neighbor ids plus an indexed score array.
+#[derive(Debug)]
+pub struct Neighborhood<'a> {
+    /// Co-occurring profile ids, in first-co-occurrence order.
+    pub ids: &'a [u32],
+    score: &'a [f64],
+}
+
+impl Neighborhood<'_> {
+    /// The accumulated score of neighbor `j`.
+    ///
+    /// Only meaningful for ids in [`Neighborhood::ids`].
+    #[inline]
+    pub fn score_of(&self, j: u32) -> f64 {
+        self.score[j as usize]
+    }
+
+    /// Number of distinct neighbors — the node degree `|v_i|`.
+    pub fn degree(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Iterator over `(neighbor, score)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (EntityId, f64)> + '_ {
+        self.ids.iter().map(move |&j| (EntityId(j), self.score[j as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_model::{Block, BlockCollection};
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    fn dirty_fixture() -> BlockCollection {
+        // b0 = {0,1,2} (card 3), b1 = {0,1} (card 1), b2 = {1,3} (card 1).
+        BlockCollection::new(
+            ErKind::Dirty,
+            4,
+            vec![
+                Block::dirty(ids(&[0, 1, 2])),
+                Block::dirty(ids(&[0, 1])),
+                Block::dirty(ids(&[1, 3])),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_common_blocks() {
+        let blocks = dirty_fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        let mut sc = NeighborhoodScanner::new(4);
+        let n = sc.scan(&ctx, EntityId(1), Accumulate::CommonBlocks, ScanScope::All);
+        assert_eq!(n.degree(), 3);
+        assert_eq!(n.score_of(0), 2.0);
+        assert_eq!(n.score_of(2), 1.0);
+        assert_eq!(n.score_of(3), 1.0);
+    }
+
+    #[test]
+    fn accumulates_reciprocal_cardinalities() {
+        let blocks = dirty_fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        let mut sc = NeighborhoodScanner::new(4);
+        let n = sc.scan(&ctx, EntityId(0), Accumulate::ReciprocalCardinalities, ScanScope::All);
+        // Neighbor 1 shares b0 (card 3) and b1 (card 1): 1/3 + 1 = 4/3.
+        assert!((n.score_of(1) - (1.0 / 3.0 + 1.0)).abs() < 1e-12);
+        // Neighbor 2 shares only b0.
+        assert!((n.score_of(2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greater_only_scope_halves_the_edges() {
+        let blocks = dirty_fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        let mut sc = NeighborhoodScanner::new(4);
+        let mut total = 0usize;
+        for i in 0..4u32 {
+            total += sc
+                .scan(&ctx, EntityId(i), Accumulate::CommonBlocks, ScanScope::GreaterOnly)
+                .degree();
+        }
+        // Distinct edges: (0,1),(0,2),(1,2),(1,3) = 4.
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn state_is_reset_between_scans() {
+        let blocks = dirty_fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        let mut sc = NeighborhoodScanner::new(4);
+        let first = sc.scan(&ctx, EntityId(1), Accumulate::CommonBlocks, ScanScope::All);
+        assert_eq!(first.score_of(0), 2.0);
+        let second = sc.scan(&ctx, EntityId(2), Accumulate::CommonBlocks, ScanScope::All);
+        // From node 2's perspective node 0 shares exactly one block; a stale
+        // accumulator would report 3.
+        assert_eq!(second.score_of(0), 1.0);
+        assert_eq!(second.degree(), 2);
+    }
+
+    #[test]
+    fn clean_clean_scans_only_cross_side() {
+        let blocks = BlockCollection::new(
+            ErKind::CleanClean,
+            5,
+            vec![
+                Block::clean_clean(ids(&[0, 1]), ids(&[3, 4])),
+                Block::clean_clean(ids(&[0]), ids(&[3])),
+            ],
+        );
+        let ctx = GraphContext::new(&blocks, 3);
+        let mut sc = NeighborhoodScanner::new(5);
+        // Left pivot sees only right members.
+        let n = sc.scan(&ctx, EntityId(0), Accumulate::CommonBlocks, ScanScope::All);
+        assert_eq!(n.degree(), 2);
+        assert_eq!(n.score_of(3), 2.0);
+        assert_eq!(n.score_of(4), 1.0);
+        // Right pivot sees only left members.
+        let n = sc.scan(&ctx, EntityId(4), Accumulate::CommonBlocks, ScanScope::All);
+        assert_eq!(n.degree(), 2);
+        assert_eq!(n.score_of(0), 1.0);
+        assert_eq!(n.score_of(1), 1.0);
+    }
+
+    #[test]
+    fn isolated_node_has_empty_neighborhood() {
+        let blocks = dirty_fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        let mut sc = NeighborhoodScanner::new(4);
+        // Entity 3 is only in b2 with entity 1.
+        let n = sc.scan(&ctx, EntityId(3), Accumulate::CommonBlocks, ScanScope::All);
+        assert_eq!(n.degree(), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Dataset-generation configuration.
+
+/// Noise applied when deriving one side's profile from its underlying
+/// real-world object.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseConfig {
+    /// Probability that each object token is omitted from the profile.
+    /// Also the lever that makes one side's profiles terse (DBLP) and the
+    /// other's verbose (Scholar).
+    pub token_drop: f64,
+    /// Probability that a kept token is corrupted by a character-level typo.
+    pub token_typo: f64,
+    /// Expected number of spurious vocabulary tokens appended to the
+    /// profile (crawl noise, boilerplate).
+    pub extra_tokens: f64,
+}
+
+impl NoiseConfig {
+    /// No distortion at all — duplicates become verbatim copies.
+    pub const NONE: NoiseConfig =
+        NoiseConfig { token_drop: 0.0, token_typo: 0.0, extra_tokens: 0.0 };
+
+    /// Validates the probability fields.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [("token_drop", self.token_drop), ("token_typo", self.token_typo)] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be a probability, got {v}"));
+            }
+        }
+        if self.extra_tokens < 0.0 {
+            return Err(format!("extra_tokens must be non-negative, got {}", self.extra_tokens));
+        }
+        Ok(())
+    }
+}
+
+/// Shape of one collection (one "side" of a Clean-Clean task).
+#[derive(Debug, Clone, Copy)]
+pub struct SideConfig {
+    /// Number of profiles, `|E₁|` or `|E₂|`. Must be at least
+    /// [`DatasetConfig::matched_pairs`].
+    pub size: usize,
+    /// Mean number of name–value pairs per profile (`|p̄|` of Table 2).
+    pub attributes: usize,
+    /// Number of distinct attribute names this side draws from (`|N|` of
+    /// Table 2). Tens of thousands model the Wikipedia-infobox schema
+    /// explosion.
+    pub attr_name_pool: usize,
+    /// Per-side value noise.
+    pub noise: NoiseConfig,
+}
+
+/// Shape of the underlying real-world objects shared by duplicate profiles.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectConfig {
+    /// Vocabulary size the object tokens are drawn from.
+    pub vocab_size: usize,
+    /// Zipf exponent of the token distribution (≈1.0 for natural text).
+    pub zipf_exponent: f64,
+    /// Mean number of tokens per object (before per-side noise).
+    pub tokens_mean: usize,
+}
+
+/// Full configuration of a synthetic Clean-Clean benchmark.
+///
+/// The derived Dirty benchmark is obtained with
+/// [`crate::GeneratedDataset::into_dirty`], exactly as the paper merges
+/// DxC into DxD.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetConfig {
+    /// RNG seed; every byte of the dataset is a function of it.
+    pub seed: u64,
+    /// Number of duplicate pairs, `|D(E)|`.
+    pub matched_pairs: usize,
+    /// First collection.
+    pub side1: SideConfig,
+    /// Second collection.
+    pub side2: SideConfig,
+    /// Underlying-object model.
+    pub object: ObjectConfig,
+}
+
+impl DatasetConfig {
+    /// Validates structural constraints before generation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.matched_pairs > self.side1.size || self.matched_pairs > self.side2.size {
+            return Err(format!(
+                "matched_pairs ({}) exceeds a side size ({}, {})",
+                self.matched_pairs, self.side1.size, self.side2.size
+            ));
+        }
+        for (label, side) in [("side1", &self.side1), ("side2", &self.side2)] {
+            if side.attributes == 0 {
+                return Err(format!("{label}.attributes must be positive"));
+            }
+            if side.attr_name_pool == 0 {
+                return Err(format!("{label}.attr_name_pool must be positive"));
+            }
+            side.noise.validate().map_err(|e| format!("{label}: {e}"))?;
+        }
+        if self.object.vocab_size == 0 {
+            return Err("object.vocab_size must be positive".into());
+        }
+        if self.object.tokens_mean == 0 {
+            return Err("object.tokens_mean must be positive".into());
+        }
+        if !(self.object.zipf_exponent.is_finite() && self.object.zipf_exponent >= 0.0) {
+            return Err("object.zipf_exponent must be finite and non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid() -> DatasetConfig {
+        DatasetConfig {
+            seed: 1,
+            matched_pairs: 10,
+            side1: SideConfig {
+                size: 20,
+                attributes: 3,
+                attr_name_pool: 3,
+                noise: NoiseConfig::NONE,
+            },
+            side2: SideConfig {
+                size: 30,
+                attributes: 4,
+                attr_name_pool: 8,
+                noise: NoiseConfig { token_drop: 0.1, token_typo: 0.05, extra_tokens: 0.5 },
+            },
+            object: ObjectConfig { vocab_size: 1000, zipf_exponent: 1.0, tokens_mean: 8 },
+        }
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        assert!(valid().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_excess_matched_pairs() {
+        let mut c = valid();
+        c.matched_pairs = 25;
+        assert!(c.validate().unwrap_err().contains("matched_pairs"));
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        let mut c = valid();
+        c.side2.noise.token_drop = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = valid();
+        c.side1.noise.extra_tokens = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_shapes() {
+        let mut c = valid();
+        c.side1.attributes = 0;
+        assert!(c.validate().is_err());
+        let mut c = valid();
+        c.object.vocab_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = valid();
+        c.object.zipf_exponent = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # er-datagen — synthetic heterogeneous ER benchmarks
+//!
+//! The paper evaluates on three real-world Clean-Clean datasets
+//! (DBLP–Google Scholar, IMDB–DBpedia, Wikipedia infobox snapshots) and
+//! their Dirty derivatives. Those corpora are not redistributable, so this
+//! crate generates synthetic stand-ins that reproduce the *structural*
+//! properties meta-blocking is sensitive to:
+//!
+//! * **Zipfian token frequencies** — a few tokens are shared by thousands of
+//!   profiles (the oversized blocks Block Purging removes; the noisy edges
+//!   Block Filtering prunes) while most tokens are rare (the small,
+//!   discriminative blocks that carry the duplicate signal);
+//! * **schema heterogeneity** — the two sides use disjoint attribute-name
+//!   pools, optionally with tens of thousands of names (the Wikipedia
+//!   preset), so only schema-agnostic methods work;
+//! * **noisy duplicates** — a matching pair shares the token bag of one
+//!   underlying real-world object, distorted per side by token drops, typos
+//!   and spurious additions; recall of Token Blocking stays near-perfect
+//!   while precision stays far below 0.01, as in Table 1(a);
+//! * **asymmetric sides** — profile counts and profile sizes per collection
+//!   can differ wildly (DBLP profiles are terse, Scholar profiles verbose).
+//!
+//! Every dataset is a deterministic function of its seed. See
+//! [`presets`] for the six paper-equivalent configurations and
+//! [`DatasetConfig`] for custom workloads.
+
+#![warn(missing_docs)]
+
+mod config;
+mod generator;
+pub mod presets;
+pub mod words;
+pub mod zipf;
+
+pub use config::{DatasetConfig, NoiseConfig, ObjectConfig, SideConfig};
+pub use generator::{generate, GeneratedDataset};

@@ -1,0 +1,133 @@
+//! Deterministic pseudo-word generation.
+//!
+//! Token *strings* matter to the tokenizer and to q-gram/suffix blocking, so
+//! synthetic tokens are pronounceable syllable words rather than `tok123`:
+//! distinct ids map to distinct words, words of nearby ids share no special
+//! structure, and a typo on a word yields a string that is almost surely not
+//! another vocabulary word (exactly how a real typo behaves under Token
+//! Blocking).
+
+use rand::Rng;
+
+const CONSONANTS: [char; 14] = ['b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'p', 'r', 's', 't', 'v', 'z'];
+const VOWELS: [char; 5] = ['a', 'e', 'i', 'o', 'u'];
+const SYLLABLES: usize = CONSONANTS.len() * VOWELS.len(); // 70
+
+/// The unique pseudo-word for id `i`: base-70 syllable expansion, minimum
+/// two syllables (so every word survives tokenization and q-gram extraction).
+///
+/// ```
+/// assert_eq!(er_datagen::words::word(0), "baba");
+/// assert_ne!(er_datagen::words::word(1), er_datagen::words::word(70));
+/// ```
+pub fn word(i: u64) -> String {
+    let mut syllables = Vec::new();
+    let mut v = i;
+    loop {
+        syllables.push((v % SYLLABLES as u64) as usize);
+        v /= SYLLABLES as u64;
+        if v == 0 {
+            break;
+        }
+    }
+    while syllables.len() < 2 {
+        syllables.push(0);
+    }
+    let mut out = String::with_capacity(syllables.len() * 2);
+    for &s in syllables.iter().rev() {
+        out.push(CONSONANTS[s / VOWELS.len()]);
+        out.push(VOWELS[s % VOWELS.len()]);
+    }
+    out
+}
+
+/// Applies one random character-level edit (substitution, deletion or
+/// duplication) to a word — the typo model of the noise pipeline.
+pub fn typo(w: &str, rng: &mut impl Rng) -> String {
+    let chars: Vec<char> = w.chars().collect();
+    if chars.is_empty() {
+        return String::from("x");
+    }
+    let pos = rng.gen_range(0..chars.len());
+    let mut out = String::with_capacity(w.len() + 1);
+    match rng.gen_range(0..3u8) {
+        0 => {
+            // Substitute with a random letter.
+            for (i, &c) in chars.iter().enumerate() {
+                if i == pos {
+                    out.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())]);
+                } else {
+                    out.push(c);
+                }
+            }
+        }
+        1 if chars.len() > 1 => {
+            // Delete.
+            for (i, &c) in chars.iter().enumerate() {
+                if i != pos {
+                    out.push(c);
+                }
+            }
+        }
+        _ => {
+            // Duplicate.
+            for (i, &c) in chars.iter().enumerate() {
+                out.push(c);
+                if i == pos {
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_unique_and_lowercase() {
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            let w = word(i);
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+            assert!(w.len() >= 4);
+            assert!(seen.insert(w), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn words_survive_tokenization_unchanged() {
+        for i in [0u64, 1, 69, 70, 4900, 343_000] {
+            let w = word(i);
+            let toks: Vec<String> = er_model::tokenize::tokens(&w).collect();
+            assert_eq!(toks, std::slice::from_ref(&w));
+        }
+    }
+
+    #[test]
+    fn typo_changes_the_word() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut changed = 0;
+        for i in 0..100u64 {
+            let w = word(i);
+            let t = typo(&w, &mut rng);
+            if t != w {
+                changed += 1;
+            }
+            assert!(!t.is_empty());
+        }
+        // Substitution can pick the same letter, but rarely.
+        assert!(changed > 90);
+    }
+
+    #[test]
+    fn typo_on_empty_is_safe() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        assert_eq!(typo("", &mut rng), "x");
+    }
+}

@@ -1,0 +1,331 @@
+//! Blocks and block collections.
+
+use crate::collection::ErKind;
+use crate::ids::EntityId;
+
+/// A single block: a set of entity profiles deemed similar enough to be
+/// compared with one another.
+///
+/// For Dirty ER all profiles live in `left` and the block entails all
+/// `|b|·(|b|−1)/2` intra-block pairs. For Clean-Clean ER, `left` holds the
+/// E₁ profiles and `right` the E₂ profiles; only the `|left|·|right|`
+/// cross-collection pairs are comparisons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    left: Vec<EntityId>,
+    right: Vec<EntityId>,
+}
+
+impl Block {
+    /// Creates a Dirty ER block.
+    pub fn dirty(entities: Vec<EntityId>) -> Self {
+        Block { left: entities, right: Vec::new() }
+    }
+
+    /// Creates a Clean-Clean ER block from the E₁ and E₂ members.
+    pub fn clean_clean(left: Vec<EntityId>, right: Vec<EntityId>) -> Self {
+        Block { left, right }
+    }
+
+    /// E₁ members (all members for Dirty ER).
+    pub fn left(&self) -> &[EntityId] {
+        &self.left
+    }
+
+    /// E₂ members (empty for Dirty ER).
+    pub fn right(&self) -> &[EntityId] {
+        &self.right
+    }
+
+    /// Block size `|b|`: the number of profiles it contains.
+    pub fn size(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// Block cardinality `‖b‖`: the number of comparisons it entails.
+    pub fn cardinality(&self) -> u64 {
+        if self.right.is_empty() {
+            let n = self.left.len() as u64;
+            n * n.saturating_sub(1) / 2
+        } else {
+            self.left.len() as u64 * self.right.len() as u64
+        }
+    }
+
+    /// Whether the block entails at least one comparison.
+    pub fn has_comparisons(&self) -> bool {
+        if self.right.is_empty() {
+            self.left.len() > 1
+        } else {
+            !self.left.is_empty()
+        }
+    }
+
+    /// Iterator over every profile in the block.
+    pub fn entities(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.left.iter().chain(self.right.iter()).copied()
+    }
+
+    /// Invokes `f` for every comparison the block entails.
+    ///
+    /// Pairs are emitted with the lower id first for Dirty ER and as
+    /// (E₁ member, E₂ member) for Clean-Clean ER.
+    pub fn for_each_comparison(&self, mut f: impl FnMut(EntityId, EntityId)) {
+        if self.right.is_empty() {
+            for (i, &a) in self.left.iter().enumerate() {
+                for &b in &self.left[i + 1..] {
+                    if a < b {
+                        f(a, b);
+                    } else {
+                        f(b, a);
+                    }
+                }
+            }
+        } else {
+            for &a in &self.left {
+                for &b in &self.right {
+                    f(a, b);
+                }
+            }
+        }
+    }
+
+    /// Removes the given entity from the block, preserving order.
+    /// Returns whether it was present.
+    pub fn remove(&mut self, id: EntityId) -> bool {
+        if let Some(pos) = self.left.iter().position(|&e| e == id) {
+            self.left.remove(pos);
+            return true;
+        }
+        if let Some(pos) = self.right.iter().position(|&e| e == id) {
+            self.right.remove(pos);
+            return true;
+        }
+        false
+    }
+}
+
+/// A set of blocks produced by a blocking method, together with the context
+/// needed to interpret it (task kind and input-collection size).
+#[derive(Debug, Clone)]
+pub struct BlockCollection {
+    kind: ErKind,
+    /// `|E|` of the input entity collection (not just the profiles that
+    /// survived blocking) — the denominator of BPE.
+    num_entities: usize,
+    blocks: Vec<Block>,
+}
+
+impl BlockCollection {
+    /// Creates a block collection.
+    pub fn new(kind: ErKind, num_entities: usize, blocks: Vec<Block>) -> Self {
+        BlockCollection { kind, num_entities, blocks }
+    }
+
+    /// The ER task this collection belongs to.
+    pub fn kind(&self) -> ErKind {
+        self.kind
+    }
+
+    /// `|E|`: the size of the input entity collection.
+    pub fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    /// `|B|`: the number of blocks.
+    pub fn size(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the collection holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The blocks, in processing order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Mutable access to the blocks (used by restructuring methods).
+    pub fn blocks_mut(&mut self) -> &mut Vec<Block> {
+        &mut self.blocks
+    }
+
+    /// `‖B‖`: the total number of comparisons, `Σ_b ‖b‖`.
+    pub fn total_comparisons(&self) -> u64 {
+        self.blocks.iter().map(Block::cardinality).sum()
+    }
+
+    /// `Σ_b |b|`: the total number of block assignments.
+    pub fn total_assignments(&self) -> u64 {
+        self.blocks.iter().map(|b| b.size() as u64).sum()
+    }
+
+    /// BPE(B) = `Σ_b |b| / |E|`: the average number of blocks per profile
+    /// (§4.3 of the paper).
+    pub fn blocks_per_entity(&self) -> f64 {
+        if self.num_entities == 0 {
+            return 0.0;
+        }
+        self.total_assignments() as f64 / self.num_entities as f64
+    }
+
+    /// Sorts blocks in ascending cardinality — the processing order used by
+    /// Block Filtering and Iterative Blocking ("the less comparisons a block
+    /// contains, the more important it is"). Ties keep their relative order
+    /// so the result is deterministic.
+    pub fn sort_by_cardinality_ascending(&mut self) {
+        self.blocks.sort_by_key(Block::cardinality);
+    }
+
+    /// Invokes `f` for every comparison of every block, including redundant
+    /// repetitions across blocks.
+    pub fn for_each_comparison(&self, mut f: impl FnMut(EntityId, EntityId)) {
+        for b in &self.blocks {
+            b.for_each_comparison(&mut f);
+        }
+    }
+
+    /// Counts the profiles that appear in at least one block — `|V_B|`,
+    /// the order of the blocking graph.
+    pub fn placed_entities(&self) -> usize {
+        let mut seen = vec![false; self.num_entities];
+        let mut count = 0usize;
+        for b in &self.blocks {
+            for e in b.entities() {
+                if !seen[e.idx()] {
+                    seen[e.idx()] = true;
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// The number of blocks each entity is assigned to, `|B_i|`.
+    pub fn assignments_per_entity(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_entities];
+        for b in &self.blocks {
+            for e in b.entities() {
+                counts[e.idx()] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    #[test]
+    fn dirty_block_cardinality() {
+        let b = Block::dirty(ids(&[0, 1, 2, 3]));
+        assert_eq!(b.size(), 4);
+        assert_eq!(b.cardinality(), 6);
+        assert!(b.has_comparisons());
+    }
+
+    #[test]
+    fn singleton_dirty_block_has_no_comparisons() {
+        let b = Block::dirty(ids(&[5]));
+        assert_eq!(b.cardinality(), 0);
+        assert!(!b.has_comparisons());
+    }
+
+    #[test]
+    fn clean_clean_block_cardinality() {
+        let b = Block::clean_clean(ids(&[0, 1]), ids(&[7, 8, 9]));
+        assert_eq!(b.size(), 5);
+        assert_eq!(b.cardinality(), 6);
+    }
+
+    #[test]
+    fn clean_clean_block_without_right_side() {
+        let b = Block::clean_clean(ids(&[0, 1]), ids(&[]));
+        // Constructed as clean-clean but with an empty right side it behaves
+        // as a dirty block; blocking methods never build such blocks.
+        assert_eq!(b.cardinality(), 1);
+    }
+
+    #[test]
+    fn dirty_comparisons_are_canonical() {
+        let b = Block::dirty(ids(&[3, 1, 2]));
+        let mut pairs = Vec::new();
+        b.for_each_comparison(|a, c| pairs.push((a.0, c.0)));
+        assert_eq!(pairs, vec![(1, 3), (2, 3), (1, 2)]);
+        assert!(pairs.iter().all(|&(a, c)| a < c));
+    }
+
+    #[test]
+    fn clean_clean_comparisons_cross_only() {
+        let b = Block::clean_clean(ids(&[0]), ids(&[5, 6]));
+        let mut pairs = Vec::new();
+        b.for_each_comparison(|a, c| pairs.push((a.0, c.0)));
+        assert_eq!(pairs, vec![(0, 5), (0, 6)]);
+    }
+
+    #[test]
+    fn remove_entity() {
+        let mut b = Block::clean_clean(ids(&[0, 1]), ids(&[5]));
+        assert!(b.remove(EntityId(1)));
+        assert!(!b.remove(EntityId(1)));
+        assert!(b.remove(EntityId(5)));
+        assert_eq!(b.size(), 1);
+    }
+
+    fn sample_collection() -> BlockCollection {
+        BlockCollection::new(
+            ErKind::Dirty,
+            6,
+            vec![
+                Block::dirty(ids(&[0, 1])),
+                Block::dirty(ids(&[0, 1, 2])),
+                Block::dirty(ids(&[3, 4, 5])),
+            ],
+        )
+    }
+
+    #[test]
+    fn collection_statistics() {
+        let c = sample_collection();
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.total_comparisons(), 1 + 3 + 3);
+        assert_eq!(c.total_assignments(), 8);
+        assert!((c.blocks_per_entity() - 8.0 / 6.0).abs() < 1e-12);
+        assert_eq!(c.placed_entities(), 6);
+        assert_eq!(c.assignments_per_entity(), vec![2, 2, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn sort_ascending_cardinality() {
+        let mut c = sample_collection();
+        c.blocks_mut().reverse();
+        c.sort_by_cardinality_ascending();
+        let cards: Vec<u64> = c.blocks().iter().map(Block::cardinality).collect();
+        assert_eq!(cards, vec![1, 3, 3]);
+        // Stable: the two cardinality-3 blocks keep their relative order.
+        assert_eq!(c.blocks()[1].left()[0], EntityId(3));
+    }
+
+    #[test]
+    fn for_each_comparison_spans_blocks() {
+        let c = sample_collection();
+        let mut n = 0u64;
+        c.for_each_comparison(|_, _| n += 1);
+        assert_eq!(n, c.total_comparisons());
+    }
+
+    #[test]
+    fn empty_collection_statistics() {
+        let c = BlockCollection::new(ErKind::Dirty, 0, vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.blocks_per_entity(), 0.0);
+        assert_eq!(c.placed_entities(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Canonical comparisons and distinct-pair sets.
+
+use crate::fxhash::FxHashSet;
+use crate::ids::EntityId;
+
+/// A canonical (unordered) pair of entity ids: `a < b` always holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Comparison {
+    /// The smaller entity id.
+    pub a: EntityId,
+    /// The larger entity id.
+    pub b: EntityId,
+}
+
+impl Comparison {
+    /// Creates a canonical comparison from two distinct ids, in any order.
+    ///
+    /// # Panics
+    /// If `x == y` — a profile is never compared with itself.
+    #[inline]
+    pub fn new(x: EntityId, y: EntityId) -> Self {
+        assert_ne!(x, y, "self-comparison {x}");
+        if x < y {
+            Comparison { a: x, b: y }
+        } else {
+            Comparison { a: y, b: x }
+        }
+    }
+
+    /// Packs the pair into a single `u64` key (`a` in the high 32 bits).
+    #[inline]
+    pub fn key(self) -> u64 {
+        ((self.a.0 as u64) << 32) | self.b.0 as u64
+    }
+
+    /// Reconstructs a comparison from a packed key.
+    #[inline]
+    pub fn from_key(key: u64) -> Self {
+        Comparison { a: EntityId((key >> 32) as u32), b: EntityId(key as u32) }
+    }
+}
+
+/// A set of distinct comparisons, stored as packed keys.
+#[derive(Debug, Default, Clone)]
+pub struct ComparisonSet {
+    set: FxHashSet<u64>,
+}
+
+impl ComparisonSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty set sized for `capacity` pairs.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ComparisonSet { set: FxHashSet::with_capacity_and_hasher(capacity, Default::default()) }
+    }
+
+    /// Inserts the pair `(x, y)`; returns whether it was new.
+    #[inline]
+    pub fn insert(&mut self, x: EntityId, y: EntityId) -> bool {
+        self.set.insert(Comparison::new(x, y).key())
+    }
+
+    /// Whether the pair `(x, y)` is present (order-insensitive).
+    #[inline]
+    pub fn contains(&self, x: EntityId, y: EntityId) -> bool {
+        self.set.contains(&Comparison::new(x, y).key())
+    }
+
+    /// Number of distinct pairs.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterator over the stored comparisons (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = Comparison> + '_ {
+        self.set.iter().map(|&k| Comparison::from_key(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_ordering() {
+        let c = Comparison::new(EntityId(9), EntityId(2));
+        assert_eq!(c.a, EntityId(2));
+        assert_eq!(c.b, EntityId(9));
+        assert_eq!(c, Comparison::new(EntityId(2), EntityId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-comparison")]
+    fn self_comparison_panics() {
+        Comparison::new(EntityId(1), EntityId(1));
+    }
+
+    #[test]
+    fn key_roundtrip() {
+        let c = Comparison::new(EntityId(123), EntityId(u32::MAX - 1));
+        assert_eq!(Comparison::from_key(c.key()), c);
+    }
+
+    #[test]
+    fn set_dedupes_order_insensitively() {
+        let mut s = ComparisonSet::new();
+        assert!(s.insert(EntityId(1), EntityId(2)));
+        assert!(!s.insert(EntityId(2), EntityId(1)));
+        assert!(s.contains(EntityId(2), EntityId(1)));
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn iter_returns_all_pairs() {
+        let mut s = ComparisonSet::with_capacity(4);
+        s.insert(EntityId(1), EntityId(2));
+        s.insert(EntityId(3), EntityId(4));
+        let mut got: Vec<(u32, u32)> = s.iter().map(|c| (c.a.0, c.b.0)).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(1, 2), (3, 4)]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Ground truth: the set of duplicate pairs `D(E)`.
+
+use crate::comparisons::{Comparison, ComparisonSet};
+use crate::ids::EntityId;
+
+/// The set of all duplicate pairs in the input entity collection.
+///
+/// For Clean-Clean ER every duplicate pair crosses the two collections; for
+/// the derived Dirty ER tasks the same pairs are interpreted within the
+/// merged collection (the paper's D·D datasets have exactly the |D(E)| of
+/// their Clean-Clean counterparts).
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    set: ComparisonSet,
+    pairs: Vec<Comparison>,
+}
+
+impl GroundTruth {
+    /// Builds the ground truth from duplicate pairs (order-insensitive;
+    /// repeated pairs are deduplicated).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (EntityId, EntityId)>) -> Self {
+        let mut set = ComparisonSet::new();
+        let mut canon = Vec::new();
+        for (a, b) in pairs {
+            if set.insert(a, b) {
+                canon.push(Comparison::new(a, b));
+            }
+        }
+        GroundTruth { set, pairs: canon }
+    }
+
+    /// `|D(E)|`: the number of existing duplicate pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no duplicates exist.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Whether `(a, b)` are duplicates (order-insensitive).
+    #[inline]
+    pub fn are_duplicates(&self, a: EntityId, b: EntityId) -> bool {
+        a != b && self.set.contains(a, b)
+    }
+
+    /// The duplicate pairs, in insertion order.
+    pub fn pairs(&self) -> &[Comparison] {
+        &self.pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedupes_and_canonicalizes() {
+        let gt = GroundTruth::from_pairs(vec![
+            (EntityId(3), EntityId(1)),
+            (EntityId(1), EntityId(3)),
+            (EntityId(2), EntityId(4)),
+        ]);
+        assert_eq!(gt.len(), 2);
+        assert!(gt.are_duplicates(EntityId(1), EntityId(3)));
+        assert!(gt.are_duplicates(EntityId(4), EntityId(2)));
+        assert!(!gt.are_duplicates(EntityId(1), EntityId(2)));
+        assert!(!gt.are_duplicates(EntityId(1), EntityId(1)));
+    }
+
+    #[test]
+    fn empty_ground_truth() {
+        let gt = GroundTruth::from_pairs(std::iter::empty());
+        assert!(gt.is_empty());
+        assert_eq!(gt.pairs().len(), 0);
+    }
+}

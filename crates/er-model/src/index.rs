@@ -1,0 +1,219 @@
+//! The Entity Index: an inverted index from entity ids to block ids.
+//!
+//! This structure (Papadakis et al., TKDE'13) is the backbone of implicit
+//! blocking-graph processing: the *block list* `B_i` of profile `p_i` is the
+//! ascending list of ids of the blocks containing it. Two profiles co-occur
+//! iff their block lists intersect, and the LeCoBI condition — "a comparison
+//! `p_i`-`p_j` in block `b_k` is non-redundant only if `k` equals the least
+//! common block id of the two profiles" — de-duplicates comparisons without
+//! materializing them.
+
+use crate::block::BlockCollection;
+use crate::ids::{BlockId, EntityId};
+
+/// Inverted index from entity id to the ascending list of containing block
+/// ids.
+#[derive(Debug, Clone)]
+pub struct EntityIndex {
+    /// Flattened block lists: `lists[offsets[i]..offsets[i+1]]` is `B_i`.
+    ///
+    /// A flat layout keeps the index in two allocations regardless of the
+    /// number of entities — the per-entity `Vec<Vec<u32>>` alternative costs
+    /// one allocation per profile and fragments the heap at million-entity
+    /// scale.
+    lists: Vec<u32>,
+    offsets: Vec<u32>,
+}
+
+impl EntityIndex {
+    /// Builds the index for a block collection. Block ids are positions in
+    /// the collection's processing order.
+    pub fn build(blocks: &BlockCollection) -> Self {
+        let n = blocks.num_entities();
+        // First pass: count assignments per entity.
+        let mut counts = vec![0u32; n];
+        for b in blocks.blocks() {
+            for e in b.entities() {
+                counts[e.idx()] += 1;
+            }
+        }
+        // Prefix sums -> offsets.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        // Second pass: fill. Blocks are visited in ascending id order, so
+        // each entity's slice ends up sorted without an explicit sort.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut lists = vec![0u32; acc as usize];
+        for (k, b) in blocks.blocks().iter().enumerate() {
+            for e in b.entities() {
+                let c = &mut cursor[e.idx()];
+                lists[*c as usize] = k as u32;
+                *c += 1;
+            }
+        }
+        EntityIndex { lists, offsets }
+    }
+
+    /// The block list `B_i`: ascending ids of the blocks containing `id`.
+    #[inline]
+    pub fn block_list(&self, id: EntityId) -> &[u32] {
+        let lo = self.offsets[id.idx()] as usize;
+        let hi = self.offsets[id.idx() + 1] as usize;
+        &self.lists[lo..hi]
+    }
+
+    /// `|B_i|`: the number of blocks containing `id`.
+    #[inline]
+    pub fn num_blocks_of(&self, id: EntityId) -> usize {
+        (self.offsets[id.idx() + 1] - self.offsets[id.idx()]) as usize
+    }
+
+    /// Number of entities covered by the index.
+    pub fn num_entities(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `|B_ij|`: the number of blocks shared by two profiles, via sorted-list
+    /// intersection.
+    pub fn common_blocks(&self, a: EntityId, b: EntityId) -> usize {
+        let (mut x, mut y) = (self.block_list(a), self.block_list(b));
+        let mut count = 0;
+        while let (Some(&i), Some(&j)) = (x.first(), y.first()) {
+            match i.cmp(&j) {
+                std::cmp::Ordering::Less => x = &x[1..],
+                std::cmp::Ordering::Greater => y = &y[1..],
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    x = &x[1..];
+                    y = &y[1..];
+                }
+            }
+        }
+        count
+    }
+
+    /// The least common block id of two profiles, if they co-occur at all.
+    pub fn least_common_block(&self, a: EntityId, b: EntityId) -> Option<BlockId> {
+        let (mut x, mut y) = (self.block_list(a), self.block_list(b));
+        while let (Some(&i), Some(&j)) = (x.first(), y.first()) {
+            match i.cmp(&j) {
+                std::cmp::Ordering::Less => x = &x[1..],
+                std::cmp::Ordering::Greater => y = &y[1..],
+                std::cmp::Ordering::Equal => return Some(BlockId(i)),
+            }
+        }
+        None
+    }
+
+    /// The LeCoBI condition: whether the comparison `a`-`b` inside block `k`
+    /// is non-redundant, i.e. `k` is the least common block id of the pair.
+    #[inline]
+    pub fn is_lecobi(&self, a: EntityId, b: EntityId, k: BlockId) -> bool {
+        self.least_common_block(a, b) == Some(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::collection::ErKind;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    fn sample() -> BlockCollection {
+        // b0 = {0,1}, b1 = {0,1,2}, b2 = {1,2,3}, b3 = {4} (no comparisons
+        // but still indexed).
+        BlockCollection::new(
+            ErKind::Dirty,
+            5,
+            vec![
+                Block::dirty(ids(&[0, 1])),
+                Block::dirty(ids(&[0, 1, 2])),
+                Block::dirty(ids(&[1, 2, 3])),
+                Block::dirty(ids(&[4])),
+            ],
+        )
+    }
+
+    #[test]
+    fn block_lists_are_ascending() {
+        let idx = EntityIndex::build(&sample());
+        assert_eq!(idx.block_list(EntityId(0)), &[0, 1]);
+        assert_eq!(idx.block_list(EntityId(1)), &[0, 1, 2]);
+        assert_eq!(idx.block_list(EntityId(2)), &[1, 2]);
+        assert_eq!(idx.block_list(EntityId(3)), &[2]);
+        assert_eq!(idx.block_list(EntityId(4)), &[3]);
+        assert_eq!(idx.num_entities(), 5);
+    }
+
+    #[test]
+    fn num_blocks_matches_list_len() {
+        let idx = EntityIndex::build(&sample());
+        for e in 0..5u32 {
+            assert_eq!(idx.num_blocks_of(EntityId(e)), idx.block_list(EntityId(e)).len());
+        }
+    }
+
+    #[test]
+    fn common_blocks_counts_intersection() {
+        let idx = EntityIndex::build(&sample());
+        assert_eq!(idx.common_blocks(EntityId(0), EntityId(1)), 2);
+        assert_eq!(idx.common_blocks(EntityId(0), EntityId(2)), 1);
+        assert_eq!(idx.common_blocks(EntityId(0), EntityId(3)), 0);
+        assert_eq!(idx.common_blocks(EntityId(1), EntityId(2)), 2);
+    }
+
+    #[test]
+    fn least_common_block() {
+        let idx = EntityIndex::build(&sample());
+        assert_eq!(idx.least_common_block(EntityId(0), EntityId(1)), Some(BlockId(0)));
+        assert_eq!(idx.least_common_block(EntityId(1), EntityId(2)), Some(BlockId(1)));
+        assert_eq!(idx.least_common_block(EntityId(0), EntityId(3)), None);
+    }
+
+    #[test]
+    fn lecobi_condition() {
+        let idx = EntityIndex::build(&sample());
+        // Pair (0,1) first co-occurs in b0: the repetition in b1 is redundant.
+        assert!(idx.is_lecobi(EntityId(0), EntityId(1), BlockId(0)));
+        assert!(!idx.is_lecobi(EntityId(0), EntityId(1), BlockId(1)));
+        // Non-co-occurring pair never satisfies it.
+        assert!(!idx.is_lecobi(EntityId(0), EntityId(4), BlockId(3)));
+    }
+
+    #[test]
+    fn lecobi_dedupes_exactly_once_per_pair() {
+        let blocks = sample();
+        let idx = EntityIndex::build(&blocks);
+        let mut distinct = std::collections::HashSet::new();
+        let mut emitted = 0;
+        for (k, b) in blocks.blocks().iter().enumerate() {
+            b.for_each_comparison(|a, c| {
+                if idx.is_lecobi(a, c, BlockId(k as u32)) {
+                    emitted += 1;
+                    distinct.insert((a, c));
+                }
+            });
+        }
+        // Every distinct pair emitted exactly once.
+        assert_eq!(emitted, distinct.len());
+        // Pairs: (0,1),(0,2),(1,2),(1,3),(2,3)
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn empty_index() {
+        let blocks = BlockCollection::new(ErKind::Dirty, 3, vec![]);
+        let idx = EntityIndex::build(&blocks);
+        assert_eq!(idx.block_list(EntityId(1)), &[] as &[u32]);
+        assert_eq!(idx.common_blocks(EntityId(0), EntityId(2)), 0);
+    }
+}

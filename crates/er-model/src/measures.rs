@@ -1,0 +1,158 @@
+//! Effectiveness measures: Pairs Completeness, Pairs Quality, Reduction
+//! Ratio (§3 of the paper).
+
+use crate::block::BlockCollection;
+use crate::comparisons::Comparison;
+use crate::fxhash::FxHashSet;
+use crate::groundtruth::GroundTruth;
+use crate::ids::EntityId;
+use crate::index::EntityIndex;
+
+/// `|D(B)|`: the number of duplicate pairs that co-occur in at least one
+/// block, computed in `O(|D(E)|·BPE)` through the entity index rather than by
+/// enumerating `‖B‖` comparisons.
+pub fn detected_duplicates(index: &EntityIndex, gt: &GroundTruth) -> usize {
+    gt.pairs()
+        .iter()
+        .filter(|c| index.least_common_block(c.a, c.b).is_some())
+        .count()
+}
+
+/// Convenience wrapper over [`detected_duplicates`] that builds the index.
+pub fn detected_duplicates_in(blocks: &BlockCollection, gt: &GroundTruth) -> usize {
+    detected_duplicates(&EntityIndex::build(blocks), gt)
+}
+
+/// Pairs Completeness (recall): `PC = |D(B)| / |D(E)|`.
+pub fn pairs_completeness(detected: usize, gt_size: usize) -> f64 {
+    if gt_size == 0 {
+        return 1.0;
+    }
+    detected as f64 / gt_size as f64
+}
+
+/// Pairs Quality (precision): `PQ = |D(B)| / ‖B‖`.
+///
+/// The denominator counts *all* retained comparisons, including redundant
+/// repetitions — the pessimistic estimate the paper defines.
+pub fn pairs_quality(detected: usize, comparisons: u64) -> f64 {
+    if comparisons == 0 {
+        return 0.0;
+    }
+    detected as f64 / comparisons as f64
+}
+
+/// Reduction Ratio: `RR = 1 − ‖B′‖ / ‖B‖`.
+pub fn reduction_ratio(before: u64, after: u64) -> f64 {
+    if before == 0 {
+        return 0.0;
+    }
+    1.0 - after as f64 / before as f64
+}
+
+/// Streaming accumulator for the effectiveness of a *restructured comparison
+/// collection* — the output of meta-blocking pruning, which is a stream of
+/// retained comparisons rather than blocks.
+///
+/// Feed every retained comparison (including redundant repetitions) through
+/// [`EffectivenessAccumulator::add`]; the accumulator tracks `‖B′‖`
+/// pessimistically and `|D(B′)|` over *distinct* duplicate pairs.
+#[derive(Debug)]
+pub struct EffectivenessAccumulator<'a> {
+    gt: &'a GroundTruth,
+    found: FxHashSet<u64>,
+    total: u64,
+}
+
+impl<'a> EffectivenessAccumulator<'a> {
+    /// Creates an accumulator against the given ground truth.
+    pub fn new(gt: &'a GroundTruth) -> Self {
+        EffectivenessAccumulator { gt, found: FxHashSet::default(), total: 0 }
+    }
+
+    /// Records one retained comparison.
+    #[inline]
+    pub fn add(&mut self, a: EntityId, b: EntityId) {
+        self.total += 1;
+        if self.gt.are_duplicates(a, b) {
+            self.found.insert(Comparison::new(a, b).key());
+        }
+    }
+
+    /// `‖B′‖`: total retained comparisons, counting repetitions.
+    pub fn total_comparisons(&self) -> u64 {
+        self.total
+    }
+
+    /// `|D(B′)|`: distinct duplicate pairs covered.
+    pub fn detected(&self) -> usize {
+        self.found.len()
+    }
+
+    /// `PC` of the accumulated stream.
+    pub fn pc(&self) -> f64 {
+        pairs_completeness(self.detected(), self.gt.len())
+    }
+
+    /// `PQ` of the accumulated stream.
+    pub fn pq(&self) -> f64 {
+        pairs_quality(self.detected(), self.total)
+    }
+
+    /// `RR` of the accumulated stream with respect to a baseline cardinality.
+    pub fn rr(&self, before: u64) -> f64 {
+        reduction_ratio(before, self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::collection::ErKind;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    fn setup() -> (BlockCollection, GroundTruth) {
+        let blocks = BlockCollection::new(
+            ErKind::Dirty,
+            6,
+            vec![Block::dirty(ids(&[0, 1, 2])), Block::dirty(ids(&[3, 4]))],
+        );
+        // (0,1) co-occurs, (4,5) does not (5 is in no block).
+        let gt = GroundTruth::from_pairs(vec![(EntityId(0), EntityId(1)), (EntityId(4), EntityId(5))]);
+        (blocks, gt)
+    }
+
+    #[test]
+    fn detected_duplicates_counts_co_occurring_pairs() {
+        let (blocks, gt) = setup();
+        assert_eq!(detected_duplicates_in(&blocks, &gt), 1);
+    }
+
+    #[test]
+    fn pc_pq_rr_formulas() {
+        assert_eq!(pairs_completeness(1, 2), 0.5);
+        assert_eq!(pairs_completeness(0, 0), 1.0);
+        assert_eq!(pairs_quality(1, 4), 0.25);
+        assert_eq!(pairs_quality(3, 0), 0.0);
+        assert_eq!(reduction_ratio(100, 25), 0.75);
+        assert_eq!(reduction_ratio(0, 0), 0.0);
+    }
+
+    #[test]
+    fn accumulator_counts_repetitions_pessimistically() {
+        let (_, gt) = setup();
+        let mut acc = EffectivenessAccumulator::new(&gt);
+        acc.add(EntityId(0), EntityId(1));
+        acc.add(EntityId(1), EntityId(0)); // redundant repetition
+        acc.add(EntityId(0), EntityId(2)); // superfluous
+        assert_eq!(acc.total_comparisons(), 3);
+        assert_eq!(acc.detected(), 1);
+        assert_eq!(acc.pc(), 0.5);
+        assert!((acc.pq() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(acc.rr(6), 0.5);
+    }
+}

@@ -1,0 +1,138 @@
+//! Entity profiles: uniquely identified collections of name–value pairs.
+
+use std::fmt;
+
+/// A single name–value pair of an [`EntityProfile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name. Schema-agnostic blocking ignores it, but it is kept
+    /// for attribute-aware methods (e.g. Attribute-Clustering Blocking) and
+    /// for dataset statistics (|N| in Table 2 of the paper).
+    pub name: String,
+    /// Attribute value. Free text; blocking tokenizes it.
+    pub value: String,
+}
+
+/// An entity profile: "a uniquely identified collection of name-value pairs
+/// that describe a real-world object" (§3 of the paper).
+///
+/// Profiles are schema-free: two profiles describing the same object may use
+/// entirely different attribute names, different numbers of attributes, and
+/// noisy values. This is exactly the heterogeneity that schema-agnostic
+/// blocking tolerates.
+///
+/// ```
+/// use er_model::EntityProfile;
+///
+/// let p = EntityProfile::new("dblp/123")
+///     .with("FullName", "Jack Lloyd Miller")
+///     .with("job", "auto seller");
+/// assert_eq!(p.attributes().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityProfile {
+    /// External identifier (URL, database key, …). Not used by any algorithm;
+    /// retained for traceability of results.
+    uri: String,
+    attributes: Vec<Attribute>,
+}
+
+impl EntityProfile {
+    /// Creates an empty profile with the given external identifier.
+    pub fn new(uri: impl Into<String>) -> Self {
+        EntityProfile { uri: uri.into(), attributes: Vec::new() }
+    }
+
+    /// Builder-style attribute insertion.
+    #[must_use]
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.add(name, value);
+        self
+    }
+
+    /// Appends a name–value pair.
+    pub fn add(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.attributes.push(Attribute { name: name.into(), value: value.into() });
+    }
+
+    /// The external identifier.
+    pub fn uri(&self) -> &str {
+        &self.uri
+    }
+
+    /// All name–value pairs, in insertion order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Iterator over attribute values only (what schema-agnostic blocking
+    /// consumes).
+    pub fn values(&self) -> impl Iterator<Item = &str> {
+        self.attributes.iter().map(|a| a.value.as_str())
+    }
+
+    /// Number of name–value pairs (the per-profile `|p̄|` statistic of
+    /// Table 2 averages this).
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the profile has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+}
+
+impl fmt::Display for EntityProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {{", self.uri)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.value)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_attributes() {
+        let p = EntityProfile::new("e1").with("name", "Erick Green").with("profession", "vendor");
+        assert_eq!(p.uri(), "e1");
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.attributes()[1].name, "profession");
+    }
+
+    #[test]
+    fn values_iterates_in_order() {
+        let p = EntityProfile::new("e2").with("a", "x").with("b", "y");
+        let vals: Vec<&str> = p.values().collect();
+        assert_eq!(vals, ["x", "y"]);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = EntityProfile::new("e3");
+        assert!(p.is_empty());
+        assert_eq!(p.values().count(), 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = EntityProfile::new("e4").with("name", "Nick Papas");
+        assert_eq!(p.to_string(), "e4 {name: Nick Papas}");
+    }
+
+    #[test]
+    fn duplicate_attribute_names_are_allowed() {
+        // Web data frequently repeats the same attribute name.
+        let p = EntityProfile::new("e5").with("tag", "a").with("tag", "b");
+        assert_eq!(p.len(), 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Token extraction and interning.
+//!
+//! Token Blocking (§1 of the paper) "splits the attribute values of every
+//! entity profile into tokens based on whitespace". We additionally lowercase
+//! and strip punctuation so that `Car-Vendor` and `car vendor` co-occur — the
+//! same normalization the reference implementation applies.
+//!
+//! Tokens are interned to dense `u32` ids through [`Interner`]; every
+//! downstream structure (blocks, token sets for Jaccard matching) works on
+//! ids, never on strings.
+
+use crate::fxhash::FxHashMap;
+
+/// Splits a value into normalized whitespace tokens.
+///
+/// Normalization: Unicode-aware lowercasing; any non-alphanumeric character
+/// is treated as whitespace. Empty tokens are dropped.
+///
+/// ```
+/// let toks: Vec<String> = er_model::tokenize::tokens("Jack Lloyd-Miller, Jr.").collect();
+/// assert_eq!(toks, ["jack", "lloyd", "miller", "jr"]);
+/// ```
+pub fn tokens(value: &str) -> impl Iterator<Item = String> + '_ {
+    value
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+}
+
+/// Character q-grams of a normalized token stream, for Q-grams Blocking.
+///
+/// Tokens shorter than `q` are emitted whole (the standard convention, so
+/// that short tokens are not lost).
+pub fn qgrams(value: &str, q: usize) -> Vec<String> {
+    assert!(q > 0, "q must be positive");
+    let mut out = Vec::new();
+    for tok in tokens(value) {
+        let chars: Vec<char> = tok.chars().collect();
+        if chars.len() <= q {
+            out.push(tok);
+        } else {
+            for w in chars.windows(q) {
+                out.push(w.iter().collect());
+            }
+        }
+    }
+    out
+}
+
+/// Suffixes of each token with minimum length `min_len`, for Suffix-Arrays
+/// Blocking (Aizawa & Oyama, 2005).
+pub fn suffixes(value: &str, min_len: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for tok in tokens(value) {
+        let chars: Vec<char> = tok.chars().collect();
+        if chars.len() < min_len {
+            continue;
+        }
+        for start in 0..=(chars.len() - min_len) {
+            out.push(chars[start..].iter().collect());
+        }
+    }
+    out
+}
+
+/// A string-to-dense-id interner.
+///
+/// Ids are assigned in first-seen order, so interning is deterministic for a
+/// fixed input order — a requirement for reproducible experiments.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    ids: FxHashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `s`, allocating one if unseen.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.ids.insert(s.to_owned(), id);
+        self.strings.push(s.to_owned());
+        id
+    }
+
+    /// Returns the id for `s` if it has been interned.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.ids.get(s).copied()
+    }
+
+    /// The string for an id.
+    ///
+    /// # Panics
+    /// If `id` was not produced by this interner.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// The deduplicated, sorted token-id set of a profile's values — the
+/// representation used by the Jaccard entity matcher.
+pub fn token_id_set(values: impl Iterator<Item = impl AsRef<str>>, interner: &mut Interner) -> Vec<u32> {
+    let mut ids: Vec<u32> = Vec::new();
+    for v in values {
+        for t in tokens(v.as_ref()) {
+            ids.push(interner.intern(&t));
+        }
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_normalize_case_and_punctuation() {
+        let toks: Vec<String> = tokens("Car-Vendor/Seller  (used)").collect();
+        assert_eq!(toks, ["car", "vendor", "seller", "used"]);
+    }
+
+    #[test]
+    fn tokens_keep_digits() {
+        let toks: Vec<String> = tokens("IMDB id 0123").collect();
+        assert_eq!(toks, ["imdb", "id", "0123"]);
+    }
+
+    #[test]
+    fn empty_value_yields_no_tokens() {
+        assert_eq!(tokens("  --- ").count(), 0);
+    }
+
+    #[test]
+    fn qgrams_of_long_token() {
+        assert_eq!(qgrams("seller", 3), ["sel", "ell", "lle", "ler"]);
+    }
+
+    #[test]
+    fn qgrams_short_token_emitted_whole() {
+        assert_eq!(qgrams("car", 4), ["car"]);
+        assert_eq!(qgrams("car", 3), ["car"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be positive")]
+    fn qgrams_zero_panics() {
+        qgrams("x", 0);
+    }
+
+    #[test]
+    fn suffixes_respect_min_len() {
+        assert_eq!(suffixes("trader", 4), ["trader", "rader", "ader"]);
+        assert!(suffixes("car", 4).is_empty());
+    }
+
+    #[test]
+    fn interner_assigns_dense_ids() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.intern("b"), 1);
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(1), "b");
+        assert_eq!(i.get("b"), Some(1));
+        assert_eq!(i.get("c"), None);
+    }
+
+    #[test]
+    fn token_id_set_is_sorted_dedup() {
+        let mut i = Interner::new();
+        let set = token_id_set(["jack miller", "miller car"].iter(), &mut i);
+        assert_eq!(set.len(), 3);
+        assert!(set.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn unicode_tokens() {
+        let toks: Vec<String> = tokens("Müller Straße").collect();
+        assert_eq!(toks, ["müller", "straße"]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation: Block Filtering's block-importance criterion.
+//!
+//! The design choice DESIGN.md calls out: Block Filtering keeps each profile
+//! in its *smallest* blocks. Processing blocks largest-first (or in input
+//! order) with the same ratio keeps the same number of assignments per
+//! profile but picks the wrong ones — recall should degrade at equal RR.
+
+use er_eval::datasets::{Dataset, DatasetId};
+use er_eval::report::{ratio, sci, Table};
+use er_model::measures;
+use mb_core::filter::{block_filtering_with_order, BlockOrder};
+
+fn main() {
+    let mut table = Table::new(&["dataset", "order", "||B'||", "PC", "RR"]);
+    for id in [DatasetId::D1C, DatasetId::D2C] {
+        let d = Dataset::load(id);
+        let blocks = d.input_blocks();
+        let baseline = blocks.total_comparisons();
+        for (name, order) in [
+            ("ascending ||b|| (paper)", BlockOrder::AscendingCardinality),
+            ("descending ||b||", BlockOrder::DescendingCardinality),
+            ("input order", BlockOrder::Input),
+        ] {
+            let filtered =
+                block_filtering_with_order(&blocks, 0.8, order).expect("valid ratio");
+            let detected = measures::detected_duplicates_in(&filtered, &d.ground_truth);
+            table.row(vec![
+                id.name().into(),
+                name.into(),
+                sci(filtered.total_comparisons()),
+                ratio(measures::pairs_completeness(detected, d.ground_truth.len())),
+                ratio(measures::reduction_ratio(baseline, filtered.total_comparisons())),
+            ]);
+        }
+    }
+    println!("Block Filtering importance-criterion ablation (r = 0.80)\n");
+    println!("{}", table.render());
+    println!("Expected shape: ascending cardinality dominates — it keeps the small,");
+    println!("discriminative blocks where duplicates co-occur; descending keeps the");
+    println!("noisy oversized blocks instead (higher ||B'|| AND lower or equal PC).");
+}

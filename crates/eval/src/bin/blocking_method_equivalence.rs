@@ -1,0 +1,50 @@
+//! §6.2 claim: "we experimented with additional redundancy-positive blocking
+//! methods … all of them produced blocks with similar characteristics as
+//! Token Blocking."
+//!
+//! Runs the other redundancy-positive methods on D1C and prints the same
+//! statistics row, so the claim can be checked here too.
+
+use er_blocking::{
+    purging, AttributeClusteringBlocking, BlockingMethod, QGramsBlocking, StandardBlocking,
+    SuffixArraysBlocking, TokenBlocking,
+};
+use er_eval::datasets::{Dataset, DatasetId};
+use er_eval::report::{precision, ratio, sci, Table};
+use er_eval::BlockStats;
+
+fn main() {
+    let d = Dataset::load_scaled(DatasetId::D1C, 0.25);
+    let split = d.collection.split();
+    let brute = d.collection.brute_force_comparisons();
+
+    let methods: Vec<Box<dyn BlockingMethod>> = vec![
+        Box::new(TokenBlocking),
+        Box::new(QGramsBlocking::default()),
+        Box::new(SuffixArraysBlocking::default()),
+        Box::new(AttributeClusteringBlocking::default()),
+        Box::new(StandardBlocking),
+    ];
+
+    let mut table = Table::new(&["method", "|B|", "||B||", "BPE", "PC", "PQ", "RR"]);
+    for m in &methods {
+        let mut blocks = m.build(&d.collection);
+        purging::purge_by_size(&mut blocks, 0.5);
+        let stats = BlockStats::compute(&blocks, split, &d.ground_truth);
+        table.row(vec![
+            m.name().into(),
+            sci(stats.num_blocks as u64),
+            sci(stats.comparisons),
+            format!("{:.2}", stats.bpe),
+            ratio(stats.pc),
+            precision(stats.pq),
+            ratio(stats.rr_against(brute)),
+        ]);
+    }
+    println!("Redundancy-positive blocking methods on D1C (quarter scale)\n");
+    println!("{}", table.render());
+    println!("Expected shape: Token, Q-grams, Suffix and Attribute-Clustering");
+    println!("Blocking all reach near-perfect PC with PQ far below 0.1 (the");
+    println!("redundancy-positive profile); Standard Blocking trades recall for");
+    println!("precision and is NOT a valid meta-blocking input.");
+}

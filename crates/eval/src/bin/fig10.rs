@@ -1,0 +1,37 @@
+//! Figure 10: the effect of Block Filtering's ratio `r` on the blocks of
+//! D2C and D2D with respect to RR and PC (`r ∈ [0.05, 1.00]`, step 0.05).
+
+use er_eval::datasets::{Dataset, DatasetId};
+use er_eval::report::{ratio, Table};
+use er_model::measures;
+use mb_core::filter::block_filtering;
+
+fn main() {
+    let mut table = Table::new(&["r", "PC D2C", "RR D2C", "PC D2D", "RR D2D"]);
+    let clean = Dataset::load(DatasetId::D2C);
+    let dirty = Dataset::load(DatasetId::D2D);
+    let clean_blocks = clean.input_blocks();
+    let dirty_blocks = dirty.input_blocks();
+
+    for step in 1..=20 {
+        let r = step as f64 * 0.05;
+        let mut cells = vec![format!("{r:.2}")];
+        for (d, blocks) in [(&clean, &clean_blocks), (&dirty, &dirty_blocks)] {
+            let filtered = block_filtering(blocks, r).expect("valid ratio");
+            let detected = measures::detected_duplicates_in(&filtered, &d.ground_truth);
+            let pc = measures::pairs_completeness(detected, d.ground_truth.len());
+            let rr = measures::reduction_ratio(
+                blocks.total_comparisons(),
+                filtered.total_comparisons(),
+            );
+            cells.push(ratio(pc));
+            cells.push(ratio(rr));
+        }
+        table.row(cells);
+    }
+    println!("Figure 10: Block Filtering ratio sweep over D2C / D2D\n");
+    println!("{}", table.render());
+    println!("Expected shape: RR falls monotonically with r; PC rises with r;");
+    println!("PC stays flat near 1 over a wide range (robustness), so r = 0.80");
+    println!("trades <0.5% recall for a large comparison reduction.");
+}

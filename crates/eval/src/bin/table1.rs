@@ -1,0 +1,67 @@
+//! Table 1: technical characteristics of (a) the original block collections
+//! and (b) the ones restructured by Block Filtering with r = 0.80.
+
+use er_eval::datasets::{Dataset, DatasetId};
+use er_eval::report::{precision, ratio, sci, Table};
+use er_eval::{timer, BlockStats};
+use er_model::matching::TokenSets;
+use mb_core::filter::block_filtering;
+
+fn main() {
+    let mut original = Table::new(&[
+        "", "|B|", "||B||", "BPE", "PC(B)", "PQ(B)", "RR", "|V_B|", "|E_B|", "OTime", "RTime",
+    ]);
+    let mut filtered_table = Table::new(&[
+        "", "|B|", "||B||", "BPE", "PC(B)", "PQ(B)", "RR", "|V_B|", "|E_B|", "OTime", "RTime",
+    ]);
+
+    for id in DatasetId::ALL {
+        let d = Dataset::load(id);
+        let split = d.collection.split();
+        let sets = TokenSets::build(&d.collection);
+        let per_cmp = er_eval::rtime::mean_comparison_cost(&d.collection, &sets, 20_000);
+
+        // (a) Token Blocking + Block Purging.
+        let (blocks, otime) = timer::time(|| d.input_blocks());
+        let stats = BlockStats::compute(&blocks, split, &d.ground_truth);
+        let rr = stats.rr_against(d.collection.brute_force_comparisons());
+        original.row(vec![
+            id.name().into(),
+            sci(stats.num_blocks as u64),
+            sci(stats.comparisons),
+            format!("{:.2}", stats.bpe),
+            ratio(stats.pc),
+            precision(stats.pq),
+            ratio(rr),
+            sci(stats.graph_order as u64),
+            sci(stats.graph_size),
+            timer::human(otime),
+            timer::human(otime + er_eval::rtime::estimate(stats.comparisons, per_cmp)),
+        ]);
+
+        // (b) After Block Filtering r = 0.8; RR against the original ‖B‖.
+        let (restructured, ftime) =
+            timer::time(|| block_filtering(&blocks, 0.8).expect("valid ratio"));
+        let fstats = BlockStats::compute(&restructured, split, &d.ground_truth);
+        filtered_table.row(vec![
+            id.name().into(),
+            sci(fstats.num_blocks as u64),
+            sci(fstats.comparisons),
+            format!("{:.2}", fstats.bpe),
+            ratio(fstats.pc),
+            precision(fstats.pq),
+            ratio(fstats.rr_against(stats.comparisons)),
+            sci(fstats.graph_order as u64),
+            sci(fstats.graph_size),
+            timer::human(otime + ftime),
+            timer::human(
+                otime + ftime + er_eval::rtime::estimate(fstats.comparisons, per_cmp),
+            ),
+        ]);
+    }
+
+    println!("Table 1(a): original block collections (Token Blocking + Block Purging)\n");
+    println!("{}", original.render());
+    println!("Table 1(b): after Block Filtering (r = 0.80); RR vs the original ||B||\n");
+    println!("{}", filtered_table.render());
+}

@@ -1,0 +1,66 @@
+//! Table 2: technical characteristics of the entity collections.
+
+use er_eval::datasets::{Dataset, DatasetId};
+use er_eval::report::{sci, Table};
+use er_eval::{rtime, timer};
+use er_model::matching::TokenSets;
+
+fn main() {
+    println!("Table 2(a): entity collections for Clean-Clean ER\n");
+    let mut clean = Table::new(&["", "side", "|E|", "|D(E)|", "|N|", "|P|", "|p~|", "||E||", "RT(E)"]);
+    for id in DatasetId::CLEAN {
+        let d = Dataset::load(id);
+        let (n1, n2) = d.collection.sides();
+        let (names1, names2) = d.collection.distinct_attribute_names();
+        let (pairs1, pairs2) = d.collection.total_name_value_pairs();
+        let sets = TokenSets::build(&d.collection);
+        let per_cmp = rtime::mean_comparison_cost(&d.collection, &sets, 20_000);
+        let brute = d.collection.brute_force_comparisons();
+        clean.row(vec![
+            id.name().into(),
+            "E1".into(),
+            sci(n1 as u64),
+            sci(d.ground_truth.len() as u64),
+            sci(names1 as u64),
+            sci(pairs1),
+            format!("{:.1}", pairs1 as f64 / n1 as f64),
+            sci(brute),
+            timer::human(rtime::estimate(brute, per_cmp)),
+        ]);
+        clean.row(vec![
+            "".into(),
+            "E2".into(),
+            sci(n2 as u64),
+            "".into(),
+            sci(names2 as u64),
+            sci(pairs2),
+            format!("{:.1}", pairs2 as f64 / n2 as f64),
+            "".into(),
+            "".into(),
+        ]);
+    }
+    println!("{}", clean.render());
+
+    println!("Table 2(b): entity collections for Dirty ER\n");
+    let mut dirty = Table::new(&["", "|E|", "|D(E)|", "|N|", "|P|", "|p~|", "||E||", "RT(E)"]);
+    for id in [DatasetId::D1D, DatasetId::D2D, DatasetId::D3D] {
+        let d = Dataset::load(id);
+        let n = d.collection.len();
+        let (names, _) = d.collection.distinct_attribute_names();
+        let (pairs, _) = d.collection.total_name_value_pairs();
+        let sets = TokenSets::build(&d.collection);
+        let per_cmp = rtime::mean_comparison_cost(&d.collection, &sets, 20_000);
+        let brute = d.collection.brute_force_comparisons();
+        dirty.row(vec![
+            id.name().into(),
+            sci(n as u64),
+            sci(d.ground_truth.len() as u64),
+            sci(names as u64),
+            sci(pairs),
+            format!("{:.1}", pairs as f64 / n as f64),
+            sci(brute),
+            timer::human(rtime::estimate(brute, per_cmp)),
+        ]);
+    }
+    println!("{}", dirty.render());
+}

@@ -1,0 +1,41 @@
+//! Table 4: performance of the new pruning schemes (Redefined and
+//! Reciprocal CNP/WNP) on top of Block Filtering (r = 0.80), averaged across
+//! all weighting schemes.
+
+use er_eval::datasets::{Dataset, DatasetId};
+use er_eval::report::{precision, ratio, sci, Table};
+use er_eval::{average_over_schemes, timer};
+use mb_core::{PruningScheme, WeightingImpl};
+
+fn main() {
+    let datasets: Vec<Dataset> = DatasetId::ALL.into_iter().map(Dataset::load).collect();
+    let blocks: Vec<_> = datasets.iter().map(|d| d.input_blocks()).collect();
+
+    for pruning in [
+        PruningScheme::RedefinedCnp,
+        PruningScheme::ReciprocalCnp,
+        PruningScheme::RedefinedWnp,
+        PruningScheme::ReciprocalWnp,
+    ] {
+        let mut table = Table::new(&["", "||B'||", "PC(B')", "PQ(B')", "OTime"]);
+        for (d, b) in datasets.iter().zip(&blocks) {
+            let row = average_over_schemes(
+                b,
+                d.collection.split(),
+                &d.ground_truth,
+                pruning,
+                WeightingImpl::Optimized,
+                Some(0.8),
+            );
+            table.row(vec![
+                d.id.name().into(),
+                sci(row.comparisons),
+                ratio(row.pc),
+                precision(row.pq),
+                timer::human(row.otime),
+            ]);
+        }
+        println!("Table 4: {} (with Block Filtering r = 0.80)\n", pruning.name());
+        println!("{}", table.render());
+    }
+}

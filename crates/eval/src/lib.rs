@@ -1,0 +1,37 @@
+//! # er-eval — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§6) over
+//! the synthetic paper-equivalent datasets of `er-datagen`:
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `table1` | Table 1(a)/(b): block collections before/after Block Filtering |
+//! | `table2` | Table 2: dataset characteristics |
+//! | `fig10` | Figure 10: Block Filtering ratio sweep (PC and RR vs `r`) |
+//! | `table3` | Table 3: CEP/CNP/WEP/WNP before/after Block Filtering |
+//! | `table4` | Table 4: Redefined and Reciprocal CNP/WNP |
+//! | `table5` | Table 5: OTime with Optimized Edge Weighting (vs Table 3) |
+//! | `table6` | Table 6: Graph-free Meta-blocking and Iterative Blocking |
+//! | `ablation_global_threshold` | §4.1 claim: local vs global filtering threshold |
+//! | `ablation_block_order` | Block Filtering's importance criterion |
+//! | `blocking_method_equivalence` | §6.2 claim: other redundancy-positive methods behave like Token Blocking |
+//!
+//! Dataset sizing: D1 runs at the paper's full size, D2 and D3 at reduced
+//! default scales (see [`datasets::DEFAULT_SCALES`]); the `MB_SCALE`
+//! environment variable multiplies all of them. Absolute timings are not
+//! comparable with the paper's Java-on-2012-hardware numbers — the *shape*
+//! (ratios between methods, before/after improvements) is what
+//! `EXPERIMENTS.md` tracks.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod report;
+pub mod rtime;
+pub mod runner;
+pub mod stats;
+pub mod timer;
+
+pub use datasets::{Dataset, DatasetId};
+pub use runner::{average_over_schemes, evaluate, EvaluationRow};
+pub use stats::BlockStats;

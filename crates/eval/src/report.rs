@@ -1,0 +1,130 @@
+//! Plain-text table rendering for experiment output.
+
+/// Formats a count in the scientific notation the paper's tables use for
+/// large numbers: `1.92e6`; small numbers stay plain.
+pub fn sci(n: u64) -> String {
+    if n < 10_000 {
+        n.to_string()
+    } else {
+        let exp = (n as f64).log10().floor() as i32;
+        let mantissa = n as f64 / 10f64.powi(exp);
+        format!("{mantissa:.2}e{exp}")
+    }
+}
+
+/// Formats a ratio-valued measure (PC, RR) with three decimals.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a precision-like measure (PQ), switching to scientific notation
+/// below 0.001 as the paper does.
+pub fn precision(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v >= 1e-3 {
+        format!("{v:.3}")
+    } else {
+        let exp = v.log10().floor() as i32;
+        format!("{:.2}e{exp}", v / 10f64.powi(exp))
+    }
+}
+
+/// A fixed-width text table with a header row.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+            .validate()
+    }
+
+    fn validate(self) -> Self {
+        assert!(!self.header.is_empty(), "a table needs at least one column");
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    /// If the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:>width$}", width = widths[c]));
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sci_formats() {
+        assert_eq!(sci(13), "13");
+        assert_eq!(sci(1_920_000), "1.92e6");
+        assert_eq!(sci(42_300_000_000), "4.23e10");
+    }
+
+    #[test]
+    fn precision_formats() {
+        assert_eq!(precision(0.016), "0.016");
+        assert_eq!(precision(1.19e-3), "0.001");
+        assert_eq!(precision(2.76e-4), "2.76e-4");
+        assert_eq!(precision(0.0), "0");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "22".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        // All rows share the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Resolution-time estimation.
+//!
+//! `RTime = OTime + ‖B′‖ · cost(comparison)`. Executing tens of billions of
+//! Jaccard comparisons is exactly what blocking avoids, so — like the paper,
+//! which estimated D3's 21,000-hour brute-force resolution "from the average
+//! time required for comparing two of its entity profiles" — the harness
+//! measures the mean comparison cost on a sample and extrapolates.
+
+use er_model::matching::TokenSets;
+use er_model::{EntityCollection, EntityId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Measures the mean Jaccard-comparison cost over `samples` random
+/// comparable pairs.
+pub fn mean_comparison_cost(
+    collection: &EntityCollection,
+    sets: &TokenSets,
+    samples: usize,
+) -> Duration {
+    assert!(samples > 0, "need at least one sample");
+    let n = collection.len();
+    if n < 2 {
+        return Duration::ZERO;
+    }
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut pairs = Vec::with_capacity(samples);
+    let mut guard = 0usize;
+    while pairs.len() < samples && guard < samples * 20 {
+        guard += 1;
+        let a = EntityId(rng.gen_range(0..n as u32));
+        let b = EntityId(rng.gen_range(0..n as u32));
+        if collection.comparable(a, b) {
+            pairs.push((a, b));
+        }
+    }
+    if pairs.is_empty() {
+        return Duration::ZERO;
+    }
+    let start = Instant::now();
+    let mut sink = 0.0f64;
+    for &(a, b) in &pairs {
+        sink += sets.jaccard(a, b);
+    }
+    std::hint::black_box(sink);
+    start.elapsed() / pairs.len() as u32
+}
+
+/// Estimated resolution time for `comparisons` pairwise matches.
+pub fn estimate(comparisons: u64, per_comparison: Duration) -> Duration {
+    per_comparison
+        .checked_mul(comparisons.min(u32::MAX as u64) as u32)
+        .map(|d| {
+            if comparisons > u32::MAX as u64 {
+                d.mul_f64(comparisons as f64 / comparisons.min(u32::MAX as u64) as f64)
+            } else {
+                d
+            }
+        })
+        .unwrap_or(Duration::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_model::EntityProfile;
+
+    #[test]
+    fn sampling_returns_positive_cost() {
+        let profiles = (0..50)
+            .map(|i| EntityProfile::new(format!("p{i}")).with("v", format!("tok{i} alpha beta")))
+            .collect();
+        let c = EntityCollection::dirty(profiles);
+        let sets = TokenSets::build(&c);
+        let cost = mean_comparison_cost(&c, &sets, 500);
+        assert!(cost.as_nanos() > 0);
+    }
+
+    #[test]
+    fn estimate_scales_linearly() {
+        let per = Duration::from_nanos(100);
+        assert_eq!(estimate(10, per), Duration::from_micros(1));
+        let big = estimate(10_000_000_000, per);
+        assert!(big > Duration::from_secs(900)); // 1e10 * 100ns = 1000s
+    }
+
+    #[test]
+    fn degenerate_collection() {
+        let c = EntityCollection::dirty(vec![EntityProfile::new("only")]);
+        let sets = TokenSets::build(&c);
+        assert_eq!(mean_comparison_cost(&c, &sets, 10), Duration::ZERO);
+    }
+}

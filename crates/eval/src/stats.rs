@@ -1,0 +1,81 @@
+//! Block-collection statistics — the rows of Table 1.
+
+use er_model::{measures, BlockCollection, GroundTruth};
+use mb_core::weights::Degrees;
+use mb_core::GraphContext;
+
+/// Everything Table 1 reports about one block collection.
+#[derive(Debug, Clone)]
+pub struct BlockStats {
+    /// `|B|`: number of blocks.
+    pub num_blocks: usize,
+    /// `‖B‖`: total comparisons.
+    pub comparisons: u64,
+    /// BPE: average blocks per entity.
+    pub bpe: f64,
+    /// `PC(B)`: recall.
+    pub pc: f64,
+    /// `PQ(B)`: precision.
+    pub pq: f64,
+    /// `|V_B|`: blocking-graph order (entities placed in ≥1 block).
+    pub graph_order: usize,
+    /// `|E_B|`: blocking-graph size (distinct edges).
+    pub graph_size: u64,
+}
+
+impl BlockStats {
+    /// Computes the full statistics row. Cost: one index build plus one
+    /// degree sweep (`O(‖B‖)`).
+    pub fn compute(blocks: &BlockCollection, split: usize, gt: &GroundTruth) -> BlockStats {
+        let ctx = GraphContext::new(blocks, split);
+        let detected = measures::detected_duplicates(ctx.index(), gt);
+        let degrees = Degrees::compute(&ctx);
+        BlockStats {
+            num_blocks: blocks.size(),
+            comparisons: blocks.total_comparisons(),
+            bpe: blocks.blocks_per_entity(),
+            pc: measures::pairs_completeness(detected, gt.len()),
+            pq: measures::pairs_quality(detected, blocks.total_comparisons()),
+            graph_order: blocks.placed_entities(),
+            graph_size: degrees.total_edges,
+        }
+    }
+
+    /// Reduction Ratio of this collection against a baseline cardinality
+    /// (`‖E‖` for Table 1(a), the original `‖B‖` for Table 1(b)).
+    pub fn rr_against(&self, baseline: u64) -> f64 {
+        measures::reduction_ratio(baseline, self.comparisons)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_model::{Block, EntityId, ErKind};
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    #[test]
+    fn full_row() {
+        let blocks = BlockCollection::new(
+            ErKind::Dirty,
+            5,
+            vec![Block::dirty(ids(&[0, 1])), Block::dirty(ids(&[0, 1, 2]))],
+        );
+        let gt = GroundTruth::from_pairs(vec![
+            (EntityId(0), EntityId(1)),
+            (EntityId(3), EntityId(4)),
+        ]);
+        let s = BlockStats::compute(&blocks, 5, &gt);
+        assert_eq!(s.num_blocks, 2);
+        assert_eq!(s.comparisons, 4);
+        assert_eq!(s.graph_order, 3);
+        assert_eq!(s.graph_size, 3); // (0,1),(0,2),(1,2)
+        assert_eq!(s.pc, 0.5);
+        assert_eq!(s.pq, 0.25);
+        assert!((s.bpe - 1.0).abs() < 1e-12);
+        assert_eq!(s.rr_against(10), 0.6);
+    }
+}

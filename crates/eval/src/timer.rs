@@ -1,0 +1,45 @@
+//! Wall-clock timing helpers.
+
+use std::time::{Duration, Instant};
+
+/// Times a closure and returns its result with the elapsed wall-clock time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration the way the paper's tables do: `ms` below a second,
+/// `sec` below two minutes, `min` below two hours, `hrs` beyond.
+pub fn human(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1.0 {
+        format!("{:.0} ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.1} sec")
+    } else if s < 7200.0 {
+        format!("{:.1} min", s / 60.0)
+    } else {
+        format!("{:.1} hrs", s / 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_result() {
+        let (v, d) = time(|| 2 + 2);
+        assert_eq!(v, 4);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human(Duration::from_millis(250)), "250 ms");
+        assert_eq!(human(Duration::from_secs(5)), "5.0 sec");
+        assert_eq!(human(Duration::from_secs(300)), "5.0 min");
+        assert_eq!(human(Duration::from_secs(7200)), "2.0 hrs");
+    }
+}

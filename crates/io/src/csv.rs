@@ -1,0 +1,226 @@
+//! A minimal RFC-4180 CSV reader and writer.
+//!
+//! Supports exactly what the dataset formats need — quoted fields, `""`
+//! escapes, embedded commas/newlines/CRLF — with precise error positions.
+//! Hand-rolled rather than pulled in as a dependency: the grammar is tiny
+//! and the workspace policy keeps the dependency set minimal.
+
+use crate::{IoError, Result};
+
+/// Parses a whole CSV document into rows of fields.
+///
+/// Empty input yields no rows; a trailing newline does not create an empty
+/// row. CRLF and LF are both accepted.
+pub fn parse(input: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+    // Tracks whether the current (possibly empty) field/row actually holds
+    // content — so a trailing newline doesn't emit a phantom row.
+    let mut row_started = false;
+
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                row_started = true;
+                if !field.is_empty() {
+                    return Err(IoError::Csv {
+                        line,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+                // Quoted field: consume until the closing quote.
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                field.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some('\n') => {
+                            line += 1;
+                            field.push('\n');
+                        }
+                        Some(other) => field.push(other),
+                        None => {
+                            return Err(IoError::Csv {
+                                line,
+                                message: "unterminated quoted field".into(),
+                            })
+                        }
+                    }
+                }
+                // After the closing quote only a separator may follow.
+                match chars.peek() {
+                    Some(',') | Some('\n') | Some('\r') | None => {}
+                    Some(_) => {
+                        return Err(IoError::Csv {
+                            line,
+                            message: "content after closing quote".into(),
+                        })
+                    }
+                }
+            }
+            ',' => {
+                row_started = true;
+                row.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                // Only as part of CRLF.
+                if chars.peek() == Some(&'\n') {
+                    continue;
+                }
+                return Err(IoError::Csv { line, message: "bare carriage return".into() });
+            }
+            '\n' => {
+                if row_started || !field.is_empty() {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                row_started = false;
+                line += 1;
+            }
+            other => {
+                row_started = true;
+                field.push(other);
+            }
+        }
+    }
+    if row_started || !field.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Serializes rows to CSV, quoting fields only when required.
+pub fn write(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for (i, field) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if field.contains([',', '"', '\n', '\r']) {
+                out.push('"');
+                out.push_str(&field.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(field);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(fields: &[&str]) -> Vec<String> {
+        fields.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn plain_rows() {
+        let rows = parse("a,b,c\nd,e,f\n").unwrap();
+        assert_eq!(rows, vec![row(&["a", "b", "c"]), row(&["d", "e", "f"])]);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let rows = parse("a,b").unwrap();
+        assert_eq!(rows, vec![row(&["a", "b"])]);
+    }
+
+    #[test]
+    fn empty_fields_and_rows() {
+        let rows = parse("a,,c\n,,\n").unwrap();
+        assert_eq!(rows, vec![row(&["a", "", "c"]), row(&["", "", ""])]);
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let rows = parse("\"a,b\",\"say \"\"hi\"\"\",\"multi\nline\"\n").unwrap();
+        assert_eq!(rows, vec![row(&["a,b", "say \"hi\"", "multi\nline"])]);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let rows = parse("a,b\r\nc,d\r\n").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], row(&["c", "d"]));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("ok,row\nbroken,\"unterminated").unwrap_err();
+        match err {
+            IoError::Csv { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("unterminated"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        assert!(parse("a\"b").is_err());
+        assert!(parse("\"a\"b").is_err());
+        assert!(parse("a\rb").is_err());
+    }
+
+    #[test]
+    fn write_quotes_only_when_needed() {
+        let text = write(&[row(&["plain", "with,comma", "with\"quote", "with\nnewline"])]);
+        assert_eq!(text, "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let original = vec![
+            row(&["uri", "name", "notes"]),
+            row(&["p1", "Jack \"The Car\" Miller", "line1\nline2"]),
+            row(&["p2", "", "a,b,c"]),
+        ];
+        let text = write(&original);
+        assert_eq!(parse(&text).unwrap(), original);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any table of arbitrary strings survives a write/parse roundtrip.
+        #[test]
+        fn roundtrip_arbitrary_tables(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(".*", 1..6),
+                1..8,
+            )
+        ) {
+            // A row of entirely empty fields with width 1 is serialized as a
+            // blank line, which the parser (correctly) treats as no row —
+            // skip those degenerate inputs.
+            let rows: Vec<Vec<String>> = rows
+                .into_iter()
+                .filter(|r| r.len() > 1 || !r[0].is_empty())
+                .collect();
+            // Fields containing a bare carriage return are not representable
+            // in the RFC-4180 subset unless quoted; the writer quotes them,
+            // so they are fine. But a field ending in '\r' inside quotes is
+            // also preserved. No filtering needed beyond the above.
+            let text = write(&rows);
+            let parsed = parse(&text).unwrap();
+            prop_assert_eq!(parsed, rows);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Ground truth as two-column URI CSV.
+//!
+//! ```csv
+//! left,right
+//! p1,p3
+//! p2,p4
+//! ```
+//!
+//! URIs are resolved against the loaded collection — referencing an unknown
+//! URI is an error, because a silently dropped duplicate pair corrupts
+//! every recall number downstream.
+
+use crate::{csv, IoError, Result};
+use er_model::fxhash::FxHashMap;
+use er_model::{EntityCollection, EntityId, GroundTruth};
+use std::path::Path;
+
+/// Reads duplicate pairs from a CSV string, resolving URIs against
+/// `collection`.
+pub fn read_str(input: &str, collection: &EntityCollection) -> Result<GroundTruth> {
+    let mut by_uri: FxHashMap<&str, EntityId> = FxHashMap::default();
+    for (id, p) in collection.iter() {
+        if by_uri.insert(p.uri(), id).is_some() {
+            return Err(IoError::Format(format!("duplicate URI in collection: {}", p.uri())));
+        }
+    }
+    let rows = csv::parse(input)?;
+    let mut iter = rows.into_iter();
+    let header = iter.next().ok_or_else(|| IoError::Format("missing header row".into()))?;
+    if header.len() != 2 {
+        return Err(IoError::Format(format!(
+            "ground truth needs exactly two columns, found {}",
+            header.len()
+        )));
+    }
+    let mut pairs = Vec::new();
+    for (n, row) in iter.enumerate() {
+        if row.len() != 2 {
+            return Err(IoError::Format(format!("row {} has {} fields", n + 2, row.len())));
+        }
+        let resolve = |uri: &str| {
+            by_uri.get(uri).copied().ok_or_else(|| {
+                IoError::Format(format!("row {}: unknown URI `{uri}`", n + 2))
+            })
+        };
+        let a = resolve(&row[0])?;
+        let b = resolve(&row[1])?;
+        if a == b {
+            return Err(IoError::Format(format!("row {}: self-pair `{}`", n + 2, row[0])));
+        }
+        pairs.push((a, b));
+    }
+    Ok(GroundTruth::from_pairs(pairs))
+}
+
+/// Reads duplicate pairs from a CSV file.
+pub fn read_file(path: impl AsRef<Path>, collection: &EntityCollection) -> Result<GroundTruth> {
+    read_str(&std::fs::read_to_string(path)?, collection)
+}
+
+/// Serializes a ground truth to CSV, mapping ids back to URIs.
+pub fn write_str(gt: &GroundTruth, collection: &EntityCollection) -> String {
+    let mut rows = vec![vec!["left".to_string(), "right".to_string()]];
+    for c in gt.pairs() {
+        rows.push(vec![
+            collection.profile(c.a).uri().to_string(),
+            collection.profile(c.b).uri().to_string(),
+        ]);
+    }
+    csv::write(&rows)
+}
+
+/// Writes a ground truth to a CSV file.
+pub fn write_file(
+    path: impl AsRef<Path>,
+    gt: &GroundTruth,
+    collection: &EntityCollection,
+) -> Result<()> {
+    std::fs::write(path, write_str(gt, collection))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_model::EntityProfile;
+
+    fn collection() -> EntityCollection {
+        EntityCollection::dirty(vec![
+            EntityProfile::new("p1"),
+            EntityProfile::new("p2"),
+            EntityProfile::new("p3"),
+        ])
+    }
+
+    #[test]
+    fn resolves_uris() {
+        let gt = read_str("left,right\np1,p3\n", &collection()).unwrap();
+        assert_eq!(gt.len(), 1);
+        assert!(gt.are_duplicates(EntityId(0), EntityId(2)));
+    }
+
+    #[test]
+    fn unknown_uri_is_an_error() {
+        let err = read_str("left,right\np1,ghost\n", &collection()).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn self_pairs_and_bad_widths_rejected() {
+        assert!(read_str("left,right\np1,p1\n", &collection()).is_err());
+        assert!(read_str("left,right,extra\n", &collection()).is_err());
+        assert!(read_str("left,right\np1\n", &collection()).is_err());
+        assert!(read_str("", &collection()).is_err());
+    }
+
+    #[test]
+    fn duplicate_collection_uris_rejected() {
+        let c = EntityCollection::dirty(vec![EntityProfile::new("x"), EntityProfile::new("x")]);
+        assert!(read_str("left,right\n", &c).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = collection();
+        let gt = GroundTruth::from_pairs(vec![
+            (EntityId(0), EntityId(2)),
+            (EntityId(1), EntityId(2)),
+        ]);
+        let text = write_str(&gt, &c);
+        let back = read_str(&text, &c).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(back.are_duplicates(EntityId(1), EntityId(2)));
+    }
+}

@@ -1,0 +1,69 @@
+//! # er-io — dataset input/output
+//!
+//! Real deployments load entity collections from files rather than
+//! generating them. This crate provides:
+//!
+//! * [`csv`] — a small, dependency-free RFC-4180 reader/writer (quoted
+//!   fields, escaped quotes, embedded newlines and delimiters);
+//! * [`profiles`] — entity collections as CSV: first column is the profile
+//!   URI, the header names the attributes, empty cells are skipped;
+//! * [`groundtruth`] — duplicate pairs as two-column URI CSV;
+//! * [`bundle`] — an on-disk benchmark layout (`e1.csv` [+ `e2.csv`] +
+//!   `gt.csv`) that round-trips both ER tasks, used by the `er` CLI.
+//!
+//! All readers report malformed input through [`IoError`] with line
+//! positions — silent data mangling is how ER experiments go quietly wrong.
+
+#![warn(missing_docs)]
+
+pub mod bundle;
+pub mod csv;
+pub mod groundtruth;
+pub mod profiles;
+
+use std::fmt;
+
+/// Errors raised by the readers and writers.
+#[derive(Debug)]
+pub enum IoError {
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+    /// Structurally invalid CSV (unterminated quote, stray quote).
+    Csv {
+        /// 1-based line where the problem was detected.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Valid CSV that does not form a valid dataset (missing header, row
+    /// width mismatch, unknown URI in the ground truth, …).
+    Format(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, IoError>;

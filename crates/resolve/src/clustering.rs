@@ -1,0 +1,238 @@
+//! Clustering scored pairs into an ER result.
+
+use er_baselines::UnionFind;
+use er_model::{EntityId, ErKind};
+
+/// A scored comparison: the matcher said these two profiles are this
+/// similar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredPair {
+    /// One profile.
+    pub a: EntityId,
+    /// The other profile.
+    pub b: EntityId,
+    /// Similarity in `[0, 1]`.
+    pub score: f64,
+}
+
+/// The equivalence clusters an algorithm produced.
+#[derive(Debug)]
+pub struct Clusters {
+    members: UnionFind,
+}
+
+impl Clusters {
+    fn new(members: UnionFind) -> Self {
+        Clusters { members }
+    }
+
+    /// Whether two profiles were resolved to the same entity.
+    pub fn same_entity(&mut self, a: EntityId, b: EntityId) -> bool {
+        self.members.same(a.0, b.0)
+    }
+
+    /// Number of distinct entities (clusters, counting singletons).
+    pub fn num_entities(&self) -> usize {
+        self.members.components()
+    }
+
+    /// All matched pairs implied by the clustering — the transitive
+    /// closure, materialized. Quadratic in cluster size; clusters are tiny
+    /// in practice (most are pairs).
+    pub fn matched_pairs(&mut self) -> Vec<(EntityId, EntityId)> {
+        let n = self.members.len();
+        let mut by_root: er_model::fxhash::FxHashMap<u32, Vec<u32>> = Default::default();
+        for x in 0..n as u32 {
+            by_root.entry(self.members.find(x)).or_default().push(x);
+        }
+        let mut pairs = Vec::new();
+        let mut roots: Vec<&Vec<u32>> = by_root.values().filter(|m| m.len() > 1).collect();
+        roots.sort_by_key(|m| m[0]);
+        for members in roots {
+            for (i, &x) in members.iter().enumerate() {
+                for &y in &members[i + 1..] {
+                    pairs.push((EntityId(x), EntityId(y)));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// Connected-components clustering (Dirty ER): every pair at or above the
+/// threshold is an edge; clusters are the components.
+///
+/// Simple and high-recall, but a single spurious match merges two entities
+/// — the classic transitive-closure failure mode that
+/// [`center_clustering`] mitigates.
+pub fn connected_components(
+    num_entities: usize,
+    pairs: &[ScoredPair],
+    threshold: f64,
+) -> Clusters {
+    let mut uf = UnionFind::new(num_entities);
+    for p in pairs {
+        if p.score >= threshold {
+            uf.union(p.a.0, p.b.0);
+        }
+    }
+    Clusters::new(uf)
+}
+
+/// Center clustering (Dirty ER): pairs are processed in descending score
+/// order; a profile can join a cluster only while it is unattached, and
+/// clusters grow around their first member (the *center*) — a merge is
+/// accepted only if one side is a center or unattached.
+///
+/// Ties are broken by ids so the result is deterministic.
+pub fn center_clustering(num_entities: usize, pairs: &[ScoredPair], threshold: f64) -> Clusters {
+    let mut order: Vec<&ScoredPair> = pairs.iter().filter(|p| p.score >= threshold).collect();
+    order.sort_by(|x, y| {
+        y.score
+            .total_cmp(&x.score)
+            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+    });
+    #[derive(Clone, Copy, PartialEq)]
+    enum Role {
+        Free,
+        Center,
+        Satellite,
+    }
+    let mut role = vec![Role::Free; num_entities];
+    let mut uf = UnionFind::new(num_entities);
+    for p in order {
+        let (ra, rb) = (role[p.a.idx()], role[p.b.idx()]);
+        match (ra, rb) {
+            (Role::Free, Role::Free) => {
+                // The smaller id becomes the center, the other its satellite.
+                let (center, sat) = if p.a < p.b { (p.a, p.b) } else { (p.b, p.a) };
+                role[center.idx()] = Role::Center;
+                role[sat.idx()] = Role::Satellite;
+                uf.union(center.0, sat.0);
+            }
+            (Role::Center, Role::Free) => {
+                role[p.b.idx()] = Role::Satellite;
+                uf.union(p.a.0, p.b.0);
+            }
+            (Role::Free, Role::Center) => {
+                role[p.a.idx()] = Role::Satellite;
+                uf.union(p.a.0, p.b.0);
+            }
+            // Satellites are spoken for; two centers never merge.
+            _ => {}
+        }
+    }
+    Clusters::new(uf)
+}
+
+/// Greedy unique mapping (Clean-Clean ER): pairs in descending score order;
+/// each profile participates in at most one accepted match — the
+/// duplicate-free guarantee of the two input collections, enforced on the
+/// output.
+pub fn unique_mapping(num_entities: usize, pairs: &[ScoredPair], threshold: f64) -> Clusters {
+    let mut order: Vec<&ScoredPair> = pairs.iter().filter(|p| p.score >= threshold).collect();
+    order.sort_by(|x, y| {
+        y.score
+            .total_cmp(&x.score)
+            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+    });
+    let mut taken = vec![false; num_entities];
+    let mut uf = UnionFind::new(num_entities);
+    for p in order {
+        if !taken[p.a.idx()] && !taken[p.b.idx()] {
+            taken[p.a.idx()] = true;
+            taken[p.b.idx()] = true;
+            uf.union(p.a.0, p.b.0);
+        }
+    }
+    Clusters::new(uf)
+}
+
+/// Dispatches to the idiomatic algorithm for the task kind:
+/// [`unique_mapping`] for Clean-Clean ER, [`center_clustering`] for Dirty
+/// ER.
+pub fn cluster(
+    kind: ErKind,
+    num_entities: usize,
+    pairs: &[ScoredPair],
+    threshold: f64,
+) -> Clusters {
+    match kind {
+        ErKind::CleanClean => unique_mapping(num_entities, pairs, threshold),
+        ErKind::Dirty => center_clustering(num_entities, pairs, threshold),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u32, b: u32, score: f64) -> ScoredPair {
+        ScoredPair { a: EntityId(a), b: EntityId(b), score }
+    }
+
+    #[test]
+    fn connected_components_transitive() {
+        let pairs = [pair(0, 1, 0.9), pair(1, 2, 0.8), pair(3, 4, 0.4)];
+        let mut c = connected_components(5, &pairs, 0.5);
+        assert!(c.same_entity(EntityId(0), EntityId(2)));
+        assert!(!c.same_entity(EntityId(3), EntityId(4))); // below threshold
+        assert_eq!(c.num_entities(), 5 - 2);
+        let mp = c.matched_pairs();
+        assert_eq!(mp.len(), 3); // (0,1),(0,2),(1,2)
+    }
+
+    #[test]
+    fn center_clustering_resists_chaining() {
+        // A chain 0-1-2-3 of decent scores: connected components merge all
+        // four; center clustering caps the chain (satellites cannot recruit).
+        let pairs =
+            [pair(0, 1, 0.9), pair(1, 2, 0.8), pair(2, 3, 0.7)];
+        let mut cc = connected_components(4, &pairs, 0.5);
+        assert_eq!(cc.num_entities(), 1);
+        let mut center = center_clustering(4, &pairs, 0.5);
+        // 0 centers {0,1}; 1 and 2 cannot link (1 is a satellite); 2 centers
+        // {2,3}.
+        assert!(center.same_entity(EntityId(0), EntityId(1)));
+        assert!(center.same_entity(EntityId(2), EntityId(3)));
+        assert!(!center.same_entity(EntityId(1), EntityId(2)));
+    }
+
+    #[test]
+    fn unique_mapping_takes_best_match_only() {
+        // 0 matches both 2 (0.9) and 3 (0.8); 1 also wants 2 (0.7).
+        let pairs = [pair(0, 2, 0.9), pair(0, 3, 0.8), pair(1, 2, 0.7), pair(1, 3, 0.6)];
+        let mut c = unique_mapping(4, &pairs, 0.5);
+        assert!(c.same_entity(EntityId(0), EntityId(2)));
+        // 0 is taken, so (0,3) is rejected; 2 is taken, so (1,2) is
+        // rejected; (1,3) is the best remaining.
+        assert!(c.same_entity(EntityId(1), EntityId(3)));
+        assert!(!c.same_entity(EntityId(0), EntityId(3)));
+    }
+
+    #[test]
+    fn deterministic_under_score_ties() {
+        let pairs = [pair(0, 1, 0.8), pair(0, 2, 0.8)];
+        let mut a = unique_mapping(3, &pairs, 0.5);
+        let mut b = unique_mapping(3, &pairs, 0.5);
+        assert_eq!(a.same_entity(EntityId(0), EntityId(1)), b.same_entity(EntityId(0), EntityId(1)));
+        // Tie broken towards the smaller pair: (0,1) wins.
+        assert!(a.same_entity(EntityId(0), EntityId(1)));
+    }
+
+    #[test]
+    fn cluster_dispatches_by_kind() {
+        let pairs = [pair(0, 2, 0.9), pair(0, 3, 0.8)];
+        let mut clean = cluster(ErKind::CleanClean, 4, &pairs, 0.5);
+        assert!(!clean.same_entity(EntityId(0), EntityId(3))); // unique mapping
+        let mut dirty = cluster(ErKind::Dirty, 4, &pairs, 0.5);
+        assert!(dirty.same_entity(EntityId(0), EntityId(3))); // center grows
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut c = cluster(ErKind::Dirty, 3, &[], 0.5);
+        assert_eq!(c.num_entities(), 3);
+        assert!(c.matched_pairs().is_empty());
+    }
+}

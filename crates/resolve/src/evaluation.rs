@@ -1,0 +1,129 @@
+//! Resolution-level evaluation: pairwise precision / recall / F1 over the
+//! transitive closure of the produced clusters.
+
+use crate::clustering::Clusters;
+use er_model::GroundTruth;
+
+/// Pairwise resolution quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairwiseQuality {
+    /// Matched pairs that are true duplicates.
+    pub true_positives: usize,
+    /// Matched pairs that are not duplicates.
+    pub false_positives: usize,
+    /// Duplicates the clustering missed.
+    pub false_negatives: usize,
+}
+
+impl PairwiseQuality {
+    /// Pairwise precision.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Pairwise recall.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Pairwise F1.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Scores a clustering against the ground truth, over the transitive
+/// closure of both sides: a pair counts as matched iff the clustering put
+/// it in one cluster, and as a duplicate iff the ground truth says so
+/// directly.
+pub fn pairwise_quality(clusters: &mut Clusters, gt: &GroundTruth) -> PairwiseQuality {
+    let matched = clusters.matched_pairs();
+    let mut tp = 0usize;
+    for (a, b) in &matched {
+        if gt.are_duplicates(*a, *b) {
+            tp += 1;
+        }
+    }
+    let fp = matched.len() - tp;
+    let missed = gt
+        .pairs()
+        .iter()
+        .filter(|c| !clusters.same_entity(c.a, c.b))
+        .count();
+    PairwiseQuality { true_positives: tp, false_positives: fp, false_negatives: missed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::{connected_components, ScoredPair};
+    use er_model::EntityId;
+
+    fn pair(a: u32, b: u32) -> (EntityId, EntityId) {
+        (EntityId(a), EntityId(b))
+    }
+
+    #[test]
+    fn exact_resolution_scores_one() {
+        let gt = GroundTruth::from_pairs(vec![pair(0, 1), pair(2, 3)]);
+        let scored = [
+            ScoredPair { a: EntityId(0), b: EntityId(1), score: 1.0 },
+            ScoredPair { a: EntityId(2), b: EntityId(3), score: 1.0 },
+        ];
+        let mut c = connected_components(4, &scored, 0.5);
+        let q = pairwise_quality(&mut c, &gt);
+        assert_eq!(q, PairwiseQuality { true_positives: 2, false_positives: 0, false_negatives: 0 });
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
+    fn over_merging_costs_precision() {
+        let gt = GroundTruth::from_pairs(vec![pair(0, 1)]);
+        let scored = [
+            ScoredPair { a: EntityId(0), b: EntityId(1), score: 0.9 },
+            ScoredPair { a: EntityId(1), b: EntityId(2), score: 0.9 }, // spurious
+        ];
+        let mut c = connected_components(3, &scored, 0.5);
+        let q = pairwise_quality(&mut c, &gt);
+        // Closure adds (0,2) too: 1 TP, 2 FP.
+        assert_eq!(q.true_positives, 1);
+        assert_eq!(q.false_positives, 2);
+        assert!((q.precision() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(q.recall(), 1.0);
+    }
+
+    #[test]
+    fn missing_matches_cost_recall() {
+        let gt = GroundTruth::from_pairs(vec![pair(0, 1), pair(2, 3)]);
+        let scored = [ScoredPair { a: EntityId(0), b: EntityId(1), score: 0.9 }];
+        let mut c = connected_components(4, &scored, 0.5);
+        let q = pairwise_quality(&mut c, &gt);
+        assert_eq!(q.false_negatives, 1);
+        assert_eq!(q.recall(), 0.5);
+        assert!((q.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty_gt = GroundTruth::from_pairs(std::iter::empty());
+        let mut none = connected_components(2, &[], 0.5);
+        let q = pairwise_quality(&mut none, &empty_gt);
+        assert_eq!(q.precision(), 0.0);
+        assert_eq!(q.recall(), 1.0);
+        assert_eq!(q.f1(), 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # er-resolve — entity matching and clustering
+//!
+//! Meta-blocking ends with a comparison collection; an ER *system* still has
+//! to execute those comparisons and decide which profiles co-refer. This
+//! crate provides that downstream stage, treated as orthogonal by the paper
+//! (§3: "we assume that two duplicate profiles can be detected using any of
+//! the available matching methods as long as they co-occur in at least one
+//! block") but required for a usable end-to-end pipeline:
+//!
+//! * [`similarity`] — pairwise similarity functions over profiles: token
+//!   Jaccard (the paper's choice for RTime accounting), TF-IDF weighted
+//!   cosine, and a combinable weighted-average form;
+//! * [`clustering`] — turning scored pairs into an ER result: connected
+//!   components and center clustering for Dirty ER, greedy unique mapping
+//!   (each profile matches at most one counterpart) for Clean-Clean ER;
+//! * [`evaluation`] — resolution-level quality: pairwise
+//!   precision/recall/F1 against a ground truth, over the *transitive
+//!   closure* of the produced clusters;
+//! * [`Resolver`] — the convenience driver: feed it retained comparisons,
+//!   get clusters and measures.
+
+#![warn(missing_docs)]
+
+pub mod clustering;
+pub mod evaluation;
+pub mod resolver;
+pub mod similarity;
+
+pub use resolver::{Resolution, Resolver};

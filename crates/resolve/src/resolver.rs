@@ -1,0 +1,107 @@
+//! The end-to-end resolution driver.
+
+use crate::clustering::{cluster, Clusters, ScoredPair};
+use crate::evaluation::{pairwise_quality, PairwiseQuality};
+use crate::similarity::Similarity;
+use er_model::{EntityCollection, EntityId, GroundTruth};
+
+/// Executes retained comparisons with a similarity function and clusters
+/// the results with the task-appropriate algorithm.
+///
+/// This is the stage downstream of meta-blocking: feed it the comparison
+/// stream a pruning scheme emits, get back resolved entities.
+pub struct Resolver<'c, S> {
+    collection: &'c EntityCollection,
+    similarity: S,
+    threshold: f64,
+}
+
+/// What a resolution run produced.
+#[derive(Debug)]
+pub struct Resolution {
+    /// Number of comparisons executed (the stream's length).
+    pub executed_comparisons: u64,
+    /// The resolved equivalence clusters.
+    pub clusters: Clusters,
+}
+
+impl Resolution {
+    /// Pairwise quality against a ground truth.
+    pub fn quality(&mut self, gt: &GroundTruth) -> PairwiseQuality {
+        pairwise_quality(&mut self.clusters, gt)
+    }
+}
+
+impl<'c, S: Similarity> Resolver<'c, S> {
+    /// Creates a resolver with a match threshold in `[0, 1]`.
+    pub fn new(collection: &'c EntityCollection, similarity: S, threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold), "threshold must lie in [0, 1]");
+        Resolver { collection, similarity, threshold }
+    }
+
+    /// Executes the comparison stream and clusters the matches.
+    pub fn resolve(&self, comparisons: impl IntoIterator<Item = (EntityId, EntityId)>) -> Resolution {
+        let mut executed = 0u64;
+        let mut scored = Vec::new();
+        for (a, b) in comparisons {
+            executed += 1;
+            let score = self.similarity.similarity(a, b);
+            if score >= self.threshold {
+                scored.push(ScoredPair { a, b, score });
+            }
+        }
+        let clusters =
+            cluster(self.collection.kind(), self.collection.len(), &scored, self.threshold);
+        Resolution { executed_comparisons: executed, clusters }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::JaccardSimilarity;
+    use er_model::EntityProfile;
+
+    fn collection() -> EntityCollection {
+        let e1 = vec![
+            EntityProfile::new("a0").with("n", "jack lloyd miller"),
+            EntityProfile::new("a1").with("n", "erick green vendor"),
+        ];
+        let e2 = vec![
+            EntityProfile::new("b0").with("m", "jack miller"),
+            EntityProfile::new("b1").with("m", "erick green trader"),
+            EntityProfile::new("b2").with("m", "nick papas"),
+        ];
+        EntityCollection::clean_clean(e1, e2)
+    }
+
+    #[test]
+    fn resolves_the_obvious_matches() {
+        let c = collection();
+        let sim = JaccardSimilarity::build(&c);
+        let resolver = Resolver::new(&c, sim, 0.4);
+        // Pretend meta-blocking retained every cross pair.
+        let stream: Vec<(EntityId, EntityId)> = (0..2u32)
+            .flat_map(|a| (2..5u32).map(move |b| (EntityId(a), EntityId(b))))
+            .collect();
+        let mut res = resolver.resolve(stream);
+        assert_eq!(res.executed_comparisons, 6);
+        assert!(res.clusters.same_entity(EntityId(0), EntityId(2)));
+        assert!(res.clusters.same_entity(EntityId(1), EntityId(3)));
+        assert!(!res.clusters.same_entity(EntityId(0), EntityId(4)));
+        let gt = GroundTruth::from_pairs(vec![
+            (EntityId(0), EntityId(2)),
+            (EntityId(1), EntityId(3)),
+        ]);
+        let q = res.quality(&gt);
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_validated() {
+        let c = collection();
+        let sim = JaccardSimilarity::build(&c);
+        Resolver::new(&c, sim, 1.5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Pairwise profile similarity functions.
+
+use er_model::fxhash::FxHashMap;
+use er_model::matching::jaccard_sorted;
+use er_model::tokenize::{token_id_set, Interner};
+use er_model::{EntityCollection, EntityId};
+
+/// A pairwise similarity in `[0, 1]`.
+pub trait Similarity {
+    /// Similarity of two profiles.
+    fn similarity(&self, a: EntityId, b: EntityId) -> f64;
+}
+
+/// Token-set Jaccard — the matcher the paper uses for resolution-time
+/// accounting.
+#[derive(Debug)]
+pub struct JaccardSimilarity {
+    sets: Vec<Vec<u32>>,
+}
+
+impl JaccardSimilarity {
+    /// Tokenizes every profile of the collection.
+    pub fn build(collection: &EntityCollection) -> Self {
+        let mut interner = Interner::new();
+        let sets = collection
+            .profiles()
+            .iter()
+            .map(|p| token_id_set(p.values(), &mut interner))
+            .collect();
+        JaccardSimilarity { sets }
+    }
+}
+
+impl Similarity for JaccardSimilarity {
+    fn similarity(&self, a: EntityId, b: EntityId) -> f64 {
+        jaccard_sorted(&self.sets[a.idx()], &self.sets[b.idx()])
+    }
+}
+
+/// TF-IDF weighted cosine similarity.
+///
+/// Down-weights stop-word-like tokens — the very tokens that create the
+/// oversized blocks — so near-duplicates sharing *rare* tokens score higher
+/// than unrelated profiles sharing frequent ones. IDF uses the standard
+/// `ln(N / df)` with each profile's token set as the document.
+#[derive(Debug)]
+pub struct CosineIdfSimilarity {
+    /// Per profile: sorted `(token, tf-idf weight)` pairs.
+    vectors: Vec<Vec<(u32, f64)>>,
+    /// Per profile: the vector's Euclidean norm.
+    norms: Vec<f64>,
+}
+
+impl CosineIdfSimilarity {
+    /// Builds the weighted vectors for a collection.
+    pub fn build(collection: &EntityCollection) -> Self {
+        let mut interner = Interner::new();
+        let sets: Vec<Vec<u32>> = collection
+            .profiles()
+            .iter()
+            .map(|p| token_id_set(p.values(), &mut interner))
+            .collect();
+        // Document frequency per token.
+        let mut df: FxHashMap<u32, u32> = FxHashMap::default();
+        for set in &sets {
+            for &t in set {
+                *df.entry(t).or_default() += 1;
+            }
+        }
+        let n = sets.len().max(1) as f64;
+        let mut vectors = Vec::with_capacity(sets.len());
+        let mut norms = Vec::with_capacity(sets.len());
+        for set in &sets {
+            // Token sets are deduplicated, so tf = 1 and the weight is IDF.
+            let vec: Vec<(u32, f64)> =
+                set.iter().map(|&t| (t, (n / df[&t] as f64).ln().max(0.0))).collect();
+            let norm = vec.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+            vectors.push(vec);
+            norms.push(norm);
+        }
+        CosineIdfSimilarity { vectors, norms }
+    }
+}
+
+impl Similarity for CosineIdfSimilarity {
+    fn similarity(&self, a: EntityId, b: EntityId) -> f64 {
+        let (na, nb) = (self.norms[a.idx()], self.norms[b.idx()]);
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        let (mut x, mut y) = (&self.vectors[a.idx()][..], &self.vectors[b.idx()][..]);
+        let mut dot = 0.0;
+        while let (Some(&(tx, wx)), Some(&(ty, wy))) = (x.first(), y.first()) {
+            match tx.cmp(&ty) {
+                std::cmp::Ordering::Less => x = &x[1..],
+                std::cmp::Ordering::Greater => y = &y[1..],
+                std::cmp::Ordering::Equal => {
+                    dot += wx * wy;
+                    x = &x[1..];
+                    y = &y[1..];
+                }
+            }
+        }
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+}
+
+/// A weighted average of other similarity functions.
+pub struct CombinedSimilarity {
+    /// `(weight, similarity)` terms; weights need not sum to 1 (they are
+    /// normalized).
+    terms: Vec<(f64, Box<dyn Similarity>)>,
+    total_weight: f64,
+}
+
+impl CombinedSimilarity {
+    /// Builds the combination.
+    ///
+    /// # Panics
+    /// If `terms` is empty or any weight is non-positive.
+    pub fn new(terms: Vec<(f64, Box<dyn Similarity>)>) -> Self {
+        assert!(!terms.is_empty(), "combination needs at least one term");
+        assert!(terms.iter().all(|(w, _)| *w > 0.0), "weights must be positive");
+        let total_weight = terms.iter().map(|(w, _)| w).sum();
+        CombinedSimilarity { terms, total_weight }
+    }
+}
+
+impl Similarity for CombinedSimilarity {
+    fn similarity(&self, a: EntityId, b: EntityId) -> f64 {
+        self.terms.iter().map(|(w, s)| w * s.similarity(a, b)).sum::<f64>() / self.total_weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_model::EntityProfile;
+
+    fn collection() -> EntityCollection {
+        EntityCollection::dirty(vec![
+            EntityProfile::new("0").with("n", "jack lloyd miller common"),
+            EntityProfile::new("1").with("n", "jack miller common"),
+            EntityProfile::new("2").with("n", "erick green common"),
+            EntityProfile::new("3").with("n", "common"),
+            EntityProfile::new("4").with("n", ""),
+        ])
+    }
+
+    #[test]
+    fn jaccard_matches_er_model() {
+        let c = collection();
+        let s = JaccardSimilarity::build(&c);
+        // {jack,lloyd,miller,common} vs {jack,miller,common}: 3/4.
+        assert!((s.similarity(EntityId(0), EntityId(1)) - 0.75).abs() < 1e-12);
+        assert_eq!(s.similarity(EntityId(0), EntityId(4)), 0.0);
+    }
+
+    #[test]
+    fn idf_discounts_the_shared_stopword() {
+        let c = collection();
+        let s = CosineIdfSimilarity::build(&c);
+        // (0,1) share rare tokens -> high; (0,3) share only the near-universal
+        // "common" (df 4 of 5), whose IDF ln(5/4) is tiny -> near-zero score.
+        assert!(s.similarity(EntityId(0), EntityId(1)) > 0.5);
+        assert!(s.similarity(EntityId(0), EntityId(3)) < 0.15);
+        // Jaccard, by contrast, scores (0,3) like any 1-in-4 overlap.
+        let j = JaccardSimilarity::build(&c);
+        assert!(j.similarity(EntityId(0), EntityId(3)) >= 0.25);
+        assert!(s.similarity(EntityId(0), EntityId(3)) < j.similarity(EntityId(0), EntityId(3)));
+    }
+
+    #[test]
+    fn cosine_is_symmetric_and_bounded() {
+        let c = collection();
+        let s = CosineIdfSimilarity::build(&c);
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                if a == b {
+                    continue;
+                }
+                let ab = s.similarity(EntityId(a), EntityId(b));
+                let ba = s.similarity(EntityId(b), EntityId(a));
+                assert!((ab - ba).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&ab));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_profile_scores_zero() {
+        let c = collection();
+        let s = CosineIdfSimilarity::build(&c);
+        assert_eq!(s.similarity(EntityId(4), EntityId(0)), 0.0);
+    }
+
+    #[test]
+    fn combination_averages() {
+        let c = collection();
+        let combo = CombinedSimilarity::new(vec![
+            (1.0, Box::new(JaccardSimilarity::build(&c)) as Box<dyn Similarity>),
+            (3.0, Box::new(CosineIdfSimilarity::build(&c))),
+        ]);
+        let j = JaccardSimilarity::build(&c).similarity(EntityId(0), EntityId(1));
+        let i = CosineIdfSimilarity::build(&c).similarity(EntityId(0), EntityId(1));
+        let expect = (j + 3.0 * i) / 4.0;
+        assert!((combo.similarity(EntityId(0), EntityId(1)) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one term")]
+    fn empty_combination_panics() {
+        CombinedSimilarity::new(vec![]);
+    }
+}

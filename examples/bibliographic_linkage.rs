@@ -1,0 +1,75 @@
+//! Record linkage over bibliographic data — the paper's D1C scenario.
+//!
+//! A small, curated publication index (think DBLP) is linked against a
+//! large, noisy crawl (think Google Scholar). The workload is
+//! *efficiency-intensive*: a pay-as-you-go application wants each executed
+//! comparison to have the best possible chance of being a match, while
+//! recall stays above 0.8. The paper's recommendation for this regime is
+//! Reciprocal CNP on top of Block Filtering; this example compares it with
+//! the alternatives so the trade-off is visible.
+//!
+//! ```text
+//! cargo run --release --example bibliographic_linkage
+//! ```
+
+use enhanced_metablocking::blocking::{purging, BlockingMethod, TokenBlocking};
+use enhanced_metablocking::datagen::{presets, DatasetConfig};
+use enhanced_metablocking::metablocking::{MetaBlocking, PruningScheme, WeightingScheme};
+use enhanced_metablocking::model::measures::EffectivenessAccumulator;
+
+fn main() {
+    // A 10%-scale D1C: 252 curated records vs 6,135 crawled ones, 231 true
+    // links. (Use er-eval's `table3` binary for the full-size runs.)
+    let mut config: DatasetConfig = presets::d1c(7);
+    let scale = 0.1;
+    config.matched_pairs = (config.matched_pairs as f64 * scale) as usize;
+    config.side1.size = (config.side1.size as f64 * scale) as usize;
+    config.side2.size = (config.side2.size as f64 * scale) as usize;
+    config.object.vocab_size = (config.object.vocab_size as f64 * scale) as usize;
+    let dataset = presets::build(&config);
+
+    let mut blocks = TokenBlocking.build(&dataset.collection);
+    purging::purge_by_size(&mut blocks, 0.5);
+    println!(
+        "{} curated × {} crawled profiles, {} true links; token blocking entails {} comparisons\n",
+        dataset.collection.sides().0,
+        dataset.collection.sides().1,
+        dataset.ground_truth.len(),
+        blocks.total_comparisons()
+    );
+
+    println!(
+        "{:<18} {:>12} {:>8} {:>8} {:>22}",
+        "scheme", "comparisons", "PC", "PQ", "comparisons/new match"
+    );
+    for pruning in [
+        PruningScheme::Cep,
+        PruningScheme::Cnp,
+        PruningScheme::RedefinedCnp,
+        PruningScheme::ReciprocalCnp,
+    ] {
+        let mut acc = EffectivenessAccumulator::new(&dataset.ground_truth);
+        MetaBlocking::new(WeightingScheme::Js, pruning)
+            .with_block_filtering(0.8)
+            .run(&blocks, dataset.collection.split(), |a, b| acc.add(a, b))
+            .expect("valid configuration");
+        let per_match = if acc.detected() > 0 {
+            acc.total_comparisons() as f64 / acc.detected() as f64
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{:<18} {:>12} {:>8.3} {:>8.4} {:>22.1}",
+            pruning.name(),
+            acc.total_comparisons(),
+            acc.pc(),
+            acc.pq(),
+            per_match
+        );
+    }
+
+    println!(
+        "\nReciprocal CNP executes the fewest comparisons per discovered link — the\n\
+         efficiency-intensive winner — while keeping recall above the 0.8 bar."
+    );
+}

@@ -1,0 +1,76 @@
+//! The complete ER system: blocking → meta-blocking → matching →
+//! clustering → evaluation.
+//!
+//! The paper treats matching as orthogonal; this example shows the full
+//! path a production pipeline takes, comparing the final resolution quality
+//! with and without meta-blocking in the middle.
+//!
+//! ```text
+//! cargo run --release --example end_to_end_resolution
+//! ```
+
+use enhanced_metablocking::blocking::{purging, BlockingMethod, TokenBlocking};
+use enhanced_metablocking::datagen::presets;
+use enhanced_metablocking::metablocking::propagation::comparison_propagation;
+use enhanced_metablocking::metablocking::{
+    GraphContext, MetaBlocking, PruningScheme, WeightingScheme,
+};
+use enhanced_metablocking::model::EntityId;
+use enhanced_metablocking::resolve::similarity::CosineIdfSimilarity;
+use enhanced_metablocking::resolve::Resolver;
+
+fn main() {
+    let dataset = presets::build(&presets::tiny(64));
+    let mut blocks = TokenBlocking.build(&dataset.collection);
+    purging::purge_by_size(&mut blocks, 0.5);
+
+    let similarity = CosineIdfSimilarity::build(&dataset.collection);
+    let resolver = Resolver::new(&dataset.collection, similarity, 0.35);
+
+    println!(
+        "{} profiles, {} true duplicate pairs\n",
+        dataset.collection.len(),
+        dataset.ground_truth.len()
+    );
+    println!(
+        "{:<28} {:>12} {:>10} {:>8} {:>8} {:>8}",
+        "pipeline", "comparisons", "precision", "recall", "F1", "clusters"
+    );
+
+    // 1. No meta-blocking: execute every distinct blocked comparison.
+    let ctx = GraphContext::new(&blocks, dataset.collection.split());
+    let mut all_pairs: Vec<(EntityId, EntityId)> = Vec::new();
+    comparison_propagation(&ctx, |a, b| all_pairs.push((a, b)));
+    report("blocks only", &dataset, resolver.resolve(all_pairs));
+
+    // 2. Meta-blocking first: a fraction of the comparisons.
+    let retained = MetaBlocking::new(WeightingScheme::Js, PruningScheme::ReciprocalWnp)
+        .with_block_filtering(0.8)
+        .run_collect(&blocks, dataset.collection.split())
+        .expect("valid configuration");
+    report("meta-blocking + resolution", &dataset, resolver.resolve(retained));
+
+    println!(
+        "\nMeta-blocking removes the superfluous comparisons before the (expensive)\n\
+         matcher ever sees them: near-identical F1 at a fraction of the work."
+    );
+}
+
+fn report(
+    label: &str,
+    dataset: &enhanced_metablocking::datagen::GeneratedDataset,
+    mut resolution: enhanced_metablocking::resolve::Resolution,
+) {
+    let executed = resolution.executed_comparisons;
+    let matched = resolution.clusters.num_entities();
+    let q = resolution.quality(&dataset.ground_truth);
+    println!(
+        "{:<28} {:>12} {:>10.3} {:>8.3} {:>8.3} {:>8}",
+        label,
+        executed,
+        q.precision(),
+        q.recall(),
+        q.f1(),
+        matched
+    );
+}

@@ -1,0 +1,61 @@
+//! Incremental ER: resolving a stream of arriving profiles — the future
+//! work the paper's conclusion announces, implemented as an extension.
+//!
+//! Instead of blocking a complete collection, profiles arrive one at a
+//! time (a crawler, a message queue) and each arrival asks: which of the
+//! already-seen profiles should I be compared with *right now*? The
+//! incremental pipeline answers with the newcomer's top-k weighted
+//! co-occurring profiles, under incremental Token Blocking and an
+//! incremental Block-Purging size cap.
+//!
+//! ```text
+//! cargo run --release --example incremental_stream
+//! ```
+
+use enhanced_metablocking::datagen::presets;
+use enhanced_metablocking::metablocking::incremental::{
+    IncrementalConfig, IncrementalMetaBlocking,
+};
+use enhanced_metablocking::metablocking::WeightingScheme;
+
+fn main() {
+    let dataset = presets::build(&presets::tiny(5)).into_dirty();
+    let total_duplicates = dataset.ground_truth.len();
+    println!(
+        "streaming {} profiles; {} duplicate pairs hidden in the stream\n",
+        dataset.collection.len(),
+        total_duplicates
+    );
+
+    let mut inc = IncrementalMetaBlocking::new(IncrementalConfig {
+        scheme: WeightingScheme::Js,
+        k: 5,
+        max_block_size: 200,
+    });
+
+    let mut emitted = 0u64;
+    let mut found = 0usize;
+    let mut checkpoints = vec![];
+    for (n, (_, profile)) in dataset.collection.iter().enumerate() {
+        for (a, b) in inc.add(profile) {
+            emitted += 1;
+            if dataset.ground_truth.are_duplicates(a, b) {
+                found += 1;
+            }
+        }
+        if (n + 1) % 100 == 0 || n + 1 == dataset.collection.len() {
+            checkpoints.push((n + 1, emitted, found));
+        }
+    }
+
+    println!("  arrived  comparisons  duplicates found");
+    for (n, cmp, dup) in checkpoints {
+        println!("  {n:>7}  {cmp:>11}  {dup:>9} / {total_duplicates}");
+    }
+    println!(
+        "\nfinal: recall {:.3} with {:.1} comparisons per arrival — each profile is\n\
+         resolved the moment it arrives, no batch re-run needed.",
+        found as f64 / total_duplicates as f64,
+        emitted as f64 / dataset.collection.len() as f64
+    );
+}

@@ -1,0 +1,69 @@
+//! Dirty ER: deduplicating a data warehouse — the effectiveness-intensive
+//! regime.
+//!
+//! One collection, duplicates inside it, and an off-line batch budget: the
+//! cleaning job may take hours, but recall must not drop below 0.95. The
+//! paper's recommendation is Reciprocal WNP on top of Block Filtering; the
+//! example also runs Iterative Blocking, the classical block-processing
+//! baseline for this scenario, for contrast.
+//!
+//! ```text
+//! cargo run --release --example warehouse_dedup
+//! ```
+
+use enhanced_metablocking::baselines::IterativeBlocking;
+use enhanced_metablocking::blocking::{purging, BlockingMethod, TokenBlocking};
+use enhanced_metablocking::datagen::presets;
+use enhanced_metablocking::metablocking::{MetaBlocking, PruningScheme, WeightingScheme};
+use enhanced_metablocking::model::matching::JaccardMatcher;
+use enhanced_metablocking::model::measures::EffectivenessAccumulator;
+
+fn main() {
+    // A dirty collection: the two clean collections of a tiny benchmark
+    // merged into one, exactly how the paper derives D1D..D3D.
+    let dataset = presets::build(&presets::tiny(99)).into_dirty();
+    let mut blocks = TokenBlocking.build(&dataset.collection);
+    purging::purge_by_size(&mut blocks, 0.5);
+    println!(
+        "warehouse: {} records, {} duplicate pairs, {} blocked comparisons\n",
+        dataset.collection.len(),
+        dataset.ground_truth.len(),
+        blocks.total_comparisons()
+    );
+
+    // Effectiveness-intensive meta-blocking: weight-based schemes.
+    println!("{:<18} {:>12} {:>8} {:>8}", "scheme", "comparisons", "PC", "PQ");
+    for pruning in [
+        PruningScheme::Wep,
+        PruningScheme::Wnp,
+        PruningScheme::RedefinedWnp,
+        PruningScheme::ReciprocalWnp,
+    ] {
+        let mut acc = EffectivenessAccumulator::new(&dataset.ground_truth);
+        MetaBlocking::new(WeightingScheme::Arcs, pruning)
+            .with_block_filtering(0.8)
+            .run(&blocks, dataset.collection.split(), |a, b| acc.add(a, b))
+            .expect("valid configuration");
+        println!(
+            "{:<18} {:>12} {:>8.3} {:>8.4}",
+            pruning.name(),
+            acc.total_comparisons(),
+            acc.pc(),
+            acc.pq()
+        );
+    }
+
+    // The classical alternative: Iterative Blocking with a real matcher.
+    let matcher = JaccardMatcher::new(&dataset.collection, 0.5);
+    let mut outcome = IterativeBlocking::default().run(&blocks, &matcher);
+    let (pc, pq) = (outcome.pc(&dataset.ground_truth), outcome.pq(&dataset.ground_truth));
+    println!(
+        "{:<18} {:>12} {:>8.3} {:>8.4}   (Jaccard ≥ 0.5 matcher, match propagation)",
+        "Iterative Blk", outcome.executed_comparisons, pc, pq
+    );
+
+    println!(
+        "\nReciprocal WNP keeps recall near the weight-based ceiling while executing\n\
+         a fraction of Iterative Blocking's comparisons — the paper's Table 6 shape."
+    );
+}

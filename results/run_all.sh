@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerates every paper artifact at the default scales (MB_SCALE=1).
+set -u
+cd "$(dirname "$0")/.."
+for bin in table1 table2 fig10 table3 table4 table5 table6 ablation_global_threshold ablation_block_order blocking_method_equivalence scaling blast_comparison; do
+    echo "=== $bin ==="
+    start=$(date +%s)
+    if cargo run -q --release -p er-eval --bin "$bin" > "results/$bin.txt" 2>&1; then
+        echo "[$bin took $(( $(date +%s) - start ))s]"
+    else
+        echo "$bin FAILED"
+        tail -5 "results/$bin.txt"
+    fi
+done
+echo ALL_DONE

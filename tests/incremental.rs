@@ -1,0 +1,74 @@
+//! Integration test of the Incremental Meta-blocking extension against a
+//! generated stream.
+
+use er_datagen::presets;
+use mb_core::incremental::{IncrementalConfig, IncrementalMetaBlocking};
+use mb_core::weights::WeightingScheme;
+
+#[test]
+fn streaming_a_dirty_dataset_finds_most_duplicates() {
+    // Stream a small dirty dataset profile-by-profile. Duplicates are
+    // ground-truth pairs (i, n1+i): when the second member arrives, its
+    // partner is already indexed and must surface among the top-k.
+    let dataset = presets::build(&presets::tiny(21)).into_dirty();
+    let mut inc = IncrementalMetaBlocking::new(IncrementalConfig {
+        scheme: WeightingScheme::Js,
+        k: 5,
+        max_block_size: 200,
+    });
+    let mut emitted = 0u64;
+    let mut found = 0usize;
+    for (_, profile) in dataset.collection.iter() {
+        for (a, b) in inc.add(profile) {
+            emitted += 1;
+            if dataset.ground_truth.are_duplicates(a, b) {
+                found += 1;
+            }
+        }
+    }
+    let recall = found as f64 / dataset.ground_truth.len() as f64;
+    let precision = found as f64 / emitted as f64;
+    // The streaming pipeline keeps the efficiency-intensive profile: high
+    // recall at precision far above the raw blocks'.
+    assert!(recall > 0.85, "recall={recall}");
+    assert!(precision > 0.05, "precision={precision}");
+    // And it emits far fewer comparisons than blocked batch processing
+    // would (the tiny dataset's token blocks entail tens of thousands).
+    assert!(emitted < 5_000, "emitted={emitted}");
+}
+
+#[test]
+fn arrival_order_does_not_break_determinism() {
+    let dataset = presets::build(&presets::tiny(22)).into_dirty();
+    let run = || {
+        let mut inc = IncrementalMetaBlocking::new(IncrementalConfig::default());
+        let mut out = Vec::new();
+        for (_, profile) in dataset.collection.iter() {
+            out.extend(inc.add(profile));
+        }
+        out
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn cbs_vs_js_schemes_both_work_incrementally() {
+    let dataset = presets::build(&presets::tiny(23)).into_dirty();
+    for scheme in [WeightingScheme::Arcs, WeightingScheme::Cbs, WeightingScheme::Ecbs, WeightingScheme::Js] {
+        let mut inc = IncrementalMetaBlocking::new(IncrementalConfig {
+            scheme,
+            k: 3,
+            max_block_size: 200,
+        });
+        let mut found = 0usize;
+        for (_, profile) in dataset.collection.iter() {
+            for (a, b) in inc.add(profile) {
+                if dataset.ground_truth.are_duplicates(a, b) {
+                    found += 1;
+                }
+            }
+        }
+        let recall = found as f64 / dataset.ground_truth.len() as f64;
+        assert!(recall > 0.7, "{}: recall={recall}", scheme.name());
+    }
+}

@@ -1,0 +1,237 @@
+//! The paper's running example, end to end.
+//!
+//! Figures 1–9 walk six profiles (p1…p6, where p1≡p3 and p2≡p4) through
+//! Token Blocking, the JS blocking graph, WEP, node-centric pruning, Block
+//! Filtering, and the Redefined/Reciprocal variants. This test reproduces
+//! every number the figures state — it is the ground-truth fixture of the
+//! whole reproduction.
+
+use er_blocking::fixtures::{figure1_collection, figure1_ground_truth};
+use er_blocking::{BlockingMethod, TokenBlocking};
+use er_model::measures::EffectivenessAccumulator;
+use er_model::{EntityId, EntityIndex};
+use mb_core::filter::block_filtering;
+use mb_core::weighting::optimized;
+use mb_core::weights::EdgeWeigher;
+use mb_core::{GraphContext, MetaBlocking, PruningScheme, WeightingScheme};
+use std::collections::BTreeMap;
+
+/// 0-indexed pair (paper ids are 1-indexed).
+fn pair(a: u32, b: u32) -> (u32, u32) {
+    (a - 1, b - 1)
+}
+
+fn canonical(pairs: &[(EntityId, EntityId)]) -> Vec<(u32, u32)> {
+    let mut v: Vec<(u32, u32)> =
+        pairs.iter().map(|&(a, b)| (a.0.min(b.0), a.0.max(b.0))).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn figure_1b_token_blocking() {
+    let blocks = TokenBlocking.build(&figure1_collection());
+    // Eight blocks: jack, miller, erick, green, vendor, seller, lloyd, car.
+    assert_eq!(blocks.size(), 8);
+    // "the total cost is 13 comparisons ... given that the brute-force
+    // approach executes 15 comparisons".
+    assert_eq!(blocks.total_comparisons(), 13);
+    assert_eq!(figure1_collection().brute_force_comparisons(), 15);
+    // "the blocks of Figure 1(b) involve 3 redundant ... comparisons":
+    // distinct edges = 13 − 3 = 10.
+    let ctx = GraphContext::new_dirty(&blocks);
+    let degrees = mb_core::weights::Degrees::compute(&ctx);
+    assert_eq!(degrees.total_edges, 10);
+}
+
+#[test]
+fn figure_2a_js_blocking_graph() {
+    let blocks = TokenBlocking.build(&figure1_collection());
+    let ctx = GraphContext::new_dirty(&blocks);
+    let weigher = EdgeWeigher::new(WeightingScheme::Js, &ctx);
+    let mut weights: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+    optimized::for_each_edge(&ctx, &weigher, |a, b, w| {
+        weights.insert((a.0, b.0), w);
+    });
+    // The ten JS weights annotated in Figure 2(a).
+    let expected = [
+        (pair(1, 3), 2.0 / 6.0),
+        (pair(1, 4), 1.0 / 6.0),
+        (pair(2, 3), 1.0 / 7.0),
+        (pair(2, 4), 2.0 / 5.0),
+        (pair(3, 4), 1.0 / 8.0),
+        (pair(3, 5), 2.0 / 5.0),
+        (pair(3, 6), 1.0 / 5.0),
+        (pair(4, 5), 1.0 / 5.0),
+        (pair(4, 6), 1.0 / 4.0),
+        (pair(5, 6), 1.0 / 2.0),
+    ];
+    assert_eq!(weights.len(), expected.len());
+    for (edge, w) in expected {
+        let got = weights[&edge];
+        assert!((got - w).abs() < 1e-12, "edge {edge:?}: got {got}, want {w}");
+    }
+}
+
+#[test]
+fn figure_2c_wep_keeps_both_duplicates() {
+    // Figure 2(b/c) illustrates edge-centric pruning with the rounded
+    // threshold 1/4, retaining 5 edges. With the exact mean weight
+    // (0.2718…), WEP retains the 4 strongest edges — e13, e24, e35, e56 —
+    // still covering both duplicate pairs and cutting 13 comparisons to 4.
+    let collection = figure1_collection();
+    let blocks = TokenBlocking.build(&collection);
+    let retained = MetaBlocking::new(WeightingScheme::Js, PruningScheme::Wep)
+        .run_collect(&blocks, collection.split())
+        .unwrap();
+    assert_eq!(
+        canonical(&retained),
+        vec![pair(1, 3), pair(2, 4), pair(3, 5), pair(5, 6)]
+    );
+    let gt = figure1_ground_truth();
+    let mut acc = EffectivenessAccumulator::new(&gt);
+    for (a, b) in retained {
+        acc.add(a, b);
+    }
+    assert_eq!(acc.pc(), 1.0);
+}
+
+#[test]
+fn figure_5a_wnp_retains_nine_directed_edges() {
+    // Figure 5: node-centric pruning with the neighborhood-mean threshold
+    // retains 9 directed edges: 1→3, 2→4, 3→1, 3→5, 4→2, 4→6, 5→3, 5→6,
+    // 6→5, i.e. blocks b'1..b'9.
+    let collection = figure1_collection();
+    let blocks = TokenBlocking.build(&collection);
+    let retained = MetaBlocking::new(WeightingScheme::Js, PruningScheme::Wnp)
+        .run_collect(&blocks, collection.split())
+        .unwrap();
+    assert_eq!(retained.len(), 9);
+    let directed: Vec<(u32, u32)> = retained.iter().map(|&(a, b)| (a.0 + 1, b.0 + 1)).collect();
+    for expected in [(1, 3), (2, 4), (3, 1), (3, 5), (4, 2), (4, 6), (5, 3), (5, 6), (6, 5)] {
+        assert!(directed.contains(&expected), "missing directed edge {expected:?}");
+    }
+}
+
+#[test]
+fn figure_8_redefined_wnp_reduces_nine_to_five() {
+    // "the resulting blocks ... reduce the retained comparisons from 9 to 5,
+    // while maintaining the same recall".
+    let collection = figure1_collection();
+    let blocks = TokenBlocking.build(&collection);
+    let retained = MetaBlocking::new(WeightingScheme::Js, PruningScheme::RedefinedWnp)
+        .run_collect(&blocks, collection.split())
+        .unwrap();
+    assert_eq!(
+        canonical(&retained),
+        vec![pair(1, 3), pair(2, 4), pair(3, 5), pair(4, 6), pair(5, 6)]
+    );
+    let gt = figure1_ground_truth();
+    assert!(retained.iter().filter(|&&(a, b)| gt.are_duplicates(a, b)).count() == 2);
+}
+
+#[test]
+fn figure_9_reciprocal_wnp_keeps_four() {
+    // "The corresponding restructured blocks in Figure 9(b) contain just 4
+    // comparisons ... at no cost in recall."
+    let collection = figure1_collection();
+    let blocks = TokenBlocking.build(&collection);
+    let retained = MetaBlocking::new(WeightingScheme::Js, PruningScheme::ReciprocalWnp)
+        .run_collect(&blocks, collection.split())
+        .unwrap();
+    assert_eq!(
+        canonical(&retained),
+        vec![pair(1, 3), pair(2, 4), pair(3, 5), pair(5, 6)]
+    );
+}
+
+#[test]
+fn figure_6_block_filtering_then_wep() {
+    // §4.1 walks Block Filtering over the example (with an illustrative
+    // importance order) and then WEP over the filtered graph, ending at
+    // exactly the two matching comparisons. With the real importance
+    // criterion (ascending cardinality) the filtered pipeline must likewise
+    // keep both duplicates while pruning deeper than WEP alone.
+    let collection = figure1_collection();
+    let blocks = TokenBlocking.build(&collection);
+    let plain = MetaBlocking::new(WeightingScheme::Js, PruningScheme::Wep)
+        .run_collect(&blocks, collection.split())
+        .unwrap();
+    let filtered = MetaBlocking::new(WeightingScheme::Js, PruningScheme::Wep)
+        .with_block_filtering(0.5)
+        .run_collect(&blocks, collection.split())
+        .unwrap();
+    let gt = figure1_ground_truth();
+    assert!(filtered.len() <= plain.len());
+    assert_eq!(filtered.iter().filter(|&&(a, b)| gt.are_duplicates(a, b)).count(), 2);
+    // Block Filtering alone shrinks the 13 comparisons substantially.
+    let restructured = block_filtering(&blocks, 0.5).unwrap();
+    assert!(restructured.total_comparisons() < blocks.total_comparisons());
+    let idx = EntityIndex::build(&restructured);
+    assert!(idx.least_common_block(EntityId(0), EntityId(2)).is_some());
+    assert!(idx.least_common_block(EntityId(1), EntityId(3)).is_some());
+}
+
+#[test]
+fn cardinality_schemes_on_the_example() {
+    let collection = figure1_collection();
+    let blocks = TokenBlocking.build(&collection);
+    let gt = figure1_ground_truth();
+    // CEP: K = ⌊Σ|b|/2⌋ = ⌊18/2⌋ = 9, but only 10 edges exist; the 9
+    // strongest survive. Both duplicates are among the top-9 JS edges.
+    let cep = MetaBlocking::new(WeightingScheme::Js, PruningScheme::Cep)
+        .run_collect(&blocks, collection.split())
+        .unwrap();
+    assert_eq!(cep.len(), 9);
+    assert_eq!(cep.iter().filter(|&&(a, b)| gt.are_duplicates(a, b)).count(), 2);
+    // Reciprocal CNP keeps only reciprocally-best pairs; the duplicates
+    // survive and precision beats original CNP's.
+    let cnp = MetaBlocking::new(WeightingScheme::Js, PruningScheme::Cnp)
+        .run_collect(&blocks, collection.split())
+        .unwrap();
+    let reciprocal = MetaBlocking::new(WeightingScheme::Js, PruningScheme::ReciprocalCnp)
+        .run_collect(&blocks, collection.split())
+        .unwrap();
+    assert!(reciprocal.len() < cnp.len());
+    assert_eq!(reciprocal.iter().filter(|&&(a, b)| gt.are_duplicates(a, b)).count(), 2);
+}
+
+#[test]
+fn figure_1_weights_under_every_scheme() {
+    // Hand-derived weights over the Figure-1 blocks for the edge p1–p3
+    // (shares the `jack` and `miller` blocks, one comparison each) and the
+    // edge p3–p4 (shares only the 4-profile `car` block, 6 comparisons).
+    let blocks = TokenBlocking.build(&figure1_collection());
+    let ctx = GraphContext::new_dirty(&blocks);
+    let weight_of = |scheme: WeightingScheme, a: u32, b: u32| {
+        let weigher = EdgeWeigher::new(scheme, &ctx);
+        let mut found = None;
+        optimized::for_each_edge(&ctx, &weigher, |x, y, w| {
+            if (x.0, y.0) == (a - 1, b - 1) {
+                found = Some(w);
+            }
+        });
+        found.expect("edge exists")
+    };
+
+    // ARCS: Σ 1/‖b‖ over the shared blocks.
+    assert!((weight_of(WeightingScheme::Arcs, 1, 3) - 2.0).abs() < 1e-12);
+    assert!((weight_of(WeightingScheme::Arcs, 3, 4) - 1.0 / 6.0).abs() < 1e-12);
+
+    // CBS: |B_ij|.
+    assert_eq!(weight_of(WeightingScheme::Cbs, 1, 3), 2.0);
+    assert_eq!(weight_of(WeightingScheme::Cbs, 3, 4), 1.0);
+
+    // ECBS: CBS · ln(|B|/|B_i|) · ln(|B|/|B_j|) with |B| = 8, |B_1| = 3,
+    // |B_3| = 5, |B_4| = 4.
+    let ecbs13 = 2.0 * (8.0f64 / 3.0).ln() * (8.0f64 / 5.0).ln();
+    assert!((weight_of(WeightingScheme::Ecbs, 1, 3) - ecbs13).abs() < 1e-12);
+    let ecbs34 = 1.0 * (8.0f64 / 5.0).ln() * (8.0f64 / 4.0).ln();
+    assert!((weight_of(WeightingScheme::Ecbs, 3, 4) - ecbs34).abs() < 1e-12);
+
+    // EJS: JS · ln(|E_B|/|v_i|) · ln(|E_B|/|v_j|) with |E_B| = 10,
+    // |v_1| = 2 (neighbors p3, p4) and |v_3| = 5 (all but p4? no: p1, p2,
+    // p4, p5, p6).
+    let ejs13 = (1.0f64 / 3.0) * (10.0f64 / 2.0).ln() * (10.0f64 / 5.0).ln();
+    assert!((weight_of(WeightingScheme::Ejs, 1, 3) - ejs13).abs() < 1e-12);
+}

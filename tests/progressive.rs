@@ -1,0 +1,89 @@
+//! The progressive (pay-as-you-go) schedule must front-load the duplicates.
+
+use er_blocking::{purging, BlockingMethod, TokenBlocking};
+use er_datagen::presets;
+use mb_core::progressive::ProgressiveSchedule;
+use mb_core::weights::WeightingScheme;
+
+fn workload() -> (er_datagen::GeneratedDataset, er_model::BlockCollection) {
+    let d = presets::build(&presets::tiny(77));
+    let mut blocks = TokenBlocking.build(&d.collection);
+    purging::purge_by_size(&mut blocks, 0.5);
+    (d, blocks)
+}
+
+#[test]
+fn schedule_front_loads_duplicates() {
+    let (d, blocks) = workload();
+    let schedule = ProgressiveSchedule::build(&blocks, d.collection.split(), WeightingScheme::Js);
+    let total = schedule.len();
+    let gt_size = d.ground_truth.len();
+
+    // Recall after the first 10% of the schedule must far exceed 10% (a
+    // random order would track the diagonal).
+    let budget = total / 10;
+    let found = schedule
+        .prefix(budget)
+        .iter()
+        .filter(|(a, b, _)| d.ground_truth.are_duplicates(*a, *b))
+        .count();
+    let early_recall = found as f64 / gt_size as f64;
+    assert!(
+        early_recall > 0.5,
+        "10% of the schedule found only {early_recall:.3} of the duplicates"
+    );
+
+    // And the full schedule covers everything the blocks cover.
+    let all = schedule
+        .iter()
+        .filter(|(a, b, _)| d.ground_truth.are_duplicates(*a, *b))
+        .count();
+    let covered = er_model::measures::detected_duplicates_in(&blocks, &d.ground_truth);
+    assert_eq!(all, covered);
+}
+
+#[test]
+fn progressive_beats_block_order_auc() {
+    let (d, blocks) = workload();
+    let schedule = ProgressiveSchedule::build(&blocks, d.collection.split(), WeightingScheme::Arcs);
+
+    // Baseline order: comparisons as the blocks enumerate them (distinct
+    // pairs, first occurrence).
+    let mut seen = er_model::ComparisonSet::new();
+    let mut block_order = Vec::new();
+    blocks.for_each_comparison(|a, b| {
+        if seen.insert(a, b) {
+            block_order.push((a, b));
+        }
+    });
+
+    let auc = |pairs: &mut dyn Iterator<Item = (er_model::EntityId, er_model::EntityId)>| {
+        let mut found = 0u64;
+        let mut area = 0u64;
+        for (a, b) in pairs {
+            if d.ground_truth.are_duplicates(a, b) {
+                found += 1;
+            }
+            area += found;
+        }
+        area
+    };
+    let progressive_auc = auc(&mut schedule.iter().map(|(a, b, _)| (a, b)));
+    let baseline_auc = auc(&mut block_order.iter().copied());
+    assert!(
+        progressive_auc > baseline_auc,
+        "progressive AUC {progressive_auc} <= baseline {baseline_auc}"
+    );
+}
+
+#[test]
+fn budgeted_schedule_is_a_true_prefix() {
+    let (d, blocks) = workload();
+    let split = d.collection.split();
+    let full = ProgressiveSchedule::build(&blocks, split, WeightingScheme::Ecbs);
+    for budget in [1usize, 17, 500, usize::MAX] {
+        let bounded = ProgressiveSchedule::with_budget(&blocks, split, WeightingScheme::Ecbs, budget.min(full.len() + 10));
+        let n = bounded.len();
+        assert_eq!(bounded.prefix(n), full.prefix(n));
+    }
+}

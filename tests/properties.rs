@@ -1,0 +1,237 @@
+//! Property-based invariants over randomized block collections.
+
+use er_model::{Block, BlockCollection, ComparisonSet, EntityId, EntityIndex, ErKind};
+use mb_core::filter::block_filtering;
+use mb_core::weighting::{optimized, original};
+use mb_core::weights::{Degrees, EdgeWeigher, WeightingScheme};
+use mb_core::{GraphContext, MetaBlocking, PruningScheme};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const MAX_ENTITIES: u32 = 24;
+
+/// Strategy: a random Dirty block collection over up to MAX_ENTITIES
+/// profiles — between 1 and 12 blocks of 2–6 distinct members each.
+fn dirty_blocks() -> impl Strategy<Value = BlockCollection> {
+    prop::collection::vec(prop::collection::btree_set(0..MAX_ENTITIES, 2..6), 1..12).prop_map(
+        |sets| {
+            let blocks = sets
+                .into_iter()
+                .map(|s| Block::dirty(s.into_iter().map(EntityId).collect()))
+                .collect();
+            BlockCollection::new(ErKind::Dirty, MAX_ENTITIES as usize, blocks)
+        },
+    )
+}
+
+/// Strategy: a random Clean-Clean block collection (split at 12).
+fn clean_blocks() -> impl Strategy<Value = BlockCollection> {
+    prop::collection::vec(
+        (
+            prop::collection::btree_set(0..12u32, 1..4),
+            prop::collection::btree_set(12..MAX_ENTITIES, 1..4),
+        ),
+        1..10,
+    )
+    .prop_map(|sides| {
+        let blocks = sides
+            .into_iter()
+            .map(|(l, r)| {
+                Block::clean_clean(
+                    l.into_iter().map(EntityId).collect(),
+                    r.into_iter().map(EntityId).collect(),
+                )
+            })
+            .collect();
+        BlockCollection::new(ErKind::CleanClean, MAX_ENTITIES as usize, blocks)
+    })
+}
+
+fn edge_map(
+    f: impl FnOnce(&mut dyn FnMut(EntityId, EntityId, f64)),
+) -> BTreeMap<(u32, u32), f64> {
+    let mut out = BTreeMap::new();
+    let mut sink = |a: EntityId, b: EntityId, w: f64| {
+        out.insert((a.0.min(b.0), a.0.max(b.0)), w);
+    };
+    f(&mut sink);
+    out
+}
+
+proptest! {
+    #[test]
+    fn entity_index_block_lists_are_sorted_and_complete(blocks in dirty_blocks()) {
+        let idx = EntityIndex::build(&blocks);
+        let mut assignments = 0usize;
+        for e in 0..MAX_ENTITIES {
+            let list = idx.block_list(EntityId(e));
+            prop_assert!(list.windows(2).all(|w| w[0] < w[1]));
+            assignments += list.len();
+        }
+        prop_assert_eq!(assignments as u64, blocks.total_assignments());
+    }
+
+    #[test]
+    fn common_blocks_is_symmetric(blocks in dirty_blocks(), a in 0..MAX_ENTITIES, b in 0..MAX_ENTITIES) {
+        let idx = EntityIndex::build(&blocks);
+        prop_assert_eq!(
+            idx.common_blocks(EntityId(a), EntityId(b)),
+            idx.common_blocks(EntityId(b), EntityId(a))
+        );
+    }
+
+    #[test]
+    fn optimized_equals_original_weighting(blocks in dirty_blocks(), scheme_idx in 0usize..5) {
+        let scheme = WeightingScheme::ALL[scheme_idx];
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(scheme, &ctx);
+        let fast = edge_map(|s| optimized::for_each_edge(&ctx, &weigher, s));
+        let slow = edge_map(|s| original::for_each_edge(&ctx, &weigher, s));
+        prop_assert_eq!(fast.len(), slow.len());
+        for (edge, w) in &fast {
+            let w2 = slow[edge];
+            prop_assert!((w - w2).abs() < 1e-9, "{:?}: {} vs {}", edge, w, w2);
+        }
+    }
+
+    #[test]
+    fn optimized_equals_original_weighting_clean(blocks in clean_blocks(), scheme_idx in 0usize..5) {
+        let scheme = WeightingScheme::ALL[scheme_idx];
+        let ctx = GraphContext::new(&blocks, 12);
+        let weigher = EdgeWeigher::new(scheme, &ctx);
+        let fast = edge_map(|s| optimized::for_each_edge(&ctx, &weigher, s));
+        let slow = edge_map(|s| original::for_each_edge(&ctx, &weigher, s));
+        prop_assert_eq!(&fast, &slow);
+        // Every edge crosses the split.
+        for (a, b) in fast.keys() {
+            prop_assert!(*a < 12 && *b >= 12);
+        }
+    }
+
+    #[test]
+    fn degrees_are_consistent_with_edges(blocks in dirty_blocks()) {
+        let ctx = GraphContext::new_dirty(&blocks);
+        let d = Degrees::compute(&ctx);
+        let sum: u64 = d.per_node.iter().map(|&x| x as u64).sum();
+        prop_assert_eq!(sum, 2 * d.total_edges);
+        let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
+        let edges = edge_map(|s| optimized::for_each_edge(&ctx, &weigher, s));
+        prop_assert_eq!(edges.len() as u64, d.total_edges);
+    }
+
+    #[test]
+    fn block_filtering_shrinks_and_respects_limits(blocks in dirty_blocks(), r_pct in 5u32..=100) {
+        let r = r_pct as f64 / 100.0;
+        let filtered = block_filtering(&blocks, r).unwrap();
+        prop_assert!(filtered.total_comparisons() <= blocks.total_comparisons());
+        // Per-profile limits respected.
+        let before = blocks.assignments_per_entity();
+        let after = filtered.assignments_per_entity();
+        for e in 0..MAX_ENTITIES as usize {
+            if before[e] > 0 {
+                let limit = ((r * before[e] as f64).round() as u32).max(1);
+                prop_assert!(after[e] <= limit, "entity {}: {} > {}", e, after[e], limit);
+            }
+        }
+        // r = 1 is the identity on comparisons.
+        if r_pct == 100 {
+            prop_assert_eq!(filtered.total_comparisons(), blocks.total_comparisons());
+        }
+    }
+
+    #[test]
+    fn redefined_is_dedup_of_original(blocks in dirty_blocks(), scheme_idx in 0usize..5) {
+        let scheme = WeightingScheme::ALL[scheme_idx];
+        for (orig, redef) in [
+            (PruningScheme::Cnp, PruningScheme::RedefinedCnp),
+            (PruningScheme::Wnp, PruningScheme::RedefinedWnp),
+        ] {
+            let o = MetaBlocking::new(scheme, orig).run_collect(&blocks, MAX_ENTITIES as usize).unwrap();
+            let r = MetaBlocking::new(scheme, redef).run_collect(&blocks, MAX_ENTITIES as usize).unwrap();
+            let mut oset = ComparisonSet::new();
+            for (a, b) in &o {
+                oset.insert(*a, *b);
+            }
+            let mut rset = ComparisonSet::new();
+            for (a, b) in &r {
+                prop_assert!(rset.insert(*a, *b), "redefined emitted a duplicate");
+            }
+            prop_assert_eq!(oset.len(), rset.len());
+            for (a, b) in &r {
+                prop_assert!(oset.contains(*a, *b));
+            }
+        }
+    }
+
+    #[test]
+    fn reciprocal_is_subset_of_redefined(blocks in dirty_blocks(), scheme_idx in 0usize..5) {
+        let scheme = WeightingScheme::ALL[scheme_idx];
+        for (redef, recip) in [
+            (PruningScheme::RedefinedCnp, PruningScheme::ReciprocalCnp),
+            (PruningScheme::RedefinedWnp, PruningScheme::ReciprocalWnp),
+        ] {
+            let rd = MetaBlocking::new(scheme, redef).run_collect(&blocks, MAX_ENTITIES as usize).unwrap();
+            let rc = MetaBlocking::new(scheme, recip).run_collect(&blocks, MAX_ENTITIES as usize).unwrap();
+            let mut rdset = ComparisonSet::new();
+            for (a, b) in &rd {
+                rdset.insert(*a, *b);
+            }
+            prop_assert!(rc.len() <= rd.len());
+            for (a, b) in &rc {
+                prop_assert!(rdset.contains(*a, *b));
+            }
+        }
+    }
+
+    #[test]
+    fn cep_cardinality_bound(blocks in dirty_blocks(), scheme_idx in 0usize..5) {
+        let scheme = WeightingScheme::ALL[scheme_idx];
+        let ctx = GraphContext::new_dirty(&blocks);
+        let k = mb_core::prune::cep_threshold(&ctx);
+        let d = Degrees::compute(&ctx);
+        let out = MetaBlocking::new(scheme, PruningScheme::Cep)
+            .run_collect(&blocks, MAX_ENTITIES as usize)
+            .unwrap();
+        prop_assert_eq!(out.len(), k.min(d.total_edges as usize));
+    }
+
+    #[test]
+    fn comparison_propagation_yields_each_edge_once(blocks in dirty_blocks()) {
+        let ctx = GraphContext::new_dirty(&blocks);
+        let mut seen = ComparisonSet::new();
+        let mut count = 0usize;
+        mb_core::propagation::comparison_propagation(&ctx, |a, b| {
+            count += 1;
+            assert!(seen.insert(a, b), "duplicate pair");
+        });
+        let d = Degrees::compute(&ctx);
+        prop_assert_eq!(count as u64, d.total_edges);
+        // Exactly the pairs that co-occur somewhere.
+        let idx = EntityIndex::build(&blocks);
+        for a in 0..MAX_ENTITIES {
+            for b in (a + 1)..MAX_ENTITIES {
+                let co = idx.least_common_block(EntityId(a), EntityId(b)).is_some();
+                prop_assert_eq!(co, seen.contains(EntityId(a), EntityId(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn wep_never_loses_the_heaviest_edge(blocks in dirty_blocks(), scheme_idx in 0usize..5) {
+        let scheme = WeightingScheme::ALL[scheme_idx];
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(scheme, &ctx);
+        let edges = edge_map(|s| optimized::for_each_edge(&ctx, &weigher, s));
+        prop_assume!(!edges.is_empty());
+        let (&best, _) = edges
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1).then_with(|| a.0.cmp(b.0)))
+            .unwrap();
+        let out = MetaBlocking::new(scheme, PruningScheme::Wep)
+            .run_collect(&blocks, MAX_ENTITIES as usize)
+            .unwrap();
+        let kept: Vec<(u32, u32)> =
+            out.iter().map(|&(a, b)| (a.0.min(b.0), a.0.max(b.0))).collect();
+        prop_assert!(kept.contains(&best), "heaviest edge {:?} pruned", best);
+    }
+}
