@@ -66,7 +66,13 @@ impl IterativeBlockingOutcome {
 
 impl IterativeBlocking {
     /// Runs Iterative Blocking over `blocks` with the given matcher.
-    pub fn run(&self, blocks: &BlockCollection, matcher: &impl Matcher) -> IterativeBlockingOutcome {
+    pub fn run(
+        &self,
+        blocks: &BlockCollection,
+        matcher: &impl Matcher,
+    ) -> IterativeBlockingOutcome {
+        #[cfg(feature = "sanitize")]
+        er_model::sanitize::assert_valid(&blocks.validate(), "IterativeBlocking::run input");
         let n = blocks.num_entities();
         let mut clusters = UnionFind::new(n);
         let mut matched = vec![false; n];
@@ -98,6 +104,15 @@ impl IterativeBlocking {
                 }
             });
         }
+        // Saving comparisons is the whole point: the executed count can
+        // never exceed what the input blocks entail.
+        #[cfg(feature = "sanitize")]
+        assert!(
+            executed <= blocks.total_comparisons(),
+            "mb-sanitize: Iterative Blocking executed {executed} comparisons, \
+             input entails only {}",
+            blocks.total_comparisons()
+        );
         IterativeBlockingOutcome { executed_comparisons: executed, matches_found, clusters }
     }
 }
@@ -195,8 +210,7 @@ mod tests {
 
     #[test]
     fn no_matches_means_all_comparisons_run() {
-        let blocks =
-            BlockCollection::new(ErKind::Dirty, 3, vec![Block::dirty(ids(&[0, 1, 2]))]);
+        let blocks = BlockCollection::new(ErKind::Dirty, 3, vec![Block::dirty(ids(&[0, 1, 2]))]);
         let truth = gt(&[]);
         let oracle = OracleMatcher::new(&truth);
         let mut out = IterativeBlocking::default().run(&blocks, &oracle);

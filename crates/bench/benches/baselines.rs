@@ -4,9 +4,10 @@
 //! graph); Iterative Blocking sits between it and the graph-based schemes
 //! on small data but scales worse (it re-walks every block comparison).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use er_baselines::IterativeBlocking;
 use er_bench::clean_workload;
+use er_bench::harness::Criterion;
+use er_bench::{criterion_group, criterion_main};
 use er_model::matching::OracleMatcher;
 use mb_core::propagation::{comparison_propagation, comparison_propagation_lecobi};
 use mb_core::{pipeline, GraphContext, MetaBlocking, PruningScheme, WeightingScheme};

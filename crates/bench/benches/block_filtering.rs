@@ -4,8 +4,9 @@
 //! `O(|B| log |B|)`), and the downstream graph sweep gets ~2× faster because
 //! the filtered graph has roughly half the edges.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use er_bench::clean_workload;
+use er_bench::harness::Criterion;
+use er_bench::{criterion_group, criterion_main};
 use mb_core::filter::{block_filtering, block_filtering_with_order, BlockOrder};
 use mb_core::weighting::optimized;
 use mb_core::weights::{EdgeWeigher, WeightingScheme};
@@ -29,9 +30,7 @@ fn bench_block_filtering(c: &mut Criterion) {
     // The importance-order ablation: input order skips the sort.
     group.bench_function("filter/r=0.8/input-order", |b| {
         b.iter(|| {
-            black_box(
-                block_filtering_with_order(&workload.blocks, 0.8, BlockOrder::Input).unwrap(),
-            )
+            black_box(block_filtering_with_order(&workload.blocks, 0.8, BlockOrder::Input).unwrap())
         })
     });
 

@@ -4,8 +4,9 @@
 //! Table 1 shows OTime of seconds against resolution times of minutes to
 //! hours. This bench covers the blocking methods plus Block Purging.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use er_bench::clean_workload;
+use er_bench::harness::Criterion;
+use er_bench::{criterion_group, criterion_main};
 use er_blocking::{
     purging, AttributeClusteringBlocking, BlockingMethod, QGramsBlocking, SortedNeighborhood,
     StandardBlocking, SuffixArraysBlocking, TokenBlocking,

@@ -5,17 +5,16 @@
 //! implementations enumerate the same weighted edges over the same blocks;
 //! the per-edge cost model is the entire difference.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use er_bench::harness::{BatchSize, Criterion};
 use er_bench::{clean_workload, dirty_workload};
+use er_bench::{criterion_group, criterion_main};
 use mb_core::weighting::{optimized, original};
 use mb_core::weights::{EdgeWeigher, WeightingScheme};
 use mb_core::GraphContext;
 use std::hint::black_box;
 
 fn bench_edge_weighting(c: &mut Criterion) {
-    for (label, workload) in
-        [("clean", clean_workload()), ("dirty", dirty_workload())]
-    {
+    for (label, workload) in [("clean", clean_workload()), ("dirty", dirty_workload())] {
         let ctx = GraphContext::new(&workload.blocks, workload.collection.split());
         let mut group = c.benchmark_group(format!("edge_weighting/{label}"));
         group.sample_size(10);

@@ -6,8 +6,9 @@
 //! redefined/reciprocal pairs cost the same as each other (they differ by
 //! one operator).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use er_bench::clean_workload;
+use er_bench::harness::Criterion;
+use er_bench::{criterion_group, criterion_main};
 use mb_core::filter::block_filtering;
 use mb_core::{MetaBlocking, PruningScheme, WeightingScheme};
 use std::hint::black_box;

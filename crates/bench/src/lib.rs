@@ -1,4 +1,4 @@
-//! Shared fixtures for the Criterion benches.
+//! Shared fixtures and the bench harness for the workspace benches.
 //!
 //! Every bench works on the same deterministic benchmark: a scaled-down
 //! D1C-like Clean-Clean dataset and its Dirty derivative, blocked with Token
@@ -8,6 +8,8 @@
 //! meaningful — they are cost-model properties, not scale properties.
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use er_blocking::{purging, BlockingMethod, TokenBlocking};
 use er_datagen::presets;

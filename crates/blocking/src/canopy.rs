@@ -43,11 +43,8 @@ impl BlockingMethod for CanopyClustering {
             "removal_threshold must be at least inclusion_threshold"
         );
         let mut interner = Interner::new();
-        let sets: Vec<Vec<u32>> = collection
-            .profiles()
-            .iter()
-            .map(|p| token_id_set(p.values(), &mut interner))
-            .collect();
+        let sets: Vec<Vec<u32>> =
+            collection.profiles().iter().map(|p| token_id_set(p.values(), &mut interner)).collect();
 
         // Inverted index token -> profiles, to find canopy candidates
         // without the quadratic scan.
@@ -66,7 +63,7 @@ impl BlockingMethod for CanopyClustering {
                 continue;
             }
             in_pool[seed] = false;
-            let seed_id = EntityId(seed as u32);
+            let seed_id = EntityId::from_index(seed);
             let mut members = vec![seed_id];
             // Candidates: profiles sharing at least one token with the seed.
             let mut candidates: Vec<u32> = sets[seed]

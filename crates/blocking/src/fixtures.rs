@@ -14,15 +14,9 @@ use er_model::{EntityCollection, EntityId, EntityProfile, GroundTruth};
 /// the example would entail 15 comparisons, not the 13 the paper reports.
 pub fn figure1_profiles() -> Vec<EntityProfile> {
     vec![
-        EntityProfile::new("p1")
-            .with("FullName", "Jack Lloyd Miller")
-            .with("job", "autoseller"),
-        EntityProfile::new("p2")
-            .with("name", "Erick Green")
-            .with("profession", "vehicle vendor"),
-        EntityProfile::new("p3")
-            .with("fullname", "Jack Miller")
-            .with("Work", "car vendor-seller"),
+        EntityProfile::new("p1").with("FullName", "Jack Lloyd Miller").with("job", "autoseller"),
+        EntityProfile::new("p2").with("name", "Erick Green").with("profession", "vehicle vendor"),
+        EntityProfile::new("p3").with("fullname", "Jack Miller").with("Work", "car vendor-seller"),
         EntityProfile::new("p4").with("", "Erick Lloyd Green").with("", "car trader"),
         EntityProfile::new("p5").with("Fullname", "James Jordan").with("job", "car seller"),
         EntityProfile::new("p6").with("name", "Nick Papas").with("profession", "car dealer"),

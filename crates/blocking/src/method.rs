@@ -13,4 +13,29 @@ pub trait BlockingMethod {
 
     /// Builds the blocks for `collection`.
     fn build(&self, collection: &EntityCollection) -> BlockCollection;
+
+    /// [`BlockingMethod::build`] followed by a structural validation of the
+    /// result (including the Clean-Clean side assignment against the
+    /// collection's split). Panics on the first violation; intended for
+    /// tests and `sanitize` pipelines, not for hot loops.
+    fn build_validated(&self, collection: &EntityCollection) -> BlockCollection {
+        let blocks = self.build(collection);
+        let context = format!("{} output", self.name());
+        er_model::sanitize::assert_valid(&blocks.validate(), &context);
+        er_model::sanitize::assert_valid(&blocks.validate_split(collection.split()), &context);
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fixtures, TokenBlocking};
+
+    #[test]
+    fn build_validated_accepts_well_formed_output() {
+        let collection = fixtures::figure1_collection();
+        let blocks = TokenBlocking.build_validated(&collection);
+        assert_eq!(blocks.size(), TokenBlocking.build(&collection).size());
+    }
 }

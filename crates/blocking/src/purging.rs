@@ -19,13 +19,18 @@ use er_model::BlockCollection;
 ///
 /// Returns the number of purged blocks.
 pub fn purge_by_size(blocks: &mut BlockCollection, max_size_ratio: f64) -> usize {
-    assert!(
-        max_size_ratio > 0.0 && max_size_ratio <= 1.0,
-        "max_size_ratio must lie in (0, 1]"
-    );
+    assert!(max_size_ratio > 0.0 && max_size_ratio <= 1.0, "max_size_ratio must lie in (0, 1]");
     let limit = (blocks.num_entities() as f64 * max_size_ratio).floor() as usize;
     let before = blocks.size();
     blocks.blocks_mut().retain(|b| b.size() <= limit);
+    #[cfg(feature = "sanitize")]
+    {
+        er_model::sanitize::assert_valid(&blocks.validate(), "purge_by_size output");
+        assert!(
+            blocks.blocks().iter().all(|b| b.size() <= limit),
+            "mb-sanitize: purge_by_size left a block above the size limit {limit}"
+        );
+    }
     before - blocks.size()
 }
 
@@ -72,7 +77,9 @@ pub fn purge_by_comparisons(blocks: &mut BlockCollection) -> usize {
     // Scan from the largest cardinality down: while the inclusion of the
     // largest remaining blocks no longer increases CC/BC noticeably, keep
     // them; the threshold is set at the first (largest) step that does.
-    let mut threshold = distinct.last().expect("non-empty").0;
+    // `distinct` has at least one entry: `blocks` is non-empty (checked at
+    // entry) and every block contributes to some cardinality bucket.
+    let mut threshold = distinct.last().map_or(0, |last| last.0);
     for w in distinct.windows(2).rev() {
         let (_, cc_lo, bc_lo) = w[0];
         let (d_hi, cc_hi, bc_hi) = w[1];
@@ -91,6 +98,15 @@ pub fn purge_by_comparisons(blocks: &mut BlockCollection) -> usize {
 
     let before = blocks.size();
     blocks.blocks_mut().retain(|b| b.cardinality() <= threshold);
+    #[cfg(feature = "sanitize")]
+    {
+        er_model::sanitize::assert_valid(&blocks.validate(), "purge_by_comparisons output");
+        assert!(
+            blocks.blocks().iter().all(|b| b.cardinality() <= threshold),
+            "mb-sanitize: purge_by_comparisons left a block above the \
+             cardinality threshold {threshold}"
+        );
+    }
     before - blocks.size()
 }
 
@@ -118,8 +134,7 @@ mod tests {
 
     #[test]
     fn size_purging_boundary_is_inclusive() {
-        let mut blocks =
-            BlockCollection::new(ErKind::Dirty, 10, vec![Block::dirty(ids(0..5))]);
+        let mut blocks = BlockCollection::new(ErKind::Dirty, 10, vec![Block::dirty(ids(0..5))]);
         assert_eq!(purge_by_size(&mut blocks, 0.5), 0);
         assert_eq!(blocks.size(), 1);
     }
@@ -135,9 +150,8 @@ mod tests {
     fn comparison_purging_drops_dominating_block() {
         // Many small blocks plus one gigantic one: the giant dominates the
         // comparison count and must be purged.
-        let mut v: Vec<Block> = (0..20)
-            .map(|i| Block::dirty(vec![EntityId(i), EntityId(i + 1)]))
-            .collect();
+        let mut v: Vec<Block> =
+            (0..20).map(|i| Block::dirty(vec![EntityId(i), EntityId(i + 1)])).collect();
         v.push(Block::dirty(ids(0..100)));
         let mut blocks = BlockCollection::new(ErKind::Dirty, 100, v);
         let purged = purge_by_comparisons(&mut blocks);

@@ -32,8 +32,7 @@ impl BlockingMethod for QGramsBlocking {
     fn build(&self, collection: &EntityCollection) -> BlockCollection {
         let mut builder = KeyBlockBuilder::new(collection);
         for (id, profile) in collection.iter() {
-            let mut grams: Vec<String> =
-                profile.values().flat_map(|v| qgrams(v, self.q)).collect();
+            let mut grams: Vec<String> = profile.values().flat_map(|v| qgrams(v, self.q)).collect();
             grams.sort_unstable();
             grams.dedup();
             for g in &grams {

@@ -31,12 +31,7 @@ impl SortedNeighborhood {
     /// classic implementations use a domain-specific key, which heterogeneous
     /// Web data does not offer.
     fn sort_key(collection: &EntityCollection, id: EntityId) -> String {
-        collection
-            .profile(id)
-            .values()
-            .flat_map(tokens)
-            .min()
-            .unwrap_or_default()
+        collection.profile(id).values().flat_map(tokens).min().unwrap_or_default()
     }
 }
 
@@ -98,11 +93,8 @@ mod tests {
         // Sorted: alpha(p1), bravo(p3), charlie(p2), delta(p0) ->
         // windows: {p1,p3}, {p3,p2}, {p2,p0}.
         assert_eq!(blocks.size(), 3);
-        let pairs: Vec<(u32, u32)> = blocks
-            .blocks()
-            .iter()
-            .map(|b| (b.left()[0].0, b.left()[1].0))
-            .collect();
+        let pairs: Vec<(u32, u32)> =
+            blocks.blocks().iter().map(|b| (b.left()[0].0, b.left()[1].0)).collect();
         assert_eq!(pairs, vec![(1, 3), (3, 2), (2, 0)]);
     }
 

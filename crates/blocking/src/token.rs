@@ -68,11 +68,7 @@ mod tests {
         assert_eq!(sizes, vec![2, 2, 2, 2, 2, 2, 2, 4]);
 
         // The "car" block holds p3..p6 (ids 2..5).
-        let car = blocks
-            .blocks()
-            .iter()
-            .find(|b| b.size() == 4)
-            .expect("car block");
+        let car = blocks.blocks().iter().find(|b| b.size() == 4).expect("car block");
         assert_eq!(car.left(), &[EntityId(2), EntityId(3), EntityId(4), EntityId(5)]);
     }
 

@@ -29,10 +29,9 @@ impl Args {
                 let (key, value) = match key.split_once('=') {
                     Some((k, v)) => (k.to_string(), v.to_string()),
                     None => {
-                        let value = match iter.peek() {
-                            Some(next) if !next.starts_with("--") => iter.next().unwrap(),
-                            _ => "true".to_string(),
-                        };
+                        let value = iter
+                            .next_if(|next| !next.starts_with("--"))
+                            .unwrap_or_else(|| "true".to_string());
                         (key.to_string(), value)
                     }
                 };

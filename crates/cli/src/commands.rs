@@ -94,7 +94,10 @@ pub fn stats(args: &Args) -> Result<String, String> {
     let _ = writeln!(
         out,
         "RR vs brute force:  {:.4}",
-        measures::reduction_ratio(bundle.collection.brute_force_comparisons(), blocks.total_comparisons())
+        measures::reduction_ratio(
+            bundle.collection.brute_force_comparisons(),
+            blocks.total_comparisons()
+        )
     );
     Ok(out)
 }
@@ -135,9 +138,7 @@ pub fn run(args: &Args) -> Result<String, String> {
     let pruning = parse_pruning(args.get("pruning").unwrap_or("reciprocal-wnp"))?;
     let filter: Option<f64> = match args.get("filter") {
         None => None,
-        Some(v) => {
-            Some(v.parse().map_err(|_| format!("invalid value for --filter: `{v}`"))?)
-        }
+        Some(v) => Some(v.parse().map_err(|_| format!("invalid value for --filter: `{v}`"))?),
     };
 
     let mut acc = EffectivenessAccumulator::new(&bundle.ground_truth);
@@ -177,7 +178,8 @@ pub fn run(args: &Args) -> Result<String, String> {
                 ]
             }))
             .collect();
-        std::fs::write(path, er_io::csv::write(&rows)).map_err(|e| format!("writing {path}: {e}"))?;
+        std::fs::write(path, er_io::csv::write(&rows))
+            .map_err(|e| format!("writing {path}: {e}"))?;
     }
 
     let mut out = String::new();
@@ -236,18 +238,23 @@ mod tests {
     fn generate_then_stats_then_run() {
         let dir = temp_dir("pipeline");
         let dir_s = dir.to_str().unwrap();
-        let msg = generate(&argv(&[
-            "generate", "--preset", "tiny", "--out", dir_s, "--seed", "5",
-        ]))
-        .unwrap();
+        let msg = generate(&argv(&["generate", "--preset", "tiny", "--out", dir_s, "--seed", "5"]))
+            .unwrap();
         assert!(msg.contains("450 profiles"));
 
         let s = stats(&argv(&["stats", "--dataset", dir_s])).unwrap();
         assert!(s.contains("PC(B):"), "{s}");
 
         let r = run(&argv(&[
-            "run", "--dataset", dir_s, "--scheme", "js", "--pruning", "reciprocal-wnp",
-            "--filter", "0.8",
+            "run",
+            "--dataset",
+            dir_s,
+            "--scheme",
+            "js",
+            "--pruning",
+            "reciprocal-wnp",
+            "--filter",
+            "0.8",
         ]))
         .unwrap();
         assert!(r.contains("JS + Reciprocal WNP"), "{r}");
@@ -263,7 +270,13 @@ mod tests {
             .unwrap();
         let out_csv = dir.join("pairs.csv");
         run(&argv(&[
-            "run", "--dataset", dir_s, "--pruning", "cep", "--out", out_csv.to_str().unwrap(),
+            "run",
+            "--dataset",
+            dir_s,
+            "--pruning",
+            "cep",
+            "--out",
+            out_csv.to_str().unwrap(),
         ]))
         .unwrap();
         let text = std::fs::read_to_string(&out_csv).unwrap();
@@ -282,8 +295,8 @@ mod tests {
         .unwrap();
         let r = run(&argv(&["run", "--dataset", dir_s, "--pruning", "graph-free"])).unwrap();
         assert!(r.contains("Graph-free"), "{r}");
-        let s = sweep_filter(&argv(&["sweep-filter", "--dataset", dir_s, "--step", "0.25"]))
-            .unwrap();
+        let s =
+            sweep_filter(&argv(&["sweep-filter", "--dataset", dir_s, "--step", "0.25"])).unwrap();
         assert_eq!(s.lines().count(), 2 + 4, "{s}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -293,8 +306,10 @@ mod tests {
         assert!(generate(&argv(&["generate", "--preset", "nope", "--out", "/tmp/x"]))
             .unwrap_err()
             .contains("unknown preset"));
-        assert!(generate(&argv(&["generate"])).unwrap_err().contains("--out") ||
-                generate(&argv(&["generate"])).unwrap_err().contains("--preset"));
+        assert!(
+            generate(&argv(&["generate"])).unwrap_err().contains("--out")
+                || generate(&argv(&["generate"])).unwrap_err().contains("--preset")
+        );
         assert!(run(&argv(&["run", "--dataset", "/nonexistent-er-dir"]))
             .unwrap_err()
             .contains("loading"));

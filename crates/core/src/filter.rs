@@ -126,16 +126,28 @@ fn filter_with_limits(
         };
         let left: Vec<_> = block.left().iter().copied().filter(|&e| keep(e, &mut used)).collect();
         let right: Vec<_> = block.right().iter().copied().filter(|&e| keep(e, &mut used)).collect();
-        let filtered = if block.right().is_empty() {
-            Block::dirty(left)
-        } else {
-            Block::clean_clean(left, right)
+        // The keep-condition must follow the *collection's* kind, not the
+        // block's shape: a Clean-Clean block whose right side was filtered
+        // away entirely still reports `has_comparisons()` through its
+        // left side, but those pairs would be intra-collection comparisons —
+        // such a block must be dropped, not kept as a pseudo-dirty block.
+        let keep_block = match blocks.kind() {
+            er_model::ErKind::Dirty => left.len() > 1,
+            er_model::ErKind::CleanClean => !left.is_empty() && !right.is_empty(),
         };
-        if filtered.has_comparisons() {
+        if keep_block {
+            let filtered = if blocks.kind() == er_model::ErKind::Dirty {
+                Block::dirty(left)
+            } else {
+                Block::clean_clean(left, right)
+            };
             kept.push(filtered);
         }
     }
-    BlockCollection::new(blocks.kind(), blocks.num_entities(), kept)
+    let out = BlockCollection::new(blocks.kind(), blocks.num_entities(), kept);
+    #[cfg(feature = "sanitize")]
+    crate::sanitize::check_filtered(blocks, &out, limits);
+    out
 }
 
 #[cfg(test)]

@@ -104,7 +104,7 @@ impl IncrementalMetaBlocking {
     /// arrivals. The returned pairs are `(existing, new)` with the new
     /// profile always second; across calls no pair is ever repeated.
     pub fn add(&mut self, profile: &EntityProfile) -> Vec<(EntityId, EntityId)> {
-        let id = EntityId(self.entity_blocks.len() as u32);
+        let id = EntityId::from_index(self.entity_blocks.len());
 
         // Tokenize and dedup the new profile's blocking keys.
         let mut keys: Vec<u32> = Vec::new();
@@ -150,7 +150,9 @@ impl IncrementalMetaBlocking {
                 let w = match self.config.scheme {
                     WeightingScheme::Arcs | WeightingScheme::Cbs => score,
                     WeightingScheme::Ecbs => {
-                        score * (total_blocks / bi.max(1.0)).ln() * (total_blocks / bj.max(1.0)).ln()
+                        score
+                            * (total_blocks / bi.max(1.0)).ln()
+                            * (total_blocks / bj.max(1.0)).ln()
                     }
                     WeightingScheme::Js => score / (bi + bj - score),
                     WeightingScheme::Ejs => unreachable!("rejected at construction"),

@@ -57,6 +57,15 @@
 //! pair twice when both endpoints retain it — that *is* their documented
 //! redundancy, and the pessimistic `‖B′‖` accounting of the paper counts it.
 
+//! ## Invariant sanitizing
+//!
+//! Built with the `sanitize` cargo feature, every pipeline run validates
+//! its input (blocks, entity index, LeCoBI consistency, Clean-Clean split)
+//! and checks each streamed edge and retained comparison on the fly — see
+//! the `sanitize` module. The feature is off by default; `crates/bench`
+//! measures the unchecked paths.
+
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blast;
@@ -69,6 +78,8 @@ pub mod pipeline;
 pub mod progressive;
 pub mod propagation;
 pub mod prune;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod scanner;
 pub mod weighting;
 pub mod weights;

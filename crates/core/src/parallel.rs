@@ -57,18 +57,25 @@ where
                         if !ctx.is_first(pivot) {
                             continue;
                         }
-                        let hood =
-                            scanner.scan(ctx, pivot, accumulate, ScanScope::GreaterOnly);
+                        let hood = scanner.scan(ctx, pivot, accumulate, ScanScope::GreaterOnly);
                         for &j in hood.ids {
                             let other = EntityId(j);
-                            fold(&mut acc, pivot, other, weigher.weight(pivot, other, hood.score_of(j)));
+                            fold(
+                                &mut acc,
+                                pivot,
+                                other,
+                                weigher.weight(pivot, other, hood.score_of(j)),
+                            );
                         }
                     }
                     acc
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
     })
 }
 
@@ -114,8 +121,7 @@ pub fn mean_edge_weight(
             acc.1 += 1;
         },
     );
-    let (sum, count) =
-        parts.into_iter().fold((0.0, 0), |(s, c), (ps, pc)| (s + ps, c + pc));
+    let (sum, count) = parts.into_iter().fold((0.0, 0), |(s, c), (ps, pc)| (s + ps, c + pc));
     (count > 0).then(|| sum / count as f64)
 }
 
@@ -129,9 +135,9 @@ pub fn wep(
 ) -> Vec<(EntityId, EntityId)> {
     match mean_edge_weight(ctx, weigher, threads) {
         None => Vec::new(),
-        Some(mean) => collect_edges_where(ctx, weigher, threads, |_a, _b, w| {
-            w >= mean - mean * 1e-9
-        }),
+        Some(mean) => {
+            collect_edges_where(ctx, weigher, threads, |_a, _b, w| w >= mean - mean * 1e-9)
+        }
     }
 }
 
@@ -184,8 +190,7 @@ mod tests {
             let mut sequential = Vec::new();
             optimized::for_each_edge(&ctx, &weigher, |a, b, _| sequential.push((a, b)));
             for threads in [1, 2, 3, 4, 7] {
-                let parallel =
-                    collect_edges_where(&ctx, &weigher, threads, |_, _, _| true);
+                let parallel = collect_edges_where(&ctx, &weigher, threads, |_, _, _| true);
                 assert_eq!(parallel, sequential, "{} x{threads}", scheme.name());
             }
         }

@@ -142,7 +142,7 @@ impl MetaBlocking {
         &self,
         blocks: &BlockCollection,
         split: usize,
-        mut sink: impl FnMut(EntityId, EntityId),
+        sink: impl FnMut(EntityId, EntityId),
     ) -> Result<()> {
         let filtered;
         let input = match self.block_filtering {
@@ -156,23 +156,42 @@ impl MetaBlocking {
         let ctx = GraphContext::new(input, split);
         let weigher = EdgeWeigher::new(self.scheme, &ctx);
         let imp = self.weighting_impl;
+        // Sanitize mode: validate the pruning input up front, pre-compute
+        // the redefined retained-set a reciprocal scheme must stay inside,
+        // and check every retained comparison as it streams out.
+        #[cfg(feature = "sanitize")]
+        let redefined = {
+            crate::sanitize::check_pipeline_input(&ctx);
+            match self.pruning {
+                PruningScheme::ReciprocalCnp => {
+                    Some(crate::sanitize::redefined_retained_set(true, &ctx, &weigher, imp))
+                }
+                PruningScheme::ReciprocalWnp => {
+                    Some(crate::sanitize::redefined_retained_set(false, &ctx, &weigher, imp))
+                }
+                _ => None,
+            }
+        };
+        #[cfg(not(feature = "sanitize"))]
+        let mut sink = sink;
+        #[cfg(feature = "sanitize")]
+        let mut sink = {
+            let ctx = &ctx;
+            let mut inner = sink;
+            move |a: EntityId, b: EntityId| {
+                crate::sanitize::check_retained(ctx, a, b, redefined.as_ref());
+                inner(a, b)
+            }
+        };
         match self.pruning {
             PruningScheme::Cep => prune::cep(&ctx, &weigher, imp, &mut sink),
             PruningScheme::Cnp => prune::cnp(&ctx, &weigher, imp, &mut sink),
             PruningScheme::Wep => prune::wep(&ctx, &weigher, imp, &mut sink),
             PruningScheme::Wnp => prune::wnp(&ctx, &weigher, imp, &mut sink),
-            PruningScheme::RedefinedCnp => {
-                prune::redefined_cnp(&ctx, &weigher, imp, &mut sink)
-            }
-            PruningScheme::RedefinedWnp => {
-                prune::redefined_wnp(&ctx, &weigher, imp, &mut sink)
-            }
-            PruningScheme::ReciprocalCnp => {
-                prune::reciprocal_cnp(&ctx, &weigher, imp, &mut sink)
-            }
-            PruningScheme::ReciprocalWnp => {
-                prune::reciprocal_wnp(&ctx, &weigher, imp, &mut sink)
-            }
+            PruningScheme::RedefinedCnp => prune::redefined_cnp(&ctx, &weigher, imp, &mut sink),
+            PruningScheme::RedefinedWnp => prune::redefined_wnp(&ctx, &weigher, imp, &mut sink),
+            PruningScheme::ReciprocalCnp => prune::reciprocal_cnp(&ctx, &weigher, imp, &mut sink),
+            PruningScheme::ReciprocalWnp => prune::reciprocal_wnp(&ctx, &weigher, imp, &mut sink),
         }
         Ok(())
     }
@@ -307,9 +326,8 @@ mod tests {
         let blocks = fixture();
         let gt = GroundTruth::from_pairs(vec![(EntityId(0), EntityId(1))]);
         for pruning in PruningScheme::ORIGINAL.into_iter().chain(PruningScheme::ENHANCED) {
-            let out = MetaBlocking::new(WeightingScheme::Js, pruning)
-                .run_collect(&blocks, 4)
-                .unwrap();
+            let out =
+                MetaBlocking::new(WeightingScheme::Js, pruning).run_collect(&blocks, 4).unwrap();
             assert!(
                 out.iter().any(|&(a, b)| gt.are_duplicates(a, b)),
                 "{} lost the duplicate",
@@ -340,9 +358,7 @@ mod tests {
         );
         for scheme in WeightingScheme::ALL {
             for pruning in PruningScheme::ORIGINAL.into_iter().chain(PruningScheme::ENHANCED) {
-                let out = MetaBlocking::new(scheme, pruning)
-                    .run_collect(&blocks, 3)
-                    .unwrap();
+                let out = MetaBlocking::new(scheme, pruning).run_collect(&blocks, 3).unwrap();
                 assert!(!out.is_empty(), "{} + {}", scheme.name(), pruning.name());
                 for (a, b) in out {
                     assert!(
@@ -373,9 +389,7 @@ mod tests {
         // carries no discriminating signal under their logarithms.)
         for scheme in [WeightingScheme::Arcs, WeightingScheme::Cbs, WeightingScheme::Js] {
             for pruning in PruningScheme::ORIGINAL.into_iter().chain(PruningScheme::ENHANCED) {
-                let out = MetaBlocking::new(scheme, pruning)
-                    .run_collect(&blocks, 3)
-                    .unwrap();
+                let out = MetaBlocking::new(scheme, pruning).run_collect(&blocks, 3).unwrap();
                 assert!(
                     out.iter().any(|&(a, b)| (a.0, b.0) == (0, 3) || (b.0, a.0) == (0, 3)),
                     "{} + {} lost the strongest edge",

@@ -38,9 +38,8 @@ impl ProgressiveSchedule {
         let weigher = EdgeWeigher::new(scheme, &ctx);
         let mut edges = Vec::new();
         optimized::for_each_edge(&ctx, &weigher, |a, b, w| edges.push((a, b, w)));
-        edges.sort_unstable_by(|x, y| {
-            y.2.total_cmp(&x.2).then_with(|| (x.0, x.1).cmp(&(y.0, y.1)))
-        });
+        edges
+            .sort_unstable_by(|x, y| y.2.total_cmp(&x.2).then_with(|| (x.0, x.1).cmp(&(y.0, y.1))));
         ProgressiveSchedule { edges }
     }
 
@@ -60,9 +59,7 @@ impl ProgressiveSchedule {
         impl Eq for E {}
         impl Ord for E {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0
-                    .total_cmp(&other.0)
-                    .then_with(|| (other.1, other.2).cmp(&(self.1, self.2)))
+                self.0.total_cmp(&other.0).then_with(|| (other.1, other.2).cmp(&(self.1, self.2)))
             }
         }
         impl PartialOrd for E {
@@ -86,13 +83,10 @@ impl ProgressiveSchedule {
                 heap.push(Reverse(e));
             }
         });
-        let mut edges: Vec<(EntityId, EntityId, f64)> = heap
-            .into_iter()
-            .map(|Reverse(E(w, a, b))| (EntityId(a), EntityId(b), w))
-            .collect();
-        edges.sort_unstable_by(|x, y| {
-            y.2.total_cmp(&x.2).then_with(|| (x.0, x.1).cmp(&(y.0, y.1)))
-        });
+        let mut edges: Vec<(EntityId, EntityId, f64)> =
+            heap.into_iter().map(|Reverse(E(w, a, b))| (EntityId(a), EntityId(b), w)).collect();
+        edges
+            .sort_unstable_by(|x, y| y.2.total_cmp(&x.2).then_with(|| (x.0, x.1).cmp(&(y.0, y.1))));
         ProgressiveSchedule { edges }
     }
 

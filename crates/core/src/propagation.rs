@@ -52,7 +52,7 @@ pub fn comparison_propagation_lecobi(
 ) {
     for (k, block) in ctx.blocks().blocks().iter().enumerate() {
         block.for_each_comparison(|a, b| {
-            if ctx.index().is_lecobi(a, b, er_model::BlockId(k as u32)) {
+            if ctx.index().is_lecobi(a, b, er_model::BlockId::from_index(k)) {
                 sink(a, b);
             }
         });

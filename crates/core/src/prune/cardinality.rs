@@ -68,6 +68,18 @@ pub fn cep(
     });
     let mut retained: Vec<WeightedEdge> = heap.into_iter().map(|Reverse(e)| e).collect();
     retained.sort_unstable_by(|x, y| y.cmp(x));
+    #[cfg(feature = "sanitize")]
+    {
+        assert!(
+            retained.len() <= k,
+            "mb-sanitize: CEP retained {} comparisons, K = {k}",
+            retained.len()
+        );
+        assert!(
+            retained.windows(2).all(|w| w[0] >= w[1]),
+            "mb-sanitize: CEP emission order is not descending by weight"
+        );
+    }
     for e in retained {
         sink(EntityId(e.a), EntityId(e.b));
     }
@@ -93,8 +105,7 @@ fn top_k_neighbors(pivot: EntityId, ids: &[u32], weights: &[f64], k: usize) -> V
         .collect();
     edges.sort_unstable_by(|x, y| y.cmp(x));
     edges.truncate(k);
-    let mut kept: Vec<u32> =
-        edges.iter().map(|e| if e.a == pivot.0 { e.b } else { e.a }).collect();
+    let mut kept: Vec<u32> = edges.iter().map(|e| if e.a == pivot.0 { e.b } else { e.a }).collect();
     kept.sort_unstable();
     kept
 }
@@ -143,6 +154,20 @@ fn two_phase_cnp(
 ) {
     let k = cnp_threshold(ctx);
     let stacks = per_node_top_k(ctx, weigher, imp, k);
+    // The binary searches below require sorted stacks within the per-node
+    // budget — phase 1's contract.
+    #[cfg(feature = "sanitize")]
+    for (i, s) in stacks.iter().enumerate() {
+        assert!(
+            s.len() <= k,
+            "mb-sanitize: top-k stack of entity {i} holds {} neighbors, k = {k}",
+            s.len()
+        );
+        assert!(
+            s.windows(2).all(|w| w[0] < w[1]),
+            "mb-sanitize: top-k stack of entity {i} is not strictly ascending"
+        );
+    }
     // Phase 2 (edge-centric): every distinct edge is retained at most once.
     weighting::for_each_edge(imp, ctx, weigher, |a, b, _w| {
         let in_a = stacks[a.idx()].binary_search(&b.0).is_ok();

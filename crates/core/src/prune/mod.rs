@@ -26,8 +26,8 @@
 mod cardinality;
 mod weight_based;
 
-pub use cardinality::{cep, cep_threshold, cnp, cnp_threshold, redefined_cnp, reciprocal_cnp};
-pub use weight_based::{redefined_wnp, reciprocal_wnp, wep, wnp};
+pub use cardinality::{cep, cep_threshold, cnp, cnp_threshold, reciprocal_cnp, redefined_cnp};
+pub use weight_based::{reciprocal_wnp, redefined_wnp, wep, wnp};
 
 /// How a two-phase node-centric scheme combines its endpoints' criteria
 /// (Algorithms 4/5 use `Either`; the reciprocal variants use `Both`).

@@ -38,6 +38,11 @@ pub fn wep(
         return;
     }
     let mean = sum / count as f64;
+    #[cfg(feature = "sanitize")]
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "mb-sanitize: WEP mean weight {mean} over {count} edges is invalid"
+    );
     weighting::for_each_edge(imp, ctx, weigher, |a, b, w| {
         if reaches(w, mean) {
             sink(a, b);
@@ -97,6 +102,11 @@ fn two_phase_wnp(
     mut sink: impl FnMut(EntityId, EntityId),
 ) {
     let thresholds = per_node_thresholds(ctx, weigher, imp);
+    // A NaN threshold would silently drop every incident edge.
+    #[cfg(feature = "sanitize")]
+    for (i, &t) in thresholds.iter().enumerate() {
+        assert!(!t.is_nan(), "mb-sanitize: WNP threshold of entity {i} is NaN");
+    }
     weighting::for_each_edge(imp, ctx, weigher, |a, b, w| {
         let over_a = reaches(w, thresholds[a.idx()]);
         let over_b = reaches(w, thresholds[b.idx()]);
@@ -248,7 +258,8 @@ mod tests {
         for scheme in WeightingScheme::ALL {
             let weigher = EdgeWeigher::new(scheme, &ctx);
             let redefined = collect(|s| redefined_wnp(&ctx, &weigher, WeightingImpl::Optimized, s));
-            let reciprocal = collect(|s| reciprocal_wnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+            let reciprocal =
+                collect(|s| reciprocal_wnp(&ctx, &weigher, WeightingImpl::Optimized, s));
             for p in &reciprocal {
                 assert!(redefined.contains(p), "{}: {p:?}", scheme.name());
             }

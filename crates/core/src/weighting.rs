@@ -51,6 +51,17 @@ pub fn for_each_edge(
     weigher: &EdgeWeigher<'_, '_>,
     sink: impl FnMut(EntityId, EntityId, f64),
 ) {
+    // Under the sanitize feature every emitted edge is checked (finite
+    // non-negative weight, comparable endpoints, genuine co-occurrence)
+    // before it reaches the caller's sink.
+    #[cfg(feature = "sanitize")]
+    let sink = {
+        let mut inner = sink;
+        move |a: EntityId, b: EntityId, w: f64| {
+            crate::sanitize::check_edge(ctx, a, b, w);
+            inner(a, b, w)
+        }
+    };
     match imp {
         WeightingImpl::Original => original::for_each_edge(ctx, weigher, sink),
         WeightingImpl::Optimized => optimized::for_each_edge(ctx, weigher, sink),
@@ -64,6 +75,14 @@ pub fn for_each_neighborhood(
     weigher: &EdgeWeigher<'_, '_>,
     sink: impl FnMut(EntityId, &[u32], &[f64]),
 ) {
+    #[cfg(feature = "sanitize")]
+    let sink = {
+        let mut inner = sink;
+        move |pivot: EntityId, ids: &[u32], weights: &[f64]| {
+            crate::sanitize::check_neighborhood(ctx, pivot, ids, weights);
+            inner(pivot, ids, weights)
+        }
+    };
     match imp {
         WeightingImpl::Original => original::for_each_neighborhood(ctx, weigher, sink),
         WeightingImpl::Optimized => optimized::for_each_neighborhood(ctx, weigher, sink),
@@ -146,8 +165,8 @@ pub mod original {
         weigher: &EdgeWeigher<'_, '_>,
         mut sink: impl FnMut(EntityId, EntityId, f64),
     ) {
-        let arcs = weigher.scheme().accumulate()
-            == crate::scanner::Accumulate::ReciprocalCardinalities;
+        let arcs =
+            weigher.scheme().accumulate() == crate::scanner::Accumulate::ReciprocalCardinalities;
         let dirty = ctx.kind() == ErKind::Dirty;
         for (k, block) in ctx.blocks().blocks().iter().enumerate() {
             let k = k as u32;
@@ -187,8 +206,8 @@ pub mod original {
         weigher: &EdgeWeigher<'_, '_>,
         mut sink: impl FnMut(EntityId, &[u32], &[f64]),
     ) {
-        let arcs = weigher.scheme().accumulate()
-            == crate::scanner::Accumulate::ReciprocalCardinalities;
+        let arcs =
+            weigher.scheme().accumulate() == crate::scanner::Accumulate::ReciprocalCardinalities;
         let mut scanner = NeighborhoodScanner::new(ctx.num_entities());
         let mut ids: Vec<u32> = Vec::new();
         let mut weights: Vec<f64> = Vec::new();
@@ -197,12 +216,8 @@ pub mod original {
             let pivot = EntityId(raw);
             // Gather distinct neighbors (the scan is used purely as a
             // deduplicating set here; the scores are discarded).
-            let hood = scanner.scan(
-                ctx,
-                pivot,
-                crate::scanner::Accumulate::CommonBlocks,
-                ScanScope::All,
-            );
+            let hood =
+                scanner.scan(ctx, pivot, crate::scanner::Accumulate::CommonBlocks, ScanScope::All);
             if hood.ids.is_empty() {
                 continue;
             }
@@ -317,8 +332,7 @@ mod tests {
         let ctx = GraphContext::new_dirty(&blocks);
         for scheme in WeightingScheme::ALL {
             let weigher = EdgeWeigher::new(scheme, &ctx);
-            let fast =
-                collect_edges(|sink| optimized::for_each_edge(&ctx, &weigher, sink));
+            let fast = collect_edges(|sink| optimized::for_each_edge(&ctx, &weigher, sink));
             let slow = collect_edges(|sink| original::for_each_edge(&ctx, &weigher, sink));
             assert_eq!(fast.len(), slow.len(), "{}", scheme.name());
             for (edge, w) in &fast {

@@ -166,7 +166,13 @@ impl<'c, 'b> EdgeWeigher<'c, 'b> {
                 let bi = self.ctx.num_blocks_of(i) as f64;
                 let bj = self.ctx.num_blocks_of(j) as f64;
                 let js = score / (bi + bj - score);
-                let degrees = self.degrees.as_ref().expect("EJS requires degrees");
+                let degrees = match self.degrees.as_ref() {
+                    Some(d) => d,
+                    // The constructor computes degree statistics whenever
+                    // the scheme is EJS, so this arm marks a construction
+                    // bug, not a runtime condition.
+                    None => unreachable!("EJS weigher built without degree statistics"),
+                };
                 let e = degrees.total_edges as f64;
                 let di = degrees.per_node[i.idx()].max(1) as f64;
                 let dj = degrees.per_node[j.idx()].max(1) as f64;

@@ -1,11 +1,10 @@
 //! The dataset generator.
 
 use crate::config::{DatasetConfig, NoiseConfig, SideConfig};
+use crate::rng::SmallRng;
 use crate::words::{typo, word};
 use crate::zipf::Zipf;
 use er_model::{EntityCollection, EntityId, EntityProfile, GroundTruth};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A generated benchmark: the entity collection plus its ground truth.
 #[derive(Debug)]
@@ -51,7 +50,7 @@ pub fn generate(config: &DatasetConfig) -> GeneratedDataset {
         // tokens_mean ± 25%, at least 2 so a duplicate can survive one drop.
         let lo = (span * 3 / 4).max(2);
         let hi = (span * 5 / 4).max(lo + 1);
-        let count = rng.gen_range(lo..=hi);
+        let count = rng.gen_range_inclusive(lo, hi);
         (0..count).map(|_| zipf.sample(rng) as u64).collect()
     };
     let objects: Vec<Vec<u64>> =
@@ -71,9 +70,10 @@ pub fn generate(config: &DatasetConfig) -> GeneratedDataset {
 
     let n1 = e1.len() as u32;
     let collection = EntityCollection::clean_clean(e1, e2);
-    let ground_truth = GroundTruth::from_pairs(
-        (0..matched as u32).map(|i| (EntityId(i), EntityId(n1 + i))),
-    );
+    let ground_truth = GroundTruth::from_pairs((0..matched).map(|i| {
+        let id = EntityId::from_index(i);
+        (id, EntityId(n1 + id.0))
+    }));
     GeneratedDataset { collection, ground_truth }
 }
 
@@ -94,7 +94,7 @@ fn profile_from_object(
     let target = side.attributes;
     let lo = target.saturating_sub(1).max(1);
     let hi = target + 1;
-    let attrs = rng.gen_range(lo..=hi).min(tokens.len()).max(1);
+    let attrs = rng.gen_range_inclusive(lo, hi).min(tokens.len()).max(1);
 
     // Attribute names: drawn from the side pool; `a` prefix for side pools
     // is unnecessary — pools are disjoint across sides because heterogeneous
@@ -103,7 +103,7 @@ fn profile_from_object(
     let mut profile = EntityProfile::new(uri);
     let per_attr = tokens.len().div_ceil(attrs).max(1);
     for chunk in tokens.chunks(per_attr) {
-        let name_id = rng.gen_range(0..side.attr_name_pool as u64);
+        let name_id = rng.gen_below(side.attr_name_pool as u64);
         profile.add(format!("{}_{}", word(name_id), name_id), chunk.join(" "));
     }
     profile
@@ -139,7 +139,7 @@ fn apply_noise(
         let mut k = 0usize;
         let mut p = 1.0f64;
         loop {
-            p *= rng.gen::<f64>();
+            p *= rng.gen_f64();
             if p <= l {
                 break;
             }
@@ -257,11 +257,7 @@ mod tests {
         let d = generate(&c);
         let sets = er_model::matching::TokenSets::build(&d.collection);
         for pair in d.ground_truth.pairs() {
-            assert!(
-                (sets.jaccard(pair.a, pair.b) - 1.0).abs() < 1e-12,
-                "{:?} differs",
-                pair
-            );
+            assert!((sets.jaccard(pair.a, pair.b) - 1.0).abs() < 1e-12, "{:?} differs", pair);
         }
     }
 

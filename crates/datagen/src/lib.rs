@@ -29,6 +29,7 @@
 mod config;
 mod generator;
 pub mod presets;
+pub mod rng;
 pub mod words;
 pub mod zipf;
 

@@ -1,0 +1,170 @@
+//! A small, deterministic, std-only pseudo-random number generator.
+//!
+//! The workspace builds offline, so the `rand` crate is not available; this
+//! module provides the tiny slice of its API the generators need. The engine
+//! is xoshiro256++ (Blackman & Vigna) seeded through SplitMix64 — the same
+//! construction `rand`'s `SmallRng` used on 64-bit targets, chosen here for
+//! the same reasons: excellent statistical quality for simulation workloads,
+//! four words of state, and a few arithmetic ops per draw.
+//!
+//! Not cryptographically secure; every consumer in this workspace wants
+//! reproducibility, not unpredictability.
+
+/// A fast deterministic PRNG (xoshiro256++), seedable from a single `u64`.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator whose entire stream is a function of `seed`.
+    ///
+    /// The four state words are drawn from a SplitMix64 sequence, which
+    /// guarantees a non-zero state for every seed (all-zero state is the
+    /// one fixed point xoshiro cannot leave).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)`, from the top 53 bits of one draw.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform `u64` in `[0, bound)` via Lemire's multiply-shift reduction
+    /// (with rejection to remove the modulo bias).
+    ///
+    /// # Panics
+    /// If `bound == 0`.
+    #[inline]
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below requires a positive bound");
+        // Widening multiply: the high word is uniform in [0, bound) once
+        // low-word values inside the biased zone are rejected.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = (self.next_u64() as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// If the range is empty.
+    #[inline]
+    pub fn gen_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.gen_below((hi - lo) as u64) as usize
+    }
+
+    /// A uniform `usize` in `[lo, hi]`.
+    ///
+    /// # Panics
+    /// If `lo > hi`.
+    #[inline]
+    pub fn gen_range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + self.gen_below((hi - lo) as u64 + 1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let draw = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..16).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(1), draw(1));
+        assert_ne!(draw(1), draw(2));
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut acc = 0.0;
+        for _ in 0..10_000 {
+            let u = rng.gen_f64();
+            assert!((0.0..1.0).contains(&u));
+            acc += u;
+        }
+        // Mean of 10k uniform draws is near 0.5.
+        assert!((acc / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn ranges_are_respected_and_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0, 10)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 1_000, "{counts:?}");
+        }
+        for _ in 0..1_000 {
+            let v = rng.gen_range_inclusive(3, 5);
+            assert!((3..=5).contains(&v));
+        }
+        assert_eq!(rng.gen_range_inclusive(7, 7), 7);
+        assert_eq!(rng.gen_range(7, 8), 7);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as i64 - 25_000).abs() < 1_500, "{hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn zero_bound_panics() {
+        SmallRng::seed_from_u64(6).gen_below(0);
+    }
+}

@@ -7,9 +7,10 @@
 //! another vocabulary word (exactly how a real typo behaves under Token
 //! Blocking).
 
-use rand::Rng;
+use crate::rng::SmallRng;
 
-const CONSONANTS: [char; 14] = ['b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'p', 'r', 's', 't', 'v', 'z'];
+const CONSONANTS: [char; 14] =
+    ['b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'p', 'r', 's', 't', 'v', 'z'];
 const VOWELS: [char; 5] = ['a', 'e', 'i', 'o', 'u'];
 const SYLLABLES: usize = CONSONANTS.len() * VOWELS.len(); // 70
 
@@ -43,19 +44,19 @@ pub fn word(i: u64) -> String {
 
 /// Applies one random character-level edit (substitution, deletion or
 /// duplication) to a word — the typo model of the noise pipeline.
-pub fn typo(w: &str, rng: &mut impl Rng) -> String {
+pub fn typo(w: &str, rng: &mut SmallRng) -> String {
     let chars: Vec<char> = w.chars().collect();
     if chars.is_empty() {
         return String::from("x");
     }
-    let pos = rng.gen_range(0..chars.len());
+    let pos = rng.gen_range(0, chars.len());
     let mut out = String::with_capacity(w.len() + 1);
-    match rng.gen_range(0..3u8) {
+    match rng.gen_below(3) {
         0 => {
             // Substitute with a random letter.
             for (i, &c) in chars.iter().enumerate() {
                 if i == pos {
-                    out.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())]);
+                    out.push(CONSONANTS[rng.gen_range(0, CONSONANTS.len())]);
                 } else {
                     out.push(c);
                 }
@@ -85,8 +86,6 @@ pub fn typo(w: &str, rng: &mut impl Rng) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
     use std::collections::HashSet;
 
     #[test]

@@ -3,11 +3,10 @@
 //! Token frequencies in real text are Zipfian, and the block-size
 //! distribution of Token Blocking inherits that shape — which is exactly
 //! what stresses meta-blocking (a handful of huge blocks, a long tail of
-//! tiny ones). `rand` does not ship a Zipf distribution in its core crate,
-//! so this is a small inverse-CDF implementation: `O(n)` setup, `O(log n)`
+//! tiny ones). This is a small inverse-CDF implementation: `O(n)` setup, `O(log n)`
 //! per sample, deterministic for a fixed RNG.
 
-use rand::Rng;
+use crate::rng::SmallRng;
 
 /// Samples ranks `0..n` with probability proportional to `1/(rank+1)^s`.
 #[derive(Debug, Clone)]
@@ -48,8 +47,8 @@ impl Zipf {
     }
 
     /// Draws one rank.
-    pub fn sample(&self, rng: &mut impl Rng) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen_f64();
         // partition_point returns the first index with cdf >= u.
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
@@ -58,8 +57,6 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn samples_stay_in_range() {

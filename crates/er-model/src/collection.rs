@@ -107,7 +107,7 @@ impl EntityCollection {
 
     /// Iterator over `(id, profile)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (EntityId, &EntityProfile)> {
-        self.profiles.iter().enumerate().map(|(i, p)| (EntityId(i as u32), p))
+        self.profiles.iter().enumerate().map(|(i, p)| (EntityId::from_index(i), p))
     }
 
     /// All profiles as a slice.
@@ -229,10 +229,7 @@ mod tests {
     fn checked_lookup() {
         let c = sample_clean_clean();
         assert!(c.get(EntityId(4)).is_ok());
-        assert_eq!(
-            c.get(EntityId(5)),
-            Err(Error::EntityOutOfBounds { id: 5, len: 5 })
-        );
+        assert_eq!(c.get(EntityId(5)), Err(Error::EntityOutOfBounds { id: 5, len: 5 }));
     }
 
     #[test]

@@ -23,6 +23,21 @@ impl EntityId {
     pub fn idx(self) -> usize {
         self.0 as usize
     }
+
+    /// Checked construction from a container index.
+    ///
+    /// The sanctioned way to turn a `usize` position into an id: a bare
+    /// `as u32` would silently wrap past 4.29 billion entities and alias an
+    /// unrelated profile, which no downstream validation could detect.
+    ///
+    /// # Panics
+    /// If `i` exceeds `u32::MAX` — far outside the design envelope (the
+    /// paper's largest dataset has 3.35 million profiles).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        assert!(u32::try_from(i).is_ok(), "entity index {i} does not fit in u32");
+        Self(i as u32)
+    }
 }
 
 impl fmt::Debug for EntityId {
@@ -57,6 +72,17 @@ impl BlockId {
     #[inline]
     pub fn idx(self) -> usize {
         self.0 as usize
+    }
+
+    /// Checked construction from a container index; see
+    /// [`EntityId::from_index`].
+    ///
+    /// # Panics
+    /// If `i` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        assert!(u32::try_from(i).is_ok(), "block index {i} does not fit in u32");
+        Self(i as u32)
     }
 }
 

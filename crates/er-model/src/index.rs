@@ -56,7 +56,38 @@ impl EntityIndex {
                 *c += 1;
             }
         }
+        let index = EntityIndex { lists, offsets };
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::assert_valid(&index.validate(blocks), "EntityIndex::build");
+        index
+    }
+
+    /// Assembles an index from its raw parts: the flattened block lists and
+    /// the entity offsets (`lists[offsets[i]..offsets[i+1]]` is `B_i`).
+    ///
+    /// No invariants are checked — this is the escape hatch the sanitizer
+    /// tests use to build deliberately corrupted indices, and a
+    /// deserialization entry point. Run [`EntityIndex::validate`] on the
+    /// result before trusting it.
+    ///
+    /// # Panics
+    /// If `offsets` is empty, not ascending, or its last entry does not
+    /// equal `lists.len()` — the parts would not even describe slices.
+    pub fn from_raw_parts(lists: Vec<u32>, offsets: Vec<u32>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must hold at least one entry");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be ascending");
+        assert_eq!(
+            *offsets.last().unwrap_or(&0) as usize,
+            lists.len(),
+            "last offset must cover all of lists"
+        );
         EntityIndex { lists, offsets }
+    }
+
+    /// Decomposes the index into its raw parts (see
+    /// [`EntityIndex::from_raw_parts`]).
+    pub fn into_raw_parts(self) -> (Vec<u32>, Vec<u32>) {
+        (self.lists, self.offsets)
     }
 
     /// The block list `B_i`: ascending ids of the blocks containing `id`.
@@ -207,6 +238,40 @@ mod tests {
         assert_eq!(emitted, distinct.len());
         // Pairs: (0,1),(0,2),(1,2),(1,3),(2,3)
         assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip() {
+        let blocks = sample();
+        let idx = EntityIndex::build(&blocks);
+        let lists_before = idx.block_list(EntityId(1)).to_vec();
+        let (lists, offsets) = idx.clone().into_raw_parts();
+        let rebuilt = EntityIndex::from_raw_parts(lists, offsets);
+        assert_eq!(rebuilt.block_list(EntityId(1)), &lists_before[..]);
+        assert!(rebuilt.validate(&blocks).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "last offset")]
+    fn raw_parts_reject_inconsistent_lengths() {
+        EntityIndex::from_raw_parts(vec![0, 1], vec![0, 1]);
+    }
+
+    #[test]
+    fn corrupted_index_reports_dangling_block_id() {
+        let blocks = sample();
+        let (mut lists, offsets) = EntityIndex::build(&blocks).into_raw_parts();
+        // Entity 0's list is [0, 1]; repoint its second assignment at a
+        // block the collection does not have.
+        lists[1] = 99;
+        let bad = EntityIndex::from_raw_parts(lists, offsets);
+        let v = bad.validate(&blocks);
+        let dangling: Vec<_> = v.iter().filter(|v| v.invariant == "dangling-block-id").collect();
+        assert_eq!(dangling.len(), 1);
+        assert!(dangling[0].message.contains("entity 0"), "{}", dangling[0].message);
+        assert!(dangling[0].message.contains("block 99"), "{}", dangling[0].message);
+        // The real assignment to block 1 is gone as well.
+        assert!(v.iter().any(|v| v.invariant == "missing-assignment"));
     }
 
     #[test]

@@ -22,7 +22,16 @@
 //!
 //! The crate is deliberately free of any blocking or meta-blocking logic;
 //! those live in `er-blocking` and `mb-core`.
+//!
+//! ## Invariant sanitizing
+//!
+//! The [`sanitize`] module provides validators for every structure above
+//! (`BlockCollection::validate`, `EntityIndex::validate`, …). They are
+//! always available; building the crate with the `sanitize` cargo feature
+//! additionally runs them as self-checks inside the hot constructors, which
+//! downstream crates use to validate whole pipelines under test.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod block;
@@ -36,6 +45,7 @@ pub mod index;
 pub mod matching;
 pub mod measures;
 pub mod profile;
+pub mod sanitize;
 pub mod tokenize;
 
 pub use block::{Block, BlockCollection};
@@ -46,3 +56,4 @@ pub use groundtruth::GroundTruth;
 pub use ids::{BlockId, EntityId};
 pub use index::EntityIndex;
 pub use profile::EntityProfile;
+pub use sanitize::Violation;

@@ -24,11 +24,8 @@ impl TokenSets {
     /// Tokenizes every profile of `collection`.
     pub fn build(collection: &EntityCollection) -> Self {
         let mut interner = Interner::new();
-        let sets = collection
-            .profiles()
-            .iter()
-            .map(|p| token_id_set(p.values(), &mut interner))
-            .collect();
+        let sets =
+            collection.profiles().iter().map(|p| token_id_set(p.values(), &mut interner)).collect();
         TokenSets { sets }
     }
 
@@ -141,7 +138,9 @@ mod tests {
     fn collection() -> EntityCollection {
         EntityCollection::dirty(vec![
             EntityProfile::new("0").with("name", "jack lloyd miller").with("job", "auto seller"),
-            EntityProfile::new("1").with("fullname", "jack miller").with("work", "car vendor seller"),
+            EntityProfile::new("1")
+                .with("fullname", "jack miller")
+                .with("work", "car vendor seller"),
             EntityProfile::new("2").with("name", "erick green"),
             EntityProfile::new("3").with("x", ""),
         ])

@@ -12,10 +12,7 @@ use crate::index::EntityIndex;
 /// block, computed in `O(|D(E)|·BPE)` through the entity index rather than by
 /// enumerating `‖B‖` comparisons.
 pub fn detected_duplicates(index: &EntityIndex, gt: &GroundTruth) -> usize {
-    gt.pairs()
-        .iter()
-        .filter(|c| index.least_common_block(c.a, c.b).is_some())
-        .count()
+    gt.pairs().iter().filter(|c| index.least_common_block(c.a, c.b).is_some()).count()
 }
 
 /// Convenience wrapper over [`detected_duplicates`] that builds the index.
@@ -122,7 +119,8 @@ mod tests {
             vec![Block::dirty(ids(&[0, 1, 2])), Block::dirty(ids(&[3, 4]))],
         );
         // (0,1) co-occurs, (4,5) does not (5 is in no block).
-        let gt = GroundTruth::from_pairs(vec![(EntityId(0), EntityId(1)), (EntityId(4), EntityId(5))]);
+        let gt =
+            GroundTruth::from_pairs(vec![(EntityId(0), EntityId(1)), (EntityId(4), EntityId(5))]);
         (blocks, gt)
     }
 

@@ -1,0 +1,429 @@
+//! mb-sanitize: invariant validators for the meta-blocking data structures.
+//!
+//! Meta-blocking is a chain of restructurings — purging, filtering, edge
+//! weighting, pruning — and a bug in any link silently corrupts the
+//! comparison collection the next link consumes. The validators here state
+//! the structural invariants explicitly and report every breach:
+//!
+//! * [`BlockCollection::validate`] — entity ids in bounds, no duplicate
+//!   members, Dirty blocks have no right side, Clean-Clean blocks keep the
+//!   two collections apart;
+//! * [`BlockCollection::validate_no_empty_blocks`] — every block entails at
+//!   least one comparison (the post-condition of Block Purging and Block
+//!   Filtering);
+//! * [`EntityIndex::validate`] — the inverted index agrees with the blocks
+//!   in both directions, block lists are strictly ascending, no dangling
+//!   block ids;
+//! * [`EntityIndex::validate_lecobi`] — the LeCoBI condition is internally
+//!   consistent: every comparison of every block has a least common block,
+//!   and it never exceeds the id of the block entailing the comparison;
+//! * [`validate_pruned`] — a pruned collection only ever contains
+//!   comparisons entailed by its input (pruning never invents pairs).
+//!
+//! The validators are always compiled — tests corrupt structures on purpose
+//! and assert the reports. The `sanitize` cargo feature additionally wires
+//! them into the hot paths as self-checks (see [`EntityIndex::build`] and
+//! the `mb-core` pipeline), so `cargo test --features sanitize` exercises
+//! every algorithm under continuous validation while release benchmarks run
+//! with zero overhead.
+
+use crate::block::BlockCollection;
+use crate::collection::ErKind;
+use crate::comparisons::ComparisonSet;
+use crate::index::EntityIndex;
+use std::fmt;
+
+/// One breached invariant, with enough context to locate the corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable name of the breached invariant (e.g. `"dangling-block-id"`).
+    pub invariant: &'static str,
+    /// Human-readable description pointing at the offending block/entity.
+    pub message: String,
+}
+
+impl Violation {
+    fn new(invariant: &'static str, message: String) -> Self {
+        Violation { invariant, message }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.message)
+    }
+}
+
+/// Panics with every violation listed if `violations` is non-empty.
+///
+/// The panic message names the call site via `context`, so a sanitize
+/// failure deep in a pipeline still says which stage broke the invariant.
+pub fn assert_valid(violations: &[Violation], context: &str) {
+    if violations.is_empty() {
+        return;
+    }
+    let mut msg = format!("mb-sanitize: {context}: {} violation(s)", violations.len());
+    for v in violations {
+        msg.push_str("\n  ");
+        msg.push_str(&v.to_string());
+    }
+    panic!("{msg}");
+}
+
+impl BlockCollection {
+    /// Checks the structural invariants every well-formed collection obeys,
+    /// regardless of which stage produced it.
+    ///
+    /// Reported invariants:
+    ///
+    /// * `entity-out-of-bounds` — a member id is `>= num_entities`;
+    /// * `duplicate-member` — an entity appears twice in the same block;
+    /// * `dirty-right-side` — a Dirty collection holds a block with a
+    ///   right side;
+    /// * `intra-source-block` — a Clean-Clean block with one empty side and
+    ///   more than one member on the other would entail intra-collection
+    ///   comparisons.
+    pub fn validate(&self) -> Vec<Violation> {
+        let n = self.num_entities();
+        let mut out = Vec::new();
+        for (k, b) in self.blocks().iter().enumerate() {
+            let mut members: Vec<u32> = b.entities().map(|e| e.0).collect();
+            for &e in &members {
+                if e as usize >= n {
+                    out.push(Violation::new(
+                        "entity-out-of-bounds",
+                        format!("block {k}: entity {e} >= num_entities {n}"),
+                    ));
+                }
+            }
+            members.sort_unstable();
+            for w in members.windows(2) {
+                if w[0] == w[1] {
+                    out.push(Violation::new(
+                        "duplicate-member",
+                        format!("block {k}: entity {} appears more than once", w[0]),
+                    ));
+                }
+            }
+            match self.kind() {
+                ErKind::Dirty => {
+                    if !b.right().is_empty() {
+                        out.push(Violation::new(
+                            "dirty-right-side",
+                            format!("block {k}: Dirty collection with a right side"),
+                        ));
+                    }
+                }
+                ErKind::CleanClean => {
+                    if (b.right().is_empty() && b.left().len() > 1)
+                        || (b.left().is_empty() && b.right().len() > 1)
+                    {
+                        out.push(Violation::new(
+                            "intra-source-block",
+                            format!(
+                                "block {k}: one-sided Clean-Clean block with {} members \
+                                 entails intra-collection comparisons",
+                                b.size()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the Clean-Clean side assignment against the id boundary
+    /// `split`: left members must come from the first collection
+    /// (`id < split`), right members from the second. Reports
+    /// `wrong-side` violations; empty for Dirty collections.
+    pub fn validate_split(&self, split: usize) -> Vec<Violation> {
+        let mut out = Vec::new();
+        if self.kind() != ErKind::CleanClean {
+            return out;
+        }
+        for (k, b) in self.blocks().iter().enumerate() {
+            for &e in b.left() {
+                if e.idx() >= split {
+                    out.push(Violation::new(
+                        "wrong-side",
+                        format!("block {k}: left member {e} has id >= split {split}"),
+                    ));
+                }
+            }
+            for &e in b.right() {
+                if e.idx() < split {
+                    out.push(Violation::new(
+                        "wrong-side",
+                        format!("block {k}: right member {e} has id < split {split}"),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the post-condition of Block Purging and Block Filtering:
+    /// every surviving block entails at least one comparison. Reports
+    /// `comparison-free-block` violations.
+    pub fn validate_no_empty_blocks(&self) -> Vec<Violation> {
+        self.blocks()
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.has_comparisons())
+            .map(|(k, b)| {
+                Violation::new(
+                    "comparison-free-block",
+                    format!("block {k} ({} member(s)) entails no comparison", b.size()),
+                )
+            })
+            .collect()
+    }
+}
+
+impl EntityIndex {
+    /// Checks that the index and the block collection describe the same
+    /// assignments.
+    ///
+    /// Reported invariants:
+    ///
+    /// * `index-size-mismatch` — the index covers a different number of
+    ///   entities than the collection;
+    /// * `dangling-block-id` — a block list references a block id the
+    ///   collection does not have;
+    /// * `unsorted-block-list` — a block list is not strictly ascending;
+    /// * `missing-assignment` — a block contains an entity whose list does
+    ///   not reference it;
+    /// * `phantom-assignment` — a block list references a block that does
+    ///   not contain the entity.
+    pub fn validate(&self, blocks: &BlockCollection) -> Vec<Violation> {
+        let mut out = Vec::new();
+        if self.num_entities() != blocks.num_entities() {
+            out.push(Violation::new(
+                "index-size-mismatch",
+                format!(
+                    "index covers {} entities, collection has {}",
+                    self.num_entities(),
+                    blocks.num_entities()
+                ),
+            ));
+            return out; // Entity-wise checks below assume matching sizes.
+        }
+        let num_blocks = blocks.size() as u32;
+        // Reference assignments, rebuilt from the blocks.
+        let mut expected: Vec<Vec<u32>> = vec![Vec::new(); blocks.num_entities()];
+        for (k, b) in blocks.blocks().iter().enumerate() {
+            for e in b.entities() {
+                if e.idx() < expected.len() {
+                    expected[e.idx()].push(k as u32);
+                }
+            }
+        }
+        for (i, want) in expected.iter_mut().enumerate() {
+            let got = self.block_list(crate::ids::EntityId::from_index(i));
+            for w in got.windows(2) {
+                if w[0] >= w[1] {
+                    out.push(Violation::new(
+                        "unsorted-block-list",
+                        format!("entity {i}: block list not strictly ascending: {got:?}"),
+                    ));
+                    break;
+                }
+            }
+            for &k in got {
+                if k >= num_blocks {
+                    out.push(Violation::new(
+                        "dangling-block-id",
+                        format!("entity {i}: block list references block {k}, collection has {num_blocks}"),
+                    ));
+                } else if !want.contains(&k) {
+                    out.push(Violation::new(
+                        "phantom-assignment",
+                        format!("entity {i}: indexed under block {k}, which does not contain it"),
+                    ));
+                }
+            }
+            want.sort_unstable();
+            for &k in want.iter() {
+                if !got.contains(&k) {
+                    out.push(Violation::new(
+                        "missing-assignment",
+                        format!("entity {i}: block {k} contains it but its block list does not"),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the internal consistency of the LeCoBI condition: every
+    /// comparison entailed by a block has a least common block (the pair
+    /// demonstrably co-occurs, so the intersection cannot be empty) and it
+    /// never exceeds the entailing block's id.
+    ///
+    /// Costs one block-list intersection per comparison — quadratic in block
+    /// size, so reserve it for the `sanitize` feature and tests.
+    pub fn validate_lecobi(&self, blocks: &BlockCollection) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (k, b) in blocks.blocks().iter().enumerate() {
+            let k = k as u32;
+            b.for_each_comparison(|x, y| match self.least_common_block(x, y) {
+                None => out.push(Violation::new(
+                    "lecobi-no-common-block",
+                    format!(
+                        "pair {x}-{y} co-occurs in block {k} but the index finds no common block"
+                    ),
+                )),
+                Some(lcb) if lcb.0 > k => out.push(Violation::new(
+                    "lecobi-after-entailing-block",
+                    format!(
+                        "pair {x}-{y}: least common block {} exceeds entailing block {k}",
+                        lcb.0
+                    ),
+                )),
+                Some(_) => {}
+            });
+        }
+        out
+    }
+}
+
+/// Checks the fundamental pruning post-condition: the pruned collection's
+/// comparisons are a subset of the input's — pruning discards pairs, it
+/// never invents them. Reports `comparison-not-in-input` violations.
+pub fn validate_pruned(pruned: &BlockCollection, input: &BlockCollection) -> Vec<Violation> {
+    let mut allowed = ComparisonSet::with_capacity(input.total_comparisons() as usize);
+    input.for_each_comparison(|a, b| {
+        allowed.insert(a, b);
+    });
+    let mut out = Vec::new();
+    let mut reported = ComparisonSet::new();
+    pruned.for_each_comparison(|a, b| {
+        if !allowed.contains(a, b) && reported.insert(a, b) {
+            out.push(Violation::new(
+                "comparison-not-in-input",
+                format!("pruned collection compares {a}-{b}, which the input never entailed"),
+            ));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::ids::EntityId;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    fn well_formed() -> BlockCollection {
+        BlockCollection::new(
+            ErKind::Dirty,
+            5,
+            vec![Block::dirty(ids(&[0, 1])), Block::dirty(ids(&[1, 2, 3]))],
+        )
+    }
+
+    #[test]
+    fn well_formed_collection_is_clean() {
+        let c = well_formed();
+        assert!(c.validate().is_empty());
+        assert!(c.validate_no_empty_blocks().is_empty());
+        let idx = EntityIndex::build(&c);
+        assert!(idx.validate(&c).is_empty());
+        assert!(idx.validate_lecobi(&c).is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_entity_is_reported() {
+        let c = BlockCollection::new(ErKind::Dirty, 2, vec![Block::dirty(ids(&[0, 7]))]);
+        let v = c.validate();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "entity-out-of-bounds");
+        assert!(v[0].message.contains("entity 7"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn duplicate_member_is_reported() {
+        let c = BlockCollection::new(ErKind::Dirty, 3, vec![Block::dirty(ids(&[1, 2, 1]))]);
+        let v = c.validate();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "duplicate-member");
+    }
+
+    #[test]
+    fn dirty_block_with_right_side_is_reported() {
+        let c =
+            BlockCollection::new(ErKind::Dirty, 4, vec![Block::clean_clean(ids(&[0]), ids(&[2]))]);
+        assert_eq!(c.validate()[0].invariant, "dirty-right-side");
+    }
+
+    #[test]
+    fn one_sided_clean_clean_block_is_reported() {
+        let c = BlockCollection::new(
+            ErKind::CleanClean,
+            4,
+            vec![Block::clean_clean(ids(&[0, 1]), ids(&[]))],
+        );
+        assert_eq!(c.validate()[0].invariant, "intra-source-block");
+    }
+
+    #[test]
+    fn split_side_assignment_is_checked() {
+        let c = BlockCollection::new(
+            ErKind::CleanClean,
+            4,
+            vec![Block::clean_clean(ids(&[0, 3]), ids(&[1]))],
+        );
+        let v = c.validate_split(2);
+        // Left member 3 is from the second collection, right member 1 from
+        // the first: two violations.
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.invariant == "wrong-side"));
+        assert!(c.validate_split(4).len() == 1); // right member 1 < split 4
+    }
+
+    #[test]
+    fn comparison_free_block_is_reported() {
+        let c = BlockCollection::new(
+            ErKind::Dirty,
+            3,
+            vec![Block::dirty(ids(&[0, 1])), Block::dirty(ids(&[2]))],
+        );
+        let v = c.validate_no_empty_blocks();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "comparison-free-block");
+        assert!(v[0].message.contains("block 1"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn assert_valid_panics_with_context() {
+        let v = vec![Violation::new("test-invariant", "broken".into())];
+        let err = std::panic::catch_unwind(|| assert_valid(&v, "unit-test")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("unit-test"), "{msg}");
+        assert!(msg.contains("test-invariant"), "{msg}");
+        assert_valid(&[], "no violations: no panic");
+    }
+
+    #[test]
+    fn pruned_subset_holds_and_injection_is_caught() {
+        let input = well_formed();
+        // A legitimate pruning result: a subset of the input's pairs.
+        let pruned = BlockCollection::new(ErKind::Dirty, 5, vec![Block::dirty(ids(&[1, 2]))]);
+        assert!(validate_pruned(&pruned, &input).is_empty());
+        // Inject a comparison the input never entailed: (0, 4).
+        let corrupt = BlockCollection::new(
+            ErKind::Dirty,
+            5,
+            vec![Block::dirty(ids(&[1, 2])), Block::dirty(ids(&[0, 4]))],
+        );
+        let v = validate_pruned(&corrupt, &input);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "comparison-not-in-input");
+        assert!(v[0].message.contains("p0-p4"), "{}", v[0].message);
+    }
+}

@@ -21,10 +21,7 @@ use crate::fxhash::FxHashMap;
 /// assert_eq!(toks, ["jack", "lloyd", "miller", "jr"]);
 /// ```
 pub fn tokens(value: &str) -> impl Iterator<Item = String> + '_ {
-    value
-        .split(|c: char| !c.is_alphanumeric())
-        .filter(|t| !t.is_empty())
-        .map(|t| t.to_lowercase())
+    value.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty()).map(|t| t.to_lowercase())
 }
 
 /// Character q-grams of a normalized token stream, for Q-grams Blocking.
@@ -116,7 +113,10 @@ impl Interner {
 
 /// The deduplicated, sorted token-id set of a profile's values — the
 /// representation used by the Jaccard entity matcher.
-pub fn token_id_set(values: impl Iterator<Item = impl AsRef<str>>, interner: &mut Interner) -> Vec<u32> {
+pub fn token_id_set(
+    values: impl Iterator<Item = impl AsRef<str>>,
+    interner: &mut Interner,
+) -> Vec<u32> {
     let mut ids: Vec<u32> = Vec::new();
     for v in values {
         for t in tokens(v.as_ref()) {

@@ -21,8 +21,7 @@ fn main() {
             ("descending ||b||", BlockOrder::DescendingCardinality),
             ("input order", BlockOrder::Input),
         ] {
-            let filtered =
-                block_filtering_with_order(&blocks, 0.8, order).expect("valid ratio");
+            let filtered = er_eval::must(block_filtering_with_order(&blocks, 0.8, order));
             let detected = measures::detected_duplicates_in(&filtered, &d.ground_truth);
             table.row(vec![
                 id.name().into(),

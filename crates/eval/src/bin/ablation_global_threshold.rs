@@ -29,13 +29,13 @@ fn main() {
         ]);
     };
 
-    let local = block_filtering(&blocks, 0.8).expect("valid ratio");
+    let local = er_eval::must(block_filtering(&blocks, 0.8));
     push("local r=0.80 (paper)".into(), &local);
 
     // Global limits spanning the spectrum around the mean BPE.
     for limit in [1u32, (bpe * 0.5) as u32, bpe as u32, (bpe * 2.0) as u32, (bpe * 4.0) as u32] {
         let limit = limit.max(1);
-        let global = block_filtering_global(&blocks, limit).expect("positive limit");
+        let global = er_eval::must(block_filtering_global(&blocks, limit));
         push(format!("global limit={limit}"), &global);
     }
 

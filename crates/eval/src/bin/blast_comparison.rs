@@ -15,13 +15,12 @@ use mb_core::filter::block_filtering;
 use mb_core::{blast, GraphContext, MetaBlocking, PruningScheme, WeightingScheme};
 
 fn main() {
-    let mut table =
-        Table::new(&["dataset", "method", "||B'||", "PC(B')", "PQ(B')", "OTime"]);
+    let mut table = Table::new(&["dataset", "method", "||B'||", "PC(B')", "PQ(B')", "OTime"]);
     for id in DatasetId::ALL {
         let d = Dataset::load(id);
         let blocks = d.input_blocks();
         let split = d.collection.split();
-        let filtered = block_filtering(&blocks, 0.8).expect("valid ratio");
+        let filtered = er_eval::must(block_filtering(&blocks, 0.8));
 
         // BLAST over the filtered blocks.
         let mut acc = EffectivenessAccumulator::new(&d.ground_truth);
@@ -48,7 +47,7 @@ fn main() {
                 MetaBlocking::new(WeightingScheme::Js, pruning)
                     .run(&filtered, split, |a, b| acc.add(a, b))
             });
-            res.expect("valid configuration");
+            er_eval::must(res);
             table.row(vec![
                 id.name().into(),
                 label.into(),

@@ -17,13 +17,11 @@ fn main() {
         let r = step as f64 * 0.05;
         let mut cells = vec![format!("{r:.2}")];
         for (d, blocks) in [(&clean, &clean_blocks), (&dirty, &dirty_blocks)] {
-            let filtered = block_filtering(blocks, r).expect("valid ratio");
+            let filtered = er_eval::must(block_filtering(blocks, r));
             let detected = measures::detected_duplicates_in(&filtered, &d.ground_truth);
             let pc = measures::pairs_completeness(detected, d.ground_truth.len());
-            let rr = measures::reduction_ratio(
-                blocks.total_comparisons(),
-                filtered.total_comparisons(),
-            );
+            let rr =
+                measures::reduction_ratio(blocks.total_comparisons(), filtered.total_comparisons());
             cells.push(ratio(pc));
             cells.push(ratio(rr));
         }

@@ -14,7 +14,14 @@ use mb_core::GraphContext;
 
 fn main() {
     let mut table = Table::new(&[
-        "scale", "|E|", "||B||", "|E_B|", "optimized", "original", "reduction", "graph-free",
+        "scale",
+        "|E|",
+        "||B||",
+        "|E_B|",
+        "optimized",
+        "original",
+        "reduction",
+        "graph-free",
     ]);
     for scale in [0.05, 0.1, 0.2, 0.4, 0.8] {
         let d = Dataset::load_scaled(DatasetId::D1D, scale);
@@ -23,16 +30,14 @@ fn main() {
         let weigher = EdgeWeigher::new(WeightingScheme::Js, &ctx);
 
         let mut edges = 0u64;
-        let (_, fast) = timer::time(|| {
-            optimized::for_each_edge(&ctx, &weigher, |_, _, _| edges += 1)
-        });
-        let (_, slow) =
-            timer::time(|| original::for_each_edge(&ctx, &weigher, |_, _, _| {}));
+        let (_, fast) =
+            timer::time(|| optimized::for_each_edge(&ctx, &weigher, |_, _, _| edges += 1));
+        let (_, slow) = timer::time(|| original::for_each_edge(&ctx, &weigher, |_, _, _| {}));
         let mut n = 0u64;
         let (res, free) = timer::time(|| {
             mb_core::pipeline::run_graph_free(&blocks, d.collection.split(), 0.55, |_, _| n += 1)
         });
-        res.expect("valid ratio");
+        er_eval::must(res);
 
         table.row(vec![
             format!("{scale:.2}"),

@@ -40,8 +40,7 @@ fn main() {
         ]);
 
         // (b) After Block Filtering r = 0.8; RR against the original ‖B‖.
-        let (restructured, ftime) =
-            timer::time(|| block_filtering(&blocks, 0.8).expect("valid ratio"));
+        let (restructured, ftime) = timer::time(|| er_eval::must(block_filtering(&blocks, 0.8)));
         let fstats = BlockStats::compute(&restructured, split, &d.ground_truth);
         filtered_table.row(vec![
             id.name().into(),
@@ -54,9 +53,7 @@ fn main() {
             sci(fstats.graph_order as u64),
             sci(fstats.graph_size),
             timer::human(otime + ftime),
-            timer::human(
-                otime + ftime + er_eval::rtime::estimate(fstats.comparisons, per_cmp),
-            ),
+            timer::human(otime + ftime + er_eval::rtime::estimate(fstats.comparisons, per_cmp)),
         ]);
     }
 

@@ -7,7 +7,8 @@ use er_model::matching::TokenSets;
 
 fn main() {
     println!("Table 2(a): entity collections for Clean-Clean ER\n");
-    let mut clean = Table::new(&["", "side", "|E|", "|D(E)|", "|N|", "|P|", "|p~|", "||E||", "RT(E)"]);
+    let mut clean =
+        Table::new(&["", "side", "|E|", "|D(E)|", "|N|", "|P|", "|p~|", "||E||", "RT(E)"]);
     for id in DatasetId::CLEAN {
         let d = Dataset::load(id);
         let (n1, n2) = d.collection.sides();

@@ -12,8 +12,7 @@ fn main() {
     let datasets: Vec<Dataset> = DatasetId::ALL.into_iter().map(Dataset::load).collect();
     let blocks: Vec<_> = datasets.iter().map(|d| d.input_blocks()).collect();
 
-    let mut optimized_table =
-        Table::new(&["", "D1C", "D2C", "D3C", "D1D", "D2D", "D3D"]);
+    let mut optimized_table = Table::new(&["", "D1C", "D2C", "D3C", "D1D", "D2D", "D3D"]);
     let mut speedup_table = Table::new(&["", "D1C", "D2C", "D3C", "D1D", "D2D", "D3D"]);
 
     for pruning in PruningScheme::ORIGINAL {
@@ -37,8 +36,8 @@ fn main() {
                 Some(0.8),
             );
             opt_cells.push(timer::human(optimized.otime));
-            let reduction = 1.0
-                - optimized.otime.as_secs_f64() / original.otime.as_secs_f64().max(1e-9);
+            let reduction =
+                1.0 - optimized.otime.as_secs_f64() / original.otime.as_secs_f64().max(1e-9);
             ratio_cells.push(format!("{:.0}%", reduction * 100.0));
         }
         optimized_table.row(opt_cells);

@@ -27,7 +27,7 @@ fn main() {
                     acc.add(a, c)
                 })
             });
-            res.expect("valid ratio");
+            er_eval::must(res);
             table.row(vec![
                 d.id.name().into(),
                 sci(acc.total_comparisons()),

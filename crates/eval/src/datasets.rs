@@ -95,11 +95,10 @@ impl Dataset {
 
     /// Builds the benchmark at `multiplier` times its default scale.
     pub fn load_scaled(id: DatasetId, multiplier: f64) -> Dataset {
-        let base_scale = DEFAULT_SCALES
-            .iter()
-            .find(|(b, _)| *b == id.base())
-            .map(|&(_, s)| s)
-            .expect("every dataset has a scale");
+        let base_scale = match DEFAULT_SCALES.iter().find(|(b, _)| *b == id.base()) {
+            Some(&(_, s)) => s,
+            None => unreachable!("DEFAULT_SCALES covers every dataset base"),
+        };
         let scale = (base_scale * multiplier).clamp(1e-4, 1.0);
         let config = scaled_config(id.base(), scale);
         let generated = generate(&config);

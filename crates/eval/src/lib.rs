@@ -35,3 +35,17 @@ pub mod timer;
 pub use datasets::{Dataset, DatasetId};
 pub use runner::{average_over_schemes, evaluate, EvaluationRow};
 pub use stats::BlockStats;
+
+/// Unwraps a result whose configuration is statically known to be valid.
+///
+/// The experiment binaries run pipelines with hard-coded, pre-validated
+/// parameters; an `Err` there is a harness bug, not an input problem. This
+/// is the single sanctioned abort point for that case (tracked in the
+/// workspace lint allowlist) — library code must propagate `Result`s
+/// instead.
+pub fn must<T, E: std::fmt::Display>(res: Result<T, E>) -> T {
+    match res {
+        Ok(v) => v,
+        Err(e) => panic!("statically-valid configuration rejected: {e}"),
+    }
+}

@@ -6,10 +6,9 @@
 //! time required for comparing two of its entity profiles" — the harness
 //! measures the mean comparison cost on a sample and extrapolates.
 
+use er_datagen::rng::SmallRng;
 use er_model::matching::TokenSets;
 use er_model::{EntityCollection, EntityId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 /// Measures the mean Jaccard-comparison cost over `samples` random
@@ -29,8 +28,8 @@ pub fn mean_comparison_cost(
     let mut guard = 0usize;
     while pairs.len() < samples && guard < samples * 20 {
         guard += 1;
-        let a = EntityId(rng.gen_range(0..n as u32));
-        let b = EntityId(rng.gen_range(0..n as u32));
+        let a = EntityId::from_index(rng.gen_below(n as u64) as usize);
+        let b = EntityId::from_index(rng.gen_below(n as u64) as usize);
         if collection.comparable(a, b) {
             pairs.push((a, b));
         }

@@ -40,7 +40,7 @@ pub fn evaluate(
     }
     let mut acc = EffectivenessAccumulator::new(gt);
     let (res, otime) = crate::timer::time(|| pipeline.run(blocks, split, |a, b| acc.add(a, b)));
-    res.expect("valid configuration");
+    crate::must(res);
     EvaluationRow {
         comparisons: acc.total_comparisons(),
         detected: acc.detected(),

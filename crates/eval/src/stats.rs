@@ -64,10 +64,8 @@ mod tests {
             5,
             vec![Block::dirty(ids(&[0, 1])), Block::dirty(ids(&[0, 1, 2]))],
         );
-        let gt = GroundTruth::from_pairs(vec![
-            (EntityId(0), EntityId(1)),
-            (EntityId(3), EntityId(4)),
-        ]);
+        let gt =
+            GroundTruth::from_pairs(vec![(EntityId(0), EntityId(1)), (EntityId(3), EntityId(4))]);
         let s = BlockStats::compute(&blocks, 5, &gt);
         assert_eq!(s.num_blocks, 2);
         assert_eq!(s.comparisons, 4);

@@ -44,11 +44,7 @@ pub fn load(dir: impl AsRef<Path>) -> Result<Bundle> {
 }
 
 /// Writes a benchmark to a directory (created if missing).
-pub fn save(
-    dir: impl AsRef<Path>,
-    collection: &EntityCollection,
-    gt: &GroundTruth,
-) -> Result<()> {
+pub fn save(dir: impl AsRef<Path>, collection: &EntityCollection, gt: &GroundTruth) -> Result<()> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
     let split = collection.split();
@@ -93,10 +89,10 @@ mod tests {
         assert_eq!(bundle.ground_truth.len(), d.ground_truth.len());
         // Profiles survive byte-for-byte (attribute flattening aside, the
         // tiny preset emits unique attribute names per pair).
-        assert_eq!(bundle.collection.profile(er_model::EntityId(0)).uri(), d
-            .collection
-            .profile(er_model::EntityId(0))
-            .uri());
+        assert_eq!(
+            bundle.collection.profile(er_model::EntityId(0)).uri(),
+            d.collection.profile(er_model::EntityId(0)).uri()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -187,11 +183,7 @@ mod tests {
             let covered = gt
                 .pairs()
                 .iter()
-                .filter(|p| {
-                    blocks
-                        .values()
-                        .any(|b| b.contains(&p.a.0) && b.contains(&p.b.0))
-                })
+                .filter(|p| blocks.values().any(|b| b.contains(&p.a.0) && b.contains(&p.b.0)))
                 .count();
             (num_blocks, covered)
         }

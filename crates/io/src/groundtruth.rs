@@ -39,9 +39,10 @@ pub fn read_str(input: &str, collection: &EntityCollection) -> Result<GroundTrut
             return Err(IoError::Format(format!("row {} has {} fields", n + 2, row.len())));
         }
         let resolve = |uri: &str| {
-            by_uri.get(uri).copied().ok_or_else(|| {
-                IoError::Format(format!("row {}: unknown URI `{uri}`", n + 2))
-            })
+            by_uri
+                .get(uri)
+                .copied()
+                .ok_or_else(|| IoError::Format(format!("row {}: unknown URI `{uri}`", n + 2)))
         };
         let a = resolve(&row[0])?;
         let b = resolve(&row[1])?;
@@ -123,10 +124,8 @@ mod tests {
     #[test]
     fn roundtrip() {
         let c = collection();
-        let gt = GroundTruth::from_pairs(vec![
-            (EntityId(0), EntityId(2)),
-            (EntityId(1), EntityId(2)),
-        ]);
+        let gt =
+            GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2)), (EntityId(1), EntityId(2))]);
         let text = write_str(&gt, &c);
         let back = read_str(&text, &c).unwrap();
         assert_eq!(back.len(), 2);

@@ -18,9 +18,7 @@ use std::path::Path;
 pub fn read_str(input: &str) -> Result<Vec<EntityProfile>> {
     let rows = csv::parse(input)?;
     let mut iter = rows.into_iter();
-    let header = iter
-        .next()
-        .ok_or_else(|| IoError::Format("missing header row".into()))?;
+    let header = iter.next().ok_or_else(|| IoError::Format("missing header row".into()))?;
     if header.is_empty() || header[0].trim().is_empty() {
         return Err(IoError::Format("header must start with the URI column".into()));
     }
@@ -76,7 +74,12 @@ pub fn write_str(profiles: &[EntityProfile]) -> String {
         let mut row = vec![String::new(); names.len() + 1];
         row[0] = p.uri().to_string();
         for a in p.attributes() {
-            let col = names.iter().position(|n| *n == a.name).expect("collected") + 1;
+            // `names` was collected from these same profiles, so the lookup
+            // always succeeds; skipping is strictly safer than aborting.
+            let col = match names.iter().position(|n| *n == a.name) {
+                Some(c) => c + 1,
+                None => continue,
+            };
             if row[col].is_empty() {
                 row[col] = a.value.clone();
             } else {

@@ -1,0 +1,490 @@
+//! # er-lint — the workspace's source-level invariant linter
+//!
+//! A dependency-free analyzer for the rules this codebase enforces beyond
+//! what rustc/clippy cover, tuned to the failure modes of a meta-blocking
+//! engine:
+//!
+//! * **`no-panic`** — no `.unwrap()` / `.expect(` / `panic!(` /
+//!   `unimplemented!(` / `todo!(` in non-test library code. Million-entity
+//!   pipelines run for minutes; recoverable conditions must surface as
+//!   `er_model::error::Result`s, not aborts. (`assert!` and `unreachable!`
+//!   stating genuine invariants are allowed — the mb-sanitize layer is
+//!   built on them.)
+//! * **`default-hasher`** — no `std::collections::HashMap`/`HashSet` in the
+//!   hot-path crates (`er-model`, `mb-core`, `er-blocking`): id-keyed maps
+//!   must use `er_model::fxhash`, the workloads are hashing-bound.
+//! * **`id-narrowing-cast`** — no bare `as u32`/`as u16`/`as u8` narrowing
+//!   feeding an `EntityId(…)`/`BlockId(…)` constructor; use `try_from` so
+//!   an overflowing id fails loudly instead of silently aliasing another
+//!   entity.
+//! * **`float-eq`** — no exact `==`/`!=` against float literals in the
+//!   weighting/pruning/scanner code: edge weights come out of accumulation
+//!   loops, so thresholds must use epsilons or `total_cmp`.
+//!
+//! Test code (`#[cfg(test)]` modules), `tests/`, `examples/` and `benches/`
+//! directories are exempt — tests corrupt structures and unwrap freely by
+//! design.
+//!
+//! Legacy violations live in the tracked allowlist (`lint-allowlist.txt`):
+//! per (rule, file) budgets that new code cannot exceed and refactors are
+//! encouraged to shrink. Run as `cargo run -p er-lint -- --workspace`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule name (e.g. `"no-panic"`).
+    pub rule: &'static str,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// The crates whose id-keyed maps must use `er_model::fxhash`.
+const HOT_PATH_CRATES: [&str; 3] = ["crates/er-model/", "crates/core/", "crates/blocking/"];
+
+/// Path fragments marking the weighting-sensitive files for `float-eq`.
+const FLOAT_SENSITIVE: [&str; 4] = ["weight", "prune", "scanner", "blast"];
+
+/// Strips string literals, char literals and `//` comments from one line so
+/// rule matching and brace counting never fire inside literal text. Quotes
+/// are kept as empty `""`/`''` markers; everything after a code-level `//`
+/// is dropped.
+fn strip_literals(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                out.push('"');
+                // Consume until the closing quote, honoring escapes.
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' => {
+                            chars.next();
+                        }
+                        '"' => break,
+                        _ => {}
+                    }
+                }
+                out.push('"');
+            }
+            '\'' => {
+                // A char literal only if it closes within a few chars;
+                // otherwise it is a lifetime tick — keep it.
+                let rest: String = chars.clone().take(3).collect();
+                let is_char = rest.starts_with('\\')
+                    || rest.chars().nth(1) == Some('\'')
+                    || rest.chars().nth(2) == Some('\'');
+                if is_char {
+                    out.push('\'');
+                    while let Some(c) = chars.next() {
+                        match c {
+                            '\\' => {
+                                chars.next();
+                            }
+                            '\'' => break,
+                            _ => {}
+                        }
+                    }
+                    out.push('\'');
+                } else {
+                    out.push('\'');
+                }
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Net brace depth change of a (literal-stripped) line.
+fn brace_delta(code: &str) -> i64 {
+    let mut d = 0i64;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Whether the token ending right before byte `at` or starting right after
+/// byte `at + len` looks like a float literal (`1.0`, `0.5e-9`, …).
+fn touches_float_literal(code: &str, at: usize, len: usize) -> bool {
+    let before = code[..at].trim_end();
+    let after = code[at + len..].trim_start();
+    let next_tok: String = after
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+'))
+        .collect();
+    let prev_tok: String = before
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_'))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    let is_float = |t: &str| {
+        let t = t.trim_start_matches(['-', '+']);
+        let mut parts = t.splitn(2, '.');
+        match (parts.next(), parts.next()) {
+            (Some(int), Some(frac)) => {
+                !int.is_empty()
+                    && int.chars().all(|c| c.is_ascii_digit())
+                    && frac.chars().take_while(|c| c.is_ascii_digit()).count() > 0
+            }
+            _ => false,
+        }
+    };
+    is_float(&prev_tok) || is_float(&next_tok)
+}
+
+/// Lints one file's source, returning every finding.
+///
+/// `rel_path` is the workspace-relative path; it decides which rules apply
+/// (hot-path crates, float-sensitive files) and is echoed in the findings.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let hot_path = HOT_PATH_CRATES.iter().any(|p| rel_path.starts_with(p));
+    let float_sensitive = rel_path.starts_with("crates/core/")
+        && FLOAT_SENSITIVE.iter().any(|p| {
+            Path::new(rel_path).file_name().and_then(|f| f.to_str()).is_some_and(|f| f.contains(p))
+        });
+
+    let mut findings = Vec::new();
+    let mut depth = 0i64;
+    // Depth at which the innermost `#[cfg(test)] mod` opened; lines are
+    // test code while the current depth stays above it.
+    let mut test_region: Vec<i64> = Vec::new();
+    let mut pending_cfg_test = false;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let trimmed = raw.trim();
+        // Doc and plain comment lines carry no code.
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let code = strip_literals(raw);
+        let code_trimmed = code.trim();
+
+        if code_trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        let entering_test_mod = pending_cfg_test
+            && (code_trimmed.starts_with("mod ") || code_trimmed.starts_with("pub mod "));
+        if entering_test_mod {
+            test_region.push(depth);
+        }
+        if !code_trimmed.starts_with("#[") && !code_trimmed.is_empty() {
+            pending_cfg_test = entering_test_mod && !code_trimmed.contains('{');
+        }
+
+        let in_test = !test_region.is_empty();
+        depth += brace_delta(&code);
+        while test_region.last().is_some_and(|&d| depth <= d) {
+            test_region.pop();
+        }
+
+        if in_test || entering_test_mod {
+            continue;
+        }
+
+        let mut report = |rule: &'static str| {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: idx + 1,
+                rule,
+                snippet: trimmed.chars().take(96).collect(),
+            });
+        };
+
+        // no-panic: aborts in library code.
+        for needle in [".unwrap()", ".expect(", "panic!(", "unimplemented!(", "todo!("] {
+            if code.contains(needle) {
+                report("no-panic");
+                break;
+            }
+        }
+
+        // default-hasher: SipHash maps in the hashing-bound crates.
+        if hot_path
+            && (code.contains("std::collections::HashMap")
+                || code.contains("std::collections::HashSet")
+                || (code.contains("std::collections::") && code.contains("HashMap"))
+                || (code.contains("std::collections::") && code.contains("HashSet")))
+        {
+            report("default-hasher");
+        }
+
+        // id-narrowing-cast: bare `as` narrowing feeding an id constructor.
+        if (code.contains("EntityId(") || code.contains("BlockId("))
+            && [" as u32", " as u16", " as u8"].iter().any(|c| code.contains(c))
+        {
+            report("id-narrowing-cast");
+        }
+
+        // float-eq: exact comparisons against float literals in weighting
+        // code.
+        if float_sensitive {
+            for op in ["==", "!="] {
+                let mut from = 0;
+                while let Some(pos) = code[from..].find(op) {
+                    let at = from + pos;
+                    // Skip <=, >=, != matched as the tail of ==, and pattern
+                    // arrows.
+                    let prev = code[..at].chars().next_back();
+                    let standalone = !matches!(prev, Some('<') | Some('>') | Some('=') | Some('!'));
+                    if standalone && touches_float_literal(&code, at, op.len()) {
+                        report("float-eq");
+                        from = code.len();
+                    } else {
+                        from = at + op.len();
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Collects the `.rs` files the lint applies to: `src/` trees of the
+/// workspace root and every crate. `tests/`, `examples/` and `benches/`
+/// directories never enter the walk — they are test code by location.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut roots = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> =
+            fs::read_dir(&crates_dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        entries.sort();
+        for e in entries {
+            let src = e.join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    for r in roots {
+        if r.is_dir() {
+            walk(&r, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            walk(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// The tracked budgets for legacy violations: `(rule, file) -> count`.
+///
+/// File format (one entry per line): `<rule> <path> <count>`, `#` comments
+/// and blank lines ignored.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    budgets: BTreeMap<(String, String), usize>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format; returns an error message on malformed
+    /// lines.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut budgets = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(path), Some(count), None) => {
+                    let count: usize = count
+                        .parse()
+                        .map_err(|_| format!("allowlist line {}: bad count {count:?}", i + 1))?;
+                    budgets.insert((rule.to_string(), path.to_string()), count);
+                }
+                _ => {
+                    return Err(format!(
+                        "allowlist line {}: expected `<rule> <path> <count>`, got {line:?}",
+                        i + 1
+                    ))
+                }
+            }
+        }
+        Ok(Allowlist { budgets })
+    }
+
+    /// Splits findings into (new violations over budget, stale budget
+    /// entries that can be tightened). The lint fails on the former and
+    /// reports the latter.
+    pub fn reconcile(&self, findings: &[Finding]) -> (Vec<Finding>, Vec<String>) {
+        let mut actual: BTreeMap<(String, String), Vec<&Finding>> = BTreeMap::new();
+        for f in findings {
+            actual.entry((f.rule.to_string(), f.file.clone())).or_default().push(f);
+        }
+        let mut over = Vec::new();
+        for (key, fs) in &actual {
+            let budget = self.budgets.get(key).copied().unwrap_or(0);
+            if fs.len() > budget {
+                // Everything beyond the budget is new; attribute the excess
+                // to the last findings in the file (newest code tends to be
+                // appended, and the exact lines are printed either way).
+                over.extend(fs.iter().skip(budget).map(|&f| f.clone()));
+            }
+        }
+        let mut stale = Vec::new();
+        for (key, &budget) in &self.budgets {
+            let have = actual.get(key).map_or(0, |v| v.len());
+            if have < budget {
+                stale.push(format!(
+                    "{} {} {budget} (actual {have} — tighten the budget)",
+                    key.0, key.1
+                ));
+            }
+        }
+        (over, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_strings_and_comments() {
+        assert_eq!(
+            strip_literals(r#"let s = "a { b } .unwrap()"; // .expect(boom)"#),
+            r#"let s = ""; "#
+        );
+        assert_eq!(strip_literals(r#"x.contains(['{', '}'])"#), "x.contains(['', ''])");
+        assert_eq!(strip_literals("fn f<'a>(x: &'a str)"), "fn f<'a>(x: &'a str)");
+    }
+
+    #[test]
+    fn unwrap_in_lib_code_is_flagged() {
+        let f = lint_source("crates/core/src/x.rs", "fn f() {\n    v.unwrap();\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-panic");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src =
+            "fn f() {\n a.unwrap_or(0);\n b.unwrap_or_else(|| 1);\n c.unwrap_or_default();\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_module_is_exempt() {
+        let src =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { v.unwrap(); panic!(\"x\"); }\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_module_is_linted_again() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn g() { v.unwrap(); }\n}\nfn f() { v.unwrap(); }\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn unwrap_inside_string_or_comment_is_ignored() {
+        let src = "fn f() {\n let s = \".unwrap()\";\n // .unwrap()\n /// panic!(doc)\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn default_hasher_only_in_hot_path_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(lint_source("crates/core/src/x.rs", src)[0].rule, "default-hasher");
+        assert_eq!(lint_source("crates/er-model/src/x.rs", src).len(), 1);
+        assert!(lint_source("crates/eval/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_into_id_is_flagged() {
+        let src = "fn f(n: u64) -> EntityId { EntityId(n as u32) }\n";
+        let f = lint_source("crates/eval/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "id-narrowing-cast");
+        // Widening or unrelated casts are fine.
+        assert!(lint_source("crates/eval/src/x.rs", "let x = k as u64;\n").is_empty());
+        assert!(lint_source("crates/eval/src/x.rs", "let e = EntityId(raw);\n").is_empty());
+    }
+
+    #[test]
+    fn float_eq_in_weighting_files_is_flagged() {
+        let src = "fn f(w: f64) -> bool { w == 0.0 }\n";
+        let f = lint_source("crates/core/src/weights.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "float-eq");
+        // Same code outside the sensitive files passes.
+        assert!(lint_source("crates/core/src/pipeline.rs", src).is_empty());
+        // total_cmp and epsilon comparisons pass everywhere.
+        let ok = "fn f(w: f64, t: f64) -> bool { w >= t - t * 1e-9 }\n";
+        assert!(lint_source("crates/core/src/weights.rs", ok).is_empty());
+        // Integer equality passes.
+        assert!(lint_source("crates/core/src/weights.rs", "if n == 0 { }\n").is_empty());
+    }
+
+    #[test]
+    fn allowlist_budgets_and_staleness() {
+        let allow = match Allowlist::parse("# legacy\nno-panic crates/io/src/x.rs 2\n") {
+            Ok(a) => a,
+            Err(e) => unreachable!("parse failed: {e}"),
+        };
+        let finding = |line| Finding {
+            file: "crates/io/src/x.rs".to_string(),
+            line,
+            rule: "no-panic",
+            snippet: String::new(),
+        };
+        // Within budget: nothing over, nothing stale.
+        let (over, stale) = allow.reconcile(&[finding(1), finding(2)]);
+        assert!(over.is_empty() && stale.is_empty());
+        // Over budget: the excess is reported.
+        let (over, _) = allow.reconcile(&[finding(1), finding(2), finding(3)]);
+        assert_eq!(over.len(), 1);
+        // Under budget: stale entry reported.
+        let (over, stale) = allow.reconcile(&[finding(1)]);
+        assert!(over.is_empty());
+        assert_eq!(stale.len(), 1);
+        // Unlisted file with findings is over immediately.
+        let other = Finding { file: "crates/core/src/y.rs".into(), ..finding(9) };
+        let (over, _) = allow.reconcile(&[other]);
+        assert_eq!(over.len(), 1);
+    }
+
+    #[test]
+    fn malformed_allowlist_is_rejected() {
+        assert!(Allowlist::parse("no-panic crates/io/src/x.rs many").is_err());
+        assert!(Allowlist::parse("no-panic crates/io/src/x.rs").is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! CLI for `er-lint`: `cargo run -p er-lint -- --workspace`.
+//!
+//! Exit codes: `0` clean (stale allowlist entries only warn), `1` new
+//! violations or over-budget files, `2` usage/IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use er_lint::{lint_source, workspace_files, Allowlist};
+
+const USAGE: &str = "usage: er-lint --workspace [--root <dir>] [--allowlist <file>]";
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--allowlist" => allowlist_path = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("er-lint: unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !workspace {
+        eprintln!("er-lint: nothing to do (pass --workspace)\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    // Default root: the workspace directory cargo runs us from; fall back to
+    // the manifest's grandparent so a direct binary invocation still works.
+    let root = root.unwrap_or_else(|| {
+        std::env::var_os("CARGO_MANIFEST_DIR")
+            .map(|m| PathBuf::from(m).join("../.."))
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("lint-allowlist.txt"));
+    let allowlist = if allowlist_path.is_file() {
+        match std::fs::read_to_string(&allowlist_path) {
+            Ok(text) => match Allowlist::parse(&text) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("er-lint: {}: {e}", allowlist_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("er-lint: cannot read {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Allowlist::default()
+    };
+
+    let files = match workspace_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("er-lint: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if files.is_empty() {
+        eprintln!("er-lint: no .rs files found under {}", root.display());
+        return ExitCode::from(2);
+    }
+
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path.strip_prefix(&root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        match std::fs::read_to_string(path) {
+            Ok(source) => findings.extend(lint_source(&rel, &source)),
+            Err(e) => {
+                eprintln!("er-lint: cannot read {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (over, stale) = allowlist.reconcile(&findings);
+    for s in &stale {
+        eprintln!("warning: stale allowlist entry: {s}");
+    }
+    if over.is_empty() {
+        println!(
+            "er-lint: {} files clean ({} allowlisted legacy findings)",
+            files.len(),
+            findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &over {
+        eprintln!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.snippet);
+    }
+    eprintln!(
+        "er-lint: {} violation(s) over allowlist budget across {} files",
+        over.len(),
+        files.len()
+    );
+    ExitCode::FAILURE
+}

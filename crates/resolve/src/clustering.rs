@@ -65,11 +65,7 @@ impl Clusters {
 /// Simple and high-recall, but a single spurious match merges two entities
 /// — the classic transitive-closure failure mode that
 /// [`center_clustering`] mitigates.
-pub fn connected_components(
-    num_entities: usize,
-    pairs: &[ScoredPair],
-    threshold: f64,
-) -> Clusters {
+pub fn connected_components(num_entities: usize, pairs: &[ScoredPair], threshold: f64) -> Clusters {
     let mut uf = UnionFind::new(num_entities);
     for p in pairs {
         if p.score >= threshold {
@@ -87,11 +83,7 @@ pub fn connected_components(
 /// Ties are broken by ids so the result is deterministic.
 pub fn center_clustering(num_entities: usize, pairs: &[ScoredPair], threshold: f64) -> Clusters {
     let mut order: Vec<&ScoredPair> = pairs.iter().filter(|p| p.score >= threshold).collect();
-    order.sort_by(|x, y| {
-        y.score
-            .total_cmp(&x.score)
-            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
-    });
+    order.sort_by(|x, y| y.score.total_cmp(&x.score).then_with(|| (x.a, x.b).cmp(&(y.a, y.b))));
     #[derive(Clone, Copy, PartialEq)]
     enum Role {
         Free,
@@ -131,11 +123,7 @@ pub fn center_clustering(num_entities: usize, pairs: &[ScoredPair], threshold: f
 /// output.
 pub fn unique_mapping(num_entities: usize, pairs: &[ScoredPair], threshold: f64) -> Clusters {
     let mut order: Vec<&ScoredPair> = pairs.iter().filter(|p| p.score >= threshold).collect();
-    order.sort_by(|x, y| {
-        y.score
-            .total_cmp(&x.score)
-            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
-    });
+    order.sort_by(|x, y| y.score.total_cmp(&x.score).then_with(|| (x.a, x.b).cmp(&(y.a, y.b))));
     let mut taken = vec![false; num_entities];
     let mut uf = UnionFind::new(num_entities);
     for p in order {
@@ -186,9 +174,8 @@ mod tests {
     fn center_clustering_resists_chaining() {
         // A chain 0-1-2-3 of decent scores: connected components merge all
         // four; center clustering caps the chain (satellites cannot recruit).
-        let pairs =
-            [pair(0, 1, 0.9), pair(1, 2, 0.8), pair(2, 3, 0.7)];
-        let mut cc = connected_components(4, &pairs, 0.5);
+        let pairs = [pair(0, 1, 0.9), pair(1, 2, 0.8), pair(2, 3, 0.7)];
+        let cc = connected_components(4, &pairs, 0.5);
         assert_eq!(cc.num_entities(), 1);
         let mut center = center_clustering(4, &pairs, 0.5);
         // 0 centers {0,1}; 1 and 2 cannot link (1 is a satellite); 2 centers
@@ -215,7 +202,10 @@ mod tests {
         let pairs = [pair(0, 1, 0.8), pair(0, 2, 0.8)];
         let mut a = unique_mapping(3, &pairs, 0.5);
         let mut b = unique_mapping(3, &pairs, 0.5);
-        assert_eq!(a.same_entity(EntityId(0), EntityId(1)), b.same_entity(EntityId(0), EntityId(1)));
+        assert_eq!(
+            a.same_entity(EntityId(0), EntityId(1)),
+            b.same_entity(EntityId(0), EntityId(1))
+        );
         // Tie broken towards the smaller pair: (0,1) wins.
         assert!(a.same_entity(EntityId(0), EntityId(1)));
     }

@@ -57,11 +57,7 @@ pub fn pairwise_quality(clusters: &mut Clusters, gt: &GroundTruth) -> PairwiseQu
         }
     }
     let fp = matched.len() - tp;
-    let missed = gt
-        .pairs()
-        .iter()
-        .filter(|c| !clusters.same_entity(c.a, c.b))
-        .count();
+    let missed = gt.pairs().iter().filter(|c| !clusters.same_entity(c.a, c.b)).count();
     PairwiseQuality { true_positives: tp, false_positives: fp, false_negatives: missed }
 }
 
@@ -84,7 +80,10 @@ mod tests {
         ];
         let mut c = connected_components(4, &scored, 0.5);
         let q = pairwise_quality(&mut c, &gt);
-        assert_eq!(q, PairwiseQuality { true_positives: 2, false_positives: 0, false_negatives: 0 });
+        assert_eq!(
+            q,
+            PairwiseQuality { true_positives: 2, false_positives: 0, false_negatives: 0 }
+        );
         assert_eq!(q.precision(), 1.0);
         assert_eq!(q.recall(), 1.0);
         assert_eq!(q.f1(), 1.0);

@@ -40,7 +40,10 @@ impl<'c, S: Similarity> Resolver<'c, S> {
     }
 
     /// Executes the comparison stream and clusters the matches.
-    pub fn resolve(&self, comparisons: impl IntoIterator<Item = (EntityId, EntityId)>) -> Resolution {
+    pub fn resolve(
+        &self,
+        comparisons: impl IntoIterator<Item = (EntityId, EntityId)>,
+    ) -> Resolution {
         let mut executed = 0u64;
         let mut scored = Vec::new();
         for (a, b) in comparisons {
@@ -81,18 +84,15 @@ mod tests {
         let sim = JaccardSimilarity::build(&c);
         let resolver = Resolver::new(&c, sim, 0.4);
         // Pretend meta-blocking retained every cross pair.
-        let stream: Vec<(EntityId, EntityId)> = (0..2u32)
-            .flat_map(|a| (2..5u32).map(move |b| (EntityId(a), EntityId(b))))
-            .collect();
+        let stream: Vec<(EntityId, EntityId)> =
+            (0..2u32).flat_map(|a| (2..5u32).map(move |b| (EntityId(a), EntityId(b)))).collect();
         let mut res = resolver.resolve(stream);
         assert_eq!(res.executed_comparisons, 6);
         assert!(res.clusters.same_entity(EntityId(0), EntityId(2)));
         assert!(res.clusters.same_entity(EntityId(1), EntityId(3)));
         assert!(!res.clusters.same_entity(EntityId(0), EntityId(4)));
-        let gt = GroundTruth::from_pairs(vec![
-            (EntityId(0), EntityId(2)),
-            (EntityId(1), EntityId(3)),
-        ]);
+        let gt =
+            GroundTruth::from_pairs(vec![(EntityId(0), EntityId(2)), (EntityId(1), EntityId(3))]);
         let q = res.quality(&gt);
         assert_eq!(q.f1(), 1.0);
     }

@@ -22,11 +22,8 @@ impl JaccardSimilarity {
     /// Tokenizes every profile of the collection.
     pub fn build(collection: &EntityCollection) -> Self {
         let mut interner = Interner::new();
-        let sets = collection
-            .profiles()
-            .iter()
-            .map(|p| token_id_set(p.values(), &mut interner))
-            .collect();
+        let sets =
+            collection.profiles().iter().map(|p| token_id_set(p.values(), &mut interner)).collect();
         JaccardSimilarity { sets }
     }
 }
@@ -55,11 +52,8 @@ impl CosineIdfSimilarity {
     /// Builds the weighted vectors for a collection.
     pub fn build(collection: &EntityCollection) -> Self {
         let mut interner = Interner::new();
-        let sets: Vec<Vec<u32>> = collection
-            .profiles()
-            .iter()
-            .map(|p| token_id_set(p.values(), &mut interner))
-            .collect();
+        let sets: Vec<Vec<u32>> =
+            collection.profiles().iter().map(|p| token_id_set(p.values(), &mut interner)).collect();
         // Document frequency per token.
         let mut df: FxHashMap<u32, u32> = FxHashMap::default();
         for set in &sets {

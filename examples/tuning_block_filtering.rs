@@ -29,10 +29,7 @@ fn main() {
         let pc = measures::pairs_completeness(detected, dataset.ground_truth.len());
         let rr = measures::reduction_ratio(baseline, filtered.total_comparisons());
         let marker = if (r - 0.8).abs() < 1e-9 { "  <- paper's choice" } else { "" };
-        println!(
-            " {r:>4.2}  {pc:>6.3}  {rr:>6.3}  {:>7}{marker}",
-            filtered.total_comparisons()
-        );
+        println!(" {r:>4.2}  {pc:>6.3}  {rr:>6.3}  {:>7}{marker}", filtered.total_comparisons());
     }
 
     println!(

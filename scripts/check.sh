@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full local gate, in dependency order: style, compile, lint, tests.
+# ROADMAP.md's tier-1 verify line is the `build` + `test` subset; this script
+# is the superset a change should pass before review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> er-lint --workspace"
+cargo run -q -p er-lint -- --workspace
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

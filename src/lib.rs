@@ -14,6 +14,6 @@ pub use er_blocking as blocking;
 pub use er_datagen as datagen;
 pub use er_eval as eval;
 pub use er_io as io;
-pub use er_resolve as resolve;
 pub use er_model as model;
+pub use er_resolve as resolve;
 pub use mb_core as metablocking;

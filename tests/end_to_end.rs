@@ -30,13 +30,7 @@ fn every_scheme_combination_preserves_most_recall() {
                 .with_block_filtering(0.8)
                 .run(&blocks, split, |a, b| acc.add(a, b))
                 .unwrap();
-            assert!(
-                acc.pc() > 0.5,
-                "{} + {}: pc={}",
-                scheme.name(),
-                pruning.name(),
-                acc.pc()
-            );
+            assert!(acc.pc() > 0.5, "{} + {}: pc={}", scheme.name(), pruning.name(), acc.pc());
             assert!(acc.total_comparisons() < blocks.total_comparisons());
         }
     }

@@ -54,12 +54,11 @@ fn arrival_order_does_not_break_determinism() {
 #[test]
 fn cbs_vs_js_schemes_both_work_incrementally() {
     let dataset = presets::build(&presets::tiny(23)).into_dirty();
-    for scheme in [WeightingScheme::Arcs, WeightingScheme::Cbs, WeightingScheme::Ecbs, WeightingScheme::Js] {
-        let mut inc = IncrementalMetaBlocking::new(IncrementalConfig {
-            scheme,
-            k: 3,
-            max_block_size: 200,
-        });
+    for scheme in
+        [WeightingScheme::Arcs, WeightingScheme::Cbs, WeightingScheme::Ecbs, WeightingScheme::Js]
+    {
+        let mut inc =
+            IncrementalMetaBlocking::new(IncrementalConfig { scheme, k: 3, max_block_size: 200 });
         let mut found = 0usize;
         for (_, profile) in dataset.collection.iter() {
             for (a, b) in inc.add(profile) {

@@ -22,8 +22,7 @@ fn pair(a: u32, b: u32) -> (u32, u32) {
 }
 
 fn canonical(pairs: &[(EntityId, EntityId)]) -> Vec<(u32, u32)> {
-    let mut v: Vec<(u32, u32)> =
-        pairs.iter().map(|&(a, b)| (a.0.min(b.0), a.0.max(b.0))).collect();
+    let mut v: Vec<(u32, u32)> = pairs.iter().map(|&(a, b)| (a.0.min(b.0), a.0.max(b.0))).collect();
     v.sort_unstable();
     v
 }
@@ -84,10 +83,7 @@ fn figure_2c_wep_keeps_both_duplicates() {
     let retained = MetaBlocking::new(WeightingScheme::Js, PruningScheme::Wep)
         .run_collect(&blocks, collection.split())
         .unwrap();
-    assert_eq!(
-        canonical(&retained),
-        vec![pair(1, 3), pair(2, 4), pair(3, 5), pair(5, 6)]
-    );
+    assert_eq!(canonical(&retained), vec![pair(1, 3), pair(2, 4), pair(3, 5), pair(5, 6)]);
     let gt = figure1_ground_truth();
     let mut acc = EffectivenessAccumulator::new(&gt);
     for (a, b) in retained {
@@ -139,10 +135,7 @@ fn figure_9_reciprocal_wnp_keeps_four() {
     let retained = MetaBlocking::new(WeightingScheme::Js, PruningScheme::ReciprocalWnp)
         .run_collect(&blocks, collection.split())
         .unwrap();
-    assert_eq!(
-        canonical(&retained),
-        vec![pair(1, 3), pair(2, 4), pair(3, 5), pair(5, 6)]
-    );
+    assert_eq!(canonical(&retained), vec![pair(1, 3), pair(2, 4), pair(3, 5), pair(5, 6)]);
 }
 
 #[test]

@@ -34,10 +34,7 @@ fn schedule_front_loads_duplicates() {
     );
 
     // And the full schedule covers everything the blocks cover.
-    let all = schedule
-        .iter()
-        .filter(|(a, b, _)| d.ground_truth.are_duplicates(*a, *b))
-        .count();
+    let all = schedule.iter().filter(|(a, b, _)| d.ground_truth.are_duplicates(*a, *b)).count();
     let covered = er_model::measures::detected_duplicates_in(&blocks, &d.ground_truth);
     assert_eq!(all, covered);
 }
@@ -82,7 +79,12 @@ fn budgeted_schedule_is_a_true_prefix() {
     let split = d.collection.split();
     let full = ProgressiveSchedule::build(&blocks, split, WeightingScheme::Ecbs);
     for budget in [1usize, 17, 500, usize::MAX] {
-        let bounded = ProgressiveSchedule::with_budget(&blocks, split, WeightingScheme::Ecbs, budget.min(full.len() + 10));
+        let bounded = ProgressiveSchedule::with_budget(
+            &blocks,
+            split,
+            WeightingScheme::Ecbs,
+            budget.min(full.len() + 10),
+        );
         let n = bounded.len();
         assert_eq!(bounded.prefix(n), full.prefix(n));
     }
