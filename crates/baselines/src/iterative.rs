@@ -3,6 +3,7 @@
 use crate::union_find::UnionFind;
 use er_model::matching::Matcher;
 use er_model::{BlockCollection, EntityId, GroundTruth};
+use mb_observe::{Counter, Observer, Stage, StageScope};
 
 /// Iterative Blocking: processes blocks sequentially and propagates every
 /// identified match to the blocks processed afterwards.
@@ -71,8 +72,21 @@ impl IterativeBlocking {
         blocks: &BlockCollection,
         matcher: &impl Matcher,
     ) -> IterativeBlockingOutcome {
+        self.run_observed(blocks, matcher, &mut mb_observe::Noop)
+    }
+
+    /// [`run`](Self::run), reporting one [`Stage::IterativeBlocking`] scope
+    /// to `obs`: comparisons in/out (`executed_comparisons` doubles as the
+    /// retained-comparison count) and the number of matches found.
+    pub fn run_observed(
+        &self,
+        blocks: &BlockCollection,
+        matcher: &impl Matcher,
+        obs: &mut dyn Observer,
+    ) -> IterativeBlockingOutcome {
         #[cfg(feature = "sanitize")]
         er_model::sanitize::assert_valid(&blocks.validate(), "IterativeBlocking::run input");
+        let mut scope = StageScope::enter(obs, Stage::IterativeBlocking);
         let n = blocks.num_entities();
         let mut clusters = UnionFind::new(n);
         let mut matched = vec![false; n];
@@ -113,6 +127,14 @@ impl IterativeBlocking {
              input entails only {}",
             blocks.total_comparisons()
         );
+        if scope.enabled() {
+            scope.add(Counter::Entities, n as u64);
+            scope.add(Counter::BlocksIn, blocks.blocks().len() as u64);
+            scope.add(Counter::ComparisonsIn, blocks.total_comparisons());
+            scope.add(Counter::RetainedComparisons, executed);
+            scope.add(Counter::MatchesFound, matches_found as u64);
+        }
+        scope.finish();
         IterativeBlockingOutcome { executed_comparisons: executed, matches_found, clusters }
     }
 }
@@ -206,6 +228,23 @@ mod tests {
         // Processing the small block first finds the match sooner and saves
         // its repetition inside the large block.
         assert!(sorted.executed_comparisons <= unsorted.executed_comparisons);
+    }
+
+    #[test]
+    fn observed_run_reports_stage_counters() {
+        let blocks = BlockCollection::new(
+            ErKind::Dirty,
+            3,
+            vec![Block::dirty(ids(&[0, 1, 2])), Block::dirty(ids(&[0, 1, 2]))],
+        );
+        let truth = gt(&[(0, 1)]);
+        let oracle = OracleMatcher::new(&truth);
+        let mut log = mb_observe::RingLog::new(8);
+        let out = IterativeBlocking::default().run_observed(&blocks, &oracle, &mut log);
+        assert_eq!(log.exit_order(), vec![Stage::IterativeBlocking]);
+        assert_eq!(log.counter_total(Counter::RetainedComparisons), out.executed_comparisons);
+        assert_eq!(log.counter_total(Counter::MatchesFound), out.matches_found as u64);
+        assert_eq!(log.counter_total(Counter::ComparisonsIn), blocks.total_comparisons());
     }
 
     #[test]

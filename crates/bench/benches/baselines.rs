@@ -23,14 +23,20 @@ fn bench_baselines(c: &mut Criterion) {
     group.bench_function("graph_free/r=0.25", |b| {
         b.iter(|| {
             let mut n = 0u64;
-            pipeline::run_graph_free(&workload.blocks, split, 0.25, |_, _| n += 1).unwrap();
+            pipeline::run_graph_free(&workload.blocks, split, 0.25, &mut mb_core::Noop, |_, _| {
+                n += 1
+            })
+            .unwrap();
             black_box(n)
         })
     });
     group.bench_function("graph_free/r=0.55", |b| {
         b.iter(|| {
             let mut n = 0u64;
-            pipeline::run_graph_free(&workload.blocks, split, 0.55, |_, _| n += 1).unwrap();
+            pipeline::run_graph_free(&workload.blocks, split, 0.55, &mut mb_core::Noop, |_, _| {
+                n += 1
+            })
+            .unwrap();
             black_box(n)
         })
     });
@@ -46,7 +52,7 @@ fn bench_baselines(c: &mut Criterion) {
             .with_block_filtering(0.8);
         b.iter(|| {
             let mut n = 0u64;
-            pipeline.run(&workload.blocks, split, |_, _| n += 1).unwrap();
+            pipeline.run(&workload.blocks, split, &mut mb_core::Noop, |_, _| n += 1).unwrap();
             black_box(n)
         })
     });

@@ -25,7 +25,7 @@ fn bench_pruning(c: &mut Criterion) {
             let pipeline = MetaBlocking::new(WeightingScheme::Js, pruning);
             b.iter(|| {
                 let mut count = 0u64;
-                pipeline.run(&filtered, split, |_, _| count += 1).unwrap();
+                pipeline.run(&filtered, split, &mut mb_core::Noop, |_, _| count += 1).unwrap();
                 black_box(count)
             })
         });

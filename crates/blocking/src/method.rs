@@ -1,6 +1,7 @@
 //! The trait all blocking methods implement.
 
 use er_model::{BlockCollection, EntityCollection};
+use mb_observe::{Counter, Observer, Stage, StageScope};
 
 /// A blocking method: maps an entity collection to a block collection.
 ///
@@ -13,6 +14,25 @@ pub trait BlockingMethod {
 
     /// Builds the blocks for `collection`.
     fn build(&self, collection: &EntityCollection) -> BlockCollection;
+
+    /// [`BlockingMethod::build`], reporting one [`Stage::Blocking`] scope to
+    /// `obs`: wall/CPU time plus the size of the produced block collection.
+    fn build_observed(
+        &self,
+        collection: &EntityCollection,
+        obs: &mut dyn Observer,
+    ) -> BlockCollection {
+        let mut scope = StageScope::enter(obs, Stage::Blocking);
+        let blocks = self.build(collection);
+        if scope.enabled() {
+            scope.add(Counter::Entities, collection.len() as u64);
+            scope.add(Counter::BlocksOut, blocks.blocks().len() as u64);
+            scope.add(Counter::ComparisonsOut, blocks.total_comparisons());
+            scope.add(Counter::AssignmentsOut, blocks.total_assignments());
+        }
+        scope.finish();
+        blocks
+    }
 
     /// [`BlockingMethod::build`] followed by a structural validation of the
     /// result (including the Clean-Clean side assignment against the
@@ -37,5 +57,17 @@ mod tests {
         let collection = fixtures::figure1_collection();
         let blocks = TokenBlocking.build_validated(&collection);
         assert_eq!(blocks.size(), TokenBlocking.build(&collection).size());
+    }
+
+    #[test]
+    fn build_observed_reports_blocking_stage() {
+        let collection = fixtures::figure1_collection();
+        let mut log = mb_observe::RingLog::new(4);
+        let blocks = TokenBlocking.build_observed(&collection, &mut log);
+        assert_eq!(blocks.size(), TokenBlocking.build(&collection).size());
+        assert_eq!(log.exit_order(), vec![Stage::Blocking]);
+        assert_eq!(log.counter_total(Counter::Entities), collection.len() as u64);
+        assert_eq!(log.counter_total(Counter::BlocksOut), blocks.size() as u64);
+        assert_eq!(log.counter_total(Counter::ComparisonsOut), blocks.total_comparisons());
     }
 }

@@ -11,6 +11,54 @@
 //!   ratio by more than a smoothing factor.
 
 use er_model::BlockCollection;
+use mb_observe::{Counter, Observer, Stage, StageScope};
+
+/// Runs a purging pass under one [`Stage::Purging`] observer scope,
+/// reporting the before/after block and comparison counts.
+fn observed(
+    blocks: &mut BlockCollection,
+    obs: &mut dyn Observer,
+    purge: impl FnOnce(&mut BlockCollection) -> usize,
+) -> usize {
+    let mut scope = StageScope::enter(obs, Stage::Purging);
+    let (blocks_in, comparisons_in, assignments_in) = if scope.enabled() {
+        (blocks.blocks().len() as u64, blocks.total_comparisons(), blocks.total_assignments())
+    } else {
+        (0, 0, 0)
+    };
+    let purged = purge(blocks);
+    if scope.enabled() {
+        scope.add(Counter::BlocksIn, blocks_in);
+        scope.add(Counter::BlocksOut, blocks.blocks().len() as u64);
+        scope.add(Counter::ComparisonsIn, comparisons_in);
+        scope.add(Counter::ComparisonsOut, blocks.total_comparisons());
+        scope.add(Counter::AssignmentsIn, assignments_in);
+        scope.add(Counter::AssignmentsOut, blocks.total_assignments());
+        scope.add(Counter::Entities, blocks.num_entities() as u64);
+    }
+    scope.finish();
+    purged
+}
+
+/// [`purge_by_size`], reporting the pass to `obs` as a [`Stage::Purging`]
+/// scope (blocks/comparisons/assignments before and after).
+pub fn purge_by_size_observed(
+    blocks: &mut BlockCollection,
+    max_size_ratio: f64,
+    obs: &mut dyn Observer,
+) -> usize {
+    observed(blocks, obs, |b| purge_by_size(b, max_size_ratio))
+}
+
+/// [`purge_by_comparisons`], reporting the pass to `obs` as a
+/// [`Stage::Purging`] scope (blocks/comparisons/assignments before and
+/// after).
+pub fn purge_by_comparisons_observed(
+    blocks: &mut BlockCollection,
+    obs: &mut dyn Observer,
+) -> usize {
+    observed(blocks, obs, purge_by_comparisons)
+}
 
 /// Discards blocks whose *size* (number of profiles) exceeds
 /// `max_size_ratio · |E|`. The paper uses `max_size_ratio = 0.5`:
@@ -173,5 +221,23 @@ mod tests {
     fn comparison_purging_empty_collection() {
         let mut blocks = BlockCollection::new(ErKind::Dirty, 0, vec![]);
         assert_eq!(purge_by_comparisons(&mut blocks), 0);
+    }
+
+    #[test]
+    fn observed_purging_reports_shrink() {
+        let mut blocks = BlockCollection::new(
+            ErKind::Dirty,
+            10,
+            vec![Block::dirty(ids(0..2)), Block::dirty(ids(0..6)), Block::dirty(ids(0..10))],
+        );
+        let comparisons_in = blocks.total_comparisons();
+        let mut log = mb_observe::RingLog::new(8);
+        let purged = purge_by_size_observed(&mut blocks, 0.5, &mut log);
+        assert_eq!(purged, 2);
+        assert_eq!(log.exit_order(), vec![Stage::Purging]);
+        assert_eq!(log.counter_total(Counter::BlocksIn), 3);
+        assert_eq!(log.counter_total(Counter::BlocksOut), 1);
+        assert_eq!(log.counter_total(Counter::ComparisonsIn), comparisons_in);
+        assert_eq!(log.counter_total(Counter::ComparisonsOut), blocks.total_comparisons());
     }
 }

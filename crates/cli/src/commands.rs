@@ -6,7 +6,8 @@ use er_io::bundle::{self, Bundle};
 use er_model::measures::{self, EffectivenessAccumulator};
 use er_model::BlockCollection;
 use mb_core::filter::block_filtering;
-use mb_core::{pipeline, MetaBlocking, PruningScheme, WeightingScheme};
+use mb_core::{pipeline, MetaBlocking, Noop, Observer, PruningScheme, WeightingScheme};
+use mb_observe::{Progress, RunReport, Tee};
 use std::fmt::Write as _;
 
 fn check_options(args: &Args, known: &[&str]) -> Result<(), String> {
@@ -24,8 +25,12 @@ fn load_bundle(args: &Args) -> Result<Bundle, String> {
 }
 
 fn input_blocks(bundle: &Bundle) -> BlockCollection {
-    let mut blocks = TokenBlocking.build(&bundle.collection);
-    purging::purge_by_size(&mut blocks, 0.5);
+    input_blocks_observed(bundle, &mut Noop)
+}
+
+fn input_blocks_observed(bundle: &Bundle, obs: &mut dyn Observer) -> BlockCollection {
+    let mut blocks = TokenBlocking.build_observed(&bundle.collection, obs);
+    purging::purge_by_size_observed(&mut blocks, 0.5, obs);
     blocks
 }
 
@@ -102,45 +107,60 @@ pub fn stats(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn parse_scheme(name: &str) -> Result<WeightingScheme, String> {
-    Ok(match name {
-        "arcs" => WeightingScheme::Arcs,
-        "cbs" => WeightingScheme::Cbs,
-        "ecbs" => WeightingScheme::Ecbs,
-        "js" => WeightingScheme::Js,
-        "ejs" => WeightingScheme::Ejs,
-        other => return Err(format!("unknown weighting scheme `{other}`")),
-    })
-}
-
+/// Parses `--pruning`: one of the eight [`PruningScheme`] tokens (via its
+/// [`std::str::FromStr`] impl), or `graph-free` for the Figure-7(b)
+/// workflow (`None`).
 fn parse_pruning(name: &str) -> Result<Option<PruningScheme>, String> {
-    Ok(Some(match name {
-        "cep" => PruningScheme::Cep,
-        "cnp" => PruningScheme::Cnp,
-        "wep" => PruningScheme::Wep,
-        "wnp" => PruningScheme::Wnp,
-        "redefined-cnp" => PruningScheme::RedefinedCnp,
-        "redefined-wnp" => PruningScheme::RedefinedWnp,
-        "reciprocal-cnp" => PruningScheme::ReciprocalCnp,
-        "reciprocal-wnp" => PruningScheme::ReciprocalWnp,
-        "graph-free" => return Ok(None),
-        other => return Err(format!("unknown pruning scheme `{other}`")),
-    }))
+    if name == "graph-free" {
+        return Ok(None);
+    }
+    name.parse().map(Some)
 }
 
 /// `er run`: one meta-blocking pipeline, measured; optionally writes the
-/// retained comparisons (by URI) to CSV.
+/// retained comparisons (by URI) to CSV, a per-stage JSON report with
+/// `--report`, and live stage progress to stderr with `--progress`.
 pub fn run(args: &Args) -> Result<String, String> {
-    check_options(args, &["dataset", "scheme", "pruning", "filter", "out"])?;
+    check_options(
+        args,
+        &["dataset", "scheme", "pruning", "filter", "out", "progress", "report", "threads"],
+    )?;
     let bundle = load_bundle(args)?;
-    let blocks = input_blocks(&bundle);
-    let scheme = parse_scheme(args.get("scheme").unwrap_or("js"))?;
+    let scheme: WeightingScheme = args.get("scheme").unwrap_or("js").parse()?;
     let pruning = parse_pruning(args.get("pruning").unwrap_or("reciprocal-wnp"))?;
     let filter: Option<f64> = match args.get("filter") {
         None => None,
         Some(v) => Some(v.parse().map_err(|_| format!("invalid value for --filter: `{v}`"))?),
     };
+    let threads: usize = args.get_parsed("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
 
+    // Observer assembly: progress lines to stderr (stdout carries the
+    // result), a RunReport when --report asked for the JSON breakdown.
+    let show_progress = args.flag("progress");
+    let report_path = args.get("report");
+    let mut report = RunReport::new("er-run");
+    report.set_meta("dataset", args.get("dataset").unwrap_or(""));
+    report.set_meta("weighting", scheme.token());
+    report.set_meta("pruning", pruning.map(PruningScheme::token).unwrap_or("graph-free"));
+    let mut progress = Progress::new(std::io::stderr());
+    let mut noop = Noop;
+    let mut tee;
+    let obs: &mut dyn Observer = match (show_progress, report_path.is_some()) {
+        (true, true) => {
+            tee = Tee::new(&mut progress, &mut report);
+            &mut tee
+        }
+        (true, false) => &mut progress,
+        (false, true) => &mut report,
+        (false, false) => &mut noop,
+    };
+
+    // Blocking and Purging run under the same observer, so the report
+    // covers the workflow end to end (Figure 7a order).
+    let blocks = input_blocks_observed(&bundle, obs);
     let mut acc = EffectivenessAccumulator::new(&bundle.ground_truth);
     let mut retained: Vec<(er_model::EntityId, er_model::EntityId)> = Vec::new();
     let collect_out = args.get("out").is_some();
@@ -154,20 +174,26 @@ pub fn run(args: &Args) -> Result<String, String> {
     };
     let label = match pruning {
         Some(p) => {
-            let mut mb = MetaBlocking::new(scheme, p);
+            let mut mb = MetaBlocking::new(scheme, p).with_threads(threads);
             if let Some(r) = filter {
                 mb = mb.with_block_filtering(r);
             }
-            mb.run(&blocks, split, &mut sink).map_err(|e| e.to_string())?;
+            mb.run(&blocks, split, obs, &mut sink).map_err(|e| e.to_string())?;
             format!("{} + {}", scheme.name(), p.name())
         }
         None => {
             let r = filter.unwrap_or(mb_core::graphfree::EFFECTIVENESS_RATIO);
-            pipeline::run_graph_free(&blocks, split, r, &mut sink).map_err(|e| e.to_string())?;
+            pipeline::run_graph_free(&blocks, split, r, obs, &mut sink)
+                .map_err(|e| e.to_string())?;
             format!("Graph-free Meta-blocking (r = {r})")
         }
     };
     let otime = start.elapsed();
+
+    if let Some(path) = report_path {
+        report.set_meta("pipeline", &label);
+        report.write_to(path.as_ref()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
 
     if let Some(path) = args.get("out") {
         let rows: Vec<Vec<String>> = std::iter::once(vec!["left".to_string(), "right".to_string()])
@@ -282,6 +308,45 @@ mod tests {
         let text = std::fs::read_to_string(&out_csv).unwrap();
         assert!(text.starts_with("left,right\n"));
         assert!(text.lines().count() > 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_writes_stage_report_json() {
+        let dir = temp_dir("report");
+        let dir_s = dir.to_str().unwrap();
+        generate(&argv(&["generate", "--preset", "tiny", "--out", dir_s, "--scale", "0.3"]))
+            .unwrap();
+        let report = dir.join("report.json");
+        run(&argv(&[
+            "run",
+            "--dataset",
+            dir_s,
+            "--pruning",
+            "wep",
+            "--filter",
+            "0.8",
+            "--threads",
+            "2",
+            "--report",
+            report.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&report).unwrap();
+        let parsed = mb_observe::RunReport::from_json_str(&text).unwrap();
+        assert_eq!(parsed.meta("pruning"), Some("wep"));
+        // The breakdown covers the whole workflow: block building, block
+        // cleaning, and all three Figure-7(a) meta-blocking stages.
+        use mb_observe::Stage;
+        for stage in [
+            Stage::Blocking,
+            Stage::Purging,
+            Stage::BlockFiltering,
+            Stage::EdgeWeighting,
+            Stage::Pruning,
+        ] {
+            assert!(parsed.stage(stage).is_some(), "missing {stage}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

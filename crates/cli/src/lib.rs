@@ -28,8 +28,13 @@ USAGE:
   er stats --dataset <dir>
   er run --dataset <dir> [--scheme <arcs|cbs|ecbs|js|ejs>]
          [--pruning <cep|cnp|wep|wnp|redefined-cnp|redefined-wnp|reciprocal-cnp|reciprocal-wnp|graph-free>]
-         [--filter R] [--out <comparisons.csv>]
+         [--filter R] [--out <comparisons.csv>] [--threads N]
+         [--progress] [--report <report.json>]
   er sweep-filter --dataset <dir> [--step F]
+
+`--progress` prints per-stage progress lines to stderr as the pipeline
+runs; `--report` writes a JSON breakdown of every stage (wall/CPU time,
+block, comparison and edge counters) to the given path.
 ";
 
 /// Dispatches a command line (without the program name). Returns the text

@@ -5,6 +5,7 @@ use crate::context::GraphContext;
 use crate::filter::block_filtering;
 use crate::propagation::comparison_propagation;
 use er_model::{EntityId, Result};
+use mb_observe::{Counter, Observer, Stage, StageScope};
 
 /// The aggressive filtering ratio the paper tunes for efficiency-intensive
 /// applications (recall ≥ 0.80 across all datasets).
@@ -26,15 +27,38 @@ pub const EFFECTIVENESS_RATIO: f64 = 0.55;
 /// `split` is the Clean-Clean id boundary (pass the collection size for
 /// Dirty ER, or use the [`crate::pipeline::MetaBlocking`] builder which
 /// handles this).
+///
+/// The two stages report to `obs` as [`Stage::BlockFiltering`] and
+/// [`Stage::ComparisonPropagation`]; pass [`mb_observe::Noop`] when no
+/// telemetry is wanted.
 pub fn graph_free_meta_blocking(
     blocks: &er_model::BlockCollection,
     split: usize,
     r: f64,
-    sink: impl FnMut(EntityId, EntityId),
+    obs: &mut dyn Observer,
+    mut sink: impl FnMut(EntityId, EntityId),
 ) -> Result<()> {
+    let mut scope = StageScope::enter(obs, Stage::BlockFiltering);
     let filtered = block_filtering(blocks, r)?;
+    if scope.enabled() {
+        scope.add(Counter::BlocksIn, blocks.blocks().len() as u64);
+        scope.add(Counter::BlocksOut, filtered.blocks().len() as u64);
+        scope.add(Counter::ComparisonsIn, blocks.total_comparisons());
+        scope.add(Counter::ComparisonsOut, filtered.total_comparisons());
+        scope.add(Counter::AssignmentsIn, blocks.total_assignments());
+        scope.add(Counter::AssignmentsOut, filtered.total_assignments());
+        scope.add(Counter::Entities, blocks.num_entities() as u64);
+    }
+    scope.finish();
+    let mut scope = StageScope::enter(obs, Stage::ComparisonPropagation);
     let ctx = GraphContext::new(&filtered, split);
-    comparison_propagation(&ctx, sink);
+    let mut retained = 0u64;
+    comparison_propagation(&ctx, |a, b| {
+        retained += 1;
+        sink(a, b);
+    });
+    scope.add(Counter::RetainedComparisons, retained);
+    scope.finish();
     Ok(())
 }
 
@@ -61,7 +85,10 @@ mod tests {
             ],
         );
         let mut got: Vec<(u32, u32)> = Vec::new();
-        graph_free_meta_blocking(&blocks, 5, 0.34, |a, b| got.push((a.0, b.0))).unwrap();
+        graph_free_meta_blocking(&blocks, 5, 0.34, &mut mb_observe::Noop, |a, b| {
+            got.push((a.0, b.0))
+        })
+        .unwrap();
         got.sort_unstable();
         // 0 kept only in b0; 1 kept in b0,b1 (|B_1|=3 -> limit 1? round(0.34*3)=1)
         // Actually |B_1| = 3 -> limit max(1, round(1.02)) = 1 -> 1 kept in b0 only.
@@ -73,7 +100,9 @@ mod tests {
     #[test]
     fn invalid_ratio_is_rejected() {
         let blocks = BlockCollection::new(ErKind::Dirty, 2, vec![]);
-        assert!(graph_free_meta_blocking(&blocks, 2, 0.0, |_, _| {}).is_err());
+        assert!(
+            graph_free_meta_blocking(&blocks, 2, 0.0, &mut mb_observe::Noop, |_, _| {}).is_err()
+        );
     }
 
     #[test]

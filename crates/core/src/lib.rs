@@ -37,7 +37,11 @@
 //!   Comparison Propagation, skipping the graph entirely.
 //!
 //! The high-level entry point is [`pipeline::MetaBlocking`], a builder that
-//! assembles any combination of the above. Beyond the paper:
+//! assembles any combination of the above — configurable through
+//! [`pipeline::PipelineConfig`] (JSON round-trippable) and observable
+//! through the `mb-observe` [`Observer`] interface (pass [`Noop`] for an
+//! unobserved run; instrumentation is a per-stage branch, never a per-edge
+//! cost). Beyond the paper:
 //!
 //! * [`incremental`] adapts the techniques to Incremental ER — the future
 //!   work its conclusion announces;
@@ -85,5 +89,6 @@ pub mod weighting;
 pub mod weights;
 
 pub use context::GraphContext;
-pub use pipeline::{MetaBlocking, PruningScheme, WeightingImpl};
+pub use mb_observe::{Noop, Observer};
+pub use pipeline::{MetaBlocking, PipelineConfig, PruningScheme, WeightingImpl};
 pub use weights::WeightingScheme;

@@ -12,12 +12,21 @@ use crate::context::GraphContext;
 use crate::scanner::{NeighborhoodScanner, ScanScope};
 use crate::weights::EdgeWeigher;
 use er_model::EntityId;
+use mb_observe::{Counter, Observer, Stage, StageScope};
+
+/// Minimum nodes per chunk: below this, a thread's scanner setup outweighs
+/// its sweep, so tiny inputs must not fan out across the whole thread pool
+/// (a 2-entity collection on a 16-thread config would otherwise spawn 16
+/// scanners for one edge).
+const MIN_CHUNK: u32 = 256;
 
 /// Splits `0..n` into at most `threads` contiguous chunks of near-equal
-/// size.
+/// size, never smaller than [`MIN_CHUNK`] (except the only chunk of a
+/// small input).
 fn chunks(n: u32, threads: usize) -> Vec<std::ops::Range<u32>> {
-    let threads = threads.max(1).min(n.max(1) as usize);
-    let per = n.div_ceil(threads as u32);
+    let max_useful = n.div_ceil(MIN_CHUNK).max(1) as usize;
+    let threads = threads.max(1).min(max_useful);
+    let per = n.div_ceil(threads as u32).max(1);
     (0..threads as u32)
         .map(|t| (t * per).min(n)..((t + 1) * per).min(n))
         .filter(|r| !r.is_empty())
@@ -136,9 +145,68 @@ pub fn wep(
     match mean_edge_weight(ctx, weigher, threads) {
         None => Vec::new(),
         Some(mean) => {
-            collect_edges_where(ctx, weigher, threads, |_a, _b, w| w >= mean - mean * 1e-9)
+            collect_edges_where(ctx, weigher, threads, |_a, _b, w| crate::prune::reaches(w, mean))
         }
     }
+}
+
+/// Parallel WEP with per-stage telemetry, used by
+/// [`crate::MetaBlocking::run`] when the config asks for threads.
+///
+/// Counter totals are identical to the sequential [`crate::prune::wep`] for
+/// any thread count: `edges_weighed` is the edge count in both the
+/// [`Stage::EdgeWeighting`] (mean) and [`Stage::Pruning`] (emission)
+/// records, and `retained_comparisons` matches the sink invocations —
+/// chunk-ordered combination makes the output bit-identical to sequential.
+pub fn wep_observed(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    threads: usize,
+    obs: &mut dyn Observer,
+    mut sink: impl FnMut(EntityId, EntityId),
+) {
+    let mut scope = StageScope::enter(obs, Stage::EdgeWeighting);
+    let parts = fold_edges(
+        ctx,
+        weigher,
+        threads,
+        || (0.0f64, 0u64),
+        |acc, _a, _b, w| {
+            acc.0 += w;
+            acc.1 += 1;
+        },
+    );
+    let (sum, count) = parts.into_iter().fold((0.0, 0), |(s, c), (ps, pc)| (s + ps, c + pc));
+    scope.add(Counter::EdgesWeighed, count);
+    scope.finish();
+    if count == 0 {
+        return;
+    }
+    let mean = sum / count as f64;
+    let mut scope = StageScope::enter(obs, Stage::Pruning);
+    let parts = fold_edges(
+        ctx,
+        weigher,
+        threads,
+        || (Vec::new(), 0u64),
+        |acc: &mut (Vec<(EntityId, EntityId)>, u64), a, b, w| {
+            acc.1 += 1;
+            if crate::prune::reaches(w, mean) {
+                acc.0.push((a, b));
+            }
+        },
+    );
+    let (mut edges, mut retained) = (0u64, 0u64);
+    for (kept, swept) in parts {
+        edges += swept;
+        retained += kept.len() as u64;
+        for (a, b) in kept {
+            sink(a, b);
+        }
+    }
+    scope.add(Counter::EdgesWeighed, edges);
+    scope.add(Counter::RetainedComparisons, retained);
+    scope.finish();
 }
 
 #[cfg(test)]
@@ -167,9 +235,23 @@ mod tests {
         )
     }
 
+    /// Enough entities to exceed the [`MIN_CHUNK`] floor several times over,
+    /// so multi-chunk execution is actually exercised.
+    fn large_fixture() -> BlockCollection {
+        let n = MIN_CHUNK * 4 + 37;
+        let mut blocks = Vec::new();
+        for i in (0..n - 4).step_by(3) {
+            blocks.push(Block::dirty(ids(&[i, i + 1, i + 2, i + 4])));
+        }
+        // A few long-range blocks so chunks see non-local neighbors.
+        blocks.push(Block::dirty(ids(&[0, n / 2, n - 1])));
+        blocks.push(Block::dirty(ids(&[3, n / 3, 2 * n / 3])));
+        BlockCollection::new(ErKind::Dirty, n as usize, blocks)
+    }
+
     #[test]
     fn chunking_covers_the_range() {
-        for n in [0u32, 1, 7, 16] {
+        for n in [0u32, 1, 7, 16, 255, 256, 257, 1000, 10_000] {
             for t in [1usize, 2, 3, 8, 100] {
                 let cs = chunks(n, t);
                 let total: u32 = cs.iter().map(|r| r.end - r.start).sum();
@@ -181,36 +263,100 @@ mod tests {
         }
     }
 
+    /// Regression: a 2-entity input must not fan out across a 16-thread
+    /// pool — tiny ranges collapse to a single chunk.
+    #[test]
+    fn chunking_floors_tiny_inputs_to_one_chunk() {
+        assert_eq!(chunks(2, 16).len(), 1);
+        assert_eq!(chunks(2, 16), vec![0..2]);
+        assert_eq!(chunks(MIN_CHUNK, 100).len(), 1);
+        // Just past the floor, a second chunk becomes useful — but no more.
+        assert_eq!(chunks(MIN_CHUNK + 1, 100).len(), 2);
+        // Large inputs still use every requested thread.
+        assert_eq!(chunks(MIN_CHUNK * 8, 8).len(), 8);
+    }
+
     #[test]
     fn parallel_matches_sequential_for_every_thread_count() {
-        let blocks = fixture();
-        let ctx = GraphContext::new_dirty(&blocks);
-        for scheme in WeightingScheme::ALL {
-            let weigher = EdgeWeigher::new(scheme, &ctx);
-            let mut sequential = Vec::new();
-            optimized::for_each_edge(&ctx, &weigher, |a, b, _| sequential.push((a, b)));
-            for threads in [1, 2, 3, 4, 7] {
-                let parallel = collect_edges_where(&ctx, &weigher, threads, |_, _, _| true);
-                assert_eq!(parallel, sequential, "{} x{threads}", scheme.name());
+        for blocks in [fixture(), large_fixture()] {
+            let ctx = GraphContext::new_dirty(&blocks);
+            for scheme in WeightingScheme::ALL {
+                let weigher = EdgeWeigher::new(scheme, &ctx);
+                let mut sequential = Vec::new();
+                optimized::for_each_edge(&ctx, &weigher, |a, b, _| sequential.push((a, b)));
+                for threads in [1, 2, 3, 4, 7] {
+                    let parallel = collect_edges_where(&ctx, &weigher, threads, |_, _, _| true);
+                    assert_eq!(parallel, sequential, "{} x{threads}", scheme.name());
+                }
             }
         }
     }
 
     #[test]
     fn parallel_wep_equals_sequential_wep() {
-        let blocks = fixture();
+        for blocks in [fixture(), large_fixture()] {
+            let ctx = GraphContext::new_dirty(&blocks);
+            for scheme in WeightingScheme::ALL {
+                let weigher = EdgeWeigher::new(scheme, &ctx);
+                let mut sequential = Vec::new();
+                crate::prune::wep(
+                    &ctx,
+                    &weigher,
+                    crate::weighting::WeightingImpl::Optimized,
+                    &mut mb_observe::Noop,
+                    |a, b| sequential.push((a, b)),
+                );
+                for threads in [1, 3, 8] {
+                    assert_eq!(wep(&ctx, &weigher, threads), sequential, "{}", scheme.name());
+                }
+            }
+        }
+    }
+
+    /// The acceptance criterion: every counter total is identical between a
+    /// 1-thread and an N-thread observed run, and matches the sequential
+    /// pruner's totals.
+    #[test]
+    fn wep_observed_counters_are_thread_count_invariant() {
+        let blocks = large_fixture();
         let ctx = GraphContext::new_dirty(&blocks);
-        for scheme in WeightingScheme::ALL {
-            let weigher = EdgeWeigher::new(scheme, &ctx);
-            let mut sequential = Vec::new();
+        let weigher = EdgeWeigher::new(WeightingScheme::Js, &ctx);
+        let run = |threads: usize| {
+            let mut report = mb_observe::RunReport::new("par");
+            let mut out = Vec::new();
+            wep_observed(&ctx, &weigher, threads, &mut report, |a, b| out.push((a, b)));
+            (report, out)
+        };
+        let (seq_report, seq_out) = {
+            let mut report = mb_observe::RunReport::new("seq");
+            let mut out = Vec::new();
             crate::prune::wep(
                 &ctx,
                 &weigher,
                 crate::weighting::WeightingImpl::Optimized,
-                |a, b| sequential.push((a, b)),
+                &mut report,
+                |a, b| out.push((a, b)),
             );
-            for threads in [1, 3, 8] {
-                assert_eq!(wep(&ctx, &weigher, threads), sequential, "{}", scheme.name());
+            (report, out)
+        };
+        let (one_report, one_out) = run(1);
+        assert_eq!(one_out, seq_out);
+        for threads in [2, 4, 8, 16] {
+            let (n_report, n_out) = run(threads);
+            assert_eq!(n_out, one_out, "output differs at {threads} threads");
+            for c in Counter::ALL {
+                assert_eq!(
+                    n_report.counter_total(c),
+                    one_report.counter_total(c),
+                    "counter {} differs at {threads} threads",
+                    c.name()
+                );
+                assert_eq!(
+                    n_report.counter_total(c),
+                    seq_report.counter_total(c),
+                    "counter {} differs from sequential",
+                    c.name()
+                );
             }
         }
     }

@@ -5,6 +5,7 @@ use crate::context::GraphContext;
 use crate::weighting::{self, WeightingImpl};
 use crate::weights::EdgeWeigher;
 use er_model::EntityId;
+use mb_observe::{Counter, Observer, Stage, StageScope};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -45,19 +46,27 @@ pub fn cep_threshold(ctx: &GraphContext<'_>) -> usize {
 /// Deep pruning for efficiency-intensive applications: high precision,
 /// recall bounded by `K`. Retained comparisons are emitted in descending
 /// weight order.
+///
+/// Stage accounting: the single weighting sweep that feeds the top-`K` heap
+/// reports as [`Stage::EdgeWeighting`]; the sorted emission reports as
+/// [`Stage::Pruning`].
 pub fn cep(
     ctx: &GraphContext<'_>,
     weigher: &EdgeWeigher<'_, '_>,
     imp: WeightingImpl,
+    obs: &mut dyn Observer,
     mut sink: impl FnMut(EntityId, EntityId),
 ) {
     let k = cep_threshold(ctx);
     if k == 0 {
         return;
     }
+    let mut scope = StageScope::enter(obs, Stage::EdgeWeighting);
     // Min-heap of the K best edges seen so far.
     let mut heap: BinaryHeap<Reverse<WeightedEdge>> = BinaryHeap::with_capacity(k + 1);
+    let mut edges = 0u64;
     weighting::for_each_edge(imp, ctx, weigher, |a, b, w| {
+        edges += 1;
         let edge = WeightedEdge { w, a: a.0, b: b.0 };
         if heap.len() < k {
             heap.push(Reverse(edge));
@@ -66,6 +75,9 @@ pub fn cep(
             heap.push(Reverse(edge));
         }
     });
+    scope.add(Counter::EdgesWeighed, edges);
+    scope.finish();
+    let mut scope = StageScope::enter(obs, Stage::Pruning);
     let mut retained: Vec<WeightedEdge> = heap.into_iter().map(|Reverse(e)| e).collect();
     retained.sort_unstable_by(|x, y| y.cmp(x));
     #[cfg(feature = "sanitize")]
@@ -80,9 +92,11 @@ pub fn cep(
             "mb-sanitize: CEP emission order is not descending by weight"
         );
     }
+    scope.add(Counter::RetainedComparisons, retained.len() as u64);
     for e in retained {
         sink(EntityId(e.a), EntityId(e.b));
     }
+    scope.finish();
 }
 
 /// The per-node cardinality threshold of CNP:
@@ -116,33 +130,52 @@ fn top_k_neighbors(pivot: EntityId, ids: &[u32], weights: &[f64], k: usize) -> V
 /// An edge retained by both endpoints is emitted twice — the redundancy the
 /// redefined variant eliminates. Robust recall (every node keeps its best
 /// matches) at the cost of roughly double the comparisons of CEP.
+///
+/// Stage accounting: the original scheme fuses weighting and selection into
+/// one neighborhood sweep, so the whole pass reports as [`Stage::Pruning`]
+/// (its weighting work shows up in the `neighborhoods_scanned` and
+/// `edges_weighed` counters; the directed sweep visits each edge twice).
 pub fn cnp(
     ctx: &GraphContext<'_>,
     weigher: &EdgeWeigher<'_, '_>,
     imp: WeightingImpl,
+    obs: &mut dyn Observer,
     mut sink: impl FnMut(EntityId, EntityId),
 ) {
     let k = cnp_threshold(ctx);
+    let mut scope = StageScope::enter(obs, Stage::Pruning);
+    let (mut hoods, mut edges, mut retained) = (0u64, 0u64, 0u64);
     weighting::for_each_neighborhood(imp, ctx, weigher, |pivot, ids, weights| {
+        hoods += 1;
+        edges += ids.len() as u64;
         for j in top_k_neighbors(pivot, ids, weights, k) {
+            retained += 1;
             sink(pivot, EntityId(j));
         }
     });
+    scope.add(Counter::NeighborhoodsScanned, hoods);
+    scope.add(Counter::EdgesWeighed, edges);
+    scope.add(Counter::RetainedComparisons, retained);
+    scope.finish();
 }
 
 /// Phase 1 shared by [`redefined_cnp`] and [`reciprocal_cnp`]: the sorted
-/// top-`k` neighbor list of every node ("Sorted Stacks" in Algorithm 4).
+/// top-`k` neighbor list of every node ("Sorted Stacks" in Algorithm 4),
+/// plus the sweep's (neighborhoods, directed edges) tally.
 fn per_node_top_k(
     ctx: &GraphContext<'_>,
     weigher: &EdgeWeigher<'_, '_>,
     imp: WeightingImpl,
     k: usize,
-) -> Vec<Vec<u32>> {
+) -> (Vec<Vec<u32>>, u64, u64) {
     let mut stacks: Vec<Vec<u32>> = vec![Vec::new(); ctx.num_entities()];
+    let (mut hoods, mut edges) = (0u64, 0u64);
     weighting::for_each_neighborhood(imp, ctx, weigher, |pivot, ids, weights| {
+        hoods += 1;
+        edges += ids.len() as u64;
         stacks[pivot.idx()] = top_k_neighbors(pivot, ids, weights, k);
     });
-    stacks
+    (stacks, hoods, edges)
 }
 
 fn two_phase_cnp(
@@ -150,10 +183,17 @@ fn two_phase_cnp(
     weigher: &EdgeWeigher<'_, '_>,
     imp: WeightingImpl,
     combine: Combine,
+    obs: &mut dyn Observer,
     mut sink: impl FnMut(EntityId, EntityId),
 ) {
     let k = cnp_threshold(ctx);
-    let stacks = per_node_top_k(ctx, weigher, imp, k);
+    // Phase 1 is the weighting work of Algorithm 4 (building every node's
+    // sorted stack); phase 2 is the pruning sweep over the distinct edges.
+    let mut scope = StageScope::enter(obs, Stage::EdgeWeighting);
+    let (stacks, hoods, directed_edges) = per_node_top_k(ctx, weigher, imp, k);
+    scope.add(Counter::NeighborhoodsScanned, hoods);
+    scope.add(Counter::EdgesWeighed, directed_edges);
+    scope.finish();
     // The binary searches below require sorted stacks within the per-node
     // budget — phase 1's contract.
     #[cfg(feature = "sanitize")]
@@ -169,7 +209,10 @@ fn two_phase_cnp(
         );
     }
     // Phase 2 (edge-centric): every distinct edge is retained at most once.
+    let mut scope = StageScope::enter(obs, Stage::Pruning);
+    let (mut edges, mut retained) = (0u64, 0u64);
     weighting::for_each_edge(imp, ctx, weigher, |a, b, _w| {
+        edges += 1;
         let in_a = stacks[a.idx()].binary_search(&b.0).is_ok();
         let in_b = stacks[b.idx()].binary_search(&a.0).is_ok();
         let retain = match combine {
@@ -177,9 +220,13 @@ fn two_phase_cnp(
             Combine::Both => in_a && in_b,
         };
         if retain {
+            retained += 1;
             sink(a, b);
         }
     });
+    scope.add(Counter::EdgesWeighed, edges);
+    scope.add(Counter::RetainedComparisons, retained);
+    scope.finish();
 }
 
 /// Redefined Cardinality Node Pruning (Algorithm 4): CNP without redundant
@@ -192,9 +239,10 @@ pub fn redefined_cnp(
     ctx: &GraphContext<'_>,
     weigher: &EdgeWeigher<'_, '_>,
     imp: WeightingImpl,
+    obs: &mut dyn Observer,
     sink: impl FnMut(EntityId, EntityId),
 ) {
-    two_phase_cnp(ctx, weigher, imp, Combine::Either, sink);
+    two_phase_cnp(ctx, weigher, imp, Combine::Either, obs, sink);
 }
 
 /// Reciprocal Cardinality Node Pruning (§5.2): retains only the edges in the
@@ -207,9 +255,10 @@ pub fn reciprocal_cnp(
     ctx: &GraphContext<'_>,
     weigher: &EdgeWeigher<'_, '_>,
     imp: WeightingImpl,
+    obs: &mut dyn Observer,
     sink: impl FnMut(EntityId, EntityId),
 ) {
-    two_phase_cnp(ctx, weigher, imp, Combine::Both, sink);
+    two_phase_cnp(ctx, weigher, imp, Combine::Both, obs, sink);
 }
 
 #[cfg(test)]
@@ -217,6 +266,7 @@ mod tests {
     use super::*;
     use crate::weights::WeightingScheme;
     use er_model::{Block, BlockCollection, ErKind};
+    use mb_observe::Noop;
 
     fn ids(v: &[u32]) -> Vec<EntityId> {
         v.iter().copied().map(EntityId).collect()
@@ -235,10 +285,10 @@ mod tests {
         )
     }
 
-    fn collect(f: impl FnOnce(&mut dyn FnMut(EntityId, EntityId))) -> Vec<(u32, u32)> {
+    fn collect(f: impl FnOnce(&mut Noop, &mut dyn FnMut(EntityId, EntityId))) -> Vec<(u32, u32)> {
         let mut out = Vec::new();
         let mut sink = |a: EntityId, b: EntityId| out.push((a.0, b.0));
-        f(&mut sink);
+        f(&mut Noop, &mut sink);
         out
     }
 
@@ -249,7 +299,7 @@ mod tests {
         // Σ|b| = 7 -> K = 3.
         assert_eq!(cep_threshold(&ctx), 3);
         let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
-        let got = collect(|s| cep(&ctx, &weigher, WeightingImpl::Optimized, s));
+        let got = collect(|o, s| cep(&ctx, &weigher, WeightingImpl::Optimized, o, s));
         assert_eq!(got.len(), 3);
         // (0,1) has CBS 2, the strongest edge, and comes first.
         assert_eq!(got[0], (0, 1));
@@ -260,8 +310,21 @@ mod tests {
         let blocks = BlockCollection::new(ErKind::Dirty, 2, vec![]);
         let ctx = GraphContext::new_dirty(&blocks);
         let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
-        let got = collect(|s| cep(&ctx, &weigher, WeightingImpl::Optimized, s));
+        let got = collect(|o, s| cep(&ctx, &weigher, WeightingImpl::Optimized, o, s));
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn cep_reports_weighting_and_pruning_stages() {
+        let blocks = fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
+        let mut log = mb_observe::RingLog::new(16);
+        cep(&ctx, &weigher, WeightingImpl::Optimized, &mut log, |_, _| {});
+        assert_eq!(log.exit_order(), vec![Stage::EdgeWeighting, Stage::Pruning]);
+        // 4 distinct edges weighed, K = 3 retained.
+        assert_eq!(log.counter_total(Counter::EdgesWeighed), 4);
+        assert_eq!(log.counter_total(Counter::RetainedComparisons), 3);
     }
 
     #[test]
@@ -271,7 +334,7 @@ mod tests {
         // Σ|b|/|E| = 7/4 = 1 -> k = max(1, 0) = 1.
         assert_eq!(cnp_threshold(&ctx), 1);
         let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
-        let got = collect(|s| cnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+        let got = collect(|o, s| cnp(&ctx, &weigher, WeightingImpl::Optimized, o, s));
         // Every node keeps its best edge: 0->1, 1->0, 2->3 (CBS ties (2,0)
         // vs (2,3) broken towards smaller pair ids -> (0,2)), 3->2.
         assert_eq!(got.len(), 4);
@@ -284,8 +347,9 @@ mod tests {
         let blocks = fixture();
         let ctx = GraphContext::new_dirty(&blocks);
         let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
-        let original = collect(|s| cnp(&ctx, &weigher, WeightingImpl::Optimized, s));
-        let redefined = collect(|s| redefined_cnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+        let original = collect(|o, s| cnp(&ctx, &weigher, WeightingImpl::Optimized, o, s));
+        let redefined =
+            collect(|o, s| redefined_cnp(&ctx, &weigher, WeightingImpl::Optimized, o, s));
         // Canonicalize the original's directed output.
         let mut orig_pairs: Vec<(u32, u32)> =
             original.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
@@ -305,8 +369,10 @@ mod tests {
         let blocks = fixture();
         let ctx = GraphContext::new_dirty(&blocks);
         let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
-        let redefined = collect(|s| redefined_cnp(&ctx, &weigher, WeightingImpl::Optimized, s));
-        let reciprocal = collect(|s| reciprocal_cnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+        let redefined =
+            collect(|o, s| redefined_cnp(&ctx, &weigher, WeightingImpl::Optimized, o, s));
+        let reciprocal =
+            collect(|o, s| reciprocal_cnp(&ctx, &weigher, WeightingImpl::Optimized, o, s));
         assert!(reciprocal.len() <= redefined.len());
         for p in &reciprocal {
             assert!(redefined.contains(p));

@@ -27,6 +27,7 @@ mod cardinality;
 mod weight_based;
 
 pub use cardinality::{cep, cep_threshold, cnp, cnp_threshold, reciprocal_cnp, redefined_cnp};
+pub(crate) use weight_based::reaches;
 pub use weight_based::{reciprocal_wnp, redefined_wnp, wep, wnp};
 
 /// How a two-phase node-centric scheme combines its endpoints' criteria

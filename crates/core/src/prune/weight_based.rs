@@ -5,6 +5,7 @@ use crate::context::GraphContext;
 use crate::weighting::{self, WeightingImpl};
 use crate::weights::EdgeWeigher;
 use er_model::EntityId;
+use mb_observe::{Counter, Observer, Stage, StageScope};
 
 /// Whether a weight reaches a pruning threshold, with a one-sided relative
 /// tolerance: a graph whose edges all carry the *same* weight must retain
@@ -12,7 +13,7 @@ use er_model::EntityId;
 /// common value and would otherwise prune every edge. Weights are
 /// non-negative for all five schemes, so a relative epsilon is safe.
 #[inline]
-fn reaches(w: f64, threshold: f64) -> bool {
+pub(crate) fn reaches(w: f64, threshold: f64) -> bool {
     w >= threshold - threshold * 1e-9
 }
 
@@ -22,18 +23,26 @@ fn reaches(w: f64, threshold: f64) -> bool {
 /// Shallow pruning for effectiveness-intensive applications: recall stays
 /// above 0.95 on all the paper's datasets. Two edge sweeps: one to compute
 /// the mean, one to emit.
+///
+/// Stage accounting: the mean-computation sweep reports as
+/// [`Stage::EdgeWeighting`]; the emission sweep re-weighs every edge and
+/// reports as [`Stage::Pruning`] (so `edges_weighed` appears in both).
 pub fn wep(
     ctx: &GraphContext<'_>,
     weigher: &EdgeWeigher<'_, '_>,
     imp: WeightingImpl,
+    obs: &mut dyn Observer,
     mut sink: impl FnMut(EntityId, EntityId),
 ) {
+    let mut scope = StageScope::enter(obs, Stage::EdgeWeighting);
     let mut sum = 0.0f64;
     let mut count = 0u64;
     weighting::for_each_edge(imp, ctx, weigher, |_a, _b, w| {
         sum += w;
         count += 1;
     });
+    scope.add(Counter::EdgesWeighed, count);
+    scope.finish();
     if count == 0 {
         return;
     }
@@ -43,11 +52,18 @@ pub fn wep(
         mean.is_finite() && mean >= 0.0,
         "mb-sanitize: WEP mean weight {mean} over {count} edges is invalid"
     );
+    let mut scope = StageScope::enter(obs, Stage::Pruning);
+    let (mut edges, mut retained) = (0u64, 0u64);
     weighting::for_each_edge(imp, ctx, weigher, |a, b, w| {
+        edges += 1;
         if reaches(w, mean) {
+            retained += 1;
             sink(a, b);
         }
     });
+    scope.add(Counter::EdgesWeighed, edges);
+    scope.add(Counter::RetainedComparisons, retained);
+    scope.finish();
 }
 
 /// The mean weight of one node neighborhood — WNP's local threshold.
@@ -61,24 +77,40 @@ fn neighborhood_mean(weights: &[f64]) -> f64 {
 ///
 /// An edge above the mean in both neighborhoods is emitted twice — the
 /// redundancy [`redefined_wnp`] eliminates.
+///
+/// Stage accounting: like [`crate::prune::cnp`], the fused neighborhood
+/// sweep reports as a single [`Stage::Pruning`] pass whose weighting work
+/// shows in `neighborhoods_scanned` / `edges_weighed` (directed visits, so
+/// each edge counts twice).
 pub fn wnp(
     ctx: &GraphContext<'_>,
     weigher: &EdgeWeigher<'_, '_>,
     imp: WeightingImpl,
+    obs: &mut dyn Observer,
     mut sink: impl FnMut(EntityId, EntityId),
 ) {
+    let mut scope = StageScope::enter(obs, Stage::Pruning);
+    let (mut hoods, mut edges, mut retained) = (0u64, 0u64, 0u64);
     weighting::for_each_neighborhood(imp, ctx, weigher, |pivot, ids, weights| {
+        hoods += 1;
+        edges += ids.len() as u64;
         let mean = neighborhood_mean(weights);
         for (&j, &w) in ids.iter().zip(weights) {
             if reaches(w, mean) {
+                retained += 1;
                 sink(pivot, EntityId(j));
             }
         }
     });
+    scope.add(Counter::NeighborhoodsScanned, hoods);
+    scope.add(Counter::EdgesWeighed, edges);
+    scope.add(Counter::RetainedComparisons, retained);
+    scope.finish();
 }
 
 /// Phase 1 shared by [`redefined_wnp`] and [`reciprocal_wnp`]: every node's
-/// local weight threshold (Algorithm 5, lines 2–4).
+/// local weight threshold (Algorithm 5, lines 2–4), plus the sweep's
+/// (neighborhoods, directed edges) tally.
 ///
 /// Nodes with no neighborhood get `+∞` so they can never retain an edge —
 /// they have none to retain.
@@ -86,12 +118,15 @@ fn per_node_thresholds(
     ctx: &GraphContext<'_>,
     weigher: &EdgeWeigher<'_, '_>,
     imp: WeightingImpl,
-) -> Vec<f64> {
+) -> (Vec<f64>, u64, u64) {
     let mut thresholds = vec![f64::INFINITY; ctx.num_entities()];
-    weighting::for_each_neighborhood(imp, ctx, weigher, |pivot, _ids, weights| {
+    let (mut hoods, mut edges) = (0u64, 0u64);
+    weighting::for_each_neighborhood(imp, ctx, weigher, |pivot, ids, weights| {
+        hoods += 1;
+        edges += ids.len() as u64;
         thresholds[pivot.idx()] = neighborhood_mean(weights);
     });
-    thresholds
+    (thresholds, hoods, edges)
 }
 
 fn two_phase_wnp(
@@ -99,15 +134,25 @@ fn two_phase_wnp(
     weigher: &EdgeWeigher<'_, '_>,
     imp: WeightingImpl,
     combine: Combine,
+    obs: &mut dyn Observer,
     mut sink: impl FnMut(EntityId, EntityId),
 ) {
-    let thresholds = per_node_thresholds(ctx, weigher, imp);
+    // Phase 1 (threshold computation) is the weighting work of Algorithm 5;
+    // phase 2 is the pruning sweep over the distinct edges.
+    let mut scope = StageScope::enter(obs, Stage::EdgeWeighting);
+    let (thresholds, hoods, directed_edges) = per_node_thresholds(ctx, weigher, imp);
+    scope.add(Counter::NeighborhoodsScanned, hoods);
+    scope.add(Counter::EdgesWeighed, directed_edges);
+    scope.finish();
     // A NaN threshold would silently drop every incident edge.
     #[cfg(feature = "sanitize")]
     for (i, &t) in thresholds.iter().enumerate() {
         assert!(!t.is_nan(), "mb-sanitize: WNP threshold of entity {i} is NaN");
     }
+    let mut scope = StageScope::enter(obs, Stage::Pruning);
+    let (mut edges, mut retained) = (0u64, 0u64);
     weighting::for_each_edge(imp, ctx, weigher, |a, b, w| {
+        edges += 1;
         let over_a = reaches(w, thresholds[a.idx()]);
         let over_b = reaches(w, thresholds[b.idx()]);
         let retain = match combine {
@@ -115,9 +160,13 @@ fn two_phase_wnp(
             Combine::Both => over_a && over_b,
         };
         if retain {
+            retained += 1;
             sink(a, b);
         }
     });
+    scope.add(Counter::EdgesWeighed, edges);
+    scope.add(Counter::RetainedComparisons, retained);
+    scope.finish();
 }
 
 /// Redefined Weighted Node Pruning (Algorithm 5): WNP without redundant
@@ -127,9 +176,10 @@ pub fn redefined_wnp(
     ctx: &GraphContext<'_>,
     weigher: &EdgeWeigher<'_, '_>,
     imp: WeightingImpl,
+    obs: &mut dyn Observer,
     sink: impl FnMut(EntityId, EntityId),
 ) {
-    two_phase_wnp(ctx, weigher, imp, Combine::Either, sink);
+    two_phase_wnp(ctx, weigher, imp, Combine::Either, obs, sink);
 }
 
 /// Reciprocal Weighted Node Pruning (§5.2): retains only the edges that
@@ -142,9 +192,10 @@ pub fn reciprocal_wnp(
     ctx: &GraphContext<'_>,
     weigher: &EdgeWeigher<'_, '_>,
     imp: WeightingImpl,
+    obs: &mut dyn Observer,
     sink: impl FnMut(EntityId, EntityId),
 ) {
-    two_phase_wnp(ctx, weigher, imp, Combine::Both, sink);
+    two_phase_wnp(ctx, weigher, imp, Combine::Both, obs, sink);
 }
 
 #[cfg(test)]
@@ -152,6 +203,7 @@ mod tests {
     use super::*;
     use crate::weights::WeightingScheme;
     use er_model::{Block, BlockCollection, ErKind};
+    use mb_observe::Noop;
 
     fn ids(v: &[u32]) -> Vec<EntityId> {
         v.iter().copied().map(EntityId).collect()
@@ -170,10 +222,10 @@ mod tests {
         )
     }
 
-    fn collect(f: impl FnOnce(&mut dyn FnMut(EntityId, EntityId))) -> Vec<(u32, u32)> {
+    fn collect(f: impl FnOnce(&mut Noop, &mut dyn FnMut(EntityId, EntityId))) -> Vec<(u32, u32)> {
         let mut out = Vec::new();
         let mut sink = |a: EntityId, b: EntityId| out.push((a.0, b.0));
-        f(&mut sink);
+        f(&mut Noop, &mut sink);
         out
     }
 
@@ -183,7 +235,7 @@ mod tests {
         let ctx = GraphContext::new_dirty(&blocks);
         let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
         // Edges: (0,1)=2, (0,2)=1, (1,2)=1, (2,3)=1 -> mean 1.25.
-        let got = collect(|s| wep(&ctx, &weigher, WeightingImpl::Optimized, s));
+        let got = collect(|o, s| wep(&ctx, &weigher, WeightingImpl::Optimized, o, s));
         assert_eq!(got, vec![(0, 1)]);
     }
 
@@ -192,7 +244,7 @@ mod tests {
         let blocks = BlockCollection::new(ErKind::Dirty, 3, vec![]);
         let ctx = GraphContext::new_dirty(&blocks);
         let weigher = EdgeWeigher::new(WeightingScheme::Js, &ctx);
-        assert!(collect(|s| wep(&ctx, &weigher, WeightingImpl::Optimized, s)).is_empty());
+        assert!(collect(|o, s| wep(&ctx, &weigher, WeightingImpl::Optimized, o, s)).is_empty());
     }
 
     #[test]
@@ -205,8 +257,21 @@ mod tests {
         );
         let ctx = GraphContext::new_dirty(&blocks);
         let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
-        let got = collect(|s| wep(&ctx, &weigher, WeightingImpl::Optimized, s));
+        let got = collect(|o, s| wep(&ctx, &weigher, WeightingImpl::Optimized, o, s));
         assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn wep_reports_both_stages() {
+        let blocks = fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
+        let mut log = mb_observe::RingLog::new(16);
+        wep(&ctx, &weigher, WeightingImpl::Optimized, &mut log, |_, _| {});
+        assert_eq!(log.exit_order(), vec![Stage::EdgeWeighting, Stage::Pruning]);
+        // 4 edges weighed per sweep, two sweeps.
+        assert_eq!(log.counter_total(Counter::EdgesWeighed), 8);
+        assert_eq!(log.counter_total(Counter::RetainedComparisons), 1);
     }
 
     #[test]
@@ -214,7 +279,7 @@ mod tests {
         let blocks = fixture();
         let ctx = GraphContext::new_dirty(&blocks);
         let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
-        let got = collect(|s| wnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+        let got = collect(|o, s| wnp(&ctx, &weigher, WeightingImpl::Optimized, o, s));
         // Node 0: weights {1:2, 2:1}, mean 1.5 -> keeps 1. Node 1: same ->
         // keeps 0. Node 2: {0:1,1:1,3:1}, mean 1 -> keeps all three. Node 3:
         // {2:1} -> keeps 2.
@@ -227,8 +292,9 @@ mod tests {
         let blocks = fixture();
         let ctx = GraphContext::new_dirty(&blocks);
         let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
-        let original = collect(|s| wnp(&ctx, &weigher, WeightingImpl::Optimized, s));
-        let redefined = collect(|s| redefined_wnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+        let original = collect(|o, s| wnp(&ctx, &weigher, WeightingImpl::Optimized, o, s));
+        let redefined =
+            collect(|o, s| redefined_wnp(&ctx, &weigher, WeightingImpl::Optimized, o, s));
         let mut orig: Vec<(u32, u32)> =
             original.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
         orig.sort_unstable();
@@ -243,7 +309,7 @@ mod tests {
         let blocks = fixture();
         let ctx = GraphContext::new_dirty(&blocks);
         let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
-        let got = collect(|s| reciprocal_wnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+        let got = collect(|o, s| reciprocal_wnp(&ctx, &weigher, WeightingImpl::Optimized, o, s));
         // (0,1): above both means. (2,3): above 3's mean (1) and equal to
         // 2's mean (1) -> retained. (0,2)/(1,2): below 0/1's mean 1.5.
         let mut got = got;
@@ -257,9 +323,10 @@ mod tests {
         let ctx = GraphContext::new_dirty(&blocks);
         for scheme in WeightingScheme::ALL {
             let weigher = EdgeWeigher::new(scheme, &ctx);
-            let redefined = collect(|s| redefined_wnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+            let redefined =
+                collect(|o, s| redefined_wnp(&ctx, &weigher, WeightingImpl::Optimized, o, s));
             let reciprocal =
-                collect(|s| reciprocal_wnp(&ctx, &weigher, WeightingImpl::Optimized, s));
+                collect(|o, s| reciprocal_wnp(&ctx, &weigher, WeightingImpl::Optimized, o, s));
             for p in &reciprocal {
                 assert!(redefined.contains(p), "{}: {p:?}", scheme.name());
             }

@@ -96,9 +96,9 @@ pub fn redefined_retained_set(
         set.insert(a, b);
     };
     if node_centric_cardinality {
-        crate::prune::redefined_cnp(ctx, weigher, imp, sink);
+        crate::prune::redefined_cnp(ctx, weigher, imp, &mut mb_observe::Noop, sink);
     } else {
-        crate::prune::redefined_wnp(ctx, weigher, imp, sink);
+        crate::prune::redefined_wnp(ctx, weigher, imp, &mut mb_observe::Noop, sink);
     }
     set
 }
@@ -216,9 +216,21 @@ mod tests {
             );
             let reciprocal = |sink: &mut dyn FnMut(EntityId, EntityId)| {
                 if node_centric_cardinality {
-                    crate::prune::reciprocal_cnp(&ctx, &weigher, WeightingImpl::Optimized, sink)
+                    crate::prune::reciprocal_cnp(
+                        &ctx,
+                        &weigher,
+                        WeightingImpl::Optimized,
+                        &mut mb_observe::Noop,
+                        sink,
+                    )
                 } else {
-                    crate::prune::reciprocal_wnp(&ctx, &weigher, WeightingImpl::Optimized, sink)
+                    crate::prune::reciprocal_wnp(
+                        &ctx,
+                        &weigher,
+                        WeightingImpl::Optimized,
+                        &mut mb_observe::Noop,
+                        sink,
+                    )
                 }
             };
             let mut all_in = true;

@@ -40,6 +40,36 @@ impl WeightingImpl {
             WeightingImpl::Optimized => "Optimized Edge Weighting",
         }
     }
+
+    /// The stable lowercase token used on command lines and in JSON configs
+    /// (the [`std::fmt::Display`]/[`std::str::FromStr`] form).
+    pub fn token(self) -> &'static str {
+        match self {
+            WeightingImpl::Original => "original",
+            WeightingImpl::Optimized => "optimized",
+        }
+    }
+}
+
+impl std::fmt::Display for WeightingImpl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl std::str::FromStr for WeightingImpl {
+    type Err = String;
+
+    /// Parses `original` or `optimized`, case-insensitively.
+    fn from_str(s: &str) -> Result<WeightingImpl, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "original" => Ok(WeightingImpl::Original),
+            "optimized" => Ok(WeightingImpl::Optimized),
+            _ => Err(format!(
+                "unknown weighting implementation '{s}' (expected original or optimized)"
+            )),
+        }
+    }
 }
 
 /// Dispatches an edge sweep to the selected implementation. Both visit each

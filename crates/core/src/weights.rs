@@ -61,6 +61,37 @@ impl WeightingScheme {
     pub fn needs_degrees(self) -> bool {
         matches!(self, WeightingScheme::Ejs)
     }
+
+    /// The stable lowercase token used on command lines and in JSON configs
+    /// (the [`std::fmt::Display`]/[`std::str::FromStr`] form).
+    pub fn token(self) -> &'static str {
+        match self {
+            WeightingScheme::Arcs => "arcs",
+            WeightingScheme::Cbs => "cbs",
+            WeightingScheme::Ecbs => "ecbs",
+            WeightingScheme::Js => "js",
+            WeightingScheme::Ejs => "ejs",
+        }
+    }
+}
+
+impl std::fmt::Display for WeightingScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl std::str::FromStr for WeightingScheme {
+    type Err = String;
+
+    /// Parses the CLI token (`arcs`, `cbs`, `ecbs`, `js`, `ejs`),
+    /// case-insensitively.
+    fn from_str(s: &str) -> Result<WeightingScheme, String> {
+        let canon = s.trim().to_ascii_lowercase();
+        WeightingScheme::ALL.into_iter().find(|w| w.token() == canon).ok_or_else(|| {
+            format!("unknown weighting scheme '{s}' (expected one of arcs, cbs, ecbs, js, ejs)")
+        })
+    }
 }
 
 /// Node degrees `|v_i|` and graph size `|E_B|`, required by EJS.

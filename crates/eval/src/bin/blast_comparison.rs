@@ -44,8 +44,12 @@ fn main() {
         ] {
             let mut acc = EffectivenessAccumulator::new(&d.ground_truth);
             let (res, otime) = timer::time(|| {
-                MetaBlocking::new(WeightingScheme::Js, pruning)
-                    .run(&filtered, split, |a, b| acc.add(a, b))
+                MetaBlocking::new(WeightingScheme::Js, pruning).run(
+                    &filtered,
+                    split,
+                    &mut mb_core::Noop,
+                    |a, b| acc.add(a, b),
+                )
             });
             er_eval::must(res);
             table.row(vec![

@@ -11,8 +11,12 @@ use er_eval::timer;
 use mb_core::weighting::{optimized, original};
 use mb_core::weights::{EdgeWeigher, WeightingScheme};
 use mb_core::GraphContext;
+use mb_observe::RunReport;
 
 fn main() {
+    let mut stage_report = RunReport::new("scaling");
+    stage_report.set_meta("dataset", DatasetId::D1D.name());
+    stage_report.set_meta("workflow", "graph-free (r = 0.55), accumulated over all scales");
     let mut table = Table::new(&[
         "scale",
         "|E|",
@@ -35,7 +39,13 @@ fn main() {
         let (_, slow) = timer::time(|| original::for_each_edge(&ctx, &weigher, |_, _, _| {}));
         let mut n = 0u64;
         let (res, free) = timer::time(|| {
-            mb_core::pipeline::run_graph_free(&blocks, d.collection.split(), 0.55, |_, _| n += 1)
+            mb_core::pipeline::run_graph_free(
+                &blocks,
+                d.collection.split(),
+                0.55,
+                &mut stage_report,
+                |_, _| n += 1,
+            )
         });
         er_eval::must(res);
 
@@ -55,4 +65,9 @@ fn main() {
     println!("Expected shape: both implementations scale with ||B||; the optimized");
     println!("sweep keeps a constant-factor advantage that grows with BPE, and the");
     println!("graph-free workflow stays an order of magnitude below both.");
+    let path = std::path::Path::new("results/scaling.stages.json");
+    match stage_report.write_to(path) {
+        Ok(()) => println!("\nper-stage breakdown (graph-free runs): {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }

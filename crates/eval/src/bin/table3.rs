@@ -13,10 +13,10 @@ use er_eval::{average_over_schemes, timer};
 use mb_core::{PruningScheme, WeightingImpl};
 
 fn main() {
-    let imp = match std::env::var("MB_IMPL").as_deref() {
-        Ok("original") => WeightingImpl::Original,
-        _ => WeightingImpl::Optimized,
-    };
+    let imp = std::env::var("MB_IMPL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(WeightingImpl::Optimized);
     println!("Table 3 (edge weighting: {})\n", imp.name());
 
     let datasets: Vec<Dataset> = DatasetId::ALL.into_iter().map(Dataset::load).collect();

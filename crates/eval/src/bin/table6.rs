@@ -4,16 +4,18 @@
 
 use er_baselines::IterativeBlocking;
 use er_eval::datasets::{Dataset, DatasetId};
-use er_eval::report::{precision, ratio, sci, Table};
+use er_eval::report::{precision, ratio, sci, write_stage_reports, Table};
 use er_eval::timer;
 use er_model::matching::OracleMatcher;
 use er_model::measures::EffectivenessAccumulator;
 use er_model::ErKind;
 use mb_core::graphfree::{self, EFFECTIVENESS_RATIO, EFFICIENCY_RATIO};
+use mb_observe::RunReport;
 
 fn main() {
     let datasets: Vec<Dataset> = DatasetId::ALL.into_iter().map(Dataset::load).collect();
     let blocks: Vec<_> = datasets.iter().map(|d| d.input_blocks()).collect();
+    let mut stage_reports: Vec<RunReport> = Vec::new();
 
     for (label, r) in [
         ("(a) efficiency-intensive Graph-free Meta-blocking (r = 0.25)", EFFICIENCY_RATIO),
@@ -21,13 +23,22 @@ fn main() {
     ] {
         let mut table = Table::new(&["", "||B'||", "PC(B')", "PQ(B')", "OTime"]);
         for (d, b) in datasets.iter().zip(&blocks) {
+            let mut report = RunReport::new(format!("graph-free/{}/r={r}", d.id.name()));
+            report.set_meta("workflow", "graph-free");
+            report.set_meta("dataset", d.id.name());
+            report.set_meta("filter_ratio", format!("{r}"));
             let mut acc = EffectivenessAccumulator::new(&d.ground_truth);
             let (res, otime) = timer::time(|| {
-                graphfree::graph_free_meta_blocking(b, d.collection.split(), r, |a, c| {
-                    acc.add(a, c)
-                })
+                graphfree::graph_free_meta_blocking(
+                    b,
+                    d.collection.split(),
+                    r,
+                    &mut report,
+                    |a, c| acc.add(a, c),
+                )
             });
             er_eval::must(res);
+            stage_reports.push(report);
             table.row(vec![
                 d.id.name().into(),
                 sci(acc.total_comparisons()),
@@ -49,7 +60,11 @@ fn main() {
             // where an entity can have several duplicates.
             stop_after_match: d.collection.kind() == ErKind::CleanClean,
         };
-        let (mut outcome, otime) = timer::time(|| config.run(b, &oracle));
+        let mut report = RunReport::new(format!("iterative-blocking/{}", d.id.name()));
+        report.set_meta("workflow", "iterative-blocking");
+        report.set_meta("dataset", d.id.name());
+        let (mut outcome, otime) = timer::time(|| config.run_observed(b, &oracle, &mut report));
+        stage_reports.push(report);
         table.row(vec![
             d.id.name().into(),
             sci(outcome.executed_comparisons),
@@ -60,4 +75,9 @@ fn main() {
     }
     println!("Table 6(c): Iterative Blocking\n");
     println!("{}", table.render());
+    let path = std::path::Path::new("results/table6.stages.json");
+    match write_stage_reports(path, &stage_reports) {
+        Ok(()) => println!("per-stage breakdown: {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }

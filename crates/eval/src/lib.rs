@@ -33,7 +33,9 @@ pub mod stats;
 pub mod timer;
 
 pub use datasets::{Dataset, DatasetId};
-pub use runner::{average_over_schemes, evaluate, EvaluationRow};
+pub use runner::{
+    average_over_schemes, average_over_schemes_observed, evaluate, evaluate_observed, EvaluationRow,
+};
 pub use stats::BlockStats;
 
 /// Unwraps a result whose configuration is statically known to be valid.

@@ -1,5 +1,22 @@
 //! Plain-text table rendering for experiment output.
 
+use mb_observe::json::Json;
+use mb_observe::RunReport;
+use std::path::Path;
+
+/// Writes a set of per-stage [`RunReport`]s as one JSON array, the format
+/// the `table5`/`table6`/`scaling` binaries use for their
+/// `results/<bin>.stages.json` breakdowns. Creates parent directories.
+pub fn write_stage_reports(path: &Path, reports: &[RunReport]) -> std::io::Result<()> {
+    let arr = Json::Arr(reports.iter().map(RunReport::to_json).collect());
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, arr.render_pretty() + "\n")
+}
+
 /// Formats a count in the scientific notation the paper's tables use for
 /// large numbers: `1.92e6`; small numbers stay plain.
 pub fn sci(n: u64) -> String {

@@ -2,7 +2,7 @@
 
 use er_model::measures::EffectivenessAccumulator;
 use er_model::{BlockCollection, GroundTruth};
-use mb_core::{MetaBlocking, PruningScheme, WeightingImpl, WeightingScheme};
+use mb_core::{MetaBlocking, Noop, Observer, PruningScheme, WeightingImpl, WeightingScheme};
 use std::time::Duration;
 
 /// What one (dataset × configuration) evaluation produced — one cell group
@@ -34,12 +34,30 @@ pub fn evaluate(
     imp: WeightingImpl,
     block_filtering: Option<f64>,
 ) -> EvaluationRow {
+    evaluate_observed(blocks, split, gt, scheme, pruning, imp, block_filtering, &mut Noop)
+}
+
+/// [`evaluate`], but streaming the run's per-stage telemetry to `obs` —
+/// the table binaries pass a [`mb_observe::RunReport`] here to emit the
+/// filtering/weighting/pruning breakdown next to each printed row.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_observed(
+    blocks: &BlockCollection,
+    split: usize,
+    gt: &GroundTruth,
+    scheme: WeightingScheme,
+    pruning: PruningScheme,
+    imp: WeightingImpl,
+    block_filtering: Option<f64>,
+    obs: &mut dyn Observer,
+) -> EvaluationRow {
     let mut pipeline = MetaBlocking::new(scheme, pruning).with_weighting_impl(imp);
     if let Some(r) = block_filtering {
         pipeline = pipeline.with_block_filtering(r);
     }
     let mut acc = EffectivenessAccumulator::new(gt);
-    let (res, otime) = crate::timer::time(|| pipeline.run(blocks, split, |a, b| acc.add(a, b)));
+    let (res, otime) =
+        crate::timer::time(|| pipeline.run(blocks, split, obs, |a, b| acc.add(a, b)));
     crate::must(res);
     EvaluationRow {
         comparisons: acc.total_comparisons(),
@@ -61,6 +79,22 @@ pub fn average_over_schemes(
     imp: WeightingImpl,
     block_filtering: Option<f64>,
 ) -> EvaluationRow {
+    average_over_schemes_observed(blocks, split, gt, pruning, imp, block_filtering, &mut Noop)
+}
+
+/// [`average_over_schemes`], with the five runs' telemetry accumulated into
+/// `obs` (a [`mb_observe::RunReport`] merges the repeated stages, so its
+/// totals are sums over the five weighting schemes).
+#[allow(clippy::too_many_arguments)]
+pub fn average_over_schemes_observed(
+    blocks: &BlockCollection,
+    split: usize,
+    gt: &GroundTruth,
+    pruning: PruningScheme,
+    imp: WeightingImpl,
+    block_filtering: Option<f64>,
+    obs: &mut dyn Observer,
+) -> EvaluationRow {
     let mut comparisons = 0u64;
     let mut detected = 0usize;
     let mut pc = 0.0;
@@ -68,7 +102,7 @@ pub fn average_over_schemes(
     let mut otime = Duration::ZERO;
     let k = WeightingScheme::ALL.len() as f64;
     for scheme in WeightingScheme::ALL {
-        let row = evaluate(blocks, split, gt, scheme, pruning, imp, block_filtering);
+        let row = evaluate_observed(blocks, split, gt, scheme, pruning, imp, block_filtering, obs);
         comparisons += row.comparisons;
         detected += row.detected;
         pc += row.pc;

@@ -20,6 +20,11 @@
 //! * **`float-eq`** — no exact `==`/`!=` against float literals in the
 //!   weighting/pruning/scanner code: edge weights come out of accumulation
 //!   loops, so thresholds must use epsilons or `total_cmp`.
+//! * **`adhoc-logging`** — no `println!`/`eprintln!`/`dbg!` in library
+//!   code: run telemetry flows through the `mb-observe` observer sinks
+//!   (which own the terminal), so libraries stay silent and composable.
+//!   Binaries (`src/bin/`, `main.rs`) and `crates/observe` itself are
+//!   exempt.
 //!
 //! Test code (`#[cfg(test)]` modules), `tests/`, `examples/` and `benches/`
 //! directories are exempt — tests corrupt structures and unwrap freely by
@@ -160,6 +165,9 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
         && FLOAT_SENSITIVE.iter().any(|p| {
             Path::new(rel_path).file_name().and_then(|f| f.to_str()).is_some_and(|f| f.contains(p))
         });
+    let logging_exempt = rel_path.starts_with("crates/observe/")
+        || rel_path.contains("/bin/")
+        || rel_path.ends_with("main.rs");
 
     let mut findings = Vec::new();
     let mut depth = 0i64;
@@ -214,6 +222,16 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
             if code.contains(needle) {
                 report("no-panic");
                 break;
+            }
+        }
+
+        // adhoc-logging: terminal writes belong to the mb-observe sinks.
+        if !logging_exempt {
+            for needle in ["println!(", "print!(", "eprintln!(", "eprint!(", "dbg!("] {
+                if code.contains(needle) {
+                    report("adhoc-logging");
+                    break;
+                }
             }
         }
 
@@ -452,6 +470,22 @@ mod tests {
         assert!(lint_source("crates/core/src/weights.rs", ok).is_empty());
         // Integer equality passes.
         assert!(lint_source("crates/core/src/weights.rs", "if n == 0 { }\n").is_empty());
+    }
+
+    #[test]
+    fn adhoc_logging_flagged_outside_sinks_and_binaries() {
+        let src = "fn f() {\n    println!(\"progress: {}\", 1);\n}\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "adhoc-logging");
+        // The observer sinks own the terminal; binaries print their output.
+        assert!(lint_source("crates/observe/src/progress.rs", src).is_empty());
+        assert!(lint_source("crates/eval/src/bin/table5.rs", src).is_empty());
+        assert!(lint_source("crates/lint/src/main.rs", src).is_empty());
+        // eprintln! and dbg! count too; writeln! to a buffer does not.
+        let f = lint_source("crates/eval/src/x.rs", "fn f() { eprintln!(\"x\"); dbg!(1); }\n");
+        assert_eq!(f.len(), 1);
+        assert!(lint_source("crates/eval/src/x.rs", "let _ = writeln!(out, \"x\");\n").is_empty());
     }
 
     #[test]

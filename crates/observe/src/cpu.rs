@@ -1,0 +1,71 @@
+//! Process CPU time, read from `/proc/self/stat`.
+//!
+//! Per-stage CPU time (user + system, summed across threads) is what
+//! separates "this stage is slow" from "this stage is waiting": a parallel
+//! sweep with wall ≪ cpu is healthy, wall ≈ cpu on a 16-thread box means
+//! the parallelism is not engaging. The std library exposes no portable
+//! process-CPU clock, so this reads the Linux procfs directly and degrades
+//! to `None` elsewhere — [`crate::StageStats::cpu`] is optional for
+//! exactly that reason.
+
+use std::time::Duration;
+
+/// Clock ticks per second for procfs time fields. `sysconf(_SC_CLK_TCK)`
+/// is 100 on every Linux configuration this workspace targets; without
+/// libc bindings we hard-code it.
+const TICKS_PER_SEC: u64 = 100;
+
+/// Total CPU time (utime + stime) consumed by this process so far, or
+/// `None` when `/proc/self/stat` is unavailable or unparseable.
+pub fn process_cpu_time() -> Option<Duration> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    parse_stat_line(&stat)
+}
+
+/// Parses the utime+stime fields (14 and 15) from a `/proc/<pid>/stat`
+/// line. The comm field (2) may contain spaces and parentheses, so fields
+/// are counted from after the *last* `')'`.
+fn parse_stat_line(stat: &str) -> Option<Duration> {
+    let after_comm = &stat[stat.rfind(')')? + 1..];
+    let mut fields = after_comm.split_ascii_whitespace();
+    // after_comm starts at field 3 (state); utime is field 14, stime 15.
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    let ticks = utime.checked_add(stime)?;
+    Some(Duration::from_millis(ticks.saturating_mul(1000 / TICKS_PER_SEC)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_canonical_stat_line() {
+        let line = "12345 (er (w) eird) R 1 12345 12345 0 -1 4194304 500 0 0 0 \
+                    250 50 0 0 20 0 16 0 100000 1000000 200 18446744073709551615";
+        // utime=250 stime=50 → 300 ticks at 100 Hz = 3s.
+        assert_eq!(parse_stat_line(line), Some(Duration::from_secs(3)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse_stat_line(""), None);
+        assert_eq!(parse_stat_line("no parens here"), None);
+        assert_eq!(parse_stat_line("1 (x) R 1 2 3"), None);
+    }
+
+    #[test]
+    fn live_reading_is_monotone_on_linux() {
+        let Some(first) = process_cpu_time() else {
+            return; // not on Linux — the Option contract covers this
+        };
+        // Burn a little CPU; the clock must not go backwards.
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_add(i.wrapping_mul(31));
+        }
+        std::hint::black_box(acc);
+        let second = process_cpu_time().expect("procfs disappeared mid-test");
+        assert!(second >= first, "cpu time went backwards: {first:?} → {second:?}");
+    }
+}

@@ -1,0 +1,449 @@
+//! Minimal JSON value, emitter and parser.
+//!
+//! The workspace builds offline with zero external dependencies (DESIGN.md
+//! §1), so serde is unavailable; this module is the small subset of JSON
+//! the observability layer needs: objects with string keys, arrays,
+//! strings, booleans, null, and numbers split into lossless unsigned
+//! integers ([`Json::Uint`] — counters are `u64` and must round-trip
+//! exactly) and `f64` ([`Json::Num`] — durations in seconds, ratios).
+//!
+//! Emission is deterministic: object keys keep insertion order, floats are
+//! rendered with enough precision to round-trip (`{:?}` formatting), and
+//! strings escape the JSON control set. The parser accepts the full JSON
+//! grammar for those shapes (and parses any non-negative integer literal
+//! without fraction/exponent as `Uint`).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer that must round-trip exactly (counters).
+    Uint(u64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on render.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: an empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends `(key, value)` to an object; panics on non-objects (that is
+    /// a programming error in the report builder, not a data error).
+    pub fn push(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_owned(), value)),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+    }
+
+    /// Looks a key up in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, accepting integral [`Json::Num`]s too.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Uint(u) => Some(u),
+            Json::Num(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Uint(u) => Some(u as f64),
+            Json::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, None, 0);
+        out
+    }
+
+    /// Renders human-readable JSON indented by two spaces per level.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Uint(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // {:?} prints the shortest representation that parses
+                    // back to the same f64, so reports round-trip.
+                    let _ = write!(out, "{n:?}");
+                } else {
+                    out.push_str("null"); // JSON has no Inf/NaN
+                }
+            }
+            Json::Str(s) => render_string(out, s),
+            Json::Arr(items) => render_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].render_into(out, indent, depth + 1);
+            }),
+            Json::Obj(fields) => {
+                render_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                    let (k, v) = &fields[i];
+                    render_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.render_into(out, indent, depth + 1);
+                })
+            }
+        }
+    }
+
+    /// Parses a JSON document; the whole input must be one value.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError { at: pos, what: "trailing data after value" });
+        }
+        Ok(value)
+    }
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            for _ in 0..step * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(step) = indent {
+            out.push('\n');
+            for _ in 0..step * depth {
+                out.push(' ');
+            }
+        }
+    }
+    out.push(close);
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: byte offset plus a static description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub at: usize,
+    /// What was wrong.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(JsonError { at: *pos, what: "unexpected token" })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError { at: *pos, what: "unexpected end of input" }),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(JsonError { at: *pos, what: "expected ',' or ']'" }),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(JsonError { at: *pos, what: "expected ':'" });
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(JsonError { at: *pos, what: "expected ',' or '}'" }),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(JsonError { at: *pos, what: "expected '\"'" });
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError { at: *pos, what: "unterminated string" }),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = bytes.get(*pos).copied();
+                *pos += 1;
+                match esc {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(JsonError { at: *pos, what: "bad \\u escape" })?;
+                        *pos += 4;
+                        // Surrogate pairs are not produced by our emitter;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(JsonError { at: *pos, what: "bad escape" }),
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar from the source text.
+                let rest = &bytes[*pos..];
+                let text = std::str::from_utf8(rest)
+                    .map_err(|_| JsonError { at: *pos, what: "invalid utf-8" })?;
+                let ch = match text.chars().next() {
+                    Some(c) => c,
+                    None => return Err(JsonError { at: *pos, what: "unterminated string" }),
+                };
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut integral = true;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                integral = false;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| JsonError { at: start, what: "invalid number" })?;
+    if integral && !text.starts_with('-') {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Json::Uint(u));
+        }
+    }
+    text.parse::<f64>().map(Json::Num).map_err(|_| JsonError { at: start, what: "invalid number" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Uint(0),
+            Json::Uint(u64::MAX),
+            Json::Num(0.25),
+            Json::Num(-17.5),
+            Json::Str("plain".into()),
+            Json::Str("esc \" \\ \n \t \u{1} ü".into()),
+        ] {
+            let text = v.render();
+            assert_eq!(Json::parse(&text).unwrap(), v, "text: {text}");
+        }
+    }
+
+    #[test]
+    fn u64_counters_survive_exactly() {
+        // 2^63 + 3 is not representable as f64; the Uint path must keep it.
+        let v = Json::Uint((1 << 63) + 3);
+        assert_eq!(Json::parse(&v.render()).unwrap().as_u64(), Some((1 << 63) + 3));
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let mut obj = Json::obj();
+        obj.push("label", Json::Str("table5".into()));
+        obj.push("stages", Json::Arr(vec![Json::Uint(1), Json::Num(2.5), Json::Null]));
+        let mut inner = Json::obj();
+        inner.push("edges_weighed", Json::Uint(42));
+        obj.push("counters", inner);
+        let compact = obj.render();
+        assert_eq!(Json::parse(&compact).unwrap(), obj);
+        let pretty = obj.render_pretty();
+        assert_eq!(Json::parse(&pretty).unwrap(), obj);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = Json::parse(r#"{"a": 3, "b": 2.5, "c": "x", "d": [1]}"#).unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("b").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(doc.get("c").and_then(Json::as_str), Some("x"));
+        assert_eq!(doc.get("d").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "{", "[1,", "nul", "\"open", "{\"k\" 1}", "1 2", "--3"] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+}

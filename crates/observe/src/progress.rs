@@ -1,0 +1,182 @@
+//! [`Progress`] — the human pretty-printer behind `er run --progress`.
+//!
+//! Prints one line when a stage starts and one when it finishes, with wall
+//! time, CPU time when available, and the most informative counters:
+//!
+//! ```text
+//! → block-filtering …
+//! ✓ block-filtering      12.3ms  (cpu 11.9ms)  blocks 1200→960, comparisons 84211→31050
+//! → edge-weighting …
+//! ✓ edge-weighting       48.0ms  edges 31050, neighborhoods 960
+//! ```
+//!
+//! The printer is generic over any [`std::io::Write`] so tests capture
+//! output in a `Vec<u8>`; the CLI hands it `std::io::Stderr` to keep
+//! stdout clean for piped results.
+
+use crate::{Counter, Observer, StageEvent, StageStats};
+use std::io::Write;
+use std::time::Duration;
+
+/// A line-per-stage progress printer.
+pub struct Progress<W: Write> {
+    out: W,
+}
+
+impl<W: Write> Progress<W> {
+    /// Wraps a writer (the CLI passes `std::io::stderr()`).
+    pub fn new(out: W) -> Progress<W> {
+        Progress { out }
+    }
+
+    /// Consumes the printer and returns the writer (tests read it back).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+/// Formats a duration compactly: `950µs`, `12.3ms`, `4.25s`, `2m03s`.
+pub fn human_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 0.001 {
+        format!("{:.0}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.1}ms", secs * 1e3)
+    } else if secs < 120.0 {
+        format!("{secs:.2}s")
+    } else {
+        let whole = d.as_secs();
+        format!("{}m{:02}s", whole / 60, whole % 60)
+    }
+}
+
+fn counter_summary(stats: &StageStats) -> String {
+    let c = &stats.counters;
+    let mut parts = Vec::new();
+    // A stage may record only one side of an in/out pair (Blocking has no
+    // input blocks; a weighting context only consumes); print `a→b` only
+    // when both sides are known.
+    let pair = |name: &str, a: u64, b: u64| match (a, b) {
+        (0, b) => format!("{name} {b}"),
+        (a, 0) => format!("{name} {a}"),
+        (a, b) => format!("{name} {a}→{b}"),
+    };
+    if c.get(Counter::BlocksIn) != 0 || c.get(Counter::BlocksOut) != 0 {
+        parts.push(pair("blocks", c.get(Counter::BlocksIn), c.get(Counter::BlocksOut)));
+    }
+    if c.get(Counter::ComparisonsIn) != 0 || c.get(Counter::ComparisonsOut) != 0 {
+        parts.push(pair(
+            "comparisons",
+            c.get(Counter::ComparisonsIn),
+            c.get(Counter::ComparisonsOut),
+        ));
+    }
+    if let Some(bpe) = c.bpe_out() {
+        parts.push(format!("bpe {bpe:.2}"));
+    }
+    if c.get(Counter::EdgesWeighed) != 0 {
+        parts.push(format!("edges {}", c.get(Counter::EdgesWeighed)));
+    }
+    if c.get(Counter::NeighborhoodsScanned) != 0 {
+        parts.push(format!("neighborhoods {}", c.get(Counter::NeighborhoodsScanned)));
+    }
+    if c.get(Counter::RetainedComparisons) != 0 {
+        parts.push(format!("retained {}", c.get(Counter::RetainedComparisons)));
+    }
+    if c.get(Counter::MatchesFound) != 0 {
+        parts.push(format!("matches {}", c.get(Counter::MatchesFound)));
+    }
+    if c.get(Counter::AllocPeakBytes) != 0 {
+        parts.push(format!("peak {}KiB", c.get(Counter::AllocPeakBytes) / 1024));
+    }
+    parts.join(", ")
+}
+
+impl<W: Write> Observer for Progress<W> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn on_event(&mut self, event: &StageEvent) {
+        // Progress output is best-effort: a closed pipe must not take the
+        // workflow down, so write errors are swallowed.
+        let _ = match event {
+            StageEvent::Enter(stage) => writeln!(self.out, "→ {stage} …"),
+            StageEvent::Exit(stage, stats) => {
+                // The procfs CPU clock ticks at 10ms; a zero reading on a
+                // fast stage is below resolution, not "no CPU used".
+                let cpu = match stats.cpu {
+                    Some(cpu) if !cpu.is_zero() => format!("  (cpu {})", human_duration(cpu)),
+                    _ => String::new(),
+                };
+                let counters = counter_summary(stats);
+                let sep = if counters.is_empty() { "" } else { "  " };
+                writeln!(
+                    self.out,
+                    "✓ {:<22}{:>9}{cpu}{sep}{counters}",
+                    stage.name(),
+                    human_duration(stats.wall),
+                )
+            }
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Counters, Stage, StageScope};
+
+    #[test]
+    fn prints_enter_and_exit_lines() {
+        let mut progress = Progress::new(Vec::new());
+        let mut scope = StageScope::enter(&mut progress, Stage::BlockFiltering);
+        scope.add(Counter::BlocksIn, 1200);
+        scope.add(Counter::BlocksOut, 960);
+        scope.finish();
+        let text = String::from_utf8(progress.into_inner()).unwrap();
+        assert!(text.contains("→ block-filtering …"), "{text}");
+        assert!(text.contains("✓ block-filtering"), "{text}");
+        assert!(text.contains("blocks 1200→960"), "{text}");
+    }
+
+    #[test]
+    fn exit_line_mentions_key_counters() {
+        let mut counters = Counters::new();
+        counters.set(Counter::EdgesWeighed, 31050);
+        counters.set(Counter::RetainedComparisons, 123);
+        counters.set(Counter::Entities, 10);
+        counters.set(Counter::AssignmentsOut, 35);
+        counters.set(Counter::AllocPeakBytes, 8192);
+        let stats = StageStats { wall: Duration::from_millis(48), cpu: None, counters };
+        let mut progress = Progress::new(Vec::new());
+        progress.on_event(&StageEvent::Exit(Stage::EdgeWeighting, stats));
+        let text = String::from_utf8(progress.into_inner()).unwrap();
+        assert!(text.contains("edges 31050"), "{text}");
+        assert!(text.contains("retained 123"), "{text}");
+        assert!(text.contains("bpe 3.50"), "{text}");
+        assert!(text.contains("peak 8KiB"), "{text}");
+        assert!(text.contains("48.0ms"), "{text}");
+    }
+
+    #[test]
+    fn cpu_time_is_shown_when_present() {
+        let stats = StageStats {
+            wall: Duration::from_secs(2),
+            cpu: Some(Duration::from_millis(1900)),
+            counters: Counters::new(),
+        };
+        let mut progress = Progress::new(Vec::new());
+        progress.on_event(&StageEvent::Exit(Stage::Pruning, stats));
+        let text = String::from_utf8(progress.into_inner()).unwrap();
+        assert!(text.contains("(cpu 1.90s)"), "{text}");
+    }
+
+    #[test]
+    fn human_duration_ranges() {
+        assert_eq!(human_duration(Duration::from_micros(950)), "950µs");
+        assert_eq!(human_duration(Duration::from_millis(12)), "12.0ms");
+        assert_eq!(human_duration(Duration::from_millis(4250)), "4.25s");
+        assert_eq!(human_duration(Duration::from_secs(123)), "2m03s");
+    }
+}

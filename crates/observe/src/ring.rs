@@ -1,0 +1,136 @@
+//! [`RingLog`] — a bounded event log for deterministic tests.
+//!
+//! Tests assert on the *sequence* of events (Figure-7(a) ordering) and on
+//! counter totals, so the log keeps full [`StageEvent`] values. The ring
+//! bound keeps memory fixed when an instrumented loop runs many stages;
+//! when the bound is hit the oldest events are dropped and
+//! [`RingLog::dropped`] says how many.
+
+use crate::{Counter, Observer, Stage, StageEvent};
+use std::collections::VecDeque;
+
+/// A bounded, in-order event log.
+#[derive(Debug, Clone)]
+pub struct RingLog {
+    capacity: usize,
+    dropped: u64,
+    events: VecDeque<StageEvent>,
+}
+
+impl RingLog {
+    /// A log keeping at most `capacity` events (at least one).
+    pub fn new(capacity: usize) -> RingLog {
+        RingLog { capacity: capacity.max(1), dropped: 0, events: VecDeque::new() }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<StageEvent> {
+        self.events.iter().cloned().collect()
+    }
+
+    /// How many events were evicted to honor the capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The stages of the retained `Exit` events, in completion order —
+    /// the sequence tests compare against Figure 7(a).
+    pub fn exit_order(&self) -> Vec<Stage> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                StageEvent::Exit(stage, _) => Some(*stage),
+                StageEvent::Enter(_) => None,
+            })
+            .collect()
+    }
+
+    /// Sum of `counter` across all retained `Exit` events.
+    pub fn counter_total(&self, counter: Counter) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                StageEvent::Exit(_, stats) => Some(stats.counters.get(counter)),
+                StageEvent::Enter(_) => None,
+            })
+            .fold(0, u64::saturating_add)
+    }
+
+    /// Forgets everything recorded so far.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+impl Observer for RingLog {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn on_event(&mut self, event: &StageEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StageScope, StageStats};
+    use std::time::Duration;
+
+    #[test]
+    fn records_in_order() {
+        let mut log = RingLog::new(16);
+        for stage in [Stage::BlockFiltering, Stage::EdgeWeighting, Stage::Pruning] {
+            let scope = StageScope::enter(&mut log, stage);
+            scope.finish();
+        }
+        assert_eq!(
+            log.exit_order(),
+            vec![Stage::BlockFiltering, Stage::EdgeWeighting, Stage::Pruning]
+        );
+        assert_eq!(log.events().len(), 6);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut log = RingLog::new(3);
+        for stage in [Stage::Blocking, Stage::Purging, Stage::Pruning] {
+            let scope = StageScope::enter(&mut log, stage);
+            scope.finish();
+        }
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.dropped(), 3);
+        // The three newest survive: Purging's exit, Pruning's enter+exit.
+        assert_eq!(log.exit_order(), vec![Stage::Purging, Stage::Pruning]);
+    }
+
+    #[test]
+    fn counter_totals_and_clear() {
+        let mut log = RingLog::new(8);
+        let stats = |n| {
+            let mut counters = crate::Counters::new();
+            counters.set(Counter::EdgesWeighed, n);
+            StageStats { wall: Duration::ZERO, cpu: None, counters }
+        };
+        log.on_event(&StageEvent::Exit(Stage::EdgeWeighting, stats(5)));
+        log.on_event(&StageEvent::Exit(Stage::EdgeWeighting, stats(7)));
+        assert_eq!(log.counter_total(Counter::EdgesWeighed), 12);
+        log.clear();
+        assert_eq!(log.events().len(), 0);
+        assert_eq!(log.counter_total(Counter::EdgesWeighed), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut log = RingLog::new(0);
+        log.on_event(&StageEvent::Enter(Stage::Blocking));
+        assert_eq!(log.events().len(), 1);
+    }
+}

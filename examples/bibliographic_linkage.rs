@@ -51,7 +51,7 @@ fn main() {
         let mut acc = EffectivenessAccumulator::new(&dataset.ground_truth);
         MetaBlocking::new(WeightingScheme::Js, pruning)
             .with_block_filtering(0.8)
-            .run(&blocks, dataset.collection.split(), |a, b| acc.add(a, b))
+            .run(&blocks, dataset.collection.split(), &mut mb_core::Noop, |a, b| acc.add(a, b))
             .expect("valid configuration");
         let per_match = if acc.detected() > 0 {
             acc.total_comparisons() as f64 / acc.detected() as f64

@@ -8,6 +8,7 @@ use enhanced_metablocking::blocking::{purging, BlockingMethod, TokenBlocking};
 use enhanced_metablocking::datagen::presets;
 use enhanced_metablocking::metablocking::{MetaBlocking, PruningScheme, WeightingScheme};
 use enhanced_metablocking::model::measures::EffectivenessAccumulator;
+use enhanced_metablocking::observe::{RunReport, Stage};
 
 fn main() {
     // 1. An entity collection. Here: a synthetic Clean-Clean benchmark —
@@ -39,8 +40,9 @@ fn main() {
     let pipeline = MetaBlocking::new(WeightingScheme::Js, PruningScheme::ReciprocalWnp)
         .with_block_filtering(0.8);
     let mut acc = EffectivenessAccumulator::new(&dataset.ground_truth);
+    let mut report = RunReport::new("quickstart");
     pipeline
-        .run(&blocks, dataset.collection.split(), |a, b| acc.add(a, b))
+        .run(&blocks, dataset.collection.split(), &mut report, |a, b| acc.add(a, b))
         .expect("valid configuration");
 
     // 4. The restructured comparison collection: a fraction of the
@@ -55,4 +57,12 @@ fn main() {
         "reduction ratio vs token blocking: {:.1}%",
         acc.rr(blocks.total_comparisons()) * 100.0
     );
+
+    // 5. The observer saw every stage: per-stage wall-clock breakdown for
+    //    free (pass `&mut mb_core::Noop` instead to skip all accounting).
+    for stage in [Stage::BlockFiltering, Stage::EdgeWeighting, Stage::Pruning] {
+        if let Some(s) = report.stage(stage) {
+            println!("stage {stage}: {:.1} ms", s.wall.as_secs_f64() * 1e3);
+        }
+    }
 }

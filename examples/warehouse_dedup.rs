@@ -42,7 +42,7 @@ fn main() {
         let mut acc = EffectivenessAccumulator::new(&dataset.ground_truth);
         MetaBlocking::new(WeightingScheme::Arcs, pruning)
             .with_block_filtering(0.8)
-            .run(&blocks, dataset.collection.split(), |a, b| acc.add(a, b))
+            .run(&blocks, dataset.collection.split(), &mut mb_core::Noop, |a, b| acc.add(a, b))
             .expect("valid configuration");
         println!(
             "{:<18} {:>12} {:>8.3} {:>8.4}",

@@ -17,4 +17,7 @@ cargo run -q -p er-lint -- --workspace
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q --features sanitize"
+cargo test -q --features sanitize
+
 echo "All checks passed."

@@ -28,7 +28,7 @@ fn every_scheme_combination_preserves_most_recall() {
             let mut acc = EffectivenessAccumulator::new(&d.ground_truth);
             MetaBlocking::new(scheme, pruning)
                 .with_block_filtering(0.8)
-                .run(&blocks, split, |a, b| acc.add(a, b))
+                .run(&blocks, split, &mut mb_core::Noop, |a, b| acc.add(a, b))
                 .unwrap();
             assert!(acc.pc() > 0.5, "{} + {}: pc={}", scheme.name(), pruning.name(), acc.pc());
             assert!(acc.total_comparisons() < blocks.total_comparisons());
@@ -44,7 +44,7 @@ fn weight_based_schemes_favor_recall_cardinality_precision() {
     let run = |pruning| {
         let mut acc = EffectivenessAccumulator::new(&d.ground_truth);
         MetaBlocking::new(WeightingScheme::Js, pruning)
-            .run(&blocks, split, |a, b| acc.add(a, b))
+            .run(&blocks, split, &mut mb_core::Noop, |a, b| acc.add(a, b))
             .unwrap();
         (acc.pc(), acc.pq())
     };
@@ -69,7 +69,7 @@ fn reciprocal_beats_original_precision_at_bounded_recall_cost() {
         let run = |p| {
             let mut acc = EffectivenessAccumulator::new(&d.ground_truth);
             MetaBlocking::new(WeightingScheme::Js, p)
-                .run(&blocks, split, |a, b| acc.add(a, b))
+                .run(&blocks, split, &mut mb_core::Noop, |a, b| acc.add(a, b))
                 .unwrap();
             (acc.pc(), acc.pq(), acc.total_comparisons())
         };
@@ -94,7 +94,7 @@ fn redefined_matches_original_recall_exactly() {
         let detect = |p| {
             let mut acc = EffectivenessAccumulator::new(&d.ground_truth);
             MetaBlocking::new(WeightingScheme::Ecbs, p)
-                .run(&blocks, split, |a, b| acc.add(a, b))
+                .run(&blocks, split, &mut mb_core::Noop, |a, b| acc.add(a, b))
                 .unwrap();
             (acc.detected(), acc.total_comparisons())
         };
@@ -112,7 +112,8 @@ fn graph_free_workflow_on_generated_data() {
     let blocks = blocks_of(&d);
     let split = d.collection.split();
     let mut acc = EffectivenessAccumulator::new(&d.ground_truth);
-    pipeline::run_graph_free(&blocks, split, 0.55, |a, b| acc.add(a, b)).unwrap();
+    pipeline::run_graph_free(&blocks, split, 0.55, &mut mb_core::Noop, |a, b| acc.add(a, b))
+        .unwrap();
     assert!(acc.pc() > 0.8);
     assert!(acc.total_comparisons() < blocks.total_comparisons());
 }
@@ -147,7 +148,7 @@ fn dirty_and_clean_variants_run_the_same_pipeline() {
         let mut acc = EffectivenessAccumulator::new(&d.ground_truth);
         MetaBlocking::new(WeightingScheme::Arcs, PruningScheme::ReciprocalWnp)
             .with_block_filtering(0.8)
-            .run(&blocks, d.collection.split(), |a, b| acc.add(a, b))
+            .run(&blocks, d.collection.split(), &mut mb_core::Noop, |a, b| acc.add(a, b))
             .unwrap();
         assert!(acc.pc() > 0.6, "{:?}: pc={}", d.collection.kind(), acc.pc());
     }
@@ -165,7 +166,7 @@ fn purging_then_filtering_then_pruning_composes() {
     assert!(filtered.total_comparisons() <= after_purge);
     let mut acc = EffectivenessAccumulator::new(&d.ground_truth);
     MetaBlocking::new(WeightingScheme::Js, PruningScheme::Wep)
-        .run(&filtered, d.collection.split(), |a, b| acc.add(a, b))
+        .run(&filtered, d.collection.split(), &mut mb_core::Noop, |a, b| acc.add(a, b))
         .unwrap();
     assert!(acc.pc() > 0.7);
 }
