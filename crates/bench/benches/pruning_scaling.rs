@@ -1,0 +1,116 @@
+//! The perf-trajectory bench: every pruning scheme at 1/2/4/8 worker
+//! threads, plus the raw parallel edge-weighting sweep, on the fixed
+//! synthetic workload — written as machine-readable JSON so the scaling
+//! behavior is tracked commit over commit.
+//!
+//! Output: `BENCH_pruning.json` at the repository root (override with the
+//! `BENCH_OUT` environment variable). One record per (bench, scheme,
+//! threads) triple with mean/median/min wall milliseconds; the file also
+//! records the machine's detected core count, since speedups are physically
+//! bounded by it.
+//!
+//! Environment knobs: `BENCH_SAMPLE_SIZE` (timed samples per cell,
+//! default 5), `BENCH_OUT` (output path).
+
+use er_bench::clean_workload;
+use mb_core::filter::block_filtering;
+use mb_core::weights::EdgeWeigher;
+use mb_core::{GraphContext, MetaBlocking, PruningScheme, WeightingScheme};
+use mb_observe::json::Json;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn sample_count() -> usize {
+    std::env::var("BENCH_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(5)
+}
+
+/// Times `routine` after one untimed warm-up call.
+fn time_samples(samples: usize, mut routine: impl FnMut()) -> Vec<Duration> {
+    routine();
+    (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            routine();
+            start.elapsed()
+        })
+        .collect()
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// One result record: mean/median/min over the samples, in milliseconds.
+fn record(bench: &str, scheme: &str, threads: usize, times: &[Duration]) -> Json {
+    let mut sorted = times.to_vec();
+    sorted.sort_unstable();
+    let total: Duration = sorted.iter().sum();
+    let mut obj = Json::obj();
+    obj.push("bench", Json::Str(bench.into()));
+    obj.push("scheme", Json::Str(scheme.into()));
+    obj.push("threads", Json::Uint(threads as u64));
+    obj.push("mean_ms", Json::Num(ms(total / sorted.len() as u32)));
+    obj.push("median_ms", Json::Num(ms(sorted[sorted.len() / 2])));
+    obj.push("min_ms", Json::Num(ms(sorted[0])));
+    obj.push("samples", Json::Uint(sorted.len() as u64));
+    obj
+}
+
+fn main() {
+    let samples = sample_count();
+    let workload = clean_workload();
+    let split = workload.collection.split();
+    let filtered = block_filtering(&workload.blocks, 0.8)
+        .unwrap_or_else(|e| panic!("block filtering failed: {e}"));
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("pruning-scaling: {cores} detected cores, {samples} samples per cell");
+
+    let mut rows: Vec<Json> = Vec::new();
+
+    // The raw parallel edge-weighting sweep (graph construction excluded).
+    let ctx = GraphContext::new(&filtered, split);
+    let weigher = EdgeWeigher::new(WeightingScheme::Js, &ctx);
+    for threads in THREADS {
+        let times = time_samples(samples, || {
+            black_box(mb_core::parallel::mean_edge_weight(&ctx, &weigher, threads));
+        });
+        println!("edge-weighting x{threads}: min {:?}", times.iter().min().unwrap());
+        rows.push(record("edge_weighting", "JS", threads, &times));
+    }
+
+    // Every pruning scheme, end to end through the pipeline.
+    for pruning in PruningScheme::ALL {
+        for threads in THREADS {
+            let pipeline = MetaBlocking::new(WeightingScheme::Js, pruning).with_threads(threads);
+            let times = time_samples(samples, || {
+                let mut count = 0u64;
+                pipeline
+                    .run(&filtered, split, &mut mb_core::Noop, |_, _| count += 1)
+                    .unwrap_or_else(|e| panic!("pipeline failed: {e}"));
+                black_box(count);
+            });
+            println!("{} x{threads}: min {:?}", pruning.name(), times.iter().min().unwrap());
+            rows.push(record("pruning", pruning.name(), threads, &times));
+        }
+    }
+
+    let mut doc = Json::obj();
+    doc.push("bench", Json::Str("pruning_scaling".into()));
+    doc.push("workload", Json::Str("d1c-0.1 clean-clean, block-filtered 0.8".into()));
+    doc.push("entities", Json::Uint(workload.collection.len() as u64));
+    doc.push("detected_cores", Json::Uint(cores as u64));
+    doc.push("samples_per_cell", Json::Uint(samples as u64));
+    doc.push("results", Json::Arr(rows));
+
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pruning.json").to_string()
+    });
+    std::fs::write(&path, doc.render_pretty()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\nwrote {path}");
+}

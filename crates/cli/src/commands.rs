@@ -132,10 +132,8 @@ pub fn run(args: &Args) -> Result<String, String> {
         None => None,
         Some(v) => Some(v.parse().map_err(|_| format!("invalid value for --filter: `{v}`"))?),
     };
+    // 0 means auto-detect (resolved by PipelineConfig::effective_threads).
     let threads: usize = args.get_parsed("threads", 1)?;
-    if threads == 0 {
-        return Err("--threads must be at least 1".into());
-    }
 
     // Observer assembly: progress lines to stderr (stdout carries the
     // result), a RunReport when --report asked for the JSON breakdown.
@@ -183,7 +181,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         }
         None => {
             let r = filter.unwrap_or(mb_core::graphfree::EFFECTIVENESS_RATIO);
-            pipeline::run_graph_free(&blocks, split, r, obs, &mut sink)
+            pipeline::run_graph_free_threads(&blocks, split, r, threads, obs, &mut sink)
                 .map_err(|e| e.to_string())?;
             format!("Graph-free Meta-blocking (r = {r})")
         }
@@ -308,6 +306,18 @@ mod tests {
         let text = std::fs::read_to_string(&out_csv).unwrap();
         assert!(text.starts_with("left,right\n"));
         assert!(text.lines().count() > 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_accepts_threads_zero_as_auto() {
+        let dir = temp_dir("threads0");
+        let dir_s = dir.to_str().unwrap();
+        generate(&argv(&["generate", "--preset", "tiny", "--out", dir_s, "--scale", "0.3"]))
+            .unwrap();
+        let r =
+            run(&argv(&["run", "--dataset", dir_s, "--pruning", "cnp", "--threads", "0"])).unwrap();
+        assert!(r.contains("CNP"), "{r}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

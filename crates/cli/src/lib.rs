@@ -32,9 +32,11 @@ USAGE:
          [--progress] [--report <report.json>]
   er sweep-filter --dataset <dir> [--step F]
 
-`--progress` prints per-stage progress lines to stderr as the pipeline
-runs; `--report` writes a JSON breakdown of every stage (wall/CPU time,
-block, comparison and edge counters) to the given path.
+`--threads N` runs the pruning sweeps on N workers (default 1; 0 =
+auto-detect the available parallelism); output is bit-identical to the
+sequential run. `--progress` prints per-stage progress lines to stderr as
+the pipeline runs; `--report` writes a JSON breakdown of every stage
+(wall/CPU time, block, comparison and edge counters) to the given path.
 ";
 
 /// Dispatches a command line (without the program name). Returns the text

@@ -33,6 +33,15 @@ impl<'b> GraphContext<'b> {
         GraphContext { blocks, index, cardinalities, split }
     }
 
+    /// Like [`GraphContext::new`], but builds the entity index with up to
+    /// `threads` workers ([`EntityIndex::build_parallel`]). The resulting
+    /// context is bit-identical to the sequential one for any thread count.
+    pub fn new_parallel(blocks: &'b BlockCollection, split: usize, threads: usize) -> Self {
+        let index = EntityIndex::build_parallel(blocks, threads);
+        let cardinalities = blocks.blocks().iter().map(|b| b.cardinality() as f64).collect();
+        GraphContext { blocks, index, cardinalities, split }
+    }
+
     /// Context for a Dirty-ER block collection.
     pub fn new_dirty(blocks: &'b BlockCollection) -> Self {
         debug_assert_eq!(blocks.kind(), ErKind::Dirty);

@@ -36,6 +36,21 @@ pub fn graph_free_meta_blocking(
     split: usize,
     r: f64,
     obs: &mut dyn Observer,
+    sink: impl FnMut(EntityId, EntityId),
+) -> Result<()> {
+    graph_free_meta_blocking_threads(blocks, split, r, 1, obs, sink)
+}
+
+/// [`graph_free_meta_blocking`] on up to `threads` workers (`0` =
+/// auto-detect): both the entity-index build and the propagation sweep run
+/// chunked, with output and counters bit-identical to the sequential run
+/// (see `DESIGN.md` §8).
+pub fn graph_free_meta_blocking_threads(
+    blocks: &er_model::BlockCollection,
+    split: usize,
+    r: f64,
+    threads: usize,
+    obs: &mut dyn Observer,
     mut sink: impl FnMut(EntityId, EntityId),
 ) -> Result<()> {
     let mut scope = StageScope::enter(obs, Stage::BlockFiltering);
@@ -50,13 +65,22 @@ pub fn graph_free_meta_blocking(
         scope.add(Counter::Entities, blocks.num_entities() as u64);
     }
     scope.finish();
+    let threads = crate::pipeline::resolve_threads(threads);
     let mut scope = StageScope::enter(obs, Stage::ComparisonPropagation);
-    let ctx = GraphContext::new(&filtered, split);
     let mut retained = 0u64;
-    comparison_propagation(&ctx, |a, b| {
-        retained += 1;
-        sink(a, b);
-    });
+    if threads > 1 {
+        let ctx = GraphContext::new_parallel(&filtered, split, threads);
+        for (a, b) in crate::parallel::comparison_propagation(&ctx, threads) {
+            retained += 1;
+            sink(a, b);
+        }
+    } else {
+        let ctx = GraphContext::new(&filtered, split);
+        comparison_propagation(&ctx, |a, b| {
+            retained += 1;
+            sink(a, b);
+        });
+    }
     scope.add(Counter::RetainedComparisons, retained);
     scope.finish();
     Ok(())
@@ -95,6 +119,36 @@ mod tests {
         // |B_2| = 2 -> limit 1 -> kept in b1. |B_3|,|B_4| = 1 -> kept in b2.
         // Surviving blocks: b0={0,1}, b1={2}, b2={3,4} -> b1 dropped.
         assert_eq!(got, vec![(0, 1), (3, 4)]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Large enough to split into several chunks (MIN_CHUNK = 256).
+        let n: u32 = 256 * 3 + 11;
+        let mut raw = Vec::new();
+        for i in (0..n - 3).step_by(2) {
+            raw.push(Block::dirty(ids(&[i, i + 1, i + 3])));
+        }
+        raw.push(Block::dirty(ids(&[0, n / 2, n - 1])));
+        let blocks = BlockCollection::new(ErKind::Dirty, n as usize, raw);
+        let mut seq = Vec::new();
+        graph_free_meta_blocking(&blocks, n as usize, 0.8, &mut mb_observe::Noop, |a, b| {
+            seq.push((a, b))
+        })
+        .unwrap();
+        for threads in [0, 2, 4, 8] {
+            let mut par = Vec::new();
+            graph_free_meta_blocking_threads(
+                &blocks,
+                n as usize,
+                0.8,
+                threads,
+                &mut mb_observe::Noop,
+                |a, b| par.push((a, b)),
+            )
+            .unwrap();
+            assert_eq!(par, seq, "graph-free output differs at {threads} threads");
+        }
     }
 
     #[test]

@@ -9,10 +9,14 @@
 //! sequential one, regardless of thread count or scheduling.
 
 use crate::context::GraphContext;
-use crate::scanner::{NeighborhoodScanner, ScanScope};
+use crate::pipeline::PruningScheme;
+use crate::prune::{Combine, WeightedEdge};
+use crate::scanner::{Accumulate, NeighborhoodScanner, ScanScope};
 use crate::weights::EdgeWeigher;
 use er_model::EntityId;
 use mb_observe::{Counter, Observer, Stage, StageScope};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Minimum nodes per chunk: below this, a thread's scanner setup outweighs
 /// its sweep, so tiny inputs must not fan out across the whole thread pool
@@ -113,6 +117,49 @@ where
     parts.concat()
 }
 
+/// Comparison Propagation's distinct-comparison sweep on `threads` workers:
+/// the same chunked node partition as the weighted sweeps, applied to the
+/// weight-free ScanCount deduplication of
+/// [`crate::propagation::comparison_propagation`]. Chunk-ordered
+/// concatenation reproduces the sequential pivot-ascending emission order
+/// exactly.
+pub fn comparison_propagation(ctx: &GraphContext<'_>, threads: usize) -> Vec<(EntityId, EntityId)> {
+    let n = ctx.num_entities() as u32;
+    let ranges = chunks(n, threads);
+    let parts: Vec<Vec<(EntityId, EntityId)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                scope.spawn(move || {
+                    let mut acc = Vec::new();
+                    let mut scanner = NeighborhoodScanner::new(ctx.num_entities());
+                    for raw in range {
+                        let pivot = EntityId(raw);
+                        if !ctx.is_first(pivot) {
+                            continue;
+                        }
+                        let hood = scanner.scan(
+                            ctx,
+                            pivot,
+                            Accumulate::CommonBlocks,
+                            ScanScope::GreaterOnly,
+                        );
+                        for &j in hood.ids {
+                            acc.push((pivot, EntityId(j)));
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    parts.concat()
+}
+
 /// The global mean edge weight, computed with `threads` workers — the WEP
 /// threshold.
 pub fn mean_edge_weight(
@@ -207,6 +254,392 @@ pub fn wep_observed(
     scope.add(Counter::EdgesWeighed, edges);
     scope.add(Counter::RetainedComparisons, retained);
     scope.finish();
+}
+
+/// Folds every non-empty node neighborhood into per-chunk accumulators, in
+/// parallel — the node-centric analogue of [`fold_edges`], mirroring
+/// [`crate::weighting::optimized::for_each_neighborhood`]: every pivot is
+/// scanned with [`ScanScope::All`], empty neighborhoods are skipped, and the
+/// `(ids, weights)` buffers are reused across a chunk's pivots.
+///
+/// Accumulators come back in chunk order (ascending node ranges), so a
+/// chunk-ordered concatenation reproduces the sequential pivot-ascending
+/// visit order exactly.
+pub fn fold_neighborhoods<T, I, F>(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    threads: usize,
+    init: I,
+    fold: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, EntityId, &[u32], &[f64]) + Sync,
+{
+    let n = ctx.num_entities() as u32;
+    let ranges = chunks(n, threads);
+    let accumulate = weigher.scheme().accumulate();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let init = &init;
+                let fold = &fold;
+                scope.spawn(move || {
+                    let mut acc = init();
+                    let mut scanner = NeighborhoodScanner::new(ctx.num_entities());
+                    let mut ids: Vec<u32> = Vec::new();
+                    let mut weights: Vec<f64> = Vec::new();
+                    for raw in range {
+                        let pivot = EntityId(raw);
+                        let hood = scanner.scan(ctx, pivot, accumulate, ScanScope::All);
+                        if hood.ids.is_empty() {
+                            continue;
+                        }
+                        ids.clear();
+                        weights.clear();
+                        ids.extend_from_slice(hood.ids);
+                        for &j in &ids {
+                            weights.push(weigher.weight(pivot, EntityId(j), hood.score_of(j)));
+                        }
+                        fold(&mut acc, pivot, &ids, &weights);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+/// Parallel CEP with per-stage telemetry: each chunk keeps its own bounded
+/// top-`K` min-heap; the per-chunk candidates are merged by sorting under
+/// the [`WeightedEdge`] total order and truncating to `K` — the global
+/// top-`K` is unique under that (strict) order, so the output is
+/// bit-identical to [`crate::prune::cep`] for any thread count, including
+/// the descending emission order.
+pub fn cep_observed(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    threads: usize,
+    obs: &mut dyn Observer,
+    mut sink: impl FnMut(EntityId, EntityId),
+) {
+    let k = crate::prune::cep_threshold(ctx);
+    if k == 0 {
+        return;
+    }
+    let mut scope = StageScope::enter(obs, Stage::EdgeWeighting);
+    let prealloc = crate::prune::heap_prealloc(k);
+    let parts = fold_edges(
+        ctx,
+        weigher,
+        threads,
+        || (BinaryHeap::with_capacity(prealloc), 0u64),
+        |acc: &mut (BinaryHeap<Reverse<WeightedEdge>>, u64), a, b, w| {
+            acc.1 += 1;
+            crate::prune::push_top_k(&mut acc.0, WeightedEdge { w, a: a.0, b: b.0 }, k);
+        },
+    );
+    let mut edges = 0u64;
+    let mut retained: Vec<WeightedEdge> = Vec::new();
+    for (heap, swept) in parts {
+        edges += swept;
+        retained.extend(heap.into_iter().map(|Reverse(e)| e));
+    }
+    scope.add(Counter::EdgesWeighed, edges);
+    scope.finish();
+    let mut scope = StageScope::enter(obs, Stage::Pruning);
+    retained.sort_unstable_by(|x, y| y.cmp(x));
+    retained.truncate(k);
+    #[cfg(feature = "sanitize")]
+    assert!(
+        retained.windows(2).all(|w| w[0] >= w[1]),
+        "mb-sanitize: parallel CEP emission order is not descending by weight"
+    );
+    scope.add(Counter::RetainedComparisons, retained.len() as u64);
+    for e in retained {
+        sink(EntityId(e.a), EntityId(e.b));
+    }
+    scope.finish();
+}
+
+/// Parallel CNP (original directed semantics) with per-stage telemetry:
+/// every chunk selects its pivots' top-`k` neighbors independently — the
+/// selection depends only on the pivot's own neighborhood — and the
+/// chunk-ordered concatenation reproduces [`crate::prune::cnp`] bit for bit.
+pub fn cnp_observed(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    threads: usize,
+    obs: &mut dyn Observer,
+    mut sink: impl FnMut(EntityId, EntityId),
+) {
+    let k = crate::prune::cnp_threshold(ctx);
+    let mut scope = StageScope::enter(obs, Stage::Pruning);
+    let parts = fold_neighborhoods(
+        ctx,
+        weigher,
+        threads,
+        || (Vec::new(), 0u64, 0u64),
+        |acc: &mut (Vec<(EntityId, EntityId)>, u64, u64), pivot, ids, weights| {
+            acc.1 += 1;
+            acc.2 += ids.len() as u64;
+            for j in crate::prune::top_k_neighbors(pivot, ids, weights, k) {
+                acc.0.push((pivot, EntityId(j)));
+            }
+        },
+    );
+    let (mut hoods, mut edges, mut retained) = (0u64, 0u64, 0u64);
+    for (kept, h, e) in parts {
+        hoods += h;
+        edges += e;
+        retained += kept.len() as u64;
+        for (a, b) in kept {
+            sink(a, b);
+        }
+    }
+    scope.add(Counter::NeighborhoodsScanned, hoods);
+    scope.add(Counter::EdgesWeighed, edges);
+    scope.add(Counter::RetainedComparisons, retained);
+    scope.finish();
+}
+
+/// Parallel WNP (original directed semantics) with per-stage telemetry:
+/// the per-neighborhood mean threshold is local to each pivot, so chunks
+/// are independent and the concatenation matches [`crate::prune::wnp`].
+pub fn wnp_observed(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    threads: usize,
+    obs: &mut dyn Observer,
+    mut sink: impl FnMut(EntityId, EntityId),
+) {
+    let mut scope = StageScope::enter(obs, Stage::Pruning);
+    let parts = fold_neighborhoods(
+        ctx,
+        weigher,
+        threads,
+        || (Vec::new(), 0u64, 0u64),
+        |acc: &mut (Vec<(EntityId, EntityId)>, u64, u64), pivot, ids, weights| {
+            acc.1 += 1;
+            acc.2 += ids.len() as u64;
+            let mean = crate::prune::neighborhood_mean(weights);
+            for (&j, &w) in ids.iter().zip(weights) {
+                if crate::prune::reaches(w, mean) {
+                    acc.0.push((pivot, EntityId(j)));
+                }
+            }
+        },
+    );
+    let (mut hoods, mut edges, mut retained) = (0u64, 0u64, 0u64);
+    for (kept, h, e) in parts {
+        hoods += h;
+        edges += e;
+        retained += kept.len() as u64;
+        for (a, b) in kept {
+            sink(a, b);
+        }
+    }
+    scope.add(Counter::NeighborhoodsScanned, hoods);
+    scope.add(Counter::EdgesWeighed, edges);
+    scope.add(Counter::RetainedComparisons, retained);
+    scope.finish();
+}
+
+/// Parallel two-phase CNP (Redefined with [`Combine::Either`], Reciprocal
+/// with [`Combine::Both`]): phase 1 builds every node's sorted top-`k`
+/// stack with a parallel neighborhood sweep; phase 2 intersects the stacks
+/// with a parallel edge sweep. Both phases are chunk-deterministic, so the
+/// result matches [`crate::prune::redefined_cnp`] /
+/// [`crate::prune::reciprocal_cnp`] bit for bit.
+pub(crate) fn two_phase_cnp_observed(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    threads: usize,
+    combine: Combine,
+    obs: &mut dyn Observer,
+    mut sink: impl FnMut(EntityId, EntityId),
+) {
+    let k = crate::prune::cnp_threshold(ctx);
+    let mut scope = StageScope::enter(obs, Stage::EdgeWeighting);
+    let parts = fold_neighborhoods(
+        ctx,
+        weigher,
+        threads,
+        || (Vec::new(), 0u64, 0u64),
+        |acc: &mut (Vec<(u32, Vec<u32>)>, u64, u64), pivot, ids, weights| {
+            acc.1 += 1;
+            acc.2 += ids.len() as u64;
+            acc.0.push((pivot.0, crate::prune::top_k_neighbors(pivot, ids, weights, k)));
+        },
+    );
+    let mut stacks: Vec<Vec<u32>> = vec![Vec::new(); ctx.num_entities()];
+    let (mut hoods, mut directed_edges) = (0u64, 0u64);
+    for (chunk, h, e) in parts {
+        hoods += h;
+        directed_edges += e;
+        for (pivot, stack) in chunk {
+            stacks[pivot as usize] = stack;
+        }
+    }
+    scope.add(Counter::NeighborhoodsScanned, hoods);
+    scope.add(Counter::EdgesWeighed, directed_edges);
+    scope.finish();
+    #[cfg(feature = "sanitize")]
+    for (i, s) in stacks.iter().enumerate() {
+        assert!(
+            s.len() <= k,
+            "mb-sanitize: top-k stack of entity {i} holds {} neighbors, k = {k}",
+            s.len()
+        );
+        assert!(
+            s.windows(2).all(|w| w[0] < w[1]),
+            "mb-sanitize: top-k stack of entity {i} is not strictly ascending"
+        );
+    }
+    let mut scope = StageScope::enter(obs, Stage::Pruning);
+    let stacks = &stacks;
+    let parts = fold_edges(
+        ctx,
+        weigher,
+        threads,
+        || (Vec::new(), 0u64),
+        |acc: &mut (Vec<(EntityId, EntityId)>, u64), a, b, _w| {
+            acc.1 += 1;
+            let in_a = stacks[a.idx()].binary_search(&b.0).is_ok();
+            let in_b = stacks[b.idx()].binary_search(&a.0).is_ok();
+            let retain = match combine {
+                Combine::Either => in_a || in_b,
+                Combine::Both => in_a && in_b,
+            };
+            if retain {
+                acc.0.push((a, b));
+            }
+        },
+    );
+    let (mut edges, mut retained) = (0u64, 0u64);
+    for (kept, swept) in parts {
+        edges += swept;
+        retained += kept.len() as u64;
+        for (a, b) in kept {
+            sink(a, b);
+        }
+    }
+    scope.add(Counter::EdgesWeighed, edges);
+    scope.add(Counter::RetainedComparisons, retained);
+    scope.finish();
+}
+
+/// Parallel two-phase WNP (Redefined with [`Combine::Either`], Reciprocal
+/// with [`Combine::Both`]): phase 1 computes every node's local mean
+/// threshold in parallel; phase 2 applies the thresholds with a parallel
+/// edge sweep. Matches [`crate::prune::redefined_wnp`] /
+/// [`crate::prune::reciprocal_wnp`] bit for bit.
+pub(crate) fn two_phase_wnp_observed(
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    threads: usize,
+    combine: Combine,
+    obs: &mut dyn Observer,
+    mut sink: impl FnMut(EntityId, EntityId),
+) {
+    let mut scope = StageScope::enter(obs, Stage::EdgeWeighting);
+    let parts = fold_neighborhoods(
+        ctx,
+        weigher,
+        threads,
+        || (Vec::new(), 0u64, 0u64),
+        |acc: &mut (Vec<(u32, f64)>, u64, u64), pivot, ids, weights| {
+            acc.1 += 1;
+            acc.2 += ids.len() as u64;
+            acc.0.push((pivot.0, crate::prune::neighborhood_mean(weights)));
+        },
+    );
+    // Nodes with no neighborhood keep +∞ — they have no edge to retain.
+    let mut thresholds = vec![f64::INFINITY; ctx.num_entities()];
+    let (mut hoods, mut directed_edges) = (0u64, 0u64);
+    for (chunk, h, e) in parts {
+        hoods += h;
+        directed_edges += e;
+        for (pivot, mean) in chunk {
+            thresholds[pivot as usize] = mean;
+        }
+    }
+    scope.add(Counter::NeighborhoodsScanned, hoods);
+    scope.add(Counter::EdgesWeighed, directed_edges);
+    scope.finish();
+    #[cfg(feature = "sanitize")]
+    for (i, &t) in thresholds.iter().enumerate() {
+        assert!(!t.is_nan(), "mb-sanitize: WNP threshold of entity {i} is NaN");
+    }
+    let mut scope = StageScope::enter(obs, Stage::Pruning);
+    let thresholds = &thresholds;
+    let parts = fold_edges(
+        ctx,
+        weigher,
+        threads,
+        || (Vec::new(), 0u64),
+        |acc: &mut (Vec<(EntityId, EntityId)>, u64), a, b, w| {
+            acc.1 += 1;
+            let over_a = crate::prune::reaches(w, thresholds[a.idx()]);
+            let over_b = crate::prune::reaches(w, thresholds[b.idx()]);
+            let retain = match combine {
+                Combine::Either => over_a || over_b,
+                Combine::Both => over_a && over_b,
+            };
+            if retain {
+                acc.0.push((a, b));
+            }
+        },
+    );
+    let (mut edges, mut retained) = (0u64, 0u64);
+    for (kept, swept) in parts {
+        edges += swept;
+        retained += kept.len() as u64;
+        for (a, b) in kept {
+            sink(a, b);
+        }
+    }
+    scope.add(Counter::EdgesWeighed, edges);
+    scope.add(Counter::RetainedComparisons, retained);
+    scope.finish();
+}
+
+/// Dispatches any pruning scheme to its parallel observed implementation —
+/// the multi-threaded counterpart of the `match` in
+/// [`crate::MetaBlocking::run`]. Output and counter totals are identical to
+/// the sequential pruner for any thread count.
+pub fn run_pruning_observed(
+    scheme: PruningScheme,
+    ctx: &GraphContext<'_>,
+    weigher: &EdgeWeigher<'_, '_>,
+    threads: usize,
+    obs: &mut dyn Observer,
+    sink: impl FnMut(EntityId, EntityId),
+) {
+    match scheme {
+        PruningScheme::Cep => cep_observed(ctx, weigher, threads, obs, sink),
+        PruningScheme::Cnp => cnp_observed(ctx, weigher, threads, obs, sink),
+        PruningScheme::Wep => wep_observed(ctx, weigher, threads, obs, sink),
+        PruningScheme::Wnp => wnp_observed(ctx, weigher, threads, obs, sink),
+        PruningScheme::RedefinedCnp => {
+            two_phase_cnp_observed(ctx, weigher, threads, Combine::Either, obs, sink)
+        }
+        PruningScheme::ReciprocalCnp => {
+            two_phase_cnp_observed(ctx, weigher, threads, Combine::Both, obs, sink)
+        }
+        PruningScheme::RedefinedWnp => {
+            two_phase_wnp_observed(ctx, weigher, threads, Combine::Either, obs, sink)
+        }
+        PruningScheme::ReciprocalWnp => {
+            two_phase_wnp_observed(ctx, weigher, threads, Combine::Both, obs, sink)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +791,80 @@ mod tests {
                     c.name()
                 );
             }
+        }
+    }
+
+    fn run_sequential(
+        scheme: PruningScheme,
+        ctx: &GraphContext<'_>,
+        weigher: &EdgeWeigher<'_, '_>,
+    ) -> (mb_observe::RunReport, Vec<(EntityId, EntityId)>) {
+        let imp = crate::weighting::WeightingImpl::Optimized;
+        let mut report = mb_observe::RunReport::new("seq");
+        let mut out = Vec::new();
+        let sink = |a: EntityId, b: EntityId| out.push((a, b));
+        match scheme {
+            PruningScheme::Cep => crate::prune::cep(ctx, weigher, imp, &mut report, sink),
+            PruningScheme::Cnp => crate::prune::cnp(ctx, weigher, imp, &mut report, sink),
+            PruningScheme::Wep => crate::prune::wep(ctx, weigher, imp, &mut report, sink),
+            PruningScheme::Wnp => crate::prune::wnp(ctx, weigher, imp, &mut report, sink),
+            PruningScheme::RedefinedCnp => {
+                crate::prune::redefined_cnp(ctx, weigher, imp, &mut report, sink)
+            }
+            PruningScheme::ReciprocalCnp => {
+                crate::prune::reciprocal_cnp(ctx, weigher, imp, &mut report, sink)
+            }
+            PruningScheme::RedefinedWnp => {
+                crate::prune::redefined_wnp(ctx, weigher, imp, &mut report, sink)
+            }
+            PruningScheme::ReciprocalWnp => {
+                crate::prune::reciprocal_wnp(ctx, weigher, imp, &mut report, sink)
+            }
+        }
+        (report, out)
+    }
+
+    /// The tentpole acceptance criterion, at the unit level: every pruning
+    /// scheme's parallel output is bit-identical to its sequential output
+    /// for every tested thread count, with identical counter totals.
+    #[test]
+    fn every_scheme_parallel_matches_sequential_with_invariant_counters() {
+        let blocks = large_fixture();
+        let ctx = GraphContext::new_dirty(&blocks);
+        for scheme in PruningScheme::ALL {
+            let weigher = EdgeWeigher::new(WeightingScheme::Ecbs, &ctx);
+            let (seq_report, seq_out) = run_sequential(scheme, &ctx, &weigher);
+            for threads in [1, 2, 4, 8, 16] {
+                let mut report = mb_observe::RunReport::new("par");
+                let mut out = Vec::new();
+                run_pruning_observed(scheme, &ctx, &weigher, threads, &mut report, |a, b| {
+                    out.push((a, b))
+                });
+                assert_eq!(out, seq_out, "{} output differs at {threads} threads", scheme.name());
+                for c in Counter::ALL {
+                    assert_eq!(
+                        report.counter_total(c),
+                        seq_report.counter_total(c),
+                        "{}: counter {} differs at {threads} threads",
+                        scheme.name(),
+                        c.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_scheme_parallel_handles_empty_graph() {
+        let blocks = BlockCollection::new(ErKind::Dirty, 4, vec![]);
+        let ctx = GraphContext::new_dirty(&blocks);
+        let weigher = EdgeWeigher::new(WeightingScheme::Cbs, &ctx);
+        for scheme in PruningScheme::ALL {
+            let mut out = Vec::new();
+            run_pruning_observed(scheme, &ctx, &weigher, 4, &mut mb_observe::Noop, |a, b| {
+                out.push((a, b))
+            });
+            assert!(out.is_empty(), "{}", scheme.name());
         }
     }
 

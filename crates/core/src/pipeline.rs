@@ -12,7 +12,7 @@
 
 use crate::context::GraphContext;
 use crate::filter::block_filtering;
-use crate::graphfree::graph_free_meta_blocking;
+use crate::graphfree::graph_free_meta_blocking_threads;
 use crate::prune;
 use crate::weights::{EdgeWeigher, WeightingScheme};
 use er_model::{BlockCollection, EntityId, ErKind, Result};
@@ -152,8 +152,9 @@ pub struct PipelineConfig {
     pub weighting_impl: WeightingImpl,
     /// Block Filtering ratio in `(0, 1]`, or `None` to skip filtering.
     pub filter_ratio: Option<f64>,
-    /// Worker threads for the parallel pruning paths (1 = sequential; only
-    /// WEP under Optimized weighting currently parallelizes).
+    /// Worker threads for the parallel pruning paths: 1 = sequential, `n` =
+    /// up to `n` workers, 0 = auto-detect the available parallelism. Every
+    /// pruning scheme parallelizes under Optimized weighting.
     pub threads: usize,
     /// Whether binaries should attach the human progress printer.
     pub progress: bool,
@@ -172,19 +173,36 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Resolves a raw worker-thread count: `0` means auto-detect via
+/// [`std::thread::available_parallelism`] (falling back to 1 when it cannot
+/// be determined); any other value is taken as-is.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
 impl PipelineConfig {
-    /// Checks the invariants a run relies on: filter ratio in `(0, 1]`,
-    /// at least one thread.
+    /// Checks the invariants a run relies on: filter ratio in `(0, 1]`.
+    /// `threads == 0` is valid and means auto-detect
+    /// (see [`PipelineConfig::effective_threads`]).
     pub fn validate(&self) -> std::result::Result<(), String> {
         if let Some(r) = self.filter_ratio {
             if !(r > 0.0 && r <= 1.0) {
                 return Err(format!("filter ratio {r} outside (0, 1]"));
             }
         }
-        if self.threads == 0 {
-            return Err("thread count must be at least 1".into());
-        }
         Ok(())
+    }
+
+    /// The worker-thread count a run actually uses: `threads` itself, or —
+    /// when it is 0 — the machine's available parallelism
+    /// ([`std::thread::available_parallelism`], falling back to 1 when it
+    /// cannot be determined).
+    pub fn effective_threads(&self) -> usize {
+        resolve_threads(self.threads)
     }
 
     /// Serializes to a single-line JSON object.
@@ -333,10 +351,10 @@ impl MetaBlocking {
     }
 
     /// Sets the worker-thread count for the parallel pruning paths
-    /// (default 1 = sequential).
+    /// (default 1 = sequential; 0 = auto-detect).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.config.threads = threads.max(1);
+        self.config.threads = threads;
         self
     }
 
@@ -390,11 +408,17 @@ impl MetaBlocking {
             None => blocks,
         };
         let split = if blocks.kind() == ErKind::Dirty { blocks.num_entities() } else { split };
+        let threads = self.config.effective_threads();
         // Building the graph context (entity index) and the weigher's
         // per-scheme statistics is the fixed cost of every graph-based
-        // scheme; it reports as the first EdgeWeighting record.
+        // scheme; it reports as the first EdgeWeighting record. The index
+        // build itself is sharded across the workers.
         let mut scope = StageScope::enter(obs, Stage::EdgeWeighting);
-        let ctx = GraphContext::new(input, split);
+        let ctx = if threads > 1 {
+            GraphContext::new_parallel(input, split, threads)
+        } else {
+            GraphContext::new(input, split)
+        };
         let weigher = EdgeWeigher::new(self.config.weighting, &ctx);
         if scope.enabled() {
             scope.add(Counter::Entities, ctx.num_entities() as u64);
@@ -430,13 +454,18 @@ impl MetaBlocking {
                 inner(a, b)
             }
         };
-        // The parallel path: WEP's two edge sweeps distribute cleanly and
-        // reproduce the sequential output (and counters) bit for bit.
-        if self.config.threads > 1
-            && self.config.pruning == PruningScheme::Wep
-            && imp == WeightingImpl::Optimized
-        {
-            crate::parallel::wep_observed(&ctx, &weigher, self.config.threads, obs, &mut sink);
+        // The parallel path: every scheme's chunked sweeps distribute
+        // cleanly under Optimized weighting and reproduce the sequential
+        // output (and counters) bit for bit.
+        if threads > 1 && imp == WeightingImpl::Optimized {
+            crate::parallel::run_pruning_observed(
+                self.config.pruning,
+                &ctx,
+                &weigher,
+                threads,
+                obs,
+                &mut sink,
+            );
             return Ok(());
         }
         match self.config.pruning {
@@ -485,8 +514,22 @@ pub fn run_graph_free(
     obs: &mut dyn Observer,
     sink: impl FnMut(EntityId, EntityId),
 ) -> Result<()> {
+    run_graph_free_threads(blocks, split, r, 1, obs, sink)
+}
+
+/// [`run_graph_free`] on up to `threads` workers (`0` = auto-detect):
+/// parallel entity-index build and propagation sweep, output and counters
+/// bit-identical to the sequential run.
+pub fn run_graph_free_threads(
+    blocks: &BlockCollection,
+    split: usize,
+    r: f64,
+    threads: usize,
+    obs: &mut dyn Observer,
+    sink: impl FnMut(EntityId, EntityId),
+) -> Result<()> {
     let split = if blocks.kind() == ErKind::Dirty { blocks.num_entities() } else { split };
-    graph_free_meta_blocking(blocks, split, r, obs, sink)
+    graph_free_meta_blocking_threads(blocks, split, r, threads, obs, sink)
 }
 
 #[cfg(test)]
@@ -555,13 +598,61 @@ mod tests {
     fn config_rejects_bad_input() {
         assert!(PipelineConfig::from_json_str("{\"weighting\":\"zzz\"}").is_err());
         assert!(PipelineConfig::from_json_str("{\"filter_ratio\":2.0}").is_err());
-        assert!(PipelineConfig::from_json_str("{\"threads\":0}").is_err());
+        assert!(PipelineConfig::from_json_str("{\"threads\":-1}").is_err());
         assert!(PipelineConfig::from_json_str("{\"no_such_key\":1}").is_err());
         assert!(PipelineConfig::from_json_str("[1,2]").is_err());
         // Partial configs fill in defaults.
         let cfg = PipelineConfig::from_json_str("{\"pruning\":\"cep\"}").unwrap();
         assert_eq!(cfg.pruning, PruningScheme::Cep);
         assert_eq!(cfg.weighting, WeightingScheme::Js);
+    }
+
+    #[test]
+    fn threads_zero_means_auto_detect() {
+        // `"threads": 0` is accepted and resolves to the machine's available
+        // parallelism at run time, never to 0 workers.
+        let cfg = PipelineConfig::from_json_str("{\"threads\":0}").unwrap();
+        assert_eq!(cfg.threads, 0);
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.effective_threads() >= 1);
+        // Round-trips: the stored (not the resolved) value is serialized.
+        let back: PipelineConfig = cfg.to_json_string().parse().unwrap();
+        assert_eq!(back.threads, 0);
+        // Explicit counts pass through unchanged.
+        let four = PipelineConfig { threads: 4, ..PipelineConfig::default() };
+        assert_eq!(four.effective_threads(), 4);
+        // The builder keeps 0 as auto rather than clamping it away.
+        assert_eq!(MetaBlocking::default().with_threads(0).config().threads, 0);
+    }
+
+    /// Every scheme routed through the parallel path produces the same
+    /// output as the sequential pipeline (threads = 1), for both ER kinds.
+    #[test]
+    fn parallel_pipeline_matches_sequential_for_every_scheme() {
+        let dirty = fixture();
+        let clean = BlockCollection::new(
+            ErKind::CleanClean,
+            6,
+            vec![
+                Block::clean_clean(ids(&[0, 1]), ids(&[3, 4])),
+                Block::clean_clean(ids(&[0]), ids(&[3])),
+                Block::clean_clean(ids(&[2]), ids(&[5])),
+            ],
+        );
+        for (blocks, split) in [(&dirty, 4usize), (&clean, 3usize)] {
+            for pruning in PruningScheme::ALL {
+                let seq = MetaBlocking::new(WeightingScheme::Js, pruning)
+                    .run_collect(blocks, split)
+                    .unwrap();
+                for threads in [2, 8] {
+                    let par = MetaBlocking::new(WeightingScheme::Js, pruning)
+                        .with_threads(threads)
+                        .run_collect(blocks, split)
+                        .unwrap();
+                    assert_eq!(par, seq, "{} x{threads}", pruning.name());
+                }
+            }
+        }
     }
 
     #[test]

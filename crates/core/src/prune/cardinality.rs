@@ -12,10 +12,10 @@ use std::collections::BinaryHeap;
 /// A weighted edge with a total order: by weight, then by ids — which makes
 /// every top-`K` selection deterministic even under weight ties.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct WeightedEdge {
-    w: f64,
-    a: u32,
-    b: u32,
+pub(crate) struct WeightedEdge {
+    pub(crate) w: f64,
+    pub(crate) a: u32,
+    pub(crate) b: u32,
 }
 
 impl Eq for WeightedEdge {}
@@ -38,6 +38,36 @@ impl PartialOrd for WeightedEdge {
 /// The global cardinality threshold of CEP: `K = ⌊Σ_{b∈B} |b| / 2⌋`.
 pub fn cep_threshold(ctx: &GraphContext<'_>) -> usize {
     (ctx.blocks().total_assignments() / 2) as usize
+}
+
+/// Cap on a top-`K` heap's up-front reservation. `K` is derived from the
+/// total block assignments, so on large collections it can demand hundreds
+/// of MB before a single edge arrives — and when the graph holds fewer than
+/// `K` edges most of that memory would never be touched. Reserve a bounded
+/// prefix and let the heap grow on demand (amortized, and only as far as
+/// the edges actually seen).
+pub(crate) const MAX_HEAP_PREALLOC: usize = 1 << 16;
+
+/// The initial capacity for a top-`K` min-heap: `K + 1` when small, capped
+/// by [`MAX_HEAP_PREALLOC`].
+pub(crate) fn heap_prealloc(k: usize) -> usize {
+    (k + 1).min(MAX_HEAP_PREALLOC)
+}
+
+/// Offers `edge` to a bounded min-heap keeping the `k` largest edges under
+/// the [`WeightedEdge`] total order.
+#[inline]
+pub(crate) fn push_top_k(
+    heap: &mut BinaryHeap<Reverse<WeightedEdge>>,
+    edge: WeightedEdge,
+    k: usize,
+) {
+    if heap.len() < k {
+        heap.push(Reverse(edge));
+    } else if heap.peek().is_some_and(|Reverse(min)| *min < edge) {
+        heap.pop();
+        heap.push(Reverse(edge));
+    }
 }
 
 /// Cardinality Edge Pruning: retains the top-`K` weighted edges of the
@@ -63,17 +93,11 @@ pub fn cep(
     }
     let mut scope = StageScope::enter(obs, Stage::EdgeWeighting);
     // Min-heap of the K best edges seen so far.
-    let mut heap: BinaryHeap<Reverse<WeightedEdge>> = BinaryHeap::with_capacity(k + 1);
+    let mut heap: BinaryHeap<Reverse<WeightedEdge>> = BinaryHeap::with_capacity(heap_prealloc(k));
     let mut edges = 0u64;
     weighting::for_each_edge(imp, ctx, weigher, |a, b, w| {
         edges += 1;
-        let edge = WeightedEdge { w, a: a.0, b: b.0 };
-        if heap.len() < k {
-            heap.push(Reverse(edge));
-        } else if heap.peek().is_some_and(|Reverse(min)| *min < edge) {
-            heap.pop();
-            heap.push(Reverse(edge));
-        }
+        push_top_k(&mut heap, WeightedEdge { w, a: a.0, b: b.0 }, k);
     });
     scope.add(Counter::EdgesWeighed, edges);
     scope.finish();
@@ -111,7 +135,7 @@ pub fn cnp_threshold(ctx: &GraphContext<'_>) -> usize {
 /// Selects the top-`k` neighbors of one neighborhood, deterministically.
 /// Returns them sorted by neighbor id (for the binary-search membership
 /// tests of the two-phase variants).
-fn top_k_neighbors(pivot: EntityId, ids: &[u32], weights: &[f64], k: usize) -> Vec<u32> {
+pub(crate) fn top_k_neighbors(pivot: EntityId, ids: &[u32], weights: &[f64], k: usize) -> Vec<u32> {
     let mut edges: Vec<WeightedEdge> = ids
         .iter()
         .zip(weights)

@@ -27,7 +27,8 @@ mod cardinality;
 mod weight_based;
 
 pub use cardinality::{cep, cep_threshold, cnp, cnp_threshold, reciprocal_cnp, redefined_cnp};
-pub(crate) use weight_based::reaches;
+pub(crate) use cardinality::{heap_prealloc, push_top_k, top_k_neighbors, WeightedEdge};
+pub(crate) use weight_based::{neighborhood_mean, reaches};
 pub use weight_based::{reciprocal_wnp, redefined_wnp, wep, wnp};
 
 /// How a two-phase node-centric scheme combines its endpoints' criteria

@@ -67,7 +67,7 @@ pub fn wep(
 }
 
 /// The mean weight of one node neighborhood — WNP's local threshold.
-fn neighborhood_mean(weights: &[f64]) -> f64 {
+pub(crate) fn neighborhood_mean(weights: &[f64]) -> f64 {
     weights.iter().sum::<f64>() / weights.len() as f64
 }
 

@@ -11,6 +11,58 @@
 use crate::block::BlockCollection;
 use crate::ids::{BlockId, EntityId};
 
+/// Minimum blocks per construction shard: below this, spawning a worker
+/// costs more than counting its assignments, so small collections build
+/// sequentially no matter how many threads are configured.
+const MIN_BLOCKS_PER_SHARD: usize = 256;
+
+/// Minimum entities per merge worker (same rationale).
+const MIN_ENTITIES_PER_MERGE: usize = 1024;
+
+/// Splits `0..n` into at most `threads` contiguous chunks of near-equal
+/// size, none smaller than `floor` (except the only chunk of a small input).
+fn chunk_ranges(n: usize, threads: usize, floor: usize) -> Vec<std::ops::Range<usize>> {
+    let max_useful = n.div_ceil(floor.max(1)).max(1);
+    let threads = threads.max(1).min(max_useful);
+    let per = n.div_ceil(threads).max(1);
+    (0..threads)
+        .map(|t| (t * per).min(n)..((t + 1) * per).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Builds the inverted-index shard of one contiguous block range: the same
+/// two-pass count/fill as [`EntityIndex::build`], over `blocks[range]` only,
+/// storing global block ids.
+fn build_shard(blocks: &BlockCollection, range: std::ops::Range<usize>) -> EntityIndex {
+    let n = blocks.num_entities();
+    let slice = &blocks.blocks()[range.clone()];
+    let mut counts = vec![0u32; n];
+    for b in slice {
+        for e in b.entities() {
+            counts[e.idx()] += 1;
+        }
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut acc = 0u32;
+    offsets.push(0);
+    for &c in &counts {
+        acc += c;
+        offsets.push(acc);
+    }
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    let mut lists = vec![0u32; acc as usize];
+    for (k, b) in slice.iter().enumerate() {
+        let id = (range.start + k) as u32;
+        for e in b.entities() {
+            let c = &mut cursor[e.idx()];
+            lists[*c as usize] = id;
+            *c += 1;
+        }
+    }
+    EntityIndex { lists, offsets }
+}
+
 /// Inverted index from entity id to the ascending list of containing block
 /// ids.
 #[derive(Debug, Clone)]
@@ -59,6 +111,75 @@ impl EntityIndex {
         let index = EntityIndex { lists, offsets };
         #[cfg(feature = "sanitize")]
         crate::sanitize::assert_valid(&index.validate(blocks), "EntityIndex::build");
+        index
+    }
+
+    /// Builds the index with up to `threads` workers, bit-identical to
+    /// [`EntityIndex::build`].
+    ///
+    /// The block range is split into contiguous chunks; every worker builds
+    /// a private inverted-index shard over its chunk (global block ids, so
+    /// each entity's shard sub-list is ascending). The shards are then
+    /// merged by concatenating, per entity, its sub-lists in chunk order —
+    /// chunk order is ascending block-id order, so the merged list equals
+    /// the sequential build's. The merge itself is also parallel: each
+    /// worker owns a contiguous entity range, whose assignments form a
+    /// contiguous slice of the flat `lists` buffer.
+    pub fn build_parallel(blocks: &BlockCollection, threads: usize) -> Self {
+        let num_blocks = blocks.blocks().len();
+        let ranges = chunk_ranges(num_blocks, threads, MIN_BLOCKS_PER_SHARD);
+        if ranges.len() <= 1 {
+            return Self::build(blocks);
+        }
+        let shards: Vec<EntityIndex> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .cloned()
+                .map(|range| scope.spawn(move || build_shard(blocks, range)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        let n = blocks.num_entities();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for e in 0..n {
+            for s in &shards {
+                acc += s.offsets[e + 1] - s.offsets[e];
+            }
+            offsets.push(acc);
+        }
+        let mut lists = vec![0u32; acc as usize];
+        let entity_ranges = chunk_ranges(n, threads, MIN_ENTITIES_PER_MERGE);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [u32] = &mut lists;
+            let mut handles = Vec::new();
+            for range in entity_ranges {
+                let len = (offsets[range.end] - offsets[range.start]) as usize;
+                let (mine, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let shards = &shards;
+                handles.push(scope.spawn(move || {
+                    let mut out = 0usize;
+                    for e in range {
+                        for s in shards {
+                            let sub = &s.lists[s.offsets[e] as usize..s.offsets[e + 1] as usize];
+                            mine[out..out + sub.len()].copy_from_slice(sub);
+                            out += sub.len();
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            }
+        });
+        let index = EntityIndex { lists, offsets };
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::assert_valid(&index.validate(blocks), "EntityIndex::build_parallel");
         index
     }
 
@@ -272,6 +393,62 @@ mod tests {
         assert!(dangling[0].message.contains("block 99"), "{}", dangling[0].message);
         // The real assignment to block 1 is gone as well.
         assert!(v.iter().any(|v| v.invariant == "missing-assignment"));
+    }
+
+    /// Enough blocks to exceed the shard floor several times over, so the
+    /// parallel path is actually exercised (small inputs fall back to the
+    /// sequential build).
+    fn many_blocks() -> BlockCollection {
+        let n = 600u32;
+        let mut blocks = Vec::new();
+        for i in 0..MIN_BLOCKS_PER_SHARD as u32 * 4 {
+            let a = i % n;
+            let b = (i * 7 + 3) % n;
+            let c = (i * 13 + 1) % n;
+            let mut members = vec![a, b, c];
+            members.sort_unstable();
+            members.dedup();
+            blocks.push(Block::dirty(ids(&members)));
+        }
+        BlockCollection::new(ErKind::Dirty, n as usize, blocks)
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let blocks = many_blocks();
+        let seq = EntityIndex::build(&blocks);
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let par = EntityIndex::build_parallel(&blocks, threads);
+            let (pl, po) = par.into_raw_parts();
+            let (sl, so) = seq.clone().into_raw_parts();
+            assert_eq!(po, so, "offsets differ at {threads} threads");
+            assert_eq!(pl, sl, "lists differ at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_build_falls_back_on_small_inputs() {
+        // A handful of blocks must not fan out; the result is still correct.
+        let blocks = sample();
+        let par = EntityIndex::build_parallel(&blocks, 16);
+        assert_eq!(par.block_list(EntityId(1)), &[0, 1, 2]);
+        assert!(par.validate(&blocks).is_empty());
+    }
+
+    #[test]
+    fn chunk_ranges_cover_and_floor() {
+        for n in [0usize, 1, 255, 256, 257, 10_000] {
+            for t in [1usize, 2, 8, 64] {
+                let cs = chunk_ranges(n, t, 256);
+                let total: usize = cs.iter().map(|r| r.end - r.start).sum();
+                assert_eq!(total, n, "n={n} t={t}");
+                for w in cs.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+            }
+        }
+        assert_eq!(chunk_ranges(256, 16, 256).len(), 1);
+        assert_eq!(chunk_ranges(512, 16, 256).len(), 2);
     }
 
     #[test]

@@ -39,10 +39,11 @@ fn main() {
         let (_, slow) = timer::time(|| original::for_each_edge(&ctx, &weigher, |_, _, _| {}));
         let mut n = 0u64;
         let (res, free) = timer::time(|| {
-            mb_core::pipeline::run_graph_free(
+            mb_core::pipeline::run_graph_free_threads(
                 &blocks,
                 d.collection.split(),
                 0.55,
+                er_eval::threads_from_env(),
                 &mut stage_report,
                 |_, _| n += 1,
             )

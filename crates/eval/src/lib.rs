@@ -51,3 +51,13 @@ pub fn must<T, E: std::fmt::Display>(res: Result<T, E>) -> T {
         Err(e) => panic!("statically-valid configuration rejected: {e}"),
     }
 }
+
+/// Worker-thread count for the experiment pipelines, from the `MB_THREADS`
+/// environment variable: unset or unparsable means 1 (sequential, the
+/// paper-faithful default), `0` means auto-detect
+/// ([`mb_core::pipeline::PipelineConfig::effective_threads`]), any other
+/// number is used as-is. Parallel runs produce bit-identical outputs, so
+/// every table and figure is unaffected — only OTime changes.
+pub fn threads_from_env() -> usize {
+    std::env::var("MB_THREADS").ok().and_then(|v| v.trim().parse().ok()).unwrap_or(1)
+}

@@ -51,7 +51,9 @@ pub fn evaluate_observed(
     block_filtering: Option<f64>,
     obs: &mut dyn Observer,
 ) -> EvaluationRow {
-    let mut pipeline = MetaBlocking::new(scheme, pruning).with_weighting_impl(imp);
+    let mut pipeline = MetaBlocking::new(scheme, pruning)
+        .with_weighting_impl(imp)
+        .with_threads(crate::threads_from_env());
     if let Some(r) = block_filtering {
         pipeline = pipeline.with_block_filtering(r);
     }

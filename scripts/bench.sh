@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The perf-trajectory harness: runs the pruning-scaling bench (every pruning
+# scheme x 1/2/4/8 threads, plus the raw edge-weighting sweep) and the
+# classic pruning + edge-weighting benches on the fixed synthetic workload.
+#
+# Writes BENCH_pruning.json at the repository root — scheme x threads x
+# wall-ms records plus the machine's detected core count — so the scaling
+# behavior is comparable commit over commit. Speedups are bounded by the
+# cores the machine actually has; the JSON records that bound.
+#
+# Environment knobs:
+#   BENCH_SAMPLE_SIZE  timed samples per cell (default 5; use 2 for a quick
+#                      run, more for stable numbers)
+#   BENCH_OUT          output path for the JSON (default BENCH_pruning.json
+#                      at the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> pruning-scaling bench (writes ${BENCH_OUT:-BENCH_pruning.json})"
+cargo bench -p er-bench --bench pruning_scaling
+
+echo "==> pruning bench"
+cargo bench -p er-bench --bench pruning
+
+echo "==> edge-weighting bench"
+cargo bench -p er-bench --bench edge_weighting
+
+echo "Bench run complete."

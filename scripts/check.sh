@@ -2,8 +2,19 @@
 # The full local gate, in dependency order: style, compile, lint, tests.
 # ROADMAP.md's tier-1 verify line is the `build` + `test` subset; this script
 # is the superset a change should pass before review.
+#
+# --bench-smoke additionally compiles every bench target without running it,
+# so bench-only breakage is caught by CI without paying bench runtime.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -19,5 +30,10 @@ cargo test -q
 
 echo "==> cargo test -q --features sanitize"
 cargo test -q --features sanitize
+
+if [ "$BENCH_SMOKE" -eq 1 ]; then
+  echo "==> cargo bench -p er-bench --no-run (bench smoke)"
+  cargo bench -p er-bench --no-run
+fi
 
 echo "All checks passed."
