@@ -95,11 +95,11 @@ impl IterativeBlocking {
 
         let mut order: Vec<u32> = (0..blocks.size() as u32).collect();
         if self.order_by_cardinality {
-            order.sort_by_key(|&k| blocks.blocks()[k as usize].cardinality());
+            order.sort_by_key(|&k| blocks.block(k as usize).cardinality());
         }
 
         for &k in &order {
-            blocks.blocks()[k as usize].for_each_comparison(|a: EntityId, b: EntityId| {
+            blocks.block(k as usize).for_each_comparison(|a: EntityId, b: EntityId| {
                 // Propagation: a pair already merged (directly or
                 // transitively) is one entity — no comparison needed.
                 if clusters.same(a.0, b.0) {
@@ -129,7 +129,7 @@ impl IterativeBlocking {
         );
         if scope.enabled() {
             scope.add(Counter::Entities, n as u64);
-            scope.add(Counter::BlocksIn, blocks.blocks().len() as u64);
+            scope.add(Counter::BlocksIn, blocks.size() as u64);
             scope.add(Counter::ComparisonsIn, blocks.total_comparisons());
             scope.add(Counter::RetainedComparisons, executed);
             scope.add(Counter::MatchesFound, matches_found as u64);

@@ -4,7 +4,7 @@ use crate::builder::KeyBlockBuilder;
 use crate::method::BlockingMethod;
 use er_model::fxhash::FxHashMap;
 use er_model::matching::jaccard_sorted;
-use er_model::tokenize::{tokens, Interner};
+use er_model::tokenize::{push_lowercase, raw_tokens, KeyScratch, TokenInterner};
 use er_model::{BlockCollection, EntityCollection, ErKind};
 
 /// Attribute-Clustering Blocking: a middle ground between schema-agnostic
@@ -64,25 +64,29 @@ impl BlockingMethod for AttributeClusteringBlocking {
 
     fn build(&self, collection: &EntityCollection) -> BlockCollection {
         // 1. Aggregate the token set of every attribute name, per side.
-        //    Attribute identity is (side, name) for Clean-Clean ER.
-        let mut attr_ids: FxHashMap<(bool, String), usize> = FxHashMap::default();
+        //    Attribute identity is (side, name) for Clean-Clean ER; names
+        //    are borrowed from the collection, never cloned.
+        let mut attr_ids: FxHashMap<(bool, &str), usize> = FxHashMap::default();
         let mut attr_tokens: Vec<Vec<u32>> = Vec::new();
         let mut attr_side: Vec<bool> = Vec::new();
-        let mut interner = Interner::new();
+        let mut interner = TokenInterner::new();
+        let mut low = String::new();
         let clean = collection.kind() == ErKind::CleanClean;
 
         for (id, profile) in collection.iter() {
             let side = clean && collection.is_second(id);
             for a in profile.attributes() {
-                let key = (side, a.name.clone());
+                let key = (side, a.name.as_str());
                 let next_id = attr_tokens.len();
                 let attr = *attr_ids.entry(key).or_insert(next_id);
                 if attr == attr_tokens.len() {
                     attr_tokens.push(Vec::new());
                     attr_side.push(side);
                 }
-                for t in tokens(&a.value) {
-                    attr_tokens[attr].push(interner.intern(&t));
+                for raw in raw_tokens(&a.value) {
+                    low.clear();
+                    push_lowercase(&mut low, raw);
+                    attr_tokens[attr].push(interner.intern(&low));
                 }
             }
         }
@@ -122,20 +126,23 @@ impl BlockingMethod for AttributeClusteringBlocking {
         }
 
         let mut builder = KeyBlockBuilder::new(collection);
-        let mut keys: Vec<String> = Vec::new();
+        let mut scratch = KeyScratch::new();
         for (id, profile) in collection.iter() {
             let side = clean && collection.is_second(id);
-            keys.clear();
+            scratch.clear();
             for a in profile.attributes() {
-                let attr = attr_ids[&(side, a.name.clone())];
+                let attr = attr_ids[&(side, a.name.as_str())];
                 let cluster = cluster_of[attr];
-                for t in tokens(&a.value) {
-                    keys.push(format!("{cluster}\u{1}{t}"));
+                for raw in raw_tokens(&a.value) {
+                    let start = scratch.begin();
+                    scratch.push_display(cluster);
+                    scratch.push_str("\u{1}");
+                    scratch.push_lowercase(raw);
+                    scratch.commit(start);
                 }
             }
-            keys.sort_unstable();
-            keys.dedup();
-            for k in &keys {
+            scratch.sort_dedup();
+            for k in scratch.iter() {
                 builder.assign(k, id);
             }
         }

@@ -6,9 +6,16 @@
 //! comparison. [`KeyBlockBuilder`] implements that skeleton once, with the
 //! task-kind handling (Dirty vs Clean-Clean) and the per-entity key
 //! deduplication that all of them need.
+//!
+//! Internally the builder is allocation-lean: keys are interned to dense
+//! `u32` ids through [`TokenInterner`] and every assignment is one
+//! `(key_id, entity)` posting in a single flat vector. `finish` sorts the
+//! postings, groups them by key id and streams the surviving groups straight
+//! into the CSR arena of [`BlockCollection`] — no per-key `Vec<EntityId>`
+//! pair ever exists.
 
-use er_model::tokenize::Interner;
-use er_model::{Block, BlockCollection, EntityCollection, EntityId, ErKind};
+use er_model::tokenize::TokenInterner;
+use er_model::{BlockCollection, BlockCollectionBuilder, EntityCollection, EntityId, ErKind};
 
 /// Accumulates `(key, entity)` assignments and finalizes them into a
 /// [`BlockCollection`].
@@ -17,11 +24,9 @@ use er_model::{Block, BlockCollection, EntityCollection, EntityId, ErKind};
 /// deterministic function of the input iteration order.
 #[derive(Debug)]
 pub struct KeyBlockBuilder {
-    interner: Interner,
-    /// Per key: the E₁ members (all members for Dirty ER).
-    left: Vec<Vec<EntityId>>,
-    /// Per key: the E₂ members (unused for Dirty ER).
-    right: Vec<Vec<EntityId>>,
+    interner: TokenInterner,
+    /// One `(key_id, entity)` pair per assignment, in arrival order.
+    postings: Vec<(u32, EntityId)>,
     kind: ErKind,
     split: usize,
     num_entities: usize,
@@ -31,9 +36,8 @@ impl KeyBlockBuilder {
     /// Creates a builder for the given collection.
     pub fn new(collection: &EntityCollection) -> Self {
         KeyBlockBuilder {
-            interner: Interner::new(),
-            left: Vec::new(),
-            right: Vec::new(),
+            interner: TokenInterner::new(),
+            postings: Vec::new(),
             kind: collection.kind(),
             split: collection.split(),
             num_entities: collection.len(),
@@ -44,53 +48,74 @@ impl KeyBlockBuilder {
     ///
     /// Repeated assignments of the same entity to the same key are ignored
     /// (a profile mentioning a token twice still joins that token's block
-    /// once). Entities must be fed in ascending id order for this
-    /// deduplication to work — all blocking methods iterate the collection
-    /// in id order, so this holds by construction.
+    /// once) — the postings are sorted and deduplicated in
+    /// [`KeyBlockBuilder::finish`], so the order assignments arrive in does
+    /// not matter for correctness, only for the first-seen key order.
     pub fn assign(&mut self, key: &str, entity: EntityId) {
-        let key_id = self.interner.intern(key) as usize;
-        if key_id == self.left.len() {
-            self.left.push(Vec::new());
-            self.right.push(Vec::new());
-        }
-        let side = if self.kind == ErKind::CleanClean && entity.idx() >= self.split {
-            &mut self.right[key_id]
-        } else {
-            &mut self.left[key_id]
-        };
-        if side.last() != Some(&entity) {
-            side.push(entity);
-        }
+        let key_id = self.interner.intern(key);
+        self.postings.push((key_id, entity));
     }
 
     /// Number of distinct keys seen so far.
     pub fn num_keys(&self) -> usize {
-        self.left.len()
+        self.interner.len()
     }
 
     /// Finalizes into a block collection, keeping only blocks that entail at
     /// least one comparison: ≥2 members for Dirty ER, ≥1 member from *each*
     /// collection for Clean-Clean ER.
-    pub fn finish(self) -> BlockCollection {
-        let mut blocks = Vec::new();
-        for (l, r) in self.left.into_iter().zip(self.right) {
-            let block = match self.kind {
+    ///
+    /// Blocks are emitted in ascending key id — i.e. first-seen key order —
+    /// with members ascending within each block (and within each side for
+    /// Clean-Clean ER).
+    pub fn finish(mut self) -> BlockCollection {
+        self.postings.sort_unstable();
+        self.postings.dedup();
+        let mut out = BlockCollectionBuilder::with_capacity(
+            self.kind,
+            self.num_entities,
+            self.interner.len(),
+            self.postings.len(),
+        );
+        let mut i = 0;
+        while i < self.postings.len() {
+            let key = self.postings[i].0;
+            let mut j = i + 1;
+            while j < self.postings.len() && self.postings[j].0 == key {
+                j += 1;
+            }
+            let group = &self.postings[i..j];
+            i = j;
+            match self.kind {
                 ErKind::Dirty => {
-                    if l.len() < 2 {
+                    if group.len() < 2 {
                         continue;
                     }
-                    Block::dirty(l)
+                    out.begin();
+                    for &(_, e) in group {
+                        out.push_left(e);
+                    }
+                    out.commit();
                 }
                 ErKind::CleanClean => {
-                    if l.is_empty() || r.is_empty() {
+                    // Members are sorted by id, so one partition point
+                    // separates the E₁ (id < split) and E₂ sides.
+                    let cut = group.partition_point(|&(_, e)| e.idx() < self.split);
+                    if cut == 0 || cut == group.len() {
                         continue;
                     }
-                    Block::clean_clean(l, r)
+                    out.begin();
+                    for &(_, e) in &group[..cut] {
+                        out.push_left(e);
+                    }
+                    for &(_, e) in &group[cut..] {
+                        out.push_right(e);
+                    }
+                    out.commit();
                 }
-            };
-            blocks.push(block);
+            }
         }
-        BlockCollection::new(self.kind, self.num_entities, blocks)
+        out.finish()
     }
 }
 
@@ -113,7 +138,7 @@ mod tests {
         assert_eq!(b.num_keys(), 2);
         let blocks = b.finish();
         assert_eq!(blocks.size(), 1);
-        assert_eq!(blocks.blocks()[0].left(), &[EntityId(0), EntityId(2)]);
+        assert_eq!(blocks.block(0).left(), &[EntityId(0), EntityId(2)]);
     }
 
     #[test]
@@ -124,7 +149,20 @@ mod tests {
         b.assign("t", EntityId(0));
         b.assign("t", EntityId(1));
         let blocks = b.finish();
-        assert_eq!(blocks.blocks()[0].size(), 2);
+        assert_eq!(blocks.block(0).size(), 2);
+    }
+
+    #[test]
+    fn dedupes_nonadjacent_repeated_assignment() {
+        // The old adjacency-only dedup required grouped feeding; the sorted
+        // postings dedup does not.
+        let c = dirty(2);
+        let mut b = KeyBlockBuilder::new(&c);
+        b.assign("t", EntityId(0));
+        b.assign("t", EntityId(1));
+        b.assign("t", EntityId(0));
+        let blocks = b.finish();
+        assert_eq!(blocks.block(0).size(), 2);
     }
 
     #[test]
@@ -141,8 +179,8 @@ mod tests {
         b.assign("cross", EntityId(2));
         let blocks = b.finish();
         assert_eq!(blocks.size(), 1);
-        assert_eq!(blocks.blocks()[0].left(), &[EntityId(1)]);
-        assert_eq!(blocks.blocks()[0].right(), &[EntityId(2)]);
+        assert_eq!(blocks.block(0).left(), &[EntityId(1)]);
+        assert_eq!(blocks.block(0).right(), &[EntityId(2)]);
     }
 
     #[test]
@@ -155,7 +193,7 @@ mod tests {
         b.assign("alpha", EntityId(2));
         let blocks = b.finish();
         // "beta" was seen first, so its block precedes "alpha"'s.
-        assert_eq!(blocks.blocks()[0].left()[1], EntityId(1));
-        assert_eq!(blocks.blocks()[1].left()[1], EntityId(2));
+        assert_eq!(blocks.block(0).left()[1], EntityId(1));
+        assert_eq!(blocks.block(1).left()[1], EntityId(2));
     }
 }

@@ -171,7 +171,7 @@ mod tests {
         let e = EntityCollection::clean_clean(e1, e2);
         let blocks = CanopyClustering::default().build(&e);
         assert_eq!(blocks.size(), 1);
-        assert_eq!(blocks.blocks()[0].left(), &[EntityId(0)]);
-        assert_eq!(blocks.blocks()[0].right(), &[EntityId(1)]);
+        assert_eq!(blocks.block(0).left(), &[EntityId(0)]);
+        assert_eq!(blocks.block(0).right(), &[EntityId(1)]);
     }
 }

@@ -26,7 +26,7 @@ pub trait BlockingMethod {
         let blocks = self.build(collection);
         if scope.enabled() {
             scope.add(Counter::Entities, collection.len() as u64);
-            scope.add(Counter::BlocksOut, blocks.blocks().len() as u64);
+            scope.add(Counter::BlocksOut, blocks.size() as u64);
             scope.add(Counter::ComparisonsOut, blocks.total_comparisons());
             scope.add(Counter::AssignmentsOut, blocks.total_assignments());
         }

@@ -22,14 +22,14 @@ fn observed(
 ) -> usize {
     let mut scope = StageScope::enter(obs, Stage::Purging);
     let (blocks_in, comparisons_in, assignments_in) = if scope.enabled() {
-        (blocks.blocks().len() as u64, blocks.total_comparisons(), blocks.total_assignments())
+        (blocks.size() as u64, blocks.total_comparisons(), blocks.total_assignments())
     } else {
         (0, 0, 0)
     };
     let purged = purge(blocks);
     if scope.enabled() {
         scope.add(Counter::BlocksIn, blocks_in);
-        scope.add(Counter::BlocksOut, blocks.blocks().len() as u64);
+        scope.add(Counter::BlocksOut, blocks.size() as u64);
         scope.add(Counter::ComparisonsIn, comparisons_in);
         scope.add(Counter::ComparisonsOut, blocks.total_comparisons());
         scope.add(Counter::AssignmentsIn, assignments_in);
@@ -70,12 +70,12 @@ pub fn purge_by_size(blocks: &mut BlockCollection, max_size_ratio: f64) -> usize
     assert!(max_size_ratio > 0.0 && max_size_ratio <= 1.0, "max_size_ratio must lie in (0, 1]");
     let limit = (blocks.num_entities() as f64 * max_size_ratio).floor() as usize;
     let before = blocks.size();
-    blocks.blocks_mut().retain(|b| b.size() <= limit);
+    blocks.retain(|b| b.size() <= limit);
     #[cfg(feature = "sanitize")]
     {
         er_model::sanitize::assert_valid(&blocks.validate(), "purge_by_size output");
         assert!(
-            blocks.blocks().iter().all(|b| b.size() <= limit),
+            blocks.iter().all(|b| b.size() <= limit),
             "mb-sanitize: purge_by_size left a block above the size limit {limit}"
         );
     }
@@ -104,7 +104,7 @@ pub fn purge_by_comparisons(blocks: &mut BlockCollection) -> usize {
     }
     // Gather (cardinality, size) and sort by cardinality.
     let mut stats: Vec<(u64, u64)> =
-        blocks.blocks().iter().map(|b| (b.cardinality(), b.size() as u64)).collect();
+        blocks.iter().map(|b| (b.cardinality(), b.size() as u64)).collect();
     stats.sort_unstable();
 
     // Cumulative CC and BC per distinct cardinality.
@@ -145,12 +145,12 @@ pub fn purge_by_comparisons(blocks: &mut BlockCollection) -> usize {
     }
 
     let before = blocks.size();
-    blocks.blocks_mut().retain(|b| b.cardinality() <= threshold);
+    blocks.retain(|b| b.cardinality() <= threshold);
     #[cfg(feature = "sanitize")]
     {
         er_model::sanitize::assert_valid(&blocks.validate(), "purge_by_comparisons output");
         assert!(
-            blocks.blocks().iter().all(|b| b.cardinality() <= threshold),
+            blocks.iter().all(|b| b.cardinality() <= threshold),
             "mb-sanitize: purge_by_comparisons left a block above the \
              cardinality threshold {threshold}"
         );
@@ -177,7 +177,7 @@ mod tests {
         let purged = purge_by_size(&mut blocks, 0.5);
         assert_eq!(purged, 2);
         assert_eq!(blocks.size(), 1);
-        assert_eq!(blocks.blocks()[0].size(), 2);
+        assert_eq!(blocks.block(0).size(), 2);
     }
 
     #[test]

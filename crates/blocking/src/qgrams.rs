@@ -2,7 +2,7 @@
 
 use crate::builder::KeyBlockBuilder;
 use crate::method::BlockingMethod;
-use er_model::tokenize::qgrams;
+use er_model::tokenize::{raw_tokens, KeyScratch};
 use er_model::{BlockCollection, EntityCollection};
 
 /// Schema-agnostic Q-grams Blocking: every attribute value is tokenized and
@@ -30,12 +30,34 @@ impl BlockingMethod for QGramsBlocking {
     }
 
     fn build(&self, collection: &EntityCollection) -> BlockCollection {
+        assert!(self.q > 0, "q must be positive");
         let mut builder = KeyBlockBuilder::new(collection);
+        let mut scratch = KeyScratch::new();
+        let mut bounds: Vec<usize> = Vec::new();
         for (id, profile) in collection.iter() {
-            let mut grams: Vec<String> = profile.values().flat_map(|v| qgrams(v, self.q)).collect();
-            grams.sort_unstable();
-            grams.dedup();
-            for g in &grams {
+            scratch.clear();
+            for v in profile.values() {
+                for raw in raw_tokens(v) {
+                    let start = scratch.begin();
+                    scratch.push_lowercase(raw);
+                    let end = scratch.end();
+                    // Char boundaries of the lowercased token; q-gram
+                    // windows alias its bytes rather than copying them.
+                    bounds.clear();
+                    bounds.extend(scratch.buf()[start..end].char_indices().map(|(i, _)| start + i));
+                    bounds.push(end);
+                    let nchars = bounds.len() - 1;
+                    if nchars <= self.q {
+                        scratch.commit(start);
+                    } else {
+                        for w in 0..=(nchars - self.q) {
+                            scratch.push_range(bounds[w], bounds[w + self.q]);
+                        }
+                    }
+                }
+            }
+            scratch.sort_dedup();
+            for g in scratch.iter() {
                 builder.assign(g, id);
             }
         }
@@ -58,7 +80,7 @@ mod tests {
         let blocks = QGramsBlocking::default().build(&e);
         assert!(!blocks.is_empty());
         // They co-occur in the "mil" and "ler" blocks.
-        assert!(blocks.blocks().iter().all(|b| b.size() == 2));
+        assert!(blocks.iter().all(|b| b.size() == 2));
         assert!(blocks.size() >= 2);
     }
 

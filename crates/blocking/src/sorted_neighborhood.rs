@@ -94,7 +94,7 @@ mod tests {
         // windows: {p1,p3}, {p3,p2}, {p2,p0}.
         assert_eq!(blocks.size(), 3);
         let pairs: Vec<(u32, u32)> =
-            blocks.blocks().iter().map(|b| (b.left()[0].0, b.left()[1].0)).collect();
+            blocks.iter().map(|b| (b.left()[0].0, b.left()[1].0)).collect();
         assert_eq!(pairs, vec![(1, 3), (3, 2), (2, 0)]);
     }
 
@@ -133,7 +133,7 @@ mod tests {
         let blocks = SortedNeighborhood { window: 2 }.build(&e);
         // Sorted: alpha(0), alpine(2), bravo(1) -> windows {0,2} ok, {2,1} ok.
         assert_eq!(blocks.size(), 2);
-        for b in blocks.blocks() {
+        for b in blocks.iter() {
             assert!(!b.left().is_empty() && !b.right().is_empty());
         }
     }

@@ -3,7 +3,7 @@
 
 use crate::builder::KeyBlockBuilder;
 use crate::method::BlockingMethod;
-use er_model::tokenize::tokens;
+use er_model::tokenize::{raw_tokens, KeyScratch};
 use er_model::{BlockCollection, EntityCollection};
 
 /// Standard Blocking, schema-agnostic flavour: the *normalized whole value*
@@ -21,18 +21,24 @@ impl BlockingMethod for StandardBlocking {
 
     fn build(&self, collection: &EntityCollection) -> BlockCollection {
         let mut builder = KeyBlockBuilder::new(collection);
+        let mut scratch = KeyScratch::new();
         for (id, profile) in collection.iter() {
-            let mut keys: Vec<String> = profile
-                .values()
-                .map(|v| {
-                    let toks: Vec<String> = tokens(v).collect();
-                    toks.join(" ")
-                })
-                .filter(|k| !k.is_empty())
-                .collect();
-            keys.sort_unstable();
-            keys.dedup();
-            for k in &keys {
+            scratch.clear();
+            for v in profile.values() {
+                // One key per value: its normalized tokens joined by spaces.
+                let start = scratch.begin();
+                let mut first = true;
+                for raw in raw_tokens(v) {
+                    if !first {
+                        scratch.push_str(" ");
+                    }
+                    first = false;
+                    scratch.push_lowercase(raw);
+                }
+                scratch.commit(start); // valueless keys are dropped here
+            }
+            scratch.sort_dedup();
+            for k in scratch.iter() {
                 builder.assign(k, id);
             }
         }
@@ -55,7 +61,7 @@ mod tests {
         let blocks = StandardBlocking.build(&e);
         // a and b normalize to the same key; c does not.
         assert_eq!(blocks.size(), 1);
-        assert_eq!(blocks.blocks()[0].size(), 2);
+        assert_eq!(blocks.block(0).size(), 2);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use crate::builder::KeyBlockBuilder;
 use crate::method::BlockingMethod;
-use er_model::tokenize::suffixes;
-use er_model::{Block, BlockCollection, EntityCollection};
+use er_model::tokenize::{raw_tokens, KeyScratch};
+use er_model::{BlockCollection, EntityCollection};
 
 /// Suffix-Arrays Blocking: every token contributes all suffixes of length at
 /// least [`SuffixArraysBlocking::min_suffix_len`]; one block per suffix.
@@ -31,18 +31,37 @@ impl BlockingMethod for SuffixArraysBlocking {
 
     fn build(&self, collection: &EntityCollection) -> BlockCollection {
         let mut builder = KeyBlockBuilder::new(collection);
+        let mut scratch = KeyScratch::new();
+        let mut bounds: Vec<usize> = Vec::new();
         for (id, profile) in collection.iter() {
-            let mut suf: Vec<String> =
-                profile.values().flat_map(|v| suffixes(v, self.min_suffix_len)).collect();
-            suf.sort_unstable();
-            suf.dedup();
-            for s in &suf {
+            scratch.clear();
+            for v in profile.values() {
+                for raw in raw_tokens(v) {
+                    let start = scratch.begin();
+                    scratch.push_lowercase(raw);
+                    let end = scratch.end();
+                    // Suffixes alias the token's bytes from each char
+                    // boundary that leaves at least `min_suffix_len` chars.
+                    bounds.clear();
+                    bounds.extend(scratch.buf()[start..end].char_indices().map(|(i, _)| start + i));
+                    let min = self.min_suffix_len.max(1);
+                    let nchars = bounds.len();
+                    if nchars < min {
+                        continue;
+                    }
+                    for &b in &bounds[..=(nchars - min)] {
+                        scratch.push_range(b, end);
+                    }
+                }
+            }
+            scratch.sort_dedup();
+            for s in scratch.iter() {
                 builder.assign(s, id);
             }
         }
         let mut blocks = builder.finish();
         let max = self.max_block_size;
-        blocks.blocks_mut().retain(|b: &Block| b.size() <= max);
+        blocks.retain(|b| b.size() <= max);
         blocks
     }
 }
@@ -68,7 +87,7 @@ mod tests {
         let e = profiles(&["christen", "kristen"]);
         let blocks = SuffixArraysBlocking { min_suffix_len: 5, max_block_size: 50 }.build(&e);
         assert!(!blocks.is_empty());
-        assert!(blocks.blocks().iter().all(|b| b.size() == 2));
+        assert!(blocks.iter().all(|b| b.size() == 2));
     }
 
     #[test]
@@ -85,7 +104,7 @@ mod tests {
         // The "common" suffix block holds 3 profiles -> purged; the shared
         // "…distinctive" suffix blocks hold 2 -> kept.
         assert!(!blocks.is_empty());
-        assert!(blocks.blocks().iter().all(|b| b.size() <= 2));
+        assert!(blocks.iter().all(|b| b.size() <= 2));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::builder::KeyBlockBuilder;
 use crate::method::BlockingMethod;
-use er_model::tokenize::tokens;
+use er_model::tokenize::{raw_tokens, KeyScratch};
 use er_model::{BlockCollection, EntityCollection};
 
 /// Schema-agnostic Token Blocking: "it splits the attribute values of every
@@ -33,13 +33,21 @@ impl BlockingMethod for TokenBlocking {
 
     fn build(&self, collection: &EntityCollection) -> BlockCollection {
         let mut builder = KeyBlockBuilder::new(collection);
+        let mut scratch = KeyScratch::new();
         for (id, profile) in collection.iter() {
-            // Deduplicate this profile's tokens so `assign`'s adjacency
-            // check sees each (token, entity) pair grouped together.
-            let mut toks: Vec<String> = profile.values().flat_map(tokens).collect();
-            toks.sort_unstable();
-            toks.dedup();
-            for t in &toks {
+            scratch.clear();
+            for v in profile.values() {
+                for raw in raw_tokens(v) {
+                    let start = scratch.begin();
+                    scratch.push_lowercase(raw);
+                    scratch.commit(start);
+                }
+            }
+            // Sorting the profile's tokens keeps the first-seen key order —
+            // and hence the block order — identical to the historical
+            // `Vec<String>` implementation.
+            scratch.sort_dedup();
+            for t in scratch.iter() {
                 builder.assign(t, id);
             }
         }
@@ -63,12 +71,12 @@ mod tests {
         // car{p3,p4,p5,p6} — 13 comparisons in total.
         assert_eq!(blocks.size(), 8);
         assert_eq!(blocks.total_comparisons(), 13);
-        let mut sizes: Vec<usize> = blocks.blocks().iter().map(|b| b.size()).collect();
+        let mut sizes: Vec<usize> = blocks.iter().map(|b| b.size()).collect();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![2, 2, 2, 2, 2, 2, 2, 4]);
 
         // The "car" block holds p3..p6 (ids 2..5).
-        let car = blocks.blocks().iter().find(|b| b.size() == 4).expect("car block");
+        let car = blocks.iter().find(|b| b.size() == 4).expect("car block");
         assert_eq!(car.left(), &[EntityId(2), EntityId(3), EntityId(4), EntityId(5)]);
     }
 
@@ -95,7 +103,7 @@ mod tests {
         ]);
         let blocks = TokenBlocking.build(&e);
         assert_eq!(blocks.size(), 1);
-        assert_eq!(blocks.blocks()[0].size(), 2);
+        assert_eq!(blocks.block(0).size(), 2);
     }
 
     #[test]

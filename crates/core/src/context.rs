@@ -17,6 +17,11 @@ pub struct GraphContext<'b> {
     /// `‖b‖` per block, pre-computed because ARCS divides by it for every
     /// common block of every edge.
     cardinalities: Vec<f64>,
+    /// `1 / ‖b‖` per block: the ARCS hot loop multiplies by this instead of
+    /// dividing, which is several times cheaper per common block. Stored as
+    /// the exact IEEE result of `1.0 / cardinalities[k]`, so summing the
+    /// reciprocals is bit-identical to dividing inline.
+    recip_cardinalities: Vec<f64>,
     split: usize,
 }
 
@@ -29,8 +34,7 @@ impl<'b> GraphContext<'b> {
     /// collection size (or use [`GraphContext::new_dirty`]) for Dirty ER.
     pub fn new(blocks: &'b BlockCollection, split: usize) -> Self {
         let index = EntityIndex::build(blocks);
-        let cardinalities = blocks.blocks().iter().map(|b| b.cardinality() as f64).collect();
-        GraphContext { blocks, index, cardinalities, split }
+        Self::with_index(blocks, index, split)
     }
 
     /// Like [`GraphContext::new`], but builds the entity index with up to
@@ -38,8 +42,13 @@ impl<'b> GraphContext<'b> {
     /// context is bit-identical to the sequential one for any thread count.
     pub fn new_parallel(blocks: &'b BlockCollection, split: usize, threads: usize) -> Self {
         let index = EntityIndex::build_parallel(blocks, threads);
-        let cardinalities = blocks.blocks().iter().map(|b| b.cardinality() as f64).collect();
-        GraphContext { blocks, index, cardinalities, split }
+        Self::with_index(blocks, index, split)
+    }
+
+    fn with_index(blocks: &'b BlockCollection, index: EntityIndex, split: usize) -> Self {
+        let cardinalities: Vec<f64> = blocks.iter().map(|b| b.cardinality() as f64).collect();
+        let recip_cardinalities = cardinalities.iter().map(|&c| 1.0 / c).collect();
+        GraphContext { blocks, index, cardinalities, recip_cardinalities, split }
     }
 
     /// Context for a Dirty-ER block collection.
@@ -73,6 +82,12 @@ impl<'b> GraphContext<'b> {
     #[inline]
     pub fn cardinality_of(&self, block: usize) -> f64 {
         self.cardinalities[block]
+    }
+
+    /// `1 / ‖b_k‖`, the pre-inverted ARCS denominator.
+    #[inline]
+    pub fn recip_cardinality_of(&self, block: usize) -> f64 {
+        self.recip_cardinalities[block]
     }
 
     /// Whether two profiles may be compared under the task kind: always (if
@@ -122,6 +137,8 @@ mod tests {
         assert_eq!(ctx.num_entities(), 4);
         assert_eq!(ctx.cardinality_of(0), 3.0);
         assert_eq!(ctx.cardinality_of(1), 1.0);
+        assert_eq!(ctx.recip_cardinality_of(0), 1.0 / 3.0);
+        assert_eq!(ctx.recip_cardinality_of(1), 1.0);
         assert!(ctx.comparable(EntityId(0), EntityId(3)));
         assert!(!ctx.comparable(EntityId(1), EntityId(1)));
         assert_eq!(ctx.num_blocks_of(EntityId(2)), 2);

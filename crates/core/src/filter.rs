@@ -9,7 +9,7 @@
 //! graph's noisy edges at negligible recall cost (§6.2: with `r = 0.8`,
 //! `‖B‖` drops by 64–75% while PC drops by less than 0.5%).
 
-use er_model::{Block, BlockCollection, Error, Result};
+use er_model::{BlockCollection, BlockCollectionBuilder, Error, Result};
 
 /// The filtering ratio the paper fine-tunes to in §6.2 for the
 /// pre-processing workflow.
@@ -104,19 +104,24 @@ fn filter_with_limits(
     let mut order: Vec<u32> = (0..blocks.size() as u32).collect();
     match order_by {
         BlockOrder::AscendingCardinality => {
-            order.sort_by_key(|&k| blocks.blocks()[k as usize].cardinality());
+            order.sort_by_key(|&k| blocks.block(k as usize).cardinality());
         }
         BlockOrder::DescendingCardinality => {
-            order.sort_by_key(|&k| std::cmp::Reverse(blocks.blocks()[k as usize].cardinality()));
+            order.sort_by_key(|&k| std::cmp::Reverse(blocks.block(k as usize).cardinality()));
         }
         BlockOrder::Input => {}
     }
 
     let mut used = vec![0u32; blocks.num_entities()];
-    let mut kept: Vec<Block> = Vec::with_capacity(blocks.size());
+    let mut out = BlockCollectionBuilder::with_capacity(
+        blocks.kind(),
+        blocks.num_entities(),
+        blocks.size(),
+        blocks.total_assignments() as usize,
+    );
     for &k in &order {
-        let block = &blocks.blocks()[k as usize];
-        let keep = |id: er_model::EntityId, used: &mut [u32]| {
+        let block = blocks.block(k as usize);
+        let mut keep = |id: er_model::EntityId| {
             if used[id.idx()] < limits[id.idx()] {
                 used[id.idx()] += 1;
                 true
@@ -124,27 +129,40 @@ fn filter_with_limits(
                 false
             }
         };
-        let left: Vec<_> = block.left().iter().copied().filter(|&e| keep(e, &mut used)).collect();
-        let right: Vec<_> = block.right().iter().copied().filter(|&e| keep(e, &mut used)).collect();
+        // Stream surviving members straight into the arena; the limit
+        // counters advance for every surviving member even when the block
+        // itself is later rolled back — the per-profile budget is spent by
+        // the block's *rank*, not by whether the block survives.
+        out.begin();
+        let (mut nl, mut nr) = (0usize, 0usize);
+        for &e in block.left() {
+            if keep(e) {
+                out.push_left(e);
+                nl += 1;
+            }
+        }
+        for &e in block.right() {
+            if keep(e) {
+                out.push_right(e);
+                nr += 1;
+            }
+        }
         // The keep-condition must follow the *collection's* kind, not the
         // block's shape: a Clean-Clean block whose right side was filtered
         // away entirely still reports `has_comparisons()` through its
         // left side, but those pairs would be intra-collection comparisons —
         // such a block must be dropped, not kept as a pseudo-dirty block.
         let keep_block = match blocks.kind() {
-            er_model::ErKind::Dirty => left.len() > 1,
-            er_model::ErKind::CleanClean => !left.is_empty() && !right.is_empty(),
+            er_model::ErKind::Dirty => nl > 1,
+            er_model::ErKind::CleanClean => nl > 0 && nr > 0,
         };
         if keep_block {
-            let filtered = if blocks.kind() == er_model::ErKind::Dirty {
-                Block::dirty(left)
-            } else {
-                Block::clean_clean(left, right)
-            };
-            kept.push(filtered);
+            out.commit();
+        } else {
+            out.rollback();
         }
     }
-    let out = BlockCollection::new(blocks.kind(), blocks.num_entities(), kept);
+    let out = out.finish();
     #[cfg(feature = "sanitize")]
     crate::sanitize::check_filtered(blocks, &out, limits);
     out
@@ -153,7 +171,7 @@ fn filter_with_limits(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use er_model::{EntityId, ErKind};
+    use er_model::{Block, EntityId, ErKind};
 
     fn ids(v: &[u32]) -> Vec<EntityId> {
         v.iter().copied().map(EntityId).collect()
@@ -198,7 +216,7 @@ mod tests {
         let idx = er_model::EntityIndex::build(&out);
         assert_eq!(idx.num_blocks_of(EntityId(0)), 2);
         // The smallest block (card 1) comes first in the output order.
-        assert!(out.blocks()[0].cardinality() <= out.blocks()[1].cardinality());
+        assert!(out.block(0).cardinality() <= out.block(1).cardinality());
     }
 
     #[test]
@@ -255,7 +273,7 @@ mod tests {
         // Entities 0 and 2 (2 blocks each, limit 1) stay only in the small
         // block; the big block keeps {1}×{3}.
         assert_eq!(out.size(), 2);
-        let big = &out.blocks()[1];
+        let big = out.block(1);
         assert_eq!(big.left(), &[EntityId(1)]);
         assert_eq!(big.right(), &[EntityId(3)]);
     }

@@ -56,8 +56,8 @@ pub fn graph_free_meta_blocking_threads(
     let mut scope = StageScope::enter(obs, Stage::BlockFiltering);
     let filtered = block_filtering(blocks, r)?;
     if scope.enabled() {
-        scope.add(Counter::BlocksIn, blocks.blocks().len() as u64);
-        scope.add(Counter::BlocksOut, filtered.blocks().len() as u64);
+        scope.add(Counter::BlocksIn, blocks.size() as u64);
+        scope.add(Counter::BlocksOut, filtered.size() as u64);
         scope.add(Counter::ComparisonsIn, blocks.total_comparisons());
         scope.add(Counter::ComparisonsOut, filtered.total_comparisons());
         scope.add(Counter::AssignmentsIn, blocks.total_assignments());

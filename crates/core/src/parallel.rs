@@ -26,14 +26,13 @@ const MIN_CHUNK: u32 = 256;
 
 /// Splits `0..n` into at most `threads` contiguous chunks of near-equal
 /// size, never smaller than [`MIN_CHUNK`] (except the only chunk of a
-/// small input).
+/// small input). Thin `u32` adapter over the one shared
+/// [`er_model::chunk_ranges`] implementation (DESIGN.md §8: all parallel
+/// stages must chunk identically).
 fn chunks(n: u32, threads: usize) -> Vec<std::ops::Range<u32>> {
-    let max_useful = n.div_ceil(MIN_CHUNK).max(1) as usize;
-    let threads = threads.max(1).min(max_useful);
-    let per = n.div_ceil(threads as u32).max(1);
-    (0..threads as u32)
-        .map(|t| (t * per).min(n)..((t + 1) * per).min(n))
-        .filter(|r| !r.is_empty())
+    er_model::chunk_ranges(n as usize, threads, MIN_CHUNK as usize)
+        .into_iter()
+        .map(|r| r.start as u32..r.end as u32)
         .collect()
 }
 

@@ -394,8 +394,8 @@ impl MetaBlocking {
                 let mut scope = StageScope::enter(obs, Stage::BlockFiltering);
                 filtered = block_filtering(blocks, r)?;
                 if scope.enabled() {
-                    scope.add(Counter::BlocksIn, blocks.blocks().len() as u64);
-                    scope.add(Counter::BlocksOut, filtered.blocks().len() as u64);
+                    scope.add(Counter::BlocksIn, blocks.size() as u64);
+                    scope.add(Counter::BlocksOut, filtered.size() as u64);
                     scope.add(Counter::ComparisonsIn, blocks.total_comparisons());
                     scope.add(Counter::ComparisonsOut, filtered.total_comparisons());
                     scope.add(Counter::AssignmentsIn, blocks.total_assignments());
@@ -422,7 +422,7 @@ impl MetaBlocking {
         let weigher = EdgeWeigher::new(self.config.weighting, &ctx);
         if scope.enabled() {
             scope.add(Counter::Entities, ctx.num_entities() as u64);
-            scope.add(Counter::BlocksIn, input.blocks().len() as u64);
+            scope.add(Counter::BlocksIn, input.size() as u64);
             scope.add(Counter::ComparisonsIn, input.total_comparisons());
         }
         scope.finish();

@@ -50,7 +50,7 @@ pub fn comparison_propagation_lecobi(
     ctx: &GraphContext<'_>,
     mut sink: impl FnMut(EntityId, EntityId),
 ) {
-    for (k, block) in ctx.blocks().blocks().iter().enumerate() {
+    for (k, block) in ctx.blocks().iter().enumerate() {
         block.for_each_comparison(|a, b| {
             if ctx.index().is_lecobi(a, b, er_model::BlockId::from_index(k)) {
                 sink(a, b);

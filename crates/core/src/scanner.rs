@@ -74,10 +74,10 @@ impl NeighborhoodScanner {
         let dirty = ctx.kind() == ErKind::Dirty;
         let pivot_first = ctx.is_first(pivot);
         for &k in ctx.index().block_list(pivot) {
-            let block = &ctx.blocks().blocks()[k as usize];
+            let block = ctx.blocks().block(k as usize);
             let increment = match accumulate {
                 Accumulate::CommonBlocks => 1.0,
-                Accumulate::ReciprocalCardinalities => 1.0 / ctx.cardinality_of(k as usize),
+                Accumulate::ReciprocalCardinalities => ctx.recip_cardinality_of(k as usize),
             };
             // For Clean-Clean ER only the opposite side co-occurs; for Dirty
             // ER all block members do (blocks store them in `left`).

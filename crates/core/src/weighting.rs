@@ -198,7 +198,7 @@ pub mod original {
         let arcs =
             weigher.scheme().accumulate() == crate::scanner::Accumulate::ReciprocalCardinalities;
         let dirty = ctx.kind() == ErKind::Dirty;
-        for (k, block) in ctx.blocks().blocks().iter().enumerate() {
+        for (k, block) in ctx.blocks().iter().enumerate() {
             let k = k as u32;
             let mut handle = |a: EntityId, b: EntityId| {
                 if let Some(score) = lecobi_score(ctx, a, b, k, arcs) {

@@ -1,0 +1,67 @@
+//! Contiguous range chunking for the deterministic parallel sweeps.
+//!
+//! Both the entity-index shard builder and `mb-core`'s chunked edge sweeps
+//! split `0..n` into near-equal contiguous ranges; this is the one shared
+//! implementation (DESIGN.md §8 — chunk boundaries are part of the
+//! deterministic execution model, so every parallel stage must chunk
+//! identically).
+
+use std::ops::Range;
+
+/// Splits `0..n` into at most `threads` contiguous chunks of near-equal
+/// size, none smaller than `floor` (except the only chunk of a small input).
+///
+/// Guarantees: chunks are non-empty, adjacent (each starts where the
+/// previous ended) and cover `0..n` exactly; the result is a pure function
+/// of `(n, threads, floor)`, never of the machine.
+pub fn chunk_ranges(n: usize, threads: usize, floor: usize) -> Vec<Range<usize>> {
+    let max_useful = n.div_ceil(floor.max(1)).max(1);
+    let threads = threads.max(1).min(max_useful);
+    let per = n.div_ceil(threads).max(1);
+    (0..threads)
+        .map(|t| (t * per).min(n)..((t + 1) * per).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_the_range_contiguously() {
+        for n in [0usize, 1, 255, 256, 257, 10_000] {
+            for t in [1usize, 2, 8, 64] {
+                for floor in [1usize, 256, 1024] {
+                    let cs = chunk_ranges(n, t, floor);
+                    let total: usize = cs.iter().map(|r| r.end - r.start).sum();
+                    assert_eq!(total, n, "n={n} t={t} floor={floor}");
+                    for w in cs.windows(2) {
+                        assert_eq!(w[0].end, w[1].start);
+                    }
+                    assert!(cs.iter().all(|r| !r.is_empty()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn floors_small_inputs_to_one_chunk() {
+        assert_eq!(chunk_ranges(256, 16, 256).len(), 1);
+        assert_eq!(chunk_ranges(512, 16, 256).len(), 2);
+        assert_eq!(chunk_ranges(2, 16, 256), vec![0..2]);
+        assert_eq!(chunk_ranges(257, 100, 256).len(), 2);
+    }
+
+    #[test]
+    fn respects_thread_cap() {
+        assert_eq!(chunk_ranges(8_000, 8, 1).len(), 8);
+        assert_eq!(chunk_ranges(256 * 8, 8, 256).len(), 8);
+        assert_eq!(chunk_ranges(10, 3, 1).len(), 3);
+    }
+
+    #[test]
+    fn zero_inputs_are_empty() {
+        assert!(chunk_ranges(0, 4, 256).is_empty());
+    }
+}

@@ -9,6 +9,7 @@
 //! materializing them.
 
 use crate::block::BlockCollection;
+use crate::chunk::chunk_ranges;
 use crate::ids::{BlockId, EntityId};
 
 /// Minimum blocks per construction shard: below this, spawning a worker
@@ -19,16 +20,25 @@ const MIN_BLOCKS_PER_SHARD: usize = 256;
 /// Minimum entities per merge worker (same rationale).
 const MIN_ENTITIES_PER_MERGE: usize = 1024;
 
-/// Splits `0..n` into at most `threads` contiguous chunks of near-equal
-/// size, none smaller than `floor` (except the only chunk of a small input).
-fn chunk_ranges(n: usize, threads: usize, floor: usize) -> Vec<std::ops::Range<usize>> {
-    let max_useful = n.div_ceil(floor.max(1)).max(1);
-    let threads = threads.max(1).min(max_useful);
-    let per = n.div_ceil(threads).max(1);
-    (0..threads)
-        .map(|t| (t * per).min(n)..((t + 1) * per).min(n))
-        .filter(|r| !r.is_empty())
-        .collect()
+/// Prefix-sums per-entity assignment counts into the flat `offsets` array,
+/// failing loudly if the total overflows the u32 offset space (a collection
+/// beyond 4B assignments would otherwise wrap and silently alias earlier
+/// entities' lists).
+fn accumulate_offsets(counts: &[u32]) -> Vec<u32> {
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0u32;
+    offsets.push(0);
+    for &c in counts {
+        let next = acc.checked_add(c);
+        assert!(
+            next.is_some(),
+            "entity index exceeds the u32 offset space (more than {} assignments)",
+            u32::MAX
+        );
+        acc = next.unwrap_or(acc);
+        offsets.push(acc);
+    }
+    offsets
 }
 
 /// Builds the inverted-index shard of one contiguous block range: the same
@@ -36,27 +46,20 @@ fn chunk_ranges(n: usize, threads: usize, floor: usize) -> Vec<std::ops::Range<u
 /// storing global block ids.
 fn build_shard(blocks: &BlockCollection, range: std::ops::Range<usize>) -> EntityIndex {
     let n = blocks.num_entities();
-    let slice = &blocks.blocks()[range.clone()];
     let mut counts = vec![0u32; n];
-    for b in slice {
-        for e in b.entities() {
+    for k in range.clone() {
+        for e in blocks.block(k).entities() {
             counts[e.idx()] += 1;
         }
     }
-    let mut offsets = Vec::with_capacity(n + 1);
-    let mut acc = 0u32;
-    offsets.push(0);
-    for &c in &counts {
-        acc += c;
-        offsets.push(acc);
-    }
+    let offsets = accumulate_offsets(&counts);
+    let total = *offsets.last().unwrap_or(&0) as usize;
     let mut cursor: Vec<u32> = offsets[..n].to_vec();
-    let mut lists = vec![0u32; acc as usize];
-    for (k, b) in slice.iter().enumerate() {
-        let id = (range.start + k) as u32;
-        for e in b.entities() {
+    let mut lists = vec![0u32; total];
+    for k in range {
+        for e in blocks.block(k).entities() {
             let c = &mut cursor[e.idx()];
-            lists[*c as usize] = id;
+            lists[*c as usize] = k as u32;
             *c += 1;
         }
     }
@@ -84,24 +87,19 @@ impl EntityIndex {
         let n = blocks.num_entities();
         // First pass: count assignments per entity.
         let mut counts = vec![0u32; n];
-        for b in blocks.blocks() {
+        for b in blocks.iter() {
             for e in b.entities() {
                 counts[e.idx()] += 1;
             }
         }
-        // Prefix sums -> offsets.
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut acc = 0u32;
-        offsets.push(0);
-        for &c in &counts {
-            acc += c;
-            offsets.push(acc);
-        }
+        // Prefix sums -> offsets (checked: >4B assignments fail loudly).
+        let offsets = accumulate_offsets(&counts);
+        let total = *offsets.last().unwrap_or(&0) as usize;
         // Second pass: fill. Blocks are visited in ascending id order, so
         // each entity's slice ends up sorted without an explicit sort.
         let mut cursor: Vec<u32> = offsets[..n].to_vec();
-        let mut lists = vec![0u32; acc as usize];
-        for (k, b) in blocks.blocks().iter().enumerate() {
+        let mut lists = vec![0u32; total];
+        for (k, b) in blocks.iter().enumerate() {
             for e in b.entities() {
                 let c = &mut cursor[e.idx()];
                 lists[*c as usize] = k as u32;
@@ -126,7 +124,7 @@ impl EntityIndex {
     /// worker owns a contiguous entity range, whose assignments form a
     /// contiguous slice of the flat `lists` buffer.
     pub fn build_parallel(blocks: &BlockCollection, threads: usize) -> Self {
-        let num_blocks = blocks.blocks().len();
+        let num_blocks = blocks.size();
         let ranges = chunk_ranges(num_blocks, threads, MIN_BLOCKS_PER_SHARD);
         if ranges.len() <= 1 {
             return Self::build(blocks);
@@ -143,16 +141,15 @@ impl EntityIndex {
                 .collect()
         });
         let n = blocks.num_entities();
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0u32);
-        let mut acc = 0u32;
-        for e in 0..n {
+        let mut counts = vec![0u32; n];
+        for (e, c) in counts.iter_mut().enumerate() {
             for s in &shards {
-                acc += s.offsets[e + 1] - s.offsets[e];
+                *c += s.offsets[e + 1] - s.offsets[e];
             }
-            offsets.push(acc);
         }
-        let mut lists = vec![0u32; acc as usize];
+        let offsets = accumulate_offsets(&counts);
+        let total = *offsets.last().unwrap_or(&0) as usize;
+        let mut lists = vec![0u32; total];
         let entity_ranges = chunk_ranges(n, threads, MIN_ENTITIES_PER_MERGE);
         std::thread::scope(|scope| {
             let mut rest: &mut [u32] = &mut lists;
@@ -347,7 +344,7 @@ mod tests {
         let idx = EntityIndex::build(&blocks);
         let mut distinct = std::collections::HashSet::new();
         let mut emitted = 0;
-        for (k, b) in blocks.blocks().iter().enumerate() {
+        for (k, b) in blocks.iter().enumerate() {
             b.for_each_comparison(|a, c| {
                 if idx.is_lecobi(a, c, BlockId(k as u32)) {
                     emitted += 1;
@@ -436,19 +433,19 @@ mod tests {
     }
 
     #[test]
-    fn chunk_ranges_cover_and_floor() {
-        for n in [0usize, 1, 255, 256, 257, 10_000] {
-            for t in [1usize, 2, 8, 64] {
-                let cs = chunk_ranges(n, t, 256);
-                let total: usize = cs.iter().map(|r| r.end - r.start).sum();
-                assert_eq!(total, n, "n={n} t={t}");
-                for w in cs.windows(2) {
-                    assert_eq!(w[0].end, w[1].start);
-                }
-            }
-        }
-        assert_eq!(chunk_ranges(256, 16, 256).len(), 1);
-        assert_eq!(chunk_ranges(512, 16, 256).len(), 2);
+    fn offset_accumulation_is_exact() {
+        assert_eq!(accumulate_offsets(&[2, 0, 3]), vec![0, 2, 2, 5]);
+        assert_eq!(accumulate_offsets(&[]), vec![0]);
+        // The boundary total is still representable.
+        assert_eq!(accumulate_offsets(&[u32::MAX - 1, 1]), vec![0, u32::MAX - 1, u32::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 offset space")]
+    fn offset_accumulation_overflow_fails_loudly() {
+        // >4B total assignments must abort instead of wrapping and aliasing
+        // earlier entities' block lists.
+        accumulate_offsets(&[u32::MAX, 1]);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod chunk;
 pub mod collection;
 pub mod comparisons;
 pub mod error;
@@ -48,7 +49,8 @@ pub mod profile;
 pub mod sanitize;
 pub mod tokenize;
 
-pub use block::{Block, BlockCollection};
+pub use block::{Block, BlockCollection, BlockCollectionBuilder, BlockRef};
+pub use chunk::chunk_ranges;
 pub use collection::{EntityCollection, ErKind};
 pub use comparisons::{Comparison, ComparisonSet};
 pub use error::{Error, Result};

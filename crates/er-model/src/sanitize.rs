@@ -86,7 +86,7 @@ impl BlockCollection {
     pub fn validate(&self) -> Vec<Violation> {
         let n = self.num_entities();
         let mut out = Vec::new();
-        for (k, b) in self.blocks().iter().enumerate() {
+        for (k, b) in self.iter().enumerate() {
             let mut members: Vec<u32> = b.entities().map(|e| e.0).collect();
             for &e in &members {
                 if e as usize >= n {
@@ -142,7 +142,7 @@ impl BlockCollection {
         if self.kind() != ErKind::CleanClean {
             return out;
         }
-        for (k, b) in self.blocks().iter().enumerate() {
+        for (k, b) in self.iter().enumerate() {
             for &e in b.left() {
                 if e.idx() >= split {
                     out.push(Violation::new(
@@ -167,8 +167,7 @@ impl BlockCollection {
     /// every surviving block entails at least one comparison. Reports
     /// `comparison-free-block` violations.
     pub fn validate_no_empty_blocks(&self) -> Vec<Violation> {
-        self.blocks()
-            .iter()
+        self.iter()
             .enumerate()
             .filter(|(_, b)| !b.has_comparisons())
             .map(|(k, b)| {
@@ -212,7 +211,7 @@ impl EntityIndex {
         let num_blocks = blocks.size() as u32;
         // Reference assignments, rebuilt from the blocks.
         let mut expected: Vec<Vec<u32>> = vec![Vec::new(); blocks.num_entities()];
-        for (k, b) in blocks.blocks().iter().enumerate() {
+        for (k, b) in blocks.iter().enumerate() {
             for e in b.entities() {
                 if e.idx() < expected.len() {
                     expected[e.idx()].push(k as u32);
@@ -265,7 +264,7 @@ impl EntityIndex {
     /// size, so reserve it for the `sanitize` feature and tests.
     pub fn validate_lecobi(&self, blocks: &BlockCollection) -> Vec<Violation> {
         let mut out = Vec::new();
-        for (k, b) in blocks.blocks().iter().enumerate() {
+        for (k, b) in blocks.iter().enumerate() {
             let k = k as u32;
             b.for_each_comparison(|x, y| match self.least_common_block(x, y) {
                 None => out.push(Violation::new(

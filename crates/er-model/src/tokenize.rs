@@ -21,7 +21,32 @@ use crate::fxhash::FxHashMap;
 /// assert_eq!(toks, ["jack", "lloyd", "miller", "jr"]);
 /// ```
 pub fn tokens(value: &str) -> impl Iterator<Item = String> + '_ {
-    value.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty()).map(|t| t.to_lowercase())
+    raw_tokens(value).map(|t| t.to_lowercase())
+}
+
+/// The raw (not yet lowercased) token slices of a value — the zero-copy
+/// front half of [`tokens`]. The blocking front-ends iterate these and
+/// lowercase into a reusable [`KeyScratch`] buffer instead of allocating a
+/// `String` per token.
+pub fn raw_tokens(value: &str) -> impl Iterator<Item = &str> {
+    value.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty())
+}
+
+/// Appends `raw` to `dst` lowercased.
+///
+/// ASCII text takes a byte-wise fast path; anything else falls back to full
+/// `str::to_lowercase`, so the result is always byte-identical to
+/// `dst.push_str(&raw.to_lowercase())` (including the Greek final-sigma
+/// special case, which is position-dependent and cannot be done per char).
+pub fn push_lowercase(dst: &mut String, raw: &str) {
+    if raw.is_ascii() {
+        // Safe path without unsafe: ASCII bytes lowercase to ASCII bytes.
+        for b in raw.bytes() {
+            dst.push(b.to_ascii_lowercase() as char);
+        }
+    } else {
+        dst.push_str(&raw.to_lowercase());
+    }
 }
 
 /// Character q-grams of a normalized token stream, for Q-grams Blocking.
@@ -111,6 +136,141 @@ impl Interner {
     }
 }
 
+/// A key interner specialised for the blocking front-end: key → dense `u32`
+/// in first-seen order, holding exactly one owned copy of each key.
+///
+/// Unlike [`Interner`] there is no reverse (`id → str`) table — the blocking
+/// builders only ever need the forward direction, so each new key costs one
+/// allocation instead of two and half the resident strings.
+#[derive(Debug, Default)]
+pub struct TokenInterner {
+    ids: FxHashMap<String, u32>,
+}
+
+impl TokenInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `s`, allocating one if unseen.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = self.ids.len() as u32;
+        self.ids.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Number of distinct interned keys.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Reusable per-profile scratch for assembling blocking keys without per-key
+/// allocations: one backing buffer holds the text of every key, and each key
+/// is a `(start, end)` span into it.
+///
+/// The span representation also lets q-gram windows *alias* their token's
+/// bytes ([`KeyScratch::push_range`]) instead of copying them. Spans compare
+/// byte-wise, exactly like `String`, so [`KeyScratch::sort_dedup`] yields
+/// the same key order the old `Vec<String>` sort did.
+#[derive(Debug, Default)]
+pub struct KeyScratch {
+    buf: String,
+    spans: Vec<(usize, usize)>,
+}
+
+impl KeyScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears keys and backing text, retaining both allocations.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.spans.clear();
+    }
+
+    /// Starts a new key at the current end of the buffer; pass the returned
+    /// marker to [`KeyScratch::commit`].
+    pub fn begin(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends literal text to the key under construction.
+    pub fn push_str(&mut self, s: &str) {
+        self.buf.push_str(s);
+    }
+
+    /// Appends `raw` lowercased (see [`push_lowercase`]).
+    pub fn push_lowercase(&mut self, raw: &str) {
+        push_lowercase(&mut self.buf, raw);
+    }
+
+    /// Appends any `Display` value (numeric cluster prefixes and the like).
+    pub fn push_display(&mut self, v: impl std::fmt::Display) {
+        use std::fmt::Write;
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Commits the key begun at `start`. Keys that received no text are
+    /// dropped, mirroring the `filter(|k| !k.is_empty())` of the old path.
+    pub fn commit(&mut self, start: usize) {
+        if self.buf.len() > start {
+            self.spans.push((start, self.buf.len()));
+        }
+    }
+
+    /// Records `[start, end)` of the backing buffer as an additional key.
+    /// Q-gram windows use this to share their token's bytes.
+    pub fn push_range(&mut self, start: usize, end: usize) {
+        debug_assert!(start < end && end <= self.buf.len());
+        self.spans.push((start, end));
+    }
+
+    /// The current end of the backing buffer (for char-boundary scans).
+    pub fn end(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The backing buffer.
+    pub fn buf(&self) -> &str {
+        &self.buf
+    }
+
+    /// Sorts the keys lexicographically (byte order — identical to `String`
+    /// ordering) and drops duplicates.
+    pub fn sort_dedup(&mut self) {
+        let buf = &self.buf;
+        self.spans.sort_unstable_by(|&(a0, a1), &(b0, b1)| buf[a0..a1].cmp(&buf[b0..b1]));
+        self.spans.dedup_by(|&mut (a0, a1), &mut (b0, b1)| buf[a0..a1] == buf[b0..b1]);
+    }
+
+    /// Iterates the committed keys in their current order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.spans.iter().map(move |&(s, e)| &self.buf[s..e])
+    }
+
+    /// Number of committed keys.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no key has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
 /// The deduplicated, sorted token-id set of a profile's values — the
 /// representation used by the Jaccard entity matcher.
 pub fn token_id_set(
@@ -196,5 +356,69 @@ mod tests {
     fn unicode_tokens() {
         let toks: Vec<String> = tokens("Müller Straße").collect();
         assert_eq!(toks, ["müller", "straße"]);
+    }
+
+    #[test]
+    fn push_lowercase_matches_to_lowercase() {
+        for raw in ["Jack", "MILLER-42", "Müller", "ΣΟΦΟΣ", "straße", "İstanbul"] {
+            let mut buf = String::new();
+            push_lowercase(&mut buf, raw);
+            assert_eq!(buf, raw.to_lowercase(), "raw={raw}");
+        }
+    }
+
+    #[test]
+    fn token_interner_assigns_dense_first_seen_ids() {
+        let mut i = TokenInterner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.intern("b"), 0);
+        assert_eq!(i.intern("a"), 1);
+        assert_eq!(i.intern("b"), 0);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn key_scratch_sorts_and_dedups_like_strings() {
+        let mut s = KeyScratch::new();
+        for raw in ["miller", "Jack", "miller", "42"] {
+            let start = s.begin();
+            s.push_lowercase(raw);
+            s.commit(start);
+        }
+        s.sort_dedup();
+        let keys: Vec<&str> = s.iter().collect();
+        assert_eq!(keys, ["42", "jack", "miller"]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn key_scratch_drops_empty_keys_and_supports_ranges() {
+        let mut s = KeyScratch::new();
+        let start = s.begin();
+        s.commit(start); // nothing appended -> dropped
+        assert!(s.is_empty());
+        let start = s.begin();
+        s.push_str("seller");
+        s.commit(start);
+        // Alias a window of "seller" as its own key.
+        s.push_range(start, start + 3);
+        s.sort_dedup();
+        let keys: Vec<&str> = s.iter().collect();
+        assert_eq!(keys, ["sel", "seller"]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.end(), 0);
+        assert_eq!(s.buf(), "");
+    }
+
+    #[test]
+    fn key_scratch_push_display_builds_prefixed_keys() {
+        let mut s = KeyScratch::new();
+        let start = s.begin();
+        s.push_display(7usize);
+        s.push_str("\u{1}");
+        s.push_lowercase("Green");
+        s.commit(start);
+        assert_eq!(s.iter().next(), Some("7\u{1}green"));
     }
 }

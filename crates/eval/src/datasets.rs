@@ -167,7 +167,7 @@ mod tests {
         assert!(!blocks.is_empty());
         // Purging leaves no block with more than half the profiles.
         let limit = d.collection.len() / 2;
-        assert!(blocks.blocks().iter().all(|b| b.size() <= limit));
+        assert!(blocks.iter().all(|b| b.size() <= limit));
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //!   (which own the terminal), so libraries stay silent and composable.
 //!   Binaries (`src/bin/`, `main.rs`) and `crates/observe` itself are
 //!   exempt.
+//! * **`owned-id-vec-field`** — no new `Vec<EntityId>` struct fields in
+//!   `er-model`: per-block owned member vectors are exactly the layout the
+//!   CSR arena refactor eliminated (one heap allocation per block). Member
+//!   storage belongs in the arena's single flat pool; reads go through
+//!   borrowed `BlockRef` views. The designed exceptions — `Block`'s owned
+//!   form (the construction currency) and the arena/builder member pools
+//!   themselves — are budgeted in the allowlist.
 //!
 //! Test code (`#[cfg(test)]` modules), `tests/`, `examples/` and `benches/`
 //! directories are exempt — tests corrupt structures and unwrap freely by
@@ -252,6 +259,20 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
             report("id-narrowing-cast");
         }
 
+        // owned-id-vec-field: per-block owned member vectors in er-model
+        // struct fields — the layout the CSR arena exists to prevent.
+        // Heuristic for "field, not local/signature": a `name: Vec<EntityId>`
+        // annotation on a line that is not a binding, signature or return
+        // type.
+        if rel_path.starts_with("crates/er-model/")
+            && code.contains(": Vec<EntityId>")
+            && !code.contains("let ")
+            && !code.contains("fn ")
+            && !code.contains("->")
+        {
+            report("owned-id-vec-field");
+        }
+
         // float-eq: exact comparisons against float literals in weighting
         // code.
         if float_sensitive {
@@ -455,6 +476,21 @@ mod tests {
         // Widening or unrelated casts are fine.
         assert!(lint_source("crates/eval/src/x.rs", "let x = k as u64;\n").is_empty());
         assert!(lint_source("crates/eval/src/x.rs", "let e = EntityId(raw);\n").is_empty());
+    }
+
+    #[test]
+    fn owned_id_vec_field_flagged_in_er_model_only() {
+        let src = "pub struct B {\n    left: Vec<EntityId>,\n    right: Vec<EntityId>,\n}\n";
+        let f = lint_source("crates/er-model/src/x.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == "owned-id-vec-field"));
+        assert_eq!((f[0].line, f[1].line), (2, 3));
+        // Same shape outside er-model is someone else's problem.
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+        // Locals, signatures and return types are not fields.
+        let ok = "fn f(v: Vec<EntityId>) -> Vec<EntityId> {\n    \
+                  let out: Vec<EntityId> = v;\n    out\n}\n";
+        assert!(lint_source("crates/er-model/src/x.rs", ok).is_empty());
     }
 
     #[test]

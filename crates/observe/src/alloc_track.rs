@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 static CURRENT: AtomicU64 = AtomicU64::new(0);
 static PEAK: AtomicU64 = AtomicU64::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 /// A [`GlobalAlloc`] wrapper that maintains live-byte and peak counters.
 pub struct TrackingAllocator<A> {
@@ -42,6 +43,7 @@ impl<A> TrackingAllocator<A> {
 fn on_alloc(bytes: usize) {
     let now = CURRENT.fetch_add(bytes as u64, Relaxed) + bytes as u64;
     PEAK.fetch_max(now, Relaxed);
+    ALLOCS.fetch_add(1, Relaxed);
 }
 
 fn on_dealloc(bytes: usize) {
@@ -101,6 +103,13 @@ pub fn rebase_peak() {
     PEAK.store(CURRENT.load(Relaxed), Relaxed);
 }
 
+/// Number of allocation events (alloc, alloc_zeroed, and the alloc half of
+/// realloc) since process start. Monotonic; read it before and after a
+/// region and subtract to count the region's allocations.
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +144,16 @@ mod tests {
         on_dealloc(live as usize + 4096);
         assert_eq!(current_bytes(), 0);
         rebase_peak();
+    }
+
+    #[test]
+    fn alloc_count_is_monotonic() {
+        let before = alloc_count();
+        on_alloc(8);
+        on_alloc(8);
+        let after = alloc_count();
+        assert!(after >= before + 2);
+        on_dealloc(16);
+        assert!(alloc_count() >= after); // deallocs never decrease it
     }
 }

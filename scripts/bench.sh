@@ -3,6 +3,10 @@
 # scheme x 1/2/4/8 threads, plus the raw edge-weighting sweep) and the
 # classic pruning + edge-weighting benches on the fixed synthetic workload.
 #
+# Also runs the end-to-end pipeline bench (build -> purge -> filter ->
+# weight -> prune, legacy layout vs CSR arena, wall-ms + allocation counts)
+# and validates the shape of the BENCH_pipeline.json it writes.
+#
 # Writes BENCH_pruning.json at the repository root — scheme x threads x
 # wall-ms records plus the machine's detected core count — so the scaling
 # behavior is comparable commit over commit. Speedups are bounded by the
@@ -11,10 +15,15 @@
 # Environment knobs:
 #   BENCH_SAMPLE_SIZE  timed samples per cell (default 5; use 2 for a quick
 #                      run, more for stable numbers)
-#   BENCH_OUT          output path for the JSON (default BENCH_pruning.json
-#                      at the repo root)
+#   BENCH_OUT          output path for the pruning JSON (default
+#                      BENCH_pruning.json at the repo root; the pipeline
+#                      bench always writes BENCH_pipeline.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> end-to-end pipeline bench (writes BENCH_pipeline.json)"
+BENCH_OUT="" cargo bench -p er-bench --bench pipeline_e2e
+cargo run -q -p er-bench --bin validate_pipeline_json -- BENCH_pipeline.json
 
 echo "==> pruning-scaling bench (writes ${BENCH_OUT:-BENCH_pruning.json})"
 cargo bench -p er-bench --bench pruning_scaling

@@ -1,0 +1,182 @@
+//! Pins the pipeline's observable output to the values produced by the
+//! pre-CSR (Vec-of-Vecs) block layout, using the same fixtures as
+//! `parallel_matrix.rs`. The CSR arena refactor must be invisible: the
+//! filter, the edge scanner and every pruning scheme must emit bit-identical
+//! streams. Each digest below was recorded by running this file against the
+//! pre-refactor layout.
+
+use er_model::{Block, BlockCollection, EntityId, ErKind};
+use mb_core::filter::block_filtering;
+use mb_core::weighting::optimized;
+use mb_core::weights::EdgeWeigher;
+use mb_core::{GraphContext, MetaBlocking, PruningScheme, WeightingScheme};
+
+fn ids(v: &[u32]) -> Vec<EntityId> {
+    v.iter().copied().map(EntityId).collect()
+}
+
+/// Same fixture as `parallel_matrix::large_dirty`.
+fn large_dirty() -> BlockCollection {
+    let n: u32 = 256 * 4 + 37;
+    let mut blocks = Vec::new();
+    for i in (0..n - 4).step_by(3) {
+        blocks.push(Block::dirty(ids(&[i, i + 1, i + 2, i + 4])));
+    }
+    blocks.push(Block::dirty(ids(&[0, n / 2, n - 1])));
+    blocks.push(Block::dirty(ids(&[3, n / 3, 2 * n / 3])));
+    BlockCollection::new(ErKind::Dirty, n as usize, blocks)
+}
+
+/// Same fixture as `parallel_matrix::large_clean_clean`.
+fn large_clean_clean() -> (BlockCollection, usize) {
+    let split: u32 = 600;
+    let n = split * 2;
+    let mut blocks = Vec::new();
+    for i in (0..split - 3).step_by(2) {
+        blocks.push(Block::clean_clean(ids(&[i, i + 1, i + 3]), ids(&[split + i, split + i + 2])));
+    }
+    blocks.push(Block::clean_clean(ids(&[0, split / 2]), ids(&[n - 1, split + 7])));
+    blocks.push(Block::clean_clean(ids(&[5, split - 1]), ids(&[split, n - 3])));
+    (BlockCollection::new(ErKind::CleanClean, split as usize * 2, blocks), split as usize)
+}
+
+/// FNV-1a over a stream of u64 words — order-sensitive by design, so the
+/// digest pins the emission *order*, not just the set.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Digest {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Digest of a collection's full structure: per block, the left then right
+/// member ids with a separator word between blocks.
+fn collection_digest(blocks: &BlockCollection) -> u64 {
+    let mut d = Digest::new();
+    d.word(blocks.size() as u64);
+    for k in 0..blocks.size() {
+        let b = block_view(blocks, k);
+        d.word(u64::MAX);
+        for &e in b.0 {
+            d.word(e.0 as u64);
+        }
+        d.word(u64::MAX - 1);
+        for &e in b.1 {
+            d.word(e.0 as u64);
+        }
+    }
+    d.0
+}
+
+/// Pre/post-refactor shim: the one line this test needs from the layout.
+/// The pinned digests were recorded against the owned `Vec<Block>` layout;
+/// reading through the CSR arena must reproduce them bit-for-bit.
+fn block_view(blocks: &BlockCollection, k: usize) -> (&[EntityId], &[EntityId]) {
+    let b = blocks.block(k);
+    (b.left(), b.right())
+}
+
+fn pipeline_digest(blocks: &BlockCollection, split: usize, pruning: PruningScheme) -> u64 {
+    let mut d = Digest::new();
+    for scheme in WeightingScheme::ALL {
+        let mut count = 0u64;
+        MetaBlocking::new(scheme, pruning)
+            .run(blocks, split, &mut mb_observe::Noop, |a, b| {
+                d.word(((a.0 as u64) << 32) | b.0 as u64);
+                count += 1;
+            })
+            .expect("pipeline runs");
+        d.word(count);
+    }
+    d.0
+}
+
+fn scanner_digest(blocks: &BlockCollection, split: usize) -> u64 {
+    let ctx = GraphContext::new(blocks, split);
+    let mut d = Digest::new();
+    for scheme in WeightingScheme::ALL {
+        let weigher = EdgeWeigher::new(scheme, &ctx);
+        optimized::for_each_edge(&ctx, &weigher, &mut |a: EntityId, b: EntityId, w: f64| {
+            d.word(((a.0 as u64) << 32) | b.0 as u64);
+            d.word(w.to_bits());
+        });
+    }
+    d.0
+}
+
+/// Block Filtering output (structure + member order) is unchanged by the
+/// arena layout, at both paper ratios.
+#[test]
+fn filter_output_matches_prerefactor_layout() {
+    let dirty = large_dirty();
+    let (clean, _) = large_clean_clean();
+    let pins: [(&BlockCollection, f64, u64); 4] = [
+        (&dirty, 0.55, 0xcd8b0bdb91bd93b3),
+        (&dirty, 0.80, 0x4b3442fdd8cbc378),
+        (&clean, 0.55, 0xc3699d180e7591a0),
+        (&clean, 0.80, 0x880515d697348541),
+    ];
+    for (blocks, r, want) in pins {
+        let filtered = block_filtering(blocks, r).expect("valid ratio");
+        assert_eq!(collection_digest(&filtered), want, "filter digest drifted at r={r}");
+    }
+}
+
+/// The optimized edge scanner emits identical (pair, weight-bits) streams —
+/// the ARCS reciprocal table multiplies by exactly the value the old code
+/// divided by.
+#[test]
+fn scanner_output_matches_prerefactor_layout() {
+    let dirty = large_dirty();
+    let n = dirty.num_entities();
+    let (clean, split) = large_clean_clean();
+    assert_eq!(scanner_digest(&dirty, n), 0x0f7782d4ed87aa58, "dirty scanner drifted");
+    assert_eq!(scanner_digest(&clean, split), 0x9d39cc570249eb0e, "clean scanner drifted");
+}
+
+/// Every pruning scheme (folded across all five weighting schemes) retains
+/// the same comparisons in the same order as the pre-refactor layout.
+#[test]
+fn pipeline_output_matches_prerefactor_layout() {
+    let dirty = large_dirty();
+    let n = dirty.num_entities();
+    let (clean, split) = large_clean_clean();
+    let dirty_pins: [(PruningScheme, u64); 8] = [
+        (PruningScheme::Cep, 0xb2870de0c2407cc5),
+        (PruningScheme::Cnp, 0x50f12ca32ec640cd),
+        (PruningScheme::Wep, 0xc7a0860da1163961),
+        (PruningScheme::Wnp, 0xa4aa3c8ed8ee85b9),
+        (PruningScheme::RedefinedCnp, 0x4ddec73bdf42fc4c),
+        (PruningScheme::ReciprocalCnp, 0x216f5b4ac4344279),
+        (PruningScheme::RedefinedWnp, 0x41bcfde0f19caee0),
+        (PruningScheme::ReciprocalWnp, 0x8d706b393eb4d0df),
+    ];
+    for (pruning, want) in dirty_pins {
+        assert_eq!(pipeline_digest(&dirty, n, pruning), want, "dirty {} drifted", pruning.name());
+    }
+    let clean_pins: [(PruningScheme, u64); 8] = [
+        (PruningScheme::Cep, 0xb26d5ee862adae23),
+        (PruningScheme::Cnp, 0xf39d33626de1fbd0),
+        (PruningScheme::Wep, 0xf18aafc314821d46),
+        (PruningScheme::Wnp, 0x7925bc7c73b0a8c9),
+        (PruningScheme::RedefinedCnp, 0xf66835882f8e4bf3),
+        (PruningScheme::ReciprocalCnp, 0x0338ae907bd5f074),
+        (PruningScheme::RedefinedWnp, 0xbaad643f520b2d59),
+        (PruningScheme::ReciprocalWnp, 0x0a0eae4deb839857),
+    ];
+    for (pruning, want) in clean_pins {
+        assert_eq!(
+            pipeline_digest(&clean, split, pruning),
+            want,
+            "clean {} drifted",
+            pruning.name()
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! CSR arena round-trip: `BlockCollection::from_blocks(blocks)` must read
+//! back, block for block and member for member, exactly the owned `Block`s
+//! it was built from — for Dirty and Clean-Clean collections, including
+//! empty blocks, one-sided Clean-Clean blocks and maximum entity ids.
+//!
+//! Seeded deterministic sweeps in the style of `tests/properties.rs` (no
+//! registry dependency).
+
+use er_datagen::rng::SmallRng;
+use er_model::{Block, BlockCollection, EntityId, ErKind};
+
+const CASES: u64 = 128;
+
+/// Draws a random member list; may be empty, and with probability ~1/8
+/// includes `u32::MAX`-adjacent ids (ids are positions in a virtual
+/// `num_entities = u32::MAX as usize + 1` collection).
+fn members(rng: &mut SmallRng, max_len: usize) -> Vec<EntityId> {
+    let len = rng.gen_below(max_len as u64 + 1) as usize;
+    let mut out = std::collections::BTreeSet::new();
+    for _ in 0..len {
+        let id = if rng.gen_below(8) == 0 {
+            u32::MAX - rng.gen_below(4) as u32
+        } else {
+            rng.gen_below(1 << 20) as u32
+        };
+        out.insert(EntityId(id));
+    }
+    out.into_iter().collect()
+}
+
+fn assert_round_trips(original: &[Block], kind: ErKind) {
+    let num_entities = u32::MAX as usize + 1;
+    let arena = BlockCollection::from_blocks(kind, num_entities, original.to_vec());
+    assert_eq!(arena.size(), original.len());
+    assert_eq!(
+        arena.total_assignments() as usize,
+        original.iter().map(|b| b.size()).sum::<usize>()
+    );
+    for (k, (view, owned)) in arena.iter().zip(original).enumerate() {
+        assert_eq!(view.left(), owned.left(), "block {k} left");
+        assert_eq!(view.right(), owned.right(), "block {k} right");
+        assert_eq!(view.cardinality(), owned.cardinality(), "block {k} cardinality");
+        assert_eq!(view, arena.block(k), "iter() vs block() disagree at {k}");
+        assert_eq!(view.to_block(), *owned, "block {k} to_block");
+    }
+}
+
+#[test]
+fn dirty_collections_round_trip() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let blocks: Vec<Block> =
+            (0..rng.gen_below(12)).map(|_| Block::dirty(members(&mut rng, 6))).collect();
+        assert_round_trips(&blocks, ErKind::Dirty);
+    }
+}
+
+#[test]
+fn clean_clean_collections_round_trip() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC1EA);
+        let blocks: Vec<Block> = (0..rng.gen_below(12))
+            .map(|_| {
+                // Either side may be empty — one-sided blocks must survive
+                // the arena's split encoding unchanged.
+                Block::clean_clean(members(&mut rng, 4), members(&mut rng, 4))
+            })
+            .collect();
+        assert_round_trips(&blocks, ErKind::CleanClean);
+    }
+}
+
+#[test]
+fn explicit_edge_cases_round_trip() {
+    // Empty collection.
+    assert_round_trips(&[], ErKind::Dirty);
+    // Empty dirty block between populated ones.
+    assert_round_trips(
+        &[
+            Block::dirty(vec![EntityId(0), EntityId(1)]),
+            Block::dirty(vec![]),
+            Block::dirty(vec![EntityId(2), EntityId(u32::MAX)]),
+        ],
+        ErKind::Dirty,
+    );
+    // Clean-Clean blocks with each side empty, plus the max-id entity.
+    assert_round_trips(
+        &[
+            Block::clean_clean(vec![], vec![EntityId(5)]),
+            Block::clean_clean(vec![EntityId(1)], vec![]),
+            Block::clean_clean(vec![], vec![]),
+            Block::clean_clean(vec![EntityId(0)], vec![EntityId(u32::MAX)]),
+        ],
+        ErKind::CleanClean,
+    );
+}
