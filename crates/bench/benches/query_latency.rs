@@ -1,0 +1,143 @@
+//! Serving-layer latency bench: snapshot load time, single-query latency
+//! percentiles, and batch query throughput across thread counts.
+//!
+//! The workload is the Dirty d1c-0.1 benchmark frozen into an `mb-serve`
+//! snapshot (Token Blocking + Block Filtering at r = 0.8). Three
+//! measurements:
+//!
+//! * **load** — full `Snapshot::read_from` (read + checksum + structural
+//!   validation + threshold verification), wall-ms.
+//! * **single query** — per-entity `QueryEngine::query` latency in µs,
+//!   reported as p50/p99 over every entity × `BENCH_SAMPLE_SIZE` rounds.
+//! * **batch** — `QueryEngine::batch` at 1/2/4/8 threads, wall-ms and
+//!   queries/second.
+//!
+//! Output: `BENCH_query.json` at the repository root (override with
+//! `BENCH_OUT`); `validate_query_json` checks its shape in
+//! `scripts/bench.sh`.
+
+use er_bench::dirty_workload;
+use mb_core::{Noop, PipelineConfig, PruningScheme, WeightingScheme};
+use mb_observe::json::Json;
+use mb_serve::{QueryEngine, Snapshot};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn sample_count() -> usize {
+    std::env::var("BENCH_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(5)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let samples = sample_count();
+    let workload = dirty_workload();
+    let n = workload.collection.len();
+    let config = PipelineConfig {
+        weighting: WeightingScheme::Js,
+        pruning: PruningScheme::Cnp,
+        filter_ratio: Some(0.8),
+        ..PipelineConfig::default()
+    };
+    let snapshot = Snapshot::build(&workload.collection, config)
+        .unwrap_or_else(|e| panic!("building snapshot: {e}"));
+    let path = std::env::temp_dir().join("er_bench_query.mbsnap");
+    snapshot.write_to(&path).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "query-latency: {n} entities, {} blocks, {snapshot_bytes} snapshot bytes, \
+         {samples} samples",
+        snapshot.blocks().size()
+    );
+
+    // --- snapshot load -----------------------------------------------------
+    let mut load_times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let s = Snapshot::read_from(&path, &mut Noop)
+                .unwrap_or_else(|e| panic!("loading snapshot: {e}"));
+            black_box(s.num_entities());
+            start.elapsed()
+        })
+        .collect();
+    load_times.sort_unstable();
+    let load_mean = load_times.iter().sum::<Duration>() / load_times.len() as u32;
+    println!("    load: mean {:>8.3} ms  min {:>8.3} ms", ms(load_mean), ms(load_times[0]));
+    let mut load = Json::obj();
+    load.push("mean_ms", Json::Num(ms(load_mean)));
+    load.push("min_ms", Json::Num(ms(load_times[0])));
+    load.push("samples", Json::Uint(load_times.len() as u64));
+
+    let snapshot =
+        Snapshot::read_from(&path, &mut Noop).unwrap_or_else(|e| panic!("reloading snapshot: {e}"));
+    let mut engine = QueryEngine::new(&snapshot);
+    let retention = engine.default_retention();
+
+    // --- single-query latency (µs percentiles over all entities) -----------
+    let mut lat_us: Vec<f64> = Vec::with_capacity(n * samples);
+    for _ in 0..samples {
+        for pivot in 0..n as u32 {
+            let start = Instant::now();
+            black_box(engine.query(er_model::EntityId(pivot), retention, &mut Noop));
+            lat_us.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    lat_us.sort_unstable_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    println!("  single: p50 {p50:>8.2} us  p99 {p99:>8.2} us  ({} timed queries)", lat_us.len());
+    let mut single = Json::obj();
+    single.push("p50_us", Json::Num(p50));
+    single.push("p99_us", Json::Num(p99));
+    single.push("queries", Json::Uint(lat_us.len() as u64));
+
+    // --- batch throughput across thread counts ------------------------------
+    let mut batch_rows: Vec<Json> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let mut times: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(engine.batch(retention, threads, &mut Noop));
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let qps = n as f64 / mean.as_secs_f64();
+        println!(
+            "   batch: {threads} thread(s)  mean {:>8.3} ms  min {:>8.3} ms  {qps:>10.0} q/s",
+            ms(mean),
+            ms(times[0])
+        );
+        let mut row = Json::obj();
+        row.push("threads", Json::Uint(threads as u64));
+        row.push("mean_ms", Json::Num(ms(mean)));
+        row.push("min_ms", Json::Num(ms(times[0])));
+        row.push("throughput_qps", Json::Num(qps));
+        row.push("samples", Json::Uint(times.len() as u64));
+        batch_rows.push(row);
+    }
+
+    let mut doc = Json::obj();
+    doc.push("bench", Json::Str("query_latency".into()));
+    doc.push("workload", Json::Str("d1c-0.1 dirty, filter 0.8".into()));
+    doc.push("entities", Json::Uint(n as u64));
+    doc.push("samples", Json::Uint(samples as u64));
+    doc.push("snapshot_bytes", Json::Uint(snapshot_bytes));
+    doc.push("load", load);
+    doc.push("single_query", single);
+    doc.push("batch", Json::Arr(batch_rows));
+
+    let out = std::env::var("BENCH_OUT").ok().filter(|p| !p.is_empty()).unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json").to_string()
+    });
+    std::fs::write(&out, doc.render_pretty()).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    std::fs::remove_file(&path).ok();
+    println!("wrote {out}");
+}

@@ -68,7 +68,18 @@ impl KeyBlockBuilder {
     /// Blocks are emitted in ascending key id — i.e. first-seen key order —
     /// with members ascending within each block (and within each side for
     /// Clean-Clean ER).
-    pub fn finish(mut self) -> BlockCollection {
+    pub fn finish(self) -> BlockCollection {
+        self.finish_keyed().0
+    }
+
+    /// Like [`KeyBlockBuilder::finish`], but keeps the key provenance: the
+    /// returned vector holds the interned key id of every emitted block (in
+    /// block order), and the interner maps those ids back to key strings.
+    ///
+    /// A serving index persists both so an online probe can resolve its
+    /// tokens straight to block ids without re-running blocking.
+    pub fn finish_keyed(mut self) -> (BlockCollection, Vec<u32>, TokenInterner) {
+        let mut keys = Vec::new();
         self.postings.sort_unstable();
         self.postings.dedup();
         let mut out = BlockCollectionBuilder::with_capacity(
@@ -96,6 +107,7 @@ impl KeyBlockBuilder {
                         out.push_left(e);
                     }
                     out.commit();
+                    keys.push(key);
                 }
                 ErKind::CleanClean => {
                     // Members are sorted by id, so one partition point
@@ -112,10 +124,11 @@ impl KeyBlockBuilder {
                         out.push_right(e);
                     }
                     out.commit();
+                    keys.push(key);
                 }
             }
         }
-        out.finish()
+        (out.finish(), keys, self.interner)
     }
 }
 
@@ -181,6 +194,50 @@ mod tests {
         assert_eq!(blocks.size(), 1);
         assert_eq!(blocks.block(0).left(), &[EntityId(1)]);
         assert_eq!(blocks.block(0).right(), &[EntityId(2)]);
+    }
+
+    #[test]
+    fn finish_keyed_reports_the_key_of_every_emitted_block() {
+        let c = dirty(5);
+        let mut b = KeyBlockBuilder::new(&c);
+        b.assign("beta", EntityId(0));
+        b.assign("alpha", EntityId(1));
+        b.assign("beta", EntityId(2));
+        b.assign("gamma", EntityId(3)); // singleton -> dropped
+        b.assign("alpha", EntityId(4));
+        let (blocks, keys, interner) = b.finish_keyed();
+        assert_eq!(blocks.size(), 2);
+        assert_eq!(keys.len(), 2);
+        let names: Vec<(String, u32)> = interner.into_entries();
+        let key_name = |id: u32| names.iter().find(|&&(_, i)| i == id).unwrap().0.as_str();
+        // Block order follows first-seen key order: "beta" then "alpha".
+        assert_eq!(key_name(keys[0]), "beta");
+        assert_eq!(key_name(keys[1]), "alpha");
+        assert_eq!(blocks.block(0).left(), &[EntityId(0), EntityId(2)]);
+        assert_eq!(blocks.block(1).left(), &[EntityId(1), EntityId(4)]);
+    }
+
+    #[test]
+    fn finish_and_finish_keyed_build_identical_collections() {
+        let e1 = vec![EntityProfile::new("a"), EntityProfile::new("b")];
+        let e2 = vec![EntityProfile::new("c"), EntityProfile::new("d")];
+        let assignments = [("x", 0u32), ("x", 2), ("y", 1), ("y", 3), ("z", 0), ("z", 1), ("w", 2)];
+        let build = || {
+            let c = EntityCollection::clean_clean(e1.clone(), e2.clone());
+            let mut b = KeyBlockBuilder::new(&c);
+            for &(k, e) in &assignments {
+                b.assign(k, EntityId(e));
+            }
+            b
+        };
+        let plain = build().finish();
+        let (keyed, keys, _) = build().finish_keyed();
+        assert_eq!(plain.size(), keyed.size());
+        assert_eq!(keys.len(), keyed.size());
+        for k in 0..plain.size() {
+            assert_eq!(plain.block(k).left(), keyed.block(k).left());
+            assert_eq!(plain.block(k).right(), keyed.block(k).right());
+        }
     }
 
     #[test]

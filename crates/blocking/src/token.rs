@@ -2,7 +2,7 @@
 
 use crate::builder::KeyBlockBuilder;
 use crate::method::BlockingMethod;
-use er_model::tokenize::{raw_tokens, KeyScratch};
+use er_model::tokenize::{raw_tokens, KeyScratch, TokenInterner};
 use er_model::{BlockCollection, EntityCollection};
 
 /// Schema-agnostic Token Blocking: "it splits the attribute values of every
@@ -26,12 +26,22 @@ use er_model::{BlockCollection, EntityCollection};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TokenBlocking;
 
-impl BlockingMethod for TokenBlocking {
-    fn name(&self) -> &'static str {
-        "Token Blocking"
+impl TokenBlocking {
+    /// [`BlockingMethod::build`] with key provenance: also returns the
+    /// interned token id of every emitted block plus the interner that maps
+    /// ids back to token strings — the inputs a serving snapshot persists so
+    /// online probes can tokenize against the *same* vocabulary.
+    ///
+    /// The block collection is identical to [`BlockingMethod::build`]'s.
+    pub fn build_keyed(
+        &self,
+        collection: &EntityCollection,
+    ) -> (BlockCollection, Vec<u32>, TokenInterner) {
+        self.fill(collection).finish_keyed()
     }
 
-    fn build(&self, collection: &EntityCollection) -> BlockCollection {
+    /// The shared token-extraction pass behind both build flavors.
+    fn fill(&self, collection: &EntityCollection) -> KeyBlockBuilder {
         let mut builder = KeyBlockBuilder::new(collection);
         let mut scratch = KeyScratch::new();
         for (id, profile) in collection.iter() {
@@ -51,7 +61,17 @@ impl BlockingMethod for TokenBlocking {
                 builder.assign(t, id);
             }
         }
-        builder.finish()
+        builder
+    }
+}
+
+impl BlockingMethod for TokenBlocking {
+    fn name(&self) -> &'static str {
+        "Token Blocking"
+    }
+
+    fn build(&self, collection: &EntityCollection) -> BlockCollection {
+        self.fill(collection).finish()
     }
 }
 
@@ -104,6 +124,23 @@ mod tests {
         let blocks = TokenBlocking.build(&e);
         assert_eq!(blocks.size(), 1);
         assert_eq!(blocks.block(0).size(), 2);
+    }
+
+    #[test]
+    fn keyed_build_matches_plain_build_and_names_every_block() {
+        let e = EntityCollection::dirty(figure1_profiles());
+        let plain = TokenBlocking.build(&e);
+        let (keyed, keys, interner) = TokenBlocking.build_keyed(&e);
+        assert_eq!(plain.size(), keyed.size());
+        assert_eq!(keys.len(), keyed.size());
+        for k in 0..plain.size() {
+            assert_eq!(plain.block(k).left(), keyed.block(k).left());
+        }
+        let entries = interner.into_entries();
+        let name = |id: u32| entries[id as usize].0.as_str();
+        // The 4-member block is the "car" token's.
+        let car = (0..keyed.size()).find(|&k| keyed.block(k).size() == 4).unwrap();
+        assert_eq!(name(keys[car]), "car");
     }
 
     #[test]

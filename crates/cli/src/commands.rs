@@ -1,14 +1,19 @@
-//! The four CLI verbs.
+//! The CLI verbs.
 
 use crate::args::Args;
 use er_blocking::{purging, BlockingMethod, TokenBlocking};
 use er_io::bundle::{self, Bundle};
 use er_model::measures::{self, EffectivenessAccumulator};
-use er_model::BlockCollection;
+use er_model::{BlockCollection, EntityId, EntityProfile};
 use mb_core::filter::block_filtering;
-use mb_core::{pipeline, MetaBlocking, Noop, Observer, PruningScheme, WeightingScheme};
+use mb_core::{
+    pipeline, MetaBlocking, Noop, Observer, PipelineConfig, PruningScheme, Retention,
+    WeightingScheme,
+};
 use mb_observe::{Progress, RunReport, Tee};
+use mb_serve::{QueryEngine, Snapshot};
 use std::fmt::Write as _;
+use std::path::Path;
 
 fn check_options(args: &Args, known: &[&str]) -> Result<(), String> {
     let unknown = args.unknown_options(known);
@@ -244,6 +249,137 @@ pub fn sweep_filter(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `er snapshot <build|inspect>`: persist or examine a serving index.
+pub fn snapshot(args: &Args) -> Result<String, String> {
+    match args.positional(1) {
+        Some("build") => snapshot_build(args),
+        Some("inspect") => snapshot_inspect(args),
+        Some(other) => {
+            Err(format!("unknown snapshot subcommand `{other}` (expected build|inspect)"))
+        }
+        None => Err("usage: er snapshot <build|inspect> ...".into()),
+    }
+}
+
+/// `er snapshot build`: freeze Token Blocking (+ optional Block Filtering)
+/// over a bundle into a versioned snapshot file.
+fn snapshot_build(args: &Args) -> Result<String, String> {
+    check_options(args, &["dataset", "out", "scheme", "pruning", "filter", "threads"])?;
+    let bundle = load_bundle(args)?;
+    let out = args.require("out")?;
+    let weighting: WeightingScheme = args.get("scheme").unwrap_or("js").parse()?;
+    let pruning: PruningScheme = args.get("pruning").unwrap_or("reciprocal-wnp").parse()?;
+    let filter_ratio: Option<f64> = match args.get("filter") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("invalid value for --filter: `{v}`"))?),
+    };
+    let threads: usize = args.get_parsed("threads", 1)?;
+    let config =
+        PipelineConfig { weighting, pruning, filter_ratio, threads, ..PipelineConfig::default() };
+    let snapshot = Snapshot::build(&bundle.collection, config).map_err(|e| e.to_string())?;
+    snapshot.write_to(Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
+    Ok(format!(
+        "wrote {out}: {:?} ER, {} entities, {} blocks, {} comparisons, {} tokens\n",
+        snapshot.kind(),
+        snapshot.num_entities(),
+        snapshot.blocks().size(),
+        snapshot.total_comparisons(),
+        snapshot.tokens().len(),
+    ))
+}
+
+/// `er snapshot inspect`: load (and thereby fully validate) a snapshot and
+/// print its header, sizes, thresholds and pipeline configuration.
+fn snapshot_inspect(args: &Args) -> Result<String, String> {
+    check_options(args, &["snapshot"])?;
+    let path = args.require("snapshot")?;
+    let snapshot = Snapshot::read_from(Path::new(path), &mut Noop)
+        .map_err(|e| format!("loading {path}: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "format version:     {}", mb_serve::FORMAT_VERSION);
+    let _ = writeln!(out, "kind:               {:?} ER", snapshot.kind());
+    let _ = writeln!(out, "entities:           {}", snapshot.num_entities());
+    let _ = writeln!(out, "split:              {}", snapshot.split());
+    let _ = writeln!(out, "blocks:             {}", snapshot.blocks().size());
+    let _ = writeln!(out, "comparisons ||B||:  {}", snapshot.total_comparisons());
+    let _ = writeln!(out, "assignments:        {}", snapshot.total_assignments());
+    let _ = writeln!(out, "tokens:             {}", snapshot.tokens().len());
+    let _ = writeln!(out, "CNP threshold k:    {}", snapshot.cnp_threshold());
+    let _ = writeln!(out, "CEP threshold K:    {}", snapshot.cep_threshold());
+    let _ = writeln!(out, "config:             {}", snapshot.config().to_json_string());
+    Ok(out)
+}
+
+/// `er query`: load a snapshot and answer one candidate query — for an
+/// indexed entity (`--entity`) or an unseen probe profile (`--text`).
+pub fn query(args: &Args) -> Result<String, String> {
+    check_options(args, &["snapshot", "entity", "text", "side", "top", "scheme", "report"])?;
+    let path = args.require("snapshot")?;
+    let report_path = args.get("report");
+    let mut report = RunReport::new("er-query");
+    let mut noop = Noop;
+    let obs: &mut dyn Observer = if report_path.is_some() { &mut report } else { &mut noop };
+    let snapshot =
+        Snapshot::read_from(Path::new(path), obs).map_err(|e| format!("loading {path}: {e}"))?;
+    let scheme: WeightingScheme = match args.get("scheme") {
+        Some(s) => s.parse()?,
+        None => snapshot.config().weighting,
+    };
+    let mut engine = QueryEngine::with_scheme(&snapshot, scheme);
+    let retention = match args.get("top") {
+        Some(v) => {
+            let k: usize = v.parse().map_err(|_| format!("invalid value for --top: `{v}`"))?;
+            Retention::TopK(k)
+        }
+        None => engine.default_retention(),
+    };
+    let (scored, subject) = match (args.get("entity"), args.get("text")) {
+        (Some(v), None) => {
+            let id: u32 = v.parse().map_err(|_| format!("invalid value for --entity: `{v}`"))?;
+            if id as usize >= snapshot.num_entities() {
+                return Err(format!(
+                    "entity {id} out of range (snapshot has {} entities)",
+                    snapshot.num_entities()
+                ));
+            }
+            (engine.query(EntityId(id), retention, obs), format!("entity {id}"))
+        }
+        (None, Some(text)) => {
+            let side: usize = args.get_parsed("side", 1)?;
+            if side != 1 && side != 2 {
+                return Err(format!("--side must be 1 or 2, got {side}"));
+            }
+            let profile = EntityProfile::new("probe").with("text", text);
+            (engine.probe(&profile, side == 1, retention, obs), format!("probe {text:?}"))
+        }
+        _ => return Err("exactly one of --entity or --text is required".into()),
+    };
+    if let Some(p) = report_path {
+        report.set_meta("snapshot", path);
+        report.set_meta("weighting", scheme.token());
+        report.write_to(p.as_ref()).map_err(|e| format!("writing {p}: {e}"))?;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "snapshot:   {path} ({:?} ER, {} entities, {} blocks)",
+        snapshot.kind(),
+        snapshot.num_entities(),
+        snapshot.blocks().size()
+    );
+    let _ = writeln!(out, "query:      {subject}, {} ({retention:?})", scheme.name());
+    let _ = writeln!(
+        out,
+        "touched:    {} blocks, {} edges scored",
+        scored.blocks_touched, scored.edges_scored
+    );
+    let _ = writeln!(out, "candidates: {}", scored.candidates.len());
+    for (rank, c) in scored.candidates.iter().enumerate() {
+        let _ = writeln!(out, "  {:>3}. entity {:<8} w = {:.6}", rank + 1, c.id.0, c.weight);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +509,100 @@ mod tests {
         let s =
             sweep_filter(&argv(&["sweep-filter", "--dataset", dir_s, "--step", "0.25"])).unwrap();
         assert_eq!(s.lines().count(), 2 + 4, "{s}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_build_inspect_query_roundtrip() {
+        let dir = temp_dir("serve");
+        let dir_s = dir.to_str().unwrap();
+        generate(&argv(&["generate", "--preset", "tiny", "--out", dir_s, "--scale", "0.3"]))
+            .unwrap();
+        let snap = dir.join("index.mbsnap");
+        let snap_s = snap.to_str().unwrap();
+        let msg = snapshot(&argv(&[
+            "snapshot",
+            "build",
+            "--dataset",
+            dir_s,
+            "--out",
+            snap_s,
+            "--scheme",
+            "cbs",
+            "--pruning",
+            "cnp",
+            "--filter",
+            "0.8",
+        ]))
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+
+        let info = snapshot(&argv(&["snapshot", "inspect", "--snapshot", snap_s])).unwrap();
+        assert!(info.contains("format version:     1"), "{info}");
+        assert!(info.contains("CleanClean ER"), "{info}");
+        assert!(info.contains("CNP threshold"), "{info}");
+        assert!(info.contains("\"weighting\":\"cbs\""), "{info}");
+
+        let report = dir.join("query.json");
+        let q = query(&argv(&[
+            "query",
+            "--snapshot",
+            snap_s,
+            "--entity",
+            "0",
+            "--top",
+            "5",
+            "--report",
+            report.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(q.contains("entity 0"), "{q}");
+        assert!(q.contains("candidates:"), "{q}");
+        let parsed =
+            mb_observe::RunReport::from_json_str(&std::fs::read_to_string(&report).unwrap())
+                .unwrap();
+        assert!(parsed.stage(mb_observe::Stage::SnapshotLoad).is_some());
+        assert!(parsed.stage(mb_observe::Stage::Query).is_some());
+
+        let p =
+            query(&argv(&["query", "--snapshot", snap_s, "--text", "record alpha", "--side", "2"]))
+                .unwrap();
+        assert!(p.contains("probe \"record alpha\""), "{p}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_and_query_errors_are_helpful() {
+        let dir = temp_dir("serve_err");
+        let dir_s = dir.to_str().unwrap();
+        assert!(snapshot(&argv(&["snapshot"])).unwrap_err().contains("build|inspect"));
+        assert!(snapshot(&argv(&["snapshot", "prune"])).unwrap_err().contains("unknown snapshot"));
+        assert!(query(&argv(&["query", "--snapshot", "/nonexistent.mbsnap", "--entity", "0"]))
+            .unwrap_err()
+            .contains("loading"));
+
+        generate(&argv(&["generate", "--preset", "tiny", "--out", dir_s, "--scale", "0.3"]))
+            .unwrap();
+        let snap = dir.join("index.mbsnap");
+        let snap_s = snap.to_str().unwrap();
+        snapshot(&argv(&["snapshot", "build", "--dataset", dir_s, "--out", snap_s])).unwrap();
+        assert!(query(&argv(&["query", "--snapshot", snap_s]))
+            .unwrap_err()
+            .contains("--entity or --text"));
+        assert!(query(&argv(&["query", "--snapshot", snap_s, "--entity", "999999"]))
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(query(&argv(&["query", "--snapshot", snap_s, "--text", "x", "--side", "3"]))
+            .unwrap_err()
+            .contains("--side"));
+
+        // A corrupted snapshot is rejected with the typed decode error.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&snap, &bytes).unwrap();
+        let err = query(&argv(&["query", "--snapshot", snap_s, "--entity", "0"])).unwrap_err();
+        assert!(err.contains("loading"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -31,12 +31,23 @@ USAGE:
          [--filter R] [--out <comparisons.csv>] [--threads N]
          [--progress] [--report <report.json>]
   er sweep-filter --dataset <dir> [--step F]
+  er snapshot build --dataset <dir> --out <file> [--scheme S] [--pruning P]
+         [--filter R] [--threads N]
+  er snapshot inspect --snapshot <file>
+  er query --snapshot <file> (--entity N | --text \"...\" [--side 1|2])
+         [--top K] [--scheme S] [--report <report.json>]
 
 `--threads N` runs the pruning sweeps on N workers (default 1; 0 =
 auto-detect the available parallelism); output is bit-identical to the
 sequential run. `--progress` prints per-stage progress lines to stderr as
 the pipeline runs; `--report` writes a JSON breakdown of every stage
 (wall/CPU time, block, comparison and edge counters) to the given path.
+
+`er snapshot build` freezes Token Blocking (+ Block Filtering with
+--filter) into a versioned, checksummed binary index; `er query` loads it
+and returns ranked candidates for an indexed entity (--entity) or an
+unseen probe profile (--text), scored and retained exactly like the batch
+node-centric pruning schemes.
 ";
 
 /// Dispatches a command line (without the program name). Returns the text
@@ -48,6 +59,8 @@ pub fn dispatch(raw: impl IntoIterator<Item = String>) -> Result<String, String>
         Some("stats") => commands::stats(&args),
         Some("run") => commands::run(&args),
         Some("sweep-filter") => commands::sweep_filter(&args),
+        Some("snapshot") => commands::snapshot(&args),
+        Some("query") => commands::query(&args),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
         None => Err(USAGE.to_string()),
     }

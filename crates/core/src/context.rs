@@ -51,6 +51,25 @@ impl<'b> GraphContext<'b> {
         GraphContext { blocks, index, cardinalities, recip_cardinalities, split }
     }
 
+    /// Builds the context around an index that already exists — the snapshot
+    /// load path, where the persisted [`EntityIndex`] must be reused instead
+    /// of being re-derived from the blocks.
+    ///
+    /// The caller is responsible for `index` actually indexing `blocks`
+    /// ([`EntityIndex::validate`] checks that); under the `sanitize` feature
+    /// the correspondence is verified here.
+    pub fn from_index(blocks: &'b BlockCollection, index: EntityIndex, split: usize) -> Self {
+        #[cfg(feature = "sanitize")]
+        er_model::sanitize::assert_valid(&index.validate(blocks), "GraphContext::from_index");
+        Self::with_index(blocks, index, split)
+    }
+
+    /// Decomposes the context, handing back ownership of its entity index
+    /// (the inverse of [`GraphContext::from_index`]).
+    pub fn into_index(self) -> EntityIndex {
+        self.index
+    }
+
     /// Context for a Dirty-ER block collection.
     pub fn new_dirty(blocks: &'b BlockCollection) -> Self {
         debug_assert_eq!(blocks.kind(), ErKind::Dirty);

@@ -78,6 +78,34 @@ pub fn block_filtering_with_order(
     Ok(filter_with_limits(blocks, order_by, &limits))
 }
 
+/// Like [`block_filtering`], but also reports provenance: `trace[k]` is the
+/// index in `blocks` that produced output block `k`.
+///
+/// The serving layer uses the trace to carry per-block token keys from the
+/// blocking front-end through filtering into a snapshot, so an online probe
+/// can map a token straight to its surviving block.
+pub fn block_filtering_traced(
+    blocks: &BlockCollection,
+    r: f64,
+) -> Result<(BlockCollection, Vec<u32>)> {
+    if !(r > 0.0 && r <= 1.0) {
+        return Err(Error::InvalidRatio { param: "r", value: r });
+    }
+    let counts = blocks.assignments_per_entity();
+    let limits: Vec<u32> = counts
+        .iter()
+        .map(|&c| if c == 0 { 0 } else { ((r * c as f64).round() as u32).max(1) })
+        .collect();
+    let mut trace = Vec::new();
+    let out = filter_with_limits_traced(
+        blocks,
+        BlockOrder::AscendingCardinality,
+        &limits,
+        Some(&mut trace),
+    );
+    Ok((out, trace))
+}
+
 /// The global-threshold ablation of §4.1: every profile keeps its first
 /// `limit` block assignments (blocks ordered by ascending cardinality),
 /// regardless of how many blocks it appears in.
@@ -99,6 +127,18 @@ fn filter_with_limits(
     blocks: &BlockCollection,
     order_by: BlockOrder,
     limits: &[u32],
+) -> BlockCollection {
+    filter_with_limits_traced(blocks, order_by, limits, None)
+}
+
+/// [`filter_with_limits`] with an optional provenance trace: when `trace` is
+/// given, the original index of every committed block is appended in output
+/// order.
+fn filter_with_limits_traced(
+    blocks: &BlockCollection,
+    order_by: BlockOrder,
+    limits: &[u32],
+    mut trace: Option<&mut Vec<u32>>,
 ) -> BlockCollection {
     // Order blocks by descending importance.
     let mut order: Vec<u32> = (0..blocks.size() as u32).collect();
@@ -158,6 +198,9 @@ fn filter_with_limits(
         };
         if keep_block {
             out.commit();
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.push(k);
+            }
         } else {
             out.rollback();
         }
@@ -276,6 +319,35 @@ mod tests {
         let big = out.block(1);
         assert_eq!(big.left(), &[EntityId(1)]);
         assert_eq!(big.right(), &[EntityId(3)]);
+    }
+
+    #[test]
+    fn traced_filtering_matches_untraced_and_maps_blocks_back() {
+        let blocks = fixture();
+        for r in [0.25, 0.5, 0.8, 1.0] {
+            let plain = block_filtering(&blocks, r).unwrap();
+            let (traced, trace) = block_filtering_traced(&blocks, r).unwrap();
+            assert_eq!(traced.size(), plain.size());
+            assert_eq!(trace.len(), traced.size());
+            for k in 0..traced.size() {
+                let got = traced.block(k);
+                assert_eq!(got.left(), plain.block(k).left());
+                // Every member of the output block came from its source
+                // block — the trace points at a superset.
+                let src = blocks.block(trace[k] as usize);
+                for e in got.left() {
+                    assert!(src.left().contains(e), "r={r}: block {k} not from {}", trace[k]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_empty_when_nothing_survives() {
+        let blocks = BlockCollection::new(ErKind::Dirty, 2, vec![Block::dirty(ids(&[0]))]);
+        let (out, trace) = block_filtering_traced(&blocks, 1.0).unwrap();
+        assert_eq!(out.size(), 0);
+        assert!(trace.is_empty());
     }
 
     #[test]

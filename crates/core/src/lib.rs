@@ -85,10 +85,12 @@ pub mod prune;
 #[cfg(feature = "sanitize")]
 pub mod sanitize;
 pub mod scanner;
+pub mod scorer;
 pub mod weighting;
 pub mod weights;
 
 pub use context::GraphContext;
 pub use mb_observe::{Noop, Observer};
 pub use pipeline::{MetaBlocking, PipelineConfig, PruningScheme, WeightingImpl};
+pub use scorer::{Candidate, NeighborhoodScorer, Retention, Scored};
 pub use weights::WeightingScheme;

@@ -152,14 +152,13 @@ pub struct EdgeWeigher<'c, 'b> {
     scheme: WeightingScheme,
     ctx: &'c GraphContext<'b>,
     degrees: Option<Degrees>,
-    num_blocks: f64,
 }
 
 impl<'c, 'b> EdgeWeigher<'c, 'b> {
     /// Prepares a weigher for `scheme` over the graph of `ctx`.
     pub fn new(scheme: WeightingScheme, ctx: &'c GraphContext<'b>) -> Self {
         let degrees = scheme.needs_degrees().then(|| Degrees::compute(ctx));
-        EdgeWeigher { scheme, ctx, degrees, num_blocks: ctx.blocks().size() as f64 }
+        EdgeWeigher { scheme, ctx, degrees }
     }
 
     /// Prepares a weigher reusing pre-computed degrees (EJS only).
@@ -168,7 +167,7 @@ impl<'c, 'b> EdgeWeigher<'c, 'b> {
         ctx: &'c GraphContext<'b>,
         degrees: Degrees,
     ) -> Self {
-        EdgeWeigher { scheme, ctx, degrees: Some(degrees), num_blocks: ctx.blocks().size() as f64 }
+        EdgeWeigher { scheme, ctx, degrees: Some(degrees) }
     }
 
     /// The scheme being evaluated.
@@ -180,35 +179,51 @@ impl<'c, 'b> EdgeWeigher<'c, 'b> {
     /// by a [`NeighborhoodScanner`] scan with [`WeightingScheme::accumulate`].
     #[inline]
     pub fn weight(&self, i: EntityId, j: EntityId, score: f64) -> f64 {
-        match self.scheme {
-            WeightingScheme::Arcs => score,
-            WeightingScheme::Cbs => score,
-            WeightingScheme::Ecbs => {
-                let bi = self.ctx.num_blocks_of(i) as f64;
-                let bj = self.ctx.num_blocks_of(j) as f64;
-                score * (self.num_blocks / bi).ln() * (self.num_blocks / bj).ln()
-            }
-            WeightingScheme::Js => {
-                let bi = self.ctx.num_blocks_of(i) as f64;
-                let bj = self.ctx.num_blocks_of(j) as f64;
-                score / (bi + bj - score)
-            }
-            WeightingScheme::Ejs => {
-                let bi = self.ctx.num_blocks_of(i) as f64;
-                let bj = self.ctx.num_blocks_of(j) as f64;
-                let js = score / (bi + bj - score);
-                let degrees = match self.degrees.as_ref() {
-                    Some(d) => d,
-                    // The constructor computes degree statistics whenever
-                    // the scheme is EJS, so this arm marks a construction
-                    // bug, not a runtime condition.
-                    None => unreachable!("EJS weigher built without degree statistics"),
-                };
-                let e = degrees.total_edges as f64;
-                let di = degrees.per_node[i.idx()].max(1) as f64;
-                let dj = degrees.per_node[j.idx()].max(1) as f64;
-                js * (e / di).ln() * (e / dj).ln()
-            }
+        edge_weight(self.scheme, self.ctx, self.degrees.as_ref(), i, j, score)
+    }
+}
+
+/// The shared formula core behind [`EdgeWeigher::weight`], taking degrees by
+/// reference so callers that own their [`Degrees`] (the query-serving scorer)
+/// can evaluate weights without cloning the per-node table.
+#[inline]
+pub(crate) fn edge_weight(
+    scheme: WeightingScheme,
+    ctx: &GraphContext<'_>,
+    degrees: Option<&Degrees>,
+    i: EntityId,
+    j: EntityId,
+    score: f64,
+) -> f64 {
+    let num_blocks = ctx.blocks().size() as f64;
+    match scheme {
+        WeightingScheme::Arcs => score,
+        WeightingScheme::Cbs => score,
+        WeightingScheme::Ecbs => {
+            let bi = ctx.num_blocks_of(i) as f64;
+            let bj = ctx.num_blocks_of(j) as f64;
+            score * (num_blocks / bi).ln() * (num_blocks / bj).ln()
+        }
+        WeightingScheme::Js => {
+            let bi = ctx.num_blocks_of(i) as f64;
+            let bj = ctx.num_blocks_of(j) as f64;
+            score / (bi + bj - score)
+        }
+        WeightingScheme::Ejs => {
+            let bi = ctx.num_blocks_of(i) as f64;
+            let bj = ctx.num_blocks_of(j) as f64;
+            let js = score / (bi + bj - score);
+            let degrees = match degrees {
+                Some(d) => d,
+                // Every caller computes degree statistics whenever the
+                // scheme is EJS, so this arm marks a construction bug, not
+                // a runtime condition.
+                None => unreachable!("EJS weight evaluated without degree statistics"),
+            };
+            let e = degrees.total_edges as f64;
+            let di = degrees.per_node[i.idx()].max(1) as f64;
+            let dj = degrees.per_node[j.idx()].max(1) as f64;
+            js * (e / di).ln() * (e / dj).ln()
         }
     }
 }

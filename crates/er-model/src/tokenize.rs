@@ -172,6 +172,20 @@ impl TokenInterner {
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()
     }
+
+    /// Consumes the interner into its `(key, id)` entries, sorted by id —
+    /// i.e. first-seen key order.
+    ///
+    /// `FxHashMap` iteration order is nondeterministic, so this is the only
+    /// reproducible way to enumerate the key table (the snapshot encoder
+    /// depends on it). Ids are dense, so entry `i` always carries id `i`.
+    /// The owned key strings are moved out, preserving the
+    /// one-allocation-per-key design.
+    pub fn into_entries(self) -> Vec<(String, u32)> {
+        let mut entries: Vec<(String, u32)> = self.ids.into_iter().collect();
+        entries.sort_unstable_by_key(|&(_, id)| id);
+        entries
+    }
 }
 
 /// Reusable per-profile scratch for assembling blocking keys without per-key
@@ -375,6 +389,40 @@ mod tests {
         assert_eq!(i.intern("a"), 1);
         assert_eq!(i.intern("b"), 0);
         assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn token_interner_entries_are_sorted_by_id() {
+        let mut i = TokenInterner::new();
+        for key in ["zeta", "alpha", "mid", "alpha", "zeta"] {
+            i.intern(key);
+        }
+        let entries = i.into_entries();
+        assert_eq!(
+            entries,
+            vec![("zeta".to_string(), 0), ("alpha".to_string(), 1), ("mid".to_string(), 2)]
+        );
+        // Dense ids: entry i carries id i.
+        assert!(entries.iter().enumerate().all(|(i, &(_, id))| id as usize == i));
+    }
+
+    #[test]
+    fn token_interner_entries_of_empty_interner() {
+        assert!(TokenInterner::new().into_entries().is_empty());
+    }
+
+    #[test]
+    fn token_interner_entries_are_deterministic() {
+        // Regardless of FxHashMap iteration order, two identical insert
+        // sequences must export identical entry lists.
+        let build = || {
+            let mut i = TokenInterner::new();
+            for n in 0..512u32 {
+                i.intern(&format!("key-{}", n * 7919 % 311));
+            }
+            i.into_entries()
+        };
+        assert_eq!(build(), build());
     }
 
     #[test]

@@ -32,6 +32,13 @@
 //!   borrowed `BlockRef` views. The designed exceptions — `Block`'s owned
 //!   form (the construction currency) and the arena/builder member pools
 //!   themselves — are budgeted in the allowlist.
+//! * **`snapshot-unversioned-read`** — no raw `from_le_bytes(` decoding in
+//!   `mb-serve` outside the codec module: every byte a snapshot decoder
+//!   interprets must flow through the bounds-checked `Reader`, which is only
+//!   reachable *after* the magic + format-version gate — so a future layout
+//!   can never be misread as the current one. The two primitive decoders
+//!   inside `codec.rs` (`u32`/`u64`) are the designed exception, budgeted in
+//!   the allowlist.
 //!
 //! Test code (`#[cfg(test)]` modules), `tests/`, `examples/` and `benches/`
 //! directories are exempt — tests corrupt structures and unwrap freely by
@@ -273,6 +280,12 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
             report("owned-id-vec-field");
         }
 
+        // snapshot-unversioned-read: raw little-endian decoding in the
+        // serving crate must sit behind the version-checked codec Reader.
+        if rel_path.starts_with("crates/serve/") && code.contains("from_le_bytes(") {
+            report("snapshot-unversioned-read");
+        }
+
         // float-eq: exact comparisons against float literals in weighting
         // code.
         if float_sensitive {
@@ -491,6 +504,21 @@ mod tests {
         let ok = "fn f(v: Vec<EntityId>) -> Vec<EntityId> {\n    \
                   let out: Vec<EntityId> = v;\n    out\n}\n";
         assert!(lint_source("crates/er-model/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn unversioned_reads_flagged_in_the_serve_crate_only() {
+        let src = "fn f(b: [u8; 4]) -> u32 { u32::from_le_bytes(b) }\n";
+        let f = lint_source("crates/serve/src/snapshot.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "snapshot-unversioned-read");
+        // codec.rs is flagged too — its budget lives in the allowlist.
+        assert_eq!(lint_source("crates/serve/src/codec.rs", src).len(), 1);
+        // Other crates may decode bytes however they like.
+        assert!(lint_source("crates/io/src/x.rs", src).is_empty());
+        // Encoding is not reading.
+        let ok = "fn f(v: u32) { out.extend_from_slice(&v.to_le_bytes()); }\n";
+        assert!(lint_source("crates/serve/src/codec.rs", ok).is_empty());
     }
 
     #[test]

@@ -64,11 +64,15 @@ pub enum Stage {
     ComparisonPropagation,
     /// The Iterative Blocking baseline (Table 6c).
     IterativeBlocking,
+    /// Snapshot deserialization + validation (the mb-serve load path).
+    SnapshotLoad,
+    /// Online candidate queries against a loaded snapshot (mb-serve).
+    Query,
 }
 
 impl Stage {
     /// Every stage, in canonical workflow order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Blocking,
         Stage::Purging,
         Stage::BlockFiltering,
@@ -76,6 +80,8 @@ impl Stage {
         Stage::Pruning,
         Stage::ComparisonPropagation,
         Stage::IterativeBlocking,
+        Stage::SnapshotLoad,
+        Stage::Query,
     ];
 
     /// Stable kebab-case identifier (used as the JSON key).
@@ -88,6 +94,8 @@ impl Stage {
             Stage::Pruning => "pruning",
             Stage::ComparisonPropagation => "comparison-propagation",
             Stage::IterativeBlocking => "iterative-blocking",
+            Stage::SnapshotLoad => "snapshot-load",
+            Stage::Query => "query",
         }
     }
 
@@ -144,6 +152,12 @@ pub enum Counter {
     RetainedComparisons,
     /// Matches identified (Iterative Blocking).
     MatchesFound,
+    /// Probe tokens looked up against a snapshot's key table (mb-serve).
+    TokensProbed,
+    /// Blocks visited while materializing query neighborhoods (mb-serve).
+    BlocksTouched,
+    /// Candidate edges whose weight a query evaluated (mb-serve).
+    EdgesScored,
     /// Allocation high-water mark (bytes) observed during the stage —
     /// non-zero only when [`alloc_track::TrackingAllocator`] is installed.
     AllocPeakBytes,
@@ -151,7 +165,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 15] = [
         Counter::BlocksIn,
         Counter::BlocksOut,
         Counter::ComparisonsIn,
@@ -163,6 +177,9 @@ impl Counter {
         Counter::NeighborhoodsScanned,
         Counter::RetainedComparisons,
         Counter::MatchesFound,
+        Counter::TokensProbed,
+        Counter::BlocksTouched,
+        Counter::EdgesScored,
         Counter::AllocPeakBytes,
     ];
 
@@ -180,6 +197,9 @@ impl Counter {
             Counter::NeighborhoodsScanned => "neighborhoods_scanned",
             Counter::RetainedComparisons => "retained_comparisons",
             Counter::MatchesFound => "matches_found",
+            Counter::TokensProbed => "tokens_probed",
+            Counter::BlocksTouched => "blocks_touched",
+            Counter::EdgesScored => "edges_scored",
             Counter::AllocPeakBytes => "alloc_peak_bytes",
         }
     }

@@ -1,0 +1,191 @@
+//! Little-endian codec primitives for the snapshot format.
+//!
+//! Safe Rust only: every read is bounds-checked through [`Reader`] and
+//! returns a typed [`SnapshotError`] instead of panicking, and writes append
+//! to a growable buffer. Multi-byte integers are explicitly little-endian so
+//! a snapshot is byte-identical across host endianness.
+//!
+//! All raw `from_le_bytes` decoding in this crate lives here, below the
+//! version-checked section framing — the `snapshot-unversioned-read` lint
+//! rule keeps it that way.
+
+use crate::error::SnapshotError;
+
+/// FNV-1a 64-bit — the section checksum.
+///
+/// Not cryptographic; it exists to catch bit rot and torn writes, and the
+/// property tests flip bytes to prove it does.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Writes a `u32` length prefix followed by the raw values.
+pub(crate) fn put_u32_slice(out: &mut Vec<u8>, values: &[u32]) {
+    put_u32(out, values.len() as u32);
+    for &v in values {
+        put_u32(out, v);
+    }
+}
+
+/// Writes a `u32` length prefix followed by raw bytes.
+pub(crate) fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// A bounds-checked cursor over one section's payload.
+///
+/// Every accessor returns [`SnapshotError::Truncated`] (tagged with the
+/// section name) instead of reading past the end, and length-prefixed
+/// aggregates verify the declared size against the remaining bytes *before*
+/// allocating — a corrupted length field can produce an error, never an
+/// out-of-memory abort.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8], section: &'static str) -> Self {
+        Reader { buf, pos: 0, section }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn need(&self, n: usize) -> Result<(), SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated {
+                section: self.section,
+                needed: (n - self.remaining()) as u64,
+                available: self.remaining() as u64,
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        self.need(n)?;
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a `u32`-length-prefixed vector of `u32` values.
+    pub(crate) fn u32_vec(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let len = self.u32()? as usize;
+        // Verify against the remaining payload before allocating.
+        self.need(len.saturating_mul(4))?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    pub(crate) fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    pub(crate) fn finish(self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes {
+                section: self.section,
+                bytes: self.remaining() as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_u32_slice(&mut buf, &[1, u32::MAX, 0]);
+        put_bytes(&mut buf, b"tok");
+        let mut r = Reader::new(&buf, "test");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.u32_vec().unwrap(), vec![1, u32::MAX, 0]);
+        assert_eq!(r.bytes().unwrap(), b"tok");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reads_past_end_are_typed_errors() {
+        let mut r = Reader::new(&[1, 2], "short");
+        assert!(matches!(r.u32(), Err(SnapshotError::Truncated { section: "short", .. })));
+    }
+
+    #[test]
+    fn huge_length_prefix_fails_before_allocating() {
+        // A vector claiming u32::MAX entries with 4 bytes of payload must
+        // error out, not reserve 16 GiB.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        put_u32(&mut buf, 42);
+        let mut r = Reader::new(&buf, "huge");
+        assert!(matches!(r.u32_vec(), Err(SnapshotError::Truncated { .. })));
+    }
+
+    #[test]
+    fn unconsumed_payload_is_reported() {
+        let r = Reader::new(&[0, 0], "extra");
+        assert!(matches!(
+            r.finish(),
+            Err(SnapshotError::TrailingBytes { section: "extra", bytes: 2 })
+        ));
+    }
+}

@@ -1,0 +1,204 @@
+//! The online candidate-query engine over a loaded [`Snapshot`].
+//!
+//! A [`QueryEngine`] is constructed once per snapshot and then answers any
+//! number of queries without touching the blocking front-end again: indexed
+//! entities are scored straight off the persisted index, and unseen *probe*
+//! profiles are tokenized against the snapshot's frozen vocabulary and
+//! mapped through the per-block key provenance onto the surviving blocks.
+//!
+//! Candidate scoring, retention, and ordering are shared with the batch
+//! pipeline (`mb_core::NeighborhoodScorer`), so an online query returns
+//! exactly the neighbors batch node-centric pruning would retain for the
+//! same entity, scheme, and threshold.
+
+use crate::snapshot::Snapshot;
+use er_model::fxhash::FxHashMap;
+use er_model::tokenize::{raw_tokens, KeyScratch};
+use er_model::{EntityId, EntityProfile, ErKind};
+use mb_core::{
+    GraphContext, NeighborhoodScorer, PruningScheme, Retention, Scored, WeightingScheme,
+};
+use mb_observe::{Counter, Observer, Stage, StageScope};
+
+/// An online candidate-query engine bound to a loaded snapshot.
+///
+/// Holds the per-query scratch state (scan epochs, probe buffers, the
+/// token-to-block routing table), so queries allocate nothing on the steady
+/// path. One engine serves one thread; [`QueryEngine::batch`] fans out
+/// internally with the deterministic chunked sweep used across the pipeline.
+pub struct QueryEngine<'s> {
+    snapshot: &'s Snapshot,
+    scorer: NeighborhoodScorer<'s>,
+    /// The snapshot vocabulary, string → interned token id.
+    token_ids: FxHashMap<&'s str, u32>,
+    /// Token id → surviving block id, `u32::MAX` when the token's block was
+    /// filtered away (or never emitted).
+    token_block: Vec<u32>,
+    scratch: KeyScratch,
+    probe_blocks: Vec<u32>,
+}
+
+impl<'s> QueryEngine<'s> {
+    /// Builds an engine using the weighting scheme the snapshot was
+    /// configured with.
+    pub fn new(snapshot: &'s Snapshot) -> Self {
+        Self::with_scheme(snapshot, snapshot.config().weighting)
+    }
+
+    /// Builds an engine scoring with an explicit `scheme`, which may differ
+    /// from the snapshot's configured one.
+    ///
+    /// The persisted index is adopted as-is (one flat copy, no
+    /// re-derivation).
+    pub fn with_scheme(snapshot: &'s Snapshot, scheme: WeightingScheme) -> Self {
+        let ctx =
+            GraphContext::from_index(snapshot.blocks(), snapshot.index().clone(), snapshot.split());
+        let scorer = NeighborhoodScorer::from_context(ctx, scheme);
+        let mut token_ids = FxHashMap::default();
+        for (id, token) in snapshot.tokens().iter().enumerate() {
+            token_ids.insert(token.as_str(), id as u32);
+        }
+        let mut token_block = vec![u32::MAX; snapshot.tokens().len()];
+        for (block, &token) in snapshot.block_keys().iter().enumerate() {
+            token_block[token as usize] = block as u32;
+        }
+        QueryEngine {
+            snapshot,
+            scorer,
+            token_ids,
+            token_block,
+            scratch: KeyScratch::new(),
+            probe_blocks: Vec::new(),
+        }
+    }
+
+    /// The snapshot this engine serves.
+    pub fn snapshot(&self) -> &'s Snapshot {
+        self.snapshot
+    }
+
+    /// The weighting scheme queries are scored with.
+    pub fn scheme(&self) -> WeightingScheme {
+        self.scorer.scheme()
+    }
+
+    /// The retention rule matching the snapshot's configured pruning scheme:
+    /// cardinality-based schemes keep the persisted CNP top-`k` per node,
+    /// weight-based schemes keep neighbors at or above the neighborhood
+    /// mean.
+    pub fn default_retention(&self) -> Retention {
+        match self.snapshot.config().pruning {
+            PruningScheme::Cep
+            | PruningScheme::Cnp
+            | PruningScheme::RedefinedCnp
+            | PruningScheme::ReciprocalCnp => Retention::TopK(self.snapshot.cnp_threshold()),
+            PruningScheme::Wep
+            | PruningScheme::Wnp
+            | PruningScheme::RedefinedWnp
+            | PruningScheme::ReciprocalWnp => Retention::AboveMean,
+        }
+    }
+
+    /// Scores every co-occurring entity of indexed entity `pivot` and
+    /// returns the retained candidates, best first.
+    ///
+    /// # Panics
+    ///
+    /// If `pivot` is not an id of the snapshot's collection.
+    pub fn query(
+        &mut self,
+        pivot: EntityId,
+        retention: Retention,
+        obs: &mut dyn Observer,
+    ) -> Scored {
+        assert!(
+            (pivot.0 as usize) < self.snapshot.num_entities(),
+            "entity {} out of range ({} entities)",
+            pivot.0,
+            self.snapshot.num_entities()
+        );
+        let mut scope = StageScope::enter(obs, Stage::Query);
+        let scored = self.scorer.query(pivot, retention);
+        scope.add(Counter::BlocksTouched, scored.blocks_touched);
+        scope.add(Counter::EdgesScored, scored.edges_scored);
+        scope.finish();
+        scored
+    }
+
+    /// Scores an *unseen* probe profile against the snapshot: tokenizes it
+    /// with the snapshot's vocabulary (same normalization as Token
+    /// Blocking), routes the tokens onto surviving blocks, and returns the
+    /// retained candidates, best first.
+    ///
+    /// For Clean-Clean snapshots `probe_is_first` states which side the
+    /// probe belongs to — candidates come from the opposite side. Dirty
+    /// snapshots ignore it and consider every co-occurring entity.
+    pub fn probe(
+        &mut self,
+        profile: &EntityProfile,
+        probe_is_first: bool,
+        retention: Retention,
+        obs: &mut dyn Observer,
+    ) -> Scored {
+        let mut scope = StageScope::enter(obs, Stage::Query);
+        self.scratch.clear();
+        for value in profile.values() {
+            for raw in raw_tokens(value) {
+                let start = self.scratch.begin();
+                self.scratch.push_lowercase(raw);
+                self.scratch.commit(start);
+            }
+        }
+        self.scratch.sort_dedup();
+        let mut tokens_probed = 0u64;
+        self.probe_blocks.clear();
+        for token in self.scratch.iter() {
+            tokens_probed += 1;
+            if let Some(&id) = self.token_ids.get(token) {
+                let block = self.token_block[id as usize];
+                if block != u32::MAX {
+                    self.probe_blocks.push(block);
+                }
+            }
+        }
+        // Block Filtering reorders survivors, so route hits back into
+        // ascending block order for a deterministic scan.
+        self.probe_blocks.sort_unstable();
+        let scored = self.scorer.probe(&self.probe_blocks, probe_is_first, retention);
+        scope.add(Counter::TokensProbed, tokens_probed);
+        scope.add(Counter::BlocksTouched, scored.blocks_touched);
+        scope.add(Counter::EdgesScored, scored.edges_scored);
+        scope.finish();
+        scored
+    }
+
+    /// Answers [`QueryEngine::query`] for every entity of the snapshot,
+    /// fanning out over the pipeline's deterministic chunked sweep.
+    ///
+    /// The result is ordered by entity id and bit-identical for every
+    /// `threads` value. For Clean-Clean snapshots, entities on either side
+    /// are queried like the batch node-centric schemes visit them.
+    pub fn batch(
+        &self,
+        retention: Retention,
+        threads: usize,
+        obs: &mut dyn Observer,
+    ) -> Vec<Scored> {
+        let mut scope = StageScope::enter(obs, Stage::Query);
+        let scored = self.scorer.batch(retention, threads);
+        let (mut blocks_touched, mut edges_scored) = (0u64, 0u64);
+        for s in &scored {
+            blocks_touched += s.blocks_touched;
+            edges_scored += s.edges_scored;
+        }
+        scope.add(Counter::BlocksTouched, blocks_touched);
+        scope.add(Counter::EdgesScored, edges_scored);
+        scope.finish();
+        scored
+    }
+
+    /// The ER task kind of the underlying snapshot.
+    pub fn kind(&self) -> ErKind {
+        self.snapshot.kind()
+    }
+}

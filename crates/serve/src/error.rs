@@ -1,0 +1,138 @@
+//! The typed failure modes of snapshot persistence.
+//!
+//! Decoding untrusted bytes must never panic: every way a snapshot file can
+//! be wrong — truncated, bit-flipped, written by a newer format, internally
+//! inconsistent — maps to a variant here, and the decoder's only side effect
+//! on bad input is returning one.
+
+use er_model::sanitize::Violation;
+use std::fmt;
+
+/// Everything that can go wrong building, writing, or loading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the snapshot magic bytes.
+    BadMagic,
+    /// The header's format version is newer than this build understands.
+    ///
+    /// Versioning policy: readers accept exactly the versions they know;
+    /// they never guess at sections written by a future layout.
+    UnsupportedVersion {
+        /// The version stamped in the file.
+        found: u32,
+        /// The newest version this build can read.
+        supported: u32,
+    },
+    /// The input ended (or a declared length overran it) while `section`
+    /// still needed `needed` more bytes of the `available` left.
+    Truncated {
+        /// The section (or `"frame"` for the file-level framing) being read.
+        section: &'static str,
+        /// Bytes the decoder still needed.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// A section's payload does not hash to its recorded checksum.
+    ChecksumMismatch {
+        /// The damaged section.
+        section: &'static str,
+    },
+    /// A section id this format version does not define.
+    UnknownSection {
+        /// The unrecognized id.
+        id: u32,
+    },
+    /// The same section appeared twice.
+    DuplicateSection {
+        /// The repeated section.
+        section: &'static str,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// The missing section.
+        section: &'static str,
+    },
+    /// Bytes remained after a payload (or after the last section) was fully
+    /// decoded.
+    TrailingBytes {
+        /// The over-long section (or `"frame"`).
+        section: &'static str,
+        /// How many bytes were left over.
+        bytes: u64,
+    },
+    /// A persisted string is not valid UTF-8.
+    Utf8 {
+        /// The section holding the string.
+        section: &'static str,
+    },
+    /// The persisted pipeline configuration failed to parse or validate.
+    Config(String),
+    /// A decoded structure breaches a model invariant (the first breach is
+    /// reported).
+    Structural(Violation),
+    /// Sections decode individually but contradict each other.
+    Inconsistent(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} unsupported (this build reads <= {supported})"
+                )
+            }
+            SnapshotError::Truncated { section, needed, available } => {
+                write!(f, "snapshot truncated in section '{section}': needed {needed} more bytes, {available} available")
+            }
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section '{section}'")
+            }
+            SnapshotError::UnknownSection { id } => write!(f, "unknown snapshot section id {id}"),
+            SnapshotError::DuplicateSection { section } => {
+                write!(f, "duplicate snapshot section '{section}'")
+            }
+            SnapshotError::MissingSection { section } => {
+                write!(f, "missing snapshot section '{section}'")
+            }
+            SnapshotError::TrailingBytes { section, bytes } => {
+                write!(f, "{bytes} trailing bytes after section '{section}'")
+            }
+            SnapshotError::Utf8 { section } => {
+                write!(f, "invalid UTF-8 in section '{section}'")
+            }
+            SnapshotError::Config(msg) => write!(f, "snapshot pipeline config invalid: {msg}"),
+            SnapshotError::Structural(v) => {
+                write!(f, "snapshot breaches invariant '{}': {}", v.invariant, v.message)
+            }
+            SnapshotError::Inconsistent(msg) => write!(f, "snapshot inconsistent: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<Violation> for SnapshotError {
+    fn from(v: Violation) -> Self {
+        SnapshotError::Structural(v)
+    }
+}

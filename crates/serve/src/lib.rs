@@ -1,0 +1,49 @@
+//! mb-serve: persistent index snapshots and an online candidate-query
+//! engine for enhanced meta-blocking.
+//!
+//! The batch pipeline (er-blocking → mb-core) ends with a pruned set of
+//! comparisons; this crate makes the *intermediate* state — the filtered
+//! block collection, its entity index, the blocking vocabulary, and the
+//! derived thresholds — durable and queryable:
+//!
+//! - [`Snapshot`] freezes that state into a versioned, checksummed binary
+//!   format ([`Snapshot::to_bytes`] / [`Snapshot::from_bytes`]) whose loader
+//!   validates every structural invariant and never panics on malformed
+//!   input (see [`SnapshotError`]).
+//! - [`QueryEngine`] loads a snapshot once and answers per-entity candidate
+//!   queries — for indexed entities or unseen probe profiles — with the
+//!   same weighting schemes, retention rules, and tie ordering as batch
+//!   node-centric pruning, so online answers match the offline pipeline
+//!   bit for bit.
+//!
+//! ```
+//! use er_model::{EntityCollection, EntityId, EntityProfile};
+//! use mb_core::PipelineConfig;
+//! use mb_serve::{QueryEngine, Snapshot};
+//!
+//! let e = EntityCollection::dirty(vec![
+//!     EntityProfile::new("p1").with("name", "jack miller"),
+//!     EntityProfile::new("p2").with("fullname", "jack lloyd miller"),
+//!     EntityProfile::new("p3").with("n", "erick lloyd"),
+//! ]);
+//! let snapshot = Snapshot::build(&e, PipelineConfig::default()).unwrap();
+//! let bytes = snapshot.to_bytes();
+//! let restored = Snapshot::from_bytes(&bytes).unwrap();
+//!
+//! let mut engine = QueryEngine::new(&restored);
+//! let retention = engine.default_retention();
+//! let scored = engine.query(EntityId(0), retention, &mut mb_observe::Noop);
+//! assert_eq!(scored.candidates[0].id, EntityId(1)); // shares jack + miller
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod engine;
+mod error;
+mod snapshot;
+
+pub use engine::QueryEngine;
+pub use error::SnapshotError;
+pub use snapshot::{Snapshot, FORMAT_VERSION, MAGIC};

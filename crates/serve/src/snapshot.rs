@@ -1,0 +1,538 @@
+//! The versioned snapshot format and its builder.
+//!
+//! A snapshot freezes everything the online query path needs — the filtered
+//! block collection, the entity index over it, the blocking vocabulary with
+//! per-block key provenance, and the pipeline configuration plus derived
+//! thresholds — so a serving process reconstructs the query state without
+//! re-running blocking, filtering, or index construction.
+//!
+//! # Layout (format version 1)
+//!
+//! ```text
+//! magic "MBSNAP01" | version u32 | section*
+//! section := id u32 | payload_len u64 | fnv1a64(payload) u64 | payload
+//! ```
+//!
+//! Sections (all required, each at most once, any order):
+//!
+//! | id | name      | payload                                               |
+//! |----|-----------|-------------------------------------------------------|
+//! | 1  | meta      | kind u8, |E| u32, split u32, CNP k u64, CEP K u64, ‖B‖ u64, Σ|b| u64, config JSON |
+//! | 2  | blocks    | CSR arena: members, offsets, splits (`u32` vectors)   |
+//! | 3  | index     | flat entity index: lists, offsets (`u32` vectors)     |
+//! | 4  | tokens    | count u32, then length-prefixed UTF-8 keys in id order|
+//! | 5  | blockkeys | one interned token id per block, in block order       |
+//!
+//! All integers little-endian; vectors carry a `u32` length prefix. Loading
+//! verifies the magic, the version, every checksum, full payload
+//! consumption, and — through the always-compiled `er_model::sanitize`
+//! validators plus the non-panicking `try_from_raw_parts` constructors — the
+//! structural invariants of the arena and index, before cross-checking the
+//! sections against each other. Nothing is re-derived on load; the persisted
+//! thresholds are *verified* against the same `mb_core` formulas that
+//! produced them.
+
+use crate::codec::{fnv1a, put_bytes, put_u32, put_u32_slice, put_u64, put_u8, Reader};
+use crate::error::SnapshotError;
+use er_blocking::TokenBlocking;
+use er_model::{BlockCollection, EntityCollection, EntityId, EntityIndex, ErKind};
+use mb_core::filter::block_filtering_traced;
+use mb_core::prune::{cep_threshold, cnp_threshold};
+use mb_core::{GraphContext, PipelineConfig};
+use mb_observe::{Observer, Stage, StageScope};
+use std::path::Path;
+
+/// The snapshot file magic.
+pub const MAGIC: [u8; 8] = *b"MBSNAP01";
+
+/// The newest format version this build reads and the only one it writes.
+///
+/// Policy: bump on any layout change, including compatible additions — a
+/// reader never guesses at bytes laid out by a version it does not know.
+pub const FORMAT_VERSION: u32 = 1;
+
+const SECTION_META: u32 = 1;
+const SECTION_BLOCKS: u32 = 2;
+const SECTION_INDEX: u32 = 3;
+const SECTION_TOKENS: u32 = 4;
+const SECTION_BLOCKKEYS: u32 = 5;
+
+/// All section ids with their display names, in canonical write order.
+const SECTIONS: [(u32, &str); 5] = [
+    (SECTION_META, "meta"),
+    (SECTION_BLOCKS, "blocks"),
+    (SECTION_INDEX, "index"),
+    (SECTION_TOKENS, "tokens"),
+    (SECTION_BLOCKKEYS, "blockkeys"),
+];
+
+fn section_name(id: u32) -> Option<&'static str> {
+    SECTIONS.iter().find(|&&(sid, _)| sid == id).map(|&(_, name)| name)
+}
+
+/// A frozen, validated serving index.
+///
+/// Construction goes through [`Snapshot::build`] (run the blocking front-end
+/// now), [`Snapshot::from_parts`] (adopt pre-built state), or
+/// [`Snapshot::from_bytes`] / [`Snapshot::read_from`] (load a persisted
+/// one); all of them leave the snapshot in a validated state, so queries
+/// never re-check it.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    blocks: BlockCollection,
+    index: EntityIndex,
+    split: usize,
+    /// The blocking vocabulary, indexed by interned token id.
+    tokens: Vec<String>,
+    /// `block_keys[k]` is the token id whose block became block `k`.
+    block_keys: Vec<u32>,
+    config: PipelineConfig,
+    cnp_threshold: usize,
+    cep_threshold: usize,
+    total_comparisons: u64,
+    total_assignments: u64,
+}
+
+impl Snapshot {
+    /// Runs the blocking front-end (Token Blocking, then Block Filtering
+    /// when `config.filter_ratio` is set) over `collection` and freezes the
+    /// result.
+    ///
+    /// The block collection, index, thresholds and provenance are exactly
+    /// what the batch pipeline would compute for the same configuration.
+    pub fn build(
+        collection: &EntityCollection,
+        config: PipelineConfig,
+    ) -> Result<Snapshot, SnapshotError> {
+        config.validate().map_err(SnapshotError::Config)?;
+        let (blocks, keys, interner) = TokenBlocking.build_keyed(collection);
+        let (blocks, trace) = match config.filter_ratio {
+            Some(r) => block_filtering_traced(&blocks, r)
+                .map_err(|e| SnapshotError::Config(e.to_string()))?,
+            None => {
+                let trace = (0..blocks.size() as u32).collect();
+                (blocks, trace)
+            }
+        };
+        let block_keys: Vec<u32> = trace.iter().map(|&k| keys[k as usize]).collect();
+        let tokens: Vec<String> = interner.into_entries().into_iter().map(|(t, _)| t).collect();
+        let index = EntityIndex::build_parallel(&blocks, config.effective_threads());
+        let split = collection.split();
+        // The thresholds come from the same mb-core formulas batch pruning
+        // uses; the context hands the index back untouched.
+        let ctx = GraphContext::from_index(&blocks, index, split);
+        let (cnp, cep) = (cnp_threshold(&ctx), cep_threshold(&ctx));
+        let index = ctx.into_index();
+        let (total_comparisons, total_assignments) =
+            (blocks.total_comparisons(), blocks.total_assignments());
+        Ok(Snapshot {
+            blocks,
+            index,
+            split,
+            tokens,
+            block_keys,
+            config,
+            cnp_threshold: cnp,
+            cep_threshold: cep,
+            total_comparisons,
+            total_assignments,
+        })
+    }
+
+    /// Assembles a snapshot from pre-built state, running the same
+    /// validation as [`Snapshot::from_bytes`].
+    ///
+    /// `block_keys[k]` must name the token whose block became `blocks[k]`
+    /// (one entry per block, ids into `tokens`); thresholds and statistics
+    /// are derived here.
+    pub fn from_parts(
+        blocks: BlockCollection,
+        index: EntityIndex,
+        split: usize,
+        tokens: Vec<String>,
+        block_keys: Vec<u32>,
+        config: PipelineConfig,
+    ) -> Result<Snapshot, SnapshotError> {
+        let index = validate_parts(&blocks, index, split, &tokens, &block_keys, &config)?;
+        let ctx = GraphContext::from_index(&blocks, index, split);
+        let (cnp, cep) = (cnp_threshold(&ctx), cep_threshold(&ctx));
+        let index = ctx.into_index();
+        let (total_comparisons, total_assignments) =
+            (blocks.total_comparisons(), blocks.total_assignments());
+        Ok(Snapshot {
+            blocks,
+            index,
+            split,
+            tokens,
+            block_keys,
+            config,
+            cnp_threshold: cnp,
+            cep_threshold: cep,
+            total_comparisons,
+            total_assignments,
+        })
+    }
+
+    /// The filtered block collection.
+    pub fn blocks(&self) -> &BlockCollection {
+        &self.blocks
+    }
+
+    /// The persisted entity index over [`Snapshot::blocks`].
+    pub fn index(&self) -> &EntityIndex {
+        &self.index
+    }
+
+    /// The ER task kind.
+    pub fn kind(&self) -> ErKind {
+        self.blocks.kind()
+    }
+
+    /// `|E|`: the input collection size.
+    pub fn num_entities(&self) -> usize {
+        self.blocks.num_entities()
+    }
+
+    /// The Clean-Clean id boundary (collection size for Dirty ER).
+    pub fn split(&self) -> usize {
+        self.split
+    }
+
+    /// The blocking vocabulary, indexed by interned token id.
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// Per-block token provenance: the token id whose block became block
+    /// `k`.
+    pub fn block_keys(&self) -> &[u32] {
+        &self.block_keys
+    }
+
+    /// The pipeline configuration the snapshot was built under.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The persisted CNP per-node cardinality threshold.
+    pub fn cnp_threshold(&self) -> usize {
+        self.cnp_threshold
+    }
+
+    /// The persisted CEP global cardinality threshold.
+    pub fn cep_threshold(&self) -> usize {
+        self.cep_threshold
+    }
+
+    /// `‖B‖`: total comparisons in the persisted collection.
+    pub fn total_comparisons(&self) -> u64 {
+        self.total_comparisons
+    }
+
+    /// `Σ|b|`: total block assignments in the persisted collection.
+    pub fn total_assignments(&self) -> u64 {
+        self.total_assignments
+    }
+
+    /// Encodes the snapshot into the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, FORMAT_VERSION);
+        for (id, _) in SECTIONS {
+            let payload = self.encode_section(id);
+            put_u32(&mut out, id);
+            put_u64(&mut out, payload.len() as u64);
+            put_u64(&mut out, fnv1a(&payload));
+            out.extend_from_slice(&payload);
+        }
+        out
+    }
+
+    fn encode_section(&self, id: u32) -> Vec<u8> {
+        let mut p = Vec::new();
+        match id {
+            SECTION_META => {
+                put_u8(
+                    &mut p,
+                    match self.kind() {
+                        ErKind::Dirty => 0,
+                        ErKind::CleanClean => 1,
+                    },
+                );
+                put_u32(&mut p, self.num_entities() as u32);
+                put_u32(&mut p, self.split as u32);
+                put_u64(&mut p, self.cnp_threshold as u64);
+                put_u64(&mut p, self.cep_threshold as u64);
+                put_u64(&mut p, self.total_comparisons);
+                put_u64(&mut p, self.total_assignments);
+                put_bytes(&mut p, self.config.to_json_string().as_bytes());
+            }
+            SECTION_BLOCKS => {
+                let (members, offsets, splits) = self.blocks.raw_parts();
+                put_u32(&mut p, members.len() as u32);
+                for e in members {
+                    put_u32(&mut p, e.0);
+                }
+                put_u32_slice(&mut p, offsets);
+                put_u32_slice(&mut p, splits);
+            }
+            SECTION_INDEX => {
+                let (lists, offsets) = self.index.raw_parts();
+                put_u32_slice(&mut p, lists);
+                put_u32_slice(&mut p, offsets);
+            }
+            SECTION_TOKENS => {
+                put_u32(&mut p, self.tokens.len() as u32);
+                for t in &self.tokens {
+                    put_bytes(&mut p, t.as_bytes());
+                }
+            }
+            SECTION_BLOCKKEYS => {
+                put_u32_slice(&mut p, &self.block_keys);
+            }
+            _ => unreachable!("encode_section called with undefined id {id}"),
+        }
+        p
+    }
+
+    /// Decodes and fully validates a snapshot from bytes.
+    ///
+    /// Never panics on malformed input: framing, checksum, structural and
+    /// cross-section failures all surface as typed [`SnapshotError`]s.
+    pub fn from_bytes(buf: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let mut frame = Reader::new(buf, "frame");
+        if frame.take(MAGIC.len()).map_err(|_| SnapshotError::BadMagic)? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = frame.u32().map_err(|_| SnapshotError::BadMagic)?;
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let mut payloads: [Option<&[u8]>; SECTIONS.len()] = [None; SECTIONS.len()];
+        while frame.remaining() > 0 {
+            let id = frame.u32()?;
+            let name = section_name(id).ok_or(SnapshotError::UnknownSection { id })?;
+            let len = frame.u64()?;
+            let checksum = frame.u64()?;
+            let available = frame.remaining() as u64;
+            if len > available {
+                return Err(SnapshotError::Truncated {
+                    section: name,
+                    needed: len - available,
+                    available,
+                });
+            }
+            let payload = frame.take(len as usize)?;
+            if fnv1a(payload) != checksum {
+                return Err(SnapshotError::ChecksumMismatch { section: name });
+            }
+            let slot = SECTIONS.iter().position(|&(sid, _)| sid == id).unwrap_or_default();
+            if payloads[slot].is_some() {
+                return Err(SnapshotError::DuplicateSection { section: name });
+            }
+            payloads[slot] = Some(payload);
+        }
+        let get = |id: u32| -> Result<&[u8], SnapshotError> {
+            let slot = SECTIONS.iter().position(|&(sid, _)| sid == id).unwrap_or_default();
+            payloads[slot]
+                .ok_or(SnapshotError::MissingSection { section: section_name(id).unwrap_or("?") })
+        };
+
+        // meta
+        let mut r = Reader::new(get(SECTION_META)?, "meta");
+        let kind = match r.u8()? {
+            0 => ErKind::Dirty,
+            1 => ErKind::CleanClean,
+            other => {
+                return Err(SnapshotError::Inconsistent(format!("unknown ER kind tag {other}")))
+            }
+        };
+        let num_entities = r.u32()? as usize;
+        let split = r.u32()? as usize;
+        let meta_cnp = r.u64()?;
+        let meta_cep = r.u64()?;
+        let meta_comparisons = r.u64()?;
+        let meta_assignments = r.u64()?;
+        let config_bytes = r.bytes()?;
+        r.finish()?;
+        let config_str = std::str::from_utf8(config_bytes)
+            .map_err(|_| SnapshotError::Utf8 { section: "meta" })?;
+        let config = PipelineConfig::from_json_str(config_str).map_err(SnapshotError::Config)?;
+        config.validate().map_err(SnapshotError::Config)?;
+
+        // blocks
+        let mut r = Reader::new(get(SECTION_BLOCKS)?, "blocks");
+        let members: Vec<EntityId> = r.u32_vec()?.into_iter().map(EntityId).collect();
+        let offsets = r.u32_vec()?;
+        let splits = r.u32_vec()?;
+        r.finish()?;
+        let blocks =
+            BlockCollection::try_from_raw_parts(kind, num_entities, members, offsets, splits)?;
+
+        // index
+        let mut r = Reader::new(get(SECTION_INDEX)?, "index");
+        let lists = r.u32_vec()?;
+        let offsets = r.u32_vec()?;
+        r.finish()?;
+        let index = EntityIndex::try_from_raw_parts(lists, offsets)?;
+
+        // tokens
+        let mut r = Reader::new(get(SECTION_TOKENS)?, "tokens");
+        let count = r.u32()? as usize;
+        // Each token costs at least its 4-byte length prefix; verify before
+        // allocating so a corrupt count cannot demand absurd memory.
+        if count.saturating_mul(4) > r.remaining() {
+            return Err(SnapshotError::Truncated {
+                section: "tokens",
+                needed: (count.saturating_mul(4) - r.remaining()) as u64,
+                available: r.remaining() as u64,
+            });
+        }
+        let mut tokens = Vec::with_capacity(count);
+        for _ in 0..count {
+            let bytes = r.bytes()?;
+            tokens.push(
+                std::str::from_utf8(bytes)
+                    .map_err(|_| SnapshotError::Utf8 { section: "tokens" })?
+                    .to_owned(),
+            );
+        }
+        r.finish()?;
+
+        // blockkeys
+        let mut r = Reader::new(get(SECTION_BLOCKKEYS)?, "blockkeys");
+        let block_keys = r.u32_vec()?;
+        r.finish()?;
+
+        let index = validate_parts(&blocks, index, split, &tokens, &block_keys, &config)?;
+        // Verify — not recompute — the persisted thresholds and statistics,
+        // via the same mb-core formulas that produced them.
+        let ctx = GraphContext::from_index(&blocks, index, split);
+        let (cnp, cep) = (cnp_threshold(&ctx), cep_threshold(&ctx));
+        let index = ctx.into_index();
+        if meta_cnp != cnp as u64 || meta_cep != cep as u64 {
+            return Err(SnapshotError::Inconsistent(format!(
+                "persisted thresholds (cnp {meta_cnp}, cep {meta_cep}) disagree with the \
+                 collection (cnp {cnp}, cep {cep})"
+            )));
+        }
+        let (comparisons, assignments) = (blocks.total_comparisons(), blocks.total_assignments());
+        if meta_comparisons != comparisons || meta_assignments != assignments {
+            return Err(SnapshotError::Inconsistent(format!(
+                "persisted statistics (‖B‖ {meta_comparisons}, Σ|b| {meta_assignments}) disagree \
+                 with the collection (‖B‖ {comparisons}, Σ|b| {assignments})"
+            )));
+        }
+        Ok(Snapshot {
+            blocks,
+            index,
+            split,
+            tokens,
+            block_keys,
+            config,
+            cnp_threshold: cnp,
+            cep_threshold: cep,
+            total_comparisons: comparisons,
+            total_assignments: assignments,
+        })
+    }
+
+    /// Writes the encoded snapshot to `path`.
+    pub fn write_to(&self, path: &Path) -> Result<(), SnapshotError> {
+        Ok(std::fs::write(path, self.to_bytes())?)
+    }
+
+    /// Reads and validates a snapshot file, reporting the load as a
+    /// [`Stage::SnapshotLoad`] span on `obs`.
+    pub fn read_from(path: &Path, obs: &mut dyn Observer) -> Result<Snapshot, SnapshotError> {
+        let scope = StageScope::enter(obs, Stage::SnapshotLoad);
+        let bytes = std::fs::read(path)?;
+        let snapshot = Snapshot::from_bytes(&bytes)?;
+        scope.finish();
+        Ok(snapshot)
+    }
+}
+
+/// Reports the first violation of a validator sweep as a typed error.
+fn first_violation(violations: Vec<er_model::sanitize::Violation>) -> Result<(), SnapshotError> {
+    match violations.into_iter().next() {
+        Some(v) => Err(SnapshotError::Structural(v)),
+        None => Ok(()),
+    }
+}
+
+/// The shared cross-section validation of [`Snapshot::from_bytes`] and
+/// [`Snapshot::from_parts`]. Takes the index by value and hands it back so
+/// callers can continue into threshold derivation without cloning it.
+fn validate_parts(
+    blocks: &BlockCollection,
+    index: EntityIndex,
+    split: usize,
+    tokens: &[String],
+    block_keys: &[u32],
+    config: &PipelineConfig,
+) -> Result<EntityIndex, SnapshotError> {
+    config.validate().map_err(SnapshotError::Config)?;
+    first_violation(blocks.validate())?;
+    match blocks.kind() {
+        ErKind::CleanClean => {
+            if split > blocks.num_entities() {
+                return Err(SnapshotError::Inconsistent(format!(
+                    "split {split} exceeds |E| = {}",
+                    blocks.num_entities()
+                )));
+            }
+            first_violation(blocks.validate_split(split))?;
+        }
+        ErKind::Dirty => {
+            if split != blocks.num_entities() {
+                return Err(SnapshotError::Inconsistent(format!(
+                    "Dirty snapshot must have split == |E|, got {split} != {}",
+                    blocks.num_entities()
+                )));
+            }
+        }
+    }
+    if index.num_entities() != blocks.num_entities() {
+        return Err(SnapshotError::Inconsistent(format!(
+            "index covers {} entities, blocks cover {}",
+            index.num_entities(),
+            blocks.num_entities()
+        )));
+    }
+    // Range-check the index's block ids before the full validator walks
+    // them, so the walk itself cannot slice out of bounds.
+    let num_blocks = blocks.size() as u32;
+    let (lists, _) = index.raw_parts();
+    if let Some(&bad) = lists.iter().find(|&&k| k >= num_blocks) {
+        return Err(SnapshotError::Inconsistent(format!(
+            "index references block {bad}, but the collection has {num_blocks} blocks"
+        )));
+    }
+    first_violation(index.validate(blocks))?;
+    if block_keys.len() != blocks.size() {
+        return Err(SnapshotError::Inconsistent(format!(
+            "{} block keys for {} blocks",
+            block_keys.len(),
+            blocks.size()
+        )));
+    }
+    if let Some(&bad) = block_keys.iter().find(|&&t| t as usize >= tokens.len()) {
+        return Err(SnapshotError::Inconsistent(format!(
+            "block key references token {bad}, but the vocabulary has {} tokens",
+            tokens.len()
+        )));
+    }
+    // Token blocking produces one block per key, and filtering only drops
+    // blocks — a duplicated key means the provenance is corrupt.
+    let mut sorted = block_keys.to_vec();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|w| w[0] == w[1]) {
+        return Err(SnapshotError::Inconsistent("duplicate token id in block keys".into()));
+    }
+    Ok(index)
+}

@@ -1,0 +1,161 @@
+//! Online/batch equivalence: for every entity of a Dirty and a Clean-Clean
+//! fixture, under every weighting scheme, the [`QueryEngine`]'s retained
+//! candidates must equal the batch node-centric pruning schemes' retained
+//! neighbors for that node — same thresholds, same `WeightedEdge` total
+//! order — and the batch API must be bit-identical across thread counts.
+
+use er_datagen::presets;
+use er_model::{EntityCollection, EntityId};
+use mb_core::prune::{cnp, wnp};
+use mb_core::weights::EdgeWeigher;
+use mb_core::{
+    GraphContext, Noop, PipelineConfig, Retention, Scored, WeightingImpl, WeightingScheme,
+};
+use mb_serve::{QueryEngine, Snapshot};
+
+const SCHEMES: [WeightingScheme; 5] = [
+    WeightingScheme::Arcs,
+    WeightingScheme::Cbs,
+    WeightingScheme::Ecbs,
+    WeightingScheme::Js,
+    WeightingScheme::Ejs,
+];
+
+fn dirty_snapshot() -> Snapshot {
+    let collection = presets::build(&presets::tiny(42)).into_dirty().collection;
+    let config = PipelineConfig { filter_ratio: Some(0.8), ..PipelineConfig::default() };
+    Snapshot::build(&collection, config).unwrap()
+}
+
+fn cc_snapshot() -> Snapshot {
+    let collection = presets::build(&presets::tiny(43)).collection;
+    let config = PipelineConfig { filter_ratio: Some(0.8), ..PipelineConfig::default() };
+    Snapshot::build(&collection, config).unwrap()
+}
+
+/// The batch scheme's retained neighbors per pivot, as sorted id lists.
+fn batch_retained(
+    snapshot: &Snapshot,
+    scheme: WeightingScheme,
+    prune: impl Fn(&GraphContext<'_>, &EdgeWeigher<'_, '_>, &mut dyn FnMut(EntityId, EntityId)),
+) -> Vec<Vec<u32>> {
+    let ctx = GraphContext::new(snapshot.blocks(), snapshot.split());
+    let weigher = EdgeWeigher::new(scheme, &ctx);
+    let mut per_node: Vec<Vec<u32>> = vec![Vec::new(); snapshot.num_entities()];
+    prune(&ctx, &weigher, &mut |pivot, j| per_node[pivot.idx()].push(j.0));
+    for neighbors in &mut per_node {
+        neighbors.sort_unstable();
+    }
+    per_node
+}
+
+fn sorted_ids(scored: &Scored) -> Vec<u32> {
+    let mut ids: Vec<u32> = scored.candidates.iter().map(|c| c.id.0).collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn assert_engine_matches_batch(snapshot: &Snapshot, label: &str) {
+    for scheme in SCHEMES {
+        let mut engine = QueryEngine::with_scheme(snapshot, scheme);
+
+        let by_cnp = batch_retained(snapshot, scheme, |ctx, weigher, sink| {
+            cnp(ctx, weigher, WeightingImpl::Optimized, &mut Noop, sink)
+        });
+        let top_k = Retention::TopK(snapshot.cnp_threshold());
+        for pivot in 0..snapshot.num_entities() {
+            let scored = engine.query(EntityId(pivot as u32), top_k, &mut Noop);
+            assert_eq!(
+                sorted_ids(&scored),
+                by_cnp[pivot],
+                "{label}/{scheme:?}: CNP mismatch at entity {pivot}"
+            );
+        }
+
+        let by_wnp = batch_retained(snapshot, scheme, |ctx, weigher, sink| {
+            wnp(ctx, weigher, WeightingImpl::Optimized, &mut Noop, sink)
+        });
+        for pivot in 0..snapshot.num_entities() {
+            let scored = engine.query(EntityId(pivot as u32), Retention::AboveMean, &mut Noop);
+            assert_eq!(
+                sorted_ids(&scored),
+                by_wnp[pivot],
+                "{label}/{scheme:?}: WNP mismatch at entity {pivot}"
+            );
+        }
+    }
+}
+
+#[test]
+fn query_matches_batch_pruning_on_the_dirty_fixture() {
+    assert_engine_matches_batch(&dirty_snapshot(), "dirty");
+}
+
+#[test]
+fn query_matches_batch_pruning_on_the_clean_clean_fixture() {
+    assert_engine_matches_batch(&cc_snapshot(), "clean-clean");
+}
+
+#[test]
+fn batch_is_identical_across_thread_counts_and_to_single_queries() {
+    for (label, snapshot) in [("dirty", dirty_snapshot()), ("clean-clean", cc_snapshot())] {
+        for scheme in [WeightingScheme::Js, WeightingScheme::Ejs] {
+            let mut engine = QueryEngine::with_scheme(&snapshot, scheme);
+            let retention = Retention::TopK(snapshot.cnp_threshold());
+            let singles: Vec<Scored> = (0..snapshot.num_entities())
+                .map(|pivot| engine.query(EntityId(pivot as u32), retention, &mut Noop))
+                .collect();
+            let baseline = engine.batch(retention, 1, &mut Noop);
+            assert_eq!(baseline, singles, "{label}/{scheme:?}: batch(1) != single queries");
+            for threads in [2, 4] {
+                assert_eq!(
+                    engine.batch(retention, threads, &mut Noop),
+                    baseline,
+                    "{label}/{scheme:?}: batch({threads}) diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn probing_an_indexed_entitys_profile_finds_its_batch_neighbors() {
+    // With CBS the score is the raw co-occurrence count, which does not
+    // depend on whether the pivot is indexed or virtual — so probing an
+    // indexed entity's own profile must reproduce query() plus the entity
+    // itself (which co-occurs with its own blocks at full strength).
+    let collection: EntityCollection = presets::build(&presets::tiny(44)).into_dirty().collection;
+    let snapshot = Snapshot::build(
+        &collection,
+        PipelineConfig { weighting: WeightingScheme::Cbs, ..PipelineConfig::default() },
+    )
+    .unwrap();
+    let mut engine = QueryEngine::with_scheme(&snapshot, WeightingScheme::Cbs);
+    let keep_all = Retention::TopK(usize::MAX);
+    for (id, profile) in collection.iter() {
+        let queried = engine.query(id, keep_all, &mut Noop);
+        let probed = engine.probe(profile, true, keep_all, &mut Noop);
+        let mut expected = sorted_ids(&queried);
+        if !queried.candidates.is_empty() {
+            expected.push(id.0);
+            expected.sort_unstable();
+        }
+        assert_eq!(sorted_ids(&probed), expected, "probe mismatch at entity {}", id.0);
+    }
+}
+
+#[test]
+fn default_retention_follows_the_configured_pruning_scheme() {
+    let collection = presets::build(&presets::tiny(45)).into_dirty().collection;
+    let cardinality = Snapshot::build(
+        &collection,
+        PipelineConfig { pruning: mb_core::PruningScheme::Cnp, ..PipelineConfig::default() },
+    )
+    .unwrap();
+    let engine = QueryEngine::new(&cardinality);
+    assert_eq!(engine.default_retention(), Retention::TopK(cardinality.cnp_threshold()));
+
+    let weighted = Snapshot::build(&collection, PipelineConfig::default()).unwrap();
+    let engine = QueryEngine::new(&weighted);
+    assert_eq!(engine.default_retention(), Retention::AboveMean);
+}

@@ -1,0 +1,352 @@
+//! Round-trip and corruption property tests for the snapshot codec.
+//!
+//! The contract under test: encoding is deterministic and bit-stable across
+//! a decode/encode cycle, and *every* malformed input — truncations, bit
+//! flips, forged frames, checksum-valid-but-inconsistent payloads — fails
+//! with a typed [`SnapshotError`], never a panic and never an unbounded
+//! allocation.
+
+use er_datagen::presets;
+use er_model::{EntityCollection, EntityProfile};
+use mb_core::{PipelineConfig, PruningScheme, WeightingScheme};
+use mb_serve::{Snapshot, SnapshotError, FORMAT_VERSION, MAGIC};
+
+fn config(weighting: WeightingScheme, filter_ratio: Option<f64>) -> PipelineConfig {
+    PipelineConfig { weighting, filter_ratio, ..PipelineConfig::default() }
+}
+
+fn cc_collection(seed: u64) -> EntityCollection {
+    presets::build(&presets::tiny(seed)).collection
+}
+
+fn dirty_collection(seed: u64) -> EntityCollection {
+    presets::build(&presets::tiny(seed)).into_dirty().collection
+}
+
+/// A small but non-trivial snapshot used by the corruption tests.
+fn small_snapshot() -> Snapshot {
+    let e = EntityCollection::dirty(vec![
+        EntityProfile::new("p1").with("name", "jack miller"),
+        EntityProfile::new("p2").with("fullname", "jack lloyd miller"),
+        EntityProfile::new("p3").with("n", "erick lloyd vendor"),
+        EntityProfile::new("p4").with("n", "erick green vendor car"),
+    ]);
+    Snapshot::build(&e, config(WeightingScheme::Cbs, None)).unwrap()
+}
+
+// --- little-endian helpers mirroring the format, local to the tests ------
+
+fn u32_at(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+fn u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Splits an encoded snapshot into its header and `(id, payload)` sections.
+fn parse_frame(bytes: &[u8]) -> Vec<(u32, Vec<u8>)> {
+    assert_eq!(&bytes[..8], &MAGIC);
+    assert_eq!(u32_at(bytes, 8), FORMAT_VERSION);
+    let mut sections = Vec::new();
+    let mut at = 12;
+    while at < bytes.len() {
+        let id = u32_at(bytes, at);
+        let len = u64_at(bytes, at + 4) as usize;
+        let checksum = u64_at(bytes, at + 12);
+        let payload = bytes[at + 20..at + 20 + len].to_vec();
+        assert_eq!(fnv1a(&payload), checksum);
+        sections.push((id, payload));
+        at += 20 + len;
+    }
+    sections
+}
+
+/// Re-frames sections (with correct checksums) into a snapshot file.
+fn build_frame(sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    for (id, payload) in sections {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Decodes after mutating one section's payload, fixing up the checksum so
+/// the corruption reaches the section decoder instead of the checksum gate.
+fn decode_with(
+    snapshot: &Snapshot,
+    section: u32,
+    mutate: impl FnOnce(&mut Vec<u8>),
+) -> Result<Snapshot, SnapshotError> {
+    let mut sections = parse_frame(&snapshot.to_bytes());
+    let slot = sections.iter_mut().find(|(id, _)| *id == section).unwrap();
+    mutate(&mut slot.1);
+    Snapshot::from_bytes(&build_frame(&sections))
+}
+
+// --- round-trip stability -------------------------------------------------
+
+#[test]
+fn roundtrip_is_bit_identical_across_kinds_and_configs() {
+    let cases: Vec<(EntityCollection, PipelineConfig)> = vec![
+        (dirty_collection(7), config(WeightingScheme::Cbs, None)),
+        (dirty_collection(8), config(WeightingScheme::Ejs, Some(0.5))),
+        (cc_collection(9), config(WeightingScheme::Js, None)),
+        (cc_collection(10), config(WeightingScheme::Arcs, Some(0.8))),
+        (
+            cc_collection(11),
+            PipelineConfig {
+                weighting: WeightingScheme::Ecbs,
+                pruning: PruningScheme::Cnp,
+                filter_ratio: Some(0.6),
+                threads: 4,
+                ..PipelineConfig::default()
+            },
+        ),
+    ];
+    for (collection, cfg) in cases {
+        let snapshot = Snapshot::build(&collection, cfg).unwrap();
+        let bytes = snapshot.to_bytes();
+        let restored = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.to_bytes(), bytes, "decode/encode must be bit-identical");
+        assert_eq!(restored.kind(), snapshot.kind());
+        assert_eq!(restored.split(), snapshot.split());
+        assert_eq!(restored.cnp_threshold(), snapshot.cnp_threshold());
+        assert_eq!(restored.cep_threshold(), snapshot.cep_threshold());
+        assert_eq!(restored.total_comparisons(), snapshot.total_comparisons());
+        assert_eq!(restored.total_assignments(), snapshot.total_assignments());
+        assert_eq!(restored.tokens(), snapshot.tokens());
+        assert_eq!(restored.block_keys(), snapshot.block_keys());
+        assert_eq!(restored.config(), snapshot.config());
+    }
+}
+
+#[test]
+fn empty_and_one_sided_collections_roundtrip() {
+    // No shared token => zero blocks.
+    let disjoint = EntityCollection::dirty(vec![
+        EntityProfile::new("a").with("x", "alpha"),
+        EntityProfile::new("b").with("y", "beta"),
+    ]);
+    // Clean-Clean with an empty second side can never share cross-side
+    // tokens either.
+    let one_sided = EntityCollection::clean_clean(
+        vec![EntityProfile::new("a").with("x", "alpha beta")],
+        vec![],
+    );
+    for collection in [disjoint, one_sided] {
+        let snapshot = Snapshot::build(&collection, PipelineConfig::default()).unwrap();
+        assert_eq!(snapshot.blocks().size(), 0);
+        let bytes = snapshot.to_bytes();
+        let restored = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.to_bytes(), bytes);
+    }
+}
+
+// --- corruption: every byte matters --------------------------------------
+
+#[test]
+fn every_flipped_byte_fails_with_a_typed_error() {
+    let bytes = small_snapshot().to_bytes();
+    for at in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[at] ^= 0xff;
+        // Calling through — any panic fails the test; any Ok means a
+        // corrupted file was silently accepted.
+        let err = Snapshot::from_bytes(&bad)
+            .err()
+            .unwrap_or_else(|| panic!("flipping byte {at} was not detected"));
+        // Every variant has a Display line; render it to exercise them all.
+        let _ = err.to_string();
+    }
+}
+
+#[test]
+fn every_truncated_prefix_fails_with_a_typed_error() {
+    let bytes = small_snapshot().to_bytes();
+    for len in 0..bytes.len() {
+        assert!(
+            Snapshot::from_bytes(&bytes[..len]).is_err(),
+            "prefix of {len} bytes must not decode"
+        );
+    }
+}
+
+#[test]
+fn frame_level_errors_are_typed() {
+    let snapshot = small_snapshot();
+    let bytes = snapshot.to_bytes();
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] = b'X';
+    assert!(matches!(Snapshot::from_bytes(&bad_magic), Err(SnapshotError::BadMagic)));
+    assert!(matches!(Snapshot::from_bytes(b""), Err(SnapshotError::BadMagic)));
+
+    let mut future = bytes.clone();
+    future[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    assert!(matches!(
+        Snapshot::from_bytes(&future),
+        Err(SnapshotError::UnsupportedVersion { found, supported })
+            if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+    ));
+
+    let sections = parse_frame(&bytes);
+    let mut unknown = sections.clone();
+    unknown.push((99, Vec::new()));
+    assert!(matches!(
+        Snapshot::from_bytes(&build_frame(&unknown)),
+        Err(SnapshotError::UnknownSection { id: 99 })
+    ));
+
+    let mut duplicated = sections.clone();
+    duplicated.push(sections[0].clone());
+    assert!(matches!(
+        Snapshot::from_bytes(&build_frame(&duplicated)),
+        Err(SnapshotError::DuplicateSection { .. })
+    ));
+
+    for drop in 0..sections.len() {
+        let mut partial = sections.clone();
+        partial.remove(drop);
+        assert!(matches!(
+            Snapshot::from_bytes(&build_frame(&partial)),
+            Err(SnapshotError::MissingSection { .. })
+        ));
+    }
+
+    // A section whose declared length overruns the file reports how much is
+    // missing rather than reading out of bounds.
+    let mut overrun = build_frame(&sections[..1]);
+    let len_at = 12 + 4;
+    overrun[len_at..len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(matches!(Snapshot::from_bytes(&overrun), Err(SnapshotError::Truncated { .. })));
+}
+
+#[test]
+fn checksum_valid_payload_corruption_is_still_detected() {
+    let snapshot = small_snapshot();
+    const META: u32 = 1;
+    const BLOCKS: u32 = 2;
+    const TOKENS: u32 = 4;
+    const BLOCKKEYS: u32 = 5;
+
+    // A members-vector claiming u32::MAX entries must fail on the declared
+    // length, not attempt a 16 GiB allocation.
+    let err = decode_with(&snapshot, BLOCKS, |p| {
+        p[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+    })
+    .unwrap_err();
+    assert!(matches!(err, SnapshotError::Truncated { section: "blocks", .. }));
+
+    // Trailing garbage after a fully-decoded payload.
+    let err = decode_with(&snapshot, BLOCKKEYS, |p| p.push(0)).unwrap_err();
+    assert!(matches!(err, SnapshotError::TrailingBytes { section: "blockkeys", bytes: 1 }));
+
+    // A non-UTF-8 token.
+    let err = decode_with(&snapshot, TOKENS, |p| {
+        *p.last_mut().unwrap() = 0xff;
+    })
+    .unwrap_err();
+    assert!(matches!(err, SnapshotError::Utf8 { section: "tokens" }));
+
+    // An undefined ER-kind tag.
+    let err = decode_with(&snapshot, META, |p| p[0] = 7).unwrap_err();
+    assert!(matches!(err, SnapshotError::Inconsistent(_)));
+
+    // Tampered persisted thresholds disagree with the collection.
+    let err = decode_with(&snapshot, META, |p| {
+        let cnp = u64::from_le_bytes(p[9..17].try_into().unwrap());
+        p[9..17].copy_from_slice(&(cnp + 1).to_le_bytes());
+    })
+    .unwrap_err();
+    assert!(matches!(err, SnapshotError::Inconsistent(_)));
+
+    // A block key pointing at a u32::MAX-adjacent token id.
+    let err = decode_with(&snapshot, BLOCKKEYS, |p| {
+        p[4..8].copy_from_slice(&(u32::MAX - 1).to_le_bytes());
+    })
+    .unwrap_err();
+    assert!(matches!(err, SnapshotError::Inconsistent(_)));
+
+    // A structurally-invalid arena: the offsets table must start at 0.
+    let err = decode_with(&snapshot, BLOCKS, |p| {
+        let members = u32::from_le_bytes(p[0..4].try_into().unwrap()) as usize;
+        let offsets0 = 4 + 4 * members + 4;
+        p[offsets0..offsets0 + 4].copy_from_slice(&1u32.to_le_bytes());
+    })
+    .unwrap_err();
+    assert!(matches!(err, SnapshotError::Structural(_)));
+}
+
+// --- from_parts -----------------------------------------------------------
+
+#[test]
+fn from_parts_accepts_valid_state_and_reproduces_identical_bytes() {
+    let snapshot = small_snapshot();
+    let rebuilt = Snapshot::from_parts(
+        snapshot.blocks().clone(),
+        snapshot.index().clone(),
+        snapshot.split(),
+        snapshot.tokens().to_vec(),
+        snapshot.block_keys().to_vec(),
+        *snapshot.config(),
+    )
+    .unwrap();
+    assert_eq!(rebuilt.to_bytes(), snapshot.to_bytes());
+}
+
+#[test]
+fn from_parts_rejects_inconsistent_inputs() {
+    let s = small_snapshot();
+    let parts = || {
+        (
+            s.blocks().clone(),
+            s.index().clone(),
+            s.split(),
+            s.tokens().to_vec(),
+            s.block_keys().to_vec(),
+            *s.config(),
+        )
+    };
+
+    // Wrong number of block keys.
+    let (b, i, sp, t, mut k, c) = parts();
+    k.pop();
+    assert!(matches!(Snapshot::from_parts(b, i, sp, t, k, c), Err(SnapshotError::Inconsistent(_))));
+
+    // A key at the edge of the id space with a tiny vocabulary.
+    let (b, i, sp, t, mut k, c) = parts();
+    k[0] = u32::MAX;
+    assert!(matches!(Snapshot::from_parts(b, i, sp, t, k, c), Err(SnapshotError::Inconsistent(_))));
+
+    // Duplicate provenance: two blocks claiming the same token.
+    let (b, i, sp, t, mut k, c) = parts();
+    k[1] = k[0];
+    assert!(matches!(Snapshot::from_parts(b, i, sp, t, k, c), Err(SnapshotError::Inconsistent(_))));
+
+    // A Dirty snapshot must have split == |E|.
+    let (b, i, sp, t, k, c) = parts();
+    assert!(matches!(
+        Snapshot::from_parts(b, i, sp - 1, t, k, c),
+        Err(SnapshotError::Inconsistent(_))
+    ));
+
+    // An invalid configuration.
+    let (b, i, sp, t, k, mut c) = parts();
+    c.filter_ratio = Some(2.0);
+    assert!(matches!(Snapshot::from_parts(b, i, sp, t, k, c), Err(SnapshotError::Config(_))));
+}

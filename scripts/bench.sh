@@ -5,7 +5,10 @@
 #
 # Also runs the end-to-end pipeline bench (build -> purge -> filter ->
 # weight -> prune, legacy layout vs CSR arena, wall-ms + allocation counts)
-# and validates the shape of the BENCH_pipeline.json it writes.
+# and validates the shape of the BENCH_pipeline.json it writes, plus the
+# serving-layer query-latency bench (snapshot load ms, single-query
+# percentiles, batch throughput at 1/2/4/8 threads) which writes and
+# validates BENCH_query.json the same way.
 #
 # Writes BENCH_pruning.json at the repository root — scheme x threads x
 # wall-ms records plus the machine's detected core count — so the scaling
@@ -24,6 +27,10 @@ cd "$(dirname "$0")/.."
 echo "==> end-to-end pipeline bench (writes BENCH_pipeline.json)"
 BENCH_OUT="" cargo bench -p er-bench --bench pipeline_e2e
 cargo run -q -p er-bench --bin validate_pipeline_json -- BENCH_pipeline.json
+
+echo "==> query-latency bench (writes BENCH_query.json)"
+BENCH_OUT="" cargo bench -p er-bench --bench query_latency
+cargo run -q -p er-bench --bin validate_query_json -- BENCH_query.json
 
 echo "==> pruning-scaling bench (writes ${BENCH_OUT:-BENCH_pruning.json})"
 cargo bench -p er-bench --bench pruning_scaling

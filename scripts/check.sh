@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# The full local gate, in dependency order: style, compile, lint, tests.
+# The full local gate, in dependency order: style, compile, lint, tests,
+# then a serving-layer smoke: generate a tiny bundle, freeze it into a
+# snapshot, re-load it (full checksum + invariant validation) and query it.
 # ROADMAP.md's tier-1 verify line is the `build` + `test` subset; this script
 # is the superset a change should pass before review.
 #
@@ -30,6 +32,16 @@ cargo test -q
 
 echo "==> cargo test -q --features sanitize"
 cargo test -q --features sanitize
+
+echo "==> snapshot round-trip smoke (er snapshot build/inspect + er query)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo run -q --release -p er-cli -- generate --preset tiny --out "$SMOKE_DIR" --seed 7
+cargo run -q --release -p er-cli -- snapshot build --dataset "$SMOKE_DIR" \
+  --out "$SMOKE_DIR/index.mbsnap" --scheme cbs --pruning cnp --filter 0.8
+cargo run -q --release -p er-cli -- snapshot inspect --snapshot "$SMOKE_DIR/index.mbsnap"
+cargo run -q --release -p er-cli -- query --snapshot "$SMOKE_DIR/index.mbsnap" \
+  --entity 0 --top 5
 
 if [ "$BENCH_SMOKE" -eq 1 ]; then
   echo "==> cargo bench -p er-bench --no-run (bench smoke)"
