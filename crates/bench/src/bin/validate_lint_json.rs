@@ -1,0 +1,117 @@
+//! Shape-checks `results/lint.json` (written by
+//! `er-lint --workspace --format json` in `scripts/check.sh`).
+//!
+//! Exits non-zero with a message naming the first offending field if the
+//! document is not schema `er-lint/1`, a finding record is malformed, or
+//! the `status` field disagrees with the budget arrays. Lives beside the
+//! bench-JSON validators because er-lint itself is dependency-free by
+//! design — the JSON reader (`mb_observe::json`) cannot be used there.
+
+use mb_observe::json::Json;
+use std::process::ExitCode;
+
+fn str_field(obj: &Json, key: &str, ctx: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("{ctx}: `{key}` is not a string"))
+}
+
+fn finding(obj: &Json, ctx: &str) -> Result<(), String> {
+    let file = str_field(obj, "file", ctx)?;
+    if file.is_empty() {
+        return Err(format!("{ctx}: `file` is empty"));
+    }
+    obj.get("line")
+        .and_then(Json::as_u64)
+        .filter(|l| *l > 0)
+        .ok_or_else(|| format!("{ctx}: `line` is not a positive integer"))?;
+    let rule = str_field(obj, "rule", ctx)?;
+    if rule.is_empty() {
+        return Err(format!("{ctx}: `rule` is empty"));
+    }
+    let severity = str_field(obj, "severity", ctx)?;
+    if severity != "error" && severity != "warning" {
+        return Err(format!("{ctx}: unknown severity `{severity}`"));
+    }
+    // `snippet` is required (may be empty for blank lines); `note` is
+    // optional but must be a string when present.
+    str_field(obj, "snippet", ctx)?;
+    if let Some(note) = obj.get("note") {
+        if note.as_str().is_none() {
+            return Err(format!("{ctx}: `note` is not a string"));
+        }
+    }
+    Ok(())
+}
+
+fn finding_array(doc: &Json, key: &str) -> Result<usize, String> {
+    let arr =
+        doc.get(key).and_then(Json::as_arr).ok_or_else(|| format!("`{key}` is not an array"))?;
+    for (i, obj) in arr.iter().enumerate() {
+        finding(obj, &format!("{key}[{i}]"))?;
+    }
+    Ok(arr.len())
+}
+
+fn check(doc: &Json) -> Result<(), String> {
+    let schema = str_field(doc, "schema", "document")?;
+    if schema != "er-lint/1" {
+        return Err(format!("`schema` is `{schema}`, expected `er-lint/1`"));
+    }
+    doc.get("files")
+        .and_then(Json::as_u64)
+        .filter(|f| *f > 0)
+        .ok_or_else(|| "`files` is not a positive integer".to_string())?;
+    finding_array(doc, "findings")?;
+    let over = finding_array(doc, "over_budget")?;
+    let stale = doc
+        .get("stale")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "`stale` is not an array".to_string())?;
+    for (i, s) in stale.iter().enumerate() {
+        if s.as_str().is_none() {
+            return Err(format!("stale[{i}] is not a string"));
+        }
+    }
+    doc.get("suppressed")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "`suppressed` is not an unsigned integer".to_string())?;
+    let status = str_field(doc, "status", "document")?;
+    let expected = if over == 0 && stale.is_empty() { "clean" } else { "violations" };
+    if status != expected {
+        return Err(format!(
+            "`status` is `{status}` but over_budget={over}, stale={} imply `{expected}`",
+            stale.len()
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "results/lint.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("validate_lint_json: reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("validate_lint_json: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&doc) {
+        Ok(()) => {
+            println!("validate_lint_json: {path} OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate_lint_json: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

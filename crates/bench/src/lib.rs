@@ -40,17 +40,27 @@ fn blocked(collection: EntityCollection, ground_truth: GroundTruth) -> Workload 
     Workload { collection, ground_truth, blocks }
 }
 
+/// The fixed bench dataset. Scaling d1c uniformly preserves the config
+/// invariants (`matched_pairs` never exceeds a side size), so generation
+/// cannot fail — the tests below exercise exactly this config.
+fn bench_dataset() -> er_datagen::GeneratedDataset {
+    match presets::build(&scaled_d1c(0.1)) {
+        Ok(d) => d,
+        Err(e) => unreachable!("bench preset rejected: {e}"),
+    }
+}
+
 /// Builds the Clean-Clean bench workload (≈6.4k profiles at the default
 /// 0.1 scale).
 pub fn clean_workload() -> Workload {
-    let d = presets::build(&scaled_d1c(0.1));
+    let d = bench_dataset();
     blocked(d.collection, d.ground_truth)
 }
 
 /// Builds the Dirty bench workload (same profiles, merged into one
 /// collection).
 pub fn dirty_workload() -> Workload {
-    let d = presets::build(&scaled_d1c(0.1)).into_dirty();
+    let d = bench_dataset().into_dirty();
     blocked(d.collection, d.ground_truth)
 }
 

@@ -64,7 +64,7 @@ pub fn generate(args: &Args) -> Result<String, String> {
         config.side1.attr_name_pool = s(config.side1.attr_name_pool).max(3);
         config.side2.attr_name_pool = s(config.side2.attr_name_pool).max(3);
     }
-    let mut dataset = er_datagen::generate(&config);
+    let mut dataset = er_datagen::generate(&config).map_err(|e| e.to_string())?;
     if args.flag("dirty") {
         dataset = dataset.into_dirty();
     }

@@ -4,6 +4,7 @@ use crate::config::{DatasetConfig, NoiseConfig, SideConfig};
 use crate::rng::SmallRng;
 use crate::words::{typo, word};
 use crate::zipf::Zipf;
+use er_model::error::{Error, Result};
 use er_model::{EntityCollection, EntityId, EntityProfile, GroundTruth};
 
 /// A generated benchmark: the entity collection plus its ground truth.
@@ -30,13 +31,11 @@ impl GeneratedDataset {
 
 /// Generates a synthetic Clean-Clean benchmark from a configuration.
 ///
-/// # Panics
-/// If the configuration fails [`DatasetConfig::validate`]; call it first for
-/// a recoverable error.
-pub fn generate(config: &DatasetConfig) -> GeneratedDataset {
-    if let Err(e) = config.validate() {
-        panic!("invalid dataset config: {e}");
-    }
+/// # Errors
+/// [`er_model::Error::InvalidConfig`] if the configuration fails
+/// [`DatasetConfig::validate`].
+pub fn generate(config: &DatasetConfig) -> Result<GeneratedDataset> {
+    config.validate().map_err(Error::InvalidConfig)?;
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let zipf = Zipf::new(config.object.vocab_size, config.object.zipf_exponent);
 
@@ -74,7 +73,7 @@ pub fn generate(config: &DatasetConfig) -> GeneratedDataset {
         let id = EntityId::from_index(i);
         (id, EntityId(n1 + id.0))
     }));
-    GeneratedDataset { collection, ground_truth }
+    Ok(GeneratedDataset { collection, ground_truth })
 }
 
 /// Derives one side's profile from an object's token bag: apply the noise
@@ -185,7 +184,7 @@ mod tests {
 
     #[test]
     fn shape_matches_config() {
-        let d = generate(&small_config());
+        let d = generate(&small_config()).unwrap();
         assert_eq!(d.collection.kind(), ErKind::CleanClean);
         assert_eq!(d.collection.len(), 700);
         assert_eq!(d.collection.sides(), (300, 400));
@@ -198,15 +197,15 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate(&small_config());
-        let b = generate(&small_config());
+        let a = generate(&small_config()).unwrap();
+        let b = generate(&small_config()).unwrap();
         assert_eq!(a.collection.profiles().len(), b.collection.profiles().len());
         for (x, y) in a.collection.profiles().iter().zip(b.collection.profiles()) {
             assert_eq!(x, y);
         }
         let mut c = small_config();
         c.seed = 43;
-        let d = generate(&c);
+        let d = generate(&c).unwrap();
         assert_ne!(
             a.collection.profiles()[0].attributes(),
             d.collection.profiles()[0].attributes()
@@ -215,7 +214,7 @@ mod tests {
 
     #[test]
     fn token_blocking_recall_is_high_precision_low() {
-        let d = generate(&small_config());
+        let d = generate(&small_config()).unwrap();
         let blocks = TokenBlocking.build(&d.collection);
         let detected = measures::detected_duplicates_in(&blocks, &d.ground_truth);
         let pc = measures::pairs_completeness(detected, d.ground_truth.len());
@@ -229,7 +228,7 @@ mod tests {
 
     #[test]
     fn profiles_have_requested_attribute_counts() {
-        let d = generate(&small_config());
+        let d = generate(&small_config()).unwrap();
         let (side1_names, side2_names) = d.collection.distinct_attribute_names();
         assert!(side1_names <= 4);
         assert!(side2_names <= 7);
@@ -241,7 +240,7 @@ mod tests {
 
     #[test]
     fn into_dirty_preserves_ground_truth() {
-        let d = generate(&small_config()).into_dirty();
+        let d = generate(&small_config()).unwrap().into_dirty();
         assert_eq!(d.collection.kind(), ErKind::Dirty);
         assert_eq!(d.ground_truth.len(), 200);
         let blocks = TokenBlocking.build(&d.collection);
@@ -254,7 +253,7 @@ mod tests {
         let mut c = small_config();
         c.side1.noise = NoiseConfig::NONE;
         c.side2.noise = NoiseConfig::NONE;
-        let d = generate(&c);
+        let d = generate(&c).unwrap();
         let sets = er_model::matching::TokenSets::build(&d.collection);
         for pair in d.ground_truth.pairs() {
             assert!((sets.jaccard(pair.a, pair.b) - 1.0).abs() < 1e-12, "{:?} differs", pair);
@@ -262,10 +261,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid dataset config")]
-    fn invalid_config_panics() {
+    fn invalid_config_is_a_typed_error() {
         let mut c = small_config();
         c.matched_pairs = 10_000;
-        generate(&c);
+        let err = generate(&c).unwrap_err();
+        assert!(matches!(err, er_model::Error::InvalidConfig(_)), "{err:?}");
+        assert!(err.to_string().contains("matched_pairs"), "{err}");
     }
 }

@@ -125,7 +125,12 @@ pub fn tiny(seed: u64) -> DatasetConfig {
 }
 
 /// Generates the Clean-Clean dataset for a preset config.
-pub fn build(config: &DatasetConfig) -> GeneratedDataset {
+///
+/// # Errors
+/// [`er_model::Error::InvalidConfig`] if `config` fails validation — the
+/// presets in this module always pass, but callers may have modified the
+/// config before building.
+pub fn build(config: &DatasetConfig) -> er_model::error::Result<GeneratedDataset> {
     generate(config)
 }
 
@@ -150,7 +155,7 @@ mod tests {
 
     #[test]
     fn tiny_builds_quickly_and_correctly() {
-        let d = build(&tiny(7));
+        let d = build(&tiny(7)).unwrap();
         assert_eq!(d.collection.len(), 450);
         assert_eq!(d.ground_truth.len(), 150);
     }

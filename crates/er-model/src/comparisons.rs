@@ -81,6 +81,8 @@ impl ComparisonSet {
 
     /// Iterator over the stored comparisons (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = Comparison> + '_ {
+        // lint:allow(unordered-iteration) documented arbitrary-order set
+        // view; ordering is the caller's contract, not this accessor's.
         self.set.iter().map(|&k| Comparison::from_key(k))
     }
 }

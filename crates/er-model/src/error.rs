@@ -33,6 +33,10 @@ pub enum Error {
     },
     /// A parameter that must be positive was zero.
     ZeroParameter(&'static str),
+    /// A dataset-generation configuration failed structural validation
+    /// (`er-datagen`'s `DatasetConfig::validate`); the payload is the
+    /// specific constraint that was violated.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for Error {
@@ -49,6 +53,7 @@ impl fmt::Display for Error {
                 write!(f, "operation requires a {expected} ER task")
             }
             Error::ZeroParameter(p) => write!(f, "parameter `{p}` must be positive"),
+            Error::InvalidConfig(reason) => write!(f, "invalid dataset config: {reason}"),
         }
     }
 }
@@ -70,5 +75,9 @@ mod tests {
             .to_string()
             .contains("Clean-Clean"));
         assert!(Error::ZeroParameter("k").to_string().contains('k'));
+        assert_eq!(
+            Error::InvalidConfig("matched_pairs exceeds a side size".into()).to_string(),
+            "invalid dataset config: matched_pairs exceeds a side size"
+        );
     }
 }

@@ -67,6 +67,9 @@ pub fn assert_valid(violations: &[Violation], context: &str) {
         msg.push_str("\n  ");
         msg.push_str(&v.to_string());
     }
+    // lint:allow(panic-reachability) designed abort: the sanitize layer's
+    // whole contract is to halt on broken invariants; serve-path callers
+    // validate input before reaching it.
     panic!("{msg}");
 }
 

@@ -10,10 +10,10 @@ use er_eval::report::{ratio, sci, Table};
 use er_model::measures;
 use mb_core::filter::{block_filtering_with_order, BlockOrder};
 
-fn main() {
+fn main() -> er_model::Result<()> {
     let mut table = Table::new(&["dataset", "order", "||B'||", "PC", "RR"]);
     for id in [DatasetId::D1C, DatasetId::D2C] {
-        let d = Dataset::load(id);
+        let d = Dataset::load(id)?;
         let blocks = d.input_blocks();
         let baseline = blocks.total_comparisons();
         for (name, order) in [
@@ -21,7 +21,7 @@ fn main() {
             ("descending ||b||", BlockOrder::DescendingCardinality),
             ("input order", BlockOrder::Input),
         ] {
-            let filtered = er_eval::must(block_filtering_with_order(&blocks, 0.8, order));
+            let filtered = block_filtering_with_order(&blocks, 0.8, order)?;
             let detected = measures::detected_duplicates_in(&filtered, &d.ground_truth);
             table.row(vec![
                 id.name().into(),
@@ -37,4 +37,5 @@ fn main() {
     println!("Expected shape: ascending cardinality dominates — it keeps the small,");
     println!("discriminative blocks where duplicates co-occur; descending keeps the");
     println!("noisy oversized blocks instead (higher ||B'|| AND lower or equal PC).");
+    Ok(())
 }

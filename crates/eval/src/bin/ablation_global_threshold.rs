@@ -12,8 +12,8 @@ use er_eval::report::{ratio, sci, Table};
 use er_model::measures;
 use mb_core::filter::{block_filtering, block_filtering_global};
 
-fn main() {
-    let d = Dataset::load(DatasetId::D2C);
+fn main() -> er_model::Result<()> {
+    let d = Dataset::load(DatasetId::D2C)?;
     let blocks = d.input_blocks();
     let baseline = blocks.total_comparisons();
     let bpe = blocks.blocks_per_entity();
@@ -29,13 +29,13 @@ fn main() {
         ]);
     };
 
-    let local = er_eval::must(block_filtering(&blocks, 0.8));
+    let local = block_filtering(&blocks, 0.8)?;
     push("local r=0.80 (paper)".into(), &local);
 
     // Global limits spanning the spectrum around the mean BPE.
     for limit in [1u32, (bpe * 0.5) as u32, bpe as u32, (bpe * 2.0) as u32, (bpe * 4.0) as u32] {
         let limit = limit.max(1);
-        let global = er_eval::must(block_filtering_global(&blocks, limit));
+        let global = block_filtering_global(&blocks, limit)?;
         push(format!("global limit={limit}"), &global);
     }
 
@@ -44,4 +44,5 @@ fn main() {
     println!("Expected shape: no single global limit matches the local variant's");
     println!("PC at a comparable RR — tight limits lose recall, loose limits lose");
     println!("the reduction.");
+    Ok(())
 }

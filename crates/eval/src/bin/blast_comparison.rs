@@ -14,13 +14,13 @@ use er_model::measures::EffectivenessAccumulator;
 use mb_core::filter::block_filtering;
 use mb_core::{blast, GraphContext, MetaBlocking, PruningScheme, WeightingScheme};
 
-fn main() {
+fn main() -> er_model::Result<()> {
     let mut table = Table::new(&["dataset", "method", "||B'||", "PC(B')", "PQ(B')", "OTime"]);
     for id in DatasetId::ALL {
-        let d = Dataset::load(id);
+        let d = Dataset::load(id)?;
         let blocks = d.input_blocks();
         let split = d.collection.split();
-        let filtered = er_eval::must(block_filtering(&blocks, 0.8));
+        let filtered = block_filtering(&blocks, 0.8)?;
 
         // BLAST over the filtered blocks.
         let mut acc = EffectivenessAccumulator::new(&d.ground_truth);
@@ -51,7 +51,7 @@ fn main() {
                     |a, b| acc.add(a, b),
                 )
             });
-            er_eval::must(res);
+            res?;
             table.row(vec![
                 id.name().into(),
                 label.into(),
@@ -64,4 +64,5 @@ fn main() {
     }
     println!("BLAST vs the paper's weight-based schemes (all over Block Filtering r = 0.80)\n");
     println!("{}", table.render());
+    Ok(())
 }

@@ -13,8 +13,8 @@ use er_eval::datasets::{Dataset, DatasetId};
 use er_eval::report::{precision, ratio, sci, Table};
 use er_eval::BlockStats;
 
-fn main() {
-    let d = Dataset::load_scaled(DatasetId::D1C, 0.25);
+fn main() -> er_model::Result<()> {
+    let d = Dataset::load_scaled(DatasetId::D1C, 0.25)?;
     let split = d.collection.split();
     let brute = d.collection.brute_force_comparisons();
 
@@ -47,4 +47,5 @@ fn main() {
     println!("Blocking all reach near-perfect PC with PQ far below 0.1 (the");
     println!("redundancy-positive profile); Standard Blocking trades recall for");
     println!("precision and is NOT a valid meta-blocking input.");
+    Ok(())
 }

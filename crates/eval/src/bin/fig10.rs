@@ -6,10 +6,10 @@ use er_eval::report::{ratio, Table};
 use er_model::measures;
 use mb_core::filter::block_filtering;
 
-fn main() {
+fn main() -> er_model::Result<()> {
     let mut table = Table::new(&["r", "PC D2C", "RR D2C", "PC D2D", "RR D2D"]);
-    let clean = Dataset::load(DatasetId::D2C);
-    let dirty = Dataset::load(DatasetId::D2D);
+    let clean = Dataset::load(DatasetId::D2C)?;
+    let dirty = Dataset::load(DatasetId::D2D)?;
     let clean_blocks = clean.input_blocks();
     let dirty_blocks = dirty.input_blocks();
 
@@ -17,7 +17,7 @@ fn main() {
         let r = step as f64 * 0.05;
         let mut cells = vec![format!("{r:.2}")];
         for (d, blocks) in [(&clean, &clean_blocks), (&dirty, &dirty_blocks)] {
-            let filtered = er_eval::must(block_filtering(blocks, r));
+            let filtered = block_filtering(blocks, r)?;
             let detected = measures::detected_duplicates_in(&filtered, &d.ground_truth);
             let pc = measures::pairs_completeness(detected, d.ground_truth.len());
             let rr =
@@ -32,4 +32,5 @@ fn main() {
     println!("Expected shape: RR falls monotonically with r; PC rises with r;");
     println!("PC stays flat near 1 over a wide range (robustness), so r = 0.80");
     println!("trades <0.5% recall for a large comparison reduction.");
+    Ok(())
 }

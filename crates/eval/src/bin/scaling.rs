@@ -13,7 +13,7 @@ use mb_core::weights::{EdgeWeigher, WeightingScheme};
 use mb_core::GraphContext;
 use mb_observe::RunReport;
 
-fn main() {
+fn main() -> er_model::Result<()> {
     let mut stage_report = RunReport::new("scaling");
     stage_report.set_meta("dataset", DatasetId::D1D.name());
     stage_report.set_meta("workflow", "graph-free (r = 0.55), accumulated over all scales");
@@ -28,7 +28,7 @@ fn main() {
         "graph-free",
     ]);
     for scale in [0.05, 0.1, 0.2, 0.4, 0.8] {
-        let d = Dataset::load_scaled(DatasetId::D1D, scale);
+        let d = Dataset::load_scaled(DatasetId::D1D, scale)?;
         let blocks = d.input_blocks();
         let ctx = GraphContext::new(&blocks, d.collection.split());
         let weigher = EdgeWeigher::new(WeightingScheme::Js, &ctx);
@@ -48,7 +48,7 @@ fn main() {
                 |_, _| n += 1,
             )
         });
-        er_eval::must(res);
+        res?;
 
         table.row(vec![
             format!("{scale:.2}"),
@@ -71,4 +71,5 @@ fn main() {
         Ok(()) => println!("\nper-stage breakdown (graph-free runs): {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
+    Ok(())
 }

@@ -7,7 +7,7 @@ use er_eval::{timer, BlockStats};
 use er_model::matching::TokenSets;
 use mb_core::filter::block_filtering;
 
-fn main() {
+fn main() -> er_model::Result<()> {
     let mut original = Table::new(&[
         "", "|B|", "||B||", "BPE", "PC(B)", "PQ(B)", "RR", "|V_B|", "|E_B|", "OTime", "RTime",
     ]);
@@ -16,7 +16,7 @@ fn main() {
     ]);
 
     for id in DatasetId::ALL {
-        let d = Dataset::load(id);
+        let d = Dataset::load(id)?;
         let split = d.collection.split();
         let sets = TokenSets::build(&d.collection);
         let per_cmp = er_eval::rtime::mean_comparison_cost(&d.collection, &sets, 20_000);
@@ -40,7 +40,8 @@ fn main() {
         ]);
 
         // (b) After Block Filtering r = 0.8; RR against the original ‖B‖.
-        let (restructured, ftime) = timer::time(|| er_eval::must(block_filtering(&blocks, 0.8)));
+        let (restructured, ftime) = timer::time(|| block_filtering(&blocks, 0.8));
+        let restructured = restructured?;
         let fstats = BlockStats::compute(&restructured, split, &d.ground_truth);
         filtered_table.row(vec![
             id.name().into(),
@@ -61,4 +62,5 @@ fn main() {
     println!("{}", original.render());
     println!("Table 1(b): after Block Filtering (r = 0.80); RR vs the original ||B||\n");
     println!("{}", filtered_table.render());
+    Ok(())
 }

@@ -5,12 +5,12 @@ use er_eval::report::{sci, Table};
 use er_eval::{rtime, timer};
 use er_model::matching::TokenSets;
 
-fn main() {
+fn main() -> er_model::Result<()> {
     println!("Table 2(a): entity collections for Clean-Clean ER\n");
     let mut clean =
         Table::new(&["", "side", "|E|", "|D(E)|", "|N|", "|P|", "|p~|", "||E||", "RT(E)"]);
     for id in DatasetId::CLEAN {
-        let d = Dataset::load(id);
+        let d = Dataset::load(id)?;
         let (n1, n2) = d.collection.sides();
         let (names1, names2) = d.collection.distinct_attribute_names();
         let (pairs1, pairs2) = d.collection.total_name_value_pairs();
@@ -45,7 +45,7 @@ fn main() {
     println!("Table 2(b): entity collections for Dirty ER\n");
     let mut dirty = Table::new(&["", "|E|", "|D(E)|", "|N|", "|P|", "|p~|", "||E||", "RT(E)"]);
     for id in [DatasetId::D1D, DatasetId::D2D, DatasetId::D3D] {
-        let d = Dataset::load(id);
+        let d = Dataset::load(id)?;
         let n = d.collection.len();
         let (names, _) = d.collection.distinct_attribute_names();
         let (pairs, _) = d.collection.total_name_value_pairs();
@@ -64,4 +64,5 @@ fn main() {
         ]);
     }
     println!("{}", dirty.render());
+    Ok(())
 }

@@ -12,14 +12,15 @@ use er_eval::report::{precision, ratio, sci, Table};
 use er_eval::{average_over_schemes, timer};
 use mb_core::{PruningScheme, WeightingImpl};
 
-fn main() {
+fn main() -> er_model::Result<()> {
     let imp = std::env::var("MB_IMPL")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(WeightingImpl::Optimized);
     println!("Table 3 (edge weighting: {})\n", imp.name());
 
-    let datasets: Vec<Dataset> = DatasetId::ALL.into_iter().map(Dataset::load).collect();
+    let datasets: Vec<Dataset> =
+        DatasetId::ALL.into_iter().map(Dataset::load).collect::<er_model::Result<_>>()?;
     let blocks: Vec<_> = datasets.iter().map(|d| d.input_blocks()).collect();
 
     for pruning in PruningScheme::ORIGINAL {
@@ -34,7 +35,7 @@ fn main() {
                     pruning,
                     imp,
                     filtering,
-                );
+                )?;
                 table.row(vec![
                     d.id.name().into(),
                     sci(row.comparisons),
@@ -47,4 +48,5 @@ fn main() {
             println!("{}", table.render());
         }
     }
+    Ok(())
 }

@@ -7,8 +7,9 @@ use er_eval::report::{precision, ratio, sci, Table};
 use er_eval::{average_over_schemes, timer};
 use mb_core::{PruningScheme, WeightingImpl};
 
-fn main() {
-    let datasets: Vec<Dataset> = DatasetId::ALL.into_iter().map(Dataset::load).collect();
+fn main() -> er_model::Result<()> {
+    let datasets: Vec<Dataset> =
+        DatasetId::ALL.into_iter().map(Dataset::load).collect::<er_model::Result<_>>()?;
     let blocks: Vec<_> = datasets.iter().map(|d| d.input_blocks()).collect();
 
     for pruning in [
@@ -26,7 +27,7 @@ fn main() {
                 pruning,
                 WeightingImpl::Optimized,
                 Some(0.8),
-            );
+            )?;
             table.row(vec![
                 d.id.name().into(),
                 sci(row.comparisons),
@@ -38,4 +39,5 @@ fn main() {
         println!("Table 4: {} (with Block Filtering r = 0.80)\n", pruning.name());
         println!("{}", table.render());
     }
+    Ok(())
 }

@@ -9,8 +9,9 @@ use er_eval::{average_over_schemes_observed, timer};
 use mb_core::{PruningScheme, WeightingImpl};
 use mb_observe::RunReport;
 
-fn main() {
-    let datasets: Vec<Dataset> = DatasetId::ALL.into_iter().map(Dataset::load).collect();
+fn main() -> er_model::Result<()> {
+    let datasets: Vec<Dataset> =
+        DatasetId::ALL.into_iter().map(Dataset::load).collect::<er_model::Result<_>>()?;
     let blocks: Vec<_> = datasets.iter().map(|d| d.input_blocks()).collect();
 
     let mut optimized_table = Table::new(&["", "D1C", "D2C", "D3C", "D1D", "D2D", "D3D"]);
@@ -44,8 +45,8 @@ fn main() {
                 stage_reports.push(report);
                 row
             };
-            let optimized = run_cell(WeightingImpl::Optimized);
-            let original = run_cell(WeightingImpl::Original);
+            let optimized = run_cell(WeightingImpl::Optimized)?;
+            let original = run_cell(WeightingImpl::Original)?;
             opt_cells.push(timer::human(optimized.otime));
             let reduction =
                 1.0 - optimized.otime.as_secs_f64() / original.otime.as_secs_f64().max(1e-9);
@@ -66,4 +67,5 @@ fn main() {
         Ok(()) => println!("per-stage breakdown (filter/weighting/pruning): {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
+    Ok(())
 }

@@ -12,8 +12,9 @@ use er_model::ErKind;
 use mb_core::graphfree::{self, EFFECTIVENESS_RATIO, EFFICIENCY_RATIO};
 use mb_observe::RunReport;
 
-fn main() {
-    let datasets: Vec<Dataset> = DatasetId::ALL.into_iter().map(Dataset::load).collect();
+fn main() -> er_model::Result<()> {
+    let datasets: Vec<Dataset> =
+        DatasetId::ALL.into_iter().map(Dataset::load).collect::<er_model::Result<_>>()?;
     let blocks: Vec<_> = datasets.iter().map(|d| d.input_blocks()).collect();
     let mut stage_reports: Vec<RunReport> = Vec::new();
 
@@ -37,7 +38,7 @@ fn main() {
                     |a, c| acc.add(a, c),
                 )
             });
-            er_eval::must(res);
+            res?;
             stage_reports.push(report);
             table.row(vec![
                 d.id.name().into(),
@@ -80,4 +81,5 @@ fn main() {
         Ok(()) => println!("per-stage breakdown: {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
+    Ok(())
 }

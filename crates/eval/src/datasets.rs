@@ -2,7 +2,7 @@
 
 use er_blocking::{purging, BlockingMethod, TokenBlocking};
 use er_datagen::{generate, DatasetConfig, GeneratedDataset};
-use er_model::{BlockCollection, EntityCollection, GroundTruth};
+use er_model::{BlockCollection, EntityCollection, GroundTruth, Result};
 
 /// Identifiers of the paper's six benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,22 +89,30 @@ pub struct Dataset {
 impl Dataset {
     /// Builds the benchmark at the default scale times the `MB_SCALE`
     /// environment variable.
-    pub fn load(id: DatasetId) -> Dataset {
+    ///
+    /// # Errors
+    /// Propagates [`er_model::Error::InvalidConfig`] from the generator —
+    /// the scaled preset configs stay structurally valid, so an error here
+    /// indicates a bug in the scaling arithmetic, not bad user input.
+    pub fn load(id: DatasetId) -> Result<Dataset> {
         Self::load_scaled(id, env_scale())
     }
 
     /// Builds the benchmark at `multiplier` times its default scale.
-    pub fn load_scaled(id: DatasetId, multiplier: f64) -> Dataset {
+    ///
+    /// # Errors
+    /// Same as [`Dataset::load`].
+    pub fn load_scaled(id: DatasetId, multiplier: f64) -> Result<Dataset> {
         let base_scale = match DEFAULT_SCALES.iter().find(|(b, _)| *b == id.base()) {
             Some(&(_, s)) => s,
             None => unreachable!("DEFAULT_SCALES covers every dataset base"),
         };
         let scale = (base_scale * multiplier).clamp(1e-4, 1.0);
         let config = scaled_config(id.base(), scale);
-        let generated = generate(&config);
+        let generated = generate(&config)?;
         let GeneratedDataset { collection, ground_truth } =
             if id.is_dirty() { generated.into_dirty() } else { generated };
-        Dataset { id, collection, ground_truth }
+        Ok(Dataset { id, collection, ground_truth })
     }
 
     /// Token Blocking followed by size-based Block Purging — the §6.2 input
@@ -160,7 +168,7 @@ mod tests {
 
     #[test]
     fn tiny_scale_loads_and_blocks() {
-        let d = Dataset::load_scaled(DatasetId::D1C, 0.02);
+        let d = Dataset::load_scaled(DatasetId::D1C, 0.02).unwrap();
         assert!(d.collection.len() > 100);
         assert!(!d.ground_truth.is_empty());
         let blocks = d.input_blocks();
@@ -172,8 +180,8 @@ mod tests {
 
     #[test]
     fn dirty_derivative_shares_ground_truth_size() {
-        let c = Dataset::load_scaled(DatasetId::D2C, 0.01);
-        let d = Dataset::load_scaled(DatasetId::D2D, 0.01);
+        let c = Dataset::load_scaled(DatasetId::D2C, 0.01).unwrap();
+        let d = Dataset::load_scaled(DatasetId::D2D, 0.01).unwrap();
         assert_eq!(c.ground_truth.len(), d.ground_truth.len());
         assert_eq!(c.collection.len(), d.collection.len());
         assert_eq!(d.collection.kind(), er_model::ErKind::Dirty);

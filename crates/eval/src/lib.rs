@@ -38,20 +38,6 @@ pub use runner::{
 };
 pub use stats::BlockStats;
 
-/// Unwraps a result whose configuration is statically known to be valid.
-///
-/// The experiment binaries run pipelines with hard-coded, pre-validated
-/// parameters; an `Err` there is a harness bug, not an input problem. This
-/// is the single sanctioned abort point for that case (tracked in the
-/// workspace lint allowlist) — library code must propagate `Result`s
-/// instead.
-pub fn must<T, E: std::fmt::Display>(res: Result<T, E>) -> T {
-    match res {
-        Ok(v) => v,
-        Err(e) => panic!("statically-valid configuration rejected: {e}"),
-    }
-}
-
 /// Worker-thread count for the experiment pipelines, from the `MB_THREADS`
 /// environment variable: unset or unparsable means 1 (sequential, the
 /// paper-faithful default), `0` means auto-detect

@@ -1,7 +1,7 @@
 //! Evaluation of one meta-blocking configuration on one dataset.
 
 use er_model::measures::EffectivenessAccumulator;
-use er_model::{BlockCollection, GroundTruth};
+use er_model::{BlockCollection, GroundTruth, Result};
 use mb_core::{MetaBlocking, Noop, Observer, PruningScheme, WeightingImpl, WeightingScheme};
 use std::time::Duration;
 
@@ -25,6 +25,10 @@ pub struct EvaluationRow {
 
 /// Runs one pruning scheme under one weighting scheme and measures
 /// everything Table 3/4 reports.
+///
+/// # Errors
+/// Propagates the pipeline's configuration errors (e.g. an invalid Block
+/// Filtering ratio).
 pub fn evaluate(
     blocks: &BlockCollection,
     split: usize,
@@ -33,7 +37,7 @@ pub fn evaluate(
     pruning: PruningScheme,
     imp: WeightingImpl,
     block_filtering: Option<f64>,
-) -> EvaluationRow {
+) -> Result<EvaluationRow> {
     evaluate_observed(blocks, split, gt, scheme, pruning, imp, block_filtering, &mut Noop)
 }
 
@@ -50,7 +54,7 @@ pub fn evaluate_observed(
     imp: WeightingImpl,
     block_filtering: Option<f64>,
     obs: &mut dyn Observer,
-) -> EvaluationRow {
+) -> Result<EvaluationRow> {
     let mut pipeline = MetaBlocking::new(scheme, pruning)
         .with_weighting_impl(imp)
         .with_threads(crate::threads_from_env());
@@ -60,19 +64,22 @@ pub fn evaluate_observed(
     let mut acc = EffectivenessAccumulator::new(gt);
     let (res, otime) =
         crate::timer::time(|| pipeline.run(blocks, split, obs, |a, b| acc.add(a, b)));
-    crate::must(res);
-    EvaluationRow {
+    res?;
+    Ok(EvaluationRow {
         comparisons: acc.total_comparisons(),
         detected: acc.detected(),
         pc: acc.pc(),
         pq: acc.pq(),
         otime,
-    }
+    })
 }
 
 /// Averages a pruning scheme over all five weighting schemes — how every
 /// number in Tables 3, 4 and 5 is reported ("averaged across all weighting
 /// schemes").
+///
+/// # Errors
+/// Same as [`evaluate`].
 pub fn average_over_schemes(
     blocks: &BlockCollection,
     split: usize,
@@ -80,7 +87,7 @@ pub fn average_over_schemes(
     pruning: PruningScheme,
     imp: WeightingImpl,
     block_filtering: Option<f64>,
-) -> EvaluationRow {
+) -> Result<EvaluationRow> {
     average_over_schemes_observed(blocks, split, gt, pruning, imp, block_filtering, &mut Noop)
 }
 
@@ -96,7 +103,7 @@ pub fn average_over_schemes_observed(
     imp: WeightingImpl,
     block_filtering: Option<f64>,
     obs: &mut dyn Observer,
-) -> EvaluationRow {
+) -> Result<EvaluationRow> {
     let mut comparisons = 0u64;
     let mut detected = 0usize;
     let mut pc = 0.0;
@@ -104,20 +111,20 @@ pub fn average_over_schemes_observed(
     let mut otime = Duration::ZERO;
     let k = WeightingScheme::ALL.len() as f64;
     for scheme in WeightingScheme::ALL {
-        let row = evaluate_observed(blocks, split, gt, scheme, pruning, imp, block_filtering, obs);
+        let row = evaluate_observed(blocks, split, gt, scheme, pruning, imp, block_filtering, obs)?;
         comparisons += row.comparisons;
         detected += row.detected;
         pc += row.pc;
         pq += row.pq;
         otime += row.otime;
     }
-    EvaluationRow {
+    Ok(EvaluationRow {
         comparisons: (comparisons as f64 / k).round() as u64,
         detected: (detected as f64 / k).round() as usize,
         pc: pc / k,
         pq: pq / k,
         otime: otime.div_f64(k),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -127,7 +134,7 @@ mod tests {
 
     #[test]
     fn evaluate_small_dataset_all_schemes() {
-        let d = Dataset::load_scaled(DatasetId::D1C, 0.02);
+        let d = Dataset::load_scaled(DatasetId::D1C, 0.02).unwrap();
         let blocks = d.input_blocks();
         let split = d.collection.split();
         for pruning in PruningScheme::ORIGINAL {
@@ -139,7 +146,8 @@ mod tests {
                 pruning,
                 WeightingImpl::Optimized,
                 None,
-            );
+            )
+            .unwrap();
             assert!(row.comparisons > 0, "{}", pruning.name());
             assert!(row.pc > 0.0 && row.pc <= 1.0);
             assert!(row.pq > 0.0 && row.pq <= 1.0);
@@ -150,7 +158,7 @@ mod tests {
 
     #[test]
     fn averaging_is_between_min_and_max() {
-        let d = Dataset::load_scaled(DatasetId::D1C, 0.02);
+        let d = Dataset::load_scaled(DatasetId::D1C, 0.02).unwrap();
         let blocks = d.input_blocks();
         let split = d.collection.split();
         let rows: Vec<EvaluationRow> = WeightingScheme::ALL
@@ -165,6 +173,7 @@ mod tests {
                     WeightingImpl::Optimized,
                     None,
                 )
+                .unwrap()
             })
             .collect();
         let avg = average_over_schemes(
@@ -174,7 +183,8 @@ mod tests {
             PruningScheme::Wep,
             WeightingImpl::Optimized,
             None,
-        );
+        )
+        .unwrap();
         let min_pc = rows.iter().map(|r| r.pc).fold(f64::INFINITY, f64::min);
         let max_pc = rows.iter().map(|r| r.pc).fold(0.0, f64::max);
         assert!(avg.pc >= min_pc - 1e-9 && avg.pc <= max_pc + 1e-9);
@@ -182,7 +192,7 @@ mod tests {
 
     #[test]
     fn block_filtering_reduces_node_centric_output() {
-        let d = Dataset::load_scaled(DatasetId::D1C, 0.02);
+        let d = Dataset::load_scaled(DatasetId::D1C, 0.02).unwrap();
         let blocks = d.input_blocks();
         let split = d.collection.split();
         let plain = evaluate(
@@ -193,7 +203,8 @@ mod tests {
             PruningScheme::Wnp,
             WeightingImpl::Optimized,
             None,
-        );
+        )
+        .unwrap();
         let filtered = evaluate(
             &blocks,
             split,
@@ -202,7 +213,8 @@ mod tests {
             PruningScheme::Wnp,
             WeightingImpl::Optimized,
             Some(0.8),
-        );
+        )
+        .unwrap();
         assert!(filtered.comparisons < plain.comparisons);
         // Recall does not collapse (the paper reports < 3% loss).
         assert!(filtered.pc > plain.pc * 0.9);

@@ -80,7 +80,7 @@ mod tests {
     #[test]
     fn clean_clean_roundtrip() {
         let dir = temp_dir("clean");
-        let d = presets::build(&presets::tiny(31));
+        let d = presets::build(&presets::tiny(31)).unwrap();
         save(&dir, &d.collection, &d.ground_truth).unwrap();
         let bundle = load(&dir).unwrap();
         assert_eq!(bundle.collection.kind(), ErKind::CleanClean);
@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn dirty_roundtrip() {
         let dir = temp_dir("dirty");
-        let d = presets::build(&presets::tiny(32)).into_dirty();
+        let d = presets::build(&presets::tiny(32)).unwrap().into_dirty();
         save(&dir, &d.collection, &d.ground_truth).unwrap();
         let bundle = load(&dir).unwrap();
         assert_eq!(bundle.collection.kind(), ErKind::Dirty);
@@ -111,10 +111,10 @@ mod tests {
     #[test]
     fn saving_dirty_over_clean_removes_e2() {
         let dir = temp_dir("overwrite");
-        let clean = presets::build(&presets::tiny(33));
+        let clean = presets::build(&presets::tiny(33)).unwrap();
         save(&dir, &clean.collection, &clean.ground_truth).unwrap();
         assert!(dir.join("e2.csv").exists());
-        let dirty = presets::build(&presets::tiny(33)).into_dirty();
+        let dirty = presets::build(&presets::tiny(33)).unwrap().into_dirty();
         save(&dir, &dirty.collection, &dirty.ground_truth).unwrap();
         assert!(!dir.join("e2.csv").exists());
         assert_eq!(load(&dir).unwrap().collection.kind(), ErKind::Dirty);
@@ -151,7 +151,7 @@ mod tests {
         // recall/comparisons as blocking the original.
         use er_blocking_shim::*;
         let dir = temp_dir("measures");
-        let d = presets::build(&presets::tiny(34));
+        let d = presets::build(&presets::tiny(34)).unwrap();
         save(&dir, &d.collection, &d.ground_truth).unwrap();
         let bundle = load(&dir).unwrap();
         let before = token_stats(&d.collection, &d.ground_truth);

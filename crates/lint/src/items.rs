@@ -1,0 +1,748 @@
+//! The token-stream item model: functions, impl owners, `#[cfg(test)]`
+//! regions, use-tree aliases and `lint:allow` directives.
+//!
+//! Built once per file from the [`crate::lexer`] token stream, this is the
+//! substrate every rule matches against. It deliberately stops short of a
+//! full parse: the lint needs *where things are* (function bodies, test
+//! regions, impl owners) and *what names mean* (use aliases), not types or
+//! expressions. Anything the model cannot classify degrades to "plain code",
+//! never to a crash — linters must survive every file rustc accepts.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// A function item: free function, inherent/trait method, or nested fn.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The enclosing `impl`/`trait` type name, if any (`QueryEngine` for
+    /// `impl QueryEngine { fn query … }`; the *target* type for trait
+    /// impls).
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Code-token index range of the body, `(open_brace, close_brace)`
+    /// inclusive. `None` for bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// Whether the function is `pub` (any visibility restriction counts).
+    pub is_pub: bool,
+    /// Whether the function lives under a `#[cfg(test)]`/`#[test]` region.
+    pub in_test: bool,
+}
+
+/// A `lint:allow(rule)` suppression parsed from a comment.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-based line the directive comment starts on.
+    pub line: u32,
+    /// The rule name inside the parentheses.
+    pub rule: String,
+}
+
+/// The per-file analysis model.
+pub struct Model {
+    /// Code tokens only — comments are parsed into [`Model::allows`] and
+    /// dropped, literals are single opaque tokens.
+    pub tokens: Vec<Token>,
+    /// Every function item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Code-token index ranges (inclusive) of `#[cfg(test)]` item bodies.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Simple name → full imported path, from the file's `use` declarations
+    /// (`use std::collections::HashMap as Map` ⇒ `Map` →
+    /// `std::collections::HashMap`).
+    pub aliases: BTreeMap<String, String>,
+    /// All `lint:allow(rule)` directives found in comments.
+    pub allows: Vec<Directive>,
+}
+
+impl Model {
+    /// Lexes and models one file.
+    pub fn build(src: &str) -> Model {
+        let all = lex(src);
+        let mut allows = Vec::new();
+        let mut tokens = Vec::with_capacity(all.len());
+        for t in &all {
+            if t.is_comment() {
+                let text = t.text(src);
+                if let Some(pos) = text.find("lint:allow(") {
+                    let rest = &text[pos + "lint:allow(".len()..];
+                    if let Some(end) = rest.find(')') {
+                        allows.push(Directive { line: t.line, rule: rest[..end].to_string() });
+                    }
+                }
+            } else {
+                tokens.push(*t);
+            }
+        }
+        let mut model = Model {
+            tokens,
+            fns: Vec::new(),
+            test_spans: Vec::new(),
+            aliases: BTreeMap::new(),
+            allows,
+        };
+        Parser { m: &mut model, src }.run();
+        model
+    }
+
+    /// Whether code-token index `idx` lies in a `#[cfg(test)]` region.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| idx >= a && idx <= b)
+    }
+
+    /// Whether 1-based `line` lies in a `#[cfg(test)]` region.
+    pub fn line_in_test(&self, src_line: u32) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(a, b)| self.tokens[a].line <= src_line && src_line <= self.tokens[b].line)
+    }
+
+    /// Resolves `name` through the file's use aliases, returning the full
+    /// path when imported, or `name` itself otherwise.
+    pub fn resolve<'n>(&'n self, name: &'n str) -> &'n str {
+        self.aliases.get(name).map(String::as_str).unwrap_or(name)
+    }
+
+    /// Whether findings of `rule` at `line` are suppressed by a
+    /// `lint:allow` directive: one on the same line, the line above, or one
+    /// directly above a function whose body spans `line`.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|d| {
+            if d.rule != rule {
+                return false;
+            }
+            if d.line == line {
+                return true;
+            }
+            // A trailing directive (code on its own line) covers only that
+            // line; the standalone-comment forms float down through the
+            // rest of their comment block to the first code line below.
+            if self.tokens.iter().any(|t| t.line == d.line) {
+                return false;
+            }
+            let first_code = self.tokens.iter().map(|t| t.line).filter(|&l| l > d.line).min();
+            if first_code == Some(line) {
+                return true;
+            }
+            // Function-level coverage: the first code line below the
+            // directive starts a `fn` whose body spans `line`.
+            self.fns.iter().any(|f| {
+                Some(f.line) == first_code
+                    && f.body
+                        .is_some_and(|(_, close)| f.line <= line && line <= self.tokens[close].line)
+            })
+        })
+    }
+
+    /// The function item whose body contains code-token `idx`, innermost
+    /// first.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnItem> {
+        self.fns.iter().filter(|f| f.body.is_some_and(|(a, b)| idx >= a && idx <= b)).min_by_key(
+            |f| {
+                let (a, b) = f.body.unwrap_or((0, usize::MAX));
+                b - a
+            },
+        )
+    }
+}
+
+/// What a `{` opens, attached during the marker pass.
+#[derive(Debug, Clone)]
+enum ScopeKind {
+    Plain,
+    Impl(String),
+    Fn { fn_idx: usize },
+}
+
+struct Parser<'a, 'b> {
+    m: &'a mut Model,
+    src: &'b str,
+}
+
+impl Parser<'_, '_> {
+    fn run(&mut self) {
+        // Pass 1: walk items, attaching markers to the brace that opens
+        // each; fn bodies are matched inline so nested items still get
+        // visited by the same linear walk.
+        let mut open_marker: BTreeMap<usize, ScopeKind> = BTreeMap::new();
+        let mut test_open: Vec<usize> = Vec::new();
+        let mut pending_test = false;
+        let n = self.m.tokens.len();
+        let mut i = 0;
+        while i < n {
+            let t = self.m.tokens[i];
+            match t.kind {
+                TokenKind::Punct('#') => {
+                    // Attribute: `#[…]` or `#![…]`.
+                    let mut j = i + 1;
+                    if j < n && self.m.tokens[j].is_punct('!') {
+                        j += 1;
+                    }
+                    if j < n && self.m.tokens[j].is_punct('[') {
+                        let close = self.match_delim(j, '[', ']');
+                        if self.attr_is_test(j + 1, close) {
+                            pending_test = true;
+                        }
+                        i = close + 1;
+                        continue;
+                    }
+                }
+                TokenKind::Ident => {
+                    let word = t.text(self.src);
+                    match word {
+                        "use" => {
+                            let end = self.scan_to_semi(i + 1);
+                            self.parse_use_tree(i + 1, end);
+                            i = end + 1;
+                            continue;
+                        }
+                        "impl" | "trait" => {
+                            if let Some((open, name)) = self.impl_target(i, word == "impl") {
+                                open_marker.insert(open, ScopeKind::Impl(name));
+                                if pending_test {
+                                    test_open.push(open);
+                                    pending_test = false;
+                                }
+                                i += 1;
+                                continue;
+                            }
+                        }
+                        "fn" => {
+                            if let Some((name, open)) = self.fn_signature(i) {
+                                let is_pub = self.looks_pub(i);
+                                self.m.fns.push(FnItem {
+                                    name,
+                                    owner: None, // filled in pass 2
+                                    line: t.line,
+                                    body: open.map(|o| (o, o)), // close in pass 2
+                                    is_pub,
+                                    in_test: false, // filled in pass 2
+                                });
+                                if let Some(o) = open {
+                                    open_marker
+                                        .insert(o, ScopeKind::Fn { fn_idx: self.m.fns.len() - 1 });
+                                    if pending_test {
+                                        test_open.push(o);
+                                    }
+                                }
+                                pending_test = false;
+                                i += 1;
+                                continue;
+                            }
+                        }
+                        "mod" | "struct" | "enum" | "union" => {
+                            // A named item whose body (if braced) may be a
+                            // test region.
+                            if pending_test {
+                                if let Some(open) = self.item_body_open(i) {
+                                    test_open.push(open);
+                                }
+                                pending_test = false;
+                            }
+                            i += 1;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+
+        // Pass 2: one brace-matching walk resolves fn body ends, impl
+        // owners and test spans.
+        let mut stack: Vec<(usize, ScopeKind, bool)> = Vec::new(); // (open_idx, kind, is_test_open)
+        for idx in 0..n {
+            match self.m.tokens[idx].kind {
+                TokenKind::Punct('{') => {
+                    let kind = open_marker.get(&idx).cloned().unwrap_or(ScopeKind::Plain);
+                    if let ScopeKind::Fn { fn_idx } = kind {
+                        let owner = stack.iter().rev().find_map(|(_, k, _)| match k {
+                            ScopeKind::Impl(name) => Some(name.clone()),
+                            _ => None,
+                        });
+                        let in_test = test_open.contains(&idx) || stack.iter().any(|&(_, _, t)| t);
+                        let f = &mut self.m.fns[fn_idx];
+                        f.owner = owner;
+                        f.in_test = in_test;
+                    }
+                    stack.push((idx, kind, test_open.contains(&idx)));
+                }
+                TokenKind::Punct('}') => {
+                    if let Some((open, kind, is_test)) = stack.pop() {
+                        if let ScopeKind::Fn { fn_idx } = kind {
+                            self.m.fns[fn_idx].body = Some((open, idx));
+                        }
+                        if is_test {
+                            self.m.test_spans.push((open, idx));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Whether attribute tokens in `(start..close)` mark test code:
+    /// `#[test]`, `#[cfg(test)]`, or any `cfg(…)` mentioning `test` outside
+    /// a `not(…)` — `#[cfg(not(test))]` is live code and stays linted.
+    fn attr_is_test(&self, start: usize, close: usize) -> bool {
+        let toks = &self.m.tokens[start..close];
+        if toks.len() == 1 && toks[0].is_ident(self.src, "test") {
+            return true;
+        }
+        let mut saw_cfg = false;
+        for (k, t) in toks.iter().enumerate() {
+            if t.is_ident(self.src, "cfg") {
+                saw_cfg = true;
+            }
+            if saw_cfg && t.is_ident(self.src, "test") {
+                let negated =
+                    k >= 2 && toks[k - 1].is_punct('(') && toks[k - 2].is_ident(self.src, "not");
+                if !negated {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Index of the matching closer for the opener at `open`.
+    fn match_delim(&self, open: usize, o: char, c: char) -> usize {
+        let mut depth = 0usize;
+        for (k, t) in self.m.tokens.iter().enumerate().skip(open) {
+            if t.is_punct(o) {
+                depth += 1;
+            } else if t.is_punct(c) {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+        }
+        self.m.tokens.len().saturating_sub(1)
+    }
+
+    /// First token index at or after `from` that is a top-level `;`.
+    fn scan_to_semi(&self, from: usize) -> usize {
+        let mut depth = 0i64;
+        for (k, t) in self.m.tokens.iter().enumerate().skip(from) {
+            match t.kind {
+                TokenKind::Punct('{') | TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct('}') | TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct(';') if depth <= 0 => return k,
+                _ => {}
+            }
+        }
+        self.m.tokens.len().saturating_sub(1)
+    }
+
+    /// Whether the tokens just before `fn` at `at` include `pub`.
+    fn looks_pub(&self, at: usize) -> bool {
+        let mut k = at;
+        let mut steps = 0;
+        while k > 0 && steps < 8 {
+            k -= 1;
+            steps += 1;
+            let t = self.m.tokens[k];
+            match t.kind {
+                TokenKind::Ident => {
+                    let w = t.text(self.src);
+                    if w == "pub" {
+                        return true;
+                    }
+                    if !matches!(
+                        w,
+                        "unsafe" | "const" | "async" | "extern" | "crate" | "super" | "in"
+                    ) {
+                        return false;
+                    }
+                }
+                TokenKind::Punct('(') | TokenKind::Punct(')') | TokenKind::Str => {}
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    /// Parses a `fn` signature starting at the `fn` keyword: returns the
+    /// name and the body's opening-brace token index (`None` for `;`
+    /// declarations).
+    fn fn_signature(&self, fn_at: usize) -> Option<(String, Option<usize>)> {
+        let name_tok = self.m.tokens.get(fn_at + 1)?;
+        if name_tok.kind != TokenKind::Ident {
+            return None;
+        }
+        let name = name_tok.text(self.src).to_string();
+        // Find the parameter list's `(`, skipping generics.
+        let mut k = fn_at + 2;
+        let n = self.m.tokens.len();
+        let mut angle = 0i64;
+        while k < n {
+            let t = self.m.tokens[k];
+            match t.kind {
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => angle -= 1,
+                TokenKind::Punct('(') if angle <= 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= n {
+            return None;
+        }
+        let params_close = self.match_delim(k, '(', ')');
+        // After the params: scan for the body `{` or a `;` at depth 0.
+        let mut k = params_close + 1;
+        let mut depth = 0i64;
+        while k < n {
+            let t = self.m.tokens[k];
+            match t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct('{') if depth <= 0 => return Some((name, Some(k))),
+                TokenKind::Punct(';') if depth <= 0 => return Some((name, None)),
+                _ => {}
+            }
+            k += 1;
+        }
+        Some((name, None))
+    }
+
+    /// For an `impl`/`trait` at `at`: the body-opening `{` index and the
+    /// owner type name (the target type after `for` in trait impls).
+    fn impl_target(&self, at: usize, is_impl: bool) -> Option<(usize, String)> {
+        let n = self.m.tokens.len();
+        let mut k = at + 1;
+        let mut after_for = None;
+        let mut first_name = None;
+        let mut angle = 0i64;
+        while k < n {
+            let t = self.m.tokens[k];
+            match t.kind {
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => angle -= 1,
+                TokenKind::Punct('{') if angle <= 0 => {
+                    let name = after_for.or(first_name)?;
+                    return Some((k, name));
+                }
+                TokenKind::Punct(';') if angle <= 0 => return None,
+                TokenKind::Ident if angle <= 0 => {
+                    let w = t.text(self.src);
+                    if w == "for" && is_impl {
+                        // The *next* path names the target type.
+                        k += 1;
+                        // take the next path's last ident before '{'/'<'
+                        let mut last = None;
+                        while k < n {
+                            let t2 = self.m.tokens[k];
+                            match t2.kind {
+                                TokenKind::Ident if !matches!(t2.text(self.src), "where") => {
+                                    last = Some(t2.text(self.src).to_string())
+                                }
+                                TokenKind::Punct(':') | TokenKind::Punct('&') => {}
+                                _ => break,
+                            }
+                            k += 1;
+                        }
+                        after_for = last;
+                        continue;
+                    }
+                    if w != "where" && first_name.is_none() {
+                        first_name = Some(w.to_string());
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        None
+    }
+
+    /// For a `mod`/`struct`/`enum` keyword at `at`: the body-opening `{`
+    /// index, if the item has a braced body before the next `;`.
+    fn item_body_open(&self, at: usize) -> Option<usize> {
+        let n = self.m.tokens.len();
+        let mut k = at + 1;
+        let mut depth = 0i64;
+        while k < n {
+            let t = self.m.tokens[k];
+            match t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct('{') if depth <= 0 => return Some(k),
+                TokenKind::Punct(';') if depth <= 0 => return None,
+                _ => {}
+            }
+            k += 1;
+        }
+        None
+    }
+
+    /// Expands the use tree in token range `[from, end)` into alias
+    /// entries.
+    fn parse_use_tree(&mut self, from: usize, end: usize) {
+        let toks: Vec<(TokenKind, String)> = self.m.tokens[from..end]
+            .iter()
+            .map(|t| (t.kind, t.text(self.src).to_string()))
+            .collect();
+        let mut entries = Vec::new();
+        expand_use(&toks, 0, toks.len(), String::new(), &mut entries);
+        for (name, path) in entries {
+            self.m.aliases.insert(name, path);
+        }
+    }
+}
+
+/// Recursively expands one use-tree group: `prefix` is the path accumulated
+/// so far, `[from, to)` the token range of the group's interior.
+fn expand_use(
+    toks: &[(TokenKind, String)],
+    from: usize,
+    to: usize,
+    prefix: String,
+    out: &mut Vec<(String, String)>,
+) {
+    let mut i = from;
+    let mut path = prefix.clone();
+    let mut last_seg = String::new();
+    let mut alias: Option<String> = None;
+    let mut saw_as = false;
+    let flush = |path: &mut String,
+                 last_seg: &mut String,
+                 alias: &mut Option<String>,
+                 out: &mut Vec<(String, String)>,
+                 prefix: &String| {
+        if !last_seg.is_empty() && last_seg != "self" {
+            let name = alias.take().unwrap_or_else(|| last_seg.clone());
+            out.push((name, path.clone()));
+        } else if last_seg == "self" && !prefix.is_empty() {
+            // `use a::b::{self}` imports `b` at the prefix path.
+            let name = alias
+                .take()
+                .unwrap_or_else(|| prefix.rsplit("::").next().unwrap_or("").to_string());
+            if !name.is_empty() {
+                out.push((name, prefix.trim_end_matches("::").to_string()));
+            }
+        }
+        *path = prefix.clone();
+        *last_seg = String::new();
+    };
+    while i < to {
+        let (kind, text) = &toks[i];
+        match kind {
+            TokenKind::Ident if text == "as" => {
+                saw_as = true;
+            }
+            TokenKind::Ident | TokenKind::Punct('*') => {
+                if saw_as {
+                    alias = Some(text.clone());
+                    saw_as = false;
+                } else {
+                    if !path.is_empty() && !path.ends_with("::") {
+                        path.push_str("::");
+                    }
+                    if *kind != TokenKind::Punct('*') {
+                        path.push_str(text);
+                        last_seg = text.clone();
+                    } else {
+                        last_seg = String::new(); // glob: nothing nameable
+                    }
+                }
+            }
+            TokenKind::Punct('{') => {
+                let close = match_brace(toks, i);
+                let inner_prefix = path.clone();
+                expand_use(toks, i + 1, close, inner_prefix, out);
+                last_seg = String::new();
+                i = close;
+            }
+            TokenKind::Punct(',') => {
+                flush(&mut path, &mut last_seg, &mut alias, out, &prefix);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    flush(&mut path, &mut last_seg, &mut alias, out, &prefix);
+}
+
+fn match_brace(toks: &[(TokenKind, String)], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, (kind, _)) in toks.iter().enumerate().skip(open) {
+        match kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fns_with_owners_and_bodies() {
+        let src = "\
+pub fn free(x: u32) -> u32 { x }
+struct S;
+impl S {
+    pub fn method(&self) { helper(); }
+    fn private(&self) -> Vec<u32> { vec![] }
+}
+impl Clone for S {
+    fn clone(&self) -> S { S }
+}
+";
+        let m = Model::build(src);
+        let names: Vec<(&str, Option<&str>, bool)> =
+            m.fns.iter().map(|f| (f.name.as_str(), f.owner.as_deref(), f.is_pub)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None, true),
+                ("method", Some("S"), true),
+                ("private", Some("S"), false),
+                ("clone", Some("S"), false),
+            ]
+        );
+        assert!(m.fns.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_mods_fns_and_impls() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+    #[test]
+    fn case() {}
+}
+#[cfg(test)]
+fn test_only() {}
+#[cfg(all(test, feature = \"x\"))]
+impl Foo {
+    fn t(&self) {}
+}
+fn live_again() {}
+";
+        let m = Model::build(src);
+        let by_name = |n: &str| m.fns.iter().find(|f| f.name == n).map(|f| f.in_test);
+        assert_eq!(by_name("live"), Some(false));
+        assert_eq!(by_name("helper"), Some(true));
+        assert_eq!(by_name("case"), Some(true));
+        assert_eq!(by_name("test_only"), Some(true));
+        assert_eq!(by_name("t"), Some(true));
+        assert_eq!(by_name("live_again"), Some(false));
+    }
+
+    #[test]
+    fn use_tree_aliases() {
+        let src = "\
+use std::collections::HashMap;
+use std::collections::{BTreeMap, HashSet as FastSet};
+use er_model::fxhash::{FxHashMap, FxHashSet};
+use crate::lexer::lex;
+use a::b::{self, c::d as e};
+";
+        let m = Model::build(src);
+        let r = |n: &str| m.aliases.get(n).map(String::as_str);
+        assert_eq!(r("HashMap"), Some("std::collections::HashMap"));
+        assert_eq!(r("BTreeMap"), Some("std::collections::BTreeMap"));
+        assert_eq!(r("FastSet"), Some("std::collections::HashSet"));
+        assert_eq!(r("FxHashMap"), Some("er_model::fxhash::FxHashMap"));
+        assert_eq!(r("lex"), Some("crate::lexer::lex"));
+        assert_eq!(r("b"), Some("a::b"));
+        assert_eq!(r("e"), Some("a::b::c::d"));
+        assert_eq!(m.resolve("HashMap"), "std::collections::HashMap");
+        assert_eq!(m.resolve("unknown"), "unknown");
+    }
+
+    #[test]
+    fn allow_directives_cover_line_and_fn() {
+        let src = "\
+fn a() {
+    x(); // lint:allow(some-rule) same-line reason
+    y();
+}
+// lint:allow(fn-rule) whole function is exempt
+fn b() {
+    z();
+    w();
+}
+";
+        let m = Model::build(src);
+        assert!(m.allowed("some-rule", 2));
+        assert!(!m.allowed("some-rule", 3));
+        assert!(m.allowed("fn-rule", 6));
+        assert!(m.allowed("fn-rule", 7));
+        assert!(m.allowed("fn-rule", 8));
+        assert!(!m.allowed("fn-rule", 2));
+        assert!(!m.allowed("other-rule", 7));
+    }
+
+    #[test]
+    fn nested_fns_and_closures_keep_spans() {
+        let src = "\
+fn outer() {
+    let c = |x: u32| { x + 1 };
+    fn inner() { helper(); }
+    c(2);
+}
+";
+        let m = Model::build(src);
+        assert_eq!(m.fns.len(), 2);
+        let outer = &m.fns[0];
+        let inner = &m.fns[1];
+        let (oa, ob) = outer.body.unwrap();
+        let (ia, ib) = inner.body.unwrap();
+        assert!(oa < ia && ib < ob, "inner body nests inside outer");
+        // enclosing_fn returns the innermost.
+        assert_eq!(m.enclosing_fn(ia + 1).map(|f| f.name.as_str()), Some("inner"));
+    }
+
+    #[test]
+    fn trait_default_methods_get_trait_owner() {
+        let src = "\
+trait Obs {
+    fn on_event(&mut self) { default(); }
+    fn required(&self);
+}
+";
+        let m = Model::build(src);
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].owner.as_deref(), Some("Obs"));
+        assert!(m.fns[0].body.is_some());
+        assert!(m.fns[1].body.is_none());
+    }
+
+    #[test]
+    fn generic_signatures_and_where_clauses() {
+        let src = "\
+pub fn chunked<T: Clone, F>(items: &[T], f: F) -> Vec<T>
+where
+    F: Fn(&T) -> bool,
+{
+    items.iter().filter(|x| f(x)).cloned().collect()
+}
+impl<'a, T: Ord> Wrapper<'a, T> {
+    fn get(&self) -> Option<&T> { self.items.first() }
+}
+";
+        let m = Model::build(src);
+        assert_eq!(m.fns[0].name, "chunked");
+        assert!(m.fns[0].body.is_some());
+        assert_eq!(m.fns[1].owner.as_deref(), Some("Wrapper"));
+    }
+}

@@ -1,0 +1,517 @@
+//! A dependency-free Rust lexer for the lint engine.
+//!
+//! Replaces the old per-line `strip_literals` hack, which could not see past
+//! a single line: multi-line `/* */` block comments and raw strings
+//! (`r#"…"#`) leaked their interior back into "code" and produced phantom
+//! matches. The lexer walks the whole source once and classifies every byte,
+//! so rule matching operates on *code tokens only* and literal or comment
+//! text can never fire a rule.
+//!
+//! Coverage (everything this workspace's Rust subset can produce):
+//!
+//! * strings `"…"` with escapes, multi-line strings
+//! * raw strings `r"…"`, `r#"…"#` … with any number of `#`s
+//! * byte strings `b"…"`, raw byte strings `br#"…"#`
+//! * char literals `'x'`, `'\n'`, `'\u{1F600}'` vs. lifetimes `'a`, `'_`
+//! * byte literals `b'x'`
+//! * line comments `//`, doc comments `///` and `//!`
+//! * block comments `/* … */` with arbitrary nesting, doc blocks `/** */`
+//! * numeric literals with underscores, radix prefixes, float exponents and
+//!   type suffixes (`0xff_u32`, `1_000.5e-9f64`)
+//!
+//! Tokens carry byte spans and 1-based line numbers, so findings point at
+//! the exact source line.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// A lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// A string literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// A char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// An integer literal (any radix, with suffix).
+    Int,
+    /// A float literal (`1.0`, `0.5e-9`, `1e3`, with suffix).
+    Float,
+    /// A `//` comment; `doc` is true for `///` and `//!`.
+    LineComment {
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+    /// A `/* */` comment (nesting handled); `doc` is true for `/**`, `/*!`.
+    BlockComment {
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+    /// Any single punctuation character.
+    Punct(char),
+}
+
+/// One token: kind plus byte span and 1-based starting line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is a comment (line or block, doc or not).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment { .. } | TokenKind::BlockComment { .. })
+    }
+
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, src: &str, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text(src) == word
+    }
+
+    /// Whether this token is the punctuation char `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Lexes `src` into a complete token stream (comments included, whitespace
+/// skipped). Never fails: unterminated literals and comments extend to the
+/// end of input, and any byte the grammar does not recognize becomes a
+/// [`TokenKind::Punct`] — a linter must degrade gracefully, not abort.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            if b.is_ascii_whitespace() {
+                self.bump();
+                continue;
+            }
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            out.push(Token { kind, start, end: self.pos, line });
+        }
+        out
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.peek(0);
+        // Raw strings and byte literals look like identifiers from their
+        // first byte; dispatch on the prefix before falling back to Ident.
+        if b == b'r' && (self.peek(1) == b'"' || (self.peek(1) == b'#' && self.raw_follows(1))) {
+            self.bump();
+            return self.raw_string();
+        }
+        if b == b'b' {
+            match self.peek(1) {
+                b'\'' => {
+                    self.bump();
+                    self.bump();
+                    return self.char_body();
+                }
+                b'"' => {
+                    self.bump();
+                    self.bump();
+                    return self.string_body();
+                }
+                b'r' if self.peek(2) == b'"' || (self.peek(2) == b'#' && self.raw_follows(2)) => {
+                    self.bump();
+                    self.bump();
+                    return self.raw_string();
+                }
+                _ => {}
+            }
+        }
+        if is_ident_start(b) {
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            return TokenKind::Ident;
+        }
+        if b.is_ascii_digit() {
+            return self.number();
+        }
+        match b {
+            b'"' => {
+                self.bump();
+                self.string_body()
+            }
+            b'\'' => self.quote(),
+            b'/' if self.peek(1) == b'/' => self.line_comment(),
+            b'/' if self.peek(1) == b'*' => self.block_comment(),
+            _ => {
+                self.bump();
+                TokenKind::Punct(b as char)
+            }
+        }
+    }
+
+    /// After an `r` (at `self.pos + at`), whether `#`s eventually reach a
+    /// quote — distinguishing `r#"…"#` from the raw identifier `r#match`.
+    fn raw_follows(&self, at: usize) -> bool {
+        let mut i = at;
+        while self.peek(i) == b'#' {
+            i += 1;
+        }
+        self.peek(i) == b'"'
+    }
+
+    /// At the `#`s or quote of a raw string (prefix consumed).
+    fn raw_string(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == b'#' {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    return TokenKind::Str;
+                }
+            }
+        }
+        TokenKind::Str // unterminated: runs to EOF
+    }
+
+    /// After the opening `"`.
+    fn string_body(&mut self) -> TokenKind {
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// After the opening `'` of a char literal.
+    fn char_body(&mut self) -> TokenKind {
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        TokenKind::Char
+    }
+
+    /// A `'`: lifetime or char literal.
+    fn quote(&mut self) -> TokenKind {
+        // `'\…'` is always a char. `'x'` (one char then a quote) is a char.
+        // Anything else — `'a`, `'static`, `'_` — is a lifetime.
+        if self.peek(1) == b'\\' {
+            self.bump();
+            return self.char_body();
+        }
+        if self.peek(1) != 0 && self.peek(2) == b'\'' && self.peek(1) != b'\'' {
+            self.bump();
+            return self.char_body();
+        }
+        // Multi-byte UTF-8 char literal: lead byte then continuations then a
+        // closing quote.
+        if self.peek(1) >= 0x80 {
+            let mut i = 2;
+            while self.peek(i) >= 0x80 && i < 6 {
+                i += 1;
+            }
+            if self.peek(i) == b'\'' {
+                self.bump();
+                return self.char_body();
+            }
+        }
+        self.bump();
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        TokenKind::Lifetime
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        // `///` (but not `////`) and `//!` are doc comments.
+        let doc =
+            (text.starts_with(b"///") && !text.starts_with(b"////")) || text.starts_with(b"//!");
+        TokenKind::LineComment { doc }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        let start = self.pos;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let doc = (text.starts_with(b"/**") && !text.starts_with(b"/***") && text.len() > 4)
+            || text.starts_with(b"/*!");
+        TokenKind::BlockComment { doc }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let mut float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            // Radix literal: digits, underscores and (for hex) letters; a
+            // type suffix like `u32` is absorbed by the same loop.
+            self.bump();
+            self.bump();
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            return TokenKind::Int;
+        }
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        // A fractional part only if the dot is not `..` (range) and not a
+        // method/field access (`1.max(…)`, handled by requiring a digit or
+        // end-of-number after the dot).
+        if self.peek(0) == b'.' && self.peek(1) != b'.' && !is_ident_start(self.peek(1)) {
+            float = true;
+            self.bump();
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(0), b'e' | b'E')
+            && (self.peek(1).is_ascii_digit()
+                || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+        {
+            float = true;
+            self.bump();
+            if matches!(self.peek(0), b'+' | b'-') {
+                self.bump();
+            }
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        // Type suffix (`u32`, `f64`, …). `1f64` is a float even without a
+        // dot; `1u32` stays an integer.
+        if is_ident_start(self.peek(0)) {
+            let suffix_start = self.pos;
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            if self.src[suffix_start] == b'f' {
+                float = true;
+            }
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).iter().map(|t| t.text(src).to_string()).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        assert_eq!(
+            kinds("fn f(x: u32) -> f64 { x as f64 * 1.5 }"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct('('),
+                TokenKind::Ident,
+                TokenKind::Punct(':'),
+                TokenKind::Ident,
+                TokenKind::Punct(')'),
+                TokenKind::Punct('-'),
+                TokenKind::Punct('>'),
+                TokenKind::Ident,
+                TokenKind::Punct('{'),
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct('*'),
+                TokenKind::Float,
+                TokenKind::Punct('}'),
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_flavors() {
+        assert_eq!(kinds("0xff_u32 0b1010 0o77 1_000 7usize"), vec![TokenKind::Int; 5]);
+        assert_eq!(kinds("1.0 0.5e-9 1e3 2f64 3.5f32 1_000.25"), vec![TokenKind::Float; 6]);
+        // Ranges and tuple access do not eat the dot.
+        assert_eq!(
+            kinds("0..10"),
+            vec![TokenKind::Int, TokenKind::Punct('.'), TokenKind::Punct('.'), TokenKind::Int]
+        );
+        assert_eq!(kinds("x.0"), vec![TokenKind::Ident, TokenKind::Punct('.'), TokenKind::Int]);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(kinds(r#"let s = "a \" b";"#)[3], TokenKind::Str);
+        let src = r#""has .unwrap() inside""#;
+        assert_eq!(kinds(src), vec![TokenKind::Str]);
+        assert_eq!(texts(src), vec![src.to_string()]);
+    }
+
+    // Regression fixture for the old `strip_literals` bug: a raw string's
+    // interior must never surface as code, even across lines and with
+    // embedded quotes.
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = r##"let q = r#"say "hi" and .unwrap()"#;"##;
+        let k = kinds(src);
+        assert_eq!(k[3], TokenKind::Str);
+        assert_eq!(k.len(), 5); // let q = <str> ;
+        let multi = "let q = r#\"line one\n x.unwrap()\n\"#;";
+        let k = kinds(multi);
+        assert_eq!(k[3], TokenKind::Str);
+        assert!(
+            !k.contains(&TokenKind::Ident)
+                || k.iter().filter(|&&t| t == TokenKind::Ident).count() == 2
+        );
+        // Raw byte strings too.
+        assert_eq!(kinds(r##"br#"bytes "x" here"#"##), vec![TokenKind::Str]);
+        assert_eq!(kinds(r#"b"bytes""#), vec![TokenKind::Str]);
+    }
+
+    // Regression fixture for the old `strip_literals` bug: multi-line and
+    // nested block comments are one comment token, not phantom code.
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* one\n two .unwrap()\n three */ b";
+        let t = lex(src);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[1].kind, TokenKind::BlockComment { doc: false });
+        assert_eq!(t[2].line, 3);
+        let nested = "/* outer /* inner */ still comment */ x";
+        let t = lex(nested);
+        assert_eq!(t.len(), 2);
+        assert!(t[0].is_comment());
+        assert!(t[1].is_ident(nested, "x"));
+    }
+
+    #[test]
+    fn doc_comments_are_classified() {
+        assert_eq!(kinds("/// doc")[0], TokenKind::LineComment { doc: true });
+        assert_eq!(kinds("//! inner")[0], TokenKind::LineComment { doc: true });
+        assert_eq!(kinds("// plain")[0], TokenKind::LineComment { doc: false });
+        assert_eq!(kinds("//// not doc")[0], TokenKind::LineComment { doc: false });
+        assert_eq!(kinds("/** block doc */")[0], TokenKind::BlockComment { doc: true });
+        assert_eq!(kinds("/*! inner block */")[0], TokenKind::BlockComment { doc: true });
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        assert_eq!(kinds("'a'")[0], TokenKind::Char);
+        assert_eq!(kinds(r"'\n'")[0], TokenKind::Char);
+        assert_eq!(kinds(r"'\u{1F600}'")[0], TokenKind::Char);
+        assert_eq!(kinds("b'x'")[0], TokenKind::Char);
+        assert_eq!(kinds("&'a str")[1], TokenKind::Lifetime);
+        assert_eq!(kinds("fn f<'long>()")[2], TokenKind::Punct('<'));
+        assert_eq!(kinds("fn f<'long>()")[3], TokenKind::Lifetime);
+        assert_eq!(kinds("'_")[0], TokenKind::Lifetime);
+        // A lifetime tick followed by a char on the same line.
+        let src = "x::<'a>('b')";
+        let k = kinds(src);
+        assert!(k.contains(&TokenKind::Lifetime));
+        assert!(k.contains(&TokenKind::Char));
+    }
+
+    #[test]
+    fn line_numbers_track_every_literal_shape() {
+        let src = "a\n\"two\nlines\"\n/* c\nc */\nb";
+        let t = lex(src);
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[1].line, 2); // the string starts on line 2
+        assert_eq!(t[2].line, 4); // the comment starts on line 4
+        assert_eq!(t[3].line, 6); // `b` lands after both multi-line tokens
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_loop_or_panic() {
+        assert_eq!(kinds("\"open"), vec![TokenKind::Str]);
+        assert_eq!(kinds("r#\"open"), vec![TokenKind::Str]);
+        assert_eq!(kinds("/* open"), vec![TokenKind::BlockComment { doc: false }]);
+        assert_eq!(kinds("'"), vec![TokenKind::Lifetime]);
+    }
+}

@@ -2,18 +2,28 @@
 //!
 //! Exit codes: `0` clean (stale allowlist entries only warn), `1` new
 //! violations or over-budget files, `2` usage/IO errors.
+//!
+//! `--format json` prints the machine-readable report (schema `er-lint/1`)
+//! to stdout — human messages stay on stderr, so
+//! `er-lint --workspace --format json > results/lint.json` always leaves
+//! valid JSON in the file. `--explain <rule>` prints a rule's full
+//! rationale.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use er_lint::{lint_source, workspace_files, Allowlist};
+use er_lint::rules::{rule_info, RULES};
+use er_lint::{json_report, lint_files, workspace_files, Allowlist};
 
-const USAGE: &str = "usage: er-lint --workspace [--root <dir>] [--allowlist <file>]";
+const USAGE: &str = "usage: er-lint --workspace [--root <dir>] [--allowlist <file>] \
+                     [--format text|json] | --explain <rule>";
 
 fn main() -> ExitCode {
     let mut workspace = false;
     let mut root: Option<PathBuf> = None;
     let mut allowlist_path: Option<PathBuf> = None;
+    let mut format = String::from("text");
+    let mut explain: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -21,6 +31,14 @@ fn main() -> ExitCode {
             "--workspace" => workspace = true,
             "--root" => root = args.next().map(PathBuf::from),
             "--allowlist" => allowlist_path = args.next().map(PathBuf::from),
+            "--format" => match args.next() {
+                Some(f) if f == "text" || f == "json" => format = f,
+                other => {
+                    eprintln!("er-lint: --format expects text|json, got {other:?}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => explain = args.next(),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -30,6 +48,20 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+
+    if let Some(name) = explain {
+        return match rule_info(&name) {
+            Some(r) => {
+                println!("{} [{}]\n  {}\n\n{}", r.name, r.severity, r.summary, r.explain);
+                ExitCode::SUCCESS
+            }
+            None => {
+                let known: Vec<&str> = RULES.iter().map(|r| r.name).collect();
+                eprintln!("er-lint: unknown rule {name:?}; known rules: {}", known.join(", "));
+                ExitCode::from(2)
+            }
+        };
     }
     if !workspace {
         eprintln!("er-lint: nothing to do (pass --workspace)\n{USAGE}");
@@ -76,11 +108,11 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let mut findings = Vec::new();
+    let mut inputs: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path.strip_prefix(&root).unwrap_or(path).to_string_lossy().replace('\\', "/");
         match std::fs::read_to_string(path) {
-            Ok(source) => findings.extend(lint_source(&rel, &source)),
+            Ok(source) => inputs.push((rel, source)),
             Err(e) => {
                 eprintln!("er-lint: cannot read {rel}: {e}");
                 return ExitCode::from(2);
@@ -88,20 +120,34 @@ fn main() -> ExitCode {
         }
     }
 
-    let (over, stale) = allowlist.reconcile(&findings);
+    let report = lint_files(&inputs);
+    let (over, stale) = allowlist.reconcile(&report.findings);
+    if format == "json" {
+        println!("{}", json_report(files.len(), &report, &over, &stale));
+    }
     for s in &stale {
         eprintln!("warning: stale allowlist entry: {s}");
     }
     if over.is_empty() {
-        println!(
-            "er-lint: {} files clean ({} allowlisted legacy findings)",
+        let msg = format!(
+            "er-lint: {} files clean ({} budgeted findings, {} lint:allow suppressions)",
             files.len(),
-            findings.len()
+            report.findings.len(),
+            report.suppressed
         );
+        // In JSON mode stdout belongs to the report.
+        if format == "json" {
+            eprintln!("{msg}");
+        } else {
+            println!("{msg}");
+        }
         return ExitCode::SUCCESS;
     }
     for f in &over {
-        eprintln!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.snippet);
+        match &f.note {
+            Some(note) => eprintln!("{}:{}: [{}] {} ({note})", f.file, f.line, f.rule, f.snippet),
+            None => eprintln!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.snippet),
+        }
     }
     eprintln!(
         "er-lint: {} violation(s) over allowlist budget across {} files",

@@ -1,0 +1,20 @@
+//! adhoc-logging corpus: terminal writes outside the observer sinks.
+//!
+//! Linted as `crates/core/src/progress.rs`; the same source under
+//! `crates/observe/` (the sink crate) or a `/bin/` path must produce
+//! nothing.
+
+pub fn noisy(stage: &str, done: usize) {
+    println!("{stage}: {done}"); //~ adhoc-logging
+    eprintln!("warn: {stage} is slow"); //~ adhoc-logging
+}
+
+pub fn debugging(x: u32) -> u32 {
+    dbg!(x) //~ adhoc-logging
+}
+
+pub fn buffered(out: &mut String, stage: &str) {
+    use std::fmt::Write as _;
+    // Writing into a caller-owned buffer is not terminal logging.
+    let _ = writeln!(out, "{stage}");
+}

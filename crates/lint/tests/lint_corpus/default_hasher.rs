@@ -1,0 +1,18 @@
+//! default-hasher corpus: std hash containers named in a hot-path crate.
+//!
+//! Linted as `crates/core/src/maps.rs`; the same source under a
+//! `crates/eval/` path must produce nothing (the experiment harness may
+//! hash however it likes).
+
+use std::collections::HashMap; //~ default-hasher
+use std::collections::{BTreeMap, HashSet}; //~ default-hasher
+use std::collections::BTreeSet;
+
+/// The sanctioned hot-path alternatives.
+pub fn keyed() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+pub fn ordered() -> BTreeSet<u32> {
+    BTreeSet::new()
+}

@@ -1,0 +1,29 @@
+//! float-eq corpus: exact float comparison in weighting-sensitive files.
+//!
+//! Linted as `crates/core/src/weight_probe.rs` (the `weight` fragment makes
+//! it float-sensitive); the same source under `crates/core/src/pipeline.rs`
+//! must produce nothing.
+
+pub fn at_threshold(w: f64) -> bool {
+    w == 0.25 //~ float-eq
+}
+
+pub fn not_at(w: f64) -> bool {
+    w != 1.0 //~ float-eq
+}
+
+pub fn negated(w: f64) -> bool {
+    w == -0.5 //~ float-eq
+}
+
+pub fn epsilon(w: f64, t: f64) -> bool {
+    (w - t).abs() <= t * 1e-9
+}
+
+pub fn ordered(w: f64, t: f64) -> bool {
+    w >= t
+}
+
+pub fn integers(n: usize) -> bool {
+    n == 0
+}

@@ -1,0 +1,41 @@
+//! er-model structure corpus: owned member vectors and id-narrowing casts.
+//!
+//! Linted as `crates/er-model/src/sample.rs`. A second run under a
+//! `crates/core/` path shows the field rule is er-model-scoped while the
+//! cast rule applies everywhere.
+
+use crate::entity::EntityId;
+
+pub struct Block {
+    members: Vec<EntityId>, //~ owned-id-vec-field
+    labels: Vec<String>,
+    len: usize,
+}
+
+pub struct Pair {
+    left: Vec<EntityId>, //~ owned-id-vec-field
+}
+
+pub fn from_packed(key: u64) -> EntityId {
+    EntityId((key >> 32) as u32) //~ id-narrowing-cast
+}
+
+pub fn block_of(raw: usize) -> BlockId {
+    BlockId(raw as u16) //~ id-narrowing-cast
+}
+
+pub fn widen(id: EntityId) -> u64 {
+    // Widening casts lose nothing.
+    u64::from(id.0)
+}
+
+pub fn no_cast(raw: u32) -> EntityId {
+    EntityId(raw)
+}
+
+pub fn pass_through(members: Vec<EntityId>) -> Vec<EntityId> {
+    // Params, returns and locals are construction currency, not stored
+    // members — the CSR arena rule only targets struct fields.
+    let staging: Vec<EntityId> = members;
+    staging
+}

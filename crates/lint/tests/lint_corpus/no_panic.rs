@@ -1,0 +1,54 @@
+//! no-panic corpus: abort sites in library code are flagged; test modules
+//! and non-aborting variants are exempt.
+//!
+//! Linted as `crates/core/src/pipeline_helper.rs`. This is a lint fixture,
+//! not compiled code; trailing markers name the exact expected findings.
+
+pub fn first(v: Option<u32>) -> u32 {
+    v.unwrap() //~ no-panic
+}
+
+pub fn second(v: Option<u32>) -> u32 {
+    v.expect("always present") //~ no-panic
+}
+
+pub fn third(stage: usize) {
+    if stage > 3 {
+        panic!("stage out of range"); //~ no-panic
+    }
+}
+
+pub fn not_yet() {
+    todo!() //~ no-panic
+}
+
+pub fn fallbacks(v: Option<u32>) -> u32 {
+    // The unwrap_or family never aborts.
+    v.unwrap_or(0) + v.unwrap_or_else(|| 1) + v.unwrap_or_default()
+}
+
+pub fn impossible(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        // Statically impossible branches are the one sanctioned abort
+        // idiom; `unreachable!` is deliberately not part of the rule.
+        _ => unreachable!("callers pass 0 only"),
+    }
+}
+
+pub fn spelled_out() -> &'static str {
+    // Mentions inside literals are not code.
+    "call .unwrap() loudly"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_by_location() {
+        let v: Option<u32> = Some(2);
+        assert_eq!(v.unwrap(), 2);
+        let w: Option<u32> = None;
+        w.expect("tests may abort freely");
+        panic!("even this is fine in a test module");
+    }
+}

@@ -1,0 +1,15 @@
+//! panic-reachability corpus, er-model side: a helper that is only
+//! dangerous because a serve entry point reaches it. Linted as
+//! `crates/er-model/src/sample_util.rs`.
+
+/// Returns the first score; aborts on empty input. Reached from
+/// `Engine::best`, so the reachability pass flags it in addition to the
+/// syntactic no-panic rule.
+pub fn pick_first(scores: &[u32]) -> u32 {
+    scores.first().copied().expect("non-empty scores") //~ no-panic //~ panic-reachability
+}
+
+/// The same contract expressed as a total function — clean.
+pub fn pick_first_or_zero(scores: &[u32]) -> u32 {
+    scores.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,52 @@
+//! panic-reachability corpus, serve side: public entry points and what
+//! they reach. Linted as `crates/serve/src/query.rs` together with
+//! `panic_reach_model.rs` (as `crates/er-model/src/sample_util.rs`).
+
+use er_model::sample_util::pick_first;
+
+pub struct Engine {
+    scores: Vec<u32>,
+}
+
+impl Engine {
+    /// Root: an unguarded non-literal index on the serving crate's own
+    /// hostile-input surface.
+    pub fn lookup(&self, slot: usize) -> u32 {
+        self.scores[slot] //~ panic-reachability
+    }
+
+    /// Root: the same index behind a dominating assert — clean.
+    pub fn lookup_checked(&self, slot: usize) -> u32 {
+        assert!(slot < self.scores.len(), "slot in range");
+        self.scores[slot]
+    }
+
+    /// Root: literal subscripts are shape-guaranteed — clean.
+    pub fn magic(&self, header: &[u8]) -> u8 {
+        header[0]
+    }
+
+    /// Root: reaches a panicking helper across the crate boundary.
+    pub fn best(&self) -> u32 {
+        pick_first(&self.scores)
+    }
+
+    /// Root: reaches a local private helper that unwraps.
+    pub fn checksum(&self) -> u32 {
+        fold_scores(&self.scores)
+    }
+}
+
+fn fold_scores(scores: &[u32]) -> u32 {
+    let mut total: u32 = 0;
+    for s in scores {
+        total = total.checked_add(*s).unwrap(); //~ no-panic //~ panic-reachability
+    }
+    total
+}
+
+fn dead_code_abort() {
+    // Never called from a serve root: the syntactic rule still flags the
+    // macro, but no reachability path exists.
+    panic!("unreached"); //~ no-panic
+}

@@ -1,0 +1,18 @@
+//! snapshot-unversioned-read corpus: raw little-endian decodes in mb-serve.
+//!
+//! Linted as `crates/serve/src/raw.rs`; the same source under a
+//! `crates/io/` path must produce nothing — only the serving crate has to
+//! route every decode through the versioned codec Reader.
+
+pub fn read_header(b: [u8; 4]) -> u32 {
+    u32::from_le_bytes(b) //~ snapshot-unversioned-read
+}
+
+pub fn read_wide(b: [u8; 8]) -> u64 {
+    u64::from_le_bytes(b) //~ snapshot-unversioned-read
+}
+
+pub fn write_header(v: u32, out: &mut Vec<u8>) {
+    // Encoding is not reading; writers need no version gate of their own.
+    out.extend_from_slice(&v.to_le_bytes());
+}

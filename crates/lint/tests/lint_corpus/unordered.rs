@@ -1,0 +1,72 @@
+//! unordered-iteration corpus: hash iteration flowing into ordered sinks.
+//!
+//! Linted as `crates/core/src/sweep.rs`. `Pool` exercises the use-alias
+//! resolution path — the pass must see through the rename to `FxHashSet`.
+
+use er_model::fxhash::FxHashMap;
+use er_model::fxhash::FxHashSet as Pool;
+use std::collections::BTreeMap;
+
+pub fn emit_keys(counts: &FxHashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, _) in counts.iter() { //~ unordered-iteration
+        out.push(*k);
+    }
+    out
+}
+
+pub fn emit_aliased(pool: &Pool<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for id in pool.iter() { //~ unordered-iteration
+        out.push(*id);
+    }
+    out
+}
+
+pub fn chained(counts: &FxHashMap<u32, u32>) -> Vec<u32> {
+    counts.keys().copied().collect() //~ unordered-iteration
+}
+
+pub fn total(counts: &FxHashMap<u32, u32>) -> u64 {
+    // Order-insensitive reduction.
+    counts.values().map(|v| u64::from(*v)).sum()
+}
+
+pub fn live(counts: &FxHashMap<u32, u32>) -> usize {
+    // A for body that only reduces is order-free.
+    let mut n = 0;
+    for v in counts.values() {
+        if *v > 0 {
+            n += 1;
+        }
+    }
+    n
+}
+
+pub fn sorted_keys(counts: &FxHashMap<u32, u32>) -> Vec<u32> {
+    // Sorted later in the same function: deterministic.
+    let mut keys: Vec<u32> = counts.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+pub fn rekeyed(counts: &FxHashMap<u32, u32>) -> BTreeMap<u32, u32> {
+    // Landing in an ordered collection re-sorts the stream.
+    counts.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u32, u32>>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_insensitive_assertions_may_iterate() {
+        let mut counts = FxHashMap::default();
+        counts.insert(1u32, 2u32);
+        let mut seen = Vec::new();
+        for (k, v) in counts.iter() {
+            seen.push((*k, *v));
+        }
+        assert_eq!(seen.len(), 1);
+    }
+}

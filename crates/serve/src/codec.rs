@@ -85,6 +85,8 @@ impl<'a> Reader<'a> {
 
     pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         self.need(n)?;
+        // lint:allow(panic-reachability) in range: need(n) above just
+        // proved pos + n <= buf.len().
         let slice = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(slice)

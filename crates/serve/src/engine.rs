@@ -60,6 +60,8 @@ impl<'s> QueryEngine<'s> {
         }
         let mut token_block = vec![u32::MAX; snapshot.tokens().len()];
         for (block, &token) in snapshot.block_keys().iter().enumerate() {
+            // lint:allow(panic-reachability) in range: snapshot validation
+            // proved every block key indexes the vocabulary.
             token_block[token as usize] = block as u32;
         }
         QueryEngine {
@@ -155,6 +157,8 @@ impl<'s> QueryEngine<'s> {
         for token in self.scratch.iter() {
             tokens_probed += 1;
             if let Some(&id) = self.token_ids.get(token) {
+                // lint:allow(panic-reachability) in range: token_ids values
+                // enumerate the same vocabulary token_block is sized by.
                 let block = self.token_block[id as usize];
                 if block != u32::MAX {
                     self.probe_blocks.push(block);

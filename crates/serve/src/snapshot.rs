@@ -114,6 +114,8 @@ impl Snapshot {
                 (blocks, trace)
             }
         };
+        // lint:allow(panic-reachability) in range: the filter trace indexes
+        // the pre-filter blocks, and keys has one entry per pre-filter block.
         let block_keys: Vec<u32> = trace.iter().map(|&k| keys[k as usize]).collect();
         let tokens: Vec<String> = interner.into_entries().into_iter().map(|(t, _)| t).collect();
         let index = EntityIndex::build_parallel(&blocks, config.effective_threads());
@@ -331,13 +333,18 @@ impl Snapshot {
                 return Err(SnapshotError::ChecksumMismatch { section: name });
             }
             let slot = SECTIONS.iter().position(|&(sid, _)| sid == id).unwrap_or_default();
+            // lint:allow(panic-reachability) in range: slot is a position
+            // into SECTIONS, which payloads is sized by.
             if payloads[slot].is_some() {
                 return Err(SnapshotError::DuplicateSection { section: name });
             }
+            // lint:allow(panic-reachability) in range: same slot as above.
             payloads[slot] = Some(payload);
         }
         let get = |id: u32| -> Result<&[u8], SnapshotError> {
             let slot = SECTIONS.iter().position(|&(sid, _)| sid == id).unwrap_or_default();
+            // lint:allow(panic-reachability) in range: slot is a position
+            // into SECTIONS, which payloads is sized by.
             payloads[slot]
                 .ok_or(SnapshotError::MissingSection { section: section_name(id).unwrap_or("?") })
         };

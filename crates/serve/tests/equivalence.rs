@@ -22,13 +22,13 @@ const SCHEMES: [WeightingScheme; 5] = [
 ];
 
 fn dirty_snapshot() -> Snapshot {
-    let collection = presets::build(&presets::tiny(42)).into_dirty().collection;
+    let collection = presets::build(&presets::tiny(42)).unwrap().into_dirty().collection;
     let config = PipelineConfig { filter_ratio: Some(0.8), ..PipelineConfig::default() };
     Snapshot::build(&collection, config).unwrap()
 }
 
 fn cc_snapshot() -> Snapshot {
-    let collection = presets::build(&presets::tiny(43)).collection;
+    let collection = presets::build(&presets::tiny(43)).unwrap().collection;
     let config = PipelineConfig { filter_ratio: Some(0.8), ..PipelineConfig::default() };
     Snapshot::build(&collection, config).unwrap()
 }
@@ -124,7 +124,8 @@ fn probing_an_indexed_entitys_profile_finds_its_batch_neighbors() {
     // depend on whether the pivot is indexed or virtual — so probing an
     // indexed entity's own profile must reproduce query() plus the entity
     // itself (which co-occurs with its own blocks at full strength).
-    let collection: EntityCollection = presets::build(&presets::tiny(44)).into_dirty().collection;
+    let collection: EntityCollection =
+        presets::build(&presets::tiny(44)).unwrap().into_dirty().collection;
     let snapshot = Snapshot::build(
         &collection,
         PipelineConfig { weighting: WeightingScheme::Cbs, ..PipelineConfig::default() },
@@ -146,7 +147,7 @@ fn probing_an_indexed_entitys_profile_finds_its_batch_neighbors() {
 
 #[test]
 fn default_retention_follows_the_configured_pruning_scheme() {
-    let collection = presets::build(&presets::tiny(45)).into_dirty().collection;
+    let collection = presets::build(&presets::tiny(45)).unwrap().into_dirty().collection;
     let cardinality = Snapshot::build(
         &collection,
         PipelineConfig { pruning: mb_core::PruningScheme::Cnp, ..PipelineConfig::default() },

@@ -16,11 +16,11 @@ fn config(weighting: WeightingScheme, filter_ratio: Option<f64>) -> PipelineConf
 }
 
 fn cc_collection(seed: u64) -> EntityCollection {
-    presets::build(&presets::tiny(seed)).collection
+    presets::build(&presets::tiny(seed)).unwrap().collection
 }
 
 fn dirty_collection(seed: u64) -> EntityCollection {
-    presets::build(&presets::tiny(seed)).into_dirty().collection
+    presets::build(&presets::tiny(seed)).unwrap().into_dirty().collection
 }
 
 /// A small but non-trivial snapshot used by the corruption tests.

@@ -17,7 +17,7 @@ use enhanced_metablocking::datagen::{presets, DatasetConfig};
 use enhanced_metablocking::metablocking::{MetaBlocking, PruningScheme, WeightingScheme};
 use enhanced_metablocking::model::measures::EffectivenessAccumulator;
 
-fn main() {
+fn main() -> enhanced_metablocking::model::Result<()> {
     // A 10%-scale D1C: 252 curated records vs 6,135 crawled ones, 231 true
     // links. (Use er-eval's `table3` binary for the full-size runs.)
     let mut config: DatasetConfig = presets::d1c(7);
@@ -26,7 +26,7 @@ fn main() {
     config.side1.size = (config.side1.size as f64 * scale) as usize;
     config.side2.size = (config.side2.size as f64 * scale) as usize;
     config.object.vocab_size = (config.object.vocab_size as f64 * scale) as usize;
-    let dataset = presets::build(&config);
+    let dataset = presets::build(&config)?;
 
     let mut blocks = TokenBlocking.build(&dataset.collection);
     purging::purge_by_size(&mut blocks, 0.5);
@@ -72,4 +72,5 @@ fn main() {
         "\nReciprocal CNP executes the fewest comparisons per discovered link — the\n\
          efficiency-intensive winner — while keeping recall above the 0.8 bar."
     );
+    Ok(())
 }

@@ -19,8 +19,8 @@ use enhanced_metablocking::model::EntityId;
 use enhanced_metablocking::resolve::similarity::CosineIdfSimilarity;
 use enhanced_metablocking::resolve::Resolver;
 
-fn main() {
-    let dataset = presets::build(&presets::tiny(64));
+fn main() -> enhanced_metablocking::model::Result<()> {
+    let dataset = presets::build(&presets::tiny(64))?;
     let mut blocks = TokenBlocking.build(&dataset.collection);
     purging::purge_by_size(&mut blocks, 0.5);
 
@@ -54,6 +54,7 @@ fn main() {
         "\nMeta-blocking removes the superfluous comparisons before the (expensive)\n\
          matcher ever sees them: near-identical F1 at a fraction of the work."
     );
+    Ok(())
 }
 
 fn report(

@@ -18,8 +18,8 @@ use enhanced_metablocking::metablocking::incremental::{
 };
 use enhanced_metablocking::metablocking::WeightingScheme;
 
-fn main() {
-    let dataset = presets::build(&presets::tiny(5)).into_dirty();
+fn main() -> enhanced_metablocking::model::Result<()> {
+    let dataset = presets::build(&presets::tiny(5))?.into_dirty();
     let total_duplicates = dataset.ground_truth.len();
     println!(
         "streaming {} profiles; {} duplicate pairs hidden in the stream\n",
@@ -58,4 +58,5 @@ fn main() {
         found as f64 / total_duplicates as f64,
         emitted as f64 / dataset.collection.len() as f64
     );
+    Ok(())
 }

@@ -10,11 +10,11 @@ use enhanced_metablocking::metablocking::{MetaBlocking, PruningScheme, Weighting
 use enhanced_metablocking::model::measures::EffectivenessAccumulator;
 use enhanced_metablocking::observe::{RunReport, Stage};
 
-fn main() {
+fn main() -> enhanced_metablocking::model::Result<()> {
     // 1. An entity collection. Here: a synthetic Clean-Clean benchmark —
     //    two collections describing overlapping sets of real-world objects
     //    with different schemata and noisy values.
-    let dataset = presets::build(&presets::tiny(42));
+    let dataset = presets::build(&presets::tiny(42))?;
     println!(
         "collection: {} profiles ({} + {}), {} duplicate pairs",
         dataset.collection.len(),
@@ -41,9 +41,7 @@ fn main() {
         .with_block_filtering(0.8);
     let mut acc = EffectivenessAccumulator::new(&dataset.ground_truth);
     let mut report = RunReport::new("quickstart");
-    pipeline
-        .run(&blocks, dataset.collection.split(), &mut report, |a, b| acc.add(a, b))
-        .expect("valid configuration");
+    pipeline.run(&blocks, dataset.collection.split(), &mut report, |a, b| acc.add(a, b))?;
 
     // 4. The restructured comparison collection: a fraction of the
     //    comparisons, almost all of the recall.
@@ -65,4 +63,5 @@ fn main() {
             println!("stage {stage}: {:.1} ms", s.wall.as_secs_f64() * 1e3);
         }
     }
+    Ok(())
 }

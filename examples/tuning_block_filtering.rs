@@ -14,8 +14,8 @@ use enhanced_metablocking::datagen::presets;
 use enhanced_metablocking::metablocking::filter::block_filtering;
 use enhanced_metablocking::model::measures;
 
-fn main() {
-    let dataset = presets::build(&presets::tiny(3));
+fn main() -> enhanced_metablocking::model::Result<()> {
+    let dataset = presets::build(&presets::tiny(3))?;
     let mut blocks = TokenBlocking.build(&dataset.collection);
     purging::purge_by_size(&mut blocks, 0.5);
     let baseline = blocks.total_comparisons();
@@ -37,4 +37,5 @@ fn main() {
          unfiltered blocks while the comparisons drop by roughly two thirds —\n\
          the knee the paper exploits before building the blocking graph."
     );
+    Ok(())
 }

@@ -18,10 +18,10 @@ use enhanced_metablocking::metablocking::{MetaBlocking, PruningScheme, Weighting
 use enhanced_metablocking::model::matching::JaccardMatcher;
 use enhanced_metablocking::model::measures::EffectivenessAccumulator;
 
-fn main() {
+fn main() -> enhanced_metablocking::model::Result<()> {
     // A dirty collection: the two clean collections of a tiny benchmark
     // merged into one, exactly how the paper derives D1D..D3D.
-    let dataset = presets::build(&presets::tiny(99)).into_dirty();
+    let dataset = presets::build(&presets::tiny(99))?.into_dirty();
     let mut blocks = TokenBlocking.build(&dataset.collection);
     purging::purge_by_size(&mut blocks, 0.5);
     println!(
@@ -66,4 +66,5 @@ fn main() {
         "\nReciprocal WNP keeps recall near the weight-based ceiling while executing\n\
          a fraction of Iterative Blocking's comparisons — the paper's Table 6 shape."
     );
+    Ok(())
 }

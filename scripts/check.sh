@@ -24,8 +24,10 @@ cargo fmt --check
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> er-lint --workspace"
-cargo run -q -p er-lint -- --workspace
+echo "==> er-lint --workspace --format json (results/lint.json)"
+mkdir -p results
+cargo run -q -p er-lint -- --workspace --format json > results/lint.json
+cargo run -q -p er-bench --bin validate_lint_json -- results/lint.json
 
 echo "==> cargo test -q"
 cargo test -q

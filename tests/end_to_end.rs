@@ -9,7 +9,7 @@ use er_model::ErKind;
 use mb_core::{pipeline, MetaBlocking, PruningScheme, WeightingScheme};
 
 fn tiny() -> er_datagen::GeneratedDataset {
-    presets::build(&presets::tiny(11))
+    presets::build(&presets::tiny(11)).unwrap()
 }
 
 fn blocks_of(d: &er_datagen::GeneratedDataset) -> er_model::BlockCollection {
@@ -141,7 +141,7 @@ fn iterative_blocking_with_oracle_and_jaccard() {
 #[test]
 fn dirty_and_clean_variants_run_the_same_pipeline() {
     let clean = tiny();
-    let dirty = presets::build(&presets::tiny(11)).into_dirty();
+    let dirty = presets::build(&presets::tiny(11)).unwrap().into_dirty();
     assert_eq!(dirty.collection.kind(), ErKind::Dirty);
     for d in [&clean, &dirty] {
         let blocks = blocks_of(d);

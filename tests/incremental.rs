@@ -10,7 +10,7 @@ fn streaming_a_dirty_dataset_finds_most_duplicates() {
     // Stream a small dirty dataset profile-by-profile. Duplicates are
     // ground-truth pairs (i, n1+i): when the second member arrives, its
     // partner is already indexed and must surface among the top-k.
-    let dataset = presets::build(&presets::tiny(21)).into_dirty();
+    let dataset = presets::build(&presets::tiny(21)).unwrap().into_dirty();
     let mut inc = IncrementalMetaBlocking::new(IncrementalConfig {
         scheme: WeightingScheme::Js,
         k: 5,
@@ -39,7 +39,7 @@ fn streaming_a_dirty_dataset_finds_most_duplicates() {
 
 #[test]
 fn arrival_order_does_not_break_determinism() {
-    let dataset = presets::build(&presets::tiny(22)).into_dirty();
+    let dataset = presets::build(&presets::tiny(22)).unwrap().into_dirty();
     let run = || {
         let mut inc = IncrementalMetaBlocking::new(IncrementalConfig::default());
         let mut out = Vec::new();
@@ -53,7 +53,7 @@ fn arrival_order_does_not_break_determinism() {
 
 #[test]
 fn cbs_vs_js_schemes_both_work_incrementally() {
-    let dataset = presets::build(&presets::tiny(23)).into_dirty();
+    let dataset = presets::build(&presets::tiny(23)).unwrap().into_dirty();
     for scheme in
         [WeightingScheme::Arcs, WeightingScheme::Cbs, WeightingScheme::Ecbs, WeightingScheme::Js]
     {

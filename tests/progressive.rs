@@ -6,7 +6,7 @@ use mb_core::progressive::ProgressiveSchedule;
 use mb_core::weights::WeightingScheme;
 
 fn workload() -> (er_datagen::GeneratedDataset, er_model::BlockCollection) {
-    let d = presets::build(&presets::tiny(77));
+    let d = presets::build(&presets::tiny(77)).unwrap();
     let mut blocks = TokenBlocking.build(&d.collection);
     purging::purge_by_size(&mut blocks, 0.5);
     (d, blocks)
