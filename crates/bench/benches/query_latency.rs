@@ -19,7 +19,7 @@
 use er_bench::dirty_workload;
 use mb_core::{Noop, PipelineConfig, PruningScheme, WeightingScheme};
 use mb_observe::json::Json;
-use mb_serve::{QueryEngine, Snapshot};
+use mb_serve::{CandidateRequest, QueryEngine, Snapshot};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -83,8 +83,13 @@ fn main() {
     let mut lat_us: Vec<f64> = Vec::with_capacity(n * samples);
     for _ in 0..samples {
         for pivot in 0..n as u32 {
+            let request =
+                CandidateRequest::entity(er_model::EntityId(pivot)).with_retention(retention);
             let start = Instant::now();
-            black_box(engine.query(er_model::EntityId(pivot), retention, &mut Noop));
+            let response = engine
+                .execute(&request, &mut Noop)
+                .unwrap_or_else(|e| panic!("query {pivot}: {e}"));
+            black_box(&response);
             lat_us.push(start.elapsed().as_secs_f64() * 1e6);
         }
     }
@@ -100,10 +105,14 @@ fn main() {
     // --- batch throughput across thread counts ------------------------------
     let mut batch_rows: Vec<Json> = Vec::new();
     for threads in [1usize, 2, 4, 8] {
+        let request = CandidateRequest::batch().with_retention(retention).with_threads(threads);
         let mut times: Vec<Duration> = (0..samples)
             .map(|_| {
                 let start = Instant::now();
-                black_box(engine.batch(retention, threads, &mut Noop));
+                let response = engine
+                    .execute(&request, &mut Noop)
+                    .unwrap_or_else(|e| panic!("batch({threads}): {e}"));
+                black_box(&response);
                 start.elapsed()
             })
             .collect();

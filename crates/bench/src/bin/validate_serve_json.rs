@@ -1,0 +1,111 @@
+//! Shape-checks `BENCH_serve.json` (written by the `serve_throughput` bench).
+//!
+//! Exits non-zero with a message naming the first offending field if the
+//! document is missing a section, a number is absent or non-finite, the
+//! latency percentiles are inverted, or the server's own request count
+//! disagrees with the number of timed queries (it must cover at least the
+//! round-trip sweep).
+
+use mb_observe::json::Json;
+use std::process::ExitCode;
+
+fn field(doc: &Json, path: &str) -> Result<Json, String> {
+    let mut cur = doc.clone();
+    for key in path.split('.') {
+        cur = cur.get(key).cloned().ok_or_else(|| format!("missing field `{path}`"))?;
+    }
+    Ok(cur)
+}
+
+fn finite(doc: &Json, path: &str) -> Result<f64, String> {
+    let v = field(doc, path)?
+        .as_f64()
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .ok_or_else(|| format!("`{path}` is not a finite non-negative number"))?;
+    Ok(v)
+}
+
+fn positive_uint(doc: &Json, path: &str) -> Result<u64, String> {
+    field(doc, path)?
+        .as_u64()
+        .filter(|v| *v > 0)
+        .ok_or_else(|| format!("`{path}` is not a positive integer"))
+}
+
+fn check(doc: &Json) -> Result<(), String> {
+    let bench = field(doc, "bench")?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| "`bench` is not a string".to_string())?;
+    if bench != "serve_throughput" {
+        return Err(format!("`bench` is `{bench}`, expected `serve_throughput`"));
+    }
+    field(doc, "workload")?.as_str().ok_or_else(|| "`workload` is not a string".to_string())?;
+    positive_uint(doc, "entities")?;
+    let samples = positive_uint(doc, "samples")?;
+
+    let p50 = finite(doc, "round_trip.p50_us")?;
+    let p99 = finite(doc, "round_trip.p99_us")?;
+    if p99 < p50 {
+        return Err(format!("round_trip p99 ({p99}) is below p50 ({p50})"));
+    }
+    let qps = finite(doc, "round_trip.throughput_qps")?;
+    if qps <= 0.0 {
+        return Err(format!("round_trip.throughput_qps must be positive, got {qps}"));
+    }
+    let queries = positive_uint(doc, "round_trip.queries")?;
+
+    finite(doc, "reload.mean_ms")?;
+    finite(doc, "reload.min_ms")?;
+    let reloads = positive_uint(doc, "reload.samples")?;
+    finite(doc, "reload.post_reload_query_us")?;
+
+    // One reload per sample round, generation 1 is the boot snapshot.
+    let final_generation = positive_uint(doc, "final_generation")?;
+    if final_generation != reloads + 1 {
+        return Err(format!(
+            "final_generation is {final_generation}, expected {} (one reload per round)",
+            reloads + 1
+        ));
+    }
+    if reloads != samples {
+        return Err(format!("reload.samples is {reloads}, expected {samples}"));
+    }
+    // The server must have accounted for at least every timed query (the
+    // warmup and post-reload probes add a few more).
+    let served = positive_uint(doc, "requests_served")?;
+    if served < queries {
+        return Err(format!(
+            "requests_served ({served}) is below the {queries} timed round-trip queries"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("validate_serve_json: reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("validate_serve_json: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&doc) {
+        Ok(()) => {
+            println!("validate_serve_json: {path} OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate_serve_json: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -11,9 +11,11 @@ use mb_core::{
     WeightingScheme,
 };
 use mb_observe::{Progress, RunReport, Tee};
-use mb_serve::{QueryEngine, Snapshot};
+use mb_serve::{
+    CandidateRequest, CandidateResponse, Client, QueryEngine, Server, ServerConfig, Snapshot,
+};
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 fn check_options(args: &Args, known: &[&str]) -> Result<(), String> {
     let unknown = args.unknown_options(known);
@@ -310,10 +312,71 @@ fn snapshot_inspect(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// Resolves the retention flags shared by `er query` and `er client query`:
+/// `--retention <top-k=K|above-mean>` (the typed spelling) or the shorthand
+/// `--top K`. `None` defers to the engine's snapshot-derived default.
+fn retention_flags(args: &Args) -> Result<Option<Retention>, String> {
+    match (args.get("retention"), args.get("top")) {
+        (Some(_), Some(_)) => Err("use either --retention or --top, not both".into()),
+        (Some(spec), None) => spec.parse().map(Some),
+        (None, Some(v)) => {
+            let k: usize = v.parse().map_err(|_| format!("invalid value for --top: `{v}`"))?;
+            Ok(Some(Retention::TopK(k)))
+        }
+        (None, None) => Ok(None),
+    }
+}
+
+/// Builds the typed [`CandidateRequest`] from the target flags shared by
+/// `er query` and `er client query`, plus a human-readable subject line.
+fn candidate_request(args: &Args) -> Result<(CandidateRequest, String), String> {
+    let (request, subject) = match (args.get("entity"), args.get("text")) {
+        (Some(v), None) => {
+            let id: u32 = v.parse().map_err(|_| format!("invalid value for --entity: `{v}`"))?;
+            (CandidateRequest::entity(EntityId(id)), format!("entity {id}"))
+        }
+        (None, Some(text)) => {
+            let side: usize = args.get_parsed("side", 1)?;
+            if side != 1 && side != 2 {
+                return Err(format!("--side must be 1 or 2, got {side}"));
+            }
+            let profile = EntityProfile::new("probe").with("text", text);
+            (CandidateRequest::probe(profile, side == 1), format!("probe {text:?}"))
+        }
+        _ => return Err("exactly one of --entity or --text is required".into()),
+    };
+    match retention_flags(args)? {
+        Some(retention) => Ok((request.with_retention(retention), subject)),
+        None => Ok((request, subject)),
+    }
+}
+
+/// Renders the candidate listing shared by `er query` and `er client query`.
+fn render_candidates(out: &mut String, subject: &str, response: &CandidateResponse) {
+    let scored = match response.first() {
+        Some(s) => s,
+        None => return,
+    };
+    let _ =
+        writeln!(out, "query:      {subject}, {} ({})", response.scheme.name(), response.retention);
+    let _ = writeln!(
+        out,
+        "touched:    {} blocks, {} edges scored",
+        scored.blocks_touched, scored.edges_scored
+    );
+    let _ = writeln!(out, "candidates: {}", scored.candidates.len());
+    for (rank, c) in scored.candidates.iter().enumerate() {
+        let _ = writeln!(out, "  {:>3}. entity {:<8} w = {:.6}", rank + 1, c.id.0, c.weight);
+    }
+}
+
 /// `er query`: load a snapshot and answer one candidate query — for an
 /// indexed entity (`--entity`) or an unseen probe profile (`--text`).
 pub fn query(args: &Args) -> Result<String, String> {
-    check_options(args, &["snapshot", "entity", "text", "side", "top", "scheme", "report"])?;
+    check_options(
+        args,
+        &["snapshot", "entity", "text", "side", "top", "retention", "scheme", "report"],
+    )?;
     let path = args.require("snapshot")?;
     let report_path = args.get("report");
     let mut report = RunReport::new("er-query");
@@ -326,34 +389,8 @@ pub fn query(args: &Args) -> Result<String, String> {
         None => snapshot.config().weighting,
     };
     let mut engine = QueryEngine::with_scheme(&snapshot, scheme);
-    let retention = match args.get("top") {
-        Some(v) => {
-            let k: usize = v.parse().map_err(|_| format!("invalid value for --top: `{v}`"))?;
-            Retention::TopK(k)
-        }
-        None => engine.default_retention(),
-    };
-    let (scored, subject) = match (args.get("entity"), args.get("text")) {
-        (Some(v), None) => {
-            let id: u32 = v.parse().map_err(|_| format!("invalid value for --entity: `{v}`"))?;
-            if id as usize >= snapshot.num_entities() {
-                return Err(format!(
-                    "entity {id} out of range (snapshot has {} entities)",
-                    snapshot.num_entities()
-                ));
-            }
-            (engine.query(EntityId(id), retention, obs), format!("entity {id}"))
-        }
-        (None, Some(text)) => {
-            let side: usize = args.get_parsed("side", 1)?;
-            if side != 1 && side != 2 {
-                return Err(format!("--side must be 1 or 2, got {side}"));
-            }
-            let profile = EntityProfile::new("probe").with("text", text);
-            (engine.probe(&profile, side == 1, retention, obs), format!("probe {text:?}"))
-        }
-        _ => return Err("exactly one of --entity or --text is required".into()),
-    };
+    let (request, subject) = candidate_request(args)?;
+    let response = engine.execute(&request, obs).map_err(|e| e.to_string())?;
     if let Some(p) = report_path {
         report.set_meta("snapshot", path);
         report.set_meta("weighting", scheme.token());
@@ -367,17 +404,95 @@ pub fn query(args: &Args) -> Result<String, String> {
         snapshot.num_entities(),
         snapshot.blocks().size()
     );
-    let _ = writeln!(out, "query:      {subject}, {} ({retention:?})", scheme.name());
-    let _ = writeln!(
-        out,
-        "touched:    {} blocks, {} edges scored",
-        scored.blocks_touched, scored.edges_scored
-    );
-    let _ = writeln!(out, "candidates: {}", scored.candidates.len());
-    for (rank, c) in scored.candidates.iter().enumerate() {
-        let _ = writeln!(out, "  {:>3}. entity {:<8} w = {:.6}", rank + 1, c.id.0, c.weight);
-    }
+    render_candidates(&mut out, &subject, &response);
     Ok(out)
+}
+
+/// `er serve`: load a snapshot and serve candidate queries over the wire
+/// protocol until a client sends shutdown. Writes the bound address to
+/// `--port-file` (for supervisors that asked for an ephemeral port) and
+/// polls `--trigger` for file-based reloads.
+pub fn serve(args: &Args) -> Result<String, String> {
+    check_options(args, &["snapshot", "addr", "port-file", "trigger", "report", "report-every"])?;
+    let path = args.require("snapshot")?;
+    let snapshot = Snapshot::read_from(Path::new(path), &mut Noop)
+        .map_err(|e| format!("loading {path}: {e}"))?;
+    let config = ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:0").to_owned(),
+        trigger_path: args.get("trigger").map(PathBuf::from),
+        report_path: args.get("report").map(PathBuf::from),
+        report_every: args.get_parsed("report-every", 100u64)?,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(snapshot, config).map_err(|e| e.to_string())?;
+    let addr = handle.local_addr();
+    if let Some(port_file) = args.get("port-file") {
+        std::fs::write(port_file, addr.to_string())
+            .map_err(|e| format!("writing {port_file}: {e}"))?;
+    }
+    {
+        // Stdout carries the final summary; the liveness line goes to
+        // stderr so scripts can capture either independently.
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stderr(), "serving {path} on {addr} (generation 1)");
+    }
+    let report = handle.wait();
+    Ok(format!(
+        "server drained: {} requests served, final generation {}\n",
+        report.counter_total(mb_observe::Counter::RequestsServed),
+        report.meta("generation").unwrap_or("1"),
+    ))
+}
+
+fn client_connect(args: &Args) -> Result<Client, String> {
+    let addr = args.require("addr")?;
+    Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))
+}
+
+/// `er client <query|reload|shutdown>`: drive a running `er serve` over the
+/// wire protocol.
+pub fn client(args: &Args) -> Result<String, String> {
+    match args.positional(1) {
+        Some("query") => client_query(args),
+        Some("reload") => client_reload(args),
+        Some("shutdown") => client_shutdown(args),
+        Some(other) => {
+            Err(format!("unknown client subcommand `{other}` (expected query|reload|shutdown)"))
+        }
+        None => Err("usage: er client <query|reload|shutdown> --addr <host:port> ...".into()),
+    }
+}
+
+/// `er client query`: the same target/retention flags as `er query`,
+/// answered by the server's generation instead of a locally loaded file.
+fn client_query(args: &Args) -> Result<String, String> {
+    check_options(args, &["addr", "entity", "text", "side", "top", "retention"])?;
+    let (request, subject) = candidate_request(args)?;
+    let mut client = client_connect(args)?;
+    let response = client.execute(&request).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ =
+        writeln!(out, "server:     {} (generation {})", args.require("addr")?, response.generation);
+    render_candidates(&mut out, &subject, &response);
+    Ok(out)
+}
+
+/// `er client reload`: zero-downtime swap to the snapshot at `--snapshot`
+/// (a path on the server's filesystem).
+fn client_reload(args: &Args) -> Result<String, String> {
+    check_options(args, &["addr", "snapshot"])?;
+    let path = args.require("snapshot")?;
+    let mut client = client_connect(args)?;
+    let generation = client.reload(path).map_err(|e| e.to_string())?;
+    Ok(format!("reloaded {path}: serving generation {generation}\n"))
+}
+
+/// `er client shutdown`: drain and stop the server.
+fn client_shutdown(args: &Args) -> Result<String, String> {
+    check_options(args, &["addr"])?;
+    let client = client_connect(args)?;
+    let generation = client.shutdown().map_err(|e| e.to_string())?;
+    Ok(format!("server shut down at generation {generation}\n"))
 }
 
 #[cfg(test)]
@@ -603,6 +718,129 @@ mod tests {
         std::fs::write(&snap, &bytes).unwrap();
         let err = query(&argv(&["query", "--snapshot", snap_s, "--entity", "0"])).unwrap_err();
         assert!(err.contains("loading"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_accepts_typed_retention_tokens() {
+        let dir = temp_dir("retention");
+        let dir_s = dir.to_str().unwrap();
+        generate(&argv(&["generate", "--preset", "tiny", "--out", dir_s, "--scale", "0.3"]))
+            .unwrap();
+        let snap = dir.join("index.mbsnap");
+        let snap_s = snap.to_str().unwrap();
+        snapshot(&argv(&["snapshot", "build", "--dataset", dir_s, "--out", snap_s])).unwrap();
+
+        let q = query(&argv(&[
+            "query",
+            "--snapshot",
+            snap_s,
+            "--entity",
+            "0",
+            "--retention",
+            "top-k=3",
+        ]))
+        .unwrap();
+        assert!(q.contains("(top-k=3)"), "{q}");
+        let q = query(&argv(&[
+            "query",
+            "--snapshot",
+            snap_s,
+            "--entity",
+            "0",
+            "--retention",
+            "above-mean",
+        ]))
+        .unwrap();
+        assert!(q.contains("(above-mean)"), "{q}");
+
+        let err =
+            query(&argv(&["query", "--snapshot", snap_s, "--entity", "0", "--retention", "best"]))
+                .unwrap_err();
+        assert!(err.contains("unknown retention"), "{err}");
+        let err = query(&argv(&[
+            "query",
+            "--snapshot",
+            snap_s,
+            "--entity",
+            "0",
+            "--top",
+            "3",
+            "--retention",
+            "top-k=3",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_client_round_trip() {
+        let dir = temp_dir("serve_client");
+        let dir_s = dir.to_str().unwrap();
+        generate(&argv(&["generate", "--preset", "tiny", "--out", dir_s, "--scale", "0.3"]))
+            .unwrap();
+        let snap = dir.join("index.mbsnap");
+        let snap_s = snap.to_str().unwrap().to_owned();
+        snapshot(&argv(&["snapshot", "build", "--dataset", dir_s, "--out", &snap_s])).unwrap();
+        let next = dir.join("next.mbsnap");
+        let next_s = next.to_str().unwrap().to_owned();
+        snapshot(&argv(&[
+            "snapshot",
+            "build",
+            "--dataset",
+            dir_s,
+            "--out",
+            &next_s,
+            "--scheme",
+            "cbs",
+        ]))
+        .unwrap();
+
+        // `er serve` blocks until shutdown, so park it on a thread; the
+        // port file tells us where it bound.
+        let port_file = dir.join("port");
+        let port_file_s = port_file.to_str().unwrap().to_owned();
+        let serve_snap = snap_s.clone();
+        let server = std::thread::spawn(move || {
+            serve(&argv(&["serve", "--snapshot", &serve_snap, "--port-file", &port_file_s]))
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !port_file.exists() {
+            assert!(std::time::Instant::now() < deadline, "server never wrote its port file");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let addr = std::fs::read_to_string(&port_file).unwrap();
+
+        let q = client(&argv(&["client", "query", "--addr", &addr, "--entity", "0", "--top", "5"]))
+            .unwrap();
+        assert!(q.contains("generation 1"), "{q}");
+        assert!(q.contains("candidates:"), "{q}");
+
+        let r =
+            client(&argv(&["client", "reload", "--addr", &addr, "--snapshot", &next_s])).unwrap();
+        assert!(r.contains("generation 2"), "{r}");
+        let q = client(&argv(&[
+            "client",
+            "query",
+            "--addr",
+            &addr,
+            "--text",
+            "record alpha",
+            "--side",
+            "2",
+        ]))
+        .unwrap();
+        assert!(q.contains("generation 2"), "{q}");
+
+        let s = client(&argv(&["client", "shutdown", "--addr", &addr])).unwrap();
+        assert!(s.contains("shut down at generation 2"), "{s}");
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("server drained"), "{summary}");
+        assert!(summary.contains("final generation 2"), "{summary}");
+
+        assert!(client(&argv(&["client"])).unwrap_err().contains("query|reload|shutdown"));
+        assert!(client(&argv(&["client", "ping"])).unwrap_err().contains("unknown client"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -35,7 +35,14 @@ USAGE:
          [--filter R] [--threads N]
   er snapshot inspect --snapshot <file>
   er query --snapshot <file> (--entity N | --text \"...\" [--side 1|2])
-         [--top K] [--scheme S] [--report <report.json>]
+         [--top K | --retention <top-k=K|above-mean>] [--scheme S]
+         [--report <report.json>]
+  er serve --snapshot <file> [--addr <host:port>] [--port-file <path>]
+         [--trigger <path>] [--report <report.json>] [--report-every N]
+  er client query --addr <host:port> (--entity N | --text \"...\" [--side 1|2])
+         [--top K | --retention R]
+  er client reload --addr <host:port> --snapshot <path>
+  er client shutdown --addr <host:port>
 
 `--threads N` runs the pruning sweeps on N workers (default 1; 0 =
 auto-detect the available parallelism); output is bit-identical to the
@@ -48,6 +55,12 @@ the pipeline runs; `--report` writes a JSON breakdown of every stage
 and returns ranked candidates for an indexed entity (--entity) or an
 unseen probe profile (--text), scored and retained exactly like the batch
 node-centric pruning schemes.
+
+`er serve` keeps a snapshot resident behind a TCP listener and answers the
+same queries online, with zero-downtime reloads (`er client reload`, or
+writing a snapshot path into the `--trigger` file) and graceful draining
+shutdown (`er client shutdown`). Port 0 picks an ephemeral port;
+`--port-file` writes the bound address for supervisors to pick up.
 ";
 
 /// Dispatches a command line (without the program name). Returns the text
@@ -61,6 +74,8 @@ pub fn dispatch(raw: impl IntoIterator<Item = String>) -> Result<String, String>
         Some("sweep-filter") => commands::sweep_filter(&args),
         Some("snapshot") => commands::snapshot(&args),
         Some("query") => commands::query(&args),
+        Some("serve") => commands::serve(&args),
+        Some("client") => commands::client(&args),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
         None => Err(USAGE.to_string()),
     }

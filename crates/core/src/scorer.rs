@@ -42,6 +42,38 @@ pub enum Retention {
     AboveMean,
 }
 
+impl std::fmt::Display for Retention {
+    /// The stable command-line/JSON form: `top-k=<k>` or `above-mean` —
+    /// same token discipline as [`WeightingScheme`] and
+    /// [`crate::PruningScheme`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Retention::TopK(k) => write!(f, "top-k={k}"),
+            Retention::AboveMean => f.write_str("above-mean"),
+        }
+    }
+}
+
+impl std::str::FromStr for Retention {
+    type Err = String;
+
+    /// Parses the [`Retention::to_string`] form back, case-insensitively;
+    /// `_` is accepted in place of `-` (as for [`crate::PruningScheme`]).
+    fn from_str(s: &str) -> Result<Retention, String> {
+        let canon = s.trim().to_ascii_lowercase().replace('_', "-");
+        if canon == "above-mean" {
+            return Ok(Retention::AboveMean);
+        }
+        if let Some(k) = canon.strip_prefix("top-k=") {
+            return match k.parse::<usize>() {
+                Ok(k) if k > 0 => Ok(Retention::TopK(k)),
+                _ => Err(format!("top-k retention needs a positive count, got '{k}'")),
+            };
+        }
+        Err(format!("unknown retention '{s}' (expected top-k=<k> or above-mean)"))
+    }
+}
+
 /// The result of one query: retained candidates plus the work counters the
 /// observability layer reports.
 #[derive(Debug, Clone, PartialEq)]
@@ -523,6 +555,19 @@ mod tests {
                 assert_eq!(scorer.batch(Retention::TopK(2), threads), sequential);
             }
         }
+    }
+
+    #[test]
+    fn retention_tokens_round_trip() {
+        for r in [Retention::TopK(1), Retention::TopK(5000), Retention::AboveMean] {
+            assert_eq!(r.to_string().parse::<Retention>().unwrap(), r);
+        }
+        assert_eq!("top-k=5".parse::<Retention>().unwrap(), Retention::TopK(5));
+        assert_eq!("Above-Mean".parse::<Retention>().unwrap(), Retention::AboveMean);
+        assert_eq!(" top_k=3 ".parse::<Retention>().unwrap(), Retention::TopK(3));
+        assert!("top-k=0".parse::<Retention>().unwrap_err().contains("positive"));
+        assert!("top-k=x".parse::<Retention>().unwrap_err().contains("positive"));
+        assert!("best".parse::<Retention>().unwrap_err().contains("above-mean"));
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! The syntactic `no-panic` rule bans `unwrap()` textually; this pass makes
 //! the stronger argument the mb-serve hostile-input guarantee actually
 //! needs: starting from the **public non-test functions of `crates/serve`**
-//! (the `QueryEngine` and snapshot-codec entry points), walk the
+//! (the `QueryEngine` and snapshot-codec entry points) — plus *every*
+//! non-test function of `server.rs` and `protocol.rs`, public or not,
+//! because connection handlers run on spawned threads against raw socket
+//! bytes and must not abort regardless of visibility — walk the
 //! conservative workspace call graph (see [`crate::callgraph`]) across the
 //! serve dependency closure — er-model, er-blocking, mb-core, mb-observe,
 //! mb-serve — and flag, in every reached function:
@@ -53,14 +56,20 @@ pub(crate) fn run(files: &[FileModel<'_>], findings: &mut Vec<Finding>) {
         scoped.iter().map(|f| (f.path, f.src, f.model)).collect();
     let graph = CallGraph::build(&triples);
 
-    // Roots: public, non-test, bodied fns in crates/serve.
+    // Roots: public, non-test, bodied fns in crates/serve — and every
+    // bodied fn of the online-serving modules, where private helpers
+    // (connection handlers, the accept loop) run on spawned threads fed by
+    // untrusted peers.
+    const SERVE_ROOT_ALL: [&str; 2] =
+        ["crates/serve/src/server.rs", "crates/serve/src/protocol.rs"];
     let mut roots: Vec<NodeId> = Vec::new();
     for (fi, f) in scoped.iter().enumerate() {
         if !f.path.starts_with("crates/serve/") {
             continue;
         }
+        let root_all = SERVE_ROOT_ALL.contains(&f.path);
         for (gi, func) in f.model.fns.iter().enumerate() {
-            if func.is_pub && !func.in_test && func.body.is_some() {
+            if (func.is_pub || root_all) && !func.in_test && func.body.is_some() {
                 roots.push((fi, gi));
             }
         }

@@ -158,6 +158,8 @@ pub enum Counter {
     BlocksTouched,
     /// Candidate edges whose weight a query evaluated (mb-serve).
     EdgesScored,
+    /// Requests answered by the online candidate server (mb-serve).
+    RequestsServed,
     /// Allocation high-water mark (bytes) observed during the stage —
     /// non-zero only when [`alloc_track::TrackingAllocator`] is installed.
     AllocPeakBytes,
@@ -165,7 +167,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 16] = [
         Counter::BlocksIn,
         Counter::BlocksOut,
         Counter::ComparisonsIn,
@@ -180,6 +182,7 @@ impl Counter {
         Counter::TokensProbed,
         Counter::BlocksTouched,
         Counter::EdgesScored,
+        Counter::RequestsServed,
         Counter::AllocPeakBytes,
     ];
 
@@ -200,6 +203,7 @@ impl Counter {
             Counter::TokensProbed => "tokens_probed",
             Counter::BlocksTouched => "blocks_touched",
             Counter::EdgesScored => "edges_scored",
+            Counter::RequestsServed => "requests_served",
             Counter::AllocPeakBytes => "alloc_peak_bytes",
         }
     }

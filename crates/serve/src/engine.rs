@@ -11,6 +11,8 @@
 //! exactly the neighbors batch node-centric pruning would retain for the
 //! same entity, scheme, and threshold.
 
+use crate::error::ServeError;
+use crate::request::{CandidateRequest, CandidateResponse, CandidateTarget};
 use crate::snapshot::Snapshot;
 use er_model::fxhash::FxHashMap;
 use er_model::tokenize::{raw_tokens, KeyScratch};
@@ -101,12 +103,51 @@ impl<'s> QueryEngine<'s> {
         }
     }
 
+    /// Executes one typed [`CandidateRequest`] — the single entry point the
+    /// in-process API, the CLI, and the wire protocol all funnel through.
+    ///
+    /// A request without an explicit retention resolves to
+    /// [`QueryEngine::default_retention`]. Unlike the deprecated positional
+    /// entry points, hostile input cannot abort: an out-of-range entity id
+    /// returns [`ServeError::EntityOutOfRange`].
+    pub fn execute(
+        &mut self,
+        request: &CandidateRequest,
+        obs: &mut dyn Observer,
+    ) -> Result<CandidateResponse, ServeError> {
+        let retention = match request.retention() {
+            Some(r) => r,
+            None => self.default_retention(),
+        };
+        let mut scope = StageScope::enter(obs, Stage::Query);
+        scope.add(Counter::RequestsServed, 1);
+        let results = match request.target() {
+            CandidateTarget::Entity(pivot) => {
+                if (pivot.0 as usize) >= self.snapshot.num_entities() {
+                    scope.finish();
+                    return Err(ServeError::EntityOutOfRange {
+                        id: pivot.0,
+                        entities: self.snapshot.num_entities() as u64,
+                    });
+                }
+                vec![self.run_query(*pivot, retention, &mut scope)]
+            }
+            CandidateTarget::Probe { profile, is_first } => {
+                vec![self.run_probe(profile, *is_first, retention, &mut scope)]
+            }
+            CandidateTarget::Batch => self.run_batch(retention, request.threads(), &mut scope),
+        };
+        scope.finish();
+        Ok(CandidateResponse { results, retention, scheme: self.scheme(), generation: 0 })
+    }
+
     /// Scores every co-occurring entity of indexed entity `pivot` and
     /// returns the retained candidates, best first.
     ///
     /// # Panics
     ///
     /// If `pivot` is not an id of the snapshot's collection.
+    #[deprecated(note = "build a CandidateRequest::entity and call QueryEngine::execute")]
     pub fn query(
         &mut self,
         pivot: EntityId,
@@ -120,10 +161,20 @@ impl<'s> QueryEngine<'s> {
             self.snapshot.num_entities()
         );
         let mut scope = StageScope::enter(obs, Stage::Query);
+        let scored = self.run_query(pivot, retention, &mut scope);
+        scope.finish();
+        scored
+    }
+
+    fn run_query(
+        &mut self,
+        pivot: EntityId,
+        retention: Retention,
+        scope: &mut StageScope<'_>,
+    ) -> Scored {
         let scored = self.scorer.query(pivot, retention);
         scope.add(Counter::BlocksTouched, scored.blocks_touched);
         scope.add(Counter::EdgesScored, scored.edges_scored);
-        scope.finish();
         scored
     }
 
@@ -135,6 +186,7 @@ impl<'s> QueryEngine<'s> {
     /// For Clean-Clean snapshots `probe_is_first` states which side the
     /// probe belongs to — candidates come from the opposite side. Dirty
     /// snapshots ignore it and consider every co-occurring entity.
+    #[deprecated(note = "build a CandidateRequest::probe and call QueryEngine::execute")]
     pub fn probe(
         &mut self,
         profile: &EntityProfile,
@@ -143,6 +195,18 @@ impl<'s> QueryEngine<'s> {
         obs: &mut dyn Observer,
     ) -> Scored {
         let mut scope = StageScope::enter(obs, Stage::Query);
+        let scored = self.run_probe(profile, probe_is_first, retention, &mut scope);
+        scope.finish();
+        scored
+    }
+
+    fn run_probe(
+        &mut self,
+        profile: &EntityProfile,
+        probe_is_first: bool,
+        retention: Retention,
+        scope: &mut StageScope<'_>,
+    ) -> Scored {
         self.scratch.clear();
         for value in profile.values() {
             for raw in raw_tokens(value) {
@@ -172,7 +236,6 @@ impl<'s> QueryEngine<'s> {
         scope.add(Counter::TokensProbed, tokens_probed);
         scope.add(Counter::BlocksTouched, scored.blocks_touched);
         scope.add(Counter::EdgesScored, scored.edges_scored);
-        scope.finish();
         scored
     }
 
@@ -182,6 +245,7 @@ impl<'s> QueryEngine<'s> {
     /// The result is ordered by entity id and bit-identical for every
     /// `threads` value. For Clean-Clean snapshots, entities on either side
     /// are queried like the batch node-centric schemes visit them.
+    #[deprecated(note = "build a CandidateRequest::batch and call QueryEngine::execute")]
     pub fn batch(
         &self,
         retention: Retention,
@@ -189,6 +253,17 @@ impl<'s> QueryEngine<'s> {
         obs: &mut dyn Observer,
     ) -> Vec<Scored> {
         let mut scope = StageScope::enter(obs, Stage::Query);
+        let scored = self.run_batch(retention, threads, &mut scope);
+        scope.finish();
+        scored
+    }
+
+    fn run_batch(
+        &self,
+        retention: Retention,
+        threads: usize,
+        scope: &mut StageScope<'_>,
+    ) -> Vec<Scored> {
         let scored = self.scorer.batch(retention, threads);
         let (mut blocks_touched, mut edges_scored) = (0u64, 0u64);
         for s in &scored {
@@ -197,7 +272,6 @@ impl<'s> QueryEngine<'s> {
         }
         scope.add(Counter::BlocksTouched, blocks_touched);
         scope.add(Counter::EdgesScored, edges_scored);
-        scope.finish();
         scored
     }
 

@@ -136,3 +136,118 @@ impl From<Violation> for SnapshotError {
         SnapshotError::Structural(v)
     }
 }
+
+/// Everything that can go wrong on the online serving path.
+///
+/// Same contract as [`SnapshotError`]: a hostile or broken peer can only
+/// ever produce one of these variants — never a panic, never an unbounded
+/// allocation. Frame-level decode failures reuse the snapshot codec's typed
+/// errors through [`ServeError::Frame`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// The underlying socket or file operation failed.
+    Io(std::io::Error),
+    /// The peer closed the connection mid-message.
+    Disconnected,
+    /// The connection greeting did not carry the wire-protocol magic.
+    BadHello,
+    /// The peer speaks a wire-protocol version this build does not.
+    Handshake {
+        /// The version the peer announced.
+        found: u32,
+        /// The only version this build speaks.
+        supported: u32,
+    },
+    /// A frame declared a payload longer than the protocol permits — the
+    /// guard that turns a corrupt length prefix into an error instead of an
+    /// out-of-memory abort.
+    FrameTooLarge {
+        /// The declared payload length.
+        len: u64,
+        /// The protocol's cap.
+        max: u64,
+    },
+    /// A frame's payload does not hash to its recorded checksum.
+    FrameChecksum,
+    /// A frame kind this protocol version does not define, or one that is
+    /// not valid in the current direction.
+    UnknownMessage {
+        /// The unrecognized kind tag.
+        kind: u8,
+    },
+    /// A frame payload failed to decode (truncated, over-long, bad UTF-8 —
+    /// the snapshot codec reader's failures, reused verbatim).
+    Frame(SnapshotError),
+    /// A request named an entity the serving snapshot does not index.
+    EntityOutOfRange {
+        /// The requested entity id.
+        id: u32,
+        /// The snapshot's entity count.
+        entities: u64,
+    },
+    /// A request was well-formed bytes but semantically invalid.
+    InvalidRequest(String),
+    /// A reload named a snapshot that failed to load or validate; the old
+    /// generation keeps serving.
+    Reload(Box<SnapshotError>),
+    /// The server reported a failure for our request (the client-side view
+    /// of any of the above).
+    Remote(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve i/o failed: {e}"),
+            ServeError::Disconnected => write!(f, "peer disconnected mid-message"),
+            ServeError::BadHello => write!(f, "not an mb-serve peer (bad hello magic)"),
+            ServeError::Handshake { found, supported } => {
+                write!(
+                    f,
+                    "wire protocol version {found} unsupported (this build speaks {supported})"
+                )
+            }
+            ServeError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            ServeError::FrameChecksum => write!(f, "frame checksum mismatch"),
+            ServeError::UnknownMessage { kind } => write!(f, "unknown message kind {kind}"),
+            ServeError::Frame(e) => write!(f, "frame payload invalid: {e}"),
+            ServeError::EntityOutOfRange { id, entities } => {
+                write!(f, "entity {id} out of range (snapshot has {entities} entities)")
+            }
+            ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::Reload(e) => write!(f, "reload rejected, old generation kept: {e}"),
+            ServeError::Remote(msg) => write!(f, "server reported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Frame(e) => Some(e),
+            ServeError::Reload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    /// Classifies clean EOF as [`ServeError::Disconnected`] so tests and
+    /// callers can tell a vanished peer from a genuine transport fault.
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ServeError::Disconnected
+        } else {
+            ServeError::Io(e)
+        }
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Frame(e)
+    }
+}

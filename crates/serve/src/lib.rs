@@ -10,16 +10,20 @@
 //!   format ([`Snapshot::to_bytes`] / [`Snapshot::from_bytes`]) whose loader
 //!   validates every structural invariant and never panics on malformed
 //!   input (see [`SnapshotError`]).
-//! - [`QueryEngine`] loads a snapshot once and answers per-entity candidate
-//!   queries — for indexed entities or unseen probe profiles — with the
-//!   same weighting schemes, retention rules, and tie ordering as batch
-//!   node-centric pruning, so online answers match the offline pipeline
-//!   bit for bit.
+//! - [`QueryEngine`] loads a snapshot once and answers typed
+//!   [`CandidateRequest`]s — for indexed entities or unseen probe profiles
+//!   — with the same weighting schemes, retention rules, and tie ordering
+//!   as batch node-centric pruning, so online answers match the offline
+//!   pipeline bit for bit.
+//! - [`Server`] keeps an engine resident behind a TCP listener speaking a
+//!   checksummed, length-prefixed wire protocol ([`protocol`]), with
+//!   zero-downtime snapshot reloads through hot-swappable generations
+//!   ([`GenerationCell`]) and graceful draining shutdown ([`server`]).
 //!
 //! ```
 //! use er_model::{EntityCollection, EntityId, EntityProfile};
 //! use mb_core::PipelineConfig;
-//! use mb_serve::{QueryEngine, Snapshot};
+//! use mb_serve::{CandidateRequest, QueryEngine, Snapshot};
 //!
 //! let e = EntityCollection::dirty(vec![
 //!     EntityProfile::new("p1").with("name", "jack miller"),
@@ -31,8 +35,9 @@
 //! let restored = Snapshot::from_bytes(&bytes).unwrap();
 //!
 //! let mut engine = QueryEngine::new(&restored);
-//! let retention = engine.default_retention();
-//! let scored = engine.query(EntityId(0), retention, &mut mb_observe::Noop);
+//! let request = CandidateRequest::entity(EntityId(0));
+//! let response = engine.execute(&request, &mut mb_observe::Noop).unwrap();
+//! let scored = response.first().unwrap();
 //! assert_eq!(scored.candidates[0].id, EntityId(1)); // shares jack + miller
 //! ```
 
@@ -42,8 +47,15 @@
 mod codec;
 mod engine;
 mod error;
+mod generation;
+pub mod protocol;
+mod request;
+mod server;
 mod snapshot;
 
 pub use engine::QueryEngine;
-pub use error::SnapshotError;
+pub use error::{ServeError, SnapshotError};
+pub use generation::{Generation, GenerationCell};
+pub use request::{CandidateRequest, CandidateResponse, CandidateTarget};
+pub use server::{Client, Server, ServerConfig, ServerHandle};
 pub use snapshot::{Snapshot, FORMAT_VERSION, MAGIC};

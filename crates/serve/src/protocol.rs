@@ -1,0 +1,436 @@
+//! The length-prefixed binary wire protocol of `er serve`.
+//!
+//! Built on the snapshot codec's primitives (bounds-checked reader,
+//! little-endian writers, FNV-1a checksums) with the same hostile-input
+//! contract: any sequence of bytes a peer sends produces a typed
+//! [`ServeError`], never a panic and never an unbounded allocation.
+//!
+//! # Connection layout
+//!
+//! On accept, the server sends a 20-byte hello —
+//!
+//! ```text
+//! magic "MBWIRE01" | protocol version u32 | serving generation u64
+//! ```
+//!
+//! — and the client refuses to proceed on a magic or version mismatch
+//! (versioning policy mirrors the snapshot format: peers speak exactly the
+//! versions they know). After the hello, both directions exchange frames:
+//!
+//! ```text
+//! frame := kind u8 | payload_len u32 | fnv1a64(payload) u64 | payload
+//! ```
+//!
+//! The declared payload length is capped ([`MAX_FRAME`]) *before* any
+//! allocation, so a corrupt length prefix errors out instead of reserving
+//! gigabytes; the checksum catches torn or bit-flipped frames.
+//!
+//! # Messages
+//!
+//! | kind | direction | payload |
+//! |------|-----------|---------|
+//! | [`MSG_REQUEST`]  | client → server | a [`CandidateRequest`]           |
+//! | [`MSG_RELOAD`]   | client → server | UTF-8 path of the new snapshot   |
+//! | [`MSG_SHUTDOWN`] | client → server | empty                            |
+//! | [`MSG_RESPONSE`] | server → client | a [`CandidateResponse`]          |
+//! | [`MSG_OK`]       | server → client | acknowledged generation u64      |
+//! | [`MSG_ERROR`]    | server → client | UTF-8 error message              |
+//!
+//! The request/response payloads serialize the *same*
+//! [`CandidateRequest`] / [`CandidateResponse`] types the in-process API
+//! executes — there is no wire-only mirror struct to drift.
+
+use crate::codec::{fnv1a, put_bytes, put_u32, put_u64, put_u8, Reader};
+use crate::error::{ServeError, SnapshotError};
+use crate::request::{CandidateRequest, CandidateResponse, CandidateTarget};
+use er_model::{EntityId, EntityProfile};
+use mb_core::{Candidate, Retention, Scored, WeightingScheme};
+use std::io::{Read, Write};
+
+/// The wire hello magic.
+pub const WIRE_MAGIC: [u8; 8] = *b"MBWIRE01";
+
+/// The only wire-protocol version this build speaks (reader policy as for
+/// snapshots: no guessing at future layouts).
+pub const WIRE_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload. Checked against the declared length
+/// before allocating — the wire analogue of the snapshot codec's
+/// length-prefix guard.
+pub const MAX_FRAME: u64 = 64 * 1024 * 1024;
+
+/// Client → server: execute the enclosed [`CandidateRequest`].
+pub const MSG_REQUEST: u8 = 1;
+/// Client → server: load the snapshot at the enclosed path and swap it in.
+pub const MSG_RELOAD: u8 = 2;
+/// Client → server: drain in-flight work and stop.
+pub const MSG_SHUTDOWN: u8 = 3;
+/// Server → client: the enclosed [`CandidateResponse`] answers the request.
+pub const MSG_RESPONSE: u8 = 4;
+/// Server → client: control acknowledged; payload is the serving generation.
+pub const MSG_OK: u8 = 5;
+/// Server → client: the request failed; payload is the rendered error.
+pub const MSG_ERROR: u8 = 6;
+
+// Target tags inside a request payload.
+const TARGET_ENTITY: u8 = 0;
+const TARGET_PROBE: u8 = 1;
+const TARGET_BATCH: u8 = 2;
+
+// Retention tags inside request/response payloads.
+const RETENTION_DEFAULT: u8 = 0;
+const RETENTION_TOP_K: u8 = 1;
+const RETENTION_ABOVE_MEAN: u8 = 2;
+
+/// Sends the server hello for `generation`.
+pub fn write_hello(w: &mut impl Write, generation: u64) -> Result<(), ServeError> {
+    let mut out = Vec::with_capacity(20);
+    out.extend_from_slice(&WIRE_MAGIC);
+    put_u32(&mut out, WIRE_VERSION);
+    put_u64(&mut out, generation);
+    w.write_all(&out)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads and validates the server hello; returns the serving generation.
+pub fn read_hello(r: &mut impl Read) -> Result<u64, ServeError> {
+    let mut buf = [0u8; 20];
+    r.read_exact(&mut buf)?;
+    let mut rd = Reader::new(&buf, "hello");
+    if rd.take(WIRE_MAGIC.len())? != WIRE_MAGIC {
+        return Err(ServeError::BadHello);
+    }
+    let version = rd.u32()?;
+    if version != WIRE_VERSION {
+        return Err(ServeError::Handshake { found: version, supported: WIRE_VERSION });
+    }
+    Ok(rd.u64()?)
+}
+
+/// Writes one checksummed frame.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), ServeError> {
+    if payload.len() as u64 > MAX_FRAME {
+        return Err(ServeError::FrameTooLarge { len: payload.len() as u64, max: MAX_FRAME });
+    }
+    let mut head = Vec::with_capacity(13);
+    put_u8(&mut head, kind);
+    put_u32(&mut head, payload.len() as u32);
+    put_u64(&mut head, fnv1a(payload));
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, verifying the length cap before allocating and the
+/// checksum after reading. Returns `(kind, payload)`.
+pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), ServeError> {
+    let mut head = [0u8; 13];
+    r.read_exact(&mut head)?;
+    let mut rd = Reader::new(&head, "frame");
+    let kind = rd.u8()?;
+    let len = rd.u32()? as u64;
+    let checksum = rd.u64()?;
+    if len > MAX_FRAME {
+        return Err(ServeError::FrameTooLarge { len, max: MAX_FRAME });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if fnv1a(&payload) != checksum {
+        return Err(ServeError::FrameChecksum);
+    }
+    Ok((kind, payload))
+}
+
+/// Serializes a [`CandidateRequest`] into a [`MSG_REQUEST`] payload.
+pub fn request_bytes(request: &CandidateRequest) -> Vec<u8> {
+    let mut out = Vec::new();
+    match request.target() {
+        CandidateTarget::Entity(id) => {
+            put_u8(&mut out, TARGET_ENTITY);
+            put_u32(&mut out, id.0);
+        }
+        CandidateTarget::Probe { profile, is_first } => {
+            put_u8(&mut out, TARGET_PROBE);
+            put_u8(&mut out, u8::from(*is_first));
+            put_bytes(&mut out, profile.uri().as_bytes());
+            put_u32(&mut out, profile.attributes().len() as u32);
+            for attr in profile.attributes() {
+                put_bytes(&mut out, attr.name.as_bytes());
+                put_bytes(&mut out, attr.value.as_bytes());
+            }
+        }
+        CandidateTarget::Batch => put_u8(&mut out, TARGET_BATCH),
+    }
+    match request.retention() {
+        None => put_u8(&mut out, RETENTION_DEFAULT),
+        Some(Retention::TopK(k)) => {
+            put_u8(&mut out, RETENTION_TOP_K);
+            put_u64(&mut out, k as u64);
+        }
+        Some(Retention::AboveMean) => put_u8(&mut out, RETENTION_ABOVE_MEAN),
+    }
+    put_u32(&mut out, request.threads() as u32);
+    out
+}
+
+fn utf8<'a>(bytes: &'a [u8], section: &'static str) -> Result<&'a str, ServeError> {
+    std::str::from_utf8(bytes).map_err(|_| ServeError::Frame(SnapshotError::Utf8 { section }))
+}
+
+/// Decodes a [`MSG_REQUEST`] payload back into the typed request.
+pub fn parse_request(buf: &[u8]) -> Result<CandidateRequest, ServeError> {
+    let mut r = Reader::new(buf, "request");
+    let target = match r.u8()? {
+        TARGET_ENTITY => CandidateTarget::Entity(EntityId(r.u32()?)),
+        TARGET_PROBE => {
+            let is_first = r.u8()? != 0;
+            let uri = utf8(r.bytes()?, "request")?.to_owned();
+            let attrs = r.u32()? as usize;
+            // Each attribute costs at least its two 4-byte length prefixes;
+            // verify before trusting the count.
+            if attrs.saturating_mul(8) > r.remaining() {
+                return Err(ServeError::Frame(SnapshotError::Truncated {
+                    section: "request",
+                    needed: (attrs.saturating_mul(8) - r.remaining()) as u64,
+                    available: r.remaining() as u64,
+                }));
+            }
+            let mut profile = EntityProfile::new(uri);
+            for _ in 0..attrs {
+                let name = utf8(r.bytes()?, "request")?.to_owned();
+                let value = utf8(r.bytes()?, "request")?.to_owned();
+                profile.add(name, value);
+            }
+            CandidateTarget::Probe { profile, is_first }
+        }
+        TARGET_BATCH => CandidateTarget::Batch,
+        other => return Err(ServeError::InvalidRequest(format!("unknown target tag {other}"))),
+    };
+    let retention = parse_retention(&mut r, true)?;
+    let threads = r.u32()? as usize;
+    r.finish()?;
+    let mut request = match target {
+        CandidateTarget::Entity(id) => CandidateRequest::entity(id),
+        CandidateTarget::Probe { profile, is_first } => CandidateRequest::probe(profile, is_first),
+        CandidateTarget::Batch => CandidateRequest::batch(),
+    };
+    if let Some(r) = retention {
+        request = request.with_retention(r);
+    }
+    Ok(request.with_threads(threads))
+}
+
+fn parse_retention(
+    r: &mut Reader<'_>,
+    allow_default: bool,
+) -> Result<Option<Retention>, ServeError> {
+    match r.u8()? {
+        RETENTION_DEFAULT if allow_default => Ok(None),
+        RETENTION_TOP_K => Ok(Some(Retention::TopK(r.u64()? as usize))),
+        RETENTION_ABOVE_MEAN => Ok(Some(Retention::AboveMean)),
+        other => Err(ServeError::InvalidRequest(format!("unknown retention tag {other}"))),
+    }
+}
+
+/// Serializes a [`CandidateResponse`] into a [`MSG_RESPONSE`] payload.
+pub fn response_bytes(response: &CandidateResponse) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, response.generation);
+    put_bytes(&mut out, response.scheme.token().as_bytes());
+    match response.retention {
+        Retention::TopK(k) => {
+            put_u8(&mut out, RETENTION_TOP_K);
+            put_u64(&mut out, k as u64);
+        }
+        Retention::AboveMean => put_u8(&mut out, RETENTION_ABOVE_MEAN),
+    }
+    put_u32(&mut out, response.results.len() as u32);
+    for scored in &response.results {
+        put_u32(&mut out, scored.candidates.len() as u32);
+        for c in &scored.candidates {
+            put_u32(&mut out, c.id.0);
+            put_u64(&mut out, c.weight.to_bits());
+        }
+        put_u64(&mut out, scored.blocks_touched);
+        put_u64(&mut out, scored.edges_scored);
+    }
+    out
+}
+
+/// Decodes a [`MSG_RESPONSE`] payload back into the typed response.
+pub fn parse_response(buf: &[u8]) -> Result<CandidateResponse, ServeError> {
+    let mut r = Reader::new(buf, "response");
+    let generation = r.u64()?;
+    let scheme: WeightingScheme =
+        utf8(r.bytes()?, "response")?.parse().map_err(ServeError::InvalidRequest)?;
+    let retention = match parse_retention(&mut r, false)? {
+        Some(ret) => ret,
+        None => return Err(ServeError::InvalidRequest("response without retention".into())),
+    };
+    let count = r.u32()? as usize;
+    // Every result needs at least its candidate count plus two u64
+    // counters; verify before allocating.
+    if count.saturating_mul(20) > r.remaining() {
+        return Err(ServeError::Frame(SnapshotError::Truncated {
+            section: "response",
+            needed: (count.saturating_mul(20) - r.remaining()) as u64,
+            available: r.remaining() as u64,
+        }));
+    }
+    let mut results = Vec::with_capacity(count);
+    for _ in 0..count {
+        let candidates = r.u32()? as usize;
+        if candidates.saturating_mul(12) > r.remaining() {
+            return Err(ServeError::Frame(SnapshotError::Truncated {
+                section: "response",
+                needed: (candidates.saturating_mul(12) - r.remaining()) as u64,
+                available: r.remaining() as u64,
+            }));
+        }
+        let mut list = Vec::with_capacity(candidates);
+        for _ in 0..candidates {
+            let id = EntityId(r.u32()?);
+            let weight = f64::from_bits(r.u64()?);
+            list.push(Candidate { id, weight });
+        }
+        let blocks_touched = r.u64()?;
+        let edges_scored = r.u64()?;
+        results.push(Scored { candidates: list, blocks_touched, edges_scored });
+    }
+    r.finish()?;
+    Ok(CandidateResponse { results, retention, scheme, generation })
+}
+
+/// Serializes a UTF-8 string payload ([`MSG_RELOAD`] paths, [`MSG_ERROR`]
+/// messages).
+pub fn text_bytes(text: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_bytes(&mut out, text.as_bytes());
+    out
+}
+
+/// Decodes a UTF-8 string payload.
+pub fn parse_text(buf: &[u8]) -> Result<String, ServeError> {
+    let mut r = Reader::new(buf, "text");
+    let text = utf8(r.bytes()?, "text")?.to_owned();
+    r.finish()?;
+    Ok(text)
+}
+
+/// Serializes a [`MSG_OK`] payload (the acknowledged generation).
+pub fn ok_bytes(generation: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, generation);
+    out
+}
+
+/// Decodes a [`MSG_OK`] payload.
+pub fn parse_ok(buf: &[u8]) -> Result<u64, ServeError> {
+    let mut r = Reader::new(buf, "ok");
+    let generation = r.u64()?;
+    r.finish()?;
+    Ok(generation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_payloads_round_trip() {
+        let probe = EntityProfile::new("probe/1").with("name", "jack miller").with("job", "x");
+        let requests = [
+            CandidateRequest::entity(EntityId(42)),
+            CandidateRequest::entity(EntityId(0)).with_retention(Retention::TopK(7)),
+            CandidateRequest::probe(probe, false).with_retention(Retention::AboveMean),
+            CandidateRequest::batch().with_threads(8).with_retention(Retention::TopK(3)),
+        ];
+        for req in requests {
+            let bytes = request_bytes(&req);
+            assert_eq!(parse_request(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_payloads_round_trip() {
+        let response = CandidateResponse {
+            results: vec![
+                Scored {
+                    candidates: vec![
+                        Candidate { id: EntityId(3), weight: 2.5 },
+                        Candidate { id: EntityId(9), weight: 0.125 },
+                    ],
+                    blocks_touched: 4,
+                    edges_scored: 11,
+                },
+                Scored { candidates: vec![], blocks_touched: 0, edges_scored: 0 },
+            ],
+            retention: Retention::TopK(5),
+            scheme: WeightingScheme::Ejs,
+            generation: 17,
+        };
+        let bytes = response_bytes(&response);
+        assert_eq!(parse_response(&bytes).unwrap(), response);
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, MSG_REQUEST, b"payload").unwrap();
+        write_frame(&mut wire, MSG_SHUTDOWN, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap(), (MSG_REQUEST, b"payload".to_vec()));
+        assert_eq!(read_frame(&mut cursor).unwrap(), (MSG_SHUTDOWN, Vec::new()));
+    }
+
+    #[test]
+    fn hello_round_trips_and_rejects_bad_versions() {
+        let mut wire = Vec::new();
+        write_hello(&mut wire, 5).unwrap();
+        assert_eq!(read_hello(&mut std::io::Cursor::new(&wire)).unwrap(), 5);
+
+        let mut wrong_magic = wire.clone();
+        wrong_magic[0] ^= 0xff;
+        assert!(matches!(
+            read_hello(&mut std::io::Cursor::new(&wrong_magic)),
+            Err(ServeError::BadHello)
+        ));
+
+        let mut future = Vec::new();
+        future.extend_from_slice(&WIRE_MAGIC);
+        put_u32(&mut future, WIRE_VERSION + 1);
+        put_u64(&mut future, 1);
+        assert!(matches!(
+            read_hello(&mut std::io::Cursor::new(&future)),
+            Err(ServeError::Handshake { found, supported })
+                if found == WIRE_VERSION + 1 && supported == WIRE_VERSION
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        // A header claiming a 4 GiB payload must error out, not reserve it.
+        let mut head = Vec::new();
+        put_u8(&mut head, MSG_REQUEST);
+        put_u32(&mut head, u32::MAX);
+        put_u64(&mut head, 0);
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(&head)),
+            Err(ServeError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_frame_checksum_is_detected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, MSG_REQUEST, b"payload").unwrap();
+        let last = wire.len() - 1;
+        wire[last] ^= 0x01;
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(&wire)),
+            Err(ServeError::FrameChecksum)
+        ));
+    }
+}

@@ -1,0 +1,147 @@
+//! The typed request/response pair of the online query path.
+//!
+//! One pair of types carries a candidate query end to end: in-process
+//! callers build a [`CandidateRequest`] and hand it to
+//! [`crate::QueryEngine::execute`]; the CLI builds the same struct from its
+//! flags; and the wire protocol serializes it byte for byte (see
+//! [`crate::protocol`]) — the server deserializes into *this* type and
+//! executes it, so there is no parallel wire-side struct to drift from the
+//! engine's.
+//!
+//! Construction is builder-style: [`CandidateRequest::entity`],
+//! [`CandidateRequest::probe`], and [`CandidateRequest::batch`] start a
+//! request, [`CandidateRequest::with_retention`] /
+//! [`CandidateRequest::with_threads`] refine it. A request without an
+//! explicit retention resolves to the engine's
+//! [`crate::QueryEngine::default_retention`] at execution time, so the
+//! builder default tracks the snapshot's pruning configuration.
+
+use er_model::{EntityId, EntityProfile};
+use mb_core::{Retention, Scored, WeightingScheme};
+
+/// What a candidate query targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CandidateTarget {
+    /// Score the neighborhood of one indexed entity.
+    Entity(EntityId),
+    /// Score an *unseen* probe profile against the snapshot vocabulary.
+    Probe {
+        /// The probe's name–value pairs (tokenized like Token Blocking).
+        profile: EntityProfile,
+        /// Which Clean-Clean side the probe belongs to (candidates come
+        /// from the opposite side); ignored for Dirty snapshots.
+        is_first: bool,
+    },
+    /// Score every indexed entity (the offline sweep, served online).
+    Batch,
+}
+
+/// One candidate query, as executed by [`crate::QueryEngine::execute`],
+/// the CLI, and the wire protocol alike.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateRequest {
+    target: CandidateTarget,
+    /// `None` defers to the engine's snapshot-derived default.
+    retention: Option<Retention>,
+    /// Worker threads for [`CandidateTarget::Batch`] (`0` = auto-detect).
+    threads: usize,
+}
+
+impl CandidateRequest {
+    /// A query for the neighborhood of indexed entity `id`.
+    pub fn entity(id: EntityId) -> CandidateRequest {
+        CandidateRequest { target: CandidateTarget::Entity(id), retention: None, threads: 1 }
+    }
+
+    /// A query for an unseen probe `profile` (see
+    /// [`CandidateTarget::Probe`] for `is_first`).
+    pub fn probe(profile: EntityProfile, is_first: bool) -> CandidateRequest {
+        CandidateRequest {
+            target: CandidateTarget::Probe { profile, is_first },
+            retention: None,
+            threads: 1,
+        }
+    }
+
+    /// A query for every indexed entity.
+    pub fn batch() -> CandidateRequest {
+        CandidateRequest { target: CandidateTarget::Batch, retention: None, threads: 1 }
+    }
+
+    /// Overrides the retention rule (the default is the engine's
+    /// [`crate::QueryEngine::default_retention`]).
+    #[must_use]
+    pub fn with_retention(mut self, retention: Retention) -> CandidateRequest {
+        self.retention = Some(retention);
+        self
+    }
+
+    /// Sets the worker-thread count for batch execution (`0` = auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> CandidateRequest {
+        self.threads = threads;
+        self
+    }
+
+    /// The query target.
+    pub fn target(&self) -> &CandidateTarget {
+        &self.target
+    }
+
+    /// The explicit retention override, if any.
+    pub fn retention(&self) -> Option<Retention> {
+        self.retention
+    }
+
+    /// The batch worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// What a [`CandidateRequest`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateResponse {
+    /// One [`Scored`] per queried pivot: a single element for entity and
+    /// probe queries, one per indexed entity (in id order) for batch.
+    pub results: Vec<Scored>,
+    /// The retention rule actually applied (the request's override, or the
+    /// engine default it resolved to).
+    pub retention: Retention,
+    /// The weighting scheme the engine scored with.
+    pub scheme: WeightingScheme,
+    /// The snapshot generation that answered — `0` for a bare in-process
+    /// engine; the server stamps the serving generation's ordinal.
+    pub generation: u64,
+}
+
+impl CandidateResponse {
+    /// The single result of an entity or probe query.
+    ///
+    /// `None` for (possible but unusual) zero-entity batch responses.
+    pub fn first(&self) -> Option<&Scored> {
+        self.results.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_fold_in_defaults() {
+        let r = CandidateRequest::entity(EntityId(3));
+        assert_eq!(r.target(), &CandidateTarget::Entity(EntityId(3)));
+        assert_eq!(r.retention(), None);
+        assert_eq!(r.threads(), 1);
+
+        let r = CandidateRequest::batch().with_retention(Retention::TopK(4)).with_threads(0);
+        assert_eq!(r.target(), &CandidateTarget::Batch);
+        assert_eq!(r.retention(), Some(Retention::TopK(4)));
+        assert_eq!(r.threads(), 0);
+
+        let p = EntityProfile::new("probe").with("text", "jack miller");
+        let r = CandidateRequest::probe(p.clone(), false);
+        assert_eq!(r.target(), &CandidateTarget::Probe { profile: p, is_first: false });
+    }
+}

@@ -1,0 +1,420 @@
+//! The long-running `er serve` candidate server and its typed client.
+//!
+//! A [`Server`] binds a TCP listener, publishes its starting snapshot as
+//! generation 1 through a [`GenerationCell`], and serves each connection on
+//! its own thread. Every connection handler pins the current generation,
+//! builds a [`QueryEngine`] over it, and answers [`CandidateRequest`]s until
+//! the cell's ordinal moves — at which point it drops its pin and rebuilds
+//! over the new generation. Reloads therefore never stall the serving path:
+//! the new snapshot is read and validated *before* the swap, in-flight
+//! queries finish on the generation they started on, and the old snapshot's
+//! memory is released when its last pin drops (see [`crate::GenerationCell`]).
+//!
+//! Reloads arrive two ways: a [`MSG_RELOAD`](crate::protocol::MSG_RELOAD)
+//! control frame from any client, or — for process supervisors that can only
+//! touch the filesystem — a *trigger file*
+//! ([`ServerConfig::trigger_path`]) whose contents name the snapshot to
+//! load; the accept loop polls it between connections, the file-based
+//! stand-in for a SIGHUP handler.
+//!
+//! Shutdown is graceful: [`MSG_SHUTDOWN`](crate::protocol::MSG_SHUTDOWN) (or
+//! [`ServerHandle::shutdown`]) raises the stop flag, the accept loop stops
+//! taking connections and joins every handler thread, and handlers observe
+//! the flag between frames — an in-flight request always completes and its
+//! response is flushed before the connection closes.
+//!
+//! Telemetry: each request executes against a per-request
+//! [`RunReport`], which is folded into a server-wide report
+//! ([`ServerHandle::report`]) counting `requests_served` and the aggregate
+//! `Query` / `SnapshotLoad` stage costs; [`ServerConfig::report_path`]
+//! rewrites the JSON report every [`ServerConfig::report_every`] requests.
+
+use crate::engine::QueryEngine;
+use crate::error::ServeError;
+use crate::generation::GenerationCell;
+use crate::protocol::{
+    ok_bytes, parse_ok, parse_request, parse_response, parse_text, read_frame, read_hello,
+    request_bytes, response_bytes, text_bytes, write_frame, write_hello, MSG_ERROR, MSG_OK,
+    MSG_RELOAD, MSG_REQUEST, MSG_RESPONSE, MSG_SHUTDOWN,
+};
+use crate::request::{CandidateRequest, CandidateResponse};
+use crate::snapshot::Snapshot;
+use mb_observe::RunReport;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the idle accept loop paces its trigger-file and stop-flag polls.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; use port `0` for an ephemeral port (the bound
+    /// address is reported by [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Per-connection read timeout. Doubles as the liveness poll: a blocked
+    /// read wakes at this cadence to notice shutdown and generation swaps,
+    /// and a peer that stalls forever cannot pin a handler thread past it.
+    pub read_timeout: Duration,
+    /// Optional reload trigger file — the filesystem stand-in for SIGHUP.
+    /// Writing a snapshot path into this file makes the accept loop load,
+    /// validate, and swap that snapshot in, then delete the file. A
+    /// snapshot that fails to load is reported in the run report's
+    /// `last_trigger_error` metadata and the old generation keeps serving.
+    pub trigger_path: Option<PathBuf>,
+    /// Optional path the aggregated [`RunReport`] is rewritten to
+    /// periodically.
+    pub report_path: Option<PathBuf>,
+    /// Rewrite [`ServerConfig::report_path`] every this many requests
+    /// (`0` disables periodic writes).
+    pub report_every: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            read_timeout: Duration::from_millis(500),
+            trigger_path: None,
+            report_path: None,
+            report_every: 100,
+        }
+    }
+}
+
+/// State shared by the accept loop, every connection handler, and the
+/// [`ServerHandle`].
+struct Shared {
+    cell: GenerationCell,
+    stop: AtomicBool,
+    report: Mutex<RunReport>,
+    requests: AtomicU64,
+    config: ServerConfig,
+}
+
+impl Shared {
+    /// Folds a per-request report into the server-wide one and flushes the
+    /// JSON report if the request count crossed a reporting boundary.
+    fn note_request(&self, local: &RunReport) {
+        let mut report = self.report.lock().unwrap_or_else(PoisonError::into_inner);
+        report.absorb(local);
+        let served = self.requests.fetch_add(1, Ordering::SeqCst) + 1;
+        report.set_meta("requests", served.to_string());
+        report.set_meta("generation", self.cell.ordinal().to_string());
+        if self.config.report_every > 0 && served % self.config.report_every == 0 {
+            if let Some(path) = &self.config.report_path {
+                // Best-effort: a full disk must not take down serving.
+                let _ = report.write_to(path);
+            }
+        }
+    }
+
+    /// Checks the trigger file and swaps in the snapshot it names, if any.
+    fn poll_trigger(&self) {
+        let Some(trigger) = &self.config.trigger_path else { return };
+        let Ok(text) = std::fs::read_to_string(trigger) else { return };
+        let path = text.trim();
+        if path.is_empty() {
+            return;
+        }
+        // Consume the trigger first so a broken snapshot is not retried in
+        // a tight loop.
+        let _ = std::fs::remove_file(trigger);
+        let mut local = RunReport::new("serve/trigger-reload");
+        match Snapshot::read_from(Path::new(path), &mut local) {
+            Ok(snapshot) => {
+                let ordinal = self.cell.swap(snapshot);
+                let mut report = self.report.lock().unwrap_or_else(PoisonError::into_inner);
+                report.absorb(&local);
+                report.set_meta("generation", ordinal.to_string());
+            }
+            Err(e) => {
+                let mut report = self.report.lock().unwrap_or_else(PoisonError::into_inner);
+                report.set_meta("last_trigger_error", e.to_string());
+            }
+        }
+    }
+}
+
+/// The online candidate server. See the [module docs](crate::server) for the
+/// serving model; [`Server::start`] is the only entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr`, publishes `snapshot` as generation 1, and starts
+    /// the accept loop on a background thread.
+    ///
+    /// Returns once the listener is bound; the handle exposes the bound
+    /// address, in-process generation swaps, the aggregated telemetry, and
+    /// graceful shutdown. Dropping the handle also shuts the server down.
+    pub fn start(snapshot: Snapshot, config: ServerConfig) -> Result<ServerHandle, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cell: GenerationCell::new(snapshot),
+            stop: AtomicBool::new(false),
+            report: Mutex::new(RunReport::new("serve")),
+            requests: AtomicU64::new(0),
+            config,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
+        Ok(ServerHandle { shared, addr, accept: Some(accept) })
+    }
+}
+
+/// Accepts connections until the stop flag rises, then drains: every
+/// connection handler is joined before this returns, so in-flight requests
+/// complete and flush.
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(shared);
+                workers.push(std::thread::spawn(move || {
+                    // Handler errors are the peer's problem (it got a
+                    // MSG_ERROR or vanished); the server keeps serving.
+                    let _ = handle_connection(stream, &conn_shared);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                shared.poll_trigger();
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+        workers.retain(|w| !w.is_finished());
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    if let Some(path) = &shared.config.report_path {
+        let report = shared.report.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = report.write_to(path);
+    }
+}
+
+/// Serves one connection: hello, then frames until disconnect, shutdown, or
+/// a protocol violation (which is answered with [`MSG_ERROR`] and closes the
+/// connection — a hostile peer can only ever produce a typed error).
+fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeError> {
+    // Accepted sockets inherit the listener's non-blocking mode; handlers
+    // want blocking reads bounded by the configured timeout. Frames are
+    // small and the protocol is strictly request/response, so Nagle's
+    // algorithm only adds delayed-ACK stalls — disable it.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(shared.config.read_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut stream = stream;
+    write_hello(&mut stream, shared.cell.ordinal())?;
+    'generation: loop {
+        // Pin the current generation and build an engine over it. The pin
+        // keeps this generation's snapshot alive across swaps; the inner
+        // loop re-checks the cell's ordinal between frames and rebuilds
+        // when a swap happened.
+        let generation = shared.cell.load();
+        let mut engine = QueryEngine::new(generation.snapshot());
+        loop {
+            if shared.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            if shared.cell.ordinal() != generation.ordinal() {
+                continue 'generation;
+            }
+            let (kind, payload) = match read_frame(&mut stream) {
+                Ok(frame) => frame,
+                Err(ServeError::Io(e))
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                {
+                    // Idle past the read timeout: loop to re-check the stop
+                    // flag and the serving generation.
+                    continue;
+                }
+                Err(ServeError::Disconnected) => return Ok(()),
+                Err(e) => {
+                    let _ = write_frame(&mut stream, MSG_ERROR, &text_bytes(&e.to_string()));
+                    return Err(e);
+                }
+            };
+            match kind {
+                MSG_REQUEST => {
+                    let mut local = RunReport::new("serve/request");
+                    let outcome = parse_request(&payload)
+                        .and_then(|request| engine.execute(&request, &mut local));
+                    match outcome {
+                        Ok(mut response) => {
+                            response.generation = generation.ordinal();
+                            write_frame(&mut stream, MSG_RESPONSE, &response_bytes(&response))?;
+                        }
+                        Err(e) => {
+                            write_frame(&mut stream, MSG_ERROR, &text_bytes(&e.to_string()))?;
+                        }
+                    }
+                    shared.note_request(&local);
+                }
+                MSG_RELOAD => {
+                    let mut local = RunReport::new("serve/reload");
+                    let loaded = parse_text(&payload).and_then(|path| {
+                        Snapshot::read_from(Path::new(&path), &mut local)
+                            .map_err(|e| ServeError::Reload(Box::new(e)))
+                    });
+                    match loaded {
+                        Ok(snapshot) => {
+                            let ordinal = shared.cell.swap(snapshot);
+                            {
+                                let mut report =
+                                    shared.report.lock().unwrap_or_else(PoisonError::into_inner);
+                                report.absorb(&local);
+                                report.set_meta("generation", ordinal.to_string());
+                            }
+                            write_frame(&mut stream, MSG_OK, &ok_bytes(ordinal))?;
+                            continue 'generation;
+                        }
+                        Err(e) => {
+                            write_frame(&mut stream, MSG_ERROR, &text_bytes(&e.to_string()))?;
+                        }
+                    }
+                }
+                MSG_SHUTDOWN => {
+                    shared.stop.store(true, Ordering::SeqCst);
+                    let _ = write_frame(&mut stream, MSG_OK, &ok_bytes(generation.ordinal()));
+                    return Ok(());
+                }
+                other => {
+                    let e = ServeError::UnknownMessage { kind: other };
+                    let _ = write_frame(&mut stream, MSG_ERROR, &text_bytes(&e.to_string()));
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// A running server: the bound address, in-process control, and shutdown.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving generation's ordinal.
+    pub fn generation(&self) -> u64 {
+        self.shared.cell.ordinal()
+    }
+
+    /// Swaps `snapshot` in as the next generation without going over the
+    /// wire; returns the new ordinal. Same semantics as a client reload.
+    pub fn swap(&self, snapshot: Snapshot) -> u64 {
+        self.shared.cell.swap(snapshot)
+    }
+
+    /// A copy of the aggregated telemetry so far.
+    pub fn report(&self) -> RunReport {
+        self.shared.report.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Stops accepting, drains every in-flight connection, and returns the
+    /// final telemetry report.
+    pub fn shutdown(mut self) -> RunReport {
+        self.stop_and_join();
+        self.report()
+    }
+
+    /// Blocks until the server stops on its own — i.e. until some client
+    /// sends [`MSG_SHUTDOWN`](crate::protocol::MSG_SHUTDOWN) — and returns
+    /// the final telemetry report. The `er serve` verb parks on this.
+    pub fn wait(mut self) -> RunReport {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.report()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// A blocking client for the wire protocol — the same typed
+/// [`CandidateRequest`] / [`CandidateResponse`] pair the in-process API
+/// uses, serialized per [`crate::protocol`].
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    generation: u64,
+}
+
+impl Client {
+    /// Connects, validates the server hello, and records the generation the
+    /// server greeted with.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let mut stream = TcpStream::connect(addr)?;
+        // Request frames are small; Nagle would serialize every round trip
+        // behind the peer's delayed ACK.
+        stream.set_nodelay(true)?;
+        let generation = read_hello(&mut stream)?;
+        Ok(Client { stream, generation })
+    }
+
+    /// The generation the server announced at connect time (responses carry
+    /// the generation that actually answered, which may be newer).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Executes `request` on the server and returns its typed response.
+    ///
+    /// Server-side failures (malformed request, entity out of range, …)
+    /// come back as [`ServeError::Remote`].
+    pub fn execute(&mut self, request: &CandidateRequest) -> Result<CandidateResponse, ServeError> {
+        write_frame(&mut self.stream, MSG_REQUEST, &request_bytes(request))?;
+        match read_frame(&mut self.stream)? {
+            (MSG_RESPONSE, payload) => parse_response(&payload),
+            (MSG_ERROR, payload) => Err(ServeError::Remote(parse_text(&payload)?)),
+            (kind, _) => Err(ServeError::UnknownMessage { kind }),
+        }
+    }
+
+    /// Asks the server to load the snapshot at `path` (a path on the
+    /// *server's* filesystem) and swap it in; returns the new generation.
+    pub fn reload(&mut self, path: &str) -> Result<u64, ServeError> {
+        write_frame(&mut self.stream, MSG_RELOAD, &text_bytes(path))?;
+        match read_frame(&mut self.stream)? {
+            (MSG_OK, payload) => parse_ok(&payload),
+            (MSG_ERROR, payload) => Err(ServeError::Remote(parse_text(&payload)?)),
+            (kind, _) => Err(ServeError::UnknownMessage { kind }),
+        }
+    }
+
+    /// Asks the server to drain and stop; returns the final generation.
+    pub fn shutdown(mut self) -> Result<u64, ServeError> {
+        write_frame(&mut self.stream, MSG_SHUTDOWN, &[])?;
+        match read_frame(&mut self.stream)? {
+            (MSG_OK, payload) => parse_ok(&payload),
+            (MSG_ERROR, payload) => Err(ServeError::Remote(parse_text(&payload)?)),
+            (kind, _) => Err(ServeError::UnknownMessage { kind }),
+        }
+    }
+}

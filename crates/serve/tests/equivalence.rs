@@ -11,7 +11,7 @@ use mb_core::weights::EdgeWeigher;
 use mb_core::{
     GraphContext, Noop, PipelineConfig, Retention, Scored, WeightingImpl, WeightingScheme,
 };
-use mb_serve::{QueryEngine, Snapshot};
+use mb_serve::{CandidateRequest, QueryEngine, Snapshot};
 
 const SCHEMES: [WeightingScheme; 5] = [
     WeightingScheme::Arcs,
@@ -55,6 +55,19 @@ fn sorted_ids(scored: &Scored) -> Vec<u32> {
     ids
 }
 
+/// Executes a typed request and returns its results.
+fn run(engine: &mut QueryEngine<'_>, request: CandidateRequest) -> Vec<Scored> {
+    engine.execute(&request, &mut Noop).unwrap().results
+}
+
+/// Executes a single-pivot request (entity or probe) and unwraps its one
+/// result.
+fn run_one(engine: &mut QueryEngine<'_>, request: CandidateRequest) -> Scored {
+    let mut results = run(engine, request);
+    assert_eq!(results.len(), 1);
+    results.remove(0)
+}
+
 fn assert_engine_matches_batch(snapshot: &Snapshot, label: &str) {
     for scheme in SCHEMES {
         let mut engine = QueryEngine::with_scheme(snapshot, scheme);
@@ -64,7 +77,10 @@ fn assert_engine_matches_batch(snapshot: &Snapshot, label: &str) {
         });
         let top_k = Retention::TopK(snapshot.cnp_threshold());
         for pivot in 0..snapshot.num_entities() {
-            let scored = engine.query(EntityId(pivot as u32), top_k, &mut Noop);
+            let scored = run_one(
+                &mut engine,
+                CandidateRequest::entity(EntityId(pivot as u32)).with_retention(top_k),
+            );
             assert_eq!(
                 sorted_ids(&scored),
                 by_cnp[pivot],
@@ -76,7 +92,11 @@ fn assert_engine_matches_batch(snapshot: &Snapshot, label: &str) {
             wnp(ctx, weigher, WeightingImpl::Optimized, &mut Noop, sink)
         });
         for pivot in 0..snapshot.num_entities() {
-            let scored = engine.query(EntityId(pivot as u32), Retention::AboveMean, &mut Noop);
+            let scored = run_one(
+                &mut engine,
+                CandidateRequest::entity(EntityId(pivot as u32))
+                    .with_retention(Retention::AboveMean),
+            );
             assert_eq!(
                 sorted_ids(&scored),
                 by_wnp[pivot],
@@ -103,13 +123,21 @@ fn batch_is_identical_across_thread_counts_and_to_single_queries() {
             let mut engine = QueryEngine::with_scheme(&snapshot, scheme);
             let retention = Retention::TopK(snapshot.cnp_threshold());
             let singles: Vec<Scored> = (0..snapshot.num_entities())
-                .map(|pivot| engine.query(EntityId(pivot as u32), retention, &mut Noop))
+                .map(|pivot| {
+                    run_one(
+                        &mut engine,
+                        CandidateRequest::entity(EntityId(pivot as u32)).with_retention(retention),
+                    )
+                })
                 .collect();
-            let baseline = engine.batch(retention, 1, &mut Noop);
+            let baseline = run(&mut engine, CandidateRequest::batch().with_retention(retention));
             assert_eq!(baseline, singles, "{label}/{scheme:?}: batch(1) != single queries");
             for threads in [2, 4] {
                 assert_eq!(
-                    engine.batch(retention, threads, &mut Noop),
+                    run(
+                        &mut engine,
+                        CandidateRequest::batch().with_retention(retention).with_threads(threads)
+                    ),
                     baseline,
                     "{label}/{scheme:?}: batch({threads}) diverged"
                 );
@@ -134,8 +162,11 @@ fn probing_an_indexed_entitys_profile_finds_its_batch_neighbors() {
     let mut engine = QueryEngine::with_scheme(&snapshot, WeightingScheme::Cbs);
     let keep_all = Retention::TopK(usize::MAX);
     for (id, profile) in collection.iter() {
-        let queried = engine.query(id, keep_all, &mut Noop);
-        let probed = engine.probe(profile, true, keep_all, &mut Noop);
+        let queried = run_one(&mut engine, CandidateRequest::entity(id).with_retention(keep_all));
+        let probed = run_one(
+            &mut engine,
+            CandidateRequest::probe(profile.clone(), true).with_retention(keep_all),
+        );
         let mut expected = sorted_ids(&queried);
         if !queried.candidates.is_empty() {
             expected.push(id.0);
@@ -159,4 +190,22 @@ fn default_retention_follows_the_configured_pruning_scheme() {
     let weighted = Snapshot::build(&collection, PipelineConfig::default()).unwrap();
     let engine = QueryEngine::new(&weighted);
     assert_eq!(engine.default_retention(), Retention::AboveMean);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_match_the_typed_api() {
+    // The positional entry points stay as thin shims for one release; they
+    // must answer exactly like a CandidateRequest, and a request without an
+    // explicit retention must resolve to the engine default.
+    let snapshot = dirty_snapshot();
+    let mut engine = QueryEngine::new(&snapshot);
+    let retention = engine.default_retention();
+    let via_shim = engine.query(EntityId(0), retention, &mut Noop);
+    let via_typed = run_one(&mut engine, CandidateRequest::entity(EntityId(0)));
+    assert_eq!(via_shim, via_typed);
+
+    let shim_batch = engine.batch(retention, 2, &mut Noop);
+    let typed_batch = run(&mut engine, CandidateRequest::batch().with_threads(2));
+    assert_eq!(shim_batch, typed_batch);
 }

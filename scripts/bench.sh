@@ -8,7 +8,9 @@
 # and validates the shape of the BENCH_pipeline.json it writes, plus the
 # serving-layer query-latency bench (snapshot load ms, single-query
 # percentiles, batch throughput at 1/2/4/8 threads) which writes and
-# validates BENCH_query.json the same way.
+# validates BENCH_query.json the same way, and the online-serving bench
+# (wire round-trip p50/p99 + q/s against a live `er serve` instance,
+# client-visible reload pause) which writes and validates BENCH_serve.json.
 #
 # Writes BENCH_pruning.json at the repository root — scheme x threads x
 # wall-ms records plus the machine's detected core count — so the scaling
@@ -31,6 +33,10 @@ cargo run -q -p er-bench --bin validate_pipeline_json -- BENCH_pipeline.json
 echo "==> query-latency bench (writes BENCH_query.json)"
 BENCH_OUT="" cargo bench -p er-bench --bench query_latency
 cargo run -q -p er-bench --bin validate_query_json -- BENCH_query.json
+
+echo "==> online-serving bench (writes BENCH_serve.json)"
+BENCH_OUT="" cargo bench -p er-bench --bench serve_throughput
+cargo run -q -p er-bench --bin validate_serve_json -- BENCH_serve.json
 
 echo "==> pruning-scaling bench (writes ${BENCH_OUT:-BENCH_pruning.json})"
 cargo bench -p er-bench --bench pruning_scaling

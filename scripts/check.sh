@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # The full local gate, in dependency order: style, compile, lint, tests,
 # then a serving-layer smoke: generate a tiny bundle, freeze it into a
-# snapshot, re-load it (full checksum + invariant validation) and query it.
+# snapshot, re-load it (full checksum + invariant validation) and query it,
+# then an online-serving smoke: `er serve` on an ephemeral port, query it
+# over the wire, hot-reload a second snapshot with zero downtime, re-query,
+# and drain it with `er client shutdown`.
 # ROADMAP.md's tier-1 verify line is the `build` + `test` subset; this script
 # is the superset a change should pass before review.
 #
@@ -44,6 +47,26 @@ cargo run -q --release -p er-cli -- snapshot build --dataset "$SMOKE_DIR" \
 cargo run -q --release -p er-cli -- snapshot inspect --snapshot "$SMOKE_DIR/index.mbsnap"
 cargo run -q --release -p er-cli -- query --snapshot "$SMOKE_DIR/index.mbsnap" \
   --entity 0 --top 5
+
+echo "==> online-serving smoke (er serve + er client query/reload/shutdown)"
+cargo run -q --release -p er-cli -- snapshot build --dataset "$SMOKE_DIR" \
+  --out "$SMOKE_DIR/index2.mbsnap" --scheme js --pruning cnp --filter 0.8
+cargo run -q --release -p er-cli -- serve --snapshot "$SMOKE_DIR/index.mbsnap" \
+  --port-file "$SMOKE_DIR/port" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  if [ -s "$SMOKE_DIR/port" ]; then ADDR="$(cat "$SMOKE_DIR/port")"; break; fi
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "er serve never wrote its port file" >&2; exit 1; }
+cargo run -q --release -p er-cli -- client query --addr "$ADDR" --entity 0 --top 5
+cargo run -q --release -p er-cli -- client reload --addr "$ADDR" \
+  --snapshot "$SMOKE_DIR/index2.mbsnap"
+cargo run -q --release -p er-cli -- client query --addr "$ADDR" --entity 0 --top 5 \
+  | grep -q "generation 2" || { echo "reload did not advance the generation" >&2; exit 1; }
+cargo run -q --release -p er-cli -- client shutdown --addr "$ADDR"
+wait "$SERVE_PID"
 
 if [ "$BENCH_SMOKE" -eq 1 ]; then
   echo "==> cargo bench -p er-bench --no-run (bench smoke)"
