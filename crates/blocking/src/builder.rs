@@ -79,48 +79,70 @@ impl KeyBlockBuilder {
     /// A serving index persists both so an online probe can resolve its
     /// tokens straight to block ids without re-running blocking.
     pub fn finish_keyed(mut self) -> (BlockCollection, Vec<u32>, TokenInterner) {
-        let mut keys = Vec::new();
         self.postings.sort_unstable();
         self.postings.dedup();
-        let mut out = BlockCollectionBuilder::with_capacity(
+        let (blocks, keys) = blocks_from_sorted_postings(
             self.kind,
             self.num_entities,
+            self.split,
             self.interner.len(),
             self.postings.len(),
+            self.postings.iter().copied(),
         );
-        let mut i = 0;
-        while i < self.postings.len() {
-            let key = self.postings[i].0;
-            let mut j = i + 1;
-            while j < self.postings.len() && self.postings[j].0 == key {
-                j += 1;
-            }
-            let group = &self.postings[i..j];
-            i = j;
-            match self.kind {
-                ErKind::Dirty => {
-                    if group.len() < 2 {
-                        continue;
-                    }
+        (blocks, keys, self.interner)
+    }
+}
+
+/// Groups an already-sorted, deduplicated `(key_id, entity)` posting stream
+/// into a [`BlockCollection`], keeping only blocks that entail at least one
+/// comparison (≥2 members for Dirty ER, ≥1 member from each collection for
+/// Clean-Clean ER), plus the key id of every emitted block.
+///
+/// This is the single block-emission path: [`KeyBlockBuilder::finish_keyed`]
+/// feeds it the in-memory sorted postings, and an out-of-core builder can
+/// feed it a k-way merge over spilled runs — both produce bit-identical
+/// collections because the grouping logic is shared, not mirrored.
+///
+/// The stream must be sorted by `(key_id, entity)` with no duplicate pairs;
+/// `estimated_postings` only sizes the arena's initial allocation.
+pub fn blocks_from_sorted_postings(
+    kind: ErKind,
+    num_entities: usize,
+    split: usize,
+    num_keys: usize,
+    estimated_postings: usize,
+    postings: impl Iterator<Item = (u32, EntityId)>,
+) -> (BlockCollection, Vec<u32>) {
+    let mut keys = Vec::new();
+    let mut out =
+        BlockCollectionBuilder::with_capacity(kind, num_entities, num_keys, estimated_postings);
+    // One key's members, buffered so under-threshold groups can be dropped
+    // without touching the arena. Bounded by the largest block, not the
+    // posting count.
+    let mut group: Vec<EntityId> = Vec::new();
+    let mut current: Option<u32> = None;
+    let mut flush = |key: u32, group: &mut Vec<EntityId>| {
+        match kind {
+            ErKind::Dirty => {
+                if group.len() >= 2 {
                     out.begin();
-                    for &(_, e) in group {
+                    for &e in group.iter() {
                         out.push_left(e);
                     }
                     out.commit();
                     keys.push(key);
                 }
-                ErKind::CleanClean => {
-                    // Members are sorted by id, so one partition point
-                    // separates the E₁ (id < split) and E₂ sides.
-                    let cut = group.partition_point(|&(_, e)| e.idx() < self.split);
-                    if cut == 0 || cut == group.len() {
-                        continue;
-                    }
+            }
+            ErKind::CleanClean => {
+                // Members arrive sorted by id, so one partition point
+                // separates the E₁ (id < split) and E₂ sides.
+                let cut = group.partition_point(|e| e.idx() < split);
+                if cut > 0 && cut < group.len() {
                     out.begin();
-                    for &(_, e) in &group[..cut] {
+                    for &e in &group[..cut] {
                         out.push_left(e);
                     }
-                    for &(_, e) in &group[cut..] {
+                    for &e in &group[cut..] {
                         out.push_right(e);
                     }
                     out.commit();
@@ -128,8 +150,22 @@ impl KeyBlockBuilder {
                 }
             }
         }
-        (out.finish(), keys, self.interner)
+        group.clear();
+    };
+    for (key, entity) in postings {
+        if current != Some(key) {
+            if let Some(prev) = current {
+                flush(prev, &mut group);
+            }
+            current = Some(key);
+        }
+        group.push(entity);
     }
+    if let Some(prev) = current {
+        flush(prev, &mut group);
+    }
+    drop(flush);
+    (out.finish(), keys)
 }
 
 #[cfg(test)]

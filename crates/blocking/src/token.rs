@@ -40,6 +40,39 @@ impl TokenBlocking {
         self.fill(collection).finish_keyed()
     }
 
+    /// Streams every `(interned token id, entity)` assignment to `sink`
+    /// instead of accumulating it, and returns the interner.
+    ///
+    /// Tokenization, interning order and assignment order are *exactly*
+    /// those of [`TokenBlocking::build_keyed`] — this is the same extraction
+    /// pass with a different posting destination — so a caller that sorts,
+    /// deduplicates and regroups the stream (e.g. through external spill
+    /// files) reproduces `build_keyed`'s block collection bit for bit. Only
+    /// the vocabulary stays resident; the postings never accumulate here.
+    pub fn stream_postings(
+        &self,
+        collection: &EntityCollection,
+        sink: &mut dyn FnMut(u32, er_model::EntityId),
+    ) -> TokenInterner {
+        let mut interner = TokenInterner::new();
+        let mut scratch = KeyScratch::new();
+        for (id, profile) in collection.iter() {
+            scratch.clear();
+            for v in profile.values() {
+                for raw in raw_tokens(v) {
+                    let start = scratch.begin();
+                    scratch.push_lowercase(raw);
+                    scratch.commit(start);
+                }
+            }
+            scratch.sort_dedup();
+            for t in scratch.iter() {
+                sink(interner.intern(t), id);
+            }
+        }
+        interner
+    }
+
     /// The shared token-extraction pass behind both build flavors.
     fn fill(&self, collection: &EntityCollection) -> KeyBlockBuilder {
         let mut builder = KeyBlockBuilder::new(collection);

@@ -12,7 +12,8 @@ use mb_core::{
 };
 use mb_observe::{Progress, RunReport, Tee};
 use mb_serve::{
-    CandidateRequest, CandidateResponse, Client, QueryEngine, Server, ServerConfig, Snapshot,
+    CandidateRequest, CandidateResponse, Client, OutOfCoreConfig, QueryEngine, Server,
+    ServerConfig, Snapshot, SnapshotHeader, SnapshotView,
 };
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -55,6 +56,7 @@ pub fn generate(args: &Args) -> Result<String, String> {
         "d1c" => er_datagen::presets::d1c(seed),
         "d2c" => er_datagen::presets::d2c(seed),
         "d3c" => er_datagen::presets::d3c(seed, 1.0),
+        "xl" => er_datagen::presets::xl(seed),
         other => return Err(format!("unknown preset `{other}`")),
     };
     if scale < 1.0 {
@@ -264,9 +266,25 @@ pub fn snapshot(args: &Args) -> Result<String, String> {
 }
 
 /// `er snapshot build`: freeze Token Blocking (+ optional Block Filtering)
-/// over a bundle into a versioned snapshot file.
+/// over a bundle into a versioned snapshot file. With `--out-of-core` the
+/// posting sort runs through bounded-memory spill files
+/// ([`Snapshot::build_out_of_core`]) — bit-identical output, RAM bounded by
+/// `--spill-budget-mb` instead of the posting count.
 fn snapshot_build(args: &Args) -> Result<String, String> {
-    check_options(args, &["dataset", "out", "scheme", "pruning", "filter", "threads"])?;
+    check_options(
+        args,
+        &[
+            "dataset",
+            "out",
+            "scheme",
+            "pruning",
+            "filter",
+            "threads",
+            "out-of-core",
+            "spill-budget-mb",
+            "spill-dir",
+        ],
+    )?;
     let bundle = load_bundle(args)?;
     let out = args.require("out")?;
     let weighting: WeightingScheme = args.get("scheme").unwrap_or("js").parse()?;
@@ -278,7 +296,16 @@ fn snapshot_build(args: &Args) -> Result<String, String> {
     let threads: usize = args.get_parsed("threads", 1)?;
     let config =
         PipelineConfig { weighting, pruning, filter_ratio, threads, ..PipelineConfig::default() };
-    let snapshot = Snapshot::build(&bundle.collection, config).map_err(|e| e.to_string())?;
+    let snapshot = if args.flag("out-of-core") {
+        let mut ooc = OutOfCoreConfig::with_budget_mb(args.get_parsed("spill-budget-mb", 256)?);
+        ooc.temp_dir = args.get("spill-dir").map(PathBuf::from);
+        Snapshot::build_out_of_core(&bundle.collection, config, &ooc).map_err(|e| e.to_string())?
+    } else {
+        if args.get("spill-budget-mb").is_some() || args.get("spill-dir").is_some() {
+            return Err("--spill-budget-mb/--spill-dir require --out-of-core".into());
+        }
+        Snapshot::build(&bundle.collection, config).map_err(|e| e.to_string())?
+    };
     snapshot.write_to(Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
     Ok(format!(
         "wrote {out}: {:?} ER, {} entities, {} blocks, {} comparisons, {} tokens\n",
@@ -290,15 +317,37 @@ fn snapshot_build(args: &Args) -> Result<String, String> {
     ))
 }
 
-/// `er snapshot inspect`: load (and thereby fully validate) a snapshot and
-/// print its header, sizes, thresholds and pipeline configuration.
+/// `er snapshot inspect`: print a snapshot's header and section table from
+/// the first few hundred bytes of the file — O(1) in the snapshot size, no
+/// payload is read or decoded. `--full` additionally loads and fully
+/// validates the snapshot and prints its sizes, thresholds and pipeline
+/// configuration.
 fn snapshot_inspect(args: &Args) -> Result<String, String> {
-    check_options(args, &["snapshot"])?;
+    check_options(args, &["snapshot", "full"])?;
     let path = args.require("snapshot")?;
+    let header =
+        SnapshotHeader::read_from(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "format version:     {}", header.version);
+    let _ = writeln!(out, "file size:          {} bytes", header.file_len);
+    let _ = writeln!(out, "sections:           {}", header.sections.len());
+    let _ = writeln!(
+        out,
+        "  {:>2} {:<12} {:>12} {:>12} {:>12}  {}",
+        "id", "name", "offset", "bytes", "padded", "checksum"
+    );
+    for s in &header.sections {
+        let _ = writeln!(
+            out,
+            "  {:>2} {:<12} {:>12} {:>12} {:>12}  {:016x}",
+            s.id, s.name, s.offset, s.len, s.padded_len, s.checksum
+        );
+    }
+    if !args.flag("full") {
+        return Ok(out);
+    }
     let snapshot = Snapshot::read_from(Path::new(path), &mut Noop)
         .map_err(|e| format!("loading {path}: {e}"))?;
-    let mut out = String::new();
-    let _ = writeln!(out, "format version:     {}", mb_serve::FORMAT_VERSION);
     let _ = writeln!(out, "kind:               {:?} ER", snapshot.kind());
     let _ = writeln!(out, "entities:           {}", snapshot.num_entities());
     let _ = writeln!(out, "split:              {}", snapshot.split());
@@ -372,24 +421,62 @@ fn render_candidates(out: &mut String, subject: &str, response: &CandidateRespon
 
 /// `er query`: load a snapshot and answer one candidate query — for an
 /// indexed entity (`--entity`) or an unseen probe profile (`--text`).
+///
+/// `--zero-copy` loads through [`SnapshotView`] (alignment-checked borrows
+/// instead of a deep decode); `--shards N` fans entity queries over N
+/// entity-range shards on `--shard-threads` workers. Answers are
+/// bit-identical across all of these.
 pub fn query(args: &Args) -> Result<String, String> {
     check_options(
         args,
-        &["snapshot", "entity", "text", "side", "top", "retention", "scheme", "report"],
+        &[
+            "snapshot",
+            "entity",
+            "text",
+            "side",
+            "top",
+            "retention",
+            "scheme",
+            "report",
+            "zero-copy",
+            "shards",
+            "shard-threads",
+        ],
     )?;
     let path = args.require("snapshot")?;
+    let shards: usize = args.get_parsed("shards", 1)?;
+    let shard_threads: usize = args.get_parsed("shard-threads", 1)?;
     let report_path = args.get("report");
     let mut report = RunReport::new("er-query");
     let mut noop = Noop;
     let obs: &mut dyn Observer = if report_path.is_some() { &mut report } else { &mut noop };
-    let snapshot =
-        Snapshot::read_from(Path::new(path), obs).map_err(|e| format!("loading {path}: {e}"))?;
-    let scheme: WeightingScheme = match args.get("scheme") {
-        Some(s) => s.parse()?,
-        None => snapshot.config().weighting,
-    };
-    let mut engine = QueryEngine::with_scheme(&snapshot, scheme);
     let (request, subject) = candidate_request(args)?;
+
+    // Both storage flavors drive the same engine; only the load differs.
+    let owned;
+    let view;
+    let scheme: WeightingScheme;
+    let mut engine = if args.flag("zero-copy") {
+        view = SnapshotView::read_from(Path::new(path), obs)
+            .map_err(|e| format!("loading {path}: {e}"))?;
+        scheme = match args.get("scheme") {
+            Some(s) => s.parse()?,
+            None => view.config().weighting,
+        };
+        QueryEngine::view_with_scheme(&view, scheme)
+    } else {
+        owned = Snapshot::read_from(Path::new(path), obs)
+            .map_err(|e| format!("loading {path}: {e}"))?;
+        scheme = match args.get("scheme") {
+            Some(s) => s.parse()?,
+            None => owned.config().weighting,
+        };
+        QueryEngine::with_scheme(&owned, scheme)
+    };
+    if shards > 1 {
+        engine = engine.with_shards(shards, shard_threads.max(1));
+    }
+    let (kind, entities) = (engine.kind(), engine.num_entities());
     let response = engine.execute(&request, obs).map_err(|e| e.to_string())?;
     if let Some(p) = report_path {
         report.set_meta("snapshot", path);
@@ -397,13 +484,7 @@ pub fn query(args: &Args) -> Result<String, String> {
         report.write_to(p.as_ref()).map_err(|e| format!("writing {p}: {e}"))?;
     }
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "snapshot:   {path} ({:?} ER, {} entities, {} blocks)",
-        snapshot.kind(),
-        snapshot.num_entities(),
-        snapshot.blocks().size()
-    );
+    let _ = writeln!(out, "snapshot:   {path} ({kind:?} ER, {entities} entities)");
     render_candidates(&mut out, &subject, &response);
     Ok(out)
 }
@@ -413,15 +494,31 @@ pub fn query(args: &Args) -> Result<String, String> {
 /// `--port-file` (for supervisors that asked for an ephemeral port) and
 /// polls `--trigger` for file-based reloads.
 pub fn serve(args: &Args) -> Result<String, String> {
-    check_options(args, &["snapshot", "addr", "port-file", "trigger", "report", "report-every"])?;
+    check_options(
+        args,
+        &[
+            "snapshot",
+            "addr",
+            "port-file",
+            "trigger",
+            "report",
+            "report-every",
+            "shards",
+            "shard-threads",
+        ],
+    )?;
     let path = args.require("snapshot")?;
-    let snapshot = Snapshot::read_from(Path::new(path), &mut Noop)
+    // The initial load takes the same zero-copy path as reloads: one
+    // validation pass, sections borrowed from the loaded buffer.
+    let snapshot = SnapshotView::read_from(Path::new(path), &mut Noop)
         .map_err(|e| format!("loading {path}: {e}"))?;
     let config = ServerConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:0").to_owned(),
         trigger_path: args.get("trigger").map(PathBuf::from),
         report_path: args.get("report").map(PathBuf::from),
         report_every: args.get_parsed("report-every", 100u64)?,
+        shards: args.get_parsed("shards", 1)?,
+        shard_threads: args.get_parsed("shard-threads", 1)?,
         ..ServerConfig::default()
     };
     let handle = Server::start(snapshot, config).map_err(|e| e.to_string())?;
@@ -652,11 +749,20 @@ mod tests {
         .unwrap();
         assert!(msg.contains("wrote"), "{msg}");
 
+        // Plain inspect is the header-only fast path: version, file size
+        // and the section table, nothing decoded.
         let info = snapshot(&argv(&["snapshot", "inspect", "--snapshot", snap_s])).unwrap();
-        assert!(info.contains("format version:     1"), "{info}");
-        assert!(info.contains("CleanClean ER"), "{info}");
-        assert!(info.contains("CNP threshold"), "{info}");
-        assert!(info.contains("\"weighting\":\"cbs\""), "{info}");
+        assert!(info.contains("format version:     2"), "{info}");
+        assert!(info.contains("file size:"), "{info}");
+        assert!(info.contains("tokblob"), "{info}");
+        assert!(!info.contains("CNP threshold"), "{info}");
+
+        let full =
+            snapshot(&argv(&["snapshot", "inspect", "--snapshot", snap_s, "--full"])).unwrap();
+        assert!(full.contains("format version:     2"), "{full}");
+        assert!(full.contains("CleanClean ER"), "{full}");
+        assert!(full.contains("CNP threshold"), "{full}");
+        assert!(full.contains("\"weighting\":\"cbs\""), "{full}");
 
         let report = dir.join("query.json");
         let q = query(&argv(&[
@@ -683,6 +789,98 @@ mod tests {
             query(&argv(&["query", "--snapshot", snap_s, "--text", "record alpha", "--side", "2"]))
                 .unwrap();
         assert!(p.contains("probe \"record alpha\""), "{p}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_core_build_and_zero_copy_query_match_the_defaults() {
+        let dir = temp_dir("ooc");
+        let dir_s = dir.to_str().unwrap();
+        generate(&argv(&["generate", "--preset", "tiny", "--out", dir_s, "--scale", "0.5"]))
+            .unwrap();
+        let in_mem = dir.join("in-mem.mbsnap");
+        let ooc = dir.join("ooc.mbsnap");
+        snapshot(&argv(&[
+            "snapshot",
+            "build",
+            "--dataset",
+            dir_s,
+            "--out",
+            in_mem.to_str().unwrap(),
+            "--filter",
+            "0.8",
+        ]))
+        .unwrap();
+        // A 1-MiB budget on this fixture stays under the spill floor, but
+        // the whole spill pipeline (pack, sort, merge, regroup) still runs.
+        snapshot(&argv(&[
+            "snapshot",
+            "build",
+            "--dataset",
+            dir_s,
+            "--out",
+            ooc.to_str().unwrap(),
+            "--filter",
+            "0.8",
+            "--out-of-core",
+            "--spill-budget-mb",
+            "1",
+            "--spill-dir",
+            dir.join("spill").to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&in_mem).unwrap(),
+            std::fs::read(&ooc).unwrap(),
+            "out-of-core snapshot bytes diverged from the in-memory build"
+        );
+
+        // Zero-copy and sharded query answers match the owned default.
+        let snap_s = in_mem.to_str().unwrap();
+        let base =
+            query(&argv(&["query", "--snapshot", snap_s, "--entity", "3", "--top", "5"])).unwrap();
+        let zc = query(&argv(&[
+            "query",
+            "--snapshot",
+            snap_s,
+            "--entity",
+            "3",
+            "--top",
+            "5",
+            "--zero-copy",
+        ]))
+        .unwrap();
+        assert_eq!(base, zc, "zero-copy answer diverged");
+        let sharded = query(&argv(&[
+            "query",
+            "--snapshot",
+            snap_s,
+            "--entity",
+            "3",
+            "--top",
+            "5",
+            "--zero-copy",
+            "--shards",
+            "4",
+            "--shard-threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(base, sharded, "sharded answer diverged");
+
+        // Spill knobs without --out-of-core are a usage error.
+        let err = snapshot(&argv(&[
+            "snapshot",
+            "build",
+            "--dataset",
+            dir_s,
+            "--out",
+            ooc.to_str().unwrap(),
+            "--spill-budget-mb",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--out-of-core"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -803,7 +1001,15 @@ mod tests {
         let port_file_s = port_file.to_str().unwrap().to_owned();
         let serve_snap = snap_s.clone();
         let server = std::thread::spawn(move || {
-            serve(&argv(&["serve", "--snapshot", &serve_snap, "--port-file", &port_file_s]))
+            serve(&argv(&[
+                "serve",
+                "--snapshot",
+                &serve_snap,
+                "--port-file",
+                &port_file_s,
+                "--shards",
+                "2",
+            ]))
         });
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         while !port_file.exists() {

@@ -8,8 +8,8 @@
 //! array (`flags` in the paper) avoids clearing the accumulators between
 //! nodes, which would cost `O(|E|)` per node.
 
-use crate::context::GraphContext;
-use er_model::{EntityId, ErKind};
+use crate::store::CandidateStore;
+use er_model::EntityId;
 
 /// What the scanner accumulates per co-occurring profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,14 +51,15 @@ impl NeighborhoodScanner {
         }
     }
 
-    /// Scans the neighborhood of `pivot` and returns the co-occurring
-    /// profiles with their accumulated scores.
+    /// Scans the neighborhood of `pivot` over any [`CandidateStore`] and
+    /// returns the co-occurring profiles with their accumulated scores.
     ///
     /// The returned slices are valid until the next call. Neighbor order is
-    /// first-co-occurrence order and therefore deterministic.
-    pub fn scan(
+    /// first-co-occurrence order and therefore deterministic (and identical
+    /// across store implementations, which present the same member order).
+    pub fn scan<S: CandidateStore>(
         &mut self,
-        ctx: &GraphContext<'_>,
+        store: &S,
         pivot: EntityId,
         accumulate: Accumulate,
         scope: ScanScope,
@@ -71,33 +72,32 @@ impl NeighborhoodScanner {
         }
         self.neighbors.clear();
 
-        let dirty = ctx.kind() == ErKind::Dirty;
-        let pivot_first = ctx.is_first(pivot);
-        for &k in ctx.index().block_list(pivot) {
-            let block = ctx.blocks().block(k as usize);
+        // For Clean-Clean ER only the opposite side co-occurs; for Dirty
+        // ER all block members do (blocks store them in `left`).
+        let scan_right = store.scan_right(pivot);
+        let tick = self.tick;
+        let (flags, score, neighbors) = (&mut self.flags, &mut self.score, &mut self.neighbors);
+        store.block_list(pivot).for_each(|k| {
             let increment = match accumulate {
                 Accumulate::CommonBlocks => 1.0,
-                Accumulate::ReciprocalCardinalities => ctx.recip_cardinality_of(k as usize),
+                Accumulate::ReciprocalCardinalities => store.recip_cardinality_of(k as usize),
             };
-            // For Clean-Clean ER only the opposite side co-occurs; for Dirty
-            // ER all block members do (blocks store them in `left`).
-            let members = if dirty || !pivot_first { block.left() } else { block.right() };
-            for &j in members {
-                if j == pivot {
-                    continue;
+            store.members_of(k as usize, scan_right).for_each(|j| {
+                if j == pivot.0 {
+                    return;
                 }
-                if scope == ScanScope::GreaterOnly && j < pivot {
-                    continue;
+                if scope == ScanScope::GreaterOnly && j < pivot.0 {
+                    return;
                 }
-                let idx = j.idx();
-                if self.flags[idx] != self.tick {
-                    self.flags[idx] = self.tick;
-                    self.score[idx] = 0.0;
-                    self.neighbors.push(j.0);
+                let idx = j as usize;
+                if flags[idx] != tick {
+                    flags[idx] = tick;
+                    score[idx] = 0.0;
+                    neighbors.push(j);
                 }
-                self.score[idx] += increment;
-            }
-        }
+                score[idx] += increment;
+            });
+        });
         Neighborhood { ids: &self.neighbors, score: &self.score }
     }
 }
@@ -133,7 +133,8 @@ impl Neighborhood<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use er_model::{Block, BlockCollection};
+    use crate::context::GraphContext;
+    use er_model::{Block, BlockCollection, ErKind};
 
     fn ids(v: &[u32]) -> Vec<EntityId> {
         v.iter().copied().map(EntityId).collect()

@@ -13,8 +13,9 @@
 use crate::context::GraphContext;
 use crate::prune::{neighborhood_mean, reaches, top_k_neighbors, WeightedEdge};
 use crate::scanner::{NeighborhoodScanner, ScanScope};
+use crate::store::CandidateStore;
 use crate::weights::{edge_weight, Degrees, WeightingScheme};
-use er_model::{BlockCollection, EntityId, ErKind};
+use er_model::{BlockCollection, EntityId};
 
 /// Chunk floor for [`NeighborhoodScorer::batch`] — same rationale and value
 /// as the pipeline sweeps (DESIGN.md §8: all parallel stages chunk through
@@ -94,8 +95,8 @@ pub struct Scored {
 /// queries are allocation-free once the neighborhood buffers have grown to
 /// their working size.
 #[derive(Debug)]
-pub struct NeighborhoodScorer<'b> {
-    ctx: GraphContext<'b>,
+pub struct NeighborhoodScorer<S> {
+    store: S,
     scheme: WeightingScheme,
     degrees: Option<Degrees>,
     scanner: NeighborhoodScanner,
@@ -108,7 +109,7 @@ pub struct NeighborhoodScorer<'b> {
     probe_tick: u32,
 }
 
-impl<'b> NeighborhoodScorer<'b> {
+impl<'b> NeighborhoodScorer<GraphContext<'b>> {
     /// Builds a scorer for `scheme`, deriving the entity index from the
     /// blocks.
     pub fn new(blocks: &'b BlockCollection, split: usize, scheme: WeightingScheme) -> Self {
@@ -118,10 +119,24 @@ impl<'b> NeighborhoodScorer<'b> {
     /// Builds a scorer around an existing context — the snapshot-load path,
     /// where the entity index was persisted and must not be re-derived.
     pub fn from_context(ctx: GraphContext<'b>, scheme: WeightingScheme) -> Self {
-        let degrees = scheme.needs_degrees().then(|| Degrees::compute(&ctx));
-        let n = ctx.num_entities();
+        Self::from_store(ctx, scheme)
+    }
+
+    /// The graph context being queried.
+    pub fn ctx(&self) -> &GraphContext<'b> {
+        &self.store
+    }
+}
+
+impl<S: CandidateStore> NeighborhoodScorer<S> {
+    /// Builds a scorer over any [`CandidateStore`] — the generic entry the
+    /// zero-copy serving stores use. Queries are bit-identical across store
+    /// implementations presenting the same graph.
+    pub fn from_store(store: S, scheme: WeightingScheme) -> Self {
+        let degrees = scheme.needs_degrees().then(|| Degrees::compute(&store));
+        let n = store.num_entities();
         NeighborhoodScorer {
-            ctx,
+            store,
             scheme,
             degrees,
             scanner: NeighborhoodScanner::new(n),
@@ -133,9 +148,9 @@ impl<'b> NeighborhoodScorer<'b> {
         }
     }
 
-    /// The graph context being queried.
-    pub fn ctx(&self) -> &GraphContext<'b> {
-        &self.ctx
+    /// The store being queried.
+    pub fn store(&self) -> &S {
+        &self.store
     }
 
     /// The weighting scheme every query evaluates.
@@ -149,7 +164,7 @@ impl<'b> NeighborhoodScorer<'b> {
     /// batch CNP retains for this node at threshold `k`; with
     /// [`Retention::AboveMean`] it is exactly the WNP retention.
     pub fn query(&mut self, pivot: EntityId, retention: Retention) -> Scored {
-        let hood = self.scanner.scan(&self.ctx, pivot, self.scheme.accumulate(), ScanScope::All);
+        let hood = self.scanner.scan(&self.store, pivot, self.scheme.accumulate(), ScanScope::All);
         self.ids.clear();
         self.ids.extend_from_slice(hood.ids);
         self.weights.clear();
@@ -157,7 +172,7 @@ impl<'b> NeighborhoodScorer<'b> {
             let score = hood.score_of(j);
             self.weights.push(edge_weight(
                 self.scheme,
-                &self.ctx,
+                &self.store,
                 self.degrees.as_ref(),
                 pivot,
                 EntityId(j),
@@ -166,7 +181,7 @@ impl<'b> NeighborhoodScorer<'b> {
         }
         Scored {
             candidates: retain(pivot, &self.ids, &self.weights, retention),
-            blocks_touched: self.ctx.index().block_list(pivot).len() as u64,
+            blocks_touched: self.store.block_list(pivot).len() as u64,
             edges_scored: self.ids.len() as u64,
         }
     }
@@ -193,21 +208,21 @@ impl<'b> NeighborhoodScorer<'b> {
             self.probe_tick = 1;
         }
         self.ids.clear();
-        let dirty = self.ctx.kind() == ErKind::Dirty;
         let arcs = self.scheme.accumulate() == crate::scanner::Accumulate::ReciprocalCardinalities;
+        let scan_right = self.store.kind() != er_model::ErKind::Dirty && probe_is_first;
+        let tick = self.probe_tick;
+        let (flags, score, ids) = (&mut self.probe_flags, &mut self.probe_score, &mut self.ids);
         for &k in block_ids {
-            let block = self.ctx.blocks().block(k as usize);
-            let increment = if arcs { self.ctx.recip_cardinality_of(k as usize) } else { 1.0 };
-            let members = if dirty || !probe_is_first { block.left() } else { block.right() };
-            for &j in members {
-                let idx = j.idx();
-                if self.probe_flags[idx] != self.probe_tick {
-                    self.probe_flags[idx] = self.probe_tick;
-                    self.probe_score[idx] = 0.0;
-                    self.ids.push(j.0);
+            let increment = if arcs { self.store.recip_cardinality_of(k as usize) } else { 1.0 };
+            self.store.members_of(k as usize, scan_right).for_each(|j| {
+                let idx = j as usize;
+                if flags[idx] != tick {
+                    flags[idx] = tick;
+                    score[idx] = 0.0;
+                    ids.push(j);
                 }
-                self.probe_score[idx] += increment;
-            }
+                score[idx] += increment;
+            });
         }
         let probe_blocks = block_ids.len() as f64;
         let probe_degree = self.ids.len();
@@ -215,7 +230,7 @@ impl<'b> NeighborhoodScorer<'b> {
         for &j in &self.ids {
             self.weights.push(probe_weight(
                 self.scheme,
-                &self.ctx,
+                &self.store,
                 self.degrees.as_ref(),
                 probe_blocks,
                 probe_degree,
@@ -224,7 +239,7 @@ impl<'b> NeighborhoodScorer<'b> {
             ));
         }
         // Entity ids are dense u32s, so |E| itself always fits.
-        let past_every_id = self.ctx.num_entities() as u32;
+        let past_every_id = self.store.num_entities() as u32;
         let virtual_pivot = EntityId(past_every_id);
         Scored {
             candidates: retain(virtual_pivot, &self.ids, &self.weights, retention),
@@ -232,7 +247,9 @@ impl<'b> NeighborhoodScorer<'b> {
             edges_scored: probe_degree as u64,
         }
     }
+}
 
+impl<S: CandidateStore + Sync> NeighborhoodScorer<S> {
     /// Scores every indexed entity, fanning the id range out over up to
     /// `threads` workers.
     ///
@@ -241,9 +258,9 @@ impl<'b> NeighborhoodScorer<'b> {
     /// sequential sweep for any thread count (each pivot's query is
     /// independent of every other's).
     pub fn batch(&self, retention: Retention, threads: usize) -> Vec<Scored> {
-        let n = self.ctx.num_entities();
+        let n = self.store.num_entities();
         let ranges = er_model::chunk_ranges(n, threads, MIN_CHUNK);
-        let ctx = &self.ctx;
+        let store = &self.store;
         let degrees = self.degrees.as_ref();
         let scheme = self.scheme;
         let run_range = move |range: std::ops::Range<usize>| {
@@ -254,17 +271,17 @@ impl<'b> NeighborhoodScorer<'b> {
             // Entity ids are dense u32s, so the range bounds always fit.
             for raw in range.start as u32..range.end as u32 {
                 let pivot = EntityId(raw);
-                let hood = scanner.scan(ctx, pivot, scheme.accumulate(), ScanScope::All);
+                let hood = scanner.scan(store, pivot, scheme.accumulate(), ScanScope::All);
                 ids.clear();
                 ids.extend_from_slice(hood.ids);
                 weights.clear();
                 for &j in &ids {
                     let score = hood.score_of(j);
-                    weights.push(edge_weight(scheme, ctx, degrees, pivot, EntityId(j), score));
+                    weights.push(edge_weight(scheme, store, degrees, pivot, EntityId(j), score));
                 }
                 out.push(Scored {
                     candidates: retain(pivot, &ids, &weights, retention),
-                    blocks_touched: ctx.index().block_list(pivot).len() as u64,
+                    blocks_touched: store.block_list(pivot).len() as u64,
                     edges_scored: ids.len() as u64,
                 });
             }
@@ -286,7 +303,12 @@ impl<'b> NeighborhoodScorer<'b> {
 
 /// Applies a retention mode to one weighed neighborhood and returns the
 /// survivors in descending [`WeightedEdge`] order.
-fn retain(pivot: EntityId, ids: &[u32], weights: &[f64], retention: Retention) -> Vec<Candidate> {
+pub(crate) fn retain(
+    pivot: EntityId,
+    ids: &[u32],
+    weights: &[f64],
+    retention: Retention,
+) -> Vec<Candidate> {
     let mut out: Vec<Candidate> = match retention {
         Retention::TopK(k) => {
             // The exact CNP selection: same helper, same total order.
@@ -320,28 +342,28 @@ fn retain(pivot: EntityId, ids: &[u32], weights: &[f64], retention: Retention) -
 
 /// [`edge_weight`] for a probe pivot, with the probe-side statistics passed
 /// explicitly instead of read from the entity index.
-fn probe_weight(
+fn probe_weight<S: CandidateStore>(
     scheme: WeightingScheme,
-    ctx: &GraphContext<'_>,
+    store: &S,
     degrees: Option<&Degrees>,
     probe_blocks: f64,
     probe_degree: usize,
     j: EntityId,
     score: f64,
 ) -> f64 {
-    let num_blocks = ctx.blocks().size() as f64;
+    let num_blocks = store.num_blocks() as f64;
     match scheme {
         WeightingScheme::Arcs | WeightingScheme::Cbs => score,
         WeightingScheme::Ecbs => {
-            let bj = ctx.num_blocks_of(j) as f64;
+            let bj = store.num_blocks_of(j) as f64;
             score * (num_blocks / probe_blocks).ln() * (num_blocks / bj).ln()
         }
         WeightingScheme::Js => {
-            let bj = ctx.num_blocks_of(j) as f64;
+            let bj = store.num_blocks_of(j) as f64;
             score / (probe_blocks + bj - score)
         }
         WeightingScheme::Ejs => {
-            let bj = ctx.num_blocks_of(j) as f64;
+            let bj = store.num_blocks_of(j) as f64;
             let js = score / (probe_blocks + bj - score);
             let degrees = match degrees {
                 Some(d) => d,

@@ -1,0 +1,368 @@
+//! Entity-range sharded neighborhood scoring.
+//!
+//! [`ShardedScorer`] partitions the blocking graph's *neighbor space* into
+//! `N` contiguous entity-id ranges. Construction cuts every block's member
+//! runs at the shard boundaries in parallel; a query then scans each
+//! shard's slice of the pivot's blocks independently (fanning out over up
+//! to `threads` workers) and merges the per-shard neighborhoods back into
+//! the exact single-arena discovery order.
+//!
+//! ## Why the merge is bit-identical
+//!
+//! The flat scanner visits the pivot's blocks in block-list order and each
+//! block's members in ascending-id order, so a neighbor `j`'s accumulated
+//! score is an IEEE float sum in block-list order — and every neighbor
+//! belongs to exactly one shard, whose scan walks the same blocks in the
+//! same order. Per-neighbor sums are therefore bit-identical to the flat
+//! scan. The flat *discovery order* (first co-occurrence) sorts neighbors
+//! by `(first block position, id)`: within one block's ascending member
+//! run, unseen neighbors surface in ascending id order. Packing that pair
+//! into one `u64` key and sorting the merged shard outputs reconstructs
+//! the flat order exactly, so retention — including the order-sensitive
+//! `AboveMean` mean — sees the same ids and weights in the same sequence
+//! for any shard count and any thread count.
+
+use crate::scorer::{retain, Candidate, Retention, Scored};
+use crate::store::CandidateStore;
+use crate::weights::{edge_weight, Degrees, WeightingScheme};
+use er_model::{chunk_ranges, EntityId};
+
+/// Chunk floor for the parallel boundary-cut construction sweep.
+const MIN_BLOCKS_PER_CHUNK: usize = 256;
+
+/// Per-shard epoch scratch, sized to the shard's id range.
+#[derive(Debug)]
+struct ShardScratch {
+    flags: Vec<u32>,
+    score: Vec<f64>,
+    tick: u32,
+}
+
+impl ShardScratch {
+    fn new(len: usize) -> Self {
+        ShardScratch { flags: vec![0; len], score: vec![0.0; len], tick: 0 }
+    }
+
+    fn advance(&mut self) -> u32 {
+        self.tick = self.tick.wrapping_add(1);
+        if self.tick == 0 {
+            self.flags.fill(0);
+            self.tick = 1;
+        }
+        self.tick
+    }
+}
+
+/// A sharded-arena neighborhood scorer over any [`CandidateStore`].
+///
+/// Equivalent to [`crate::NeighborhoodScorer::query`] for every pivot,
+/// retention, shard count and thread count — the sharding changes the
+/// execution plan, never the answer.
+#[derive(Debug)]
+pub struct ShardedScorer<S> {
+    store: S,
+    scheme: WeightingScheme,
+    degrees: Option<Degrees>,
+    /// Shard boundaries over the entity-id space: `num_shards + 1` entries,
+    /// `bounds[0] == 0`, `bounds[num_shards] == |E|`.
+    bounds: Vec<u32>,
+    /// Left-side member cuts, block-major: entry `k * (N + 1) + s` is the
+    /// offset within block `k`'s left run where shard `s` begins.
+    cuts_left: Vec<u32>,
+    /// Right-side member cuts, same layout (all zero for Dirty ER, whose
+    /// blocks keep every member on the left).
+    cuts_right: Vec<u32>,
+    scratch: Vec<ShardScratch>,
+    threads: usize,
+    /// Owned copy of the pivot's block list, shared read-only by workers.
+    list: Vec<u32>,
+    ids: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl<S: CandidateStore + Sync> ShardedScorer<S> {
+    /// Builds a scorer with `num_shards` entity-range shards, cutting the
+    /// block arenas in parallel over up to `threads` workers.
+    ///
+    /// Shard and thread counts are clamped to at least 1; shards beyond the
+    /// entity count are simply empty.
+    pub fn new(store: S, scheme: WeightingScheme, num_shards: usize, threads: usize) -> Self {
+        let n = store.num_entities();
+        let shards = num_shards.max(1);
+        let threads = threads.max(1);
+        // Even id-range partition; u32 arithmetic is safe because entity
+        // ids are dense u32s.
+        let bounds: Vec<u32> =
+            (0..=shards).map(|s| ((s as u64 * n as u64) / shards as u64) as u32).collect();
+        let num_blocks = store.num_blocks();
+        let cuts_left = build_cuts(&store, &bounds, num_blocks, false, threads);
+        let cuts_right = build_cuts(&store, &bounds, num_blocks, true, threads);
+        let degrees = scheme.needs_degrees().then(|| Degrees::compute(&store));
+        let scratch =
+            (0..shards).map(|s| ShardScratch::new((bounds[s + 1] - bounds[s]) as usize)).collect();
+        ShardedScorer {
+            store,
+            scheme,
+            degrees,
+            bounds,
+            cuts_left,
+            cuts_right,
+            scratch,
+            threads,
+            list: Vec::new(),
+            ids: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// The store being queried.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// The number of entity-range shards.
+    pub fn num_shards(&self) -> usize {
+        self.scratch.len()
+    }
+
+    /// The weighting scheme every query evaluates.
+    pub fn scheme(&self) -> WeightingScheme {
+        self.scheme
+    }
+
+    /// Scores the neighborhood of one indexed entity, fanning the shards
+    /// out over the scorer's worker budget, and retains candidates exactly
+    /// like [`crate::NeighborhoodScorer::query`].
+    pub fn query(&mut self, pivot: EntityId, retention: Retention) -> Scored {
+        self.list.clear();
+        self.store.block_list(pivot).for_each(|k| self.list.push(k));
+        let scan_right = self.store.scan_right(pivot);
+        let arcs = self.scheme.accumulate() == crate::scanner::Accumulate::ReciprocalCardinalities;
+        let shards = self.scratch.len();
+        let stride = shards + 1;
+        let cuts = if scan_right { &self.cuts_right } else { &self.cuts_left };
+        let (store, bounds, list) = (&self.store, &self.bounds, &self.list);
+
+        let run_shard = move |s: usize, scratch: &mut ShardScratch| -> Vec<u64> {
+            let tick = scratch.advance();
+            let base = bounds[s];
+            let mut found: Vec<u64> = Vec::new();
+            for (pos, &k) in list.iter().enumerate() {
+                let increment = if arcs { store.recip_cardinality_of(k as usize) } else { 1.0 };
+                let side = store.members_of(k as usize, scan_right);
+                let at = k as usize * stride + s;
+                let (lo, hi) = (cuts[at] as usize, cuts[at + 1] as usize);
+                side.slice(lo, hi).for_each(|j| {
+                    if j == pivot.0 {
+                        return;
+                    }
+                    let local = (j - base) as usize;
+                    if scratch.flags[local] != tick {
+                        scratch.flags[local] = tick;
+                        scratch.score[local] = 0.0;
+                        found.push(((pos as u64) << 32) | j as u64);
+                    }
+                    scratch.score[local] += increment;
+                });
+            }
+            found
+        };
+
+        let per_shard: Vec<Vec<u64>> = if self.threads <= 1 || shards <= 1 {
+            self.scratch.iter_mut().enumerate().map(|(s, sc)| run_shard(s, sc)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .scratch
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(s, sc)| scope.spawn(move || run_shard(s, sc)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect()
+            })
+        };
+
+        // Merge: sorting the packed (first block position, id) keys across
+        // shards reconstructs the flat scanner's discovery order.
+        let mut keys: Vec<u64> = per_shard.iter().flatten().copied().collect();
+        keys.sort_unstable();
+        self.ids.clear();
+        self.weights.clear();
+        for &key in &keys {
+            let j = key as u32;
+            let s = shard_of(&self.bounds, j);
+            let score = self.scratch[s].score[(j - self.bounds[s]) as usize];
+            self.ids.push(j);
+            self.weights.push(edge_weight(
+                self.scheme,
+                &self.store,
+                self.degrees.as_ref(),
+                pivot,
+                EntityId(j),
+                score,
+            ));
+        }
+        Scored {
+            candidates: retain(pivot, &self.ids, &self.weights, retention),
+            blocks_touched: self.list.len() as u64,
+            edges_scored: self.ids.len() as u64,
+        }
+    }
+
+    /// Retained candidates of the whole-neighborhood ranking — a
+    /// convenience wrapper matching the flat scorer's result shape for
+    /// equivalence pinning.
+    pub fn top_candidates(&mut self, pivot: EntityId, k: usize) -> Vec<Candidate> {
+        self.query(pivot, Retention::TopK(k)).candidates
+    }
+}
+
+/// The shard whose id range contains `j`.
+fn shard_of(bounds: &[u32], j: u32) -> usize {
+    // partition_point over the N+1 ascending bounds; j < bounds.last()
+    // because ids are in range, so the result is a valid shard index.
+    bounds.partition_point(|&b| b <= j) - 1
+}
+
+/// Cuts every block's member run (one side) at the shard boundaries, in
+/// parallel over block chunks. Entry `k * (N + 1) + s` is the first offset
+/// of block `k`'s run whose id is `>= bounds[s]`; consecutive entries
+/// bracket shard `s`'s slice. Pure per-block computation, so the parallel
+/// sweep is deterministic.
+fn build_cuts<S: CandidateStore + Sync>(
+    store: &S,
+    bounds: &[u32],
+    num_blocks: usize,
+    right: bool,
+    threads: usize,
+) -> Vec<u32> {
+    let stride = bounds.len();
+    let ranges = chunk_ranges(num_blocks, threads, MIN_BLOCKS_PER_CHUNK);
+    let cut_range = |range: std::ops::Range<usize>| -> Vec<u32> {
+        let mut out = Vec::with_capacity(range.len() * stride);
+        for k in range {
+            let side = store.members_of(k, right);
+            for &b in bounds {
+                // Members ascend within a side, so lower_bound brackets the
+                // shard's id range.
+                out.push(side.lower_bound(b) as u32);
+            }
+        }
+        out
+    };
+    if ranges.len() <= 1 {
+        return ranges.into_iter().flat_map(cut_range).collect();
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(move || cut_range(r))).collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::GraphContext;
+    use crate::scorer::NeighborhoodScorer;
+    use er_model::{Block, BlockCollection, ErKind};
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().copied().map(EntityId).collect()
+    }
+
+    fn fixture(n: usize) -> BlockCollection {
+        let mut blocks = Vec::new();
+        for b in 0..n {
+            let base = b as u32;
+            blocks.push(Block::dirty(ids(&[
+                base % n as u32,
+                (base * 7 + 1) % n as u32,
+                (base * 13 + 2) % n as u32,
+            ])));
+        }
+        // Block members must be ascending and distinct; normalize.
+        let blocks: Vec<Block> = blocks
+            .into_iter()
+            .filter_map(|b| {
+                let mut m: Vec<u32> = b.left().iter().map(|e| e.0).collect();
+                m.sort_unstable();
+                m.dedup();
+                (m.len() >= 2).then(|| Block::dirty(ids(&m)))
+            })
+            .collect();
+        BlockCollection::new(ErKind::Dirty, n, blocks)
+    }
+
+    fn clean_fixture() -> BlockCollection {
+        BlockCollection::new(
+            ErKind::CleanClean,
+            10,
+            vec![
+                Block::clean_clean(ids(&[0, 1, 3]), ids(&[5, 6, 9])),
+                Block::clean_clean(ids(&[0, 2]), ids(&[6, 7])),
+                Block::clean_clean(ids(&[1, 4]), ids(&[5, 8, 9])),
+            ],
+        )
+    }
+
+    #[test]
+    fn sharded_query_matches_flat_for_every_scheme_and_shard_count() {
+        let dirty = fixture(40);
+        let clean = clean_fixture();
+        for (blocks, split) in [(&dirty, 40usize), (&clean, 5)] {
+            for scheme in WeightingScheme::ALL {
+                let flat_ctx = GraphContext::new(blocks, split);
+                let mut flat = NeighborhoodScorer::from_context(flat_ctx, scheme);
+                for shards in [1, 2, 3, 7] {
+                    for threads in [1, 2] {
+                        let ctx = GraphContext::new(blocks, split);
+                        let mut sharded = ShardedScorer::new(ctx, scheme, shards, threads);
+                        for pivot in 0..blocks.num_entities() as u32 {
+                            for retention in [Retention::TopK(2), Retention::AboveMean] {
+                                let a = flat.query(EntityId(pivot), retention);
+                                let b = sharded.query(EntityId(pivot), retention);
+                                assert_eq!(
+                                    a, b,
+                                    "{scheme:?} shards={shards} threads={threads} \
+                                     pivot={pivot} {retention:?}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_brackets_ids() {
+        let bounds = [0u32, 3, 3, 8, 10];
+        assert_eq!(shard_of(&bounds, 0), 0);
+        assert_eq!(shard_of(&bounds, 2), 0);
+        // Shard 1 is empty (3..3); id 3 belongs to shard 2.
+        assert_eq!(shard_of(&bounds, 3), 2);
+        assert_eq!(shard_of(&bounds, 9), 3);
+    }
+
+    #[test]
+    fn more_shards_than_entities_is_fine() {
+        let blocks = BlockCollection::new(
+            ErKind::Dirty,
+            3,
+            vec![Block::dirty(ids(&[0, 1, 2])), Block::dirty(ids(&[0, 2]))],
+        );
+        let ctx = GraphContext::new_dirty(&blocks);
+        let mut sharded = ShardedScorer::new(ctx, WeightingScheme::Cbs, 16, 2);
+        assert_eq!(sharded.num_shards(), 16);
+        let scored = sharded.query(EntityId(0), Retention::TopK(10));
+        let got: Vec<u32> = scored.candidates.iter().map(|c| c.id.0).collect();
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&1) && got.contains(&2));
+    }
+}

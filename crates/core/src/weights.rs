@@ -6,6 +6,7 @@
 
 use crate::context::GraphContext;
 use crate::scanner::{Accumulate, NeighborhoodScanner, ScanScope};
+use crate::store::CandidateStore;
 use er_model::EntityId;
 
 /// The weighting schemes of the meta-blocking framework (Figure 4).
@@ -106,9 +107,9 @@ pub struct Degrees {
 }
 
 impl Degrees {
-    /// Computes degrees over the blocking graph of `ctx`.
-    pub fn compute(ctx: &GraphContext<'_>) -> Self {
-        let n = ctx.num_entities();
+    /// Computes degrees over the blocking graph of `store`.
+    pub fn compute<S: CandidateStore>(store: &S) -> Self {
+        let n = store.num_entities();
         let mut per_node = vec![0u32; n];
         let mut total_edges = 0u64;
         let mut scanner = NeighborhoodScanner::new(n);
@@ -117,7 +118,7 @@ impl Degrees {
             // GreaterOnly visits each edge exactly once (for Clean-Clean ER
             // every right-side id exceeds every left-side id, so the edge is
             // charged to its left endpoint).
-            let hood = scanner.scan(ctx, pivot, Accumulate::CommonBlocks, ScanScope::GreaterOnly);
+            let hood = scanner.scan(store, pivot, Accumulate::CommonBlocks, ScanScope::GreaterOnly);
             for &j in hood.ids {
                 per_node[pivot.idx()] += 1;
                 per_node[j as usize] += 1;
@@ -187,31 +188,31 @@ impl<'c, 'b> EdgeWeigher<'c, 'b> {
 /// reference so callers that own their [`Degrees`] (the query-serving scorer)
 /// can evaluate weights without cloning the per-node table.
 #[inline]
-pub(crate) fn edge_weight(
+pub(crate) fn edge_weight<S: CandidateStore>(
     scheme: WeightingScheme,
-    ctx: &GraphContext<'_>,
+    store: &S,
     degrees: Option<&Degrees>,
     i: EntityId,
     j: EntityId,
     score: f64,
 ) -> f64 {
-    let num_blocks = ctx.blocks().size() as f64;
+    let num_blocks = store.num_blocks() as f64;
     match scheme {
         WeightingScheme::Arcs => score,
         WeightingScheme::Cbs => score,
         WeightingScheme::Ecbs => {
-            let bi = ctx.num_blocks_of(i) as f64;
-            let bj = ctx.num_blocks_of(j) as f64;
+            let bi = store.num_blocks_of(i) as f64;
+            let bj = store.num_blocks_of(j) as f64;
             score * (num_blocks / bi).ln() * (num_blocks / bj).ln()
         }
         WeightingScheme::Js => {
-            let bi = ctx.num_blocks_of(i) as f64;
-            let bj = ctx.num_blocks_of(j) as f64;
+            let bi = store.num_blocks_of(i) as f64;
+            let bj = store.num_blocks_of(j) as f64;
             score / (bi + bj - score)
         }
         WeightingScheme::Ejs => {
-            let bi = ctx.num_blocks_of(i) as f64;
-            let bj = ctx.num_blocks_of(j) as f64;
+            let bi = store.num_blocks_of(i) as f64;
+            let bj = store.num_blocks_of(j) as f64;
             let js = score / (bi + bj - score);
             let degrees = match degrees {
                 Some(d) => d,

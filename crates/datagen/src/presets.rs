@@ -102,6 +102,35 @@ pub fn d3c(seed: u64, scale: f64) -> DatasetConfig {
     }
 }
 
+/// XL: the out-of-core / zero-copy stress preset — 1.05 million profiles
+/// (420,000 × 630,000) with 300,000 matched pairs.
+///
+/// Tuned so a snapshot build is posting-bound rather than vocabulary-bound:
+/// short profiles (7 tokens per object, light extra-token noise) over a
+/// 600,000-token vocabulary give ≈9–10M `(token, entity)` postings but a
+/// vocabulary that still fits comfortably in memory — the regime
+/// `er snapshot build --out-of-core` exists for. Deterministic for a fixed
+/// seed, like every preset.
+pub fn xl(seed: u64) -> DatasetConfig {
+    DatasetConfig {
+        seed,
+        matched_pairs: 300_000,
+        side1: SideConfig {
+            size: 420_000,
+            attributes: 4,
+            attr_name_pool: 5,
+            noise: NoiseConfig { token_drop: 0.20, token_typo: 0.03, extra_tokens: 0.4 },
+        },
+        side2: SideConfig {
+            size: 630_000,
+            attributes: 6,
+            attr_name_pool: 8,
+            noise: NoiseConfig { token_drop: 0.15, token_typo: 0.04, extra_tokens: 0.6 },
+        },
+        object: ObjectConfig { vocab_size: 600_000, zipf_exponent: 0.8, tokens_mean: 7 },
+    }
+}
+
 /// A miniature benchmark for tests, examples and doc snippets: 150 matched
 /// pairs across 200 × 250 profiles. Generates in milliseconds.
 pub fn tiny(seed: u64) -> DatasetConfig {
@@ -145,6 +174,13 @@ mod tests {
         assert!(d3c(1, 0.01).validate().is_ok());
         assert!(d3c(1, 1.0).validate().is_ok());
         assert!(tiny(1).validate().is_ok());
+        assert!(xl(1).validate().is_ok());
+    }
+
+    #[test]
+    fn xl_crosses_the_million_entity_line() {
+        let c = xl(9);
+        assert!(c.side1.size + c.side2.size >= 1_000_000);
     }
 
     #[test]

@@ -33,8 +33,8 @@ const BASELINE: [(&str, usize, &str); 14] = [
     ("crates/er-model/src/fxhash.rs", 12, "default-hasher"),
     ("crates/er-model/src/sanitize.rs", 73, "no-panic"),
     ("crates/observe/src/json.rs", 50, "no-panic"),
-    ("crates/serve/src/codec.rs", 101, "snapshot-unversioned-read"),
-    ("crates/serve/src/codec.rs", 106, "snapshot-unversioned-read"),
+    ("crates/serve/src/codec.rs", 147, "snapshot-unversioned-read"),
+    ("crates/serve/src/codec.rs", 152, "snapshot-unversioned-read"),
 ];
 
 #[test]

@@ -24,6 +24,52 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Four-lane word-wise FNV-1a 64 — the section checksum of the aligned
+/// `MBSNAP02` layout.
+///
+/// Sections are zero-padded to 8-byte multiples, so the checksum hashes
+/// `u64` words instead of bytes; interleaving the words round-robin over
+/// four independent FNV-1a lanes breaks the serial xor-multiply dependency
+/// chain (the lanes run in instruction-level parallel), and the final
+/// digest folds the lane states together in lane order — so both a flipped
+/// bit and a swapped word still change the result. `bytes.len()` must be a
+/// multiple of 8 (the padded section length by construction).
+pub(crate) fn fnv1a_wide(bytes: &[u8]) -> u64 {
+    debug_assert_eq!(bytes.len() % 8, 0, "wide FNV input must be 8-padded");
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    #[inline]
+    fn word(c: &[u8]) -> u64 {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(c);
+        // lint:allow(snapshot-unversioned-read) word-wise checksum over the
+        // already-framed, length-checked padded section region.
+        u64::from_le_bytes(w)
+    }
+    let mut lanes = [OFFSET; 4];
+    let mut groups = bytes.chunks_exact(32);
+    for g in &mut groups {
+        lanes[0] = (lanes[0] ^ word(&g[0..8])).wrapping_mul(PRIME);
+        lanes[1] = (lanes[1] ^ word(&g[8..16])).wrapping_mul(PRIME);
+        lanes[2] = (lanes[2] ^ word(&g[16..24])).wrapping_mul(PRIME);
+        lanes[3] = (lanes[3] ^ word(&g[24..32])).wrapping_mul(PRIME);
+    }
+    for (i, c) in groups.remainder().chunks_exact(8).enumerate() {
+        lanes[i] = (lanes[i] ^ word(c)).wrapping_mul(PRIME);
+    }
+    let mut h = OFFSET;
+    for lane in lanes {
+        h = (h ^ lane).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// `len` rounded up to the next multiple of 8 — the padded on-disk size of
+/// a section payload.
+pub(crate) fn padded_len(len: usize) -> usize {
+    len.div_ceil(8) * 8
+}
+
 pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
     out.push(v);
 }

@@ -1,43 +1,86 @@
-//! The online candidate-query engine over a loaded [`Snapshot`].
+//! The online candidate-query engine over a loaded snapshot.
 //!
-//! A [`QueryEngine`] is constructed once per snapshot and then answers any
+//! A [`QueryEngine`] is constructed once per loaded snapshot — owned
+//! ([`Snapshot`]) or zero-copy ([`SnapshotView`]) — and then answers any
 //! number of queries without touching the blocking front-end again: indexed
 //! entities are scored straight off the persisted index, and unseen *probe*
 //! profiles are tokenized against the snapshot's frozen vocabulary and
 //! mapped through the per-block key provenance onto the surviving blocks.
 //!
 //! Candidate scoring, retention, and ordering are shared with the batch
-//! pipeline (`mb_core::NeighborhoodScorer`), so an online query returns
-//! exactly the neighbors batch node-centric pruning would retain for the
-//! same entity, scheme, and threshold.
+//! pipeline (`mb_core::NeighborhoodScorer`, generic over the storage), so an
+//! online query returns exactly the neighbors batch node-centric pruning
+//! would retain for the same entity, scheme, and threshold — bit-identical
+//! across storage flavors, and across shard counts when sharded scoring
+//! ([`QueryEngine::with_shards`]) is enabled.
 
 use crate::error::ServeError;
 use crate::request::{CandidateRequest, CandidateResponse, CandidateTarget};
 use crate::snapshot::Snapshot;
+use crate::store::{EngineStore, SnapshotStore};
+use crate::view::SnapshotView;
 use er_model::fxhash::FxHashMap;
 use er_model::tokenize::{raw_tokens, KeyScratch};
 use er_model::{EntityId, EntityProfile, ErKind};
 use mb_core::{
-    GraphContext, NeighborhoodScorer, PruningScheme, Retention, Scored, WeightingScheme,
+    CandidateStore, NeighborhoodScorer, PruningScheme, Retention, Scored, ShardedScorer,
+    WeightingScheme,
 };
 use mb_observe::{Counter, Observer, Stage, StageScope};
+
+/// Token → id lookup over either storage flavor.
+///
+/// The owned path hashes borrowed vocabulary strings; the zero-copy path
+/// binary-searches the persisted byte-order permutation without building
+/// any per-token structure.
+enum TokenLookup<'s> {
+    Map(FxHashMap<&'s str, u32>),
+    View(&'s SnapshotView),
+}
+
+impl TokenLookup<'_> {
+    fn get(&self, token: &str) -> Option<u32> {
+        match self {
+            TokenLookup::Map(m) => m.get(token).copied(),
+            TokenLookup::View(v) => v.find_token(token.as_bytes()),
+        }
+    }
+}
 
 /// An online candidate-query engine bound to a loaded snapshot.
 ///
 /// Holds the per-query scratch state (scan epochs, probe buffers, the
 /// token-to-block routing table), so queries allocate nothing on the steady
-/// path. One engine serves one thread; [`QueryEngine::batch`] fans out
+/// path. One engine serves one thread; [`CandidateTarget::Batch`] fans out
 /// internally with the deterministic chunked sweep used across the pipeline.
 pub struct QueryEngine<'s> {
-    snapshot: &'s Snapshot,
-    scorer: NeighborhoodScorer<'s>,
-    /// The snapshot vocabulary, string → interned token id.
-    token_ids: FxHashMap<&'s str, u32>,
+    store: EngineStore<'s>,
+    scorer: NeighborhoodScorer<EngineStore<'s>>,
+    /// Sharded entity-query scorer, present after
+    /// [`QueryEngine::with_shards`]; probe and batch stay on the flat path.
+    sharded: Option<ShardedScorer<EngineStore<'s>>>,
+    tokens: TokenLookup<'s>,
     /// Token id → surviving block id, `u32::MAX` when the token's block was
     /// filtered away (or never emitted).
     token_block: Vec<u32>,
     scratch: KeyScratch,
     probe_blocks: Vec<u32>,
+    pruning: PruningScheme,
+    cnp_threshold: usize,
+}
+
+/// Builds the token → surviving-block routing table from the per-block key
+/// provenance, walking `keys` in block order.
+fn build_token_block(num_tokens: usize, keys: er_model::U32s<'_>) -> Vec<u32> {
+    let mut token_block = vec![u32::MAX; num_tokens];
+    let mut block = 0u32;
+    keys.for_each(|token| {
+        // lint:allow(panic-reachability) in range: snapshot validation
+        // proved every block key indexes the vocabulary.
+        token_block[token as usize] = block;
+        block += 1;
+    });
+    token_block
 }
 
 impl<'s> QueryEngine<'s> {
@@ -47,38 +90,103 @@ impl<'s> QueryEngine<'s> {
         Self::with_scheme(snapshot, snapshot.config().weighting)
     }
 
-    /// Builds an engine scoring with an explicit `scheme`, which may differ
-    /// from the snapshot's configured one.
+    /// Builds an engine over an owned snapshot, scoring with an explicit
+    /// `scheme` (which may differ from the snapshot's configured one).
     ///
-    /// The persisted index is adopted as-is (one flat copy, no
-    /// re-derivation).
+    /// The persisted arrays are borrowed as-is — no copy, no re-derivation.
     pub fn with_scheme(snapshot: &'s Snapshot, scheme: WeightingScheme) -> Self {
-        let ctx =
-            GraphContext::from_index(snapshot.blocks(), snapshot.index().clone(), snapshot.split());
-        let scorer = NeighborhoodScorer::from_context(ctx, scheme);
+        let store = EngineStore::from_snapshot(snapshot);
         let mut token_ids = FxHashMap::default();
         for (id, token) in snapshot.tokens().iter().enumerate() {
             token_ids.insert(token.as_str(), id as u32);
         }
-        let mut token_block = vec![u32::MAX; snapshot.tokens().len()];
-        for (block, &token) in snapshot.block_keys().iter().enumerate() {
-            // lint:allow(panic-reachability) in range: snapshot validation
-            // proved every block key indexes the vocabulary.
-            token_block[token as usize] = block as u32;
-        }
-        QueryEngine {
-            snapshot,
-            scorer,
-            token_ids,
+        let token_block =
+            build_token_block(snapshot.tokens().len(), er_model::U32s::from(snapshot.block_keys()));
+        Self::assemble(
+            store,
+            scheme,
+            TokenLookup::Map(token_ids),
             token_block,
-            scratch: KeyScratch::new(),
-            probe_blocks: Vec::new(),
+            snapshot.config().pruning,
+            snapshot.cnp_threshold(),
+        )
+    }
+
+    /// Builds an engine over a zero-copy view using the snapshot's
+    /// configured weighting scheme.
+    pub fn from_view(view: &'s SnapshotView) -> Self {
+        Self::view_with_scheme(view, view.config().weighting)
+    }
+
+    /// Builds an engine over a zero-copy view, scoring with an explicit
+    /// `scheme`.
+    ///
+    /// Every large array stays borrowed from the view's buffer; the only
+    /// derived state is the `O(vocabulary)` token-to-block routing table.
+    pub fn view_with_scheme(view: &'s SnapshotView, scheme: WeightingScheme) -> Self {
+        let store = EngineStore::from_view(view);
+        let token_block = build_token_block(view.num_tokens(), view.block_keys());
+        Self::assemble(
+            store,
+            scheme,
+            TokenLookup::View(view),
+            token_block,
+            view.config().pruning,
+            view.cnp_threshold(),
+        )
+    }
+
+    /// Builds an engine over whichever storage flavor `store` holds, using
+    /// the snapshot's configured weighting scheme.
+    pub fn from_store(store: &'s SnapshotStore) -> Self {
+        match store {
+            SnapshotStore::Owned(s) => Self::new(s),
+            SnapshotStore::Mapped(v) => Self::from_view(v),
         }
     }
 
-    /// The snapshot this engine serves.
-    pub fn snapshot(&self) -> &'s Snapshot {
-        self.snapshot
+    fn assemble(
+        store: EngineStore<'s>,
+        scheme: WeightingScheme,
+        tokens: TokenLookup<'s>,
+        token_block: Vec<u32>,
+        pruning: PruningScheme,
+        cnp_threshold: usize,
+    ) -> Self {
+        let scorer = NeighborhoodScorer::from_store(store, scheme);
+        QueryEngine {
+            store,
+            scorer,
+            sharded: None,
+            tokens,
+            token_block,
+            scratch: KeyScratch::new(),
+            probe_blocks: Vec::new(),
+            pruning,
+            cnp_threshold,
+        }
+    }
+
+    /// Enables sharded entity-query scoring: the arena and index are
+    /// partitioned into `num_shards` entity ranges that scan concurrently on
+    /// up to `threads` threads and merge deterministically.
+    ///
+    /// Results are bit-identical to the flat path for every shard and
+    /// thread count. Probe and batch queries keep using the flat scorer
+    /// (batch already fans out across entities). `num_shards <= 1` disables
+    /// sharding.
+    pub fn with_shards(mut self, num_shards: usize, threads: usize) -> Self {
+        self.sharded = if num_shards > 1 {
+            Some(ShardedScorer::new(self.store, self.scheme(), num_shards, threads))
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Number of shards entity queries fan out over (1 = flat scoring).
+    pub fn num_shards(&self) -> usize {
+        self.sharded.as_ref().map_or(1, |s| s.num_shards())
     }
 
     /// The weighting scheme queries are scored with.
@@ -86,16 +194,21 @@ impl<'s> QueryEngine<'s> {
         self.scorer.scheme()
     }
 
+    /// `|E|` of the underlying snapshot.
+    pub fn num_entities(&self) -> usize {
+        self.store.num_entities()
+    }
+
     /// The retention rule matching the snapshot's configured pruning scheme:
     /// cardinality-based schemes keep the persisted CNP top-`k` per node,
     /// weight-based schemes keep neighbors at or above the neighborhood
     /// mean.
     pub fn default_retention(&self) -> Retention {
-        match self.snapshot.config().pruning {
+        match self.pruning {
             PruningScheme::Cep
             | PruningScheme::Cnp
             | PruningScheme::RedefinedCnp
-            | PruningScheme::ReciprocalCnp => Retention::TopK(self.snapshot.cnp_threshold()),
+            | PruningScheme::ReciprocalCnp => Retention::TopK(self.cnp_threshold),
             PruningScheme::Wep
             | PruningScheme::Wnp
             | PruningScheme::RedefinedWnp
@@ -123,11 +236,11 @@ impl<'s> QueryEngine<'s> {
         scope.add(Counter::RequestsServed, 1);
         let results = match request.target() {
             CandidateTarget::Entity(pivot) => {
-                if (pivot.0 as usize) >= self.snapshot.num_entities() {
+                if (pivot.0 as usize) >= self.store.num_entities() {
                     scope.finish();
                     return Err(ServeError::EntityOutOfRange {
                         id: pivot.0,
-                        entities: self.snapshot.num_entities() as u64,
+                        entities: self.store.num_entities() as u64,
                     });
                 }
                 vec![self.run_query(*pivot, retention, &mut scope)]
@@ -155,10 +268,10 @@ impl<'s> QueryEngine<'s> {
         obs: &mut dyn Observer,
     ) -> Scored {
         assert!(
-            (pivot.0 as usize) < self.snapshot.num_entities(),
+            (pivot.0 as usize) < self.store.num_entities(),
             "entity {} out of range ({} entities)",
             pivot.0,
-            self.snapshot.num_entities()
+            self.store.num_entities()
         );
         let mut scope = StageScope::enter(obs, Stage::Query);
         let scored = self.run_query(pivot, retention, &mut scope);
@@ -172,7 +285,10 @@ impl<'s> QueryEngine<'s> {
         retention: Retention,
         scope: &mut StageScope<'_>,
     ) -> Scored {
-        let scored = self.scorer.query(pivot, retention);
+        let scored = match &mut self.sharded {
+            Some(sharded) => sharded.query(pivot, retention),
+            None => self.scorer.query(pivot, retention),
+        };
         scope.add(Counter::BlocksTouched, scored.blocks_touched);
         scope.add(Counter::EdgesScored, scored.edges_scored);
         scored
@@ -220,9 +336,9 @@ impl<'s> QueryEngine<'s> {
         self.probe_blocks.clear();
         for token in self.scratch.iter() {
             tokens_probed += 1;
-            if let Some(&id) = self.token_ids.get(token) {
-                // lint:allow(panic-reachability) in range: token_ids values
-                // enumerate the same vocabulary token_block is sized by.
+            if let Some(id) = self.tokens.get(token) {
+                // lint:allow(panic-reachability) in range: token lookups
+                // resolve into the same vocabulary token_block is sized by.
                 let block = self.token_block[id as usize];
                 if block != u32::MAX {
                     self.probe_blocks.push(block);
@@ -239,8 +355,8 @@ impl<'s> QueryEngine<'s> {
         scored
     }
 
-    /// Answers [`QueryEngine::query`] for every entity of the snapshot,
-    /// fanning out over the pipeline's deterministic chunked sweep.
+    /// Answers an entity query for every entity of the snapshot, fanning
+    /// out over the pipeline's deterministic chunked sweep.
     ///
     /// The result is ordered by entity id and bit-identical for every
     /// `threads` value. For Clean-Clean snapshots, entities on either side
@@ -277,6 +393,6 @@ impl<'s> QueryEngine<'s> {
 
     /// The ER task kind of the underlying snapshot.
     pub fn kind(&self) -> ErKind {
-        self.snapshot.kind()
+        self.store.kind()
     }
 }

@@ -55,6 +55,14 @@ pub enum SnapshotError {
         /// The missing section.
         section: &'static str,
     },
+    /// A section's recorded file offset breaks the format's 8-byte
+    /// alignment guarantee — the property the zero-copy loader relies on.
+    Misaligned {
+        /// The misaligned section.
+        section: &'static str,
+        /// The offset the table recorded.
+        offset: u64,
+    },
     /// Bytes remained after a payload (or after the last section) was fully
     /// decoded.
     TrailingBytes {
@@ -100,6 +108,9 @@ impl fmt::Display for SnapshotError {
             }
             SnapshotError::MissingSection { section } => {
                 write!(f, "missing snapshot section '{section}'")
+            }
+            SnapshotError::Misaligned { section, offset } => {
+                write!(f, "section '{section}' at offset {offset} breaks 8-byte alignment")
             }
             SnapshotError::TrailingBytes { section, bytes } => {
                 write!(f, "{bytes} trailing bytes after section '{section}'")

@@ -12,23 +12,28 @@
 //! takes the write lock only for the pointer replacement. Readers never
 //! block each other, and a swap blocks readers only for the duration of one
 //! `Arc` clone.
+//!
+//! A generation holds a [`SnapshotStore`], so either storage flavor — a
+//! deep-decoded [`crate::Snapshot`] or a zero-copy
+//! [`crate::SnapshotView`] — can be published, and consecutive generations
+//! may mix flavors freely.
 
-use crate::snapshot::Snapshot;
+use crate::store::SnapshotStore;
 use std::sync::{Arc, PoisonError, RwLock};
 
-/// One immutable serving generation: a validated snapshot plus the ordinal
-/// that names it on the wire (responses echo it, so a client can tell which
-/// generation answered).
+/// One immutable serving generation: a validated snapshot (in either
+/// storage flavor) plus the ordinal that names it on the wire (responses
+/// echo it, so a client can tell which generation answered).
 #[derive(Debug)]
 pub struct Generation {
-    snapshot: Snapshot,
+    store: SnapshotStore,
     ordinal: u64,
 }
 
 impl Generation {
-    /// The generation's snapshot.
-    pub fn snapshot(&self) -> &Snapshot {
-        &self.snapshot
+    /// The generation's snapshot storage.
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
     }
 
     /// The generation's ordinal: `1` for the snapshot the server started
@@ -40,9 +45,9 @@ impl Generation {
 
 /// The swappable cell the server publishes generations through.
 ///
-/// All constructors take an already-validated [`Snapshot`] (every `Snapshot`
-/// constructor validates), so the cell can never hold a partially-built
-/// generation.
+/// All constructors take an already-validated snapshot (every `Snapshot` /
+/// `SnapshotView` constructor validates), so the cell can never hold a
+/// partially-built generation.
 #[derive(Debug)]
 pub struct GenerationCell {
     current: RwLock<Arc<Generation>>,
@@ -50,8 +55,10 @@ pub struct GenerationCell {
 
 impl GenerationCell {
     /// Publishes `snapshot` as generation 1.
-    pub fn new(snapshot: Snapshot) -> GenerationCell {
-        GenerationCell { current: RwLock::new(Arc::new(Generation { snapshot, ordinal: 1 })) }
+    pub fn new(snapshot: impl Into<SnapshotStore>) -> GenerationCell {
+        GenerationCell {
+            current: RwLock::new(Arc::new(Generation { store: snapshot.into(), ordinal: 1 })),
+        }
     }
 
     /// The current generation, pinned: the returned `Arc` keeps this
@@ -76,10 +83,10 @@ impl GenerationCell {
     /// the snapshot *before* calling — nothing slow happens under the write
     /// lock. Readers that loaded the previous generation finish on it; new
     /// loads see the new one.
-    pub fn swap(&self, snapshot: Snapshot) -> u64 {
+    pub fn swap(&self, snapshot: impl Into<SnapshotStore>) -> u64 {
         let mut slot = self.current.write().unwrap_or_else(PoisonError::into_inner);
         let ordinal = slot.ordinal + 1;
-        *slot = Arc::new(Generation { snapshot, ordinal });
+        *slot = Arc::new(Generation { store: snapshot.into(), ordinal });
         ordinal
     }
 }
@@ -87,6 +94,8 @@ impl GenerationCell {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::Snapshot;
+    use crate::view::SnapshotView;
     use er_model::{EntityCollection, EntityProfile};
     use mb_core::PipelineConfig;
 
@@ -105,15 +114,15 @@ mod tests {
         assert_eq!(cell.ordinal(), 1);
         let pinned = cell.load();
         assert_eq!(pinned.ordinal(), 1);
-        let tokens_before = pinned.snapshot().tokens().len();
+        let tokens_before = pinned.store().num_tokens();
 
         let next = tiny_snapshot("brand new token");
         assert_eq!(cell.swap(next), 2);
         assert_eq!(cell.ordinal(), 2);
         // The pinned generation still serves its own snapshot…
-        assert_eq!(pinned.snapshot().tokens().len(), tokens_before);
+        assert_eq!(pinned.store().num_tokens(), tokens_before);
         // …while fresh loads see the new one.
-        assert!(cell.load().snapshot().tokens().len() > tokens_before);
+        assert!(cell.load().store().num_tokens() > tokens_before);
     }
 
     #[test]
@@ -128,5 +137,18 @@ mod tests {
         // The cell plus our load: exactly two strong references, so nothing
         // leaked a generation handle.
         assert_eq!(Arc::strong_count(&current), 2);
+    }
+
+    #[test]
+    fn generations_mix_storage_flavors() {
+        let owned = tiny_snapshot("a");
+        let bytes = owned.to_bytes();
+        let cell = GenerationCell::new(owned);
+        let mapped = SnapshotView::from_bytes(bytes).unwrap();
+        let tokens = mapped.num_tokens();
+        assert_eq!(cell.swap(mapped), 2);
+        let pinned = cell.load();
+        assert!(matches!(pinned.store(), SnapshotStore::Mapped(_)));
+        assert_eq!(pinned.store().num_tokens(), tokens);
     }
 }

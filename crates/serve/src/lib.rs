@@ -9,12 +9,21 @@
 //! - [`Snapshot`] freezes that state into a versioned, checksummed binary
 //!   format ([`Snapshot::to_bytes`] / [`Snapshot::from_bytes`]) whose loader
 //!   validates every structural invariant and never panics on malformed
-//!   input (see [`SnapshotError`]).
-//! - [`QueryEngine`] loads a snapshot once and answers typed
-//!   [`CandidateRequest`]s — for indexed entities or unseen probe profiles
-//!   — with the same weighting schemes, retention rules, and tie ordering
-//!   as batch node-centric pruning, so online answers match the offline
-//!   pipeline bit for bit.
+//!   input (see [`SnapshotError`]). Builds that exceed RAM stream their
+//!   postings through bounded-memory spill files instead
+//!   ([`Snapshot::build_out_of_core`], tuned by [`OutOfCoreConfig`]).
+//! - [`SnapshotView`] loads the same format *zero-copy*: the fixed-width
+//!   sections are 8-byte-aligned in the file, so after one checksum-gated
+//!   validation pass every array is borrowed straight out of the loaded
+//!   buffer — no per-section decode, no second allocation. [`SnapshotHeader`]
+//!   reads just the section table for O(1) inspection.
+//! - [`QueryEngine`] loads a snapshot (owned or view-backed) once and
+//!   answers typed [`CandidateRequest`]s — for indexed entities or unseen
+//!   probe profiles — with the same weighting schemes, retention rules, and
+//!   tie ordering as batch node-centric pruning, so online answers match the
+//!   offline pipeline bit for bit. [`QueryEngine::with_shards`] partitions
+//!   the per-entity work across range shards for parallel batch scoring with
+//!   deterministic, bit-identical merges.
 //! - [`Server`] keeps an engine resident behind a TCP listener speaking a
 //!   checksummed, length-prefixed wire protocol ([`protocol`]), with
 //!   zero-downtime snapshot reloads through hot-swappable generations
@@ -52,10 +61,15 @@ pub mod protocol;
 mod request;
 mod server;
 mod snapshot;
+mod spill;
+mod store;
+mod view;
 
 pub use engine::QueryEngine;
 pub use error::{ServeError, SnapshotError};
 pub use generation::{Generation, GenerationCell};
 pub use request::{CandidateRequest, CandidateResponse, CandidateTarget};
 pub use server::{Client, Server, ServerConfig, ServerHandle};
-pub use snapshot::{Snapshot, FORMAT_VERSION, MAGIC};
+pub use snapshot::{OutOfCoreConfig, SectionInfo, Snapshot, SnapshotHeader, FORMAT_VERSION, MAGIC};
+pub use store::SnapshotStore;
+pub use view::SnapshotView;

@@ -38,7 +38,8 @@ use crate::protocol::{
     MSG_RELOAD, MSG_REQUEST, MSG_RESPONSE, MSG_SHUTDOWN,
 };
 use crate::request::{CandidateRequest, CandidateResponse};
-use crate::snapshot::Snapshot;
+use crate::store::SnapshotStore;
+use crate::view::SnapshotView;
 use mb_observe::RunReport;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -73,6 +74,12 @@ pub struct ServerConfig {
     /// Rewrite [`ServerConfig::report_path`] every this many requests
     /// (`0` disables periodic writes).
     pub report_every: u64,
+    /// Entity-range shards each connection's engine fans entity queries
+    /// over ([`QueryEngine::with_shards`]); `<= 1` keeps flat scoring.
+    pub shards: usize,
+    /// Worker threads for the sharded scorer (meaningful with `shards > 1`;
+    /// floored to 1).
+    pub shard_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +90,8 @@ impl Default for ServerConfig {
             trigger_path: None,
             report_path: None,
             report_every: 100,
+            shards: 1,
+            shard_threads: 1,
         }
     }
 }
@@ -126,7 +135,9 @@ impl Shared {
         // a tight loop.
         let _ = std::fs::remove_file(trigger);
         let mut local = RunReport::new("serve/trigger-reload");
-        match Snapshot::read_from(Path::new(path), &mut local) {
+        // Reloads come in through the zero-copy loader: validation is the
+        // cheap linear pass and the swap publishes a mapped generation.
+        match SnapshotView::read_from(Path::new(path), &mut local) {
             Ok(snapshot) => {
                 let ordinal = self.cell.swap(snapshot);
                 let mut report = self.report.lock().unwrap_or_else(PoisonError::into_inner);
@@ -152,7 +163,10 @@ impl Server {
     /// Returns once the listener is bound; the handle exposes the bound
     /// address, in-process generation swaps, the aggregated telemetry, and
     /// graceful shutdown. Dropping the handle also shuts the server down.
-    pub fn start(snapshot: Snapshot, config: ServerConfig) -> Result<ServerHandle, ServeError> {
+    pub fn start(
+        snapshot: impl Into<SnapshotStore>,
+        config: ServerConfig,
+    ) -> Result<ServerHandle, ServeError> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -220,7 +234,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeErro
         // loop re-checks the cell's ordinal between frames and rebuilds
         // when a swap happened.
         let generation = shared.cell.load();
-        let mut engine = QueryEngine::new(generation.snapshot());
+        let mut engine = QueryEngine::from_store(generation.store());
+        if shared.config.shards > 1 {
+            engine = engine.with_shards(shared.config.shards, shared.config.shard_threads.max(1));
+        }
         loop {
             if shared.stop.load(Ordering::SeqCst) {
                 return Ok(());
@@ -262,7 +279,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeErro
                 MSG_RELOAD => {
                     let mut local = RunReport::new("serve/reload");
                     let loaded = parse_text(&payload).and_then(|path| {
-                        Snapshot::read_from(Path::new(&path), &mut local)
+                        SnapshotView::read_from(Path::new(&path), &mut local)
                             .map_err(|e| ServeError::Reload(Box::new(e)))
                     });
                     match loaded {
@@ -317,7 +334,7 @@ impl ServerHandle {
 
     /// Swaps `snapshot` in as the next generation without going over the
     /// wire; returns the new ordinal. Same semantics as a client reload.
-    pub fn swap(&self, snapshot: Snapshot) -> u64 {
+    pub fn swap(&self, snapshot: impl Into<SnapshotStore>) -> u64 {
         self.shared.cell.swap(snapshot)
     }
 

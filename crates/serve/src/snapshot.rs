@@ -6,68 +6,476 @@
 //! thresholds — so a serving process reconstructs the query state without
 //! re-running blocking, filtering, or index construction.
 //!
-//! # Layout (format version 1)
+//! # Layout (format version 2)
 //!
 //! ```text
-//! magic "MBSNAP01" | version u32 | section*
-//! section := id u32 | payload_len u64 | fnv1a64(payload) u64 | payload
+//! header:  magic "MBSNAP02" | version u32 = 2 | section_count u32
+//! table:   section_count entries, 32 bytes each:
+//!          id u32 | reserved u32 = 0 | offset u64 | len u64 | checksum u64
+//! payloads: contiguous, in table order, each starting on an 8-byte file
+//!           offset and zero-padded to the next multiple of 8
 //! ```
 //!
-//! Sections (all required, each at most once, any order):
+//! `offset` is absolute, `len` is the unpadded payload length, and
+//! `checksum` is word-wise FNV-1a 64 over the *padded* region. Sections are
+//! required, unique, and appear in exactly this canonical order:
 //!
-//! | id | name      | payload                                               |
-//! |----|-----------|-------------------------------------------------------|
-//! | 1  | meta      | kind u8, |E| u32, split u32, CNP k u64, CEP K u64, ‖B‖ u64, Σ|b| u64, config JSON |
-//! | 2  | blocks    | CSR arena: members, offsets, splits (`u32` vectors)   |
-//! | 3  | index     | flat entity index: lists, offsets (`u32` vectors)     |
-//! | 4  | tokens    | count u32, then length-prefixed UTF-8 keys in id order|
-//! | 5  | blockkeys | one interned token id per block, in block order       |
+//! | id | name        | payload                                             |
+//! |----|-------------|-----------------------------------------------------|
+//! | 1  | meta        | kind u32, reserved u32, |E| u64, split u64, CNP k u64, CEP K u64, ‖B‖ u64, Σ|b| u64, config JSON |
+//! | 2  | members     | CSR arena member pool (`u32` vector)                |
+//! | 3  | offsets     | CSR arena block offsets (`u32` vector)              |
+//! | 4  | splits      | CSR arena split offsets (`u32` vector)              |
+//! | 5  | indexlists  | flat entity-index block ids (`u32` vector)          |
+//! | 6  | indexoffs   | flat entity-index offsets (`u32` vector)            |
+//! | 7  | tokoffsets  | V+1 byte offsets into `tokblob` (`u32` vector)      |
+//! | 8  | tokblob     | UTF-8 token bytes concatenated in id order          |
+//! | 9  | toksorted   | token ids sorted by byte order (`u32` vector)       |
+//! | 10 | blockkeys   | one interned token id per block, in block order     |
 //!
-//! All integers little-endian; vectors carry a `u32` length prefix. Loading
-//! verifies the magic, the version, every checksum, full payload
-//! consumption, and — through the always-compiled `er_model::sanitize`
-//! validators plus the non-panicking `try_from_raw_parts` constructors — the
-//! structural invariants of the arena and index, before cross-checking the
-//! sections against each other. Nothing is re-derived on load; the persisted
-//! thresholds are *verified* against the same `mb_core` formulas that
-//! produced them.
+//! All integers little-endian; `u32` vectors carry a `u32` length prefix.
+//! The front-loaded table plus fixed-width, 8-aligned payloads are what the
+//! zero-copy loader ([`crate::view::SnapshotView`]) relies on: it verifies
+//! the table and checksums, then *borrows* the big arrays straight out of
+//! the loaded buffer instead of decoding them. The owned decoder here keeps
+//! the full deep validation (structural sanitizers, cross-section checks,
+//! threshold verification) and is the baseline the zero-copy path is
+//! benchmarked against.
+//!
+//! Version-1 files (magic `MBSNAP01`) are rejected with a typed
+//! [`SnapshotError::UnsupportedVersion`]: readers accept exactly the
+//! versions they know and never guess at another layout.
 
-use crate::codec::{fnv1a, put_bytes, put_u32, put_u32_slice, put_u64, put_u8, Reader};
+use crate::codec::{fnv1a_wide, padded_len, put_bytes, put_u32, put_u32_slice, put_u64, Reader};
 use crate::error::SnapshotError;
-use er_blocking::TokenBlocking;
+use crate::spill::{pack_posting, unpack_posting, SpillSort};
+use er_blocking::{blocks_from_sorted_postings, TokenBlocking};
+use er_model::tokenize::TokenInterner;
 use er_model::{BlockCollection, EntityCollection, EntityId, EntityIndex, ErKind};
 use mb_core::filter::block_filtering_traced;
 use mb_core::prune::{cep_threshold, cnp_threshold};
 use mb_core::{GraphContext, PipelineConfig};
 use mb_observe::{Observer, Stage, StageScope};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// The snapshot file magic.
-pub const MAGIC: [u8; 8] = *b"MBSNAP01";
+pub const MAGIC: [u8; 8] = *b"MBSNAP02";
 
 /// The newest format version this build reads and the only one it writes.
 ///
 /// Policy: bump on any layout change, including compatible additions — a
 /// reader never guesses at bytes laid out by a version it does not know.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
-const SECTION_META: u32 = 1;
-const SECTION_BLOCKS: u32 = 2;
-const SECTION_INDEX: u32 = 3;
-const SECTION_TOKENS: u32 = 4;
-const SECTION_BLOCKKEYS: u32 = 5;
+pub(crate) const SECTION_META: u32 = 1;
+pub(crate) const SECTION_MEMBERS: u32 = 2;
+pub(crate) const SECTION_OFFSETS: u32 = 3;
+pub(crate) const SECTION_SPLITS: u32 = 4;
+pub(crate) const SECTION_INDEX_LISTS: u32 = 5;
+pub(crate) const SECTION_INDEX_OFFSETS: u32 = 6;
+pub(crate) const SECTION_TOK_OFFSETS: u32 = 7;
+pub(crate) const SECTION_TOK_BLOB: u32 = 8;
+pub(crate) const SECTION_TOK_SORTED: u32 = 9;
+pub(crate) const SECTION_BLOCKKEYS: u32 = 10;
 
-/// All section ids with their display names, in canonical write order.
-const SECTIONS: [(u32, &str); 5] = [
+/// All section ids with their display names, in canonical (and mandatory)
+/// file order.
+pub(crate) const SECTIONS: [(u32, &str); 10] = [
     (SECTION_META, "meta"),
-    (SECTION_BLOCKS, "blocks"),
-    (SECTION_INDEX, "index"),
-    (SECTION_TOKENS, "tokens"),
+    (SECTION_MEMBERS, "members"),
+    (SECTION_OFFSETS, "offsets"),
+    (SECTION_SPLITS, "splits"),
+    (SECTION_INDEX_LISTS, "indexlists"),
+    (SECTION_INDEX_OFFSETS, "indexoffs"),
+    (SECTION_TOK_OFFSETS, "tokoffsets"),
+    (SECTION_TOK_BLOB, "tokblob"),
+    (SECTION_TOK_SORTED, "toksorted"),
     (SECTION_BLOCKKEYS, "blockkeys"),
 ];
 
+/// Byte length of the fixed header (magic + version + section count).
+pub(crate) const HEADER_LEN: usize = 16;
+
+/// Byte length of one section-table entry.
+pub(crate) const TABLE_ENTRY_LEN: usize = 32;
+
 fn section_name(id: u32) -> Option<&'static str> {
     SECTIONS.iter().find(|&&(sid, _)| sid == id).map(|&(_, name)| name)
+}
+
+fn label(id: u32) -> &'static str {
+    section_name(id).unwrap_or("?")
+}
+
+/// One parsed (and bounds-checked) section-table entry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SectionEntry {
+    pub(crate) name: &'static str,
+    /// Absolute file offset of the payload (a multiple of 8).
+    pub(crate) offset: usize,
+    /// Unpadded payload length in bytes.
+    pub(crate) len: usize,
+    /// Wide FNV-1a over the zero-padded payload region.
+    pub(crate) checksum: u64,
+}
+
+/// Turns a wrong 8-byte magic into the most precise error available.
+///
+/// Older (or newer) snapshot generations share the `MBSNAP` prefix and
+/// differ in the two trailing version digits, so a `MBSNAP01` file reports
+/// [`SnapshotError::UnsupportedVersion`] rather than a bare bad-magic.
+fn classify_magic(magic: &[u8]) -> SnapshotError {
+    if magic.len() == 8 && &magic[..6] == MAGIC.get(..6).unwrap_or(b"MBSNAP") {
+        let (d1, d2) = (magic[6], magic[7]);
+        if d1.is_ascii_digit() && d2.is_ascii_digit() {
+            let found = (d1 - b'0') as u32 * 10 + (d2 - b'0') as u32;
+            return SnapshotError::UnsupportedVersion { found, supported: FORMAT_VERSION };
+        }
+    }
+    SnapshotError::BadMagic
+}
+
+/// Parses and structurally validates the header plus section table.
+///
+/// `head` must hold at least the header and table bytes (it may be the whole
+/// file); `file_len` is the total file length the table is checked against.
+/// On success every entry is canonical: ids in order, offsets contiguous and
+/// 8-aligned starting right after the table, padded payloads ending exactly
+/// at `file_len`. Checksums are *not* verified here — see
+/// [`verify_checksums`] — so a header-only reader stays O(1).
+pub(crate) fn parse_table(
+    head: &[u8],
+    file_len: usize,
+) -> Result<Vec<SectionEntry>, SnapshotError> {
+    let mut r = Reader::new(head, "frame");
+    let magic = r.take(MAGIC.len()).map_err(|_| SnapshotError::BadMagic)?;
+    if magic != MAGIC {
+        return Err(classify_magic(magic));
+    }
+    let version = r.u32().map_err(|_| SnapshotError::BadMagic)?;
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let count = r.u32()?;
+    if count as usize != SECTIONS.len() {
+        return Err(SnapshotError::Inconsistent(format!(
+            "format version {FORMAT_VERSION} has {} sections, header declares {count}",
+            SECTIONS.len()
+        )));
+    }
+    let mut entries = Vec::with_capacity(SECTIONS.len());
+    let mut expected_offset = (HEADER_LEN + SECTIONS.len() * TABLE_ENTRY_LEN) as u64;
+    for &(id, name) in SECTIONS.iter() {
+        let got = r.u32()?;
+        if got != id {
+            return Err(match section_name(got) {
+                Some(other) => SnapshotError::Inconsistent(format!(
+                    "section '{other}' found where '{name}' belongs: sections must appear in \
+                     canonical order"
+                )),
+                None => SnapshotError::UnknownSection { id: got },
+            });
+        }
+        let reserved = r.u32()?;
+        if reserved != 0 {
+            return Err(SnapshotError::Inconsistent(format!(
+                "section '{name}' has nonzero reserved field {reserved}"
+            )));
+        }
+        let offset = r.u64()?;
+        let len = r.u64()?;
+        let checksum = r.u64()?;
+        if offset % 8 != 0 {
+            return Err(SnapshotError::Misaligned { section: name, offset });
+        }
+        if offset != expected_offset {
+            return Err(SnapshotError::Inconsistent(format!(
+                "section '{name}' at offset {offset}, but the canonical layout puts it at \
+                 {expected_offset}"
+            )));
+        }
+        let available = (file_len as u64).saturating_sub(offset);
+        let padded = len
+            .div_ceil(8)
+            .checked_mul(8)
+            .filter(|p| offset.checked_add(*p).is_some_and(|end| end <= file_len as u64))
+            .ok_or(SnapshotError::Truncated {
+                section: name,
+                needed: len.div_ceil(8).saturating_mul(8).saturating_sub(available),
+                available,
+            })?;
+        expected_offset = offset + padded;
+        entries.push(SectionEntry { name, offset: offset as usize, len: len as usize, checksum });
+    }
+    if expected_offset != file_len as u64 {
+        return Err(SnapshotError::TrailingBytes {
+            section: "frame",
+            bytes: file_len as u64 - expected_offset,
+        });
+    }
+    Ok(entries)
+}
+
+/// Verifies every section's wide checksum and that its padding is zero.
+///
+/// O(file size) but touch-only: payloads are hashed, never decoded.
+pub(crate) fn verify_checksums(buf: &[u8], entries: &[SectionEntry]) -> Result<(), SnapshotError> {
+    for e in entries {
+        let padded = padded_len(e.len);
+        // lint:allow(panic-reachability) in range: parse_table proved
+        // offset + padded <= buf.len() for every entry.
+        let region = &buf[e.offset..e.offset + padded];
+        if fnv1a_wide(region) != e.checksum {
+            return Err(SnapshotError::ChecksumMismatch { section: e.name });
+        }
+        // lint:allow(panic-reachability) in range: len <= padded == region
+        // length by construction.
+        if region[e.len..].iter().any(|&b| b != 0) {
+            return Err(SnapshotError::Inconsistent(format!(
+                "section '{}' has nonzero padding bytes",
+                e.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The unpadded payload bytes of one parsed section.
+pub(crate) fn section_slice<'a>(buf: &'a [u8], e: &SectionEntry) -> &'a [u8] {
+    // lint:allow(panic-reachability) in range: parse_table proved
+    // offset + len (and its padding) lie within the file.
+    &buf[e.offset..e.offset + e.len]
+}
+
+/// The decoded `meta` section: scalars plus the parsed, validated pipeline
+/// configuration. Shared by the owned decoder and the zero-copy view.
+#[derive(Debug, Clone)]
+pub(crate) struct Meta {
+    pub(crate) kind: ErKind,
+    pub(crate) num_entities: usize,
+    pub(crate) split: usize,
+    pub(crate) cnp: u64,
+    pub(crate) cep: u64,
+    pub(crate) comparisons: u64,
+    pub(crate) assignments: u64,
+    pub(crate) config: PipelineConfig,
+}
+
+pub(crate) fn decode_meta(payload: &[u8]) -> Result<Meta, SnapshotError> {
+    let mut r = Reader::new(payload, label(SECTION_META));
+    let kind = match r.u32()? {
+        0 => ErKind::Dirty,
+        1 => ErKind::CleanClean,
+        other => return Err(SnapshotError::Inconsistent(format!("unknown ER kind tag {other}"))),
+    };
+    let reserved = r.u32()?;
+    if reserved != 0 {
+        return Err(SnapshotError::Inconsistent(format!(
+            "meta has nonzero reserved field {reserved}"
+        )));
+    }
+    let num_entities = usize::try_from(r.u64()?)
+        .map_err(|_| SnapshotError::Inconsistent("|E| exceeds the address space".into()))?;
+    let split = usize::try_from(r.u64()?)
+        .map_err(|_| SnapshotError::Inconsistent("split exceeds the address space".into()))?;
+    let cnp = r.u64()?;
+    let cep = r.u64()?;
+    let comparisons = r.u64()?;
+    let assignments = r.u64()?;
+    let config_bytes = r.bytes()?;
+    r.finish()?;
+    let config_str =
+        std::str::from_utf8(config_bytes).map_err(|_| SnapshotError::Utf8 { section: "meta" })?;
+    let config = PipelineConfig::from_json_str(config_str).map_err(SnapshotError::Config)?;
+    config.validate().map_err(SnapshotError::Config)?;
+    Ok(Meta { kind, num_entities, split, cnp, cep, comparisons, assignments, config })
+}
+
+/// The derived on-disk token layout: byte offsets, concatenated blob, and
+/// the byte-order permutation the zero-copy probe path binary-searches.
+struct TokenLayout {
+    offsets: Vec<u32>,
+    blob: Vec<u8>,
+    sorted: Vec<u32>,
+}
+
+fn token_layout(tokens: &[String]) -> TokenLayout {
+    let mut offsets = Vec::with_capacity(tokens.len() + 1);
+    let mut blob = Vec::new();
+    offsets.push(0u32);
+    for t in tokens {
+        blob.extend_from_slice(t.as_bytes());
+        offsets.push(blob.len() as u32);
+    }
+    let mut sorted: Vec<u32> = (0..tokens.len() as u32).collect();
+    sorted.sort_unstable_by(|&a, &b| {
+        // lint:allow(panic-reachability) in range: the comparator only
+        // sees the indices 0..tokens.len() collected above.
+        tokens[a as usize].as_bytes().cmp(tokens[b as usize].as_bytes())
+    });
+    TokenLayout { offsets, blob, sorted }
+}
+
+/// Rebuilds the vocabulary from the persisted layout, validating it fully:
+/// offsets strictly ascending from 0 to the blob length (tokens are unique
+/// and non-empty, so equal adjacent offsets are corrupt) and every token
+/// valid UTF-8.
+fn tokens_from_layout(offsets: &[u32], blob: &[u8]) -> Result<Vec<String>, SnapshotError> {
+    let bad = |msg: String| SnapshotError::Inconsistent(msg);
+    if offsets.first() != Some(&0) {
+        return Err(bad("token offsets must start at 0".into()));
+    }
+    if offsets.last().copied().unwrap_or(0) as usize != blob.len() {
+        return Err(bad(format!(
+            "token offsets end at {}, blob holds {} bytes",
+            offsets.last().copied().unwrap_or(0),
+            blob.len()
+        )));
+    }
+    let mut tokens = Vec::with_capacity(offsets.len() - 1);
+    for w in offsets.windows(2) {
+        let (lo, hi) = (w[0] as usize, w[1] as usize);
+        if lo >= hi {
+            return Err(bad("token offsets must be strictly ascending".into()));
+        }
+        // lint:allow(panic-reachability) in range: lo < hi <= blob.len() by
+        // the strict-ascent and final-offset checks above.
+        let bytes = &blob[lo..hi];
+        tokens.push(
+            std::str::from_utf8(bytes)
+                .map_err(|_| SnapshotError::Utf8 { section: "tokblob" })?
+                .to_owned(),
+        );
+    }
+    Ok(tokens)
+}
+
+/// Validates the persisted byte-order permutation against the vocabulary:
+/// right length, in range, strictly ascending by token bytes (which also
+/// proves it is a permutation, since ties are impossible among unique
+/// tokens).
+fn validate_tok_sorted(sorted: &[u32], tokens: &[String]) -> Result<(), SnapshotError> {
+    if sorted.len() != tokens.len() {
+        return Err(SnapshotError::Inconsistent(format!(
+            "toksorted has {} entries for {} tokens",
+            sorted.len(),
+            tokens.len()
+        )));
+    }
+    if let Some(&bad) = sorted.iter().find(|&&t| t as usize >= tokens.len()) {
+        return Err(SnapshotError::Inconsistent(format!(
+            "toksorted references token {bad}, but the vocabulary has {} tokens",
+            tokens.len()
+        )));
+    }
+    for w in sorted.windows(2) {
+        // lint:allow(panic-reachability) in range: every sorted entry was
+        // bounds-checked against the vocabulary just above.
+        if tokens[w[0] as usize].as_bytes() >= tokens[w[1] as usize].as_bytes() {
+            return Err(SnapshotError::Inconsistent(
+                "toksorted is not strictly ascending by token bytes".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A cheap, header-only description of a snapshot file.
+///
+/// [`SnapshotHeader::read_from`] reads exactly the header and section table
+/// — a few hundred bytes — and never touches payloads, so inspecting a
+/// multi-gigabyte snapshot is O(1). Checksums are reported as recorded, not
+/// verified.
+#[derive(Debug, Clone)]
+pub struct SnapshotHeader {
+    /// The file's format version (always [`FORMAT_VERSION`] on success).
+    pub version: u32,
+    /// Total file length in bytes.
+    pub file_len: u64,
+    /// The parsed section table, in file order.
+    pub sections: Vec<SectionInfo>,
+}
+
+/// One section-table row as reported by [`SnapshotHeader`].
+#[derive(Debug, Clone)]
+pub struct SectionInfo {
+    /// The section id.
+    pub id: u32,
+    /// The section's display name.
+    pub name: &'static str,
+    /// Absolute file offset of the payload.
+    pub offset: u64,
+    /// Unpadded payload length in bytes.
+    pub len: u64,
+    /// On-disk (8-padded) payload length in bytes.
+    pub padded_len: u64,
+    /// The recorded wide-FNV checksum of the padded payload.
+    pub checksum: u64,
+}
+
+impl SnapshotHeader {
+    /// Parses the header and section table from an in-memory snapshot.
+    pub fn from_bytes(buf: &[u8]) -> Result<SnapshotHeader, SnapshotError> {
+        let entries = parse_table(buf, buf.len())?;
+        Ok(SnapshotHeader::assemble(buf.len() as u64, &entries))
+    }
+
+    /// Reads only the header and section table from `path` — the payload
+    /// bytes never leave the disk.
+    pub fn read_from(path: &Path) -> Result<SnapshotHeader, SnapshotError> {
+        use std::io::Read;
+        let mut file = std::fs::File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let head_len = (HEADER_LEN + SECTIONS.len() * TABLE_ENTRY_LEN).min(file_len as usize);
+        let mut head = vec![0u8; head_len];
+        file.read_exact(&mut head)?;
+        let entries = parse_table(&head, file_len as usize)?;
+        Ok(SnapshotHeader::assemble(file_len, &entries))
+    }
+
+    fn assemble(file_len: u64, entries: &[SectionEntry]) -> SnapshotHeader {
+        let sections = SECTIONS
+            .iter()
+            .zip(entries)
+            .map(|(&(id, _), e)| SectionInfo {
+                id,
+                name: e.name,
+                offset: e.offset as u64,
+                len: e.len as u64,
+                padded_len: padded_len(e.len) as u64,
+                checksum: e.checksum,
+            })
+            .collect();
+        SnapshotHeader { version: FORMAT_VERSION, file_len, sections }
+    }
+}
+
+/// Tuning for [`Snapshot::build_out_of_core`].
+#[derive(Debug, Clone)]
+pub struct OutOfCoreConfig {
+    /// In-memory posting-buffer budget in bytes (8 bytes per posting).
+    /// Once the buffer would exceed it, the sorted, deduplicated contents
+    /// spill to one run file. Floored internally to 1024 postings.
+    pub spill_budget_bytes: usize,
+    /// Directory for spill run files; the process temp dir when `None`.
+    /// Run files are deleted as soon as the build finishes (or fails).
+    pub temp_dir: Option<PathBuf>,
+}
+
+impl Default for OutOfCoreConfig {
+    fn default() -> OutOfCoreConfig {
+        OutOfCoreConfig { spill_budget_bytes: 256 << 20, temp_dir: None }
+    }
+}
+
+impl OutOfCoreConfig {
+    /// A config spilling after `mb` mebibytes of buffered postings.
+    pub fn with_budget_mb(mb: usize) -> OutOfCoreConfig {
+        OutOfCoreConfig { spill_budget_bytes: mb << 20, ..OutOfCoreConfig::default() }
+    }
 }
 
 /// A frozen, validated serving index.
@@ -106,6 +514,67 @@ impl Snapshot {
     ) -> Result<Snapshot, SnapshotError> {
         config.validate().map_err(SnapshotError::Config)?;
         let (blocks, keys, interner) = TokenBlocking.build_keyed(collection);
+        Snapshot::assemble_blocking(blocks, keys, interner, collection.split(), config)
+    }
+
+    /// [`Snapshot::build`] with a bounded posting memory footprint: the
+    /// `(token, entity)` assignments stream through an external spill sort
+    /// ([`OutOfCoreConfig::spill_budget_bytes`] of buffer, sorted run files
+    /// on disk, k-way merge) instead of accumulating in one vector, so a
+    /// million-entity build never holds the full posting multiset in RAM.
+    ///
+    /// The result is bit-identical to [`Snapshot::build`]'s for the same
+    /// inputs: tokenization/interning ([`TokenBlocking::stream_postings`])
+    /// and block grouping ([`blocks_from_sorted_postings`]) are the *same
+    /// code* the in-memory path runs — only where the sort happens differs,
+    /// and sorted-dedup order is storage-independent.
+    pub fn build_out_of_core(
+        collection: &EntityCollection,
+        config: PipelineConfig,
+        ooc: &OutOfCoreConfig,
+    ) -> Result<Snapshot, SnapshotError> {
+        config.validate().map_err(SnapshotError::Config)?;
+        let dir = ooc.temp_dir.clone().unwrap_or_else(std::env::temp_dir);
+        let mut sorter = SpillSort::new(dir, ooc.spill_budget_bytes)?;
+        let mut io: Option<std::io::Error> = None;
+        let interner = TokenBlocking.stream_postings(collection, &mut |token, entity| {
+            if io.is_none() {
+                if let Err(e) = sorter.push(pack_posting(token, entity.0)) {
+                    io = Some(e);
+                }
+            }
+        });
+        if let Some(e) = io {
+            return Err(SnapshotError::Io(e));
+        }
+        let estimated = usize::try_from(sorter.pushed()).unwrap_or(usize::MAX);
+        let mut sorted = sorter.into_sorted()?;
+        let (blocks, keys) = blocks_from_sorted_postings(
+            collection.kind(),
+            collection.len(),
+            collection.split(),
+            interner.len(),
+            estimated,
+            (&mut sorted).map(|packed| {
+                let (token, entity) = unpack_posting(packed);
+                (token, EntityId(entity))
+            }),
+        );
+        if let Some(e) = sorted.take_error() {
+            return Err(SnapshotError::Io(e));
+        }
+        Snapshot::assemble_blocking(blocks, keys, interner, collection.split(), config)
+    }
+
+    /// The shared back half of both build paths: filter, resolve block
+    /// provenance, index, and derive thresholds.
+    fn assemble_blocking(
+        blocks: BlockCollection,
+        keys: Vec<u32>,
+        interner: TokenInterner,
+        split: usize,
+        config: PipelineConfig,
+    ) -> Result<Snapshot, SnapshotError> {
         let (blocks, trace) = match config.filter_ratio {
             Some(r) => block_filtering_traced(&blocks, r)
                 .map_err(|e| SnapshotError::Config(e.to_string()))?,
@@ -119,7 +588,6 @@ impl Snapshot {
         let block_keys: Vec<u32> = trace.iter().map(|&k| keys[k as usize]).collect();
         let tokens: Vec<String> = interner.into_entries().into_iter().map(|(t, _)| t).collect();
         let index = EntityIndex::build_parallel(&blocks, config.effective_threads());
-        let split = collection.split();
         // The thresholds come from the same mb-core formulas batch pruning
         // uses; the context hands the index back untouched.
         let ctx = GraphContext::from_index(&blocks, index, split);
@@ -238,57 +706,63 @@ impl Snapshot {
 
     /// Encodes the snapshot into the versioned binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        out.extend_from_slice(&MAGIC);
-        put_u32(&mut out, FORMAT_VERSION);
-        for (id, _) in SECTIONS {
-            let payload = self.encode_section(id);
-            put_u32(&mut out, id);
-            put_u64(&mut out, payload.len() as u64);
-            put_u64(&mut out, fnv1a(&payload));
-            out.extend_from_slice(&payload);
-        }
-        out
+        let layout = token_layout(&self.tokens);
+        let payloads: Vec<(u32, Vec<u8>)> =
+            SECTIONS.iter().map(|&(id, _)| (id, self.encode_section(id, &layout))).collect();
+        frame_sections(&payloads)
     }
 
-    fn encode_section(&self, id: u32) -> Vec<u8> {
+    fn encode_section(&self, id: u32, tok: &TokenLayout) -> Vec<u8> {
         let mut p = Vec::new();
         match id {
             SECTION_META => {
-                put_u8(
+                put_u32(
                     &mut p,
                     match self.kind() {
                         ErKind::Dirty => 0,
                         ErKind::CleanClean => 1,
                     },
                 );
-                put_u32(&mut p, self.num_entities() as u32);
-                put_u32(&mut p, self.split as u32);
+                put_u32(&mut p, 0); // reserved
+                put_u64(&mut p, self.num_entities() as u64);
+                put_u64(&mut p, self.split as u64);
                 put_u64(&mut p, self.cnp_threshold as u64);
                 put_u64(&mut p, self.cep_threshold as u64);
                 put_u64(&mut p, self.total_comparisons);
                 put_u64(&mut p, self.total_assignments);
                 put_bytes(&mut p, self.config.to_json_string().as_bytes());
             }
-            SECTION_BLOCKS => {
-                let (members, offsets, splits) = self.blocks.raw_parts();
+            SECTION_MEMBERS => {
+                let (members, _, _) = self.blocks.raw_parts();
                 put_u32(&mut p, members.len() as u32);
                 for e in members {
                     put_u32(&mut p, e.0);
                 }
+            }
+            SECTION_OFFSETS => {
+                let (_, offsets, _) = self.blocks.raw_parts();
                 put_u32_slice(&mut p, offsets);
+            }
+            SECTION_SPLITS => {
+                let (_, _, splits) = self.blocks.raw_parts();
                 put_u32_slice(&mut p, splits);
             }
-            SECTION_INDEX => {
-                let (lists, offsets) = self.index.raw_parts();
+            SECTION_INDEX_LISTS => {
+                let (lists, _) = self.index.raw_parts();
                 put_u32_slice(&mut p, lists);
+            }
+            SECTION_INDEX_OFFSETS => {
+                let (_, offsets) = self.index.raw_parts();
                 put_u32_slice(&mut p, offsets);
             }
-            SECTION_TOKENS => {
-                put_u32(&mut p, self.tokens.len() as u32);
-                for t in &self.tokens {
-                    put_bytes(&mut p, t.as_bytes());
-                }
+            SECTION_TOK_OFFSETS => {
+                put_u32_slice(&mut p, &tok.offsets);
+            }
+            SECTION_TOK_BLOB => {
+                put_bytes(&mut p, &tok.blob);
+            }
+            SECTION_TOK_SORTED => {
+                put_u32_slice(&mut p, &tok.sorted);
             }
             SECTION_BLOCKKEYS => {
                 put_u32_slice(&mut p, &self.block_keys);
@@ -301,146 +775,89 @@ impl Snapshot {
     /// Decodes and fully validates a snapshot from bytes.
     ///
     /// Never panics on malformed input: framing, checksum, structural and
-    /// cross-section failures all surface as typed [`SnapshotError`]s.
+    /// cross-section failures all surface as typed [`SnapshotError`]s. This
+    /// is the deep-validation (owned) path; the zero-copy alternative is
+    /// [`crate::view::SnapshotView::from_bytes`].
     pub fn from_bytes(buf: &[u8]) -> Result<Snapshot, SnapshotError> {
-        let mut frame = Reader::new(buf, "frame");
-        if frame.take(MAGIC.len()).map_err(|_| SnapshotError::BadMagic)? != MAGIC {
-            return Err(SnapshotError::BadMagic);
-        }
-        let version = frame.u32().map_err(|_| SnapshotError::BadMagic)?;
-        if version != FORMAT_VERSION {
-            return Err(SnapshotError::UnsupportedVersion {
-                found: version,
-                supported: FORMAT_VERSION,
-            });
-        }
-        let mut payloads: [Option<&[u8]>; SECTIONS.len()] = [None; SECTIONS.len()];
-        while frame.remaining() > 0 {
-            let id = frame.u32()?;
-            let name = section_name(id).ok_or(SnapshotError::UnknownSection { id })?;
-            let len = frame.u64()?;
-            let checksum = frame.u64()?;
-            let available = frame.remaining() as u64;
-            if len > available {
-                return Err(SnapshotError::Truncated {
-                    section: name,
-                    needed: len - available,
-                    available,
-                });
-            }
-            let payload = frame.take(len as usize)?;
-            if fnv1a(payload) != checksum {
-                return Err(SnapshotError::ChecksumMismatch { section: name });
-            }
-            let slot = SECTIONS.iter().position(|&(sid, _)| sid == id).unwrap_or_default();
-            // lint:allow(panic-reachability) in range: slot is a position
-            // into SECTIONS, which payloads is sized by.
-            if payloads[slot].is_some() {
-                return Err(SnapshotError::DuplicateSection { section: name });
-            }
-            // lint:allow(panic-reachability) in range: same slot as above.
-            payloads[slot] = Some(payload);
-        }
-        let get = |id: u32| -> Result<&[u8], SnapshotError> {
-            let slot = SECTIONS.iter().position(|&(sid, _)| sid == id).unwrap_or_default();
-            // lint:allow(panic-reachability) in range: slot is a position
-            // into SECTIONS, which payloads is sized by.
-            payloads[slot]
-                .ok_or(SnapshotError::MissingSection { section: section_name(id).unwrap_or("?") })
+        let table = parse_table(buf, buf.len())?;
+        verify_checksums(buf, &table)?;
+        let get = |id: u32| -> &[u8] {
+            // lint:allow(panic-reachability) in range: parse_table returned
+            // the complete canonical table, where section id n sits at n-1.
+            section_slice(buf, &table[(id - 1) as usize])
         };
 
-        // meta
-        let mut r = Reader::new(get(SECTION_META)?, "meta");
-        let kind = match r.u8()? {
-            0 => ErKind::Dirty,
-            1 => ErKind::CleanClean,
-            other => {
-                return Err(SnapshotError::Inconsistent(format!("unknown ER kind tag {other}")))
-            }
-        };
-        let num_entities = r.u32()? as usize;
-        let split = r.u32()? as usize;
-        let meta_cnp = r.u64()?;
-        let meta_cep = r.u64()?;
-        let meta_comparisons = r.u64()?;
-        let meta_assignments = r.u64()?;
-        let config_bytes = r.bytes()?;
-        r.finish()?;
-        let config_str = std::str::from_utf8(config_bytes)
-            .map_err(|_| SnapshotError::Utf8 { section: "meta" })?;
-        let config = PipelineConfig::from_json_str(config_str).map_err(SnapshotError::Config)?;
-        config.validate().map_err(SnapshotError::Config)?;
+        let meta = decode_meta(get(SECTION_META))?;
 
-        // blocks
-        let mut r = Reader::new(get(SECTION_BLOCKS)?, "blocks");
+        let mut r = Reader::new(get(SECTION_MEMBERS), label(SECTION_MEMBERS));
         let members: Vec<EntityId> = r.u32_vec()?.into_iter().map(EntityId).collect();
+        r.finish()?;
+        let mut r = Reader::new(get(SECTION_OFFSETS), label(SECTION_OFFSETS));
         let offsets = r.u32_vec()?;
+        r.finish()?;
+        let mut r = Reader::new(get(SECTION_SPLITS), label(SECTION_SPLITS));
         let splits = r.u32_vec()?;
         r.finish()?;
-        let blocks =
-            BlockCollection::try_from_raw_parts(kind, num_entities, members, offsets, splits)?;
+        let blocks = BlockCollection::try_from_raw_parts(
+            meta.kind,
+            meta.num_entities,
+            members,
+            offsets,
+            splits,
+        )?;
 
-        // index
-        let mut r = Reader::new(get(SECTION_INDEX)?, "index");
+        let mut r = Reader::new(get(SECTION_INDEX_LISTS), label(SECTION_INDEX_LISTS));
         let lists = r.u32_vec()?;
-        let offsets = r.u32_vec()?;
         r.finish()?;
-        let index = EntityIndex::try_from_raw_parts(lists, offsets)?;
-
-        // tokens
-        let mut r = Reader::new(get(SECTION_TOKENS)?, "tokens");
-        let count = r.u32()? as usize;
-        // Each token costs at least its 4-byte length prefix; verify before
-        // allocating so a corrupt count cannot demand absurd memory.
-        if count.saturating_mul(4) > r.remaining() {
-            return Err(SnapshotError::Truncated {
-                section: "tokens",
-                needed: (count.saturating_mul(4) - r.remaining()) as u64,
-                available: r.remaining() as u64,
-            });
-        }
-        let mut tokens = Vec::with_capacity(count);
-        for _ in 0..count {
-            let bytes = r.bytes()?;
-            tokens.push(
-                std::str::from_utf8(bytes)
-                    .map_err(|_| SnapshotError::Utf8 { section: "tokens" })?
-                    .to_owned(),
-            );
-        }
+        let mut r = Reader::new(get(SECTION_INDEX_OFFSETS), label(SECTION_INDEX_OFFSETS));
+        let idx_offsets = r.u32_vec()?;
         r.finish()?;
+        let index = EntityIndex::try_from_raw_parts(lists, idx_offsets)?;
 
-        // blockkeys
-        let mut r = Reader::new(get(SECTION_BLOCKKEYS)?, "blockkeys");
+        let mut r = Reader::new(get(SECTION_TOK_OFFSETS), label(SECTION_TOK_OFFSETS));
+        let tok_offsets = r.u32_vec()?;
+        r.finish()?;
+        let mut r = Reader::new(get(SECTION_TOK_BLOB), label(SECTION_TOK_BLOB));
+        let blob = r.bytes()?;
+        r.finish()?;
+        let mut r = Reader::new(get(SECTION_TOK_SORTED), label(SECTION_TOK_SORTED));
+        let tok_sorted = r.u32_vec()?;
+        r.finish()?;
+        let tokens = tokens_from_layout(&tok_offsets, blob)?;
+        validate_tok_sorted(&tok_sorted, &tokens)?;
+
+        let mut r = Reader::new(get(SECTION_BLOCKKEYS), label(SECTION_BLOCKKEYS));
         let block_keys = r.u32_vec()?;
         r.finish()?;
 
-        let index = validate_parts(&blocks, index, split, &tokens, &block_keys, &config)?;
+        let index = validate_parts(&blocks, index, meta.split, &tokens, &block_keys, &meta.config)?;
         // Verify — not recompute — the persisted thresholds and statistics,
         // via the same mb-core formulas that produced them.
-        let ctx = GraphContext::from_index(&blocks, index, split);
+        let ctx = GraphContext::from_index(&blocks, index, meta.split);
         let (cnp, cep) = (cnp_threshold(&ctx), cep_threshold(&ctx));
         let index = ctx.into_index();
-        if meta_cnp != cnp as u64 || meta_cep != cep as u64 {
+        if meta.cnp != cnp as u64 || meta.cep != cep as u64 {
             return Err(SnapshotError::Inconsistent(format!(
-                "persisted thresholds (cnp {meta_cnp}, cep {meta_cep}) disagree with the \
-                 collection (cnp {cnp}, cep {cep})"
+                "persisted thresholds (cnp {}, cep {}) disagree with the \
+                 collection (cnp {cnp}, cep {cep})",
+                meta.cnp, meta.cep
             )));
         }
         let (comparisons, assignments) = (blocks.total_comparisons(), blocks.total_assignments());
-        if meta_comparisons != comparisons || meta_assignments != assignments {
+        if meta.comparisons != comparisons || meta.assignments != assignments {
             return Err(SnapshotError::Inconsistent(format!(
-                "persisted statistics (‖B‖ {meta_comparisons}, Σ|b| {meta_assignments}) disagree \
-                 with the collection (‖B‖ {comparisons}, Σ|b| {assignments})"
+                "persisted statistics (‖B‖ {}, Σ|b| {}) disagree \
+                 with the collection (‖B‖ {comparisons}, Σ|b| {assignments})",
+                meta.comparisons, meta.assignments
             )));
         }
         Ok(Snapshot {
             blocks,
             index,
-            split,
+            split: meta.split,
             tokens,
             block_keys,
-            config,
+            config: meta.config,
             cnp_threshold: cnp,
             cep_threshold: cep,
             total_comparisons: comparisons,
@@ -462,6 +879,40 @@ impl Snapshot {
         scope.finish();
         Ok(snapshot)
     }
+}
+
+/// Frames finished section payloads into the canonical v2 byte layout:
+/// header, table, then payloads contiguously, each 8-aligned and
+/// zero-padded, with wide-FNV checksums over the padded regions.
+pub(crate) fn frame_sections(payloads: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let table_end = HEADER_LEN + payloads.len() * TABLE_ENTRY_LEN;
+    let total: usize = table_end + payloads.iter().map(|(_, p)| padded_len(p.len())).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    put_u32(&mut out, payloads.len() as u32);
+    // Table pass: offsets are derivable up front because payloads are
+    // contiguous in canonical order.
+    let mut offset = table_end;
+    for (id, p) in payloads {
+        let padded = padded_len(p.len());
+        let mut region = Vec::with_capacity(padded);
+        region.extend_from_slice(p);
+        region.resize(padded, 0);
+        put_u32(&mut out, *id);
+        put_u32(&mut out, 0); // reserved
+        put_u64(&mut out, offset as u64);
+        put_u64(&mut out, p.len() as u64);
+        put_u64(&mut out, fnv1a_wide(&region));
+        offset += padded;
+    }
+    // Payload pass.
+    for (_, p) in payloads {
+        out.extend_from_slice(p);
+        out.resize(out.len() + padded_len(p.len()) - p.len(), 0);
+    }
+    debug_assert_eq!(out.len(), total);
+    out
 }
 
 /// Reports the first violation of a validator sweep as a typed error.
@@ -521,6 +972,19 @@ fn validate_parts(
         )));
     }
     first_violation(index.validate(blocks))?;
+    // The v2 token layout persists tokens as offset-delimited slices of one
+    // blob, which requires them non-empty; uniqueness is what makes the
+    // byte-order permutation (and hash lookups) unambiguous.
+    if let Some(i) = tokens.iter().position(|t| t.is_empty()) {
+        return Err(SnapshotError::Inconsistent(format!("token {i} is empty")));
+    }
+    {
+        let mut sorted: Vec<&str> = tokens.iter().map(|t| t.as_str()).collect();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(SnapshotError::Inconsistent("duplicate token in vocabulary".into()));
+        }
+    }
     if block_keys.len() != blocks.size() {
         return Err(SnapshotError::Inconsistent(format!(
             "{} block keys for {} blocks",
@@ -542,4 +1006,99 @@ fn validate_parts(
         return Err(SnapshotError::Inconsistent("duplicate token id in block keys".into()));
     }
     Ok(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_magic_reports_unsupported_version() {
+        let err = classify_magic(b"MBSNAP01");
+        assert!(matches!(err, SnapshotError::UnsupportedVersion { found: 1, supported: 2 }));
+    }
+
+    #[test]
+    fn foreign_magic_is_bad_magic() {
+        assert!(matches!(classify_magic(b"NOTSNAP!"), SnapshotError::BadMagic));
+        assert!(matches!(classify_magic(b"MBSNAPxy"), SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn frame_sections_aligns_and_pads() {
+        let payloads = vec![(1u32, vec![0xAB; 3]), (2u32, vec![0xCD; 8]), (3u32, vec![])];
+        let buf = frame_sections(&payloads);
+        // Header + 3 table entries, then 8 + 8 + 0 payload bytes.
+        let table_end = HEADER_LEN + 3 * TABLE_ENTRY_LEN;
+        assert_eq!(buf.len(), table_end + 8 + 8);
+        // First payload starts right after the table, padded with zeros.
+        assert_eq!(&buf[table_end..table_end + 3], &[0xAB; 3]);
+        assert_eq!(&buf[table_end + 3..table_end + 8], &[0u8; 5]);
+    }
+
+    use er_model::EntityProfile;
+
+    /// A deterministic collection big enough to exceed small spill budgets:
+    /// `n` profiles, each with a handful of zipf-ish shared tokens so blocks
+    /// of every size (and dropped singletons) occur.
+    fn spill_collection(n: u32, clean_clean: bool) -> EntityCollection {
+        let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut profiles = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let mut value = String::new();
+            for _ in 0..6 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // ~n/2 distinct tokens: plenty of sharing, plenty of
+                // singletons.
+                value.push_str(&format!("t{} ", x % u64::from(n / 2 + 1)));
+            }
+            value.push_str(&format!("unique{i}"));
+            profiles.push(EntityProfile::new(format!("p{i}")).with("v", value));
+        }
+        if clean_clean {
+            let right = profiles.split_off(profiles.len() / 3);
+            EntityCollection::clean_clean(profiles, right)
+        } else {
+            EntityCollection::dirty(profiles)
+        }
+    }
+
+    #[test]
+    fn out_of_core_build_is_bit_identical_to_in_memory_build() {
+        // ~700 profiles × 7 postings ≈ 4900 postings: budget 1 (cap floor
+        // 1024) forces several spill runs, budget 16 KiB forces one or two,
+        // usize::MAX/8-scale budget never spills — all three must serialize
+        // to the exact bytes of Snapshot::build.
+        for clean_clean in [false, true] {
+            let collection = spill_collection(700, clean_clean);
+            for filter_ratio in [None, Some(0.8)] {
+                let config = PipelineConfig { filter_ratio, ..PipelineConfig::default() };
+                let expected = Snapshot::build(&collection, config.clone()).unwrap().to_bytes();
+                for budget in [1usize, 16 << 10, 1 << 30] {
+                    let ooc = OutOfCoreConfig {
+                        spill_budget_bytes: budget,
+                        temp_dir: Some(std::env::temp_dir().join(format!(
+                            "er_ooc_test_{}_{clean_clean}_{budget}",
+                            std::process::id()
+                        ))),
+                    };
+                    let snapshot =
+                        Snapshot::build_out_of_core(&collection, config.clone(), &ooc).unwrap();
+                    assert_eq!(
+                        snapshot.to_bytes(),
+                        expected,
+                        "cc={clean_clean} filter={filter_ratio:?} budget={budget}: \
+                         out-of-core bytes diverged"
+                    );
+                    if let Some(dir) = &ooc.temp_dir {
+                        let leftovers = std::fs::read_dir(dir).map(|d| d.count()).unwrap_or(0);
+                        assert_eq!(leftovers, 0, "budget {budget} leaked spill runs");
+                        let _ = std::fs::remove_dir_all(dir);
+                    }
+                }
+            }
+        }
+    }
 }

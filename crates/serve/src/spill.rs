@@ -1,0 +1,305 @@
+//! Bounded-memory external sorting for snapshot builds.
+//!
+//! The out-of-core build path ([`crate::Snapshot::build_out_of_core`])
+//! streams every `(token_id, entity)` assignment through a [`SpillSort`]:
+//! postings are packed into one `u64` (`token_id << 32 | entity`, so plain
+//! integer order equals `(token, entity)` order), buffered up to a byte
+//! budget, and each full buffer is sorted, deduplicated and written out as
+//! one sorted *run* file. Consuming the sorter yields the globally sorted,
+//! duplicate-free stream via a k-way heap merge over the runs — at no point
+//! does the full posting multiset live in memory, only one buffer plus one
+//! buffered reader per run.
+//!
+//! The run files are a private intermediate (raw little-endian `u64`s,
+//! created and consumed within one build, deleted on drop) — they are not
+//! part of the versioned snapshot format and carry no framing.
+
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+/// Packs a posting so `u64` order is `(token_id, entity)` order.
+pub(crate) fn pack_posting(token_id: u32, entity: u32) -> u64 {
+    (u64::from(token_id) << 32) | u64::from(entity)
+}
+
+/// Inverse of [`pack_posting`].
+pub(crate) fn unpack_posting(packed: u64) -> (u32, u32) {
+    ((packed >> 32) as u32, packed as u32)
+}
+
+/// An external sorter over packed postings with a fixed in-memory budget.
+#[derive(Debug)]
+pub(crate) struct SpillSort {
+    buf: Vec<u64>,
+    /// Buffer capacity in entries, derived from the byte budget.
+    cap: usize,
+    dir: PathBuf,
+    runs: RunFiles,
+    pushed: u64,
+}
+
+/// The sorted run files spilled so far; removed from disk on drop.
+#[derive(Debug, Default)]
+struct RunFiles {
+    paths: Vec<PathBuf>,
+}
+
+impl Drop for RunFiles {
+    fn drop(&mut self) {
+        for p in &self.paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+impl SpillSort {
+    /// Creates a sorter spilling to `dir` once the in-memory buffer exceeds
+    /// `budget_bytes` (floored to hold at least 1024 postings so degenerate
+    /// budgets still make progress instead of spilling per element).
+    pub(crate) fn new(dir: PathBuf, budget_bytes: usize) -> std::io::Result<SpillSort> {
+        std::fs::create_dir_all(&dir)?;
+        let cap = (budget_bytes / 8).max(1024);
+        Ok(SpillSort {
+            buf: Vec::with_capacity(cap.min(1 << 24)),
+            cap,
+            dir,
+            runs: RunFiles { paths: Vec::new() },
+            pushed: 0,
+        })
+    }
+
+    /// Creates a sorter whose buffer holds exactly `cap` postings — the
+    /// test hook for forcing many tiny runs.
+    #[cfg(test)]
+    pub(crate) fn with_capacity_entries(dir: PathBuf, cap: usize) -> std::io::Result<SpillSort> {
+        std::fs::create_dir_all(&dir)?;
+        Ok(SpillSort {
+            buf: Vec::new(),
+            cap: cap.max(1),
+            dir,
+            runs: RunFiles::default(),
+            pushed: 0,
+        })
+    }
+
+    /// Appends one packed posting, spilling the buffer if it is full.
+    pub(crate) fn push(&mut self, packed: u64) -> std::io::Result<()> {
+        if self.buf.len() >= self.cap {
+            self.spill()?;
+        }
+        self.buf.push(packed);
+        self.pushed += 1;
+        Ok(())
+    }
+
+    /// Total postings pushed (before deduplication) — an upper bound used
+    /// to size downstream allocations.
+    pub(crate) fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Number of run files spilled so far.
+    #[cfg(test)]
+    pub(crate) fn num_runs(&self) -> usize {
+        self.runs.paths.len()
+    }
+
+    fn spill(&mut self) -> std::io::Result<()> {
+        self.buf.sort_unstable();
+        self.buf.dedup();
+        let seq = self.runs.paths.len();
+        let path = self.dir.join(format!("er-spill-{}-{seq}.run", std::process::id()));
+        let mut w = BufWriter::new(File::create(&path)?);
+        // Register before writing so a failed write still gets cleaned up.
+        self.runs.paths.push(path);
+        for &v in &self.buf {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.flush()?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Finalizes into the globally sorted, deduplicated posting stream.
+    pub(crate) fn into_sorted(mut self) -> std::io::Result<SortedPostings> {
+        self.buf.sort_unstable();
+        self.buf.dedup();
+        if self.runs.paths.is_empty() {
+            let buf = std::mem::take(&mut self.buf);
+            return Ok(SortedPostings::InMemory(buf.into_iter()));
+        }
+        let mut readers = Vec::with_capacity(self.runs.paths.len() + 1);
+        for p in &self.runs.paths {
+            readers.push(RunReader::File(BufReader::new(File::open(p)?)));
+        }
+        // The final in-memory buffer joins the merge as one more run.
+        readers.push(RunReader::Memory(std::mem::take(&mut self.buf).into_iter()));
+        let mut merge = KWayMerge {
+            readers,
+            heap: BinaryHeap::new(),
+            last: None,
+            error: None,
+            _runs: std::mem::take(&mut self.runs),
+        };
+        for i in 0..merge.readers.len() {
+            if let Some(v) = merge.read_next(i) {
+                merge.heap.push(std::cmp::Reverse((v, i)));
+            }
+        }
+        if let Some(e) = merge.error.take() {
+            return Err(e);
+        }
+        Ok(SortedPostings::Merge(merge))
+    }
+}
+
+/// One merge input: a spilled run on disk or the final in-memory buffer.
+#[derive(Debug)]
+enum RunReader {
+    File(BufReader<File>),
+    Memory(std::vec::IntoIter<u64>),
+}
+
+/// The globally sorted, deduplicated posting stream a [`SpillSort`] ends in.
+#[derive(Debug)]
+pub(crate) enum SortedPostings {
+    /// Everything fit in the budget: no spill, plain vector iteration.
+    InMemory(std::vec::IntoIter<u64>),
+    /// K-way heap merge over sorted runs.
+    Merge(KWayMerge),
+}
+
+impl SortedPostings {
+    /// An I/O error raised mid-merge, if any. The stream ends early when
+    /// one occurs; callers must check after draining.
+    pub(crate) fn take_error(&mut self) -> Option<std::io::Error> {
+        match self {
+            SortedPostings::InMemory(_) => None,
+            SortedPostings::Merge(m) => m.error.take(),
+        }
+    }
+}
+
+impl Iterator for SortedPostings {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        match self {
+            SortedPostings::InMemory(it) => it.next(),
+            SortedPostings::Merge(m) => m.next(),
+        }
+    }
+}
+
+/// K-way merge over sorted runs with cross-run deduplication.
+#[derive(Debug)]
+pub(crate) struct KWayMerge {
+    readers: Vec<RunReader>,
+    /// Min-heap of `(next value, run index)` — one entry per live run.
+    heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    last: Option<u64>,
+    error: Option<std::io::Error>,
+    _runs: RunFiles,
+}
+
+impl KWayMerge {
+    /// The next value of run `i`, or `None` at end-of-run (or on error,
+    /// which is stashed for [`SortedPostings::take_error`]).
+    fn read_next(&mut self, i: usize) -> Option<u64> {
+        // lint:allow(panic-reachability) in range: i is a run index minted
+        // by into_sorted / the heap, both bounded by readers.len().
+        match &mut self.readers[i] {
+            RunReader::Memory(it) => it.next(),
+            RunReader::File(r) => {
+                let mut word = [0u8; 8];
+                match r.read_exact(&mut word) {
+                    // lint:allow(snapshot-unversioned-read) private spill-run
+                    // intermediate, not the versioned snapshot format.
+                    Ok(()) => Some(u64::from_le_bytes(word)),
+                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => None,
+                    Err(e) => {
+                        self.error = Some(e);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            let std::cmp::Reverse((v, i)) = self.heap.pop()?;
+            if let Some(next) = self.read_next(i) {
+                self.heap.push(std::cmp::Reverse((next, i)));
+            }
+            if self.error.is_some() {
+                self.heap.clear();
+                return None;
+            }
+            // Runs are deduplicated individually; duplicates across runs
+            // surface adjacently in the merged order and are dropped here.
+            if self.last != Some(v) {
+                self.last = Some(v);
+                return Some(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("er_spill_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn pack_order_is_token_then_entity_order() {
+        assert!(pack_posting(1, 9) < pack_posting(2, 0));
+        assert!(pack_posting(3, 4) < pack_posting(3, 5));
+        assert_eq!(unpack_posting(pack_posting(7, 42)), (7, 42));
+        assert_eq!(unpack_posting(pack_posting(u32::MAX, u32::MAX)), (u32::MAX, u32::MAX));
+    }
+
+    #[test]
+    fn merge_reproduces_in_memory_sort_across_budgets() {
+        // A deterministic pseudo-random posting stream with duplicates,
+        // including duplicates that land in different runs.
+        let mut postings = Vec::new();
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            postings.push(pack_posting((x % 257) as u32, ((x >> 32) % 101) as u32));
+        }
+        let mut expected: Vec<u64> = postings.clone();
+        expected.sort_unstable();
+        expected.dedup();
+
+        for cap in [7, 100, 4096, usize::MAX] {
+            let dir = temp_dir(&format!("cap{}", cap.min(9999)));
+            let mut sorter = SpillSort::with_capacity_entries(dir.clone(), cap).unwrap();
+            for &p in &postings {
+                sorter.push(p).unwrap();
+            }
+            assert_eq!(sorter.pushed(), postings.len() as u64);
+            let spilled = sorter.num_runs() > 0;
+            assert_eq!(spilled, cap < postings.len(), "cap {cap}");
+            let mut stream = sorter.into_sorted().unwrap();
+            let merged: Vec<u64> = (&mut stream).collect();
+            assert!(stream.take_error().is_none());
+            assert_eq!(merged, expected, "cap {cap} diverged");
+            drop(stream);
+            // Run files are cleaned up with the stream.
+            let leftovers = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+            assert_eq!(leftovers, 0, "cap {cap} leaked run files");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Storage adapters between loaded snapshots and the scoring core.
+//!
+//! [`EngineStore`] is a flat, `Copy` [`CandidateStore`] over either an owned
+//! [`Snapshot`] or a zero-copy [`SnapshotView`]: five array views plus three
+//! scalars. The scoring core (`mb_core::NeighborhoodScorer`,
+//! `mb_core::ShardedScorer`) is generic over [`CandidateStore`], so both
+//! storage flavors run the exact same scan loops and return bit-identical
+//! candidates.
+//!
+//! [`SnapshotStore`] is the ownership-level enum the server's generation
+//! machinery holds: a hot-swap can install either flavor, and the engine is
+//! built over whichever the pinned generation carries.
+
+use crate::snapshot::Snapshot;
+use crate::view::SnapshotView;
+use er_model::{EntityId, ErKind, U32s};
+use mb_core::{CandidateStore, PipelineConfig};
+
+/// A flat candidate store over borrowed snapshot arrays.
+///
+/// `Copy`, so scorers take it by value and shard fan-out shares it across
+/// threads without reference-counting.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EngineStore<'s> {
+    kind: ErKind,
+    split: usize,
+    num_entities: usize,
+    /// CSR member pool.
+    members: U32s<'s>,
+    /// Block start offsets (`num_blocks + 1`).
+    offsets: U32s<'s>,
+    /// Absolute split offsets (one per block; `== hi` for Dirty).
+    splits: U32s<'s>,
+    /// Flat entity-index postings.
+    lists: U32s<'s>,
+    /// Entity-index offsets (`|E| + 1`).
+    idx_offsets: U32s<'s>,
+}
+
+impl<'s> EngineStore<'s> {
+    pub(crate) fn from_snapshot(s: &'s Snapshot) -> EngineStore<'s> {
+        let (members, offsets, splits) = s.blocks().raw_parts();
+        let (lists, idx_offsets) = s.index().raw_parts();
+        EngineStore {
+            kind: s.kind(),
+            split: s.split(),
+            num_entities: s.num_entities(),
+            members: U32s::from(members),
+            offsets: U32s::from(offsets),
+            splits: U32s::from(splits),
+            lists: U32s::from(lists),
+            idx_offsets: U32s::from(idx_offsets),
+        }
+    }
+
+    pub(crate) fn from_view(v: &'s SnapshotView) -> EngineStore<'s> {
+        EngineStore {
+            kind: v.kind(),
+            split: v.split(),
+            num_entities: v.num_entities(),
+            members: v.members(),
+            offsets: v.offsets(),
+            splits: v.splits(),
+            lists: v.lists(),
+            idx_offsets: v.idx_offsets(),
+        }
+    }
+
+    /// The block's `(lo, split, hi)` member-pool bracket.
+    #[inline]
+    fn bounds(&self, block: usize) -> (usize, usize, usize) {
+        (
+            self.offsets.get(block) as usize,
+            self.splits.get(block) as usize,
+            self.offsets.get(block + 1) as usize,
+        )
+    }
+}
+
+impl CandidateStore for EngineStore<'_> {
+    fn kind(&self) -> ErKind {
+        self.kind
+    }
+
+    fn split(&self) -> usize {
+        self.split
+    }
+
+    fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.splits.len()
+    }
+
+    fn block_list(&self, id: EntityId) -> U32s<'_> {
+        let lo = self.idx_offsets.get(id.0 as usize) as usize;
+        let hi = self.idx_offsets.get(id.0 as usize + 1) as usize;
+        self.lists.slice(lo, hi)
+    }
+
+    fn members_of(&self, block: usize, scan_right: bool) -> U32s<'_> {
+        let (lo, sp, hi) = self.bounds(block);
+        // Dirty blocks have sp == hi, so the "left" side is the whole
+        // block — same convention as `Block::left()`.
+        if scan_right {
+            self.members.slice(sp, hi)
+        } else {
+            self.members.slice(lo, sp)
+        }
+    }
+
+    fn recip_cardinality_of(&self, block: usize) -> f64 {
+        let (lo, sp, hi) = self.bounds(block);
+        let c = match self.kind {
+            ErKind::Dirty => {
+                let m = (hi - lo) as u64;
+                m * (m - 1) / 2
+            }
+            ErKind::CleanClean => (sp - lo) as u64 * (hi - sp) as u64,
+        };
+        1.0 / c as f64
+    }
+}
+
+/// A loaded snapshot in either storage flavor, as held by a serving
+/// generation.
+///
+/// `Owned` is the deep-decoded [`Snapshot`]; `Mapped` is the zero-copy
+/// [`SnapshotView`]. Queries over either are bit-identical; the flavors
+/// differ only in load cost and memory layout.
+#[derive(Debug)]
+pub enum SnapshotStore {
+    /// A fully decoded, deeply validated snapshot.
+    Owned(Snapshot),
+    /// A zero-copy view borrowing its arrays from one loaded buffer.
+    Mapped(SnapshotView),
+}
+
+impl From<Snapshot> for SnapshotStore {
+    fn from(s: Snapshot) -> SnapshotStore {
+        SnapshotStore::Owned(s)
+    }
+}
+
+impl From<SnapshotView> for SnapshotStore {
+    fn from(v: SnapshotView) -> SnapshotStore {
+        SnapshotStore::Mapped(v)
+    }
+}
+
+impl SnapshotStore {
+    /// The ER task kind.
+    pub fn kind(&self) -> ErKind {
+        match self {
+            SnapshotStore::Owned(s) => s.kind(),
+            SnapshotStore::Mapped(v) => v.kind(),
+        }
+    }
+
+    /// `|E|`: the input collection size.
+    pub fn num_entities(&self) -> usize {
+        match self {
+            SnapshotStore::Owned(s) => s.num_entities(),
+            SnapshotStore::Mapped(v) => v.num_entities(),
+        }
+    }
+
+    /// Number of blocks in the persisted collection.
+    pub fn num_blocks(&self) -> usize {
+        match self {
+            SnapshotStore::Owned(s) => s.blocks().size(),
+            SnapshotStore::Mapped(v) => v.num_blocks(),
+        }
+    }
+
+    /// Number of tokens in the persisted vocabulary.
+    pub fn num_tokens(&self) -> usize {
+        match self {
+            SnapshotStore::Owned(s) => s.tokens().len(),
+            SnapshotStore::Mapped(v) => v.num_tokens(),
+        }
+    }
+
+    /// The pipeline configuration the snapshot was built under.
+    pub fn config(&self) -> &PipelineConfig {
+        match self {
+            SnapshotStore::Owned(s) => s.config(),
+            SnapshotStore::Mapped(v) => v.config(),
+        }
+    }
+
+    /// `‖B‖`: total comparisons in the persisted collection.
+    pub fn total_comparisons(&self) -> u64 {
+        match self {
+            SnapshotStore::Owned(s) => s.total_comparisons(),
+            SnapshotStore::Mapped(v) => v.total_comparisons(),
+        }
+    }
+
+    /// The persisted CNP per-node cardinality threshold.
+    pub fn cnp_threshold(&self) -> usize {
+        match self {
+            SnapshotStore::Owned(s) => s.cnp_threshold(),
+            SnapshotStore::Mapped(v) => v.cnp_threshold(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_model::{EntityCollection, EntityProfile};
+
+    fn fixture() -> Snapshot {
+        let e = EntityCollection::dirty(vec![
+            EntityProfile::new("p1").with("name", "jack miller"),
+            EntityProfile::new("p2").with("fullname", "jack lloyd miller"),
+            EntityProfile::new("p3").with("n", "erick lloyd"),
+        ]);
+        Snapshot::build(&e, PipelineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn owned_and_mapped_stores_agree() {
+        let snapshot = fixture();
+        let view = SnapshotView::from_bytes(snapshot.to_bytes()).unwrap();
+        let a = EngineStore::from_snapshot(&snapshot);
+        let b = EngineStore::from_view(&view);
+        assert_eq!(a.kind(), b.kind());
+        assert_eq!(a.num_entities(), b.num_entities());
+        assert_eq!(a.num_blocks(), b.num_blocks());
+        for k in 0..a.num_blocks() {
+            assert_eq!(
+                a.members_of(k, false).to_vec(),
+                b.members_of(k, false).to_vec(),
+                "block {k} left members"
+            );
+            assert_eq!(a.recip_cardinality_of(k).to_bits(), b.recip_cardinality_of(k).to_bits());
+        }
+        for i in 0..a.num_entities() as u32 {
+            assert_eq!(
+                a.block_list(EntityId(i)).to_vec(),
+                b.block_list(EntityId(i)).to_vec(),
+                "entity {i} block list"
+            );
+        }
+    }
+}

@@ -1,0 +1,762 @@
+//! Zero-copy snapshot loading.
+//!
+//! [`SnapshotView`] holds one loaded byte buffer and *borrows* every large
+//! array — the CSR member pool, the block offset and split tables, the flat
+//! entity-index postings, the token offset table and blob — straight out of
+//! it as [`er_model::U32s::Le`] views. Nothing is re-encoded into `Vec`s:
+//! load cost is the file read, the section-table parse, one checksum sweep,
+//! and a linear structural pass. The deep-decoding alternative
+//! ([`crate::Snapshot::from_bytes`]) allocates and re-validates everything;
+//! this path is benchmarked against it as `load_zero_copy`.
+//!
+//! Validation is staged for speed: the `meta` checksum is verified first
+//! (it gates every downstream decision), then the remaining checksums and
+//! three structural walks — blocks, entity index, tokens — run as four
+//! mutually independent passes, on scoped threads for large buffers on
+//! multi-core hosts ([`PARALLEL_LOAD_BYTES`]) and serially otherwise.
+//! Every pass is panic-free on arbitrary bytes, so none needs another's
+//! verdict; the view just isn't constructed unless all of them accept. The
+//! CSR pools are checked by a two-count reconciliation (see
+//! [`descents_and_max`]) instead of a run-by-run compare chain, which
+//! keeps the hot loops vectorizable.
+//!
+//! # What the fast load still validates
+//!
+//! Everything the query path relies on for memory safety and bit-identical
+//! answers:
+//!
+//! - header, canonical section table, 8-byte alignment, and every wide
+//!   checksum (which covers all payload bytes);
+//! - the `meta` scalars and the embedded pipeline configuration;
+//! - block offsets/splits: monotone, properly bracketed, Dirty blocks with
+//!   `split == hi`, and the recomputed `‖B‖` matching the persisted one;
+//! - every member id in range and strictly ascending per side (Clean-Clean
+//!   sides bracketed by the split);
+//! - the entity index: offsets monotone over `|E|+1` entries, postings
+//!   strictly ascending and in block range, total postings equal to total
+//!   assignments;
+//! - token offsets strictly ascending over the blob, the byte-order
+//!   permutation strictly ascending (hence a permutation), block keys in
+//!   range and duplicate-free;
+//! - the persisted CNP/CEP thresholds re-derived from the verified
+//!   aggregates.
+//!
+//! What it deliberately skips (the owned path keeps them): building
+//! `String` vocabularies, UTF-8 decoding of the token blob (probe lookups
+//! byte-compare), and the index↔blocks cross-walk — the per-element facts
+//! that walk re-checks are implied by the count identities above.
+
+use crate::error::SnapshotError;
+use crate::snapshot::{
+    decode_meta, parse_table, section_slice, verify_checksums, SectionEntry, SECTION_BLOCKKEYS,
+    SECTION_INDEX_LISTS, SECTION_INDEX_OFFSETS, SECTION_MEMBERS, SECTION_META, SECTION_OFFSETS,
+    SECTION_SPLITS, SECTION_TOK_BLOB, SECTION_TOK_OFFSETS, SECTION_TOK_SORTED,
+};
+use er_model::{ErKind, U32s};
+use mb_core::PipelineConfig;
+use mb_observe::{Observer, Stage, StageScope};
+use std::path::Path;
+
+/// A borrowed `u32` array inside the loaded buffer: absolute byte start of
+/// the packed values (past the count prefix) plus the element count.
+#[derive(Debug, Clone, Copy)]
+struct U32Range {
+    start: usize,
+    count: usize,
+}
+
+/// A borrowed byte string inside the loaded buffer.
+#[derive(Debug, Clone, Copy)]
+struct ByteRange {
+    start: usize,
+    len: usize,
+}
+
+/// A zero-copy loaded snapshot: one owned byte buffer, borrowed arrays.
+///
+/// Constructed by [`SnapshotView::from_bytes`] / [`SnapshotView::read_from`].
+/// On success the view upholds the same query-path contract as an owned
+/// [`crate::Snapshot`] — the engine built over either answers bit-identically
+/// — but loading skips the decode-and-deep-validate pass (see the module
+/// docs for the exact split).
+#[derive(Debug)]
+pub struct SnapshotView {
+    buf: Vec<u8>,
+    kind: ErKind,
+    num_entities: usize,
+    split: usize,
+    num_blocks: usize,
+    num_tokens: usize,
+    config: PipelineConfig,
+    cnp_threshold: usize,
+    cep_threshold: usize,
+    total_comparisons: u64,
+    total_assignments: u64,
+    members: U32Range,
+    offsets: U32Range,
+    splits: U32Range,
+    lists: U32Range,
+    idx_offsets: U32Range,
+    tok_offsets: U32Range,
+    tok_blob: ByteRange,
+    tok_sorted: U32Range,
+    block_keys: U32Range,
+}
+
+/// Buffers at least this large run the checksum sweep and the structural
+/// walks on scoped threads (they are mutually independent) when the host
+/// has more than one core; below it the passes run serially, keeping
+/// thread-spawn overhead away from small snapshots.
+const PARALLEL_LOAD_BYTES: usize = 1 << 18;
+
+fn bad(msg: String) -> SnapshotError {
+    SnapshotError::Inconsistent(msg)
+}
+
+/// Validates a `u32`-count-prefixed array section in place and returns its
+/// value range. The declared count must account for the payload exactly.
+fn u32_section(buf: &[u8], e: &SectionEntry) -> Result<U32Range, SnapshotError> {
+    let payload = section_slice(buf, e);
+    if payload.len() < 4 {
+        return Err(SnapshotError::Truncated {
+            section: e.name,
+            needed: (4 - payload.len()) as u64,
+            available: payload.len() as u64,
+        });
+    }
+    // lint:allow(panic-reachability) in range: payload.len() >= 4 just
+    // checked.
+    let count = U32s::Le(&payload[..4]).get(0) as usize;
+    let expected = 4usize.checked_add(count.saturating_mul(4)).unwrap_or(usize::MAX);
+    if expected > payload.len() {
+        return Err(SnapshotError::Truncated {
+            section: e.name,
+            needed: (expected - payload.len()) as u64,
+            available: payload.len() as u64,
+        });
+    }
+    if expected < payload.len() {
+        return Err(SnapshotError::TrailingBytes {
+            section: e.name,
+            bytes: (payload.len() - expected) as u64,
+        });
+    }
+    Ok(U32Range { start: e.offset + 4, count })
+}
+
+/// Validates a `u32`-length-prefixed byte-string section in place.
+fn bytes_section(buf: &[u8], e: &SectionEntry) -> Result<ByteRange, SnapshotError> {
+    let payload = section_slice(buf, e);
+    if payload.len() < 4 {
+        return Err(SnapshotError::Truncated {
+            section: e.name,
+            needed: (4 - payload.len()) as u64,
+            available: payload.len() as u64,
+        });
+    }
+    // lint:allow(panic-reachability) in range: payload.len() >= 4 just
+    // checked.
+    let len = U32s::Le(&payload[..4]).get(0) as usize;
+    if 4 + len > payload.len() {
+        return Err(SnapshotError::Truncated {
+            section: e.name,
+            needed: (4 + len - payload.len()) as u64,
+            available: payload.len() as u64,
+        });
+    }
+    if 4 + len < payload.len() {
+        return Err(SnapshotError::TrailingBytes {
+            section: e.name,
+            bytes: (payload.len() - 4 - len) as u64,
+        });
+    }
+    Ok(ByteRange { start: e.offset + 4, len })
+}
+
+/// The little-endian `u32` elements of a packed section payload, in order.
+///
+/// The hot validation loops below iterate raw byte slices through this
+/// instead of per-element [`U32s::get`] so the walks carry no per-element
+/// bounds checks — `chunks_exact` proves the access pattern up front.
+#[inline]
+fn le_words(b: &[u8]) -> impl Iterator<Item = u32> + '_ {
+    b.chunks_exact(4).map(le4)
+}
+
+/// One little-endian `u32` from a 4-byte `chunks_exact` chunk.
+#[inline]
+fn le4(c: &[u8]) -> u32 {
+    // lint:allow(snapshot-unversioned-read) decoding a checksum-verified,
+    // length-validated section payload below the framing layer.
+    u32::from_le_bytes([c[0], c[1], c[2], c[3]])
+}
+
+/// Number of descending adjacent pairs (`v[p] <= v[p-1]`) and the maximum
+/// value over a packed `u32` pool, in one flat pass.
+///
+/// This is the vectorizable half of the CSR run validation: iterating the
+/// pool and a 4-byte-shifted copy of itself in lockstep leaves no
+/// loop-carried scalar dependency, so the compiler turns the descent count
+/// and the max into SIMD reductions — an order of magnitude faster than
+/// walking the pool run by run with an early-exit compare chain. The caller
+/// separately counts how many descents are *expected* (one per run boundary
+/// that happens to descend) and accepts the pool iff the two counts match:
+/// descents can then only sit at run starts, which makes every run interior
+/// strictly ascending. An empty pool reports `(0, 0)`.
+#[inline]
+fn descents_and_max(b: &[u8]) -> (u32, u32) {
+    if b.len() < 8 {
+        return (0, if b.len() >= 4 { le4(&b[..4]) } else { 0 });
+    }
+    let mut d = 0u32;
+    let mut max = 0u32;
+    // lint:allow(panic-reachability) in range: b.len() >= 8 checked above.
+    for (a, c) in b[..b.len() - 4].chunks_exact(4).zip(b[4..].chunks_exact(4)) {
+        let v = le4(c);
+        d += (v <= le4(a)) as u32;
+        max = max.max(v);
+    }
+    (d, max.max(le4(&b[..4])))
+}
+
+impl SnapshotView {
+    /// Loads a snapshot zero-copy from an owned buffer.
+    ///
+    /// Never panics on malformed input; every failure is a typed
+    /// [`SnapshotError`], same contract as the owned decoder.
+    pub fn from_bytes(buf: Vec<u8>) -> Result<SnapshotView, SnapshotError> {
+        let table = parse_table(&buf, buf.len())?;
+        let entry = |id: u32| -> &SectionEntry {
+            // lint:allow(panic-reachability) in range: parse_table returned
+            // the complete canonical table, where section id n sits at n-1.
+            &table[(id - 1) as usize]
+        };
+
+        // The meta section gates everything downstream, so its checksum is
+        // verified up front; the remaining section checksums are verified
+        // alongside the structural walks below (all of which are panic-free
+        // on arbitrary bytes — no walk *depends* on its section's checksum,
+        // the view just isn't constructed unless every digest matches).
+        verify_checksums(&buf, &table[..1])?;
+        let meta = decode_meta(section_slice(&buf, entry(SECTION_META)))?;
+        let n = meta.num_entities;
+        if n > u32::MAX as usize {
+            return Err(bad(format!("|E| = {n} exceeds the u32 id space")));
+        }
+        match meta.kind {
+            ErKind::Dirty if meta.split != n => {
+                return Err(bad(format!(
+                    "Dirty snapshot must have split == |E|, got {} != {n}",
+                    meta.split
+                )));
+            }
+            ErKind::CleanClean if meta.split > n => {
+                return Err(bad(format!("split {} exceeds |E| = {n}", meta.split)));
+            }
+            _ => {}
+        }
+
+        let members = u32_section(&buf, entry(SECTION_MEMBERS))?;
+        let offsets = u32_section(&buf, entry(SECTION_OFFSETS))?;
+        let splits = u32_section(&buf, entry(SECTION_SPLITS))?;
+        let lists = u32_section(&buf, entry(SECTION_INDEX_LISTS))?;
+        let idx_offsets = u32_section(&buf, entry(SECTION_INDEX_OFFSETS))?;
+        let tok_offsets = u32_section(&buf, entry(SECTION_TOK_OFFSETS))?;
+        let tok_blob = bytes_section(&buf, entry(SECTION_TOK_BLOB))?;
+        let tok_sorted = u32_section(&buf, entry(SECTION_TOK_SORTED))?;
+        let block_keys = u32_section(&buf, entry(SECTION_BLOCKKEYS))?;
+
+        let raw = |r: U32Range| -> &[u8] {
+            // lint:allow(panic-reachability) in range: u32_section proved
+            // start + 4*count lies within the section payload.
+            &buf[r.start..r.start + r.count * 4]
+        };
+        let view = |r: U32Range| -> U32s<'_> { U32s::Le(raw(r)) };
+
+        // Blocks: bracketed, monotone, Dirty splits closed, and the
+        // recomputed aggregate statistics matching the persisted ones.
+        let num_blocks = splits.count;
+        let check_blocks = || -> Result<(), SnapshotError> {
+            if offsets.count != num_blocks + 1 {
+                return Err(bad(format!(
+                    "{} block offsets for {num_blocks} splits (expected one more)",
+                    offsets.count
+                )));
+            }
+            let offs = view(offsets);
+            if offs.get(0) != 0 {
+                return Err(bad("block offsets must start at 0".into()));
+            }
+            if offs.last().unwrap_or(0) as usize != members.count {
+                return Err(bad(format!(
+                    "block offsets end at {}, member pool holds {} ids",
+                    offs.last().unwrap_or(0),
+                    members.count
+                )));
+            }
+            let split_u32 = meta.split as u32;
+            let n_u32 = n as u32;
+            let mcount = members.count;
+            // The walk reads `offs[1..]` and `spls` in lockstep over raw bytes,
+            // bounds-checking each bracket as it goes, and counts the run
+            // boundaries whose adjacent member pair descends. The pool itself
+            // is validated afterwards by one vectorized [`descents_and_max`]
+            // pass: the pool is strictly ascending within every block side iff
+            // its total descent count equals the boundary count tallied here.
+            let (offs_b, spls_b, mems_b) = (raw(offsets), raw(splits), raw(members));
+            // Whether the member pair straddling run-start `p` descends.
+            let pair_desc = |p: u32| -> u32 {
+                let p = p as usize;
+                // lint:allow(panic-reachability) in range: callers pass
+                // 0 < p < members.count, proved by the bracket checks.
+                let w = &mems_b[(p - 1) * 4..(p + 1) * 4];
+                (le4(&w[4..]) <= le4(&w[..4])) as u32
+            };
+            let mut comparisons: u64 = 0;
+            let mut expected = 0u32;
+            let mut prev = 0u32;
+            for (k, (hi, sp)) in le_words(&offs_b[4..]).zip(le_words(spls_b)).enumerate() {
+                let lo = prev;
+                if hi < lo || sp < lo || sp > hi || hi as usize > mcount {
+                    return Err(bad(format!(
+                        "block {k} bounds corrupt: lo {lo}, split {sp}, hi {hi}"
+                    )));
+                }
+                match meta.kind {
+                    ErKind::Dirty => {
+                        if sp != hi {
+                            return Err(bad(format!("Dirty block {k} has split {sp} != hi {hi}")));
+                        }
+                        let m = (hi - lo) as u64;
+                        comparisons += m * (m - 1) / 2;
+                        if hi > lo && lo != 0 {
+                            expected += pair_desc(lo);
+                        }
+                    }
+                    ErKind::CleanClean => {
+                        comparisons += (sp - lo) as u64 * (hi - sp) as u64;
+                        if sp > lo {
+                            if lo != 0 {
+                                expected += pair_desc(lo);
+                            }
+                            // Ascending side 1 is bounded by its last member.
+                            let sp = sp as usize;
+                            // lint:allow(panic-reachability) in range: 0 < sp
+                            // <= hi <= members.count.
+                            if le4(&mems_b[(sp - 1) * 4..sp * 4]) >= split_u32 {
+                                return Err(bad(format!(
+                                    "block {k} side-1 members reach past the split"
+                                )));
+                            }
+                        }
+                        if hi > sp {
+                            if sp != 0 {
+                                expected += pair_desc(sp);
+                            }
+                            // Ascending side 2 is bounded by its first member.
+                            let sp = sp as usize;
+                            // lint:allow(panic-reachability) in range: sp < hi
+                            // <= members.count.
+                            if le4(&mems_b[sp * 4..sp * 4 + 4]) < split_u32 {
+                                return Err(bad(format!(
+                                    "block {k} side-2 members start below the split"
+                                )));
+                            }
+                        }
+                    }
+                }
+                prev = hi;
+            }
+            let (desc, max) = descents_and_max(mems_b);
+            if desc != expected || (mcount > 0 && max >= n_u32) {
+                return Err(bad(
+                    "block members are out of range or not strictly ascending per side".into(),
+                ));
+            }
+            if comparisons != meta.comparisons {
+                return Err(bad(format!(
+                    "persisted ‖B‖ {} disagrees with the collection ({comparisons})",
+                    meta.comparisons
+                )));
+            }
+            if members.count as u64 != meta.assignments {
+                return Err(bad(format!(
+                    "persisted Σ|b| {} disagrees with the member pool ({})",
+                    meta.assignments, members.count
+                )));
+            }
+            Ok(())
+        };
+
+        // Entity index: |E|+1 monotone offsets, postings strictly ascending
+        // and in block range, and exactly one posting per assignment.
+        let check_index = || -> Result<(), SnapshotError> {
+            if idx_offsets.count != n + 1 {
+                return Err(bad(format!(
+                    "index has {} offsets for {n} entities (expected |E|+1)",
+                    idx_offsets.count
+                )));
+            }
+            if lists.count != members.count {
+                return Err(bad(format!(
+                    "index holds {} postings for {} assignments",
+                    lists.count, members.count
+                )));
+            }
+            let io = view(idx_offsets);
+            if io.get(0) != 0 {
+                return Err(bad("index offsets must start at 0".into()));
+            }
+            if io.last().unwrap_or(0) as usize != lists.count {
+                return Err(bad(format!(
+                    "index offsets end at {}, posting pool holds {}",
+                    io.last().unwrap_or(0),
+                    lists.count
+                )));
+            }
+            let nb_u32 = num_blocks as u32;
+            let np = lists.count;
+            let (io_b, ls_b) = (raw(idx_offsets), raw(lists));
+            // Same two-count scheme as the block walk: tally descending pairs
+            // at posting-run boundaries here, then reconcile against one
+            // vectorized descent count over the flat pool.
+            let mut expected = 0u32;
+            let mut prev = 0u32;
+            for (i, hi) in le_words(&io_b[4..]).enumerate() {
+                if hi < prev || hi as usize > np {
+                    return Err(bad(format!("entity {i} posting brackets are corrupt")));
+                }
+                if hi > prev && prev != 0 {
+                    let p = prev as usize;
+                    // lint:allow(panic-reachability) in range: 0 < p <
+                    // lists.count, proved by the bracket check above.
+                    let w = &ls_b[(p - 1) * 4..(p + 1) * 4];
+                    expected += (le4(&w[4..]) <= le4(&w[..4])) as u32;
+                }
+                prev = hi;
+            }
+            let (desc, max) = descents_and_max(ls_b);
+            if desc != expected || (np > 0 && max >= nb_u32) {
+                return Err(bad(
+                    "entity postings are out of range or not strictly ascending".into()
+                ));
+            }
+            Ok(())
+        };
+
+        // Token layout: strictly ascending offsets spanning the blob, the
+        // byte-order permutation strictly ascending, block keys in range
+        // and duplicate-free. UTF-8 is deliberately not checked — probe
+        // lookups compare bytes.
+        let check_tokens = || -> Result<(), SnapshotError> {
+            if tok_offsets.count == 0 {
+                return Err(bad("token offsets section is empty".into()));
+            }
+            let num_tokens = tok_offsets.count - 1;
+            let to = view(tok_offsets);
+            if to.get(0) != 0 {
+                return Err(bad("token offsets must start at 0".into()));
+            }
+            if to.last().unwrap_or(0) as usize != tok_blob.len {
+                return Err(bad(format!(
+                    "token offsets end at {}, blob holds {} bytes",
+                    to.last().unwrap_or(0),
+                    tok_blob.len
+                )));
+            }
+            // The first offset is 0 (checked above), so strict ascension over
+            // the whole table is the only remaining order constraint.
+            if !to.is_strict_run(0, u32::MAX) {
+                return Err(bad("token offsets must be strictly ascending".into()));
+            }
+            if tok_sorted.count != num_tokens {
+                return Err(bad(format!(
+                    "toksorted has {} entries for {num_tokens} tokens",
+                    tok_sorted.count
+                )));
+            }
+            let blob = {
+                // lint:allow(panic-reachability) in range: bytes_section proved
+                // start + len lies within the section payload.
+                &buf[tok_blob.start..tok_blob.start + tok_blob.len]
+            };
+            let to_b = raw(tok_offsets);
+            let mut prev_tok: Option<(usize, usize)> = None;
+            for id in le_words(raw(tok_sorted)) {
+                let id = id as usize;
+                if id >= num_tokens {
+                    return Err(bad(format!(
+                    "toksorted references token {id}, but the vocabulary has {num_tokens} tokens"
+                )));
+                }
+                // One 8-byte fetch covers both adjacent offsets.
+                // lint:allow(panic-reachability) in range: id < num_tokens and
+                // the offset table holds num_tokens + 1 entries.
+                let w = &to_b[id * 4..id * 4 + 8];
+                let mut a4 = [0u8; 4];
+                let mut b4 = [0u8; 4];
+                a4.copy_from_slice(&w[..4]);
+                b4.copy_from_slice(&w[4..]);
+                // lint:allow(snapshot-unversioned-read) checksum-verified,
+                // length-validated offset table below the framing layer.
+                let (a, b) = (u32::from_le_bytes(a4) as usize, u32::from_le_bytes(b4) as usize);
+                if let Some((pa, pb)) = prev_tok {
+                    // lint:allow(panic-reachability) in range: token offsets
+                    // were proved ascending and bounded by the blob length.
+                    if blob[pa..pb] >= blob[a..b] {
+                        return Err(bad(
+                            "toksorted is not strictly ascending by token bytes".into()
+                        ));
+                    }
+                }
+                prev_tok = Some((a, b));
+            }
+            if block_keys.count != num_blocks {
+                return Err(bad(format!(
+                    "{} block keys for {num_blocks} blocks",
+                    block_keys.count
+                )));
+            }
+            {
+                let bk = view(block_keys);
+                let mut seen = vec![0u64; num_tokens.div_ceil(64)];
+                let mut ok = true;
+                bk.for_each(|t| {
+                    let t = t as usize;
+                    if t >= num_tokens {
+                        ok = false;
+                        return;
+                    }
+                    let (w, bit) = (t / 64, 1u64 << (t % 64));
+                    // lint:allow(panic-reachability) in range: w = t/64 <
+                    // ceil(num_tokens/64) because t < num_tokens.
+                    let slot = &mut seen[w];
+                    if *slot & bit != 0 {
+                        ok = false;
+                    }
+                    *slot |= bit;
+                });
+                if !ok {
+                    return Err(bad(
+                        "block keys are out of range or reference a token twice".into()
+                    ));
+                }
+            }
+            Ok(())
+        };
+
+        // Run the four independent passes — remaining checksums plus the
+        // three structural walks. On buffers past the parallel threshold
+        // each runs on its own scoped thread; the `?`s below report any
+        // failures in the serial order (checksums first), so a corrupt file
+        // surfaces the same error either way.
+        let parallel = buf.len() >= PARALLEL_LOAD_BYTES
+            && std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
+        let (sums, blocks, index, tokens) = if parallel {
+            std::thread::scope(|s| {
+                let sums = s.spawn(|| verify_checksums(&buf, &table[1..]));
+                let blocks = s.spawn(check_blocks);
+                let index = s.spawn(check_index);
+                let tokens = check_tokens();
+                // lint:allow(panic-reachability) join only fails if a walk
+                // panicked, and every walk is panic-free on arbitrary bytes
+                // lint:allow(no-panic) — the unwraps can only re-raise such
+                // a panic, never originate one.
+                (sums.join().unwrap(), blocks.join().unwrap(), index.join().unwrap(), tokens)
+            })
+        } else {
+            (verify_checksums(&buf, &table[1..]), check_blocks(), check_index(), check_tokens())
+        };
+        sums?;
+        blocks?;
+        index?;
+        tokens?;
+        let num_tokens = tok_offsets.count - 1;
+
+        // Thresholds: re-derive from the now-verified aggregates with the
+        // same mb-core formulas that produced them.
+        let bpe = meta.assignments / (n as u64).max(1);
+        let cnp = bpe.saturating_sub(1).max(1);
+        let cep = meta.assignments / 2;
+        if meta.cnp != cnp || meta.cep != cep {
+            return Err(bad(format!(
+                "persisted thresholds (cnp {}, cep {}) disagree with the collection \
+                 (cnp {cnp}, cep {cep})",
+                meta.cnp, meta.cep
+            )));
+        }
+
+        Ok(SnapshotView {
+            kind: meta.kind,
+            num_entities: n,
+            split: meta.split,
+            num_blocks,
+            num_tokens,
+            config: meta.config,
+            cnp_threshold: cnp as usize,
+            cep_threshold: cep as usize,
+            total_comparisons: meta.comparisons,
+            total_assignments: meta.assignments,
+            members,
+            offsets,
+            splits,
+            lists,
+            idx_offsets,
+            tok_offsets,
+            tok_blob,
+            tok_sorted,
+            block_keys,
+            buf,
+        })
+    }
+
+    /// Reads and zero-copy-loads a snapshot file, reporting the load as a
+    /// [`Stage::SnapshotLoad`] span on `obs`.
+    pub fn read_from(path: &Path, obs: &mut dyn Observer) -> Result<SnapshotView, SnapshotError> {
+        let scope = StageScope::enter(obs, Stage::SnapshotLoad);
+        let bytes = std::fs::read(path)?;
+        let view = SnapshotView::from_bytes(bytes)?;
+        scope.finish();
+        Ok(view)
+    }
+
+    fn u32s(&self, r: U32Range) -> U32s<'_> {
+        // lint:allow(panic-reachability) in range: the constructor proved
+        // start + 4*count lies within the buffer for every stored range.
+        U32s::Le(&self.buf[r.start..r.start + r.count * 4])
+    }
+
+    /// The ER task kind.
+    pub fn kind(&self) -> ErKind {
+        self.kind
+    }
+
+    /// `|E|`: the input collection size.
+    pub fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    /// The Clean-Clean id boundary (collection size for Dirty ER).
+    pub fn split(&self) -> usize {
+        self.split
+    }
+
+    /// Number of blocks in the persisted collection.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Number of tokens in the persisted vocabulary.
+    pub fn num_tokens(&self) -> usize {
+        self.num_tokens
+    }
+
+    /// The pipeline configuration the snapshot was built under.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The persisted CNP per-node cardinality threshold.
+    pub fn cnp_threshold(&self) -> usize {
+        self.cnp_threshold
+    }
+
+    /// The persisted CEP global cardinality threshold.
+    pub fn cep_threshold(&self) -> usize {
+        self.cep_threshold
+    }
+
+    /// `‖B‖`: total comparisons in the persisted collection.
+    pub fn total_comparisons(&self) -> u64 {
+        self.total_comparisons
+    }
+
+    /// `Σ|b|`: total block assignments in the persisted collection.
+    pub fn total_assignments(&self) -> u64 {
+        self.total_assignments
+    }
+
+    /// Total size of the loaded snapshot in bytes.
+    pub fn file_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The CSR member pool, borrowed from the buffer.
+    pub fn members(&self) -> U32s<'_> {
+        self.u32s(self.members)
+    }
+
+    /// Block start offsets (`num_blocks + 1` entries), borrowed.
+    pub fn offsets(&self) -> U32s<'_> {
+        self.u32s(self.offsets)
+    }
+
+    /// Absolute block split offsets (one per block), borrowed.
+    pub fn splits(&self) -> U32s<'_> {
+        self.u32s(self.splits)
+    }
+
+    /// The flat entity-index postings, borrowed.
+    pub fn lists(&self) -> U32s<'_> {
+        self.u32s(self.lists)
+    }
+
+    /// Entity-index offsets (`|E| + 1` entries), borrowed.
+    pub fn idx_offsets(&self) -> U32s<'_> {
+        self.u32s(self.idx_offsets)
+    }
+
+    /// Token byte offsets into [`SnapshotView::tok_blob`], borrowed.
+    pub fn tok_offsets(&self) -> U32s<'_> {
+        self.u32s(self.tok_offsets)
+    }
+
+    /// The concatenated token bytes, in id order.
+    pub fn tok_blob(&self) -> &[u8] {
+        // lint:allow(panic-reachability) in range: the constructor proved
+        // start + len lies within the buffer.
+        &self.buf[self.tok_blob.start..self.tok_blob.start + self.tok_blob.len]
+    }
+
+    /// Token ids sorted by byte order — the probe path's search index.
+    pub fn tok_sorted(&self) -> U32s<'_> {
+        self.u32s(self.tok_sorted)
+    }
+
+    /// Per-block token provenance, borrowed.
+    pub fn block_keys(&self) -> U32s<'_> {
+        self.u32s(self.block_keys)
+    }
+
+    /// The bytes of token `id`.
+    pub fn token_bytes(&self, id: u32) -> &[u8] {
+        let to = self.u32s(self.tok_offsets);
+        let (a, b) = (to.get(id as usize) as usize, to.get(id as usize + 1) as usize);
+        let blob = self.tok_blob();
+        // lint:allow(panic-reachability) in range: token offsets were
+        // validated ascending and bounded by the blob length.
+        &blob[a..b]
+    }
+
+    /// Looks a normalized token up by bytes: binary search over the
+    /// persisted byte-order permutation, no hashing, no allocation.
+    pub fn find_token(&self, token: &[u8]) -> Option<u32> {
+        let sorted = self.u32s(self.tok_sorted);
+        let (mut lo, mut hi) = (0usize, sorted.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.token_bytes(sorted.get(mid)) < token {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < sorted.len() {
+            let id = sorted.get(lo);
+            if self.token_bytes(id) == token {
+                return Some(id);
+            }
+        }
+        None
+    }
+}

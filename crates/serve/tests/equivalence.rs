@@ -11,7 +11,7 @@ use mb_core::weights::EdgeWeigher;
 use mb_core::{
     GraphContext, Noop, PipelineConfig, Retention, Scored, WeightingImpl, WeightingScheme,
 };
-use mb_serve::{CandidateRequest, QueryEngine, Snapshot};
+use mb_serve::{CandidateRequest, QueryEngine, Snapshot, SnapshotView};
 
 const SCHEMES: [WeightingScheme; 5] = [
     WeightingScheme::Arcs,
@@ -190,6 +190,91 @@ fn default_retention_follows_the_configured_pruning_scheme() {
     let weighted = Snapshot::build(&collection, PipelineConfig::default()).unwrap();
     let engine = QueryEngine::new(&weighted);
     assert_eq!(engine.default_retention(), Retention::AboveMean);
+}
+
+#[test]
+fn zero_copy_and_sharded_engines_are_bit_identical_to_the_owned_engine() {
+    // The tentpole equivalence pin: an engine over a zero-copy
+    // [`SnapshotView`], and sharded engines over either storage flavor, must
+    // reproduce the owned single-arena engine's responses *exactly* — same
+    // candidates, same score bits, same order — across schemes, retentions,
+    // shard counts, and thread counts.
+    let fixtures = [
+        ("dirty", presets::build(&presets::tiny(42)).unwrap().into_dirty().collection),
+        ("clean-clean", presets::build(&presets::tiny(43)).unwrap().collection),
+    ];
+    for (label, collection) in fixtures {
+        let config = PipelineConfig { filter_ratio: Some(0.8), ..PipelineConfig::default() };
+        let snapshot = Snapshot::build(&collection, config).unwrap();
+        let view = SnapshotView::from_bytes(snapshot.to_bytes()).unwrap();
+        let n = snapshot.num_entities();
+        for scheme in SCHEMES {
+            for retention in [Retention::TopK(snapshot.cnp_threshold()), Retention::AboveMean] {
+                let mut baseline = QueryEngine::with_scheme(&snapshot, scheme);
+                let expected: Vec<Scored> = (0..n)
+                    .map(|pivot| {
+                        run_one(
+                            &mut baseline,
+                            CandidateRequest::entity(EntityId(pivot as u32))
+                                .with_retention(retention),
+                        )
+                    })
+                    .collect();
+                let expected_batch =
+                    run(&mut baseline, CandidateRequest::batch().with_retention(retention));
+
+                let mut variants: Vec<(String, QueryEngine<'_>)> =
+                    vec![("view".into(), QueryEngine::view_with_scheme(&view, scheme))];
+                for shards in [2, 3, 8] {
+                    for threads in [1, 2] {
+                        variants.push((
+                            format!("owned/shards={shards}/threads={threads}"),
+                            QueryEngine::with_scheme(&snapshot, scheme)
+                                .with_shards(shards, threads),
+                        ));
+                        variants.push((
+                            format!("view/shards={shards}/threads={threads}"),
+                            QueryEngine::view_with_scheme(&view, scheme)
+                                .with_shards(shards, threads),
+                        ));
+                    }
+                }
+                for (variant, mut engine) in variants {
+                    for (pivot, want) in expected.iter().enumerate() {
+                        let got = run_one(
+                            &mut engine,
+                            CandidateRequest::entity(EntityId(pivot as u32))
+                                .with_retention(retention),
+                        );
+                        assert_eq!(
+                            &got, want,
+                            "{label}/{scheme:?}/{retention:?}/{variant}: entity {pivot} diverged"
+                        );
+                    }
+                    assert_eq!(
+                        run(&mut engine, CandidateRequest::batch().with_retention(retention)),
+                        expected_batch,
+                        "{label}/{scheme:?}/{retention:?}/{variant}: batch diverged"
+                    );
+                }
+            }
+        }
+
+        // Probe requests take the flat path on every engine; the view's
+        // byte-compare token lookup must agree with the owned hash map.
+        let mut owned = QueryEngine::new(&snapshot);
+        let mut viewed = QueryEngine::from_view(&view);
+        let mut sharded = QueryEngine::from_view(&view).with_shards(4, 2);
+        for (_, profile) in collection.iter().take(8) {
+            let request = || {
+                CandidateRequest::probe(profile.clone(), true)
+                    .with_retention(Retention::TopK(usize::MAX))
+            };
+            let want = run_one(&mut owned, request());
+            assert_eq!(run_one(&mut viewed, request()), want, "{label}: view probe diverged");
+            assert_eq!(run_one(&mut sharded, request()), want, "{label}: sharded probe diverged");
+        }
+    }
 }
 
 #[test]

@@ -53,7 +53,7 @@ fn concurrent_readers_never_observe_a_torn_generation() {
                     // the same pin-then-serve pattern a connection handler
                     // uses, so a swap mid-loop exercises the same races.
                     let generation = cell.load();
-                    let mut engine = QueryEngine::new(generation.snapshot());
+                    let mut engine = QueryEngine::from_store(generation.store());
                     for _ in 0..8 {
                         let request = CandidateRequest::entity(EntityId(0))
                             .with_retention(Retention::TopK(1));

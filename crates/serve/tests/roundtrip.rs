@@ -2,14 +2,17 @@
 //!
 //! The contract under test: encoding is deterministic and bit-stable across
 //! a decode/encode cycle, and *every* malformed input — truncations, bit
-//! flips, forged frames, checksum-valid-but-inconsistent payloads — fails
-//! with a typed [`SnapshotError`], never a panic and never an unbounded
-//! allocation.
+//! flips, forged tables, misaligned sections, checksum-valid-but-
+//! inconsistent payloads, files from other format versions — fails with a
+//! typed [`SnapshotError`], never a panic and never an unbounded
+//! allocation. Both decode paths are swept: the deep-validating owned
+//! decoder ([`Snapshot::from_bytes`]) and the zero-copy loader
+//! ([`SnapshotView::from_bytes`]).
 
 use er_datagen::presets;
 use er_model::{EntityCollection, EntityProfile};
 use mb_core::{PipelineConfig, PruningScheme, WeightingScheme};
-use mb_serve::{Snapshot, SnapshotError, FORMAT_VERSION, MAGIC};
+use mb_serve::{Snapshot, SnapshotError, SnapshotHeader, SnapshotView, FORMAT_VERSION, MAGIC};
 
 fn config(weighting: WeightingScheme, filter_ratio: Option<f64>) -> PipelineConfig {
     PipelineConfig { weighting, filter_ratio, ..PipelineConfig::default() }
@@ -34,7 +37,21 @@ fn small_snapshot() -> Snapshot {
     Snapshot::build(&e, config(WeightingScheme::Cbs, None)).unwrap()
 }
 
-// --- little-endian helpers mirroring the format, local to the tests ------
+// --- little-endian helpers mirroring the v2 format, local to the tests ----
+
+const HEADER_LEN: usize = 16;
+const TABLE_ENTRY_LEN: usize = 32;
+const NUM_SECTIONS: usize = 10;
+const TABLE_END: usize = HEADER_LEN + NUM_SECTIONS * TABLE_ENTRY_LEN;
+
+const META: u32 = 1;
+const MEMBERS: u32 = 2;
+const OFFSETS: u32 = 3;
+const LISTS: u32 = 5;
+const INDEX_OFFSETS: u32 = 6;
+const TOK_BLOB: u32 = 8;
+const TOK_SORTED: u32 = 9;
+const BLOCKKEYS: u32 = 10;
 
 fn u32_at(bytes: &[u8], at: usize) -> u32 {
     u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
@@ -44,58 +61,108 @@ fn u64_at(bytes: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+fn pad8(len: usize) -> usize {
+    len.div_ceil(8) * 8
+}
+
+/// Four-lane word-wise FNV-1a 64 over an 8-padded region — the v2 section
+/// checksum. Words go round-robin into four independent FNV lanes; the
+/// digest folds the lane states together in lane order.
+fn fnv1a_wide(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut lanes = [OFFSET; 4];
+    for (i, c) in bytes.chunks_exact(8).enumerate() {
+        let w = u64::from_le_bytes(c.try_into().unwrap());
+        lanes[i % 4] = (lanes[i % 4] ^ w).wrapping_mul(PRIME);
+    }
+    let mut h = OFFSET;
+    for lane in lanes {
+        h = (h ^ lane).wrapping_mul(PRIME);
     }
     h
 }
 
-/// Splits an encoded snapshot into its header and `(id, payload)` sections.
+/// Byte offset of section-table entry `i` (0-based).
+fn entry_at(i: usize) -> usize {
+    HEADER_LEN + i * TABLE_ENTRY_LEN
+}
+
+/// Splits an encoded snapshot into `(id, unpadded payload)` sections,
+/// verifying the table and checksums mirror the format contract.
 fn parse_frame(bytes: &[u8]) -> Vec<(u32, Vec<u8>)> {
     assert_eq!(&bytes[..8], &MAGIC);
     assert_eq!(u32_at(bytes, 8), FORMAT_VERSION);
+    let count = u32_at(bytes, 12) as usize;
+    assert_eq!(count, NUM_SECTIONS);
     let mut sections = Vec::new();
-    let mut at = 12;
-    while at < bytes.len() {
+    for i in 0..count {
+        let at = entry_at(i);
         let id = u32_at(bytes, at);
-        let len = u64_at(bytes, at + 4) as usize;
-        let checksum = u64_at(bytes, at + 12);
-        let payload = bytes[at + 20..at + 20 + len].to_vec();
-        assert_eq!(fnv1a(&payload), checksum);
-        sections.push((id, payload));
-        at += 20 + len;
+        assert_eq!(u32_at(bytes, at + 4), 0, "reserved field must be zero");
+        let offset = u64_at(bytes, at + 8) as usize;
+        let len = u64_at(bytes, at + 16) as usize;
+        let checksum = u64_at(bytes, at + 24);
+        assert_eq!(offset % 8, 0, "section {id} payload must be 8-aligned");
+        let region = &bytes[offset..offset + pad8(len)];
+        assert_eq!(fnv1a_wide(region), checksum);
+        assert!(region[len..].iter().all(|&b| b == 0), "padding must be zero");
+        sections.push((id, region[..len].to_vec()));
     }
     sections
 }
 
-/// Re-frames sections (with correct checksums) into a snapshot file.
+/// Re-frames sections (with correct offsets and checksums) into a v2 file.
 fn build_frame(sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let table_end = HEADER_LEN + sections.len() * TABLE_ENTRY_LEN;
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    let mut offset = table_end;
     for (id, payload) in sections {
+        let mut region = payload.clone();
+        region.resize(pad8(payload.len()), 0);
         out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&(offset as u64).to_le_bytes());
         out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        out.extend_from_slice(&fnv1a_wide(&region).to_le_bytes());
+        offset += region.len();
+    }
+    for (_, payload) in sections {
+        let start = out.len();
         out.extend_from_slice(payload);
+        out.resize(start + pad8(payload.len()), 0);
     }
     out
 }
 
-/// Decodes after mutating one section's payload, fixing up the checksum so
-/// the corruption reaches the section decoder instead of the checksum gate.
+/// Encodes `snapshot` with one section's payload mutated, checksums fixed up
+/// so the corruption reaches the decoders instead of the checksum gate.
+fn corrupt(snapshot: &Snapshot, section: u32, mutate: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+    let mut sections = parse_frame(&snapshot.to_bytes());
+    let slot = sections.iter_mut().find(|(id, _)| *id == section).unwrap();
+    mutate(&mut slot.1);
+    build_frame(&sections)
+}
+
+/// Decodes mutated bytes through the deep-validating owned path.
 fn decode_with(
     snapshot: &Snapshot,
     section: u32,
     mutate: impl FnOnce(&mut Vec<u8>),
 ) -> Result<Snapshot, SnapshotError> {
-    let mut sections = parse_frame(&snapshot.to_bytes());
-    let slot = sections.iter_mut().find(|(id, _)| *id == section).unwrap();
-    mutate(&mut slot.1);
-    Snapshot::from_bytes(&build_frame(&sections))
+    Snapshot::from_bytes(&corrupt(snapshot, section, mutate))
+}
+
+/// Decodes mutated bytes through the zero-copy view path.
+fn view_with(
+    snapshot: &Snapshot,
+    section: u32,
+    mutate: impl FnOnce(&mut Vec<u8>),
+) -> Result<SnapshotView, SnapshotError> {
+    SnapshotView::from_bytes(corrupt(snapshot, section, mutate))
 }
 
 // --- round-trip stability -------------------------------------------------
@@ -132,6 +199,24 @@ fn roundtrip_is_bit_identical_across_kinds_and_configs() {
         assert_eq!(restored.tokens(), snapshot.tokens());
         assert_eq!(restored.block_keys(), snapshot.block_keys());
         assert_eq!(restored.config(), snapshot.config());
+
+        // The zero-copy loader accepts the same bytes and agrees on every
+        // scalar the query path starts from.
+        let view = SnapshotView::from_bytes(bytes.clone()).unwrap();
+        assert_eq!(view.kind(), snapshot.kind());
+        assert_eq!(view.num_entities(), snapshot.num_entities());
+        assert_eq!(view.split(), snapshot.split());
+        assert_eq!(view.num_blocks(), snapshot.blocks().size());
+        assert_eq!(view.num_tokens(), snapshot.tokens().len());
+        assert_eq!(view.cnp_threshold(), snapshot.cnp_threshold());
+        assert_eq!(view.cep_threshold(), snapshot.cep_threshold());
+        assert_eq!(view.total_comparisons(), snapshot.total_comparisons());
+        assert_eq!(view.total_assignments(), snapshot.total_assignments());
+        assert_eq!(view.config(), snapshot.config());
+        for (id, token) in snapshot.tokens().iter().enumerate() {
+            assert_eq!(view.token_bytes(id as u32), token.as_bytes());
+            assert_eq!(view.find_token(token.as_bytes()), Some(id as u32));
+        }
     }
 }
 
@@ -154,10 +239,33 @@ fn empty_and_one_sided_collections_roundtrip() {
         let bytes = snapshot.to_bytes();
         let restored = Snapshot::from_bytes(&bytes).unwrap();
         assert_eq!(restored.to_bytes(), bytes);
+        let view = SnapshotView::from_bytes(bytes).unwrap();
+        assert_eq!(view.num_blocks(), 0);
     }
 }
 
-// --- corruption: every byte matters --------------------------------------
+#[test]
+fn header_reports_the_canonical_aligned_table() {
+    let bytes = small_snapshot().to_bytes();
+    let header = SnapshotHeader::from_bytes(&bytes).unwrap();
+    assert_eq!(header.version, FORMAT_VERSION);
+    assert_eq!(header.file_len, bytes.len() as u64);
+    assert_eq!(header.sections.len(), NUM_SECTIONS);
+    let mut expected = TABLE_END as u64;
+    for (i, s) in header.sections.iter().enumerate() {
+        assert_eq!(s.id, i as u32 + 1, "ids must be canonical");
+        assert_eq!(s.offset % 8, 0, "payloads must be 8-aligned");
+        assert_eq!(s.offset, expected, "payloads must be contiguous");
+        assert_eq!(s.padded_len, pad8(s.len as usize) as u64);
+        // The recorded checksum is the wide FNV of the padded region.
+        let region = &bytes[s.offset as usize..(s.offset + s.padded_len) as usize];
+        assert_eq!(s.checksum, fnv1a_wide(region));
+        expected += s.padded_len;
+    }
+    assert_eq!(expected, header.file_len, "sections must cover the file exactly");
+}
+
+// --- corruption: every byte matters, on both decode paths -----------------
 
 #[test]
 fn every_flipped_byte_fails_with_a_typed_error() {
@@ -169,8 +277,12 @@ fn every_flipped_byte_fails_with_a_typed_error() {
         // corrupted file was silently accepted.
         let err = Snapshot::from_bytes(&bad)
             .err()
-            .unwrap_or_else(|| panic!("flipping byte {at} was not detected"));
+            .unwrap_or_else(|| panic!("flipping byte {at} was not detected (owned)"));
         // Every variant has a Display line; render it to exercise them all.
+        let _ = err.to_string();
+        let err = SnapshotView::from_bytes(bad)
+            .err()
+            .unwrap_or_else(|| panic!("flipping byte {at} was not detected (view)"));
         let _ = err.to_string();
     }
 }
@@ -181,115 +293,302 @@ fn every_truncated_prefix_fails_with_a_typed_error() {
     for len in 0..bytes.len() {
         assert!(
             Snapshot::from_bytes(&bytes[..len]).is_err(),
-            "prefix of {len} bytes must not decode"
+            "prefix of {len} bytes must not decode (owned)"
+        );
+        assert!(
+            SnapshotView::from_bytes(bytes[..len].to_vec()).is_err(),
+            "prefix of {len} bytes must not load (view)"
         );
     }
 }
 
+/// Runs `tamper` over a fresh copy of `bytes` and asserts both decode paths
+/// report an error matching `check`.
+fn assert_both_reject(
+    bytes: &[u8],
+    tamper: impl Fn(&mut Vec<u8>),
+    check: impl Fn(&SnapshotError) -> bool,
+    what: &str,
+) {
+    let mut bad = bytes.to_vec();
+    tamper(&mut bad);
+    let err = Snapshot::from_bytes(&bad).unwrap_err();
+    assert!(check(&err), "{what} (owned): got {err:?}");
+    let err = SnapshotView::from_bytes(bad).unwrap_err();
+    assert!(check(&err), "{what} (view): got {err:?}");
+}
+
 #[test]
 fn frame_level_errors_are_typed() {
-    let snapshot = small_snapshot();
-    let bytes = snapshot.to_bytes();
+    let bytes = small_snapshot().to_bytes();
 
-    let mut bad_magic = bytes.clone();
-    bad_magic[0] = b'X';
-    assert!(matches!(Snapshot::from_bytes(&bad_magic), Err(SnapshotError::BadMagic)));
+    assert_both_reject(
+        &bytes,
+        |b| b[0] = b'X',
+        |e| matches!(e, SnapshotError::BadMagic),
+        "foreign magic",
+    );
     assert!(matches!(Snapshot::from_bytes(b""), Err(SnapshotError::BadMagic)));
+    assert!(matches!(SnapshotView::from_bytes(Vec::new()), Err(SnapshotError::BadMagic)));
 
-    let mut future = bytes.clone();
-    future[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
-    assert!(matches!(
-        Snapshot::from_bytes(&future),
-        Err(SnapshotError::UnsupportedVersion { found, supported })
-            if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
-    ));
+    // A version-1 file: same MBSNAP family, older layout. Rejected from the
+    // magic alone — the reader never guesses at the old framing.
+    assert_both_reject(
+        &bytes,
+        |b| b[..8].copy_from_slice(b"MBSNAP01"),
+        |e| {
+            matches!(e, SnapshotError::UnsupportedVersion { found: 1, supported }
+                if *supported == FORMAT_VERSION)
+        },
+        "v1 magic",
+    );
 
-    let sections = parse_frame(&bytes);
-    let mut unknown = sections.clone();
-    unknown.push((99, Vec::new()));
-    assert!(matches!(
-        Snapshot::from_bytes(&build_frame(&unknown)),
-        Err(SnapshotError::UnknownSection { id: 99 })
-    ));
+    // A future version stamped in the header's version field.
+    assert_both_reject(
+        &bytes,
+        |b| b[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes()),
+        |e| {
+            matches!(e, SnapshotError::UnsupportedVersion { found, supported }
+                if *found == FORMAT_VERSION + 1 && *supported == FORMAT_VERSION)
+        },
+        "future version",
+    );
 
-    let mut duplicated = sections.clone();
-    duplicated.push(sections[0].clone());
-    assert!(matches!(
-        Snapshot::from_bytes(&build_frame(&duplicated)),
-        Err(SnapshotError::DuplicateSection { .. })
-    ));
+    // A wrong section count.
+    assert_both_reject(
+        &bytes,
+        |b| b[12..16].copy_from_slice(&9u32.to_le_bytes()),
+        |e| matches!(e, SnapshotError::Inconsistent(_)),
+        "wrong section count",
+    );
 
-    for drop in 0..sections.len() {
-        let mut partial = sections.clone();
-        partial.remove(drop);
-        assert!(matches!(
-            Snapshot::from_bytes(&build_frame(&partial)),
-            Err(SnapshotError::MissingSection { .. })
-        ));
-    }
+    // An id the format does not define, in the first table slot.
+    assert_both_reject(
+        &bytes,
+        |b| b[entry_at(0)..entry_at(0) + 4].copy_from_slice(&99u32.to_le_bytes()),
+        |e| matches!(e, SnapshotError::UnknownSection { id: 99 }),
+        "unknown section id",
+    );
+
+    // Known sections out of canonical order.
+    assert_both_reject(
+        &bytes,
+        |b| {
+            b[entry_at(0)..entry_at(0) + 4].copy_from_slice(&MEMBERS.to_le_bytes());
+            b[entry_at(1)..entry_at(1) + 4].copy_from_slice(&META.to_le_bytes());
+        },
+        |e| matches!(e, SnapshotError::Inconsistent(_)),
+        "reordered sections",
+    );
+
+    // A nonzero reserved field.
+    assert_both_reject(
+        &bytes,
+        |b| b[entry_at(2) + 4..entry_at(2) + 8].copy_from_slice(&1u32.to_le_bytes()),
+        |e| matches!(e, SnapshotError::Inconsistent(_)),
+        "nonzero reserved field",
+    );
 
     // A section whose declared length overruns the file reports how much is
     // missing rather than reading out of bounds.
-    let mut overrun = build_frame(&sections[..1]);
-    let len_at = 12 + 4;
-    overrun[len_at..len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
-    assert!(matches!(Snapshot::from_bytes(&overrun), Err(SnapshotError::Truncated { .. })));
+    assert_both_reject(
+        &bytes,
+        |b| b[entry_at(3) + 16..entry_at(3) + 24].copy_from_slice(&u64::MAX.to_le_bytes()),
+        |e| matches!(e, SnapshotError::Truncated { section: "splits", .. }),
+        "length overrun",
+    );
+
+    // Garbage after the last section's padded payload.
+    assert_both_reject(
+        &bytes,
+        |b| b.extend_from_slice(&[0u8; 8]),
+        |e| matches!(e, SnapshotError::TrailingBytes { section: "frame", bytes: 8 }),
+        "trailing frame bytes",
+    );
+}
+
+#[test]
+fn misaligned_and_displaced_sections_are_rejected() {
+    let bytes = small_snapshot().to_bytes();
+
+    // An offset that breaks the 8-byte alignment guarantee — the exact
+    // property the zero-copy loader borrows arrays on.
+    assert_both_reject(
+        &bytes,
+        |b| {
+            let at = entry_at(1) + 8;
+            let offset = u64_at(b, at) + 4;
+            b[at..at + 8].copy_from_slice(&offset.to_le_bytes());
+        },
+        |e| matches!(e, SnapshotError::Misaligned { section: "members", offset: _ }),
+        "misaligned offset",
+    );
+
+    // Aligned but displaced: payloads must be contiguous in table order.
+    assert_both_reject(
+        &bytes,
+        |b| {
+            let at = entry_at(1) + 8;
+            let offset = u64_at(b, at) + 8;
+            b[at..at + 8].copy_from_slice(&offset.to_le_bytes());
+        },
+        |e| matches!(e, SnapshotError::Inconsistent(_)),
+        "displaced offset",
+    );
+}
+
+#[test]
+fn checksum_and_padding_violations_are_rejected() {
+    let bytes = small_snapshot().to_bytes();
+    let header = SnapshotHeader::from_bytes(&bytes).unwrap();
+
+    // A payload byte flip behind an unpatched checksum names the section.
+    let meta = &header.sections[0];
+    assert_both_reject(
+        &bytes,
+        |b| b[meta.offset as usize] ^= 0xff,
+        |e| matches!(e, SnapshotError::ChecksumMismatch { section: "meta" }),
+        "payload flip",
+    );
+
+    // A nonzero padding byte with a *recomputed* checksum still fails: the
+    // format pins padding to zero so encoding stays canonical.
+    let padded = header.sections.iter().find(|s| s.len < s.padded_len).unwrap();
+    let (start, len, padded_len) =
+        (padded.offset as usize, padded.len as usize, padded.padded_len as usize);
+    let entry = entry_at(padded.id as usize - 1);
+    assert_both_reject(
+        &bytes,
+        |b| {
+            b[start + len] = 1;
+            let sum = fnv1a_wide(&b[start..start + padded_len]);
+            b[entry + 24..entry + 32].copy_from_slice(&sum.to_le_bytes());
+        },
+        |e| matches!(e, SnapshotError::Inconsistent(_)),
+        "nonzero padding",
+    );
 }
 
 #[test]
 fn checksum_valid_payload_corruption_is_still_detected() {
     let snapshot = small_snapshot();
-    const META: u32 = 1;
-    const BLOCKS: u32 = 2;
-    const TOKENS: u32 = 4;
-    const BLOCKKEYS: u32 = 5;
 
     // A members-vector claiming u32::MAX entries must fail on the declared
-    // length, not attempt a 16 GiB allocation.
-    let err = decode_with(&snapshot, BLOCKS, |p| {
-        p[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
-    })
-    .unwrap_err();
-    assert!(matches!(err, SnapshotError::Truncated { section: "blocks", .. }));
+    // length, not attempt a 16 GiB allocation — on either path.
+    let big_count = |p: &mut Vec<u8>| p[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = decode_with(&snapshot, MEMBERS, big_count).unwrap_err();
+    assert!(matches!(err, SnapshotError::Truncated { section: "members", .. }));
+    let err = view_with(&snapshot, MEMBERS, big_count).unwrap_err();
+    assert!(matches!(err, SnapshotError::Truncated { section: "members", .. }));
 
     // Trailing garbage after a fully-decoded payload.
     let err = decode_with(&snapshot, BLOCKKEYS, |p| p.push(0)).unwrap_err();
     assert!(matches!(err, SnapshotError::TrailingBytes { section: "blockkeys", bytes: 1 }));
+    let err = view_with(&snapshot, BLOCKKEYS, |p| p.push(0)).unwrap_err();
+    assert!(matches!(err, SnapshotError::TrailingBytes { section: "blockkeys", bytes: 1 }));
 
-    // A non-UTF-8 token.
-    let err = decode_with(&snapshot, TOKENS, |p| {
+    // A non-UTF-8 token byte: the owned decoder builds `String`s and
+    // catches it. (The view deliberately skips UTF-8 — probe lookups
+    // byte-compare — so this is an owned-path-only guarantee.)
+    let err = decode_with(&snapshot, TOK_BLOB, |p| {
         *p.last_mut().unwrap() = 0xff;
     })
     .unwrap_err();
-    assert!(matches!(err, SnapshotError::Utf8 { section: "tokens" }));
+    assert!(matches!(err, SnapshotError::Utf8 { section: "tokblob" }));
 
     // An undefined ER-kind tag.
     let err = decode_with(&snapshot, META, |p| p[0] = 7).unwrap_err();
     assert!(matches!(err, SnapshotError::Inconsistent(_)));
+    let err = view_with(&snapshot, META, |p| p[0] = 7).unwrap_err();
+    assert!(matches!(err, SnapshotError::Inconsistent(_)));
 
     // Tampered persisted thresholds disagree with the collection.
-    let err = decode_with(&snapshot, META, |p| {
-        let cnp = u64::from_le_bytes(p[9..17].try_into().unwrap());
-        p[9..17].copy_from_slice(&(cnp + 1).to_le_bytes());
-    })
-    .unwrap_err();
+    let bump_cnp = |p: &mut Vec<u8>| {
+        let cnp = u64::from_le_bytes(p[24..32].try_into().unwrap());
+        p[24..32].copy_from_slice(&(cnp + 1).to_le_bytes());
+    };
+    let err = decode_with(&snapshot, META, bump_cnp).unwrap_err();
+    assert!(matches!(err, SnapshotError::Inconsistent(_)));
+    let err = view_with(&snapshot, META, bump_cnp).unwrap_err();
     assert!(matches!(err, SnapshotError::Inconsistent(_)));
 
     // A block key pointing at a u32::MAX-adjacent token id.
-    let err = decode_with(&snapshot, BLOCKKEYS, |p| {
-        p[4..8].copy_from_slice(&(u32::MAX - 1).to_le_bytes());
-    })
-    .unwrap_err();
+    let wild_key = |p: &mut Vec<u8>| p[4..8].copy_from_slice(&(u32::MAX - 1).to_le_bytes());
+    let err = decode_with(&snapshot, BLOCKKEYS, wild_key).unwrap_err();
+    assert!(matches!(err, SnapshotError::Inconsistent(_)));
+    let err = view_with(&snapshot, BLOCKKEYS, wild_key).unwrap_err();
     assert!(matches!(err, SnapshotError::Inconsistent(_)));
 
-    // A structurally-invalid arena: the offsets table must start at 0.
-    let err = decode_with(&snapshot, BLOCKS, |p| {
-        let members = u32::from_le_bytes(p[0..4].try_into().unwrap()) as usize;
-        let offsets0 = 4 + 4 * members + 4;
-        p[offsets0..offsets0 + 4].copy_from_slice(&1u32.to_le_bytes());
-    })
-    .unwrap_err();
+    // A corrupted byte-order permutation: swap its first two entries.
+    let swap_sorted = |p: &mut Vec<u8>| {
+        let (a, b) = (u32_at(p, 4), u32_at(p, 8));
+        p[4..8].copy_from_slice(&b.to_le_bytes());
+        p[8..12].copy_from_slice(&a.to_le_bytes());
+    };
+    let err = decode_with(&snapshot, TOK_SORTED, swap_sorted).unwrap_err();
+    assert!(matches!(err, SnapshotError::Inconsistent(_)));
+    let err = view_with(&snapshot, TOK_SORTED, swap_sorted).unwrap_err();
+    assert!(matches!(err, SnapshotError::Inconsistent(_)));
+
+    // A structurally-invalid arena: the offsets table must start at 0. The
+    // owned path reports it through the model sanitizer, the view through
+    // its own structural walk.
+    let shift_offsets = |p: &mut Vec<u8>| p[4..8].copy_from_slice(&1u32.to_le_bytes());
+    let err = decode_with(&snapshot, OFFSETS, shift_offsets).unwrap_err();
     assert!(matches!(err, SnapshotError::Structural(_)));
+    let err = view_with(&snapshot, OFFSETS, shift_offsets).unwrap_err();
+    assert!(matches!(err, SnapshotError::Inconsistent(_)));
+}
+
+#[test]
+fn wild_mid_table_offsets_and_swapped_run_interiors_are_typed_errors() {
+    let snapshot = small_snapshot();
+    let view = SnapshotView::from_bytes(snapshot.to_bytes()).unwrap();
+
+    // A mid-table offset vaulting far past its pool. Monotonicity alone
+    // only notices one bracket later — the walk must bounds-check the high
+    // end *before* touching the pool, or a hostile table turns into an
+    // out-of-bounds slice instead of an error.
+    let wild = (view.members().len() as u32 + 1000).to_le_bytes();
+    for section in [OFFSETS, INDEX_OFFSETS] {
+        let vault = |p: &mut Vec<u8>| p[8..12].copy_from_slice(&wild);
+        let err = view_with(&snapshot, section, vault).unwrap_err();
+        assert!(matches!(err, SnapshotError::Inconsistent(_)), "view {section}: {err:?}");
+        // The owned decoder re-sanitizes the arena and rejects it too.
+        decode_with(&snapshot, section, vault).unwrap_err();
+    }
+
+    // Swapping two members inside one block run breaks strict ascension in
+    // the run's *interior* — exactly the case the boundary-descent
+    // reconciliation must distinguish from a legal descent between runs.
+    let offs = view.offsets();
+    let k = (0..view.num_blocks())
+        .find(|&k| offs.get(k + 1) - offs.get(k) >= 2)
+        .expect("fixture has a block with two members");
+    let at = 4 + offs.get(k) as usize * 4;
+    let swap_pair = move |p: &mut Vec<u8>| {
+        let (a, b) = (u32_at(p, at), u32_at(p, at + 4));
+        p[at..at + 4].copy_from_slice(&b.to_le_bytes());
+        p[at + 4..at + 8].copy_from_slice(&a.to_le_bytes());
+    };
+    // (View-path guarantee only: the owned decoder's sanitizer tolerates
+    // unsorted members, while the view's binary probes depend on order.)
+    let err = view_with(&snapshot, MEMBERS, swap_pair).unwrap_err();
+    assert!(matches!(err, SnapshotError::Inconsistent(_)), "members swap: {err:?}");
+
+    // Same corruption inside one entity's posting run.
+    let io = view.idx_offsets();
+    let i = (0..view.num_entities())
+        .find(|&i| io.get(i + 1) - io.get(i) >= 2)
+        .expect("fixture has an entity with two postings");
+    let at = 4 + io.get(i) as usize * 4;
+    let swap_pair = move |p: &mut Vec<u8>| {
+        let (a, b) = (u32_at(p, at), u32_at(p, at + 4));
+        p[at..at + 4].copy_from_slice(&b.to_le_bytes());
+        p[at + 4..at + 8].copy_from_slice(&a.to_le_bytes());
+    };
+    let err = view_with(&snapshot, LISTS, swap_pair).unwrap_err();
+    assert!(matches!(err, SnapshotError::Inconsistent(_)), "postings swap: {err:?}");
 }
 
 // --- from_parts -----------------------------------------------------------
@@ -336,6 +635,16 @@ fn from_parts_rejects_inconsistent_inputs() {
     // Duplicate provenance: two blocks claiming the same token.
     let (b, i, sp, t, mut k, c) = parts();
     k[1] = k[0];
+    assert!(matches!(Snapshot::from_parts(b, i, sp, t, k, c), Err(SnapshotError::Inconsistent(_))));
+
+    // A duplicated vocabulary entry.
+    let (b, i, sp, mut t, k, c) = parts();
+    t[1] = t[0].clone();
+    assert!(matches!(Snapshot::from_parts(b, i, sp, t, k, c), Err(SnapshotError::Inconsistent(_))));
+
+    // An empty token cannot survive the offset-delimited blob layout.
+    let (b, i, sp, mut t, k, c) = parts();
+    t[0] = String::new();
     assert!(matches!(Snapshot::from_parts(b, i, sp, t, k, c), Err(SnapshotError::Inconsistent(_))));
 
     // A Dirty snapshot must have split == |E|.
