@@ -12,8 +12,9 @@ use mb_core::{
 };
 use mb_observe::{Progress, RunReport, Tee};
 use mb_serve::{
-    CandidateRequest, CandidateResponse, Client, OutOfCoreConfig, QueryEngine, Server,
-    ServerConfig, Snapshot, SnapshotHeader, SnapshotView,
+    append_delta_run, CandidateRequest, CandidateResponse, Client, DeltaOp, GenerationCell,
+    OutOfCoreConfig, QueryEngine, Server, ServerConfig, Snapshot, SnapshotHeader, SnapshotStore,
+    SnapshotView, APPEND,
 };
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -253,15 +254,17 @@ pub fn sweep_filter(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-/// `er snapshot <build|inspect>`: persist or examine a serving index.
+/// `er snapshot <build|inspect|apply>`: persist, examine or patch a
+/// serving index.
 pub fn snapshot(args: &Args) -> Result<String, String> {
     match args.positional(1) {
         Some("build") => snapshot_build(args),
         Some("inspect") => snapshot_inspect(args),
+        Some("apply") => snapshot_apply(args),
         Some(other) => {
-            Err(format!("unknown snapshot subcommand `{other}` (expected build|inspect)"))
+            Err(format!("unknown snapshot subcommand `{other}` (expected build|inspect|apply)"))
         }
-        None => Err("usage: er snapshot <build|inspect> ...".into()),
+        None => Err("usage: er snapshot <build|inspect|apply> ...".into()),
     }
 }
 
@@ -357,8 +360,69 @@ fn snapshot_inspect(args: &Args) -> Result<String, String> {
     let _ = writeln!(out, "tokens:             {}", snapshot.tokens().len());
     let _ = writeln!(out, "CNP threshold k:    {}", snapshot.cnp_threshold());
     let _ = writeln!(out, "CEP threshold K:    {}", snapshot.cep_threshold());
+    if !snapshot.delta_runs().is_empty() {
+        let ops: usize = snapshot.delta_runs().iter().map(Vec::len).sum();
+        let _ = writeln!(out, "delta runs:         {} ({ops} ops)", snapshot.delta_runs().len());
+    }
     let _ = writeln!(out, "config:             {}", snapshot.config().to_json_string());
     Ok(out)
+}
+
+/// `er snapshot apply`: append one write-ahead delta run to a snapshot
+/// file — an upsert (`--text`, replacing in place with `--entity`,
+/// appending otherwise) or a tombstone (`--delete N`). The base sections
+/// are untouched; the run is framed and checksummed like every other
+/// section and replayed when the file is loaded.
+fn snapshot_apply(args: &Args) -> Result<String, String> {
+    check_options(args, &["snapshot", "out", "delete", "text", "uri", "entity"])?;
+    let path = args.require("snapshot")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let op = match (args.get("delete"), args.get("text")) {
+        (Some(v), None) => {
+            if args.get("entity").is_some() || args.get("uri").is_some() {
+                return Err("--entity/--uri only apply to upserts (--text)".into());
+            }
+            let id: u32 = v.parse().map_err(|_| format!("invalid value for --delete: `{v}`"))?;
+            DeltaOp::Delete { id }
+        }
+        (None, Some(text)) => {
+            let profile =
+                EntityProfile::new(args.get("uri").unwrap_or("upsert")).with("text", text);
+            let id: u32 = match args.get("entity") {
+                Some(v) => v.parse().map_err(|_| format!("invalid value for --entity: `{v}`"))?,
+                None => {
+                    // Resolve the append sentinel offline: replay the
+                    // persisted runs to find the effective collection size.
+                    let base =
+                        Snapshot::from_bytes(&bytes).map_err(|e| format!("loading {path}: {e}"))?;
+                    let mut next = base.num_entities() as u32;
+                    for run in base.delta_runs() {
+                        for op in run {
+                            if matches!(op, DeltaOp::Upsert { id, .. } if *id == next) {
+                                next += 1;
+                            }
+                        }
+                    }
+                    next
+                }
+            };
+            DeltaOp::Upsert { id, profile }
+        }
+        _ => return Err("exactly one of --delete or --text is required".into()),
+    };
+    let out = args.get("out").unwrap_or(path);
+    let patched = append_delta_run(&bytes, std::slice::from_ref(&op))
+        .map_err(|e| format!("applying to {path}: {e}"))?;
+    let runs = Snapshot::from_bytes(&patched)
+        .map_err(|e| format!("verifying {out}: {e}"))?
+        .delta_runs()
+        .len();
+    std::fs::write(out, &patched).map_err(|e| format!("writing {out}: {e}"))?;
+    let (verb, id) = match &op {
+        DeltaOp::Upsert { id, .. } => ("upserted entity", *id),
+        DeltaOp::Delete { id } => ("tombstoned entity", *id),
+    };
+    Ok(format!("wrote {out}: {verb} {id} ({runs} delta runs)\n"))
 }
 
 /// Resolves the retention flags shared by `er query` and `er client query`:
@@ -453,25 +517,34 @@ pub fn query(args: &Args) -> Result<String, String> {
     let (request, subject) = candidate_request(args)?;
 
     // Both storage flavors drive the same engine; only the load differs.
-    let owned;
-    let view;
-    let scheme: WeightingScheme;
-    let mut engine = if args.flag("zero-copy") {
-        view = SnapshotView::read_from(Path::new(path), obs)
-            .map_err(|e| format!("loading {path}: {e}"))?;
-        scheme = match args.get("scheme") {
-            Some(s) => s.parse()?,
-            None => view.config().weighting,
-        };
-        QueryEngine::view_with_scheme(&view, scheme)
+    // A snapshot carrying write-ahead delta runs (`er snapshot apply`) is
+    // replayed into a generation so the answers reflect every persisted op.
+    let store: SnapshotStore = if args.flag("zero-copy") {
+        SnapshotView::read_from(Path::new(path), obs)
+            .map_err(|e| format!("loading {path}: {e}"))?
+            .into()
     } else {
-        owned = Snapshot::read_from(Path::new(path), obs)
-            .map_err(|e| format!("loading {path}: {e}"))?;
-        scheme = match args.get("scheme") {
-            Some(s) => s.parse()?,
-            None => owned.config().weighting,
-        };
-        QueryEngine::with_scheme(&owned, scheme)
+        Snapshot::read_from(Path::new(path), obs)
+            .map_err(|e| format!("loading {path}: {e}"))?
+            .into()
+    };
+    let scheme: WeightingScheme = match args.get("scheme") {
+        Some(s) => s.parse()?,
+        None => store.config().weighting,
+    };
+    let plain;
+    let cell;
+    let generation;
+    let mut engine = if store.delta_runs().is_empty() {
+        plain = store;
+        match &plain {
+            SnapshotStore::Owned(s) => QueryEngine::with_scheme(s, scheme),
+            SnapshotStore::Mapped(v) => QueryEngine::view_with_scheme(v, scheme),
+        }
+    } else {
+        cell = GenerationCell::new(store).map_err(|e| format!("loading {path}: {e}"))?;
+        generation = cell.load();
+        QueryEngine::generation_with_scheme(&generation, scheme)
     };
     if shards > 1 {
         engine = engine.with_shards(shards, shard_threads.max(1));
@@ -546,17 +619,23 @@ fn client_connect(args: &Args) -> Result<Client, String> {
     Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))
 }
 
-/// `er client <query|reload|shutdown>`: drive a running `er serve` over the
-/// wire protocol.
+/// `er client <query|upsert|delete|compact|reload|shutdown>`: drive a
+/// running `er serve` over the wire protocol.
 pub fn client(args: &Args) -> Result<String, String> {
     match args.positional(1) {
         Some("query") => client_query(args),
+        Some("upsert") => client_upsert(args),
+        Some("delete") => client_delete(args),
+        Some("compact") => client_compact(args),
         Some("reload") => client_reload(args),
         Some("shutdown") => client_shutdown(args),
-        Some(other) => {
-            Err(format!("unknown client subcommand `{other}` (expected query|reload|shutdown)"))
-        }
-        None => Err("usage: er client <query|reload|shutdown> --addr <host:port> ...".into()),
+        Some(other) => Err(format!(
+            "unknown client subcommand `{other}` \
+             (expected query|upsert|delete|compact|reload|shutdown)"
+        )),
+        None => Err("usage: er client <query|upsert|delete|compact|reload|shutdown> \
+             --addr <host:port> ..."
+            .into()),
     }
 }
 
@@ -572,6 +651,47 @@ fn client_query(args: &Args) -> Result<String, String> {
         writeln!(out, "server:     {} (generation {})", args.require("addr")?, response.generation);
     render_candidates(&mut out, &subject, &response);
     Ok(out)
+}
+
+/// `er client upsert`: apply one live upsert — appending a new entity by
+/// default, or replacing `--entity N` in place — and report the id it
+/// resolved to plus the delta generation now serving. The entity is
+/// queryable the moment this returns (`er client query --entity <id>`).
+fn client_upsert(args: &Args) -> Result<String, String> {
+    check_options(args, &["addr", "text", "uri", "entity"])?;
+    let text = args.require("text")?;
+    let profile = EntityProfile::new(args.get("uri").unwrap_or("upsert")).with("text", text);
+    let id: u32 = match args.get("entity") {
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --entity: `{v}`"))?,
+        None => APPEND,
+    };
+    let mut client = client_connect(args)?;
+    let (generation, id) = client.upsert(id, &profile).map_err(|e| e.to_string())?;
+    Ok(format!("upserted entity {id}: serving generation {generation}\n"))
+}
+
+/// `er client delete`: tombstone a live entity. It stops appearing as a
+/// candidate immediately; its id is not reused until compaction renumbers.
+fn client_delete(args: &Args) -> Result<String, String> {
+    check_options(args, &["addr", "entity"])?;
+    let v = args.require("entity")?;
+    let id: u32 = v.parse().map_err(|_| format!("invalid value for --entity: `{v}`"))?;
+    let mut client = client_connect(args)?;
+    let generation = client.delete(id).map_err(|e| e.to_string())?;
+    Ok(format!("tombstoned entity {id}: serving generation {generation}\n"))
+}
+
+/// `er client compact`: fold the accumulated deltas into a clean rebuild
+/// over the bundle at `--dataset` (a path on the server's filesystem),
+/// optionally persisting the compacted snapshot to `--out`, and swap it in
+/// — unless a concurrent delta landed mid-rebuild, in which case the old
+/// generation keeps serving and the command reports the conflict.
+fn client_compact(args: &Args) -> Result<String, String> {
+    check_options(args, &["addr", "dataset", "out"])?;
+    let bundle = args.require("dataset")?;
+    let mut client = client_connect(args)?;
+    let generation = client.compact(bundle, args.get("out")).map_err(|e| e.to_string())?;
+    Ok(format!("compacted {bundle}: serving generation {generation}\n"))
 }
 
 /// `er client reload`: zero-downtime swap to the snapshot at `--snapshot`
@@ -752,14 +872,14 @@ mod tests {
         // Plain inspect is the header-only fast path: version, file size
         // and the section table, nothing decoded.
         let info = snapshot(&argv(&["snapshot", "inspect", "--snapshot", snap_s])).unwrap();
-        assert!(info.contains("format version:     2"), "{info}");
+        assert!(info.contains("format version:     3"), "{info}");
         assert!(info.contains("file size:"), "{info}");
         assert!(info.contains("tokblob"), "{info}");
         assert!(!info.contains("CNP threshold"), "{info}");
 
         let full =
             snapshot(&argv(&["snapshot", "inspect", "--snapshot", snap_s, "--full"])).unwrap();
-        assert!(full.contains("format version:     2"), "{full}");
+        assert!(full.contains("format version:     3"), "{full}");
         assert!(full.contains("CleanClean ER"), "{full}");
         assert!(full.contains("CNP threshold"), "{full}");
         assert!(full.contains("\"weighting\":\"cbs\""), "{full}");
@@ -1045,8 +1165,195 @@ mod tests {
         assert!(summary.contains("server drained"), "{summary}");
         assert!(summary.contains("final generation 2"), "{summary}");
 
-        assert!(client(&argv(&["client"])).unwrap_err().contains("query|reload|shutdown"));
+        assert!(client(&argv(&["client"]))
+            .unwrap_err()
+            .contains("query|upsert|delete|compact|reload|shutdown"));
         assert!(client(&argv(&["client", "ping"])).unwrap_err().contains("unknown client"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_apply_stages_deltas_that_query_replays() {
+        let dir = temp_dir("apply");
+        let dir_s = dir.to_str().unwrap();
+        generate(&argv(&[
+            "generate", "--preset", "tiny", "--out", dir_s, "--scale", "0.3", "--dirty",
+        ]))
+        .unwrap();
+        let snap = dir.join("index.mbsnap");
+        let snap_s = snap.to_str().unwrap();
+        snapshot(&argv(&["snapshot", "build", "--dataset", dir_s, "--out", snap_s])).unwrap();
+        let view = SnapshotView::read_from(&snap, &mut Noop).unwrap();
+        let base_entities = view.num_entities() as u32;
+        drop(view);
+
+        // Stage an append offline; the op resolves to the next free id.
+        let msg =
+            snapshot(&argv(&["snapshot", "apply", "--snapshot", snap_s, "--text", "record alpha"]))
+                .unwrap();
+        assert!(msg.contains(&format!("upserted entity {base_entities} (1 delta runs)")), "{msg}");
+        // A second run composes on top of the first.
+        let msg =
+            snapshot(&argv(&["snapshot", "apply", "--snapshot", snap_s, "--delete", "0"])).unwrap();
+        assert!(msg.contains("tombstoned entity 0 (2 delta runs)"), "{msg}");
+
+        let full =
+            snapshot(&argv(&["snapshot", "inspect", "--snapshot", snap_s, "--full"])).unwrap();
+        assert!(full.contains("delta runs:         2 (2 ops)"), "{full}");
+
+        // Both load paths replay the runs: the appended entity is queryable,
+        // the tombstoned one answers empty.
+        let q = query(&argv(&[
+            "query",
+            "--snapshot",
+            snap_s,
+            "--entity",
+            &base_entities.to_string(),
+            "--top",
+            "5",
+        ]))
+        .unwrap();
+        assert!(q.contains(&format!("entity {base_entities}")), "{q}");
+        let zc = query(&argv(&[
+            "query",
+            "--snapshot",
+            snap_s,
+            "--entity",
+            &base_entities.to_string(),
+            "--top",
+            "5",
+            "--zero-copy",
+        ]))
+        .unwrap();
+        assert_eq!(q, zc, "zero-copy delta replay diverged");
+        let gone = query(&argv(&["query", "--snapshot", snap_s, "--entity", "0"])).unwrap();
+        assert!(gone.contains("candidates: 0"), "tombstoned entity still answers: {gone}");
+
+        // Usage errors stay typed and early.
+        let err = snapshot(&argv(&["snapshot", "apply", "--snapshot", snap_s])).unwrap_err();
+        assert!(err.contains("exactly one of --delete or --text"), "{err}");
+        let err = snapshot(&argv(&[
+            "snapshot",
+            "apply",
+            "--snapshot",
+            snap_s,
+            "--delete",
+            "0",
+            "--text",
+            "x",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+        let err = snapshot(&argv(&[
+            "snapshot",
+            "apply",
+            "--snapshot",
+            snap_s,
+            "--delete",
+            "0",
+            "--entity",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--entity/--uri only apply to upserts"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn client_upsert_delete_compact_round_trip() {
+        let dir = temp_dir("client_delta");
+        let dir_s = dir.to_str().unwrap();
+        generate(&argv(&[
+            "generate", "--preset", "tiny", "--out", dir_s, "--scale", "0.3", "--dirty",
+        ]))
+        .unwrap();
+        let snap = dir.join("index.mbsnap");
+        let snap_s = snap.to_str().unwrap().to_owned();
+        snapshot(&argv(&["snapshot", "build", "--dataset", dir_s, "--out", &snap_s])).unwrap();
+        let view = SnapshotView::read_from(&snap, &mut Noop).unwrap();
+        let base_entities = view.num_entities() as u32;
+        drop(view);
+
+        let port_file = dir.join("port");
+        let port_file_s = port_file.to_str().unwrap().to_owned();
+        let serve_snap = snap_s.clone();
+        let server = std::thread::spawn(move || {
+            serve(&argv(&["serve", "--snapshot", &serve_snap, "--port-file", &port_file_s]))
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !port_file.exists() {
+            assert!(std::time::Instant::now() < deadline, "server never wrote its port file");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let addr = std::fs::read_to_string(&port_file).unwrap();
+
+        // Append a profile and query it in the same breath.
+        let u = client(&argv(&["client", "upsert", "--addr", &addr, "--text", "record alpha"]))
+            .unwrap();
+        assert!(
+            u.contains(&format!("upserted entity {base_entities}: serving generation 2")),
+            "{u}"
+        );
+        let q = client(&argv(&[
+            "client",
+            "query",
+            "--addr",
+            &addr,
+            "--entity",
+            &base_entities.to_string(),
+            "--top",
+            "5",
+        ]))
+        .unwrap();
+        assert!(q.contains("generation 2"), "{q}");
+
+        let d = client(&argv(&[
+            "client",
+            "delete",
+            "--addr",
+            &addr,
+            "--entity",
+            &base_entities.to_string(),
+        ]))
+        .unwrap();
+        assert!(
+            d.contains(&format!("tombstoned entity {base_entities}: serving generation 3")),
+            "{d}"
+        );
+
+        // Compaction folds the (now self-cancelling) deltas into a clean
+        // rebuild over the bundle — bit-identical to the original build.
+        let compacted = dir.join("compacted.mbsnap");
+        let compacted_s = compacted.to_str().unwrap().to_owned();
+        let c = client(&argv(&[
+            "client",
+            "compact",
+            "--addr",
+            &addr,
+            "--dataset",
+            dir_s,
+            "--out",
+            &compacted_s,
+        ]))
+        .unwrap();
+        assert!(c.contains("serving generation 4"), "{c}");
+        assert_eq!(
+            std::fs::read(&snap).unwrap(),
+            std::fs::read(&compacted).unwrap(),
+            "compacting an upsert+delete pair must reproduce the original snapshot bytes"
+        );
+        let q = client(&argv(&["client", "query", "--addr", &addr, "--entity", "0"])).unwrap();
+        assert!(q.contains("generation 4"), "{q}");
+
+        let s = client(&argv(&["client", "shutdown", "--addr", &addr])).unwrap();
+        assert!(s.contains("generation 4"), "{s}");
+        server.join().unwrap().unwrap();
+
+        // Flag validation happens before any connection is attempted.
+        let err = client(&argv(&["client", "upsert", "--addr", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("--text"), "{err}");
+        let err = client(&argv(&["client", "delete", "--addr", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("--entity"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -34,6 +34,8 @@ USAGE:
   er snapshot build --dataset <dir> --out <file> [--scheme S] [--pruning P]
          [--filter R] [--threads N]
   er snapshot inspect --snapshot <file>
+  er snapshot apply --snapshot <file> [--out <file>]
+         (--delete N | --text \"...\" [--uri U] [--entity N])
   er query --snapshot <file> (--entity N | --text \"...\" [--side 1|2])
          [--top K | --retention <top-k=K|above-mean>] [--scheme S]
          [--report <report.json>]
@@ -41,6 +43,9 @@ USAGE:
          [--trigger <path>] [--report <report.json>] [--report-every N]
   er client query --addr <host:port> (--entity N | --text \"...\" [--side 1|2])
          [--top K | --retention R]
+  er client upsert --addr <host:port> --text \"...\" [--uri U] [--entity N]
+  er client delete --addr <host:port> --entity N
+  er client compact --addr <host:port> --dataset <dir> [--out <file>]
   er client reload --addr <host:port> --snapshot <path>
   er client shutdown --addr <host:port>
 
@@ -61,6 +66,15 @@ same queries online, with zero-downtime reloads (`er client reload`, or
 writing a snapshot path into the `--trigger` file) and graceful draining
 shutdown (`er client shutdown`). Port 0 picks an ephemeral port;
 `--port-file` writes the bound address for supervisors to pick up.
+
+`er client upsert|delete` mutate the *live* engine in microseconds —
+append or replace a profile, or tombstone an entity — without a rebuild;
+the change is queryable the moment the command returns. `er client
+compact --dataset <dir>` folds the accumulated deltas back into a clean
+index, bit-identical to a from-scratch build over the merged profiles.
+`er snapshot apply` stages the same ops offline as write-ahead delta runs
+appended to the snapshot file; `er query` and `er serve` replay them on
+load.
 ";
 
 /// Dispatches a command line (without the program name). Returns the text

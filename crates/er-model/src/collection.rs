@@ -137,6 +137,48 @@ impl EntityCollection {
         a != b && (self.kind == ErKind::Dirty || self.is_second(a) != self.is_second(b))
     }
 
+    /// Replaces the profile at `id`, or appends it when `id == len()`.
+    ///
+    /// Appends join the second collection for Clean-Clean ER (the split is
+    /// frozen); for Dirty ER the split tracks the length. `id > len()` is
+    /// rejected — the id space stays dense. This is the merge primitive the
+    /// serving layer's delta compaction replays upsert logs through.
+    pub fn upsert(&mut self, id: EntityId, profile: EntityProfile) -> Result<()> {
+        match id.idx().cmp(&self.profiles.len()) {
+            std::cmp::Ordering::Less => {
+                self.profiles[id.idx()] = profile;
+                Ok(())
+            }
+            std::cmp::Ordering::Equal => {
+                self.profiles.push(profile);
+                if self.kind == ErKind::Dirty {
+                    self.split = self.profiles.len();
+                }
+                Ok(())
+            }
+            std::cmp::Ordering::Greater => {
+                Err(Error::EntityOutOfBounds { id: id.0, len: self.profiles.len() })
+            }
+        }
+    }
+
+    /// Removes the profile at `id` and returns it; every later id shifts
+    /// down by one (the dense id space is the collection's invariant).
+    ///
+    /// For Clean-Clean ER a removal below the split shrinks E₁; for Dirty ER
+    /// the split tracks the length. The delta compaction path replays delete
+    /// logs through this after all upserts resolve.
+    pub fn remove(&mut self, id: EntityId) -> Result<EntityProfile> {
+        if id.idx() >= self.profiles.len() {
+            return Err(Error::EntityOutOfBounds { id: id.0, len: self.profiles.len() });
+        }
+        let removed = self.profiles.remove(id.idx());
+        if self.kind == ErKind::Dirty || id.idx() < self.split {
+            self.split -= 1;
+        }
+        Ok(removed)
+    }
+
     /// Number of distinct attribute names `|N|`, per side for Clean-Clean.
     pub fn distinct_attribute_names(&self) -> (usize, usize) {
         let mut first: FxHashSet<&str> = FxHashSet::default();
@@ -237,6 +279,41 @@ mod tests {
         let c = sample_clean_clean();
         assert_eq!(c.distinct_attribute_names(), (2, 1));
         assert_eq!(c.total_name_value_pairs(), (3, 3));
+    }
+
+    #[test]
+    fn upsert_replaces_appends_and_rejects_sparse_ids() {
+        let mut c = EntityCollection::dirty(vec![profile("p0", &[("n", "a")])]);
+        c.upsert(EntityId(0), profile("p0", &[("n", "b")])).unwrap();
+        assert_eq!(c.profile(EntityId(0)).values().next(), Some("b"));
+        c.upsert(EntityId(1), profile("p1", &[("n", "c")])).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.split(), 2); // Dirty split tracks the length
+        assert_eq!(
+            c.upsert(EntityId(5), profile("p5", &[])),
+            Err(Error::EntityOutOfBounds { id: 5, len: 2 })
+        );
+
+        let mut cc = sample_clean_clean();
+        cc.upsert(EntityId(5), profile("b3", &[("fullname", "z")])).unwrap();
+        assert_eq!(cc.sides(), (2, 4)); // appends join E₂, the split is frozen
+    }
+
+    #[test]
+    fn remove_shifts_ids_and_tracks_the_split() {
+        let mut c = sample_clean_clean();
+        let gone = c.remove(EntityId(0)).unwrap();
+        assert_eq!(gone.uri(), "a0");
+        assert_eq!(c.sides(), (1, 3));
+        assert_eq!(c.profile(EntityId(0)).uri(), "a1");
+        // Removing from E₂ leaves the split alone.
+        c.remove(EntityId(3)).unwrap();
+        assert_eq!(c.sides(), (1, 2));
+        assert_eq!(c.remove(EntityId(9)), Err(Error::EntityOutOfBounds { id: 9, len: 3 }));
+
+        let mut d = EntityCollection::dirty(vec![profile("x", &[("a", "v")]); 3]);
+        d.remove(EntityId(1)).unwrap();
+        assert_eq!(d.split(), 2);
     }
 
     #[test]

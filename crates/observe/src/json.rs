@@ -40,14 +40,25 @@ impl Json {
         Json::Obj(Vec::new())
     }
 
-    /// Appends `(key, value)` to an object; panics on non-objects (that is
-    /// a programming error in the report builder, not a data error).
+    /// Appends `(key, value)` to an object.
+    ///
+    /// A non-object receiver is a programming error in the report builder;
+    /// it used to abort, but now degrades to dropping the field — callers
+    /// that need the failure surfaced use [`Json::try_push`], the typed
+    /// form of the same operation.
     pub fn push(&mut self, key: &str, value: Json) {
+        let _ = self.try_push(key, value);
+    }
+
+    /// Appends `(key, value)` to an object, rejecting non-object receivers
+    /// with a typed [`JsonError`] instead of panicking.
+    pub fn try_push(&mut self, key: &str, value: Json) -> Result<(), JsonError> {
         match self {
-            Json::Obj(fields) => fields.push((key.to_owned(), value)),
-            // lint:allow(panic-reachability) designed abort on a report
-            // builder bug — never driven by external input.
-            other => panic!("Json::push on non-object {other:?}"),
+            Json::Obj(fields) => {
+                fields.push((key.to_owned(), value));
+                Ok(())
+            }
+            _ => Err(JsonError { at: 0, what: "push on a non-object Json value" }),
         }
     }
 
@@ -385,6 +396,18 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn push_on_a_non_object_is_a_typed_error_not_a_panic() {
+        let mut v = Json::Arr(vec![Json::Uint(1)]);
+        assert!(v.try_push("k", Json::Null).is_err());
+        v.push("k", Json::Null); // degrades to a no-op, never aborts
+        assert_eq!(v, Json::Arr(vec![Json::Uint(1)]));
+
+        let mut obj = Json::obj();
+        obj.try_push("k", Json::Uint(7)).unwrap();
+        assert_eq!(obj.get("k"), Some(&Json::Uint(7)));
+    }
 
     #[test]
     fn scalars_round_trip() {

@@ -66,13 +66,18 @@ pub enum Stage {
     IterativeBlocking,
     /// Snapshot deserialization + validation (the mb-serve load path).
     SnapshotLoad,
+    /// Applying one incremental delta (upsert/delete) to a live generation
+    /// (mb-serve).
+    DeltaApply,
+    /// Folding accumulated deltas back into a clean snapshot (mb-serve).
+    Compaction,
     /// Online candidate queries against a loaded snapshot (mb-serve).
     Query,
 }
 
 impl Stage {
     /// Every stage, in canonical workflow order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Blocking,
         Stage::Purging,
         Stage::BlockFiltering,
@@ -81,6 +86,8 @@ impl Stage {
         Stage::ComparisonPropagation,
         Stage::IterativeBlocking,
         Stage::SnapshotLoad,
+        Stage::DeltaApply,
+        Stage::Compaction,
         Stage::Query,
     ];
 
@@ -95,6 +102,8 @@ impl Stage {
             Stage::ComparisonPropagation => "comparison-propagation",
             Stage::IterativeBlocking => "iterative-blocking",
             Stage::SnapshotLoad => "snapshot-load",
+            Stage::DeltaApply => "delta-apply",
+            Stage::Compaction => "compaction",
             Stage::Query => "query",
         }
     }
@@ -160,6 +169,12 @@ pub enum Counter {
     EdgesScored,
     /// Requests answered by the online candidate server (mb-serve).
     RequestsServed,
+    /// Delta operations (upserts + deletes) applied to live generations
+    /// (mb-serve).
+    DeltasApplied,
+    /// Entities tombstoned by delete deltas in the serving overlay
+    /// (mb-serve).
+    Tombstones,
     /// Allocation high-water mark (bytes) observed during the stage —
     /// non-zero only when [`alloc_track::TrackingAllocator`] is installed.
     AllocPeakBytes,
@@ -167,7 +182,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 18] = [
         Counter::BlocksIn,
         Counter::BlocksOut,
         Counter::ComparisonsIn,
@@ -183,6 +198,8 @@ impl Counter {
         Counter::BlocksTouched,
         Counter::EdgesScored,
         Counter::RequestsServed,
+        Counter::DeltasApplied,
+        Counter::Tombstones,
         Counter::AllocPeakBytes,
     ];
 
@@ -204,6 +221,8 @@ impl Counter {
             Counter::BlocksTouched => "blocks_touched",
             Counter::EdgesScored => "edges_scored",
             Counter::RequestsServed => "requests_served",
+            Counter::DeltasApplied => "deltas_applied",
+            Counter::Tombstones => "tombstones",
             Counter::AllocPeakBytes => "alloc_peak_bytes",
         }
     }

@@ -14,7 +14,9 @@
 //! across storage flavors, and across shard counts when sharded scoring
 //! ([`QueryEngine::with_shards`]) is enabled.
 
+use crate::delta::DeltaOverlay;
 use crate::error::ServeError;
+use crate::generation::Generation;
 use crate::request::{CandidateRequest, CandidateResponse, CandidateTarget};
 use crate::snapshot::Snapshot;
 use crate::store::{EngineStore, SnapshotStore};
@@ -27,22 +29,33 @@ use mb_core::{
     WeightingScheme,
 };
 use mb_observe::{Counter, Observer, Stage, StageScope};
+use std::borrow::Cow;
 
 /// Token → id lookup over either storage flavor.
 ///
-/// The owned path hashes borrowed vocabulary strings; the zero-copy path
-/// binary-searches the persisted byte-order permutation without building
-/// any per-token structure.
+/// The standalone owned path hashes borrowed vocabulary strings; the
+/// zero-copy path binary-searches the persisted byte-order permutation; the
+/// generation path binary-searches the pre-warmed permutation
+/// ([`crate::generation`]'s `Warm`), so engine construction allocates
+/// nothing per connection.
 enum TokenLookup<'s> {
     Map(FxHashMap<&'s str, u32>),
     View(&'s SnapshotView),
+    Sorted { tokens: &'s [String], sorted: &'s [u32] },
 }
 
 impl TokenLookup<'_> {
+    // lint:allow(panic-reachability) in range: `sorted` is a permutation of
+    // `0..tokens.len()` built by `Warm::build`, and `binary_search_by` only
+    // returns indices below `sorted.len()`.
     fn get(&self, token: &str) -> Option<u32> {
         match self {
             TokenLookup::Map(m) => m.get(token).copied(),
             TokenLookup::View(v) => v.find_token(token.as_bytes()),
+            TokenLookup::Sorted { tokens, sorted } => sorted
+                .binary_search_by(|&t| tokens[t as usize].as_bytes().cmp(token.as_bytes()))
+                .ok()
+                .map(|at| sorted[at]),
         }
     }
 }
@@ -61,8 +74,13 @@ pub struct QueryEngine<'s> {
     sharded: Option<ShardedScorer<EngineStore<'s>>>,
     tokens: TokenLookup<'s>,
     /// Token id → surviving block id, `u32::MAX` when the token's block was
-    /// filtered away (or never emitted).
-    token_block: Vec<u32>,
+    /// filtered away (or never emitted). Borrowed from the generation's
+    /// pre-warmed state on the [`QueryEngine::from_generation`] path, owned
+    /// on the standalone constructors.
+    token_block: Cow<'s, [u32]>,
+    /// The generation's delta overlay, consulted for vocabulary-extension
+    /// tokens and promoted block routes on the probe path.
+    overlay: Option<&'s DeltaOverlay>,
     scratch: KeyScratch,
     probe_blocks: Vec<u32>,
     pruning: PruningScheme,
@@ -71,7 +89,7 @@ pub struct QueryEngine<'s> {
 
 /// Builds the token → surviving-block routing table from the per-block key
 /// provenance, walking `keys` in block order.
-fn build_token_block(num_tokens: usize, keys: er_model::U32s<'_>) -> Vec<u32> {
+pub(crate) fn build_token_block(num_tokens: usize, keys: er_model::U32s<'_>) -> Vec<u32> {
     let mut token_block = vec![u32::MAX; num_tokens];
     let mut block = 0u32;
     keys.for_each(|token| {
@@ -106,7 +124,8 @@ impl<'s> QueryEngine<'s> {
             store,
             scheme,
             TokenLookup::Map(token_ids),
-            token_block,
+            Cow::Owned(token_block),
+            None,
             snapshot.config().pruning,
             snapshot.cnp_threshold(),
         )
@@ -130,7 +149,8 @@ impl<'s> QueryEngine<'s> {
             store,
             scheme,
             TokenLookup::View(view),
-            token_block,
+            Cow::Owned(token_block),
+            None,
             view.config().pruning,
             view.cnp_threshold(),
         )
@@ -145,11 +165,56 @@ impl<'s> QueryEngine<'s> {
         }
     }
 
+    /// Builds an engine over a pinned serving generation — the server's
+    /// per-connection path.
+    ///
+    /// Everything heavy is *borrowed*: the token→block routing table and
+    /// the token lookup come from the generation's pre-warmed state (built
+    /// once, at publish time), and the delta overlay — when the generation
+    /// carries one — patches block and list reads through the store and
+    /// routes probe tokens onto overlay-born blocks. Construction is O(1)
+    /// allocations regardless of snapshot size, which is what removed the
+    /// post-reload first-query latency spike.
+    pub fn from_generation(generation: &'s Generation) -> Self {
+        Self::generation_with_scheme(generation, generation.store().config().weighting)
+    }
+
+    /// Builds an engine over a pinned serving generation, scoring with an
+    /// explicit `scheme` instead of the snapshot's configured weighting.
+    pub fn generation_with_scheme(generation: &'s Generation, scheme: WeightingScheme) -> Self {
+        let store = match generation.store() {
+            SnapshotStore::Owned(s) => EngineStore::from_snapshot(s),
+            SnapshotStore::Mapped(v) => EngineStore::from_view(v),
+        };
+        let store = match generation.overlay() {
+            Some(o) => store.with_overlay(o),
+            None => store,
+        };
+        let tokens = match generation.store() {
+            SnapshotStore::Owned(s) => TokenLookup::Sorted {
+                tokens: s.tokens(),
+                sorted: generation.warm().tok_sorted().unwrap_or(&[]),
+            },
+            SnapshotStore::Mapped(v) => TokenLookup::View(v),
+        };
+        let config = generation.store().config();
+        Self::assemble(
+            store,
+            scheme,
+            tokens,
+            Cow::Borrowed(generation.warm().token_block()),
+            generation.overlay(),
+            config.pruning,
+            generation.store().cnp_threshold(),
+        )
+    }
+
     fn assemble(
         store: EngineStore<'s>,
         scheme: WeightingScheme,
         tokens: TokenLookup<'s>,
-        token_block: Vec<u32>,
+        token_block: Cow<'s, [u32]>,
+        overlay: Option<&'s DeltaOverlay>,
         pruning: PruningScheme,
         cnp_threshold: usize,
     ) -> Self {
@@ -160,6 +225,7 @@ impl<'s> QueryEngine<'s> {
             sharded: None,
             tokens,
             token_block,
+            overlay,
             scratch: KeyScratch::new(),
             probe_blocks: Vec::new(),
             pruning,
@@ -220,9 +286,8 @@ impl<'s> QueryEngine<'s> {
     /// in-process API, the CLI, and the wire protocol all funnel through.
     ///
     /// A request without an explicit retention resolves to
-    /// [`QueryEngine::default_retention`]. Unlike the deprecated positional
-    /// entry points, hostile input cannot abort: an out-of-range entity id
-    /// returns [`ServeError::EntityOutOfRange`].
+    /// [`QueryEngine::default_retention`]. Hostile input cannot abort: an
+    /// out-of-range entity id returns [`ServeError::EntityOutOfRange`].
     pub fn execute(
         &mut self,
         request: &CandidateRequest,
@@ -254,31 +319,6 @@ impl<'s> QueryEngine<'s> {
         Ok(CandidateResponse { results, retention, scheme: self.scheme(), generation: 0 })
     }
 
-    /// Scores every co-occurring entity of indexed entity `pivot` and
-    /// returns the retained candidates, best first.
-    ///
-    /// # Panics
-    ///
-    /// If `pivot` is not an id of the snapshot's collection.
-    #[deprecated(note = "build a CandidateRequest::entity and call QueryEngine::execute")]
-    pub fn query(
-        &mut self,
-        pivot: EntityId,
-        retention: Retention,
-        obs: &mut dyn Observer,
-    ) -> Scored {
-        assert!(
-            (pivot.0 as usize) < self.store.num_entities(),
-            "entity {} out of range ({} entities)",
-            pivot.0,
-            self.store.num_entities()
-        );
-        let mut scope = StageScope::enter(obs, Stage::Query);
-        let scored = self.run_query(pivot, retention, &mut scope);
-        scope.finish();
-        scored
-    }
-
     fn run_query(
         &mut self,
         pivot: EntityId,
@@ -291,28 +331,6 @@ impl<'s> QueryEngine<'s> {
         };
         scope.add(Counter::BlocksTouched, scored.blocks_touched);
         scope.add(Counter::EdgesScored, scored.edges_scored);
-        scored
-    }
-
-    /// Scores an *unseen* probe profile against the snapshot: tokenizes it
-    /// with the snapshot's vocabulary (same normalization as Token
-    /// Blocking), routes the tokens onto surviving blocks, and returns the
-    /// retained candidates, best first.
-    ///
-    /// For Clean-Clean snapshots `probe_is_first` states which side the
-    /// probe belongs to — candidates come from the opposite side. Dirty
-    /// snapshots ignore it and consider every co-occurring entity.
-    #[deprecated(note = "build a CandidateRequest::probe and call QueryEngine::execute")]
-    pub fn probe(
-        &mut self,
-        profile: &EntityProfile,
-        probe_is_first: bool,
-        retention: Retention,
-        obs: &mut dyn Observer,
-    ) -> Scored {
-        let mut scope = StageScope::enter(obs, Stage::Query);
-        let scored = self.run_probe(profile, probe_is_first, retention, &mut scope);
-        scope.finish();
         scored
     }
 
@@ -336,12 +354,21 @@ impl<'s> QueryEngine<'s> {
         self.probe_blocks.clear();
         for token in self.scratch.iter() {
             tokens_probed += 1;
-            if let Some(id) = self.tokens.get(token) {
-                // lint:allow(panic-reachability) in range: token lookups
-                // resolve into the same vocabulary token_block is sized by.
-                let block = self.token_block[id as usize];
-                if block != u32::MAX {
+            // Base vocabulary first, then the overlay's extension for
+            // tokens only delta profiles have introduced.
+            let id = match self.tokens.get(token) {
+                Some(id) => Some(id),
+                None => self.overlay.and_then(|o| o.new_token_id(token)),
+            };
+            if let Some(id) = id {
+                // A promoted overlay block outranks the base route: the
+                // overlay only routes tokens whose base block was dropped.
+                if let Some(block) = self.overlay.and_then(|o| o.token_route(id)) {
                     self.probe_blocks.push(block);
+                } else if let Some(&block) = self.token_block.get(id as usize) {
+                    if block != u32::MAX {
+                        self.probe_blocks.push(block);
+                    }
                 }
             }
         }
@@ -352,25 +379,6 @@ impl<'s> QueryEngine<'s> {
         scope.add(Counter::TokensProbed, tokens_probed);
         scope.add(Counter::BlocksTouched, scored.blocks_touched);
         scope.add(Counter::EdgesScored, scored.edges_scored);
-        scored
-    }
-
-    /// Answers an entity query for every entity of the snapshot, fanning
-    /// out over the pipeline's deterministic chunked sweep.
-    ///
-    /// The result is ordered by entity id and bit-identical for every
-    /// `threads` value. For Clean-Clean snapshots, entities on either side
-    /// are queried like the batch node-centric schemes visit them.
-    #[deprecated(note = "build a CandidateRequest::batch and call QueryEngine::execute")]
-    pub fn batch(
-        &self,
-        retention: Retention,
-        threads: usize,
-        obs: &mut dyn Observer,
-    ) -> Vec<Scored> {
-        let mut scope = StageScope::enter(obs, Stage::Query);
-        let scored = self.run_batch(retention, threads, &mut scope);
-        scope.finish();
         scored
     }
 

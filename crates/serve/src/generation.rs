@@ -1,46 +1,173 @@
-//! Hot-swappable snapshot generations.
+//! Hot-swappable snapshot generations, pre-warmed and delta-capable.
 //!
 //! The zero-downtime reload contract: readers always see *exactly one*
-//! complete, validated snapshot; a swap publishes a new generation without
-//! stalling in-flight queries; and the old generation's memory is released
-//! as soon as the last reader holding it finishes.
+//! complete, validated snapshot state; a swap publishes a new generation
+//! without stalling in-flight queries; and the old generation's memory is
+//! released as soon as the last reader holding it finishes.
 //!
 //! The mechanism is deliberately boring — a [`std::sync::RwLock`] around an
 //! [`Arc<Generation>`], no unsafe, no atomics beyond what `Arc` already
 //! does. A load takes the read lock just long enough to clone the `Arc`
 //! (nanoseconds); a swap validates the new snapshot *off* the lock, then
 //! takes the write lock only for the pointer replacement. Readers never
-//! block each other, and a swap blocks readers only for the duration of one
-//! `Arc` clone.
+//! block each other.
 //!
-//! A generation holds a [`SnapshotStore`], so either storage flavor — a
-//! deep-decoded [`crate::Snapshot`] or a zero-copy
-//! [`crate::SnapshotView`] — can be published, and consecutive generations
-//! may mix flavors freely.
+//! Two things distinguish a generation from a bare snapshot:
+//!
+//! - **Warm state.** Engine construction used to re-derive the token→block
+//!   routing table (and, for owned snapshots, a token hash map) per
+//!   connection, which showed up as a ~40× first-query latency spike right
+//!   after every hot swap. [`Warm`] computes that state once, at publish
+//!   time, and every engine built via [`crate::QueryEngine::from_generation`]
+//!   borrows it.
+//! - **Delta overlay.** A generation may carry a [`DeltaOverlay`] — the
+//!   copy-on-write side-table of upserts/deletes applied since the snapshot
+//!   arena was built. [`GenerationCell::apply`] derives the successor
+//!   generation *under the write lock* (the derive is µs-scale by design:
+//!   it clones the overlay, patches it, and republishes shared `Arc`s to
+//!   the store and warm state), which makes a half-applied delta
+//!   structurally unobservable: every `load()` returns a generation that is
+//!   either entirely before or entirely after each op.
 
+use crate::delta::{DeltaOp, DeltaOverlay};
+use crate::error::SnapshotError;
 use crate::store::SnapshotStore;
+use mb_observe::{Counter, Observer, Stage, StageScope};
 use std::sync::{Arc, PoisonError, RwLock};
 
+/// Pre-warmed per-snapshot engine state, computed once at publish time and
+/// shared (via `Arc`) by every engine and every delta-derived generation.
+#[derive(Debug)]
+pub(crate) struct Warm {
+    /// Token id → surviving block id, `u32::MAX` when the token's block was
+    /// filtered away (or never emitted).
+    token_block: Vec<u32>,
+    /// Vocabulary permutation sorted by token bytes — owned snapshots only
+    /// (views binary-search their persisted `tok_sorted` section directly).
+    tok_sorted: Option<Vec<u32>>,
+}
+
+impl Warm {
+    pub(crate) fn build(store: &SnapshotStore) -> Warm {
+        match store {
+            SnapshotStore::Owned(s) => {
+                let tokens = s.tokens();
+                let mut sorted: Vec<u32> = (0..tokens.len() as u32).collect();
+                sorted.sort_unstable_by(|&a, &b| {
+                    // lint:allow(panic-reachability) in range: `a` and `b`
+                    // are drawn from `0..tokens.len()` one line up.
+                    tokens[a as usize].as_bytes().cmp(tokens[b as usize].as_bytes())
+                });
+                Warm {
+                    token_block: crate::engine::build_token_block(
+                        tokens.len(),
+                        er_model::U32s::from(s.block_keys()),
+                    ),
+                    tok_sorted: Some(sorted),
+                }
+            }
+            SnapshotStore::Mapped(v) => Warm {
+                token_block: crate::engine::build_token_block(v.num_tokens(), v.block_keys()),
+                tok_sorted: None,
+            },
+        }
+    }
+
+    /// The token → surviving-block routing table.
+    pub(crate) fn token_block(&self) -> &[u32] {
+        &self.token_block
+    }
+
+    /// The surviving block of `tid`, `u32::MAX` if none.
+    pub(crate) fn block_of(&self, tid: u32) -> u32 {
+        self.token_block.get(tid as usize).copied().unwrap_or(u32::MAX)
+    }
+
+    /// The byte-order vocabulary permutation (owned snapshots only).
+    pub(crate) fn tok_sorted(&self) -> Option<&[u32]> {
+        self.tok_sorted.as_deref()
+    }
+
+    /// Base-vocabulary token lookup over either storage flavor.
+    // lint:allow(panic-reachability) in range: `tok_sorted` is a permutation
+    // of `0..tokens.len()` built by `Warm::build`, and `binary_search_by`
+    // only returns indices below its length.
+    pub(crate) fn token_id(&self, store: &SnapshotStore, token: &str) -> Option<u32> {
+        match store {
+            SnapshotStore::Owned(s) => {
+                let sorted = self.tok_sorted.as_deref()?;
+                let tokens = s.tokens();
+                sorted
+                    .binary_search_by(|&t| tokens[t as usize].as_bytes().cmp(token.as_bytes()))
+                    .ok()
+                    .map(|at| sorted[at])
+            }
+            SnapshotStore::Mapped(v) => v.find_token(token.as_bytes()),
+        }
+    }
+}
+
 /// One immutable serving generation: a validated snapshot (in either
-/// storage flavor) plus the ordinal that names it on the wire (responses
-/// echo it, so a client can tell which generation answered).
+/// storage flavor), its pre-warmed engine state, an optional delta overlay,
+/// and the ordinal that names it on the wire (responses echo it, so a
+/// client can tell which generation answered).
 #[derive(Debug)]
 pub struct Generation {
-    store: SnapshotStore,
+    store: Arc<SnapshotStore>,
+    warm: Arc<Warm>,
+    overlay: Option<DeltaOverlay>,
     ordinal: u64,
 }
 
 impl Generation {
+    /// Builds a generation over `store`: warm state is derived once, and
+    /// any delta runs persisted in the snapshot are replayed into an
+    /// overlay so a reloaded file serves exactly the state it was saved in.
+    fn assemble(store: SnapshotStore, ordinal: u64) -> Result<Generation, SnapshotError> {
+        let store = Arc::new(store);
+        let warm = Arc::new(Warm::build(&store));
+        let runs = store.delta_runs();
+        let overlay =
+            if runs.is_empty() { None } else { Some(DeltaOverlay::replay(&store, &warm, runs)?) };
+        Ok(Generation { store, warm, overlay, ordinal })
+    }
+
     /// The generation's snapshot storage.
     pub fn store(&self) -> &SnapshotStore {
         &self.store
     }
 
+    pub(crate) fn warm(&self) -> &Warm {
+        &self.warm
+    }
+
+    /// The delta overlay, when any ops have been applied over the arena.
+    pub fn overlay(&self) -> Option<&DeltaOverlay> {
+        self.overlay.as_ref()
+    }
+
+    /// Effective `|E|`: the arena's collection size plus overlay appends.
+    pub fn num_entities(&self) -> usize {
+        match &self.overlay {
+            Some(o) => o.num_entities(),
+            None => self.store.num_entities(),
+        }
+    }
+
     /// The generation's ordinal: `1` for the snapshot the server started
-    /// with, incremented by every successful swap.
+    /// with, incremented by every successful swap and every applied delta.
     pub fn ordinal(&self) -> u64 {
         self.ordinal
     }
+}
+
+/// The outcome of one applied delta op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppliedDelta {
+    /// Ordinal of the generation the op produced.
+    pub ordinal: u64,
+    /// The entity id the op resolved to (the assigned id for appends).
+    pub id: u32,
 }
 
 /// The swappable cell the server publishes generations through.
@@ -54,11 +181,12 @@ pub struct GenerationCell {
 }
 
 impl GenerationCell {
-    /// Publishes `snapshot` as generation 1.
-    pub fn new(snapshot: impl Into<SnapshotStore>) -> GenerationCell {
-        GenerationCell {
-            current: RwLock::new(Arc::new(Generation { store: snapshot.into(), ordinal: 1 })),
-        }
+    /// Publishes `snapshot` as generation 1, replaying any persisted delta
+    /// runs into its overlay.
+    pub fn new(snapshot: impl Into<SnapshotStore>) -> Result<GenerationCell, SnapshotError> {
+        Ok(GenerationCell {
+            current: RwLock::new(Arc::new(Generation::assemble(snapshot.into(), 1)?)),
+        })
     }
 
     /// The current generation, pinned: the returned `Arc` keeps this
@@ -80,14 +208,103 @@ impl GenerationCell {
     /// returns the new generation's ordinal.
     ///
     /// The caller is expected to have built/loaded (and thereby validated)
-    /// the snapshot *before* calling — nothing slow happens under the write
-    /// lock. Readers that loaded the previous generation finish on it; new
-    /// loads see the new one.
-    pub fn swap(&self, snapshot: impl Into<SnapshotStore>) -> u64 {
+    /// the snapshot *before* calling; warm-state derivation and delta-run
+    /// replay also run off the lock. Readers that loaded the previous
+    /// generation finish on it; new loads see the new one.
+    pub fn swap(&self, snapshot: impl Into<SnapshotStore>) -> Result<u64, SnapshotError> {
+        let store = snapshot.into();
+        let next_ordinal = self.ordinal() + 1;
+        // Assembled off the lock: the ordinal is re-read under the write
+        // lock below, so a concurrent apply can't be overwritten silently.
+        let mut generation = Generation::assemble(store, next_ordinal)?;
         let mut slot = self.current.write().unwrap_or_else(PoisonError::into_inner);
-        let ordinal = slot.ordinal + 1;
-        *slot = Arc::new(Generation { store: snapshot.into(), ordinal });
-        ordinal
+        generation.ordinal = slot.ordinal + 1;
+        let ordinal = generation.ordinal;
+        *slot = Arc::new(generation);
+        Ok(ordinal)
+    }
+
+    /// [`GenerationCell::swap`], but only if the serving ordinal is still
+    /// `expected` — the compare-and-swap compaction uses so deltas applied
+    /// while the offline rebuild ran are never silently dropped. On an
+    /// ordinal mismatch the cell is unchanged and the caller should re-pin
+    /// and retry.
+    pub fn swap_if(
+        &self,
+        expected: u64,
+        snapshot: impl Into<SnapshotStore>,
+    ) -> Result<u64, SnapshotError> {
+        let generation = Generation::assemble(snapshot.into(), expected + 1)?;
+        let mut slot = self.current.write().unwrap_or_else(PoisonError::into_inner);
+        if slot.ordinal != expected {
+            return Err(SnapshotError::Inconsistent(format!(
+                "generation moved from {expected} to {} during compaction",
+                slot.ordinal
+            )));
+        }
+        *slot = Arc::new(generation);
+        Ok(expected + 1)
+    }
+
+    /// Applies one [`DeltaOp`] against the current generation and publishes
+    /// the successor, returning its ordinal and the resolved entity id.
+    ///
+    /// An upsert at [`crate::delta::APPEND`] (`u32::MAX`) resolves to the
+    /// effective collection size *under the lock*, so concurrent appends
+    /// never race for an id. The whole derive runs while holding the write
+    /// lock — it is µs-scale (clone overlay, patch, republish shared
+    /// `Arc`s), and it guarantees readers never observe a half-applied op:
+    /// every `load()` is entirely before or entirely after this delta. On
+    /// error the clone is discarded and the serving generation is
+    /// unchanged.
+    pub fn apply(
+        &self,
+        op: DeltaOp,
+        obs: &mut dyn Observer,
+    ) -> Result<AppliedDelta, SnapshotError> {
+        let mut scope = StageScope::enter(obs, Stage::DeltaApply);
+        let outcome = {
+            let mut slot = self.current.write().unwrap_or_else(PoisonError::into_inner);
+            let cur = Arc::clone(&slot);
+            let mut overlay = match cur.overlay() {
+                Some(o) => o.clone(),
+                None => DeltaOverlay::new(&cur.store),
+            };
+            let op = match op {
+                DeltaOp::Upsert { id: crate::delta::APPEND, profile } => {
+                    DeltaOp::Upsert { id: overlay.num_entities() as u32, profile }
+                }
+                other => other,
+            };
+            let deleted = matches!(op, DeltaOp::Delete { .. });
+            match overlay.apply(op, &cur.store, &cur.warm) {
+                Ok(id) => {
+                    let ordinal = cur.ordinal + 1;
+                    *slot = Arc::new(Generation {
+                        store: Arc::clone(&cur.store),
+                        warm: Arc::clone(&cur.warm),
+                        overlay: Some(overlay),
+                        ordinal,
+                    });
+                    Ok((ordinal, id, deleted))
+                }
+                Err(e) => Err(e),
+            }
+        };
+        match outcome {
+            Ok((ordinal, id, deleted)) => {
+                scope.add(Counter::DeltasApplied, 1);
+                if deleted {
+                    scope.add(Counter::Tombstones, 1);
+                }
+                scope.finish();
+                Ok(AppliedDelta { ordinal, id })
+            }
+            Err(e) => {
+                scope.finish();
+                Err(e)
+            }
+        }
     }
 }
 
@@ -98,6 +315,7 @@ mod tests {
     use crate::view::SnapshotView;
     use er_model::{EntityCollection, EntityProfile};
     use mb_core::PipelineConfig;
+    use mb_observe::Noop;
 
     fn tiny_snapshot(extra: &str) -> Snapshot {
         let e = EntityCollection::dirty(vec![
@@ -110,14 +328,14 @@ mod tests {
 
     #[test]
     fn swap_increments_ordinal_and_publishes() {
-        let cell = GenerationCell::new(tiny_snapshot("a"));
+        let cell = GenerationCell::new(tiny_snapshot("a")).unwrap();
         assert_eq!(cell.ordinal(), 1);
         let pinned = cell.load();
         assert_eq!(pinned.ordinal(), 1);
         let tokens_before = pinned.store().num_tokens();
 
         let next = tiny_snapshot("brand new token");
-        assert_eq!(cell.swap(next), 2);
+        assert_eq!(cell.swap(next).unwrap(), 2);
         assert_eq!(cell.ordinal(), 2);
         // The pinned generation still serves its own snapshot…
         assert_eq!(pinned.store().num_tokens(), tokens_before);
@@ -127,9 +345,9 @@ mod tests {
 
     #[test]
     fn old_generation_is_dropped_when_last_reader_finishes() {
-        let cell = GenerationCell::new(tiny_snapshot("a"));
+        let cell = GenerationCell::new(tiny_snapshot("a")).unwrap();
         let pinned = cell.load();
-        cell.swap(tiny_snapshot("b"));
+        cell.swap(tiny_snapshot("b")).unwrap();
         // `pinned` is now the only strong reference to generation 1.
         assert_eq!(Arc::strong_count(&pinned), 1);
         drop(pinned);
@@ -143,12 +361,62 @@ mod tests {
     fn generations_mix_storage_flavors() {
         let owned = tiny_snapshot("a");
         let bytes = owned.to_bytes();
-        let cell = GenerationCell::new(owned);
+        let cell = GenerationCell::new(owned).unwrap();
         let mapped = SnapshotView::from_bytes(bytes).unwrap();
         let tokens = mapped.num_tokens();
-        assert_eq!(cell.swap(mapped), 2);
+        assert_eq!(cell.swap(mapped).unwrap(), 2);
         let pinned = cell.load();
         assert!(matches!(pinned.store(), SnapshotStore::Mapped(_)));
         assert_eq!(pinned.store().num_tokens(), tokens);
+    }
+
+    #[test]
+    fn warm_token_lookup_matches_both_flavors() {
+        let owned = tiny_snapshot("a");
+        let bytes = owned.to_bytes();
+        let owned = SnapshotStore::from(owned);
+        let mapped = SnapshotStore::from(SnapshotView::from_bytes(bytes).unwrap());
+        let wo = Warm::build(&owned);
+        let wm = Warm::build(&mapped);
+        assert_eq!(wo.token_block(), wm.token_block());
+        for token in ["jack", "lloyd", "erick", "miller"] {
+            assert_eq!(wo.token_id(&owned, token), wm.token_id(&mapped, token), "token {token}");
+            assert!(wo.token_id(&owned, token).is_some());
+        }
+        assert_eq!(wo.token_id(&owned, "absent"), None);
+        assert_eq!(wm.token_id(&mapped, "absent"), None);
+    }
+
+    #[test]
+    fn apply_publishes_a_delta_generation_and_pins_readers() {
+        let cell = GenerationCell::new(tiny_snapshot("a")).unwrap();
+        let before = cell.load();
+        let applied = cell
+            .apply(
+                DeltaOp::Upsert {
+                    id: crate::delta::APPEND,
+                    profile: EntityProfile::new("p4").with("name", "jack miller again"),
+                },
+                &mut Noop,
+            )
+            .unwrap();
+        assert_eq!(applied, AppliedDelta { ordinal: 2, id: 3 });
+        // The pinned pre-delta generation is untouched…
+        assert!(before.overlay().is_none());
+        assert_eq!(before.num_entities(), 3);
+        // …and the published one carries the overlay, sharing the arena.
+        let after = cell.load();
+        assert_eq!(after.num_entities(), 4);
+        assert_eq!(after.overlay().unwrap().applied(), 1);
+        assert!(Arc::ptr_eq(&before.store, &after.store));
+        assert!(Arc::ptr_eq(&before.warm, &after.warm));
+
+        let deleted = cell.apply(DeltaOp::Delete { id: 0 }, &mut Noop).unwrap();
+        assert_eq!(deleted.ordinal, 3);
+        assert!(cell.load().overlay().unwrap().is_tombstoned(0));
+
+        // A failing op leaves the serving generation unchanged.
+        assert!(cell.apply(DeltaOp::Delete { id: 99 }, &mut Noop).is_err());
+        assert_eq!(cell.ordinal(), 3);
     }
 }

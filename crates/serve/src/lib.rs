@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod codec;
+mod delta;
 mod engine;
 mod error;
 mod generation;
@@ -65,9 +66,10 @@ mod spill;
 mod store;
 mod view;
 
+pub use delta::{append_delta_run, merge_ops, DeltaOp, DeltaOverlay, APPEND};
 pub use engine::QueryEngine;
 pub use error::{ServeError, SnapshotError};
-pub use generation::{Generation, GenerationCell};
+pub use generation::{AppliedDelta, Generation, GenerationCell};
 pub use request::{CandidateRequest, CandidateResponse, CandidateTarget};
 pub use server::{Client, Server, ServerConfig, ServerHandle};
 pub use snapshot::{OutOfCoreConfig, SectionInfo, Snapshot, SnapshotHeader, FORMAT_VERSION, MAGIC};

@@ -32,8 +32,11 @@
 //! | [`MSG_REQUEST`]  | client → server | a [`CandidateRequest`]           |
 //! | [`MSG_RELOAD`]   | client → server | UTF-8 path of the new snapshot   |
 //! | [`MSG_SHUTDOWN`] | client → server | empty                            |
+//! | [`MSG_UPSERT`]   | client → server | entity id (or append sentinel) + profile |
+//! | [`MSG_DELETE`]   | client → server | entity id u32                    |
+//! | [`MSG_COMPACT`]  | client → server | bundle dir + optional output path |
 //! | [`MSG_RESPONSE`] | server → client | a [`CandidateResponse`]          |
-//! | [`MSG_OK`]       | server → client | acknowledged generation u64      |
+//! | [`MSG_OK`]       | server → client | acknowledged generation u64 (for an upsert, followed by the resolved entity id u32) |
 //! | [`MSG_ERROR`]    | server → client | UTF-8 error message              |
 //!
 //! The request/response payloads serialize the *same*
@@ -71,6 +74,15 @@ pub const MSG_RESPONSE: u8 = 4;
 pub const MSG_OK: u8 = 5;
 /// Server → client: the request failed; payload is the rendered error.
 pub const MSG_ERROR: u8 = 6;
+/// Client → server: apply one upsert delta against the live generation.
+/// The payload's leading id may be [`crate::delta::APPEND`] (`u32::MAX`) to
+/// let the server assign the next free id atomically.
+pub const MSG_UPSERT: u8 = 7;
+/// Client → server: tombstone one entity on the live generation.
+pub const MSG_DELETE: u8 = 8;
+/// Client → server: fold the live generation's deltas back into a clean
+/// arena (rebuilding from the enclosed profile bundle) and swap it in.
+pub const MSG_COMPACT: u8 = 9;
 
 // Target tags inside a request payload.
 const TARGET_ENTITY: u8 = 0;
@@ -154,12 +166,7 @@ pub fn request_bytes(request: &CandidateRequest) -> Vec<u8> {
         CandidateTarget::Probe { profile, is_first } => {
             put_u8(&mut out, TARGET_PROBE);
             put_u8(&mut out, u8::from(*is_first));
-            put_bytes(&mut out, profile.uri().as_bytes());
-            put_u32(&mut out, profile.attributes().len() as u32);
-            for attr in profile.attributes() {
-                put_bytes(&mut out, attr.name.as_bytes());
-                put_bytes(&mut out, attr.value.as_bytes());
-            }
+            put_profile(&mut out, profile);
         }
         CandidateTarget::Batch => put_u8(&mut out, TARGET_BATCH),
     }
@@ -179,6 +186,40 @@ fn utf8<'a>(bytes: &'a [u8], section: &'static str) -> Result<&'a str, ServeErro
     std::str::from_utf8(bytes).map_err(|_| ServeError::Frame(SnapshotError::Utf8 { section }))
 }
 
+/// Serializes a profile: uri, attribute count, then name/value pairs — the
+/// layout probe requests and upsert deltas share.
+fn put_profile(out: &mut Vec<u8>, profile: &EntityProfile) {
+    put_bytes(out, profile.uri().as_bytes());
+    put_u32(out, profile.attributes().len() as u32);
+    for attr in profile.attributes() {
+        put_bytes(out, attr.name.as_bytes());
+        put_bytes(out, attr.value.as_bytes());
+    }
+}
+
+/// Decodes a profile serialized by [`put_profile`], verifying the attribute
+/// count against the bytes remaining before allocating.
+fn parse_profile(r: &mut Reader<'_>, section: &'static str) -> Result<EntityProfile, ServeError> {
+    let uri = utf8(r.bytes()?, section)?.to_owned();
+    let attrs = r.u32()? as usize;
+    // Each attribute costs at least its two 4-byte length prefixes; verify
+    // before trusting the count.
+    if attrs.saturating_mul(8) > r.remaining() {
+        return Err(ServeError::Frame(SnapshotError::Truncated {
+            section,
+            needed: (attrs.saturating_mul(8) - r.remaining()) as u64,
+            available: r.remaining() as u64,
+        }));
+    }
+    let mut profile = EntityProfile::new(uri);
+    for _ in 0..attrs {
+        let name = utf8(r.bytes()?, section)?.to_owned();
+        let value = utf8(r.bytes()?, section)?.to_owned();
+        profile.add(name, value);
+    }
+    Ok(profile)
+}
+
 /// Decodes a [`MSG_REQUEST`] payload back into the typed request.
 pub fn parse_request(buf: &[u8]) -> Result<CandidateRequest, ServeError> {
     let mut r = Reader::new(buf, "request");
@@ -186,23 +227,7 @@ pub fn parse_request(buf: &[u8]) -> Result<CandidateRequest, ServeError> {
         TARGET_ENTITY => CandidateTarget::Entity(EntityId(r.u32()?)),
         TARGET_PROBE => {
             let is_first = r.u8()? != 0;
-            let uri = utf8(r.bytes()?, "request")?.to_owned();
-            let attrs = r.u32()? as usize;
-            // Each attribute costs at least its two 4-byte length prefixes;
-            // verify before trusting the count.
-            if attrs.saturating_mul(8) > r.remaining() {
-                return Err(ServeError::Frame(SnapshotError::Truncated {
-                    section: "request",
-                    needed: (attrs.saturating_mul(8) - r.remaining()) as u64,
-                    available: r.remaining() as u64,
-                }));
-            }
-            let mut profile = EntityProfile::new(uri);
-            for _ in 0..attrs {
-                let name = utf8(r.bytes()?, "request")?.to_owned();
-                let value = utf8(r.bytes()?, "request")?.to_owned();
-                profile.add(name, value);
-            }
+            let profile = parse_profile(&mut r, "request")?;
             CandidateTarget::Probe { profile, is_first }
         }
         TARGET_BATCH => CandidateTarget::Batch,
@@ -334,6 +359,76 @@ pub fn parse_ok(buf: &[u8]) -> Result<u64, ServeError> {
     Ok(generation)
 }
 
+/// Serializes a [`MSG_UPSERT`] payload: the target id (or
+/// [`crate::delta::APPEND`]) followed by the profile.
+pub fn upsert_bytes(id: u32, profile: &EntityProfile) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, id);
+    put_profile(&mut out, profile);
+    out
+}
+
+/// Decodes a [`MSG_UPSERT`] payload into `(id, profile)`.
+pub fn parse_upsert(buf: &[u8]) -> Result<(u32, EntityProfile), ServeError> {
+    let mut r = Reader::new(buf, "upsert");
+    let id = r.u32()?;
+    let profile = parse_profile(&mut r, "upsert")?;
+    r.finish()?;
+    Ok((id, profile))
+}
+
+/// Serializes the [`MSG_OK`] reply to an upsert: the new generation's
+/// ordinal followed by the entity id the op resolved to.
+pub fn upsert_ok_bytes(generation: u64, id: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, generation);
+    put_u32(&mut out, id);
+    out
+}
+
+/// Decodes an upsert acknowledgment into `(generation, id)`.
+pub fn parse_upsert_ok(buf: &[u8]) -> Result<(u64, u32), ServeError> {
+    let mut r = Reader::new(buf, "ok");
+    let generation = r.u64()?;
+    let id = r.u32()?;
+    r.finish()?;
+    Ok((generation, id))
+}
+
+/// Serializes a [`MSG_DELETE`] payload (the entity id to tombstone).
+pub fn delete_bytes(id: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, id);
+    out
+}
+
+/// Decodes a [`MSG_DELETE`] payload.
+pub fn parse_delete(buf: &[u8]) -> Result<u32, ServeError> {
+    let mut r = Reader::new(buf, "delete");
+    let id = r.u32()?;
+    r.finish()?;
+    Ok(id)
+}
+
+/// Serializes a [`MSG_COMPACT`] payload: the profile-bundle directory to
+/// rebuild from, and the path to persist the compacted snapshot to (empty =
+/// swap in memory only).
+pub fn compact_bytes(bundle: &str, out_path: Option<&str>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_bytes(&mut out, bundle.as_bytes());
+    put_bytes(&mut out, out_path.unwrap_or("").as_bytes());
+    out
+}
+
+/// Decodes a [`MSG_COMPACT`] payload into `(bundle_dir, out_path)`.
+pub fn parse_compact(buf: &[u8]) -> Result<(String, Option<String>), ServeError> {
+    let mut r = Reader::new(buf, "compact");
+    let bundle = utf8(r.bytes()?, "compact")?.to_owned();
+    let out_path = utf8(r.bytes()?, "compact")?.to_owned();
+    r.finish()?;
+    Ok((bundle, if out_path.is_empty() { None } else { Some(out_path) }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +468,39 @@ mod tests {
         };
         let bytes = response_bytes(&response);
         assert_eq!(parse_response(&bytes).unwrap(), response);
+    }
+
+    #[test]
+    fn delta_payloads_round_trip() {
+        let profile = EntityProfile::new("probe/7").with("name", "jill miller");
+        let bytes = upsert_bytes(crate::delta::APPEND, &profile);
+        let (id, decoded) = parse_upsert(&bytes).unwrap();
+        assert_eq!(id, crate::delta::APPEND);
+        assert_eq!(decoded, profile);
+
+        assert_eq!(parse_upsert_ok(&upsert_ok_bytes(9, 41)).unwrap(), (9, 41));
+        assert_eq!(parse_delete(&delete_bytes(12)).unwrap(), 12);
+        assert_eq!(
+            parse_compact(&compact_bytes("bundles/b", Some("out.mbsnap"))).unwrap(),
+            ("bundles/b".to_owned(), Some("out.mbsnap".to_owned()))
+        );
+        assert_eq!(
+            parse_compact(&compact_bytes("bundles/b", None)).unwrap(),
+            ("bundles/b".to_owned(), None)
+        );
+    }
+
+    #[test]
+    fn truncated_upsert_attribute_count_is_rejected_before_allocating() {
+        let profile = EntityProfile::new("p").with("a", "b");
+        let mut bytes = upsert_bytes(3, &profile);
+        // Inflate the declared attribute count far beyond the payload.
+        let attr_count_at = 4 + 4 + 1;
+        bytes[attr_count_at..attr_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            parse_upsert(&bytes),
+            Err(ServeError::Frame(SnapshotError::Truncated { section: "upsert", .. }))
+        ));
     }
 
     #[test]

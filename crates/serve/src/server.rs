@@ -29,17 +29,22 @@
 //! `Query` / `SnapshotLoad` stage costs; [`ServerConfig::report_path`]
 //! rewrites the JSON report every [`ServerConfig::report_every`] requests.
 
+use crate::delta::{merge_ops, DeltaOp};
 use crate::engine::QueryEngine;
 use crate::error::ServeError;
-use crate::generation::GenerationCell;
+use crate::generation::{AppliedDelta, GenerationCell};
 use crate::protocol::{
-    ok_bytes, parse_ok, parse_request, parse_response, parse_text, read_frame, read_hello,
-    request_bytes, response_bytes, text_bytes, write_frame, write_hello, MSG_ERROR, MSG_OK,
-    MSG_RELOAD, MSG_REQUEST, MSG_RESPONSE, MSG_SHUTDOWN,
+    compact_bytes, delete_bytes, ok_bytes, parse_compact, parse_delete, parse_ok, parse_request,
+    parse_response, parse_text, parse_upsert, parse_upsert_ok, read_frame, read_hello,
+    request_bytes, response_bytes, text_bytes, upsert_bytes, upsert_ok_bytes, write_frame,
+    write_hello, MSG_COMPACT, MSG_DELETE, MSG_ERROR, MSG_OK, MSG_RELOAD, MSG_REQUEST, MSG_RESPONSE,
+    MSG_SHUTDOWN, MSG_UPSERT,
 };
 use crate::request::{CandidateRequest, CandidateResponse};
+use crate::snapshot::Snapshot;
 use crate::store::SnapshotStore;
 use crate::view::SnapshotView;
+use er_model::EntityProfile;
 use mb_observe::RunReport;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -137,9 +142,10 @@ impl Shared {
         let mut local = RunReport::new("serve/trigger-reload");
         // Reloads come in through the zero-copy loader: validation is the
         // cheap linear pass and the swap publishes a mapped generation.
-        match SnapshotView::read_from(Path::new(path), &mut local) {
-            Ok(snapshot) => {
-                let ordinal = self.cell.swap(snapshot);
+        let swapped = SnapshotView::read_from(Path::new(path), &mut local)
+            .and_then(|snapshot| self.cell.swap(snapshot));
+        match swapped {
+            Ok(ordinal) => {
                 let mut report = self.report.lock().unwrap_or_else(PoisonError::into_inner);
                 report.absorb(&local);
                 report.set_meta("generation", ordinal.to_string());
@@ -170,8 +176,9 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let cell = GenerationCell::new(snapshot).map_err(|e| ServeError::Reload(Box::new(e)))?;
         let shared = Arc::new(Shared {
-            cell: GenerationCell::new(snapshot),
+            cell,
             stop: AtomicBool::new(false),
             report: Mutex::new(RunReport::new("serve")),
             requests: AtomicU64::new(0),
@@ -234,7 +241,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeErro
         // loop re-checks the cell's ordinal between frames and rebuilds
         // when a swap happened.
         let generation = shared.cell.load();
-        let mut engine = QueryEngine::from_store(generation.store());
+        let mut engine = QueryEngine::from_generation(&generation);
         if shared.config.shards > 1 {
             engine = engine.with_shards(shared.config.shards, shared.config.shard_threads.max(1));
         }
@@ -278,19 +285,72 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeErro
                 }
                 MSG_RELOAD => {
                     let mut local = RunReport::new("serve/reload");
-                    let loaded = parse_text(&payload).and_then(|path| {
+                    let swapped = parse_text(&payload).and_then(|path| {
                         SnapshotView::read_from(Path::new(&path), &mut local)
+                            .and_then(|snapshot| shared.cell.swap(snapshot))
                             .map_err(|e| ServeError::Reload(Box::new(e)))
                     });
-                    match loaded {
-                        Ok(snapshot) => {
-                            let ordinal = shared.cell.swap(snapshot);
+                    match swapped {
+                        Ok(ordinal) => {
                             {
                                 let mut report =
                                     shared.report.lock().unwrap_or_else(PoisonError::into_inner);
                                 report.absorb(&local);
                                 report.set_meta("generation", ordinal.to_string());
                             }
+                            write_frame(&mut stream, MSG_OK, &ok_bytes(ordinal))?;
+                            continue 'generation;
+                        }
+                        Err(e) => {
+                            write_frame(&mut stream, MSG_ERROR, &text_bytes(&e.to_string()))?;
+                        }
+                    }
+                }
+                MSG_UPSERT => {
+                    let mut local = RunReport::new("serve/upsert");
+                    let applied = parse_upsert(&payload).and_then(|(id, profile)| {
+                        shared
+                            .cell
+                            .apply(DeltaOp::Upsert { id, profile }, &mut local)
+                            .map_err(ServeError::Frame)
+                    });
+                    shared.note_request(&local);
+                    match applied {
+                        Ok(AppliedDelta { ordinal, id }) => {
+                            write_frame(&mut stream, MSG_OK, &upsert_ok_bytes(ordinal, id))?;
+                            continue 'generation;
+                        }
+                        Err(e) => {
+                            write_frame(&mut stream, MSG_ERROR, &text_bytes(&e.to_string()))?;
+                        }
+                    }
+                }
+                MSG_DELETE => {
+                    let mut local = RunReport::new("serve/delete");
+                    let applied = parse_delete(&payload).and_then(|id| {
+                        shared
+                            .cell
+                            .apply(DeltaOp::Delete { id }, &mut local)
+                            .map_err(ServeError::Frame)
+                    });
+                    shared.note_request(&local);
+                    match applied {
+                        Ok(AppliedDelta { ordinal, .. }) => {
+                            write_frame(&mut stream, MSG_OK, &ok_bytes(ordinal))?;
+                            continue 'generation;
+                        }
+                        Err(e) => {
+                            write_frame(&mut stream, MSG_ERROR, &text_bytes(&e.to_string()))?;
+                        }
+                    }
+                }
+                MSG_COMPACT => {
+                    let local = RunReport::new("serve/compact");
+                    let compacted = parse_compact(&payload)
+                        .and_then(|(bundle, out)| compact(shared, &bundle, out.as_deref()));
+                    shared.note_request(&local);
+                    match compacted {
+                        Ok(ordinal) => {
                             write_frame(&mut stream, MSG_OK, &ok_bytes(ordinal))?;
                             continue 'generation;
                         }
@@ -314,6 +374,27 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeErro
     }
 }
 
+/// Folds the serving generation's delta overlay back into a clean arena:
+/// loads the profile bundle, replays the overlay's ops onto it, rebuilds a
+/// snapshot under the same pipeline configuration, optionally persists it,
+/// and compare-and-swaps it in. If any delta landed while the rebuild ran,
+/// the swap fails and the delta-carrying generation keeps serving — a
+/// compaction never silently drops a concurrent op.
+fn compact(shared: &Shared, bundle: &str, out: Option<&str>) -> Result<u64, ServeError> {
+    let generation = shared.cell.load();
+    let ops: Vec<DeltaOp> = generation.overlay().map(|o| o.ops()).unwrap_or_default();
+    let loaded = er_io::bundle::load(bundle)
+        .map_err(|e| ServeError::InvalidRequest(format!("compaction bundle: {e}")))?;
+    let mut collection = loaded.collection;
+    merge_ops(&mut collection, &ops).map_err(|e| ServeError::Reload(Box::new(e)))?;
+    let snapshot = Snapshot::build(&collection, generation.store().config().clone())
+        .map_err(|e| ServeError::Reload(Box::new(e)))?;
+    if let Some(path) = out {
+        snapshot.write_to(Path::new(path)).map_err(|e| ServeError::Reload(Box::new(e)))?;
+    }
+    shared.cell.swap_if(generation.ordinal(), snapshot).map_err(|e| ServeError::Reload(Box::new(e)))
+}
+
 /// A running server: the bound address, in-process control, and shutdown.
 pub struct ServerHandle {
     shared: Arc<Shared>,
@@ -333,9 +414,10 @@ impl ServerHandle {
     }
 
     /// Swaps `snapshot` in as the next generation without going over the
-    /// wire; returns the new ordinal. Same semantics as a client reload.
-    pub fn swap(&self, snapshot: impl Into<SnapshotStore>) -> u64 {
-        self.shared.cell.swap(snapshot)
+    /// wire; returns the new ordinal. Same semantics as a client reload: on
+    /// error the old generation keeps serving.
+    pub fn swap(&self, snapshot: impl Into<SnapshotStore>) -> Result<u64, ServeError> {
+        self.shared.cell.swap(snapshot).map_err(|e| ServeError::Reload(Box::new(e)))
     }
 
     /// A copy of the aggregated telemetry so far.
@@ -418,6 +500,42 @@ impl Client {
     /// *server's* filesystem) and swap it in; returns the new generation.
     pub fn reload(&mut self, path: &str) -> Result<u64, ServeError> {
         write_frame(&mut self.stream, MSG_RELOAD, &text_bytes(path))?;
+        match read_frame(&mut self.stream)? {
+            (MSG_OK, payload) => parse_ok(&payload),
+            (MSG_ERROR, payload) => Err(ServeError::Remote(parse_text(&payload)?)),
+            (kind, _) => Err(ServeError::UnknownMessage { kind }),
+        }
+    }
+
+    /// Applies one upsert delta on the server's live generation; `id` may
+    /// be [`crate::APPEND`] to let the server assign the next free id.
+    /// Returns the new generation's ordinal and the resolved entity id.
+    pub fn upsert(&mut self, id: u32, profile: &EntityProfile) -> Result<(u64, u32), ServeError> {
+        write_frame(&mut self.stream, MSG_UPSERT, &upsert_bytes(id, profile))?;
+        match read_frame(&mut self.stream)? {
+            (MSG_OK, payload) => parse_upsert_ok(&payload),
+            (MSG_ERROR, payload) => Err(ServeError::Remote(parse_text(&payload)?)),
+            (kind, _) => Err(ServeError::UnknownMessage { kind }),
+        }
+    }
+
+    /// Tombstones entity `id` on the server's live generation; returns the
+    /// new generation's ordinal.
+    pub fn delete(&mut self, id: u32) -> Result<u64, ServeError> {
+        write_frame(&mut self.stream, MSG_DELETE, &delete_bytes(id))?;
+        match read_frame(&mut self.stream)? {
+            (MSG_OK, payload) => parse_ok(&payload),
+            (MSG_ERROR, payload) => Err(ServeError::Remote(parse_text(&payload)?)),
+            (kind, _) => Err(ServeError::UnknownMessage { kind }),
+        }
+    }
+
+    /// Asks the server to fold its applied deltas back into a clean arena,
+    /// rebuilding from the profile bundle at `bundle` (a directory on the
+    /// *server's* filesystem) and optionally persisting the compacted
+    /// snapshot to `out`; returns the new generation's ordinal.
+    pub fn compact(&mut self, bundle: &str, out: Option<&str>) -> Result<u64, ServeError> {
+        write_frame(&mut self.stream, MSG_COMPACT, &compact_bytes(bundle, out))?;
         match read_frame(&mut self.stream)? {
             (MSG_OK, payload) => parse_ok(&payload),
             (MSG_ERROR, payload) => Err(ServeError::Remote(parse_text(&payload)?)),

@@ -6,10 +6,10 @@
 //! thresholds — so a serving process reconstructs the query state without
 //! re-running blocking, filtering, or index construction.
 //!
-//! # Layout (format version 2)
+//! # Layout (format version 3)
 //!
 //! ```text
-//! header:  magic "MBSNAP02" | version u32 = 2 | section_count u32
+//! header:  magic "MBSNAP03" | version u32 = 3 | section_count u32
 //! table:   section_count entries, 32 bytes each:
 //!          id u32 | reserved u32 = 0 | offset u64 | len u64 | checksum u64
 //! payloads: contiguous, in table order, each starting on an 8-byte file
@@ -17,8 +17,9 @@
 //! ```
 //!
 //! `offset` is absolute, `len` is the unpadded payload length, and
-//! `checksum` is word-wise FNV-1a 64 over the *padded* region. Sections are
-//! required, unique, and appear in exactly this canonical order:
+//! `checksum` is word-wise FNV-1a 64 over the *padded* region. The ten
+//! canonical sections are required, unique, and appear in exactly this
+//! canonical order:
 //!
 //! | id | name        | payload                                             |
 //! |----|-------------|-----------------------------------------------------|
@@ -33,6 +34,14 @@
 //! | 9  | toksorted   | token ids sorted by byte order (`u32` vector)       |
 //! | 10 | blockkeys   | one interned token id per block, in block order     |
 //!
+//! After the canonical ten, any number of **delta run** sections (id 11,
+//! name `delta`) may follow — the write-ahead log of
+//! [`crate::delta::DeltaOp`] mutations applied since the canonical arena
+//! was built. Delta runs obey the same table discipline (contiguous,
+//! 8-aligned, checksummed, ending exactly at the file end) and are decoded
+//! with the same hostile-input rigor as every other section; a clean
+//! snapshot simply has none.
+//!
 //! All integers little-endian; `u32` vectors carry a `u32` length prefix.
 //! The front-loaded table plus fixed-width, 8-aligned payloads are what the
 //! zero-copy loader ([`crate::view::SnapshotView`]) relies on: it verifies
@@ -42,11 +51,12 @@
 //! threshold verification) and is the baseline the zero-copy path is
 //! benchmarked against.
 //!
-//! Version-1 files (magic `MBSNAP01`) are rejected with a typed
-//! [`SnapshotError::UnsupportedVersion`]: readers accept exactly the
+//! Earlier-version files (magic `MBSNAP01`/`MBSNAP02`) are rejected with a
+//! typed [`SnapshotError::UnsupportedVersion`]: readers accept exactly the
 //! versions they know and never guess at another layout.
 
 use crate::codec::{fnv1a_wide, padded_len, put_bytes, put_u32, put_u32_slice, put_u64, Reader};
+use crate::delta::{decode_delta_run, encode_delta_run, validate_delta_runs, DeltaOp};
 use crate::error::SnapshotError;
 use crate::spill::{pack_posting, unpack_posting, SpillSort};
 use er_blocking::{blocks_from_sorted_postings, TokenBlocking};
@@ -59,13 +69,13 @@ use mb_observe::{Observer, Stage, StageScope};
 use std::path::{Path, PathBuf};
 
 /// The snapshot file magic.
-pub const MAGIC: [u8; 8] = *b"MBSNAP02";
+pub const MAGIC: [u8; 8] = *b"MBSNAP03";
 
 /// The newest format version this build reads and the only one it writes.
 ///
 /// Policy: bump on any layout change, including compatible additions — a
 /// reader never guesses at bytes laid out by a version it does not know.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 pub(crate) const SECTION_META: u32 = 1;
 pub(crate) const SECTION_MEMBERS: u32 = 2;
@@ -77,6 +87,8 @@ pub(crate) const SECTION_TOK_OFFSETS: u32 = 7;
 pub(crate) const SECTION_TOK_BLOB: u32 = 8;
 pub(crate) const SECTION_TOK_SORTED: u32 = 9;
 pub(crate) const SECTION_BLOCKKEYS: u32 = 10;
+/// The repeatable write-ahead delta-run section (any count, always last).
+pub(crate) const SECTION_DELTA: u32 = 11;
 
 /// All section ids with their display names, in canonical (and mandatory)
 /// file order.
@@ -100,6 +112,9 @@ pub(crate) const HEADER_LEN: usize = 16;
 pub(crate) const TABLE_ENTRY_LEN: usize = 32;
 
 fn section_name(id: u32) -> Option<&'static str> {
+    if id == SECTION_DELTA {
+        return Some("delta");
+    }
     SECTIONS.iter().find(|&&(sid, _)| sid == id).map(|&(_, name)| name)
 }
 
@@ -110,6 +125,7 @@ fn label(id: u32) -> &'static str {
 /// One parsed (and bounds-checked) section-table entry.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct SectionEntry {
+    pub(crate) id: u32,
     pub(crate) name: &'static str,
     /// Absolute file offset of the payload (a multiple of 8).
     pub(crate) offset: usize,
@@ -139,9 +155,10 @@ fn classify_magic(magic: &[u8]) -> SnapshotError {
 ///
 /// `head` must hold at least the header and table bytes (it may be the whole
 /// file); `file_len` is the total file length the table is checked against.
-/// On success every entry is canonical: ids in order, offsets contiguous and
-/// 8-aligned starting right after the table, padded payloads ending exactly
-/// at `file_len`. Checksums are *not* verified here — see
+/// On success the first ten entries are canonical — ids in order, offsets
+/// contiguous and 8-aligned starting right after the table — and every
+/// entry past them is a [`SECTION_DELTA`] run, with the padded payloads
+/// ending exactly at `file_len`. Checksums are *not* verified here — see
 /// [`verify_checksums`] — so a header-only reader stays O(1).
 pub(crate) fn parse_table(
     head: &[u8],
@@ -159,26 +176,50 @@ pub(crate) fn parse_table(
             supported: FORMAT_VERSION,
         });
     }
-    let count = r.u32()?;
-    if count as usize != SECTIONS.len() {
+    let count = r.u32()? as usize;
+    if count < SECTIONS.len() {
         return Err(SnapshotError::Inconsistent(format!(
-            "format version {FORMAT_VERSION} has {} sections, header declares {count}",
+            "format version {FORMAT_VERSION} has at least {} sections, header declares {count}",
             SECTIONS.len()
         )));
     }
-    let mut entries = Vec::with_capacity(SECTIONS.len());
-    let mut expected_offset = (HEADER_LEN + SECTIONS.len() * TABLE_ENTRY_LEN) as u64;
-    for &(id, name) in SECTIONS.iter() {
+    // A declared count the file cannot physically hold is rejected before
+    // it sizes any allocation — hostile headers don't get to pick one.
+    if count
+        .checked_mul(TABLE_ENTRY_LEN)
+        .and_then(|t| t.checked_add(HEADER_LEN))
+        .is_none_or(|end| end > file_len)
+    {
+        return Err(SnapshotError::Inconsistent(format!(
+            "header declares {count} sections, more than the file can hold"
+        )));
+    }
+    let mut entries = Vec::with_capacity(count);
+    let mut expected_offset = (HEADER_LEN + count * TABLE_ENTRY_LEN) as u64;
+    for slot in 0..count {
         let got = r.u32()?;
-        if got != id {
-            return Err(match section_name(got) {
-                Some(other) => SnapshotError::Inconsistent(format!(
-                    "section '{other}' found where '{name}' belongs: sections must appear in \
-                     canonical order"
-                )),
-                None => SnapshotError::UnknownSection { id: got },
-            });
-        }
+        let name = match SECTIONS.get(slot) {
+            Some(&(id, name)) if got == id => name,
+            Some(&(_, name)) => {
+                return Err(match section_name(got) {
+                    Some(other) => SnapshotError::Inconsistent(format!(
+                        "section '{other}' found where '{name}' belongs: sections must appear \
+                         in canonical order"
+                    )),
+                    None => SnapshotError::UnknownSection { id: got },
+                });
+            }
+            // Everything past the canonical ten must be a delta run.
+            None if got == SECTION_DELTA => "delta",
+            None => {
+                return Err(match section_name(got) {
+                    Some(other) => SnapshotError::Inconsistent(format!(
+                        "canonical section '{other}' found after the delta runs begin"
+                    )),
+                    None => SnapshotError::UnknownSection { id: got },
+                });
+            }
+        };
         let reserved = r.u32()?;
         if reserved != 0 {
             return Err(SnapshotError::Inconsistent(format!(
@@ -208,7 +249,13 @@ pub(crate) fn parse_table(
                 available,
             })?;
         expected_offset = offset + padded;
-        entries.push(SectionEntry { name, offset: offset as usize, len: len as usize, checksum });
+        entries.push(SectionEntry {
+            id: got,
+            name,
+            offset: offset as usize,
+            len: len as usize,
+            checksum,
+        });
     }
     if expected_offset != file_len as u64 {
         return Err(SnapshotError::TrailingBytes {
@@ -425,23 +472,42 @@ impl SnapshotHeader {
 
     /// Reads only the header and section table from `path` — the payload
     /// bytes never leave the disk.
+    // lint:allow(panic-reachability) in range: `fixed_len <= HEADER_LEN` and
+    // `fixed_len <= file_len <= head_len`-as-capped by construction, so
+    // every slice below is within its buffer; a short file yields short
+    // reads that `parse_table` rejects as truncation.
+    // lint:allow(snapshot-unversioned-read) reading the raw section count at
+    // its fixed offset is how the version-gated `parse_table` input gets
+    // sized; the count is re-read and validated behind the magic + version
+    // gate before anything trusts it.
     pub fn read_from(path: &Path) -> Result<SnapshotHeader, SnapshotError> {
         use std::io::Read;
         let mut file = std::fs::File::open(path)?;
         let file_len = file.metadata()?.len();
-        let head_len = (HEADER_LEN + SECTIONS.len() * TABLE_ENTRY_LEN).min(file_len as usize);
+        // The table length is count-dependent since v3 (trailing delta
+        // runs), so read the fixed header first and size the second read
+        // from its declared count, capped by the file itself.
+        let mut fixed = [0u8; HEADER_LEN];
+        let fixed_len = HEADER_LEN.min(file_len as usize);
+        file.read_exact(&mut fixed[..fixed_len])?;
+        let count = u32::from_le_bytes([fixed[12], fixed[13], fixed[14], fixed[15]]) as usize;
+        let head_len = count
+            .checked_mul(TABLE_ENTRY_LEN)
+            .and_then(|t| t.checked_add(HEADER_LEN))
+            .unwrap_or(usize::MAX)
+            .min(file_len as usize);
         let mut head = vec![0u8; head_len];
-        file.read_exact(&mut head)?;
+        head[..fixed_len].copy_from_slice(&fixed[..fixed_len]);
+        file.read_exact(&mut head[fixed_len..])?;
         let entries = parse_table(&head, file_len as usize)?;
         Ok(SnapshotHeader::assemble(file_len, &entries))
     }
 
     fn assemble(file_len: u64, entries: &[SectionEntry]) -> SnapshotHeader {
-        let sections = SECTIONS
+        let sections = entries
             .iter()
-            .zip(entries)
-            .map(|(&(id, _), e)| SectionInfo {
-                id,
+            .map(|e| SectionInfo {
+                id: e.id,
                 name: e.name,
                 offset: e.offset as u64,
                 len: e.len as u64,
@@ -499,6 +565,9 @@ pub struct Snapshot {
     cep_threshold: usize,
     total_comparisons: u64,
     total_assignments: u64,
+    /// Write-ahead delta runs decoded from trailing [`SECTION_DELTA`]
+    /// sections; empty for freshly built snapshots.
+    delta_runs: Vec<Vec<DeltaOp>>,
 }
 
 impl Snapshot {
@@ -606,6 +675,7 @@ impl Snapshot {
             cep_threshold: cep,
             total_comparisons,
             total_assignments,
+            delta_runs: Vec::new(),
         })
     }
 
@@ -640,6 +710,7 @@ impl Snapshot {
             cep_threshold: cep,
             total_comparisons,
             total_assignments,
+            delta_runs: Vec::new(),
         })
     }
 
@@ -704,11 +775,21 @@ impl Snapshot {
         self.total_assignments
     }
 
-    /// Encodes the snapshot into the versioned binary format.
+    /// Write-ahead delta runs riding on the snapshot, in apply order.
+    /// Empty for freshly built snapshots — compaction's output has none.
+    pub fn delta_runs(&self) -> &[Vec<DeltaOp>] {
+        &self.delta_runs
+    }
+
+    /// Encodes the snapshot into the versioned binary format, re-emitting
+    /// any delta runs it was loaded with.
     pub fn to_bytes(&self) -> Vec<u8> {
         let layout = token_layout(&self.tokens);
-        let payloads: Vec<(u32, Vec<u8>)> =
+        let mut payloads: Vec<(u32, Vec<u8>)> =
             SECTIONS.iter().map(|&(id, _)| (id, self.encode_section(id, &layout))).collect();
+        for run in &self.delta_runs {
+            payloads.push((SECTION_DELTA, encode_delta_run(run)));
+        }
         frame_sections(&payloads)
     }
 
@@ -851,6 +932,13 @@ impl Snapshot {
                 meta.comparisons, meta.assignments
             )));
         }
+        let mut delta_runs = Vec::new();
+        // lint:allow(panic-reachability) in range: parse_table rejects
+        // tables with fewer than the canonical SECTIONS entries.
+        for e in &table[SECTIONS.len()..] {
+            delta_runs.push(decode_delta_run(section_slice(buf, e))?);
+        }
+        validate_delta_runs(meta.num_entities, &delta_runs)?;
         Ok(Snapshot {
             blocks,
             index,
@@ -862,6 +950,7 @@ impl Snapshot {
             cep_threshold: cep,
             total_comparisons: comparisons,
             total_assignments: assignments,
+            delta_runs,
         })
     }
 
@@ -881,9 +970,11 @@ impl Snapshot {
     }
 }
 
-/// Frames finished section payloads into the canonical v2 byte layout:
+/// Frames finished section payloads into the canonical v3 byte layout:
 /// header, table, then payloads contiguously, each 8-aligned and
-/// zero-padded, with wide-FNV checksums over the padded regions.
+/// zero-padded, with wide-FNV checksums over the padded regions. Callers
+/// pass the ten canonical sections in order, optionally followed by any
+/// number of [`SECTION_DELTA`] runs.
 pub(crate) fn frame_sections(payloads: &[(u32, Vec<u8>)]) -> Vec<u8> {
     let table_end = HEADER_LEN + payloads.len() * TABLE_ENTRY_LEN;
     let total: usize = table_end + payloads.iter().map(|(_, p)| padded_len(p.len())).sum::<usize>();
@@ -1013,9 +1104,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn v1_magic_reports_unsupported_version() {
+    fn older_magics_report_unsupported_version() {
         let err = classify_magic(b"MBSNAP01");
-        assert!(matches!(err, SnapshotError::UnsupportedVersion { found: 1, supported: 2 }));
+        assert!(matches!(err, SnapshotError::UnsupportedVersion { found: 1, supported: 3 }));
+        let err = classify_magic(b"MBSNAP02");
+        assert!(matches!(err, SnapshotError::UnsupportedVersion { found: 2, supported: 3 }));
     }
 
     #[test]

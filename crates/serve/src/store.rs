@@ -11,19 +11,27 @@
 //! machinery holds: a hot-swap can install either flavor, and the engine is
 //! built over whichever the pinned generation carries.
 
+use crate::delta::{DeltaOp, DeltaOverlay};
 use crate::snapshot::Snapshot;
 use crate::view::SnapshotView;
 use er_model::{EntityId, ErKind, U32s};
 use mb_core::{CandidateStore, PipelineConfig};
 
-/// A flat candidate store over borrowed snapshot arrays.
+/// A flat candidate store over borrowed snapshot arrays, optionally
+/// patched by a generation's delta overlay.
 ///
 /// `Copy`, so scorers take it by value and shard fan-out shares it across
-/// threads without reference-counting.
+/// threads without reference-counting. With an overlay attached, reads
+/// dispatch per block / per entity: overlay-owned state (patched blocks,
+/// overlay-born blocks, overridden block lists) comes from the side-table,
+/// everything else straight from the arena — so the scoring core stays
+/// oblivious to deltas.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct EngineStore<'s> {
     kind: ErKind,
+    /// Effective split (overlay-adjusted when attached).
     split: usize,
+    /// Effective `|E|` (overlay-adjusted when attached).
     num_entities: usize,
     /// CSR member pool.
     members: U32s<'s>,
@@ -33,8 +41,10 @@ pub(crate) struct EngineStore<'s> {
     splits: U32s<'s>,
     /// Flat entity-index postings.
     lists: U32s<'s>,
-    /// Entity-index offsets (`|E| + 1`).
+    /// Entity-index offsets (base `|E| + 1`).
     idx_offsets: U32s<'s>,
+    /// The generation's delta side-table, when any ops are applied.
+    overlay: Option<&'s DeltaOverlay>,
 }
 
 impl<'s> EngineStore<'s> {
@@ -50,6 +60,7 @@ impl<'s> EngineStore<'s> {
             splits: U32s::from(splits),
             lists: U32s::from(lists),
             idx_offsets: U32s::from(idx_offsets),
+            overlay: None,
         }
     }
 
@@ -63,7 +74,23 @@ impl<'s> EngineStore<'s> {
             splits: v.splits(),
             lists: v.lists(),
             idx_offsets: v.idx_offsets(),
+            overlay: None,
         }
+    }
+
+    /// Attaches a delta overlay: `|E|` and the split become the effective
+    /// (overlay-adjusted) values, and block/list reads dispatch through the
+    /// side-table.
+    pub(crate) fn with_overlay(mut self, overlay: &'s DeltaOverlay) -> EngineStore<'s> {
+        self.split = overlay.split();
+        self.num_entities = overlay.num_entities();
+        self.overlay = Some(overlay);
+        self
+    }
+
+    /// Base (arena) collection size, regardless of overlay appends.
+    fn base_entities(&self) -> usize {
+        self.idx_offsets.len().saturating_sub(1)
     }
 
     /// The block's `(lo, split, hi)` member-pool bracket.
@@ -91,16 +118,32 @@ impl CandidateStore for EngineStore<'_> {
     }
 
     fn num_blocks(&self) -> usize {
-        self.splits.len()
+        self.splits.len() + self.overlay.map_or(0, |o| o.num_new_blocks())
     }
 
     fn block_list(&self, id: EntityId) -> U32s<'_> {
+        if let Some(o) = self.overlay {
+            if let Some(list) = o.block_list_override(id.0) {
+                return U32s::Native(list);
+            }
+            if id.0 as usize >= self.base_entities() {
+                // An appended entity always has an override; anything else
+                // past the arena is out of range — report empty rather
+                // than walking off the offset table.
+                return U32s::EMPTY;
+            }
+        }
         let lo = self.idx_offsets.get(id.0 as usize) as usize;
         let hi = self.idx_offsets.get(id.0 as usize + 1) as usize;
         self.lists.slice(lo, hi)
     }
 
     fn members_of(&self, block: usize, scan_right: bool) -> U32s<'_> {
+        if let Some(o) = self.overlay {
+            if let Some(b) = o.block(block) {
+                return o.members_of(b, scan_right);
+            }
+        }
         let (lo, sp, hi) = self.bounds(block);
         // Dirty blocks have sp == hi, so the "left" side is the whole
         // block — same convention as `Block::left()`.
@@ -112,6 +155,11 @@ impl CandidateStore for EngineStore<'_> {
     }
 
     fn recip_cardinality_of(&self, block: usize) -> f64 {
+        if let Some(o) = self.overlay {
+            if let Some(b) = o.block(block) {
+                return o.recip_cardinality(b);
+            }
+        }
         let (lo, sp, hi) = self.bounds(block);
         let c = match self.kind {
             ErKind::Dirty => {
@@ -204,6 +252,14 @@ impl SnapshotStore {
         match self {
             SnapshotStore::Owned(s) => s.cnp_threshold(),
             SnapshotStore::Mapped(v) => v.cnp_threshold(),
+        }
+    }
+
+    /// Write-ahead delta runs the snapshot was loaded with, in apply order.
+    pub fn delta_runs(&self) -> &[Vec<DeltaOp>] {
+        match self {
+            SnapshotStore::Owned(s) => s.delta_runs(),
+            SnapshotStore::Mapped(v) => v.delta_runs(),
         }
     }
 }

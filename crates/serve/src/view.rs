@@ -46,11 +46,12 @@
 //! byte-compare), and the index↔blocks cross-walk — the per-element facts
 //! that walk re-checks are implied by the count identities above.
 
+use crate::delta::{decode_delta_run, validate_delta_runs, DeltaOp};
 use crate::error::SnapshotError;
 use crate::snapshot::{
-    decode_meta, parse_table, section_slice, verify_checksums, SectionEntry, SECTION_BLOCKKEYS,
-    SECTION_INDEX_LISTS, SECTION_INDEX_OFFSETS, SECTION_MEMBERS, SECTION_META, SECTION_OFFSETS,
-    SECTION_SPLITS, SECTION_TOK_BLOB, SECTION_TOK_OFFSETS, SECTION_TOK_SORTED,
+    decode_meta, parse_table, section_slice, verify_checksums, SectionEntry, SECTIONS,
+    SECTION_BLOCKKEYS, SECTION_INDEX_LISTS, SECTION_INDEX_OFFSETS, SECTION_MEMBERS, SECTION_META,
+    SECTION_OFFSETS, SECTION_SPLITS, SECTION_TOK_BLOB, SECTION_TOK_OFFSETS, SECTION_TOK_SORTED,
 };
 use er_model::{ErKind, U32s};
 use mb_core::PipelineConfig;
@@ -101,6 +102,9 @@ pub struct SnapshotView {
     tok_blob: ByteRange,
     tok_sorted: U32Range,
     block_keys: U32Range,
+    /// Write-ahead delta runs decoded (owned — they are small) from the
+    /// trailing `delta` sections; empty for clean snapshots.
+    delta_runs: Vec<Vec<DeltaOp>>,
 }
 
 /// Buffers at least this large run the checksum sweep and the structural
@@ -573,6 +577,16 @@ impl SnapshotView {
         tokens?;
         let num_tokens = tok_offsets.count - 1;
 
+        // Trailing delta runs: checksums were covered by the sweep above;
+        // decode them owned (they are small) and replay-validate the ids.
+        let mut delta_runs = Vec::new();
+        // lint:allow(panic-reachability) in range: parse_table rejects
+        // tables with fewer than the canonical SECTIONS entries.
+        for e in &table[SECTIONS.len()..] {
+            delta_runs.push(decode_delta_run(section_slice(&buf, e))?);
+        }
+        validate_delta_runs(n, &delta_runs)?;
+
         // Thresholds: re-derive from the now-verified aggregates with the
         // same mb-core formulas that produced them.
         let bpe = meta.assignments / (n as u64).max(1);
@@ -606,6 +620,7 @@ impl SnapshotView {
             tok_blob,
             tok_sorted,
             block_keys,
+            delta_runs,
             buf,
         })
     }
@@ -679,6 +694,11 @@ impl SnapshotView {
     /// Total size of the loaded snapshot in bytes.
     pub fn file_len(&self) -> usize {
         self.buf.len()
+    }
+
+    /// Write-ahead delta runs riding on the snapshot, in apply order.
+    pub fn delta_runs(&self) -> &[Vec<DeltaOp>] {
+        &self.delta_runs
     }
 
     /// The CSR member pool, borrowed from the buffer.

@@ -1,0 +1,340 @@
+//! Incremental-delta correctness end to end: upserts and deletes applied
+//! against a live [`GenerationCell`] must be queryable immediately, agree
+//! with a from-scratch rebuild wherever the overlay's semantics promise
+//! exact answers, persist through write-ahead delta runs in both storage
+//! flavors, and fold back into a **bit-identical** clean arena under
+//! compaction. A concurrency test pins generations from reader threads
+//! while a writer streams upserts, proving no reader ever observes a
+//! half-applied op.
+
+use er_model::{EntityCollection, EntityId, EntityProfile};
+use mb_core::incremental::{IncrementalConfig, IncrementalMetaBlocking};
+use mb_core::{Noop, PipelineConfig, Retention, WeightingScheme};
+use mb_serve::{
+    append_delta_run, merge_ops, CandidateRequest, DeltaOp, GenerationCell, QueryEngine, Snapshot,
+    SnapshotView, APPEND,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A Dirty fixture where every token appears in at least two profiles, so
+/// the base snapshot persists a block for each — the regime where delta
+/// answers are exact (no singleton-recall gap).
+fn base_profiles() -> Vec<EntityProfile> {
+    vec![
+        EntityProfile::new("p0").with("name", "jack miller"),
+        EntityProfile::new("p1").with("name", "jack miller lloyd"),
+        EntityProfile::new("p2").with("name", "erick lloyd"),
+        EntityProfile::new("p3").with("name", "erick stone"),
+        EntityProfile::new("p4").with("name", "stone miller"),
+    ]
+}
+
+fn base_snapshot(scheme: WeightingScheme) -> Snapshot {
+    let collection = EntityCollection::dirty(base_profiles());
+    let config = PipelineConfig { weighting: scheme, ..PipelineConfig::default() };
+    Snapshot::build(&collection, config).unwrap()
+}
+
+/// Sorted candidate ids for `id`, retaining everything.
+fn candidates_of(engine: &mut QueryEngine<'_>, id: u32) -> Vec<u32> {
+    let request =
+        CandidateRequest::entity(EntityId(id)).with_retention(Retention::TopK(usize::MAX));
+    let response = engine.execute(&request, &mut Noop).unwrap();
+    let mut ids: Vec<u32> = response.first().unwrap().candidates.iter().map(|c| c.id.0).collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Sorted `(id, weight_bits)` pairs for `id` — the bit-exact comparison.
+fn weighted_candidates_of(engine: &mut QueryEngine<'_>, id: u32) -> Vec<(u32, u64)> {
+    let request =
+        CandidateRequest::entity(EntityId(id)).with_retention(Retention::TopK(usize::MAX));
+    let response = engine.execute(&request, &mut Noop).unwrap();
+    let mut pairs: Vec<(u32, u64)> =
+        response.first().unwrap().candidates.iter().map(|c| (c.id.0, c.weight.to_bits())).collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+#[test]
+fn upserts_and_deletes_are_queryable_immediately() {
+    let cell = GenerationCell::new(base_snapshot(WeightingScheme::Cbs)).unwrap();
+
+    // Append a profile sharing "jack" with {0, 1} and "stone" with {3, 4}.
+    let applied = cell
+        .apply(
+            DeltaOp::Upsert {
+                id: APPEND,
+                profile: EntityProfile::new("p5").with("name", "jack stone"),
+            },
+            &mut Noop,
+        )
+        .unwrap();
+    assert_eq!(applied.id, 5);
+
+    let generation = cell.load();
+    let mut engine = QueryEngine::from_generation(&generation);
+    assert_eq!(candidates_of(&mut engine, 5), vec![0, 1, 3, 4]);
+    // The append is visible from the other side too.
+    assert!(candidates_of(&mut engine, 0).contains(&5));
+
+    // Tombstone entity 1: it vanishes from every neighborhood and answers
+    // nothing itself.
+    cell.apply(DeltaOp::Delete { id: 1 }, &mut Noop).unwrap();
+    let generation = cell.load();
+    let mut engine = QueryEngine::from_generation(&generation);
+    assert!(!candidates_of(&mut engine, 0).contains(&1));
+    let request = CandidateRequest::entity(EntityId(1)).with_retention(Retention::TopK(usize::MAX));
+    let response = engine.execute(&request, &mut Noop).unwrap();
+    assert!(response.first().unwrap().candidates.is_empty());
+
+    // In-place replace: entity 0 moves to fresh tokens, so it detaches from
+    // the jack/miller neighborhoods entirely.
+    cell.apply(
+        DeltaOp::Upsert { id: 0, profile: EntityProfile::new("p0").with("name", "zzz yyy") },
+        &mut Noop,
+    )
+    .unwrap();
+    let generation = cell.load();
+    let mut engine = QueryEngine::from_generation(&generation);
+    assert!(!candidates_of(&mut engine, 5).contains(&0));
+    assert!(candidates_of(&mut engine, 0).is_empty());
+}
+
+#[test]
+fn delta_answers_match_a_from_scratch_rebuild() {
+    // Appends and an in-place replace (no deletes: a Dirty removal shifts
+    // rebuild ids, while the overlay keeps ids stable via tombstones — the
+    // two worlds are only id-comparable without removals). The replacement
+    // keeps every token's occurrence count >= 2 so no block degenerates.
+    let new5 = EntityProfile::new("p5").with("name", "jack stone");
+    let new2 = EntityProfile::new("p2").with("name", "erick lloyd stone");
+    for scheme in
+        [WeightingScheme::Cbs, WeightingScheme::Ecbs, WeightingScheme::Js, WeightingScheme::Arcs]
+    {
+        let cell = GenerationCell::new(base_snapshot(scheme)).unwrap();
+        cell.apply(DeltaOp::Upsert { id: APPEND, profile: new5.clone() }, &mut Noop).unwrap();
+        cell.apply(DeltaOp::Upsert { id: 2, profile: new2.clone() }, &mut Noop).unwrap();
+        let generation = cell.load();
+        let mut live = QueryEngine::from_generation(&generation);
+
+        let mut merged = base_profiles();
+        merged.push(new5.clone());
+        merged[2] = new2.clone();
+        let rebuilt = Snapshot::build(
+            &EntityCollection::dirty(merged),
+            PipelineConfig { weighting: scheme, ..PipelineConfig::default() },
+        )
+        .unwrap();
+        let mut fresh = QueryEngine::new(&rebuilt);
+
+        for id in 0..6 {
+            assert_eq!(
+                weighted_candidates_of(&mut live, id),
+                weighted_candidates_of(&mut fresh, id),
+                "{scheme:?}: entity {id} diverged from the rebuild"
+            );
+        }
+    }
+}
+
+#[test]
+fn persisted_delta_runs_reload_to_the_same_answers() {
+    let base = base_snapshot(WeightingScheme::Cbs);
+    let base_bytes = base.to_bytes();
+    let cell = GenerationCell::new(base).unwrap();
+    cell.apply(
+        DeltaOp::Upsert {
+            id: APPEND,
+            profile: EntityProfile::new("p5").with("name", "jack stone"),
+        },
+        &mut Noop,
+    )
+    .unwrap();
+    cell.apply(DeltaOp::Delete { id: 1 }, &mut Noop).unwrap();
+    let live = cell.load();
+    let ops = live.overlay().unwrap().ops();
+
+    // Write-ahead the same ops as a delta run and reload in both flavors.
+    let with_deltas = append_delta_run(&base_bytes, &ops).unwrap();
+    let owned = Snapshot::from_bytes(&with_deltas).unwrap();
+    assert_eq!(owned.delta_runs().len(), 1);
+    let mapped = SnapshotView::from_bytes(with_deltas.clone()).unwrap();
+    let owned_cell = GenerationCell::new(owned).unwrap();
+    let mapped_cell = GenerationCell::new(mapped).unwrap();
+    let owned_gen = owned_cell.load();
+    let mapped_gen = mapped_cell.load();
+
+    let mut live_engine = QueryEngine::from_generation(&live);
+    let mut owned_engine = QueryEngine::from_generation(&owned_gen);
+    let mut mapped_engine = QueryEngine::from_generation(&mapped_gen);
+    assert_eq!(owned_gen.num_entities(), live.num_entities());
+    assert_eq!(mapped_gen.num_entities(), live.num_entities());
+    for id in 0..live.num_entities() as u32 {
+        let want = weighted_candidates_of(&mut live_engine, id);
+        assert_eq!(
+            weighted_candidates_of(&mut owned_engine, id),
+            want,
+            "entity {id}: owned reload diverged from the live overlay"
+        );
+        assert_eq!(
+            weighted_candidates_of(&mut mapped_engine, id),
+            want,
+            "entity {id}: mapped reload diverged from the live overlay"
+        );
+    }
+
+    // A second run appended over the first composes, too.
+    let more = [DeltaOp::Delete { id: 3 }];
+    let two_runs = append_delta_run(&with_deltas, &more).unwrap();
+    let reloaded = Snapshot::from_bytes(&two_runs).unwrap();
+    assert_eq!(reloaded.delta_runs().len(), 2);
+    let cell2 = GenerationCell::new(reloaded).unwrap();
+    assert!(cell2.load().overlay().unwrap().is_tombstoned(3));
+}
+
+#[test]
+fn compaction_is_bit_identical_to_a_fresh_build() {
+    let config = PipelineConfig::default();
+    let ops = vec![
+        DeltaOp::Upsert {
+            id: APPEND,
+            profile: EntityProfile::new("p5").with("name", "jack stone"),
+        },
+        DeltaOp::Upsert {
+            id: 2,
+            profile: EntityProfile::new("p2").with("name", "erick lloyd stone"),
+        },
+        DeltaOp::Delete { id: 1 },
+    ];
+    // `merge_ops` resolves APPEND against the *current* length, so spell
+    // the append out the way GenerationCell::apply resolves it: id 5.
+    let ops = [
+        DeltaOp::Upsert { id: 5, profile: profile_of(&ops[0]).clone() },
+        ops[1].clone(),
+        ops[2].clone(),
+    ];
+
+    let mut collection = EntityCollection::dirty(base_profiles());
+    merge_ops(&mut collection, &ops).unwrap();
+    let compacted = Snapshot::build(&collection, config).unwrap().to_bytes();
+
+    // The same end state assembled by hand: p1 removed (ids above shift
+    // down), p2 replaced, p5 appended.
+    let mut expected = base_profiles();
+    expected[2] = EntityProfile::new("p2").with("name", "erick lloyd stone");
+    expected.push(EntityProfile::new("p5").with("name", "jack stone"));
+    expected.remove(1);
+    let fresh = Snapshot::build(&EntityCollection::dirty(expected), config).unwrap().to_bytes();
+
+    assert_eq!(compacted, fresh, "compaction must be bit-identical to a from-scratch build");
+    // And the compacted image carries no delta runs.
+    assert!(Snapshot::from_bytes(&compacted).unwrap().delta_runs().is_empty());
+}
+
+fn profile_of(op: &DeltaOp) -> &EntityProfile {
+    match op {
+        DeltaOp::Upsert { profile, .. } => profile,
+        DeltaOp::Delete { .. } => panic!("not an upsert"),
+    }
+}
+
+#[test]
+fn query_after_upsert_agrees_with_streaming_metablocking() {
+    // Cross-validation against the incremental pipeline: feed the same
+    // profiles to `IncrementalMetaBlocking` and to a snapshot + delta
+    // engine; the newcomer's CBS neighborhood must be the same set.
+    let profiles = base_profiles();
+    let newcomer = EntityProfile::new("p5").with("name", "jack stone lloyd");
+
+    let mut inc = IncrementalMetaBlocking::new(IncrementalConfig {
+        scheme: WeightingScheme::Cbs,
+        k: usize::MAX,
+        max_block_size: usize::MAX,
+    });
+    for p in &profiles {
+        inc.add(p);
+    }
+    let mut streamed: Vec<u32> = inc.add(&newcomer).iter().map(|(old, _)| old.0).collect();
+    streamed.sort_unstable();
+
+    let cell = GenerationCell::new(base_snapshot(WeightingScheme::Cbs)).unwrap();
+    let applied = cell.apply(DeltaOp::Upsert { id: APPEND, profile: newcomer }, &mut Noop).unwrap();
+    let generation = cell.load();
+    let mut engine = QueryEngine::from_generation(&generation);
+    assert_eq!(candidates_of(&mut engine, applied.id), streamed);
+}
+
+#[test]
+fn concurrent_readers_never_observe_a_half_applied_delta() {
+    const READERS: usize = 4;
+    const UPSERTS: usize = 100;
+
+    // Base: the "anchor" token is shared by both seeds, so its block is
+    // live and every appended entity joins it. For a generation with `a`
+    // appended entities, each appended entity's candidate set is exactly
+    // the other anchor members: the 2 seeds plus the other `a - 1` appends.
+    // Any torn state — an entity counted but not indexed, or a block
+    // membership without the entity-side posting — breaks that count.
+    let seeds = vec![
+        EntityProfile::new("s0").with("name", "anchor one"),
+        EntityProfile::new("s1").with("name", "anchor one"),
+    ];
+    let snapshot = Snapshot::build(
+        &EntityCollection::dirty(seeds),
+        PipelineConfig { weighting: WeightingScheme::Cbs, ..PipelineConfig::default() },
+    )
+    .unwrap();
+    let cell = Arc::new(GenerationCell::new(snapshot).unwrap());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut checked = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let generation = cell.load();
+                    let appended = generation.num_entities() - 2;
+                    let mut engine = QueryEngine::from_generation(&generation);
+                    for id in 2..generation.num_entities() as u32 {
+                        let request = CandidateRequest::entity(EntityId(id))
+                            .with_retention(Retention::TopK(usize::MAX));
+                        let response = engine.execute(&request, &mut Noop).unwrap();
+                        assert_eq!(
+                            response.first().unwrap().candidates.len(),
+                            appended + 1,
+                            "generation {} (with {appended} appends): entity {id} saw a \
+                             half-applied neighborhood",
+                            generation.ordinal()
+                        );
+                        checked += 1;
+                    }
+                }
+                checked
+            })
+        })
+        .collect();
+
+    for i in 0..UPSERTS {
+        cell.apply(
+            DeltaOp::Upsert {
+                id: APPEND,
+                profile: EntityProfile::new(format!("a{i}")).with("name", format!("anchor u{i}")),
+            },
+            &mut Noop,
+        )
+        .unwrap();
+        std::thread::yield_now();
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    let mut total = 0;
+    for reader in readers {
+        total += reader.join().unwrap();
+    }
+    assert!(total > 0, "readers never got to check anything");
+    assert_eq!(cell.load().num_entities(), 2 + UPSERTS);
+}

@@ -278,19 +278,20 @@ fn zero_copy_and_sharded_engines_are_bit_identical_to_the_owned_engine() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_match_the_typed_api() {
-    // The positional entry points stay as thin shims for one release; they
-    // must answer exactly like a CandidateRequest, and a request without an
-    // explicit retention must resolve to the engine default.
+fn default_retention_matches_an_explicit_request() {
+    // A request without an explicit retention must resolve to the engine
+    // default — the contract the removed positional entry points used to
+    // pin down.
     let snapshot = dirty_snapshot();
     let mut engine = QueryEngine::new(&snapshot);
     let retention = engine.default_retention();
-    let via_shim = engine.query(EntityId(0), retention, &mut Noop);
-    let via_typed = run_one(&mut engine, CandidateRequest::entity(EntityId(0)));
-    assert_eq!(via_shim, via_typed);
+    let implicit = run_one(&mut engine, CandidateRequest::entity(EntityId(0)));
+    let explicit =
+        run_one(&mut engine, CandidateRequest::entity(EntityId(0)).with_retention(retention));
+    assert_eq!(implicit, explicit);
 
-    let shim_batch = engine.batch(retention, 2, &mut Noop);
-    let typed_batch = run(&mut engine, CandidateRequest::batch().with_threads(2));
-    assert_eq!(shim_batch, typed_batch);
+    let implicit_batch = run(&mut engine, CandidateRequest::batch().with_threads(2));
+    let explicit_batch =
+        run(&mut engine, CandidateRequest::batch().with_retention(retention).with_threads(2));
+    assert_eq!(implicit_batch, explicit_batch);
 }

@@ -39,7 +39,7 @@ fn concurrent_readers_never_observe_a_torn_generation() {
     const READERS: usize = 4;
     const SWAPS: usize = 50;
 
-    let cell = Arc::new(GenerationCell::new(variant_snapshot(0)));
+    let cell = Arc::new(GenerationCell::new(variant_snapshot(0)).unwrap());
     let stop = Arc::new(AtomicBool::new(false));
 
     let readers: Vec<_> = (0..READERS)
@@ -53,7 +53,7 @@ fn concurrent_readers_never_observe_a_torn_generation() {
                     // the same pin-then-serve pattern a connection handler
                     // uses, so a swap mid-loop exercises the same races.
                     let generation = cell.load();
-                    let mut engine = QueryEngine::from_store(generation.store());
+                    let mut engine = QueryEngine::from_generation(&generation);
                     for _ in 0..8 {
                         let request = CandidateRequest::entity(EntityId(0))
                             .with_retention(Retention::TopK(1));
@@ -86,7 +86,7 @@ fn concurrent_readers_never_observe_a_torn_generation() {
 
     for swap in 0..SWAPS {
         let variant = (swap + 1) % 4;
-        let ordinal = cell.swap(variant_snapshot(variant));
+        let ordinal = cell.swap(variant_snapshot(variant)).unwrap();
         assert_eq!(ordinal as usize, swap + 2);
         // Let readers actually run between swaps.
         std::thread::yield_now();
@@ -103,11 +103,11 @@ fn concurrent_readers_never_observe_a_torn_generation() {
 
 #[test]
 fn retired_generations_are_released_not_leaked() {
-    let cell = GenerationCell::new(variant_snapshot(0));
+    let cell = GenerationCell::new(variant_snapshot(0)).unwrap();
     let mut pins = Vec::new();
     for swap in 0..10 {
         pins.push(cell.load());
-        cell.swap(variant_snapshot((swap + 1) % 4));
+        cell.swap(variant_snapshot((swap + 1) % 4)).unwrap();
     }
     // Each pin is now the sole owner of its retired generation.
     for pin in &pins {

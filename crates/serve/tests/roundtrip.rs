@@ -659,3 +659,193 @@ fn from_parts_rejects_inconsistent_inputs() {
     c.filter_ratio = Some(2.0);
     assert!(matches!(Snapshot::from_parts(b, i, sp, t, k, c), Err(SnapshotError::Config(_))));
 }
+
+// --- write-ahead delta runs: hostile input --------------------------------
+
+const SECTION_DELTA: u32 = 11;
+const OP_UPSERT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn delta_upsert(out: &mut Vec<u8>, id: u32, uri: &str, attrs: &[(&str, &str)]) {
+    out.push(OP_UPSERT);
+    out.extend_from_slice(&id.to_le_bytes());
+    put_str(out, uri);
+    out.extend_from_slice(&(attrs.len() as u32).to_le_bytes());
+    for (name, value) in attrs {
+        put_str(out, name);
+        put_str(out, value);
+    }
+}
+
+fn delta_delete(out: &mut Vec<u8>, id: u32) {
+    out.push(OP_DELETE);
+    out.extend_from_slice(&id.to_le_bytes());
+}
+
+/// Frames `small_snapshot` with the given raw delta-run payloads appended
+/// as trailing [`SECTION_DELTA`] sections (table and checksums valid, so
+/// the payloads reach the delta decoder).
+fn with_delta_payloads(runs: &[Vec<u8>]) -> Vec<u8> {
+    let mut sections = parse_frame(&small_snapshot().to_bytes());
+    for run in runs {
+        sections.push((SECTION_DELTA, run.clone()));
+    }
+    build_frame(&sections)
+}
+
+/// A well-formed delta run over the 4-entity `small_snapshot`: one append
+/// (id 4) and one tombstone (id 0).
+fn valid_delta_run() -> Vec<u8> {
+    let mut run = Vec::new();
+    run.extend_from_slice(&2u32.to_le_bytes());
+    delta_upsert(&mut run, 4, "p5", &[("name", "jack vendor")]);
+    delta_delete(&mut run, 0);
+    run
+}
+
+fn both_reject_delta(bytes: Vec<u8>, check: impl Fn(&SnapshotError) -> bool, what: &str) {
+    let err = Snapshot::from_bytes(&bytes).unwrap_err();
+    assert!(check(&err), "{what} (owned): got {err:?}");
+    let err = SnapshotView::from_bytes(bytes).unwrap_err();
+    assert!(check(&err), "{what} (view): got {err:?}");
+}
+
+#[test]
+fn delta_carrying_files_decode_on_both_paths() {
+    let bytes = with_delta_payloads(&[valid_delta_run()]);
+    let owned = Snapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(owned.delta_runs().len(), 1);
+    assert_eq!(owned.delta_runs()[0].len(), 2);
+    let view = SnapshotView::from_bytes(bytes).unwrap();
+    assert_eq!(view.delta_runs().len(), 1);
+    assert_eq!(view.delta_runs()[0], owned.delta_runs()[0]);
+}
+
+#[test]
+fn every_flipped_byte_of_a_delta_carrying_file_fails_with_a_typed_error() {
+    let bytes = with_delta_payloads(&[valid_delta_run()]);
+    for at in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[at] ^= 0xff;
+        let err = Snapshot::from_bytes(&bad)
+            .err()
+            .unwrap_or_else(|| panic!("flipping byte {at} was not detected (owned)"));
+        let _ = err.to_string();
+        let err = SnapshotView::from_bytes(bad)
+            .err()
+            .unwrap_or_else(|| panic!("flipping byte {at} was not detected (view)"));
+        let _ = err.to_string();
+    }
+}
+
+#[test]
+fn every_truncated_prefix_of_a_delta_carrying_file_fails() {
+    let bytes = with_delta_payloads(&[valid_delta_run()]);
+    for len in 0..bytes.len() {
+        assert!(
+            Snapshot::from_bytes(&bytes[..len]).is_err(),
+            "prefix of {len} bytes must not decode (owned)"
+        );
+        assert!(
+            SnapshotView::from_bytes(bytes[..len].to_vec()).is_err(),
+            "prefix of {len} bytes must not load (view)"
+        );
+    }
+}
+
+#[test]
+fn hostile_delta_runs_are_typed_errors() {
+    // Tombstone of an entity the file never had.
+    let mut run = Vec::new();
+    run.extend_from_slice(&1u32.to_le_bytes());
+    delta_delete(&mut run, 9);
+    both_reject_delta(
+        with_delta_payloads(&[run]),
+        |e| matches!(e, SnapshotError::Inconsistent(_)),
+        "tombstone of unknown entity",
+    );
+
+    // Overlapping runs: the second run deletes an entity the first already
+    // tombstoned.
+    let mut first = Vec::new();
+    first.extend_from_slice(&1u32.to_le_bytes());
+    delta_delete(&mut first, 0);
+    let mut second = Vec::new();
+    second.extend_from_slice(&1u32.to_le_bytes());
+    delta_delete(&mut second, 0);
+    both_reject_delta(
+        with_delta_payloads(&[first, second]),
+        |e| matches!(e, SnapshotError::Inconsistent(_)),
+        "overlapping delta runs double-deleting",
+    );
+
+    // An upsert that skips past the append point leaves an id hole.
+    let mut run = Vec::new();
+    run.extend_from_slice(&1u32.to_le_bytes());
+    delta_upsert(&mut run, 6, "hole", &[]);
+    both_reject_delta(
+        with_delta_payloads(&[run]),
+        |e| matches!(e, SnapshotError::Inconsistent(_)),
+        "upsert past the append point",
+    );
+
+    // The reserved append sentinel must never be persisted.
+    let mut run = Vec::new();
+    run.extend_from_slice(&1u32.to_le_bytes());
+    delta_upsert(&mut run, u32::MAX, "sentinel", &[]);
+    both_reject_delta(
+        with_delta_payloads(&[run]),
+        |e| matches!(e, SnapshotError::Inconsistent(_)),
+        "persisted append sentinel",
+    );
+
+    // An inflated op count fails before allocating.
+    both_reject_delta(
+        with_delta_payloads(&[u32::MAX.to_le_bytes().to_vec()]),
+        |e| matches!(e, SnapshotError::Truncated { section: "delta", .. }),
+        "inflated delta op count",
+    );
+
+    // An unknown op tag.
+    let mut run = Vec::new();
+    run.extend_from_slice(&1u32.to_le_bytes());
+    run.push(7);
+    run.extend_from_slice(&0u32.to_le_bytes());
+    both_reject_delta(
+        with_delta_payloads(&[run]),
+        |e| matches!(e, SnapshotError::Inconsistent(_)),
+        "unknown delta op tag",
+    );
+
+    // Trailing garbage after the last op.
+    let mut run = valid_delta_run();
+    run.push(0xff);
+    both_reject_delta(
+        with_delta_payloads(&[run]),
+        |e| matches!(e, SnapshotError::TrailingBytes { section: "delta", .. }),
+        "trailing bytes after delta ops",
+    );
+
+    // A delta section may not appear *before* the canonical ten.
+    let mut sections = parse_frame(&small_snapshot().to_bytes());
+    sections.insert(0, (SECTION_DELTA, valid_delta_run()));
+    both_reject_delta(
+        build_frame(&sections),
+        |e| !matches!(e, SnapshotError::Io(_)),
+        "delta section displacing the canonical order",
+    );
+
+    // But delete-then-revive-then-delete across runs is legal.
+    let mut run = Vec::new();
+    run.extend_from_slice(&3u32.to_le_bytes());
+    delta_delete(&mut run, 0);
+    delta_upsert(&mut run, 0, "revived", &[("name", "back again")]);
+    delta_delete(&mut run, 0);
+    let bytes = with_delta_payloads(&[run]);
+    assert_eq!(Snapshot::from_bytes(&bytes).unwrap().delta_runs()[0].len(), 3);
+}

@@ -233,3 +233,72 @@ fn mid_stream_disconnect_leaves_the_server_serving() {
     assert_eq!(top1(&mut client), (1, 1));
     handle.shutdown();
 }
+
+#[test]
+fn upsert_delete_compact_round_trip_over_the_wire() {
+    // The server starts on a bundle-built snapshot so a later MSG_COMPACT
+    // can rebuild from the same profiles.
+    let dir = std::env::temp_dir().join("mb-serve-wire-delta");
+    let bundle_dir = dir.join("bundle");
+    std::fs::create_dir_all(&bundle_dir).unwrap();
+    let profiles = vec![
+        EntityProfile::new("pivot").with("name", "jack miller"),
+        EntityProfile::new("p0").with("name", "jack miller"),
+        EntityProfile::new("p1").with("name", "ccc ddd"),
+    ];
+    let collection = EntityCollection::dirty(profiles);
+    er_io::bundle::save(&bundle_dir, &collection, &er_model::GroundTruth::from_pairs([])).unwrap();
+    let snapshot = Snapshot::build(&collection, PipelineConfig::default()).unwrap();
+
+    let handle = Server::start(snapshot, quick_config()).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    assert_eq!(top1(&mut client), (1, 1));
+
+    // Append a new duplicate of the pivot; the server assigns the id.
+    let newcomer = EntityProfile::new("p2").with("name", "jack miller fresh");
+    let (generation, id) = client.upsert(mb_serve::APPEND, &newcomer).unwrap();
+    assert_eq!((generation, id), (2, 3));
+    // Queryable on the same connection immediately.
+    let response = client
+        .execute(&CandidateRequest::entity(EntityId(3)).with_retention(Retention::TopK(usize::MAX)))
+        .unwrap();
+    let mut ids: Vec<u32> = response.first().unwrap().candidates.iter().map(|c| c.id.0).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0, 1]);
+
+    // Tombstone the old duplicate: it drops out of the pivot's answers.
+    assert_eq!(client.delete(1).unwrap(), 3);
+    let response = client
+        .execute(&CandidateRequest::entity(EntityId(0)).with_retention(Retention::TopK(usize::MAX)))
+        .unwrap();
+    assert!(response.first().unwrap().candidates.iter().all(|c| c.id.0 != 1));
+
+    // A delete of a dead entity is a typed remote error; serving continues.
+    let err = client.delete(1).unwrap_err();
+    assert!(matches!(&err, ServeError::Remote(msg) if msg.contains("not live")), "{err}");
+
+    // Compaction folds the deltas into a clean arena and persists it.
+    let out_path = dir.join("compacted.mbsnap");
+    let generation =
+        client.compact(bundle_dir.to_str().unwrap(), out_path.to_str().unwrap().into()).unwrap();
+    assert_eq!(generation, 4);
+    // The compacted file equals a from-scratch build over the merged set:
+    // pivot, p1 ("ccc ddd" slid down to id 1), and the appended newcomer.
+    let mut merged = collection.profiles().to_vec();
+    merged.push(newcomer);
+    merged.remove(1);
+    let fresh =
+        Snapshot::build(&EntityCollection::dirty(merged), PipelineConfig::default()).unwrap();
+    assert_eq!(std::fs::read(&out_path).unwrap(), fresh.to_bytes());
+
+    // Post-compaction queries serve the clean arena (ids shifted by the
+    // fold): the pivot now pairs with the compacted newcomer.
+    let response = client
+        .execute(&CandidateRequest::entity(EntityId(0)).with_retention(Retention::TopK(usize::MAX)))
+        .unwrap();
+    assert_eq!(response.generation, 4);
+    let ids: Vec<u32> = response.first().unwrap().candidates.iter().map(|c| c.id.0).collect();
+    assert_eq!(ids, vec![2]);
+
+    handle.shutdown();
+}

@@ -10,7 +10,11 @@
 # percentiles, batch throughput at 1/2/4/8 threads) which writes and
 # validates BENCH_query.json the same way, and the online-serving bench
 # (wire round-trip p50/p99 + q/s against a live `er serve` instance,
-# client-visible reload pause) which writes and validates BENCH_serve.json.
+# client-visible reload pause) which writes and validates BENCH_serve.json,
+# and the incremental-delta bench (live upsert apply/query-after µs
+# percentiles vs the full rebuild path, pinned compaction) which writes and
+# validates BENCH_delta.json — including the ≤1 ms applied-and-queryable
+# and ≥1000× apply-vs-rebuild-path acceptance bars.
 #
 # Writes BENCH_pruning.json at the repository root — scheme x threads x
 # wall-ms records plus the machine's detected core count — so the scaling
@@ -37,6 +41,10 @@ cargo run -q -p er-bench --bin validate_query_json -- BENCH_query.json
 echo "==> online-serving bench (writes BENCH_serve.json)"
 BENCH_OUT="" cargo bench -p er-bench --bench serve_throughput
 cargo run -q -p er-bench --bin validate_serve_json -- BENCH_serve.json
+
+echo "==> incremental-delta bench (writes BENCH_delta.json)"
+BENCH_OUT="" cargo bench -p er-bench --bench delta_latency
+cargo run -q -p er-bench --bin validate_delta_json -- BENCH_delta.json
 
 echo "==> pruning-scaling bench (writes ${BENCH_OUT:-BENCH_pruning.json})"
 cargo bench -p er-bench --bench pruning_scaling

@@ -75,8 +75,38 @@ cargo run -q --release -p er-cli -- client reload --addr "$ADDR" \
   --snapshot "$SMOKE_DIR/index2.mbsnap"
 cargo run -q --release -p er-cli -- client query --addr "$ADDR" --entity 0 --top 5 \
   | grep -q "generation 2" || { echo "reload did not advance the generation" >&2; exit 1; }
+
+echo "==> incremental-delta smoke (er client upsert/delete/compact + pinned cmp)"
+UPSERT_OUT="$(cargo run -q --release -p er-cli -- client upsert --addr "$ADDR" \
+  --text "john smith 42 main st springfield" --uri smoke-upsert)"
+echo "$UPSERT_OUT" | grep -q "generation 3" \
+  || { echo "upsert did not advance the generation" >&2; exit 1; }
+UPSERTED="$(echo "$UPSERT_OUT" | sed -n 's/^upserted entity \([0-9]*\).*/\1/p')"
+[ -n "$UPSERTED" ] || { echo "upsert did not report the new entity id" >&2; exit 1; }
+cargo run -q --release -p er-cli -- client query --addr "$ADDR" \
+  --entity "$UPSERTED" --top 5 \
+  | grep -q "generation 3" || { echo "post-upsert query missed generation 3" >&2; exit 1; }
+cargo run -q --release -p er-cli -- client delete --addr "$ADDR" --entity "$UPSERTED" \
+  | grep -q "generation 4" || { echo "delete did not advance the generation" >&2; exit 1; }
+cargo run -q --release -p er-cli -- client compact --addr "$ADDR" \
+  --dataset "$SMOKE_DIR" --out "$SMOKE_DIR/compacted.mbsnap" \
+  | grep -q "generation 5" || { echo "compact did not advance the generation" >&2; exit 1; }
+# The upsert and the delete cancel, so compaction must pin the output
+# bit-identical to the from-scratch build over the same profiles.
+cmp "$SMOKE_DIR/compacted.mbsnap" "$SMOKE_DIR/index2.mbsnap" \
+  || { echo "compacted snapshot differs from the from-scratch build" >&2; exit 1; }
+cargo run -q --release -p er-cli -- client query --addr "$ADDR" --entity 0 --top 5 \
+  | grep -q "generation 5" || { echo "post-compaction query missed generation 5" >&2; exit 1; }
 cargo run -q --release -p er-cli -- client shutdown --addr "$ADDR"
 wait "$SERVE_PID"
+
+echo "==> offline delta smoke (er snapshot apply + er query replay)"
+cargo run -q --release -p er-cli -- snapshot apply --snapshot "$SMOKE_DIR/index.mbsnap" \
+  --out "$SMOKE_DIR/staged.mbsnap" --text "john smith 42 main st springfield" --uri smoke-staged
+cargo run -q --release -p er-cli -- snapshot inspect --snapshot "$SMOKE_DIR/staged.mbsnap" --full \
+  | grep -q "delta runs" || { echo "staged snapshot lost its delta run" >&2; exit 1; }
+cargo run -q --release -p er-cli -- query --snapshot "$SMOKE_DIR/staged.mbsnap" \
+  --text "john smith 42 main st springfield" --top 5
 
 if [ "$BENCH_SMOKE" -eq 1 ]; then
   echo "==> cargo bench -p er-bench --no-run (bench smoke)"
